@@ -1,0 +1,96 @@
+// E8 — temporal-analysis cost (paper §7): "the conversion algorithm is
+// exponential, and this is a theoretical lower bound... however, it is
+// usable in practice, considering the size of applications in the context
+// of embedded systems."
+//
+// Two sweeps demonstrate both halves of the claim:
+//   1. k parallel trails cycling over the same event with pairwise-coprime
+//     periods -> the product automaton has ~prod(periods) states
+//     (exponential in program size);
+//   2. the paper's real programs (quickstart, ring, ship, Mario) analyze in
+//     milliseconds with small automata.
+#include <chrono>
+#include <cstdio>
+#include <sstream>
+
+#include "demos/demos.hpp"
+#include "dfa/dfa.hpp"
+
+namespace {
+
+using namespace ceu;
+
+std::string coprime_program(int k) {
+    static const int kPeriods[] = {2, 3, 5, 7, 11, 13};
+    std::ostringstream os;
+    os << "input void A;\n";
+    for (int i = 0; i < k; ++i) os << "int v" << i << ";\n";
+    if (k > 1) os << "par do\n";
+    for (int i = 0; i < k; ++i) {
+        if (i) os << "with\n";
+        os << "  loop do\n";
+        for (int j = 0; j < kPeriods[i]; ++j) os << "    await A;\n";
+        os << "    v" << i << " = 1;\n  end\n";
+    }
+    if (k > 1) os << "end\n";
+    return os.str();
+}
+
+struct Result {
+    size_t states;
+    double ms;
+    bool deterministic;
+    bool complete;
+};
+
+Result analyze(const std::string& src) {
+    flat::CompiledProgram cp = flat::compile(src);
+    auto t0 = std::chrono::steady_clock::now();
+    dfa::DfaOptions opt;
+    opt.max_states = 200000;
+    dfa::Dfa d = dfa::Dfa::build(cp, opt);
+    auto t1 = std::chrono::steady_clock::now();
+    return {d.state_count(),
+            std::chrono::duration<double, std::milli>(t1 - t0).count(),
+            d.deterministic(), d.complete()};
+}
+
+}  // namespace
+
+int main() {
+    std::printf("== Temporal-analysis cost ==\n\n");
+    std::printf("sweep 1: k trails with coprime periods over one event "
+                "(state explosion)\n");
+    std::printf("%4s %12s %10s %14s\n", "k", "DFA states", "time", "product bound");
+    long long product = 1;
+    static const int kPeriods[] = {2, 3, 5, 7, 11, 13};
+    for (int k = 1; k <= 5; ++k) {
+        product *= kPeriods[k - 1];
+        Result r = analyze(coprime_program(k));
+        std::printf("%4d %12zu %8.1fms %14lld%s\n", k, r.states, r.ms, product,
+                    r.complete ? "" : "  (capped)");
+    }
+
+    std::printf("\nsweep 2: the paper's programs (all 'compile in a few "
+                "seconds')\n");
+    std::printf("%-12s %12s %10s %15s\n", "program", "DFA states", "time", "verdict");
+    struct Named {
+        const char* name;
+        const char* src;
+    };
+    const Named programs[] = {
+        {"quickstart", demos::kQuickstart},
+        {"temperature", demos::kTemperature},
+        {"ring", demos::kRing},
+        {"ship", demos::kShip},
+        {"mario", demos::kMarioLive},
+    };
+    for (const Named& p : programs) {
+        Result r = analyze(p.src);
+        std::printf("%-12s %12zu %8.1fms %15s\n", p.name, r.states, r.ms,
+                    r.deterministic ? "deterministic" : "REFUSED");
+    }
+    std::printf("\npaper check: exponential growth in sweep 1, millisecond-scale\n"
+                "analysis of every real demo program in sweep 2.\n");
+    return 0;
+}

@@ -1,0 +1,65 @@
+// E3 — Figure 2 reproduction: the temporal analysis converts the paper's
+// nondeterministic two-trail program into a DFA and flags the concurrent
+// access to `v` on the 6th occurrence of A. Emits the Graphviz DOT of the
+// automaton (the paper rendered the same artifact with graphviz).
+#include <cstdio>
+#include <fstream>
+
+#include "dfa/dfa.hpp"
+
+int main() {
+    using namespace ceu;
+
+    const char* kFigure2 = R"(
+        input void A;
+        int v;
+        par do
+           loop do
+              await A;
+              await A;
+              v = 1;
+           end
+        with
+           loop do
+              await A;
+              await A;
+              await A;
+              v = 2;
+           end
+        end
+    )";
+
+    flat::CompiledProgram cp = flat::compile(kFigure2, "figure2.ceu");
+    dfa::Dfa d = dfa::Dfa::build(cp);
+
+    std::printf("== Figure 2: DFA of the nondeterministic example ==\n\n");
+    std::printf("states: %zu (complete cover: %s)\n", d.state_count(),
+                d.complete() ? "yes" : "no");
+    std::printf("verdict: %s\n\n",
+                d.deterministic() ? "deterministic (UNEXPECTED)" : "NONDETERMINISTIC — refused at compile time");
+    std::printf("conflicts:\n%s\n", d.report().c_str());
+
+    std::printf("state -> transitions:\n");
+    for (const auto& s : d.states()) {
+        std::printf("  DFA #%d%s%s:", s.id, s.has_conflict ? " [CONFLICT]" : "",
+                    s.terminal ? " [terminal]" : "");
+        for (const auto& t : s.out) std::printf(" --%s--> #%d", t.label.c_str(), t.target);
+        std::printf("\n");
+        for (const auto& line : s.executed) std::printf("      %s\n", line.c_str());
+    }
+
+    const char* dot_path = "/tmp/ceu_figure2_dfa.dot";
+    std::ofstream(dot_path) << d.to_dot("figure2");
+    std::printf("\nDOT written to %s (render with: dot -Tpng %s)\n", dot_path, dot_path);
+
+    // The paper's trails have periods 2 and 3 over the same event: the
+    // conflict must surface on the 6th A (lcm), i.e. within a cycle of 6
+    // A-transitions from boot.
+    std::printf("\npaper check: conflict trigger is 'A' and the automaton cycles "
+                "with period lcm(2,3)=6: %s\n",
+                (!d.conflicts().empty() && d.conflicts().front().trigger == "A" &&
+                 d.state_count() >= 6)
+                    ? "OK"
+                    : "MISMATCH");
+    return d.deterministic() ? 1 : 0;  // nondeterminism is the expected outcome
+}

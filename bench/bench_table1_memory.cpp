@@ -1,0 +1,311 @@
+// E1 — Table 1 reproduction: memory usage of four WSN applications
+// (Blink, Sense, Client, Server) written in nesC-style event-driven C vs.
+// in Céu.
+//
+// Method (substituting the paper's avr-gcc/micaz toolchain): both versions
+// are compiled to object code with the host `cc -Os`; ROM is the text
+// segment, RAM is data+bss, both measured with `size`. The Céu versions are
+// the generated single-threaded C (paper §4.4) — runtime machinery
+// included, exactly like the real Céu ROM footprint; the nesC versions are
+// hand-written callback-style C with a minimal task/timer executive.
+//
+// Expected shape (paper Table 1): Céu costs a roughly fixed runtime
+// overhead on top of each app, so the difference SHRINKS relative to app
+// size as applications grow.
+#include <array>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <string>
+
+#include "cgen/cgen.hpp"
+#include "codegen/flatten.hpp"
+
+namespace {
+
+using namespace ceu;
+
+struct Sizes {
+    long rom = 0;  // text
+    long ram = 0;  // data + bss
+    bool ok = false;
+};
+
+Sizes measure(const std::string& c_source, const std::string& tag) {
+    std::string base = "/tmp/ceu_table1_" + tag;
+    {
+        std::ofstream f(base + ".c");
+        f << c_source;
+    }
+    std::string cmd = "cc -std=c11 -Os -c -o " + base + ".o " + base + ".c 2>" + base +
+                      ".err && size " + base + ".o > " + base + ".size";
+    Sizes s;
+    if (std::system(cmd.c_str()) != 0) {
+        std::fprintf(stderr, "compilation failed for %s (see %s.err)\n", tag.c_str(),
+                     base.c_str());
+        return s;
+    }
+    std::ifstream f(base + ".size");
+    std::string header;
+    std::getline(f, header);
+    long text = 0, data = 0, bss = 0;
+    f >> text >> data >> bss;
+    s.rom = text;
+    s.ram = data + bss;
+    s.ok = true;
+    return s;
+}
+
+// ---------------------------------------------------------------------------
+// Shared C externs for the Céu apps (stand-ins for the TinyOS interfaces).
+// ---------------------------------------------------------------------------
+
+const char* kExterns = R"(
+    C do
+    extern void Leds_set(long long v);
+    extern void Leds_led0Toggle(void);
+    extern long long Read_sensor(void);
+    extern long long Radio_send_words(long long dst, long long w0, long long w1,
+                                      long long w2, long long w3, long long w4);
+    end
+)";
+
+// ---------------------------------------------------------------------------
+// The four applications in Céu.
+// ---------------------------------------------------------------------------
+
+const char* kCeuBlink = R"(
+    loop do
+       _Leds_led0Toggle();
+       await 250ms;
+    end
+)";
+
+const char* kCeuSense = R"(
+    int count = 0;
+    loop do
+       await 100ms;
+       int reading = _Read_sensor();
+       count = count + 1;
+       _Leds_set(reading / 128);
+    end
+)";
+
+const char* kCeuClient = R"(
+    input int Radio_receive;
+    int seq = 0;
+    loop do
+       int[4] buffer;
+       int n = 0;
+       loop do                      // sample 4 readings, 250ms apart
+          await 250ms;
+          buffer[n] = _Read_sensor();
+          n = n + 1;
+          if n == 4 then break; end
+       end
+       loop do                      // send and retry until acked
+          _Radio_send_words(0, seq, buffer[0], buffer[1], buffer[2], buffer[3]);
+          par/or do
+             loop do                // wait for the matching ack
+                int ack = await Radio_receive;
+                if ack == seq then
+                   break;
+                end
+             end
+             break;
+          with
+             await 1s;              // retry watchdog
+          end
+       end
+       seq = seq + 1;
+    end
+)";
+
+const char* kCeuServer = R"(
+    input int Radio_receive;
+    int received = 0;
+    par do
+       loop do
+          int seq = await Radio_receive;
+          received = received + 1;
+          _Radio_send_words(1, seq, 0, 0, 0, 0);   // ack
+          _Leds_set(received % 8);
+       end
+    with
+       loop do                      // heartbeat led
+          await 500ms;
+          _Leds_led0Toggle();
+       end
+    with
+       loop do                      // periodic status on the leds
+          await 5s;
+          _Leds_set(received / 64);
+       end
+    end
+)";
+
+// ---------------------------------------------------------------------------
+// The same applications in nesC-style C (handwritten, minimal executive).
+// ---------------------------------------------------------------------------
+
+const char* kNescPrelude = R"(
+#include <stdint.h>
+extern void Leds_set(long long v);
+extern void Leds_led0Toggle(void);
+extern long long Read_sensor(void);
+extern long long Radio_send_words(long long dst, long long w0, long long w1,
+                                  long long w2, long long w3, long long w4);
+/* minimal event-driven executive: timers + one-deep task post */
+typedef struct { long long deadline, period; int active; void (*fire)(void); } timer_t_;
+#define MAX_TIMERS 4
+static timer_t_ timers[MAX_TIMERS];
+static void (*pending_task)(void);
+void os_post(void (*t)(void)) { pending_task = t; }
+void os_start_timer(int i, long long period, int periodic, void (*fire)(void)) {
+    timers[i].deadline = period; timers[i].period = periodic ? period : 0;
+    timers[i].active = 1; timers[i].fire = fire;
+}
+void os_stop_timer(int i) { timers[i].active = 0; }
+void os_tick(long long now) {
+    int i;
+    for (i = 0; i < MAX_TIMERS; i++)
+        if (timers[i].active && timers[i].deadline <= now) {
+            if (timers[i].period) timers[i].deadline += timers[i].period;
+            else timers[i].active = 0;
+            timers[i].fire();
+        }
+    if (pending_task) { void (*t)(void) = pending_task; pending_task = 0; t(); }
+}
+)";
+
+const char* kNescBlink = R"(
+static uint8_t on;
+static void fired(void) { on ^= 1; Leds_led0Toggle(); }
+void app_booted(void) { os_start_timer(0, 250000, 1, fired); }
+void app_receive(long long w0, long long src) { (void)w0; (void)src; }
+)";
+
+const char* kNescSense = R"(
+static int16_t reading;
+static uint16_t count;
+static void fired(void) {
+    reading = (int16_t)Read_sensor();
+    count++;
+    Leds_set(reading / 128);
+}
+void app_booted(void) { os_start_timer(0, 100000, 1, fired); }
+void app_receive(long long w0, long long src) { (void)w0; (void)src; }
+)";
+
+const char* kNescClient = R"(
+static int16_t buffer[4];
+static uint8_t n;
+static uint8_t awaiting_ack;
+static uint16_t seq;
+static void send_batch(void) {
+    Radio_send_words(0, seq, buffer[0], buffer[1], buffer[2], buffer[3]);
+    awaiting_ack = 1;
+    os_start_timer(1, 1000000, 0, send_batch);   /* retry watchdog */
+}
+static void sample(void) {
+    if (n < 4) buffer[n++] = (int16_t)Read_sensor();
+    if (n == 4 && !awaiting_ack) send_batch();
+}
+void app_booted(void) { os_start_timer(0, 250000, 1, sample); }
+void app_receive(long long w0, long long src) {
+    (void)src;
+    if (awaiting_ack && w0 == seq) {
+        awaiting_ack = 0; n = 0; seq++;
+        os_stop_timer(1);
+    }
+}
+)";
+
+const char* kNescServer = R"(
+static uint32_t received;
+static uint16_t last_seq;
+static uint8_t hb;
+static void heartbeat(void) { hb ^= 1; Leds_led0Toggle(); }
+static void status(void) { Leds_set(received / 64); }
+void app_booted(void) {
+    os_start_timer(0, 500000, 1, heartbeat);
+    os_start_timer(1, 5000000, 1, status);
+}
+void app_receive(long long w0, long long src) {
+    received++;
+    last_seq = (uint16_t)w0;
+    Radio_send_words(src, w0, 0, 0, 0, 0);
+    Leds_set(received % 8);
+}
+)";
+
+}  // namespace
+
+int main() {
+    struct App {
+        const char* name;
+        const char* ceu;
+        const char* nesc;
+    };
+    const App apps[] = {
+        {"Blink", kCeuBlink, kNescBlink},
+        {"Sense", kCeuSense, kNescSense},
+        {"Client", kCeuClient, kNescClient},
+        {"Server", kCeuServer, kNescServer},
+    };
+
+    std::printf("== Table 1: Ceu vs nesC-style C — memory usage ==\n");
+    std::printf("(host cc -Os; ROM = .text, RAM = .data+.bss of the compiled app)\n\n");
+
+    // The fixed part of every Ceu image: the generated runtime with no
+    // application (the paper's ~4KB-ROM/100B-RAM footprint, here on the
+    // host ABI).
+    {
+        flat::CompiledProgram cp = flat::compile("await forever;", "empty");
+        cgen::CgenOptions opt;
+        opt.with_main = false;
+        opt.with_libc = false;
+        Sizes s = measure(cgen::emit_c(cp, opt), "ceu_empty");
+        std::printf("Ceu fixed runtime footprint (empty program): ROM %ld B, RAM %ld B\n\n",
+                    s.rom, s.ram);
+    }
+
+    std::printf("%-8s %-6s %10s %10s\n", "app", "lang", "ROM", "RAM");
+    std::printf("--------------------------------------\n");
+
+    long prev_diff_rom = -1;
+    bool shrinking = true;
+    for (const App& app : apps) {
+        flat::CompiledProgram cp =
+            flat::compile(std::string(kExterns) + app.ceu, app.name);
+        cgen::CgenOptions opt;
+        opt.with_main = false;
+        opt.with_libc = false;
+        opt.program_name = app.name;
+        Sizes ceu_s = measure(cgen::emit_c(cp, opt), std::string("ceu_") + app.name);
+        Sizes nesc_s = measure(std::string(kNescPrelude) + app.nesc,
+                               std::string("nesc_") + app.name);
+        if (!ceu_s.ok || !nesc_s.ok) return 1;
+        std::printf("%-8s %-6s %7ld B %7ld B\n", app.name, "nesC", nesc_s.rom,
+                    nesc_s.ram);
+        std::printf("%-8s %-6s %7ld B %7ld B\n", app.name, "Ceu", ceu_s.rom, ceu_s.ram);
+        long diff_rom = ceu_s.rom - nesc_s.rom;
+        long diff_ram = ceu_s.ram - nesc_s.ram;
+        std::printf("%-8s %-6s %7ld B %7ld B   (Ceu - nesC)\n", "", "diff", diff_rom,
+                    diff_ram);
+        double rel = nesc_s.rom > 0 ? 100.0 * static_cast<double>(diff_rom) /
+                                          static_cast<double>(nesc_s.rom)
+                                    : 0.0;
+        std::printf("%-8s %-6s %9.0f%%            (ROM overhead relative to nesC)\n\n",
+                    "", "", rel);
+        if (prev_diff_rom >= 0 && rel > 0) {
+            // Track the paper's qualitative claim via relative overhead.
+        }
+        prev_diff_rom = diff_rom;
+    }
+    std::printf("Paper's claim: the Ceu-minus-nesC difference is a roughly fixed\n"
+                "runtime cost, so it shrinks *relative to application size* as the\n"
+                "apps grow (Blink -> Server). Check the %% column above.\n");
+    (void)shrinking;
+    return 0;
+}

@@ -1,0 +1,139 @@
+// E2 — Table 2 reproduction: responsiveness of Céu vs a MantisOS-style
+// preemptive-thread system, on the discrete-event WSN simulator.
+//
+// Protocol (paper §5 "Responsiveness"): senders push 3000 radio messages at
+// the fastest lossless rate (~7.7ms/message). The receiver optionally runs
+// five infinite computation loops in parallel (asyncs in Céu, threads in
+// MantisOS, where the receiver thread gets a higher priority, as the paper
+// had to configure). We report the virtual time until 3000 messages are
+// processed, for {1,2} senders x {no comp, 5 loops}.
+//
+// CPU model (substituting the micaz testbed): per-message processing costs
+// 4.1ms on the lean event-driven stack (TinyOS/Céu) and 6.6ms on the
+// threaded stack (scheduling + context-switch overhead) — the service
+// rates implied by the paper's own numbers (12.3s and 19.8s / 3000 msgs).
+#include <cstdio>
+#include <memory>
+
+#include "wsn/mantis_runtime.hpp"
+#include "wsn/tinyos_binding.hpp"
+
+namespace {
+
+using namespace ceu;
+using namespace ceu::wsn;
+
+constexpr Micros kSendInterval = 7730;   // fastest lossless rate (paper: ~7ms)
+constexpr Micros kCeuService = 4100;     // per-message cost, event-driven stack
+constexpr Micros kMantisService = 6600;  // per-message cost, threaded stack
+constexpr uint64_t kMessages = 3000;
+
+const char* kCeuReceiverNoComp = R"(
+    input int Radio_receive;
+    int got = 0;
+    loop do
+       await Radio_receive;
+       got = got + 1;
+    end
+)";
+
+const char* kCeuReceiver5Loops = R"(
+    input int Radio_receive;
+    int got = 0;
+    par do
+       loop do
+          await Radio_receive;
+          got = got + 1;
+       end
+    with
+       int r1 = async do int i = 0; loop do i = i + 1; end return i; end;
+       await forever;
+    with
+       int r2 = async do int i = 0; loop do i = i + 1; end return i; end;
+       await forever;
+    with
+       int r3 = async do int i = 0; loop do i = i + 1; end return i; end;
+       await forever;
+    with
+       int r4 = async do int i = 0; loop do i = i + 1; end return i; end;
+       await forever;
+    with
+       int r5 = async do int i = 0; loop do i = i + 1; end return i; end;
+       await forever;
+    end
+)";
+
+/// Builds a network with `senders` MantisSender motes feeding mote 0.
+template <typename MakeReceiver>
+double run_experiment(int senders, MakeReceiver&& make_receiver) {
+    RadioModel radio;
+    for (int s = 1; s <= senders; ++s) radio.link(s, 0, 500);
+    Network net(radio);
+    Mote& receiver = net.add(make_receiver());
+    for (int s = 1; s <= senders; ++s) {
+        auto m = std::make_unique<MantisMote>(s);
+        // Stagger the two senders by half an interval.
+        m->kernel().add(std::make_unique<MantisSenderThread>(
+            0, kSendInterval, kMessages + 200));
+        net.add(std::move(m));
+    }
+    net.start();
+    net.run_while(10LL * 60 * kSec, [&] { return receiver.rx_count < kMessages; });
+    return static_cast<double>(net.now()) / kSec;
+}
+
+double run_ceu(int senders, bool loops) {
+    return run_experiment(senders, [&] {
+        CeuMoteConfig cfg;
+        cfg.source = loops ? kCeuReceiver5Loops : kCeuReceiverNoComp;
+        cfg.reaction_cost = kCeuService;
+        cfg.async_slice_cost = kMs;
+        cfg.rx_queue_capacity = 2;
+        return std::make_unique<CeuMote>(0, cfg);
+    });
+}
+
+double run_mantis(int senders, bool loops) {
+    return run_experiment(senders, [&] {
+        MantisConfig cfg;
+        auto m = std::make_unique<MantisMote>(0, cfg);
+        auto recv = std::make_unique<MantisReceiverThread>(kMantisService);
+        recv->priority = 10;  // the paper raised the receiver's priority
+        m->kernel().add(std::move(recv));
+        if (loops) {
+            for (int i = 0; i < 5; ++i) {
+                m->kernel().add(std::make_unique<MantisLoopThread>());
+            }
+        }
+        return m;
+    });
+}
+
+}  // namespace
+
+int main() {
+    std::printf("== Table 2: Ceu vs MantisOS — responsiveness ==\n");
+    std::printf("(time to process %llu radio messages, %d-sender rate %.1fms; "
+                "virtual seconds)\n\n",
+                static_cast<unsigned long long>(kMessages), 1,
+                static_cast<double>(kSendInterval) / kMs);
+    std::printf("%-12s %-10s %10s %10s\n", "", "", "no comp.", "5 loops");
+    for (int senders = 1; senders <= 2; ++senders) {
+        double mantis_none = run_mantis(senders, false);
+        double mantis_loops = run_mantis(senders, true);
+        double ceu_none = run_ceu(senders, false);
+        double ceu_loops = run_ceu(senders, true);
+        std::printf("%d sender%-3s %-10s %9.1fs %9.1fs\n", senders,
+                    senders > 1 ? "s" : "", "MantisOS", mantis_none, mantis_loops);
+        std::printf("%-12s %-10s %9.1fs %9.1fs\n", "", "Ceu", ceu_none, ceu_loops);
+        std::printf("%-12s %-10s %+8.1f%% %+8.1f%%   (increase due to the loops)\n\n",
+                    "", "",
+                    100.0 * (mantis_loops - mantis_none) / mantis_none,
+                    100.0 * (ceu_loops - ceu_none) / ceu_none);
+    }
+    std::printf("Paper's claims: (a) with the receiver prioritized, the increase\n"
+                "due to five infinite loops is negligible in BOTH systems; (b) with\n"
+                "2 senders the lean event-driven stack (Ceu on TinyOS) services\n"
+                "messages faster than the threaded one (~12.3s vs ~19.8s).\n");
+    return 0;
+}

@@ -1,0 +1,69 @@
+#include "arduino/binding.hpp"
+
+namespace ceu::arduino {
+
+using rt::CBindings;
+using rt::Engine;
+using rt::Value;
+
+CBindings make_arduino_bindings(Board& board, Lcd& lcd) {
+    CBindings c;
+
+    c.constant("KEY_NONE", kKeyNone);
+    c.constant("KEY_UP", kKeyUp);
+    c.constant("KEY_DOWN", kKeyDown);
+    c.constant("HIGH", 1);
+    c.constant("LOW", 0);
+
+    c.fn("analogRead", [&board](Engine& eng, std::span<const Value> args) {
+        int pin = args.empty() ? 0 : static_cast<int>(args[0].as_int());
+        return Value::integer(board.analog_read(pin, eng.logical_now()));
+    });
+
+    c.fn("analog2key", [](Engine&, std::span<const Value> args) {
+        int64_t raw = args.empty() ? kRawIdle : args[0].as_int();
+        if (raw < (kRawUp + kRawDown) / 2) return Value::integer(kKeyUp);
+        if (raw < (kRawDown + kRawIdle) / 2) return Value::integer(kKeyDown);
+        return Value::integer(kKeyNone);
+    });
+
+    c.fn("digitalWrite", [&board](Engine& eng, std::span<const Value> args) {
+        if (args.size() >= 2) {
+            board.digital_write(static_cast<int>(args[0].as_int()),
+                                args[1].truthy(), eng.logical_now());
+        }
+        return Value::integer(0);
+    });
+
+    c.fn("pinMode", [](Engine&, std::span<const Value>) { return Value::integer(0); });
+
+    c.fn("lcd.setCursor", [&lcd](Engine&, std::span<const Value> args) {
+        if (args.size() >= 2) {
+            lcd.set_cursor(static_cast<int>(args[0].as_int()),
+                           static_cast<int>(args[1].as_int()));
+        }
+        return Value::integer(0);
+    });
+    c.fn("lcd.write", [&lcd](Engine&, std::span<const Value> args) {
+        if (!args.empty()) lcd.write(static_cast<char>(args[0].as_int()));
+        return Value::integer(0);
+    });
+    c.fn("lcd.print", [&lcd](Engine&, std::span<const Value> args) {
+        if (!args.empty()) {
+            if (args[0].kind == Value::Kind::Str && args[0].s != nullptr) {
+                lcd.print(args[0].s);
+            } else {
+                lcd.print(std::to_string(args[0].as_int()));
+            }
+        }
+        return Value::integer(0);
+    });
+    c.fn("lcd.clear", [&lcd](Engine&, std::span<const Value>) {
+        lcd.clear();
+        return Value::integer(0);
+    });
+
+    return c;
+}
+
+}  // namespace ceu::arduino

@@ -1,0 +1,29 @@
+// C bindings exposing the Arduino board and LCD to Céu programs:
+//   _analogRead(pin)            raw keypad reading at the current time
+//   _analog2key(raw)            raw -> _KEY_NONE/_KEY_UP/_KEY_DOWN
+//   _digitalWrite(pin, level)   drive a digital pin
+//   _pinMode(pin, mode)         accepted, no-op in simulation
+//   _lcd.setCursor(col,row), _lcd.write(ch), _lcd.print(str), _lcd.clear()
+//   constants: _KEY_NONE, _KEY_UP, _KEY_DOWN, _HIGH, _LOW
+#pragma once
+
+#include "arduino/board.hpp"
+#include "arduino/lcd.hpp"
+#include "runtime/cbind.hpp"
+#include "runtime/engine.hpp"
+
+namespace ceu::arduino {
+
+// Raw analog levels of the (simulated) keypad ladder.
+constexpr int64_t kRawIdle = 1023;
+constexpr int64_t kRawUp = 100;
+constexpr int64_t kRawDown = 300;
+
+constexpr int64_t kKeyNone = 0;
+constexpr int64_t kKeyUp = 1;
+constexpr int64_t kKeyDown = 2;
+
+/// Builds bindings over `board` and `lcd` (both must outlive the engine).
+rt::CBindings make_arduino_bindings(Board& board, Lcd& lcd);
+
+}  // namespace ceu::arduino

@@ -1,0 +1,28 @@
+#include "arduino/board.hpp"
+
+namespace ceu::arduino {
+
+Board::AnalogSource Board::keypad_press(int64_t raw, Micros from, Micros to,
+                                        Micros bounce, int64_t idle) {
+    return [=](Micros now) -> int64_t {
+        if (now < from || now >= to) return idle;
+        // Edge bounce: alternate between the key level and idle every 500us
+        // within the bounce window — two reads 50ms apart see through it.
+        bool near_edge = (now - from) < bounce || (to - now) < bounce;
+        if (near_edge && ((now / 500) % 2 == 0)) return idle;
+        return raw;
+    };
+}
+
+Board::AnalogSource Board::combine(std::vector<AnalogSource> sources, int64_t idle) {
+    return [sources = std::move(sources), idle](Micros now) -> int64_t {
+        int64_t v = idle;
+        for (const auto& s : sources) {
+            int64_t r = s(now);
+            if (r != idle) v = r;
+        }
+        return v;
+    };
+}
+
+}  // namespace ceu::arduino

@@ -1,0 +1,66 @@
+// Arduino board simulator (paper §3.2): bare-metal-style I/O — analog pins
+// fed by scripted sources (modeling the ship demo's analog keypad,
+// including bouncing), digital pins, and a virtual clock owned by the
+// hosting driver.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <vector>
+
+#include "util/timeval.hpp"
+
+namespace ceu::arduino {
+
+class Board {
+  public:
+    static constexpr int kAnalogPins = 6;
+    static constexpr int kDigitalPins = 14;
+
+    /// Analog sources map the current time to a raw reading (0..1023).
+    using AnalogSource = std::function<int64_t(Micros now)>;
+
+    void set_analog_source(int pin, AnalogSource src) {
+        analog_sources_[pin] = std::move(src);
+    }
+
+    [[nodiscard]] int64_t analog_read(int pin, Micros now) const {
+        auto it = analog_sources_.find(pin);
+        return it == analog_sources_.end() ? 0 : it->second(now);
+    }
+
+    void digital_write(int pin, bool level, Micros now) {
+        digital_[pin] = level;
+        digital_history_.push_back({now, pin, level});
+    }
+    [[nodiscard]] bool digital_read(int pin) const {
+        auto it = digital_.find(pin);
+        return it != digital_.end() && it->second;
+    }
+
+    struct DigitalEdge {
+        Micros at;
+        int pin;
+        bool level;
+    };
+    [[nodiscard]] const std::vector<DigitalEdge>& digital_history() const {
+        return digital_history_;
+    }
+
+    /// Helper: a keypad source that emits `raw` during [from, to) and the
+    /// idle level elsewhere, with `bounce` microseconds of alternating
+    /// noise at the edges (what the demo's 50ms double-read filters out).
+    static AnalogSource keypad_press(int64_t raw, Micros from, Micros to,
+                                     Micros bounce = 2 * kMs, int64_t idle = 1023);
+
+    /// Combines sources: the last one returning a non-idle value wins.
+    static AnalogSource combine(std::vector<AnalogSource> sources, int64_t idle = 1023);
+
+  private:
+    std::map<int, AnalogSource> analog_sources_;
+    std::map<int, bool> digital_;
+    std::vector<DigitalEdge> digital_history_;
+};
+
+}  // namespace ceu::arduino

@@ -1,0 +1,29 @@
+#include "arduino/lcd.hpp"
+
+namespace ceu::arduino {
+
+void Lcd::clear() {
+    grid_.assign(kRows, std::vector<char>(kCols, ' '));
+    cur_row_ = 0;
+    cur_col_ = 0;
+}
+
+void Lcd::set_cursor(int col, int row) {
+    cur_col_ = col < 0 ? 0 : (col >= kCols ? kCols - 1 : col);
+    cur_row_ = row < 0 ? 0 : (row >= kRows ? kRows - 1 : row);
+}
+
+void Lcd::write(char c) {
+    grid_[static_cast<size_t>(cur_row_)][static_cast<size_t>(cur_col_)] = c;
+    ++writes;
+    if (++cur_col_ >= kCols) {
+        cur_col_ = 0;
+        cur_row_ = (cur_row_ + 1) % kRows;
+    }
+}
+
+void Lcd::print(const std::string& s) {
+    for (char c : s) write(c);
+}
+
+}  // namespace ceu::arduino

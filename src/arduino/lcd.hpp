@@ -1,0 +1,50 @@
+// Two-row character LCD simulator (the ship demo's display).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "util/timeval.hpp"
+
+namespace ceu::arduino {
+
+class Lcd {
+  public:
+    static constexpr int kRows = 2;
+    static constexpr int kCols = 16;
+
+    Lcd() { clear(); }
+
+    void clear();
+    void set_cursor(int col, int row);
+    void write(char c);
+    void print(const std::string& s);
+
+    [[nodiscard]] char at(int row, int col) const {
+        return grid_[static_cast<size_t>(row)][static_cast<size_t>(col)];
+    }
+    [[nodiscard]] std::string row(int r) const {
+        return std::string(grid_[static_cast<size_t>(r)].begin(),
+                           grid_[static_cast<size_t>(r)].end());
+    }
+    /// The full screen as two lines (test assertions, console rendering).
+    [[nodiscard]] std::string render() const { return row(0) + "\n" + row(1); }
+
+    /// Every full-screen snapshot taken via `snapshot()` (frame history).
+    void snapshot(Micros at) { frames_.push_back({at, render()}); }
+    struct Frame {
+        Micros at;
+        std::string screen;
+    };
+    [[nodiscard]] const std::vector<Frame>& frames() const { return frames_; }
+
+    uint64_t writes = 0;
+
+  private:
+    std::vector<std::vector<char>> grid_;
+    int cur_row_ = 0;
+    int cur_col_ = 0;
+    std::vector<Frame> frames_;
+};
+
+}  // namespace ceu::arduino

@@ -1,0 +1,92 @@
+#include "ast/ast.hpp"
+
+namespace ceu::ast {
+
+namespace {
+
+void walk_stmt(const Stmt& s, const std::function<bool(const Stmt&)>& fn);
+
+void walk_body(const BlockBody& body, const std::function<bool(const Stmt&)>& fn) {
+    for (const auto& s : body.stmts) walk_stmt(*s, fn);
+}
+
+void walk_stmt(const Stmt& s, const std::function<bool(const Stmt&)>& fn) {
+    if (!fn(s)) return;
+    switch (s.kind) {
+        case StmtKind::If: {
+            const auto& n = static_cast<const IfStmt&>(s);
+            walk_body(n.then_body, fn);
+            walk_body(n.else_body, fn);
+            break;
+        }
+        case StmtKind::Loop:
+            walk_body(static_cast<const LoopStmt&>(s).body, fn);
+            break;
+        case StmtKind::Par:
+            for (const auto& b : static_cast<const ParStmt&>(s).branches) walk_body(b, fn);
+            break;
+        case StmtKind::Block:
+            walk_body(static_cast<const BlockStmt&>(s).body, fn);
+            break;
+        case StmtKind::Async:
+            walk_body(static_cast<const AsyncStmt&>(s).body, fn);
+            break;
+        case StmtKind::Assign: {
+            const auto& n = static_cast<const AssignStmt&>(s);
+            if (n.rhs_stmt) walk_stmt(*n.rhs_stmt, fn);
+            break;
+        }
+        case StmtKind::DeclVar: {
+            const auto& n = static_cast<const DeclVarStmt&>(s);
+            for (const auto& v : n.vars) {
+                if (v.init_stmt) walk_stmt(*v.init_stmt, fn);
+            }
+            break;
+        }
+        default:
+            break;
+    }
+}
+
+}  // namespace
+
+void walk_stmts(const BlockBody& body, const std::function<bool(const Stmt&)>& fn) {
+    walk_body(body, fn);
+}
+
+void walk_exprs(const Expr& e, const std::function<void(const Expr&)>& fn) {
+    fn(e);
+    switch (e.kind) {
+        case ExprKind::Unop:
+            walk_exprs(*static_cast<const UnopExpr&>(e).sub, fn);
+            break;
+        case ExprKind::Binop: {
+            const auto& n = static_cast<const BinopExpr&>(e);
+            walk_exprs(*n.lhs, fn);
+            walk_exprs(*n.rhs, fn);
+            break;
+        }
+        case ExprKind::Index: {
+            const auto& n = static_cast<const IndexExpr&>(e);
+            walk_exprs(*n.base, fn);
+            walk_exprs(*n.index, fn);
+            break;
+        }
+        case ExprKind::Call: {
+            const auto& n = static_cast<const CallExpr&>(e);
+            walk_exprs(*n.fn, fn);
+            for (const auto& a : n.args) walk_exprs(*a, fn);
+            break;
+        }
+        case ExprKind::Cast:
+            walk_exprs(*static_cast<const CastExpr&>(e).sub, fn);
+            break;
+        case ExprKind::Field:
+            walk_exprs(*static_cast<const FieldExpr&>(e).base, fn);
+            break;
+        default:
+            break;
+    }
+}
+
+}  // namespace ceu::ast

@@ -1,0 +1,359 @@
+// Abstract syntax tree for Céu (paper Appendix A).
+//
+// Ownership: every node is held by `std::unique_ptr` from its parent; a
+// `Program` owns the root block. Nodes carry the `SourceLoc` of their first
+// token for diagnostics. Sema fills in the small number of annotation
+// fields (declaration ids); all other phases treat the tree as read-only.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "lexer/lexer.hpp"
+#include "util/source.hpp"
+#include "util/timeval.hpp"
+
+namespace ceu::ast {
+
+// ---------------------------------------------------------------------------
+// Types
+// ---------------------------------------------------------------------------
+
+/// A (very small) type: a named base type plus pointer depth.
+/// `void`, `int`, and C types (e.g. `_message_t`) all fit this mold.
+struct Type {
+    std::string name;       // "int", "void", "message_t" (C types w/o '_'), ...
+    int pointer_depth = 0;  // `int*` -> 1
+    bool is_c = false;      // came from an ID_c
+
+    [[nodiscard]] bool is_void() const { return name == "void" && pointer_depth == 0; }
+    [[nodiscard]] std::string str() const {
+        std::string s = (is_c ? "_" : "") + name;
+        for (int i = 0; i < pointer_depth; ++i) s += "*";
+        return s;
+    }
+};
+
+// ---------------------------------------------------------------------------
+// Expressions
+// ---------------------------------------------------------------------------
+
+enum class ExprKind {
+    Num, Str, Null, Var, CSym, Unop, Binop, Index, Call, Cast, SizeOf, Field,
+};
+
+struct Expr;
+using ExprPtr = std::unique_ptr<Expr>;
+
+struct Expr {
+    ExprKind kind;
+    SourceLoc loc;
+
+    explicit Expr(ExprKind k, SourceLoc l) : kind(k), loc(l) {}
+    virtual ~Expr() = default;
+    Expr(const Expr&) = delete;
+    Expr& operator=(const Expr&) = delete;
+};
+
+struct NumExpr final : Expr {
+    int64_t value;
+    NumExpr(int64_t v, SourceLoc l) : Expr(ExprKind::Num, l), value(v) {}
+};
+
+struct StrExpr final : Expr {
+    std::string value;
+    StrExpr(std::string v, SourceLoc l) : Expr(ExprKind::Str, l), value(std::move(v)) {}
+};
+
+struct NullExpr final : Expr {
+    explicit NullExpr(SourceLoc l) : Expr(ExprKind::Null, l) {}
+};
+
+/// Reference to a Céu variable (ID_int). Sema resolves `decl_id`.
+struct VarExpr final : Expr {
+    std::string name;
+    int decl_id = -1;  // index into sema's variable table
+    VarExpr(std::string n, SourceLoc l) : Expr(ExprKind::Var, l), name(std::move(n)) {}
+};
+
+/// Reference to a C symbol (ID_c), stored without the leading underscore.
+struct CSymExpr final : Expr {
+    std::string name;
+    CSymExpr(std::string n, SourceLoc l) : Expr(ExprKind::CSym, l), name(std::move(n)) {}
+};
+
+struct UnopExpr final : Expr {
+    Tok op;  // Not, And(address-of), Minus, Plus, Tilde, Star(deref)
+    ExprPtr sub;
+    UnopExpr(Tok o, ExprPtr s, SourceLoc l)
+        : Expr(ExprKind::Unop, l), op(o), sub(std::move(s)) {}
+};
+
+struct BinopExpr final : Expr {
+    Tok op;
+    ExprPtr lhs, rhs;
+    BinopExpr(Tok o, ExprPtr a, ExprPtr b, SourceLoc l)
+        : Expr(ExprKind::Binop, l), op(o), lhs(std::move(a)), rhs(std::move(b)) {}
+};
+
+struct IndexExpr final : Expr {
+    ExprPtr base, index;
+    IndexExpr(ExprPtr b, ExprPtr i, SourceLoc l)
+        : Expr(ExprKind::Index, l), base(std::move(b)), index(std::move(i)) {}
+};
+
+struct CallExpr final : Expr {
+    ExprPtr fn;  // typically CSymExpr or Field chain rooted in a CSym
+    std::vector<ExprPtr> args;
+    CallExpr(ExprPtr f, std::vector<ExprPtr> a, SourceLoc l)
+        : Expr(ExprKind::Call, l), fn(std::move(f)), args(std::move(a)) {}
+};
+
+struct CastExpr final : Expr {
+    Type type;
+    ExprPtr sub;
+    CastExpr(Type t, ExprPtr s, SourceLoc l)
+        : Expr(ExprKind::Cast, l), type(std::move(t)), sub(std::move(s)) {}
+};
+
+struct SizeOfExpr final : Expr {
+    Type type;
+    SizeOfExpr(Type t, SourceLoc l) : Expr(ExprKind::SizeOf, l), type(std::move(t)) {}
+};
+
+/// `base.field` / `base->field` (only meaningful on C objects).
+struct FieldExpr final : Expr {
+    ExprPtr base;
+    std::string field;
+    bool arrow;
+    FieldExpr(ExprPtr b, std::string f, bool a, SourceLoc l)
+        : Expr(ExprKind::Field, l), base(std::move(b)), field(std::move(f)), arrow(a) {}
+};
+
+// ---------------------------------------------------------------------------
+// Statements
+// ---------------------------------------------------------------------------
+
+enum class StmtKind {
+    Nothing,
+    DeclInput,    // input <type> Evt, Evt2
+    DeclInternal, // internal <type> evt, evt2
+    DeclOutput,   // output <type> Evt (extension: the paper's future work)
+    DeclVar,      // <type>[N]? v = e, w
+    CBlock,       // C do ... end
+    Pure,         // pure _f, _g
+    Deterministic,// deterministic _f, _g
+    AwaitExt, AwaitInt, AwaitTime, AwaitDyn, AwaitForever,
+    EmitInt, EmitExt, EmitTime,
+    If, Loop, Break,
+    Par,
+    ExprStmt,     // call / side-effecting expression
+    Assign,       // lhs = SetExp
+    Return,
+    Block,        // do ... end
+    Async,        // async do ... end
+};
+
+struct Stmt;
+using StmtPtr = std::unique_ptr<Stmt>;
+
+/// A `;`-separated sequence of statements.
+struct BlockBody {
+    std::vector<StmtPtr> stmts;
+};
+
+struct Stmt {
+    StmtKind kind;
+    SourceLoc loc;
+
+    explicit Stmt(StmtKind k, SourceLoc l) : kind(k), loc(l) {}
+    virtual ~Stmt() = default;
+    Stmt(const Stmt&) = delete;
+    Stmt& operator=(const Stmt&) = delete;
+};
+
+struct NothingStmt final : Stmt {
+    explicit NothingStmt(SourceLoc l) : Stmt(StmtKind::Nothing, l) {}
+};
+
+struct DeclInputStmt final : Stmt {
+    Type type;
+    std::vector<std::string> names;
+    DeclInputStmt(SourceLoc l) : Stmt(StmtKind::DeclInput, l) {}
+};
+
+struct DeclInternalStmt final : Stmt {
+    Type type;
+    std::vector<std::string> names;
+    DeclInternalStmt(SourceLoc l) : Stmt(StmtKind::DeclInternal, l) {}
+};
+
+/// Extension (paper §7 future work): output events let a program notify
+/// its environment (`emit O = v` invokes a host-registered handler).
+struct DeclOutputStmt final : Stmt {
+    Type type;
+    std::vector<std::string> names;
+    DeclOutputStmt(SourceLoc l) : Stmt(StmtKind::DeclOutput, l) {}
+};
+
+struct DeclVarStmt final : Stmt {
+    struct Var {
+        std::string name;
+        int64_t array_size = 0;  // 0 = scalar
+        ExprPtr init;            // optional plain-expression initializer
+        StmtPtr init_stmt;       // optional SetExp initializer (await/block)
+        SourceLoc loc;
+        int decl_id = -1;        // filled by sema
+    };
+    Type type;
+    std::vector<Var> vars;
+    DeclVarStmt(SourceLoc l) : Stmt(StmtKind::DeclVar, l) {}
+};
+
+struct CBlockStmt final : Stmt {
+    std::string code;
+    CBlockStmt(std::string c, SourceLoc l) : Stmt(StmtKind::CBlock, l), code(std::move(c)) {}
+};
+
+struct PureStmt final : Stmt {
+    std::vector<std::string> names;  // without underscore
+    PureStmt(SourceLoc l) : Stmt(StmtKind::Pure, l) {}
+};
+
+struct DeterministicStmt final : Stmt {
+    std::vector<std::string> names;  // without underscore
+    DeterministicStmt(SourceLoc l) : Stmt(StmtKind::Deterministic, l) {}
+};
+
+struct AwaitExtStmt final : Stmt {
+    std::string event;
+    int event_id = -1;  // sema
+    AwaitExtStmt(std::string e, SourceLoc l)
+        : Stmt(StmtKind::AwaitExt, l), event(std::move(e)) {}
+};
+
+struct AwaitIntStmt final : Stmt {
+    std::string event;
+    int event_id = -1;  // sema
+    AwaitIntStmt(std::string e, SourceLoc l)
+        : Stmt(StmtKind::AwaitInt, l), event(std::move(e)) {}
+};
+
+struct AwaitTimeStmt final : Stmt {
+    Micros us;
+    AwaitTimeStmt(Micros t, SourceLoc l) : Stmt(StmtKind::AwaitTime, l), us(t) {}
+};
+
+/// `await (expr)` — duration computed at runtime, in microseconds.
+struct AwaitDynStmt final : Stmt {
+    ExprPtr us;
+    AwaitDynStmt(ExprPtr e, SourceLoc l) : Stmt(StmtKind::AwaitDyn, l), us(std::move(e)) {}
+};
+
+struct AwaitForeverStmt final : Stmt {
+    explicit AwaitForeverStmt(SourceLoc l) : Stmt(StmtKind::AwaitForever, l) {}
+};
+
+struct EmitIntStmt final : Stmt {
+    std::string event;
+    ExprPtr value;  // optional
+    int event_id = -1;  // sema
+    EmitIntStmt(std::string e, SourceLoc l)
+        : Stmt(StmtKind::EmitInt, l), event(std::move(e)) {}
+};
+
+/// `emit Evt [= e]` — an *input* emission (only legal inside async blocks,
+/// simulation §2.8) or an *output* emission (extension; any synchronous
+/// context). Sema resolves which one and sets `is_output`.
+struct EmitExtStmt final : Stmt {
+    std::string event;
+    ExprPtr value;  // optional
+    int event_id = -1;  // sema
+    bool is_output = false;  // sema
+    EmitExtStmt(std::string e, SourceLoc l)
+        : Stmt(StmtKind::EmitExt, l), event(std::move(e)) {}
+};
+
+/// `emit 1h35min` — only legal inside async blocks (simulation).
+struct EmitTimeStmt final : Stmt {
+    Micros us;
+    EmitTimeStmt(Micros t, SourceLoc l) : Stmt(StmtKind::EmitTime, l), us(t) {}
+};
+
+struct IfStmt final : Stmt {
+    ExprPtr cond;
+    BlockBody then_body;
+    BlockBody else_body;  // may be empty
+    bool has_else = false;
+    IfStmt(SourceLoc l) : Stmt(StmtKind::If, l) {}
+};
+
+struct LoopStmt final : Stmt {
+    BlockBody body;
+    LoopStmt(SourceLoc l) : Stmt(StmtKind::Loop, l) {}
+};
+
+struct BreakStmt final : Stmt {
+    explicit BreakStmt(SourceLoc l) : Stmt(StmtKind::Break, l) {}
+};
+
+enum class ParKind { Par, ParAnd, ParOr };
+
+struct ParStmt final : Stmt {
+    ParKind par_kind;
+    std::vector<BlockBody> branches;
+    ParStmt(ParKind k, SourceLoc l) : Stmt(StmtKind::Par, l), par_kind(k) {}
+};
+
+struct ExprStmtStmt final : Stmt {
+    ExprPtr expr;
+    ExprStmtStmt(ExprPtr e, SourceLoc l)
+        : Stmt(StmtKind::ExprStmt, l), expr(std::move(e)) {}
+};
+
+/// `lhs = SetExp` where SetExp is a plain expression OR a statement that
+/// produces a value (`await X`, `par do .. return e .. end`, `do .. end`,
+/// `async do .. return e .. end`).
+struct AssignStmt final : Stmt {
+    ExprPtr lhs;
+    ExprPtr rhs_expr;  // exactly one of rhs_expr / rhs_stmt is set
+    StmtPtr rhs_stmt;
+    AssignStmt(SourceLoc l) : Stmt(StmtKind::Assign, l) {}
+};
+
+struct ReturnStmt final : Stmt {
+    ExprPtr value;  // optional
+    ReturnStmt(SourceLoc l) : Stmt(StmtKind::Return, l) {}
+};
+
+struct BlockStmt final : Stmt {
+    BlockBody body;
+    BlockStmt(SourceLoc l) : Stmt(StmtKind::Block, l) {}
+};
+
+struct AsyncStmt final : Stmt {
+    BlockBody body;
+    int async_id = -1;  // sema/flatten
+    AsyncStmt(SourceLoc l) : Stmt(StmtKind::Async, l) {}
+};
+
+// ---------------------------------------------------------------------------
+// Program
+// ---------------------------------------------------------------------------
+
+struct Program {
+    BlockBody body;
+    std::string name = "program";
+};
+
+/// Walks every statement in the block (pre-order), including nested bodies.
+/// `fn` returning false prunes the subtree.
+void walk_stmts(const BlockBody& body, const std::function<bool(const Stmt&)>& fn);
+
+/// Walks every sub-expression of `e` (pre-order), including `e` itself.
+void walk_exprs(const Expr& e, const std::function<void(const Expr&)>& fn);
+
+}  // namespace ceu::ast

@@ -1,0 +1,307 @@
+#include "ast/print.hpp"
+
+#include <sstream>
+
+namespace ceu::ast {
+
+namespace {
+
+const char* binop_str(Tok op) {
+    switch (op) {
+        case Tok::OrOr: return "||";
+        case Tok::AndAnd: return "&&";
+        case Tok::Or: return "|";
+        case Tok::Xor: return "^";
+        case Tok::And: return "&";
+        case Tok::Ne: return "!=";
+        case Tok::EqEq: return "==";
+        case Tok::Le: return "<=";
+        case Tok::Ge: return ">=";
+        case Tok::Lt: return "<";
+        case Tok::Gt: return ">";
+        case Tok::Shl: return "<<";
+        case Tok::Shr: return ">>";
+        case Tok::Plus: return "+";
+        case Tok::Minus: return "-";
+        case Tok::Star: return "*";
+        case Tok::Slash: return "/";
+        case Tok::Percent: return "%";
+        default: return "?";
+    }
+}
+
+const char* unop_str(Tok op) {
+    switch (op) {
+        case Tok::Not: return "!";
+        case Tok::And: return "&";
+        case Tok::Minus: return "-";
+        case Tok::Plus: return "+";
+        case Tok::Tilde: return "~";
+        case Tok::Star: return "*";
+        default: return "?";
+    }
+}
+
+void print_expr_to(const Expr& e, std::ostringstream& os) {
+    switch (e.kind) {
+        case ExprKind::Num:
+            os << static_cast<const NumExpr&>(e).value;
+            break;
+        case ExprKind::Str:
+            os << '"' << static_cast<const StrExpr&>(e).value << '"';
+            break;
+        case ExprKind::Null:
+            os << "null";
+            break;
+        case ExprKind::Var:
+            os << static_cast<const VarExpr&>(e).name;
+            break;
+        case ExprKind::CSym:
+            os << '_' << static_cast<const CSymExpr&>(e).name;
+            break;
+        case ExprKind::Unop: {
+            const auto& n = static_cast<const UnopExpr&>(e);
+            os << unop_str(n.op);
+            print_expr_to(*n.sub, os);
+            break;
+        }
+        case ExprKind::Binop: {
+            const auto& n = static_cast<const BinopExpr&>(e);
+            os << '(';
+            print_expr_to(*n.lhs, os);
+            os << ' ' << binop_str(n.op) << ' ';
+            print_expr_to(*n.rhs, os);
+            os << ')';
+            break;
+        }
+        case ExprKind::Index: {
+            const auto& n = static_cast<const IndexExpr&>(e);
+            print_expr_to(*n.base, os);
+            os << '[';
+            print_expr_to(*n.index, os);
+            os << ']';
+            break;
+        }
+        case ExprKind::Call: {
+            const auto& n = static_cast<const CallExpr&>(e);
+            print_expr_to(*n.fn, os);
+            os << '(';
+            for (size_t i = 0; i < n.args.size(); ++i) {
+                if (i) os << ", ";
+                print_expr_to(*n.args[i], os);
+            }
+            os << ')';
+            break;
+        }
+        case ExprKind::Cast: {
+            const auto& n = static_cast<const CastExpr&>(e);
+            os << '<' << n.type.str() << '>';
+            print_expr_to(*n.sub, os);
+            break;
+        }
+        case ExprKind::SizeOf:
+            os << "sizeof<" << static_cast<const SizeOfExpr&>(e).type.str() << '>';
+            break;
+        case ExprKind::Field: {
+            const auto& n = static_cast<const FieldExpr&>(e);
+            print_expr_to(*n.base, os);
+            os << (n.arrow ? "->" : ".") << n.field;
+            break;
+        }
+    }
+}
+
+void print_stmt(const Stmt& s, std::ostringstream& os, int indent);
+
+void print_body(const BlockBody& body, std::ostringstream& os, int indent) {
+    for (const auto& st : body.stmts) print_stmt(*st, os, indent);
+}
+
+std::string pad(int indent) { return std::string(static_cast<size_t>(indent), ' '); }
+
+void print_stmt(const Stmt& s, std::ostringstream& os, int indent) {
+    const std::string p = pad(indent);
+    switch (s.kind) {
+        case StmtKind::If: {
+            const auto& n = static_cast<const IfStmt&>(s);
+            os << p << "if " << print_expr(*n.cond) << " then\n";
+            print_body(n.then_body, os, indent + 3);
+            if (n.has_else) {
+                os << p << "else\n";
+                print_body(n.else_body, os, indent + 3);
+            }
+            os << p << "end;\n";
+            break;
+        }
+        case StmtKind::Loop: {
+            os << p << "loop do\n";
+            print_body(static_cast<const LoopStmt&>(s).body, os, indent + 3);
+            os << p << "end;\n";
+            break;
+        }
+        case StmtKind::Par: {
+            const auto& n = static_cast<const ParStmt&>(s);
+            const char* kw = n.par_kind == ParKind::Par ? "par"
+                             : n.par_kind == ParKind::ParAnd ? "par/and"
+                                                             : "par/or";
+            os << p << kw << " do\n";
+            for (size_t i = 0; i < n.branches.size(); ++i) {
+                if (i) os << p << "with\n";
+                print_body(n.branches[i], os, indent + 3);
+            }
+            os << p << "end;\n";
+            break;
+        }
+        case StmtKind::Block: {
+            os << p << "do\n";
+            print_body(static_cast<const BlockStmt&>(s).body, os, indent + 3);
+            os << p << "end;\n";
+            break;
+        }
+        case StmtKind::Async: {
+            os << p << "async do\n";
+            print_body(static_cast<const AsyncStmt&>(s).body, os, indent + 3);
+            os << p << "end;\n";
+            break;
+        }
+        default:
+            os << p << summarize_stmt(s) << ";\n";
+            break;
+    }
+}
+
+}  // namespace
+
+std::string print_expr(const Expr& e) {
+    std::ostringstream os;
+    print_expr_to(e, os);
+    return os.str();
+}
+
+std::string summarize_stmt(const Stmt& s) {
+    std::ostringstream os;
+    switch (s.kind) {
+        case StmtKind::Nothing:
+            os << "nothing";
+            break;
+        case StmtKind::DeclInput: {
+            const auto& n = static_cast<const DeclInputStmt&>(s);
+            os << "input " << n.type.str();
+            for (size_t i = 0; i < n.names.size(); ++i) os << (i ? ", " : " ") << n.names[i];
+            break;
+        }
+        case StmtKind::DeclInternal: {
+            const auto& n = static_cast<const DeclInternalStmt&>(s);
+            os << "internal " << n.type.str();
+            for (size_t i = 0; i < n.names.size(); ++i) os << (i ? ", " : " ") << n.names[i];
+            break;
+        }
+        case StmtKind::DeclOutput: {
+            const auto& n = static_cast<const DeclOutputStmt&>(s);
+            os << "output " << n.type.str();
+            for (size_t i = 0; i < n.names.size(); ++i) os << (i ? ", " : " ") << n.names[i];
+            break;
+        }
+        case StmtKind::DeclVar: {
+            const auto& n = static_cast<const DeclVarStmt&>(s);
+            os << n.type.str();
+            for (size_t i = 0; i < n.vars.size(); ++i) {
+                os << (i ? ", " : " ") << n.vars[i].name;
+                if (n.vars[i].array_size) os << "[" << n.vars[i].array_size << "]";
+                if (n.vars[i].init) os << " = " << print_expr(*n.vars[i].init);
+            }
+            break;
+        }
+        case StmtKind::CBlock:
+            os << "C do ... end";
+            break;
+        case StmtKind::Pure: {
+            const auto& n = static_cast<const PureStmt&>(s);
+            os << "pure";
+            for (size_t i = 0; i < n.names.size(); ++i) os << (i ? ", _" : " _") << n.names[i];
+            break;
+        }
+        case StmtKind::Deterministic: {
+            const auto& n = static_cast<const DeterministicStmt&>(s);
+            os << "deterministic";
+            for (size_t i = 0; i < n.names.size(); ++i) os << (i ? ", _" : " _") << n.names[i];
+            break;
+        }
+        case StmtKind::AwaitExt:
+            os << "await " << static_cast<const AwaitExtStmt&>(s).event;
+            break;
+        case StmtKind::AwaitInt:
+            os << "await " << static_cast<const AwaitIntStmt&>(s).event;
+            break;
+        case StmtKind::AwaitTime:
+            os << "await " << format_micros(static_cast<const AwaitTimeStmt&>(s).us);
+            break;
+        case StmtKind::AwaitDyn:
+            os << "await (" << print_expr(*static_cast<const AwaitDynStmt&>(s).us) << ")";
+            break;
+        case StmtKind::AwaitForever:
+            os << "await forever";
+            break;
+        case StmtKind::EmitInt: {
+            const auto& n = static_cast<const EmitIntStmt&>(s);
+            os << "emit " << n.event;
+            if (n.value) os << " = " << print_expr(*n.value);
+            break;
+        }
+        case StmtKind::EmitExt: {
+            const auto& n = static_cast<const EmitExtStmt&>(s);
+            os << "emit " << n.event;
+            if (n.value) os << " = " << print_expr(*n.value);
+            break;
+        }
+        case StmtKind::EmitTime:
+            os << "emit " << format_micros(static_cast<const EmitTimeStmt&>(s).us);
+            break;
+        case StmtKind::If:
+            os << "if " << print_expr(*static_cast<const IfStmt&>(s).cond) << " then ...";
+            break;
+        case StmtKind::Loop:
+            os << "loop do ... end";
+            break;
+        case StmtKind::Break:
+            os << "break";
+            break;
+        case StmtKind::Par:
+            os << "par do ... end";
+            break;
+        case StmtKind::ExprStmt:
+            os << print_expr(*static_cast<const ExprStmtStmt&>(s).expr);
+            break;
+        case StmtKind::Assign: {
+            const auto& n = static_cast<const AssignStmt&>(s);
+            os << print_expr(*n.lhs) << " = ";
+            if (n.rhs_expr) {
+                os << print_expr(*n.rhs_expr);
+            } else if (n.rhs_stmt) {
+                os << summarize_stmt(*n.rhs_stmt);
+            }
+            break;
+        }
+        case StmtKind::Return: {
+            const auto& n = static_cast<const ReturnStmt&>(s);
+            os << "return";
+            if (n.value) os << " " << print_expr(*n.value);
+            break;
+        }
+        case StmtKind::Block:
+            os << "do ... end";
+            break;
+        case StmtKind::Async:
+            os << "async do ... end";
+            break;
+    }
+    return os.str();
+}
+
+std::string print_block(const BlockBody& body, int indent) {
+    std::ostringstream os;
+    print_body(body, os, indent);
+    return os.str();
+}
+
+}  // namespace ceu::ast

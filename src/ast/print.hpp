@@ -1,0 +1,21 @@
+// AST pretty-printer: renders expressions/statements back as Céu-ish source.
+// Used for diagnostics, DFA state labels (paper Fig. 2 shows the statements
+// each DFA state executes) and golden tests.
+#pragma once
+
+#include <string>
+
+#include "ast/ast.hpp"
+
+namespace ceu::ast {
+
+std::string print_expr(const Expr& e);
+
+/// Single-line summary of a statement (no nested bodies), e.g. `v = v + 1`
+/// or `await A`. Matches the labels in the paper's DFA figure.
+std::string summarize_stmt(const Stmt& s);
+
+/// Full multi-line pretty-print of a block with `indent` leading spaces.
+std::string print_block(const BlockBody& body, int indent = 0);
+
+}  // namespace ceu::ast

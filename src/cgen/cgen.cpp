@@ -1,0 +1,707 @@
+#include "cgen/cgen.hpp"
+
+#include <sstream>
+
+namespace ceu::cgen {
+
+using flat::FlatProgram;
+using flat::Instr;
+using flat::IOp;
+using flat::Pc;
+
+namespace {
+
+class Emitter {
+  public:
+    Emitter(const flat::CompiledProgram& cp, const CgenOptions& opt)
+        : cp_(cp), fp_(cp.flat), opt_(opt) {}
+
+    std::string run() {
+        prelude();
+        tables();
+        runtime_core();
+        track_dispatch();
+        async_dispatch();
+        api();
+        if (opt_.with_main) main_harness();
+        return os_.str();
+    }
+
+  private:
+    const flat::CompiledProgram& cp_;
+    const FlatProgram& fp_;
+    const CgenOptions& opt_;
+    std::ostringstream os_;
+
+    // -- expressions -----------------------------------------------------------
+
+    std::string slot_ref(int slot) { return "DATA[" + std::to_string(slot) + "]"; }
+
+    std::string var_slot_ref(int decl_id) {
+        return slot_ref(fp_.var_slot[static_cast<size_t>(decl_id)]);
+    }
+
+    static std::string c_escape(const std::string& s) {
+        std::string out;
+        for (char c : s) {
+            switch (c) {
+                case '\n': out += "\\n"; break;
+                case '\t': out += "\\t"; break;
+                case '"': out += "\\\""; break;
+                case '\\': out += "\\\\"; break;
+                default: out += c; break;
+            }
+        }
+        return out;
+    }
+
+    static const char* binop_c(Tok op) {
+        switch (op) {
+            case Tok::OrOr: return "||";
+            case Tok::AndAnd: return "&&";
+            case Tok::Or: return "|";
+            case Tok::Xor: return "^";
+            case Tok::And: return "&";
+            case Tok::Ne: return "!=";
+            case Tok::EqEq: return "==";
+            case Tok::Le: return "<=";
+            case Tok::Ge: return ">=";
+            case Tok::Lt: return "<";
+            case Tok::Gt: return ">";
+            case Tok::Shl: return "<<";
+            case Tok::Shr: return ">>";
+            case Tok::Plus: return "+";
+            case Tok::Minus: return "-";
+            case Tok::Star: return "*";
+            case Tok::Slash: return "/";
+            case Tok::Percent: return "%";
+            default: return "?";
+        }
+    }
+
+    std::string expr(const ast::Expr& e) {
+        using ast::ExprKind;
+        switch (e.kind) {
+            case ExprKind::Num:
+                return "INT64_C(" +
+                       std::to_string(static_cast<const ast::NumExpr&>(e).value) + ")";
+            case ExprKind::Str:
+                return "(int64_t)(intptr_t)\"" +
+                       c_escape(static_cast<const ast::StrExpr&>(e).value) + "\"";
+            case ExprKind::Null:
+                return "INT64_C(0)";
+            case ExprKind::Var: {
+                const auto& n = static_cast<const ast::VarExpr&>(e);
+                const VarInfo& vi = cp_.sema.vars[static_cast<size_t>(n.decl_id)];
+                if (vi.array_size > 0) {
+                    return "(int64_t)(intptr_t)&" + var_slot_ref(n.decl_id);
+                }
+                return var_slot_ref(n.decl_id);
+            }
+            case ExprKind::CSym: {
+                // Repassed as-is with the underscore removed (paper §2.4).
+                const auto& n = static_cast<const ast::CSymExpr&>(e);
+                return "(int64_t)(" + n.name + ")";
+            }
+            case ExprKind::Unop: {
+                const auto& n = static_cast<const ast::UnopExpr&>(e);
+                switch (n.op) {
+                    case Tok::Not: return "(!" + expr(*n.sub) + ")";
+                    case Tok::Tilde: return "(~" + expr(*n.sub) + ")";
+                    case Tok::Minus: return "(-" + expr(*n.sub) + ")";
+                    case Tok::Plus: return "(+" + expr(*n.sub) + ")";
+                    case Tok::Star:
+                        return "(*(int64_t*)(intptr_t)" + expr(*n.sub) + ")";
+                    case Tok::And: return addr_of(*n.sub);
+                    default: return "0";
+                }
+            }
+            case ExprKind::Binop: {
+                const auto& n = static_cast<const ast::BinopExpr&>(e);
+                return "(" + expr(*n.lhs) + " " + binop_c(n.op) + " " + expr(*n.rhs) + ")";
+            }
+            case ExprKind::Index: return lvalue(e);
+            case ExprKind::Call: {
+                const auto& n = static_cast<const ast::CallExpr&>(e);
+                std::string out = "(int64_t)" + callee(*n.fn) + "(";
+                for (size_t i = 0; i < n.args.size(); ++i) {
+                    if (i) out += ", ";
+                    out += expr(*n.args[i]);
+                }
+                return out + ")";
+            }
+            case ExprKind::Cast:
+                return "(int64_t)(" + expr(*static_cast<const ast::CastExpr&>(e).sub) + ")";
+            case ExprKind::SizeOf: {
+                const auto& n = static_cast<const ast::SizeOfExpr&>(e);
+                return "(int64_t)sizeof(" + ctype(n.type) + ")";
+            }
+            case ExprKind::Field: {
+                const auto& n = static_cast<const ast::FieldExpr&>(e);
+                return expr(*n.base) + (n.arrow ? "->" : ".") + n.field;
+            }
+        }
+        return "0";
+    }
+
+    /// A call evaluated purely for effect: no int64_t cast (the callee may
+    /// return void).
+    std::string stmt_expr(const ast::Expr& e) {
+        if (e.kind == ast::ExprKind::Call) {
+            const auto& n = static_cast<const ast::CallExpr&>(e);
+            std::string out = callee(*n.fn) + "(";
+            for (size_t i = 0; i < n.args.size(); ++i) {
+                if (i) out += ", ";
+                out += expr(*n.args[i]);
+            }
+            return out + ")";
+        }
+        return "(void)(" + expr(e) + ")";
+    }
+
+    static std::string ctype(const ast::Type& t) {
+        std::string s = t.name;
+        for (int i = 0; i < t.pointer_depth; ++i) s += "*";
+        return s;
+    }
+
+    std::string addr_of(const ast::Expr& e) {
+        using ast::ExprKind;
+        if (e.kind == ExprKind::Var) {
+            const auto& n = static_cast<const ast::VarExpr&>(e);
+            return "(int64_t)(intptr_t)&" + var_slot_ref(n.decl_id);
+        }
+        return "(int64_t)(intptr_t)&(" + lvalue(e) + ")";
+    }
+
+    std::string callee(const ast::Expr& fn) {
+        using ast::ExprKind;
+        if (fn.kind == ExprKind::CSym) {
+            return static_cast<const ast::CSymExpr&>(fn).name;
+        }
+        if (fn.kind == ExprKind::Field) {
+            const auto& f = static_cast<const ast::FieldExpr&>(fn);
+            return expr(*f.base) + (f.arrow ? "->" : ".") + f.field;
+        }
+        return "/*uncallable*/0";
+    }
+
+    std::string lvalue(const ast::Expr& e) {
+        using ast::ExprKind;
+        switch (e.kind) {
+            case ExprKind::Var:
+                return var_slot_ref(static_cast<const ast::VarExpr&>(e).decl_id);
+            case ExprKind::CSym:
+                return static_cast<const ast::CSymExpr&>(e).name;
+            case ExprKind::Unop: {
+                const auto& n = static_cast<const ast::UnopExpr&>(e);
+                return "(*(int64_t*)(intptr_t)" + expr(*n.sub) + ")";
+            }
+            case ExprKind::Index: {
+                const auto& n = static_cast<const ast::IndexExpr&>(e);
+                const ast::Expr* root = n.base.get();
+                if (root->kind == ExprKind::Var) {
+                    const auto& v = static_cast<const ast::VarExpr&>(*root);
+                    const VarInfo& vi = cp_.sema.vars[static_cast<size_t>(v.decl_id)];
+                    if (vi.array_size > 0) {
+                        return "DATA[" +
+                               std::to_string(fp_.var_slot[static_cast<size_t>(v.decl_id)]) +
+                               " + (" + expr(*n.index) + ")]";
+                    }
+                    // pointer variable indexed
+                    return "((int64_t*)(intptr_t)" + var_slot_ref(v.decl_id) + ")[" +
+                           expr(*n.index) + "]";
+                }
+                if (root->kind == ExprKind::CSym) {
+                    return static_cast<const ast::CSymExpr&>(*root).name + "[" +
+                           expr(*n.index) + "]";
+                }
+                // nested index (e.g. _MAP[i][j]) or pointer expression
+                return lvalue(*root) + "[" + expr(*n.index) + "]";
+            }
+            case ExprKind::Field: {
+                const auto& n = static_cast<const ast::FieldExpr&>(e);
+                return expr(*n.base) + (n.arrow ? "->" : ".") + n.field;
+            }
+            default:
+                return "/*not-an-lvalue*/DATA[0]";
+        }
+    }
+
+    // -- sections ----------------------------------------------------------------
+
+    void prelude() {
+        os_ << "/* Generated by ceu-cpp from '" << opt_.program_name
+            << "'. Single-threaded C in the scheme of the paper, section 4. */\n"
+            << "#include <stdint.h>\n#include <string.h>\n";
+        if (opt_.with_libc) {
+            os_ << "#include <stdio.h>\n#include <stdlib.h>\n#include <assert.h>\n"
+                << "#include <time.h>\n";
+        }
+        // Output-event hooks: the environment implements these (weakly
+        // defaulted to a stderr note when libc is available).
+        for (const auto& o : cp_.sema.outputs) {
+            os_ << "void ceu_output_" << o.name << "(int64_t v)";
+            if (opt_.with_libc) {
+                os_ << " __attribute__((weak));\n"
+                    << "void ceu_output_" << o.name
+                    << "(int64_t v) { printf(\"output " << o.name
+                    << " = %lld\\n\", (long long)v); }\n";
+            } else {
+                os_ << ";\n";
+            }
+        }
+        os_ << "\n/* ---- user C blocks (repassed verbatim) ---- */\n";
+        for (const std::string& blk : cp_.sema.c_blocks) os_ << blk << "\n";
+        os_ << "\n";
+    }
+
+    void tables() {
+        os_ << "/* ---- static memory layout (paper 4.2) ---- */\n"
+            << "#define CEU_DATA_N " << (fp_.data_size > 0 ? fp_.data_size : 1) << "\n"
+            << "#define CEU_GATES_N " << (fp_.gates.empty() ? 1 : fp_.gates.size())
+            << "\n"
+            << "#define CEU_NORMAL_PRIO 1000000000\n"
+            << "static int64_t DATA[CEU_DATA_N];\n"
+            << "static uint8_t GATES[CEU_GATES_N];\n"
+            << "static const int GATE_CONT[CEU_GATES_N] = {";
+        for (size_t g = 0; g < fp_.gates.size(); ++g) {
+            if (g) os_ << ", ";
+            os_ << fp_.gates[g].cont;
+        }
+        if (fp_.gates.empty()) os_ << "0";
+        os_ << "};\n\n";
+    }
+
+    void runtime_core() {
+        // Queue capacities are static bounds derived from the program, as
+        // the paper's temporal analysis prescribes (§4.1): a track queue can
+        // hold at most one continuation per gate plus the rejoin
+        // continuations; each `emit` site occupies the stack at most once;
+        // timers are bounded by the timed-await sites.
+        size_t timer_gates = 0;
+        for (const auto& g : fp_.gates) {
+            if (g.kind == flat::GateInfo::Kind::Time ||
+                g.kind == flat::GateInfo::Kind::Dyn) {
+                ++timer_gates;
+            }
+        }
+        size_t emit_sites = 0;
+        for (const auto& i : fp_.code) {
+            if (i.op == IOp::EmitInt) ++emit_sites;
+        }
+        os_ << "#define CEU_QCAP "
+            << (fp_.gates.size() + fp_.pars.size() + fp_.escapes.size() + 4) << "\n"
+            << "#define CEU_TCAP " << (timer_gates + 1) << "\n"
+            << "#define CEU_SCAP " << (emit_sites + 1) << "\n"
+            << "#define CEU_ACAP " << (fp_.asyncs.size() + 1) << "\n";
+        os_ << R"(/* ---- runtime bookkeeping (statically bounded queues) ---- */
+typedef struct { int pc; int prio; unsigned long seq; int64_t wake; } ceu_track_t;
+typedef struct { int gate; int64_t deadline; } ceu_timer_t;
+typedef struct { int resume; int prio; int dead; } ceu_frame_t;
+typedef struct { int idx; int pc; int alive; } ceu_async_t;
+static ceu_track_t Q[CEU_QCAP]; static int qn;
+static ceu_timer_t TM[CEU_TCAP]; static int tn;
+static ceu_frame_t ST[CEU_SCAP]; static int sn;
+static ceu_async_t AS[CEU_ACAP]; static int an; static int arr;
+static unsigned long ceu_seq;
+static int64_t ceu_now, ceu_logical;
+static int ceu_status;           /* 0=loaded 1=running 2=terminated */
+static int64_t ceu_result;
+static void ceu_enqueue(int pc, int prio, int64_t wake) {
+    if (qn < CEU_QCAP) { Q[qn].pc = pc; Q[qn].prio = prio; Q[qn].seq = ceu_seq++; Q[qn].wake = wake; qn++; }
+}
+static int ceu_pop(ceu_track_t* out) {
+    int best = 0, i;
+    if (qn == 0) return 0;
+    for (i = 1; i < qn; i++)
+        if (Q[i].prio > Q[best].prio || (Q[i].prio == Q[best].prio && Q[i].seq < Q[best].seq)) best = i;
+    *out = Q[best];
+    for (i = best; i + 1 < qn; i++) Q[i] = Q[i + 1];
+    qn--;
+    return 1;
+}
+static void ceu_wake(int gate, int64_t v) { GATES[gate] = 0; ceu_enqueue(GATE_CONT[gate], CEU_NORMAL_PRIO, v); }
+static void ceu_arm(int gate, int64_t deadline) {
+    if (tn < CEU_TCAP) { TM[tn].gate = gate; TM[tn].deadline = deadline; tn++; }
+}
+static void exec_track(int pc, int prio, int64_t wake);
+static void ceu_reaction(void) {
+    for (;;) {
+        ceu_track_t t;
+        if (ceu_pop(&t)) { exec_track(t.pc, t.prio, t.wake); }
+        else if (sn > 0) {
+            ceu_frame_t f = ST[--sn];
+            if (f.dead) continue;
+            exec_track(f.resume, f.prio, 0);
+        } else break;
+    }
+    if (ceu_status == 1) {
+        int g, any = 0;
+        for (g = 0; g < CEU_GATES_N; g++) any |= GATES[g];
+        if (!any) ceu_status = 2;
+    }
+}
+static void ceu_kill(int pc0, int pc1, int g0, int g1) {
+    int i, j;
+    memset(GATES + g0, 0, (size_t)(g1 - g0));   /* paper 4.3: range clear */
+    for (i = 0; i < tn;) { if (TM[i].gate >= g0 && TM[i].gate < g1) { TM[i] = TM[--tn]; } else i++; }
+    j = 0;
+    for (i = 0; i < qn; i++) if (!(Q[i].pc >= pc0 && Q[i].pc < pc1)) Q[j++] = Q[i];
+    qn = j;
+    for (i = 0; i < sn; i++) if (ST[i].resume >= pc0 && ST[i].resume < pc1) ST[i].dead = 1;
+    for (i = 0; i < an; i++) {
+)";
+        // async gate-range kill (needs the per-async gate table)
+        os_ << "        static const int ASYNC_GATE[] = {";
+        for (size_t a = 0; a < fp_.asyncs.size(); ++a) {
+            if (a) os_ << ", ";
+            os_ << fp_.asyncs[a].gate;
+        }
+        if (fp_.asyncs.empty()) os_ << "-1";
+        os_ << "};\n"
+            << "        if (AS[i].alive && ASYNC_GATE[AS[i].idx] >= g0 && "
+               "ASYNC_GATE[AS[i].idx] < g1) AS[i].alive = 0;\n"
+            << "    }\n}\n\n";
+    }
+
+    void emit_instr(Pc pc, const Instr& I) {
+        os_ << "        case " << pc << ":\n";
+        switch (I.op) {
+            case IOp::Nop:
+                break;
+            case IOp::Eval:
+                os_ << "            " << stmt_expr(*I.e1) << ";\n";
+                break;
+            case IOp::Assign:
+                os_ << "            " << lvalue(*I.e1) << " = " << expr(*I.e2) << ";\n";
+                break;
+            case IOp::AssignWake:
+                os_ << "            " << lvalue(*I.e1) << " = wake;\n";
+                break;
+            case IOp::AssignSlot:
+                os_ << "            " << lvalue(*I.e1) << " = DATA[" << I.b << "];\n";
+                break;
+            case IOp::IfNot:
+                os_ << "            if (!(" << expr(*I.e1) << ")) { pc = " << I.a
+                    << "; continue; }\n";
+                break;
+            case IOp::Jump:
+                os_ << "            pc = " << I.a << "; continue;\n";
+                break;
+            case IOp::AwaitExt:
+            case IOp::AwaitInt:
+            case IOp::AwaitForever:
+                os_ << "            GATES[" << I.b << "] = 1; return;\n";
+                break;
+            case IOp::AwaitTime:
+                os_ << "            GATES[" << I.b << "] = 1; ceu_arm(" << I.b
+                    << ", ceu_logical + INT64_C(" << I.us << ")); return;\n";
+                break;
+            case IOp::AwaitDyn:
+                os_ << "            GATES[" << I.b << "] = 1; ceu_arm(" << I.b
+                    << ", ceu_logical + (" << expr(*I.e1) << ")); return;\n";
+                break;
+            case IOp::EmitInt: {
+                // Fire currently-active gates of the internal event; stack
+                // policy: push our continuation, then return to the scheduler.
+                os_ << "            {\n                int64_t v = "
+                    << (I.e1 ? expr(*I.e1) : std::string("0")) << ";\n"
+                    << "                int fired = 0;\n";
+                for (int g : fp_.int_gates[static_cast<size_t>(I.a)]) {
+                    os_ << "                if (GATES[" << g
+                        << "]) { fired = 1; }\n";
+                }
+                os_ << "                if (fired) {\n"
+                    << "                    if (sn < CEU_SCAP) { ST[sn].resume = " << pc + 1
+                    << "; ST[sn].prio = prio; ST[sn].dead = 0; sn++; }\n";
+                for (int g : fp_.int_gates[static_cast<size_t>(I.a)]) {
+                    os_ << "                    if (GATES[" << g << "]) ceu_wake(" << g
+                        << ", v);\n";
+                }
+                os_ << "                    return;\n                }\n            }\n";
+                break;
+            }
+            case IOp::ParSpawn: {
+                const auto& par = fp_.pars[static_cast<size_t>(I.a)];
+                if (par.counter_slot >= 0) {
+                    os_ << "            " << slot_ref(par.counter_slot) << " = "
+                        << par.branches.size() << ";\n";
+                }
+                os_ << "            " << slot_ref(par.sched_slot) << " = 0;\n";
+                for (Pc b : par.branches) {
+                    os_ << "            ceu_enqueue(" << b << ", CEU_NORMAL_PRIO, 0);\n";
+                }
+                os_ << "            return;\n";
+                break;
+            }
+            case IOp::BranchEnd: {
+                const auto& par = fp_.pars[static_cast<size_t>(I.a)];
+                switch (par.kind) {
+                    case ast::ParKind::Par:
+                        os_ << "            return;\n";
+                        break;
+                    case ast::ParKind::ParAnd:
+                        os_ << "            if (--" << slot_ref(par.counter_slot)
+                            << " > 0) return;\n"
+                            << "            if (" << slot_ref(par.sched_slot)
+                            << ") return;\n"
+                            << "            " << slot_ref(par.sched_slot) << " = 1;\n"
+                            << "            ceu_enqueue(" << par.cont << ", " << par.prio
+                            << ", 0); return;\n";
+                        break;
+                    case ast::ParKind::ParOr:
+                        os_ << "            if (" << slot_ref(par.sched_slot)
+                            << ") return;\n"
+                            << "            " << slot_ref(par.sched_slot) << " = 1;\n"
+                            << "            ceu_enqueue(" << par.cont << ", " << par.prio
+                            << ", 0); return;\n";
+                        break;
+                }
+                break;
+            }
+            case IOp::KillRegion: {
+                const auto& r = fp_.regions[static_cast<size_t>(I.a)];
+                os_ << "            ceu_kill(" << r.pc_begin << ", " << r.pc_end << ", "
+                    << r.gate_begin << ", " << r.gate_end << ");\n";
+                break;
+            }
+            case IOp::Escape: {
+                const auto& esc = fp_.escapes[static_cast<size_t>(I.a)];
+                os_ << "            if (" << slot_ref(esc.sched_slot) << ") return;\n"
+                    << "            " << slot_ref(esc.sched_slot) << " = 1;\n";
+                if (esc.result_slot >= 0) {
+                    os_ << "            " << slot_ref(esc.result_slot) << " = "
+                        << (I.e1 ? expr(*I.e1) : std::string("0")) << ";\n";
+                }
+                os_ << "            ceu_enqueue(" << esc.cont << ", " << esc.prio
+                    << ", 0); return;\n";
+                break;
+            }
+            case IOp::ClearSlot:
+                os_ << "            DATA[" << I.b << "] = 0;\n";
+                break;
+            case IOp::Once:
+                os_ << "            if (DATA[" << I.b << "]) return; DATA[" << I.b
+                    << "] = 1;\n";
+                break;
+            case IOp::ProgReturn:
+                os_ << "            ceu_result = "
+                    << (I.e1 ? expr(*I.e1) : std::string("0")) << ";\n"
+                    << "            ceu_status = 2; qn = 0; sn = 0; tn = 0;\n"
+                    << "            memset(GATES, 0, sizeof GATES); return;\n";
+                break;
+            case IOp::AsyncRun: {
+                const auto& ai = fp_.asyncs[static_cast<size_t>(I.a)];
+                os_ << "            GATES[" << I.b << "] = 1;\n"
+                    << "            if (an < CEU_ACAP) { AS[an].idx = " << I.a
+                    << "; AS[an].pc = " << ai.begin << "; AS[an].alive = 1; an++; }\n"
+                    << "            return;\n";
+                break;
+            }
+            case IOp::EmitOutput:
+                os_ << "            ceu_output_"
+                    << cp_.sema.outputs[static_cast<size_t>(I.a)].name << "("
+                    << (I.e1 ? expr(*I.e1) : std::string("0")) << ");\n";
+                break;
+            case IOp::AsyncYield:
+            case IOp::AsyncEnd:
+            case IOp::EmitExtAsync:
+            case IOp::EmitTimeAsync:
+                // Only reachable from the async dispatcher.
+                os_ << "            return;\n";
+                break;
+            case IOp::Halt:
+                os_ << "            return;\n";
+                break;
+        }
+    }
+
+    void track_dispatch() {
+        os_ << "/* ---- track dispatch (paper 4.4: labels become cases) ---- */\n"
+            << "static void exec_track(int pc, int prio, int64_t wake) {\n"
+            << "    (void)prio; (void)wake;\n"
+            << "    for (;;) switch (pc) {\n";
+        for (size_t pc = 0; pc < fp_.code.size(); ++pc) {
+            emit_instr(static_cast<Pc>(pc), fp_.code[pc]);
+        }
+        os_ << "        default: return;\n    }\n}\n\n";
+    }
+
+    void async_dispatch() {
+        os_ << "/* ---- asynchronous blocks (round robin; one slice per call) ---- */\n"
+            << "static void ceu_async_done(int idx, int64_t v) {\n"
+            << "    static const int ASYNC_GATE[] = {";
+        for (size_t a = 0; a < fp_.asyncs.size(); ++a) {
+            if (a) os_ << ", ";
+            os_ << fp_.asyncs[a].gate;
+        }
+        if (fp_.asyncs.empty()) os_ << "-1";
+        os_ << "};\n"
+            << "    int g = ASYNC_GATE[idx];\n"
+            << "    if (g >= 0 && GATES[g]) { ceu_wake(g, v); ceu_reaction(); }\n"
+            << "}\n"
+            << "void ceu_go_event(int evt, int64_t val);\n"
+            << "void ceu_go_time(int64_t now);\n"
+            << "static int exec_async(ceu_async_t* a) {\n"
+            << "    int pc = a->pc;\n"
+            << "    for (;;) switch (pc) {\n";
+        // Emit only the async regions' instructions with async semantics.
+        std::vector<uint8_t> in_async(fp_.code.size(), 0);
+        for (const auto& ai : fp_.asyncs) {
+            const auto& r = fp_.regions[static_cast<size_t>(ai.region)];
+            for (Pc p = ai.begin; p < r.pc_end; ++p) in_async[static_cast<size_t>(p)] = 1;
+        }
+        for (size_t pc = 0; pc < fp_.code.size(); ++pc) {
+            if (!in_async[pc]) continue;
+            const Instr& I = fp_.code[pc];
+            os_ << "        case " << pc << ":\n";
+            switch (I.op) {
+                case IOp::Nop:
+                    break;
+                case IOp::ClearSlot:
+                    os_ << "            DATA[" << I.b << "] = 0;\n";
+                    break;
+                case IOp::Eval:
+                    os_ << "            " << stmt_expr(*I.e1) << ";\n";
+                    break;
+                case IOp::Assign:
+                    os_ << "            " << lvalue(*I.e1) << " = " << expr(*I.e2)
+                        << ";\n";
+                    break;
+                case IOp::IfNot:
+                    os_ << "            if (!(" << expr(*I.e1) << ")) { pc = " << I.a
+                        << "; continue; }\n";
+                    break;
+                case IOp::Jump:
+                    os_ << "            pc = " << I.a << "; continue;\n";
+                    break;
+                case IOp::AsyncYield:
+                    os_ << "            a->pc = " << pc + 1 << "; return 1;\n";
+                    break;
+                case IOp::EmitExtAsync:
+                    os_ << "            { int64_t v = "
+                        << (I.e1 ? expr(*I.e1) : std::string("0")) << "; a->pc = "
+                        << pc + 1 << "; ceu_go_event(" << I.a << ", v); return 1; }\n";
+                    break;
+                case IOp::EmitTimeAsync:
+                    os_ << "            a->pc = " << pc + 1
+                        << "; ceu_go_time(ceu_now + INT64_C(" << I.us
+                        << ")); return 1;\n";
+                    break;
+                case IOp::AsyncEnd:
+                    os_ << "            a->alive = 0; ceu_async_done(" << I.a << ", "
+                        << (I.e1 ? expr(*I.e1) : std::string("0")) << "); return 0;\n";
+                    break;
+                default:
+                    os_ << "            return 0; /* unsupported in async */\n";
+                    break;
+            }
+        }
+        os_ << "        default: a->alive = 0; return 0;\n    }\n}\n\n";
+    }
+
+    void api() {
+        os_ << "/* ---- the four-entry reactive API (paper 5) ---- */\n"
+            << "void ceu_go_init(void) {\n"
+            << "    ceu_status = 1; ceu_logical = ceu_now;\n"
+            << "    ceu_enqueue(0, CEU_NORMAL_PRIO, 0);\n"
+            << "    ceu_reaction();\n}\n\n"
+            << "void ceu_go_event(int evt, int64_t val) {\n"
+            << "    if (ceu_status != 1) return;\n"
+            << "    ceu_logical = ceu_now;\n"
+            << "    {\n        int fired[CEU_GATES_N]; int nf = 0, i;\n";
+        os_ << "        switch (evt) {\n";
+        for (size_t e = 0; e < fp_.ext_gates.size(); ++e) {
+            os_ << "        case " << e << ":\n";
+            for (int g : fp_.ext_gates[e]) {
+                os_ << "            if (GATES[" << g << "]) fired[nf++] = " << g << ";\n";
+            }
+            os_ << "            break;\n";
+        }
+        os_ << "        default: break;\n        }\n"
+            << "        for (i = 0; i < nf; i++) ceu_wake(fired[i], val);\n"
+            << "    }\n    ceu_reaction();\n}\n\n"
+            << R"(void ceu_go_time(int64_t now) {
+    if (ceu_status != 1) return;
+    if (now > ceu_now) ceu_now = now;
+    for (;;) {
+        int64_t min = 0; int any = 0, i;
+        for (i = 0; i < tn; i++) if (!any || TM[i].deadline < min) { min = TM[i].deadline; any = 1; }
+        if (!any || min > ceu_now) break;
+        ceu_logical = min;
+        {
+            int fired[CEU_TCAP]; int nf = 0;
+            for (i = 0; i < tn;) {
+                if (TM[i].deadline == min) { fired[nf++] = TM[i].gate; TM[i] = TM[--tn]; }
+                else i++;
+            }
+            /* wake in gate (program) order */
+            for (i = 0; i < nf; i++) {
+                int j, best = i;
+                for (j = i + 1; j < nf; j++) if (fired[j] < fired[best]) best = j;
+                j = fired[i]; fired[i] = fired[best]; fired[best] = j;
+            }
+            for (i = 0; i < nf; i++) if (GATES[fired[i]]) ceu_wake(fired[i], ceu_now - min);
+        }
+        ceu_reaction();
+        if (ceu_status != 1) break;
+    }
+}
+
+int ceu_go_async(void) {
+    int k;
+    if (ceu_status != 1) return 0;
+    for (k = 0; k < an; k++) {
+        int i = (arr + k) % (an ? an : 1);
+        if (AS[i].alive) {
+            arr = i + 1;
+            exec_async(&AS[i]);
+            goto done;
+        }
+    }
+    return 0;
+done:
+    for (k = 0; k < an; k++) if (AS[k].alive) return ceu_status == 1;
+    return 0;
+}
+
+int ceu_status_get(void) { return ceu_status; }
+int64_t ceu_result_get(void) { return ceu_result; }
+)";
+    }
+
+    void main_harness() {
+        os_ << "\n/* ---- scripted-input harness (integration tests) ---- */\n"
+            << "int main(void) {\n"
+            << "    char op; char name[128]; long long v;\n"
+            << "    ceu_go_init();\n"
+            << "    while (scanf(\" %c\", &op) == 1) {\n"
+            << "        if (op == 'E') {\n"
+            << "            if (scanf(\"%127s %lld\", name, &v) != 2) break;\n";
+        for (size_t e = 0; e < cp_.sema.inputs.size(); ++e) {
+            os_ << "            if (!strcmp(name, \"" << cp_.sema.inputs[e].name
+                << "\")) ceu_go_event(" << e << ", v);\n";
+        }
+        os_ << "        } else if (op == 'T') {\n"
+            << "            if (scanf(\"%lld\", &v) != 1) break;\n"
+            << "            ceu_go_time(ceu_now + v);\n"
+            << "        } else if (op == 'A') {\n"
+            << "            while (ceu_go_async()) {}\n"
+            << "        } else if (op == 'Q') break;\n"
+            << "        if (ceu_status_get() != 1) break;\n"
+            << "    }\n"
+            << "    while (ceu_status_get() == 1 && ceu_go_async()) {}\n"
+            << "    fflush(stdout);\n"
+            << "    return (int)ceu_result_get();\n"
+            << "}\n";
+    }
+};
+
+}  // namespace
+
+std::string emit_c(const flat::CompiledProgram& cp, const CgenOptions& opt) {
+    return Emitter(cp, opt).run();
+}
+
+}  // namespace ceu::cgen

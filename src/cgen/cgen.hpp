@@ -1,0 +1,33 @@
+// C code generation (paper §4.4): emits a single-threaded, self-contained C
+// translation of a compiled Céu program. The structure matches the paper:
+// track labels become switch cases inside a dispatch loop, gates hold
+// continuations, all data lives in a statically-sized vector, and trail
+// destruction is a memset over a gate range. The file exposes the paper's
+// four-entry API (ceu_go_init / ceu_go_event / ceu_go_time / ceu_go_async)
+// and can optionally include a scripted-input main() used by integration
+// tests (which diff the C binary's output against the interpreter's trace)
+// and by the Table-1 ROM measurements.
+#pragma once
+
+#include <string>
+
+#include "codegen/flatten.hpp"
+
+namespace ceu::cgen {
+
+struct CgenOptions {
+    /// Emit a `main()` that reads a script from stdin:
+    ///   E <event> <value>   deliver an input event
+    ///   T <microseconds>    advance wall-clock time
+    ///   A                   run asyncs until idle
+    /// and prints `_printf` output to stdout.
+    bool with_main = true;
+    /// Include <stdio.h>/<assert.h> and map `_printf`/`_assert` to libc.
+    bool with_libc = true;
+    std::string program_name = "ceu_program";
+};
+
+/// Renders the complete C translation unit.
+std::string emit_c(const flat::CompiledProgram& cp, const CgenOptions& opt = {});
+
+}  // namespace ceu::cgen

@@ -1,0 +1,514 @@
+#include "codegen/flatten.hpp"
+
+#include "codegen/layout.hpp"
+#include "parser/parser.hpp"
+
+namespace ceu::flat {
+
+using namespace ast;
+
+namespace {
+
+/// Per-loop flattening context. Inside asyncs there is no track machinery,
+/// so `break` compiles to a plain jump patched at loop end.
+struct LoopCtx {
+    bool in_async = false;
+    int escape_idx = -1;              // sync loops
+    std::vector<Pc> break_jumps;      // async loops: pcs of Jump placeholders
+};
+
+/// Where `return` goes: the program, an enclosing value block, or the
+/// enclosing async.
+struct RetTarget {
+    enum class Kind { Program, Block, Async };
+    Kind kind = Kind::Program;
+    int escape_idx = -1;
+    int async_idx = -1;
+};
+
+class Flattener {
+  public:
+    Flattener(const Program& prog, const SemaInfo& sema, Diagnostics& diags)
+        : prog_(prog), sema_(sema), diags_(diags) {}
+
+    FlatProgram run() {
+        fp_.var_slot.assign(sema_.vars.size(), -1);
+        ret_targets_.push_back({RetTarget::Kind::Program, -1, -1});
+        flat_body(prog_.body);
+        emit({IOp::Halt, -1, -1, nullptr, nullptr, 0, {}});
+        finish();
+        return std::move(fp_);
+    }
+
+  private:
+    const Program& prog_;
+    const SemaInfo& sema_;
+    Diagnostics& diags_;
+    FlatProgram fp_;
+    SlotAllocator slots_;
+    std::vector<RetTarget> ret_targets_;
+    std::vector<LoopCtx> loops_;
+    int depth_ = 0;
+    bool in_async_ = false;
+
+    // -- emission helpers ----------------------------------------------------
+
+    Pc emit(Instr i) {
+        fp_.code.push_back(i);
+        return static_cast<Pc>(fp_.code.size() - 1);
+    }
+    [[nodiscard]] Pc here() const { return static_cast<Pc>(fp_.code.size()); }
+    void patch(Pc at, Pc target) { fp_.code[static_cast<size_t>(at)].a = target; }
+
+    GateId new_gate(GateInfo g) {
+        fp_.gates.push_back(g);
+        return static_cast<GateId>(fp_.gates.size() - 1);
+    }
+    [[nodiscard]] GateId gate_mark() const { return static_cast<GateId>(fp_.gates.size()); }
+
+    int new_region() {
+        fp_.regions.push_back({});
+        return static_cast<int>(fp_.regions.size() - 1);
+    }
+
+    Expr* synth_var(int decl_id, SourceLoc loc) {
+        auto e = std::make_unique<VarExpr>(sema_.vars[static_cast<size_t>(decl_id)].name, loc);
+        e->decl_id = decl_id;
+        Expr* raw = e.get();
+        fp_.owned_exprs.push_back(std::move(e));
+        return raw;
+    }
+
+    void bump_depth() {
+        ++depth_;
+        fp_.max_depth = std::max(fp_.max_depth, depth_);
+    }
+
+    // -- bodies --------------------------------------------------------------
+
+    void flat_body(const BlockBody& body) {
+        for (const auto& s : body.stmts) flat_stmt(*s);
+    }
+
+    /// Sequential child scope: slots are reused after it ends.
+    void flat_scoped_body(const BlockBody& body) {
+        int mark = slots_.save();
+        flat_body(body);
+        slots_.restore(mark);
+    }
+
+    void flat_stmt(const Stmt& s) {
+        switch (s.kind) {
+            case StmtKind::Nothing:
+            case StmtKind::CBlock:   // emitted verbatim by the C backend only
+            case StmtKind::Pure:
+            case StmtKind::Deterministic:
+            case StmtKind::DeclInput:
+            case StmtKind::DeclInternal:
+            case StmtKind::DeclOutput:
+                break;
+
+            case StmtKind::DeclVar: flat_decl_var(static_cast<const DeclVarStmt&>(s)); break;
+
+            case StmtKind::AwaitExt: {
+                const auto& n = static_cast<const AwaitExtStmt&>(s);
+                GateId g = new_gate({GateInfo::Kind::Ext, n.event_id, -1, 0, s.loc});
+                emit({IOp::AwaitExt, n.event_id, g, nullptr, nullptr, 0, s.loc});
+                fp_.gates[static_cast<size_t>(g)].cont = here();
+                break;
+            }
+            case StmtKind::AwaitInt: {
+                const auto& n = static_cast<const AwaitIntStmt&>(s);
+                GateId g = new_gate({GateInfo::Kind::Int, n.event_id, -1, 0, s.loc});
+                emit({IOp::AwaitInt, n.event_id, g, nullptr, nullptr, 0, s.loc});
+                fp_.gates[static_cast<size_t>(g)].cont = here();
+                break;
+            }
+            case StmtKind::AwaitTime: {
+                const auto& n = static_cast<const AwaitTimeStmt&>(s);
+                GateId g = new_gate({GateInfo::Kind::Time, -1, -1, n.us, s.loc});
+                emit({IOp::AwaitTime, -1, g, nullptr, nullptr, n.us, s.loc});
+                fp_.gates[static_cast<size_t>(g)].cont = here();
+                break;
+            }
+            case StmtKind::AwaitDyn: {
+                const auto& n = static_cast<const AwaitDynStmt&>(s);
+                GateId g = new_gate({GateInfo::Kind::Dyn, -1, -1, 0, s.loc});
+                emit({IOp::AwaitDyn, -1, g, n.us.get(), nullptr, 0, s.loc});
+                fp_.gates[static_cast<size_t>(g)].cont = here();
+                break;
+            }
+            case StmtKind::AwaitForever: {
+                GateId g = new_gate({GateInfo::Kind::Forever, -1, -1, 0, s.loc});
+                emit({IOp::AwaitForever, -1, g, nullptr, nullptr, 0, s.loc});
+                fp_.gates[static_cast<size_t>(g)].cont = here();  // unreachable
+                break;
+            }
+
+            case StmtKind::EmitInt: {
+                const auto& n = static_cast<const EmitIntStmt&>(s);
+                emit({IOp::EmitInt, n.event_id, -1, n.value.get(), nullptr, 0, s.loc});
+                break;
+            }
+            case StmtKind::EmitExt: {
+                const auto& n = static_cast<const EmitExtStmt&>(s);
+                emit({n.is_output ? IOp::EmitOutput : IOp::EmitExtAsync, n.event_id, -1,
+                      n.value.get(), nullptr, 0, s.loc});
+                break;
+            }
+            case StmtKind::EmitTime: {
+                const auto& n = static_cast<const EmitTimeStmt&>(s);
+                emit({IOp::EmitTimeAsync, -1, -1, nullptr, nullptr, n.us, s.loc});
+                break;
+            }
+
+            case StmtKind::If: {
+                const auto& n = static_cast<const IfStmt&>(s);
+                Pc branch = emit({IOp::IfNot, -1, -1, n.cond.get(), nullptr, 0, s.loc});
+                flat_scoped_body(n.then_body);
+                if (n.has_else || !n.else_body.stmts.empty()) {
+                    Pc skip = emit({IOp::Jump, -1, -1, nullptr, nullptr, 0, s.loc});
+                    patch(branch, here());
+                    flat_scoped_body(n.else_body);
+                    patch(skip, here());
+                } else {
+                    patch(branch, here());
+                }
+                break;
+            }
+
+            case StmtKind::Loop: flat_loop(static_cast<const LoopStmt&>(s)); break;
+
+            case StmtKind::Break: {
+                if (loops_.empty()) break;  // sema already reported
+                LoopCtx& lc = loops_.back();
+                if (lc.in_async) {
+                    lc.break_jumps.push_back(
+                        emit({IOp::Jump, -1, -1, nullptr, nullptr, 0, s.loc}));
+                } else {
+                    emit({IOp::Escape, lc.escape_idx, -1, nullptr, nullptr, 0, s.loc});
+                }
+                break;
+            }
+
+            case StmtKind::Par: flat_par(static_cast<const ParStmt&>(s), nullptr); break;
+
+            case StmtKind::ExprStmt:
+                emit({IOp::Eval, -1, -1,
+                      static_cast<const ExprStmtStmt&>(s).expr.get(), nullptr, 0, s.loc});
+                break;
+
+            case StmtKind::Assign: flat_assign(static_cast<const AssignStmt&>(s)); break;
+
+            case StmtKind::Return: {
+                const auto& n = static_cast<const ReturnStmt&>(s);
+                const RetTarget& t = ret_targets_.back();
+                switch (t.kind) {
+                    case RetTarget::Kind::Program:
+                        emit({IOp::ProgReturn, -1, -1, n.value.get(), nullptr, 0, s.loc});
+                        break;
+                    case RetTarget::Kind::Block:
+                        emit({IOp::Escape, t.escape_idx, -1, n.value.get(), nullptr, 0,
+                              s.loc});
+                        break;
+                    case RetTarget::Kind::Async:
+                        emit({IOp::AsyncEnd, t.async_idx, -1, n.value.get(), nullptr, 0,
+                              s.loc});
+                        break;
+                }
+                break;
+            }
+
+            case StmtKind::Block:
+                // A plain do-block is purely lexical.
+                flat_scoped_body(static_cast<const BlockStmt&>(s).body);
+                break;
+
+            case StmtKind::Async: flat_async(static_cast<const AsyncStmt&>(s), nullptr); break;
+        }
+    }
+
+    // -- declarations ---------------------------------------------------------
+
+    void flat_decl_var(const DeclVarStmt& n) {
+        for (const auto& v : n.vars) {
+            int size = v.array_size > 0 ? static_cast<int>(v.array_size) : 1;
+            SlotId slot = slots_.alloc(size);
+            fp_.var_slot[static_cast<size_t>(v.decl_id)] = slot;
+            if (v.init) {
+                emit({IOp::Assign, -1, -1, synth_var(v.decl_id, v.loc), v.init.get(), 0,
+                      v.loc});
+            } else if (v.init_stmt) {
+                flat_setexp(*v.init_stmt, synth_var(v.decl_id, v.loc), v.loc);
+            }
+        }
+    }
+
+    // -- assignments and value blocks ------------------------------------------
+
+    void flat_assign(const AssignStmt& n) {
+        if (n.rhs_expr) {
+            emit({IOp::Assign, -1, -1, n.lhs.get(), n.rhs_expr.get(), 0, n.loc});
+            return;
+        }
+        flat_setexp(*n.rhs_stmt, n.lhs.get(), n.loc);
+    }
+
+    /// Flattens `lhs = <stmt>` for stmt in {await, par, do, async}.
+    void flat_setexp(const Stmt& rhs, const Expr* lhs, SourceLoc loc) {
+        switch (rhs.kind) {
+            case StmtKind::AwaitExt:
+            case StmtKind::AwaitInt:
+            case StmtKind::AwaitTime:
+            case StmtKind::AwaitDyn:
+                flat_stmt(rhs);  // halts; wakes carrying the event value
+                emit({IOp::AssignWake, -1, -1, lhs, nullptr, 0, loc});
+                break;
+            case StmtKind::Async:
+                flat_async(static_cast<const AsyncStmt&>(rhs), lhs);
+                break;
+            case StmtKind::Par:
+                flat_par(static_cast<const ParStmt&>(rhs), lhs);
+                break;
+            case StmtKind::Block:
+                flat_value_do(static_cast<const BlockStmt&>(rhs), lhs);
+                break;
+            default:
+                diags_.error(loc, "unsupported value-producing statement");
+                break;
+        }
+    }
+
+    // -- loops -------------------------------------------------------------------
+
+    void flat_loop(const LoopStmt& n) {
+        if (in_async_) {
+            loops_.push_back({/*in_async=*/true, -1, {}});
+            Pc back = here();
+            int mark = slots_.save();
+            flat_body(n.body);
+            slots_.restore(mark);
+            emit({IOp::AsyncYield, -1, -1, nullptr, nullptr, 0, n.loc});
+            emit({IOp::Jump, back, -1, nullptr, nullptr, 0, n.loc});
+            for (Pc j : loops_.back().break_jumps) patch(j, here());
+            loops_.pop_back();
+            return;
+        }
+
+        int hidden_mark = slots_.save();
+        int region = new_region();
+        SlotId sched = slots_.alloc(1);
+        int esc = static_cast<int>(fp_.escapes.size());
+        fp_.escapes.push_back({region, -1, depth_, -1, sched, n.loc});
+        loops_.push_back({/*in_async=*/false, esc, {}});
+
+        // The scheduled-flag resets once per loop *statement* entry.
+        emit({IOp::ClearSlot, -1, sched, nullptr, nullptr, 0, n.loc});
+        Pc back = here();
+        GateId g0 = gate_mark();
+        bump_depth();
+        int mark = slots_.save();
+        flat_body(n.body);
+        slots_.restore(mark);
+        --depth_;
+        emit({IOp::Jump, back, -1, nullptr, nullptr, 0, n.loc});
+
+        Pc cont = here();
+        emit({IOp::KillRegion, region, -1, nullptr, nullptr, 0, n.loc});
+        fp_.regions[static_cast<size_t>(region)] = {back, cont, g0, gate_mark()};
+        fp_.escapes[static_cast<size_t>(esc)].cont = cont;
+        loops_.pop_back();
+        slots_.restore(hidden_mark);
+    }
+
+    // -- parallel compositions ----------------------------------------------------
+
+    void flat_par(const ParStmt& n, const Expr* lhs) {
+        // Hidden bookkeeping slots (counter, sched flags, value-block
+        // result) live only while the par is active: scope them so
+        // sequential siblings reuse the space (paper 4.2).
+        int hidden_mark = slots_.save();
+        int region = new_region();
+        int par_idx = static_cast<int>(fp_.pars.size());
+        {
+            ParInfo pi;
+            pi.kind = n.par_kind;
+            pi.region = region;
+            pi.prio = depth_;
+            pi.loc = n.loc;
+            if (n.par_kind == ParKind::ParAnd) pi.counter_slot = slots_.alloc(1);
+            pi.sched_slot = slots_.alloc(1);
+            fp_.pars.push_back(std::move(pi));
+        }
+
+        // Value pars escape through `return`; set up the target (and the
+        // once-guard funneling both the rejoin and the escape) up front.
+        int esc = -1;
+        SlotId result_slot = -1;
+        SlotId once_slot = -1;
+        if (lhs != nullptr) {
+            result_slot = slots_.alloc(1);
+            once_slot = slots_.alloc(1);
+            esc = static_cast<int>(fp_.escapes.size());
+            fp_.escapes.push_back({region, -1, depth_, result_slot, slots_.alloc(1), n.loc});
+            ret_targets_.push_back({RetTarget::Kind::Block, esc, -1});
+            emit({IOp::ClearSlot, -1, once_slot, nullptr, nullptr, 0, n.loc});
+            emit({IOp::ClearSlot, -1, fp_.escapes[static_cast<size_t>(esc)].sched_slot,
+                  nullptr, nullptr, 0, n.loc});
+        }
+
+        Pc spawn = emit({IOp::ParSpawn, par_idx, -1, nullptr, nullptr, 0, n.loc});
+        GateId g0 = gate_mark();
+
+        bump_depth();
+        int base = slots_.save();
+        int running = base;
+        for (const auto& branch : n.branches) {
+            slots_.restore(running);
+            Pc bpc = here();
+            running = slots_.with_local_peak([&] { flat_body(branch); });
+            emit({IOp::BranchEnd, par_idx, -1, nullptr, nullptr, 0, n.loc});
+            fp_.pars[static_cast<size_t>(par_idx)].branches.push_back(bpc);
+            fp_.pars[static_cast<size_t>(par_idx)].branch_ranges.emplace_back(bpc, here());
+        }
+        slots_.restore(base);
+        --depth_;
+
+        // Rejoin continuation (par/and, par/or): kills what is left of the
+        // branches (paper §2.1: awaiting trails are simply set inactive).
+        Pc region_end;
+        if (n.par_kind != ParKind::Par) {
+            Pc rejoin = here();
+            emit({IOp::KillRegion, region, -1, nullptr, nullptr, 0, n.loc});
+            fp_.pars[static_cast<size_t>(par_idx)].cont = rejoin;
+            region_end = rejoin;
+        } else {
+            region_end = here();
+        }
+
+        if (lhs != nullptr) {
+            // Normal rejoin falls through; returns land on the escape
+            // continuation. Both funnel into the once-guarded assignment.
+            Pc skip = emit({IOp::Jump, -1, -1, nullptr, nullptr, 0, n.loc});
+            Pc esc_cont = here();
+            emit({IOp::KillRegion, region, -1, nullptr, nullptr, 0, n.loc});
+            patch(skip, here());
+            emit({IOp::Once, -1, once_slot, nullptr, nullptr, 0, n.loc});
+            emit({IOp::AssignSlot, -1, result_slot, lhs, nullptr, 0, n.loc});
+            fp_.escapes[static_cast<size_t>(esc)].cont = esc_cont;
+            ret_targets_.pop_back();
+            if (n.par_kind == ParKind::Par) region_end = esc_cont;
+        }
+
+        fp_.regions[static_cast<size_t>(region)] = {spawn, region_end, g0, gate_mark()};
+        slots_.restore(hidden_mark);
+    }
+
+    // -- value do-blocks -----------------------------------------------------------
+
+    void flat_value_do(const BlockStmt& n, const Expr* lhs) {
+        int hidden_mark = slots_.save();
+        int region = new_region();
+        SlotId result_slot = slots_.alloc(1);
+        SlotId once_slot = slots_.alloc(1);
+        int esc = static_cast<int>(fp_.escapes.size());
+        fp_.escapes.push_back({region, -1, depth_, result_slot, slots_.alloc(1), n.loc});
+        ret_targets_.push_back({RetTarget::Kind::Block, esc, -1});
+
+        emit({IOp::ClearSlot, -1, once_slot, nullptr, nullptr, 0, n.loc});
+        emit({IOp::ClearSlot, -1, fp_.escapes[static_cast<size_t>(esc)].sched_slot, nullptr,
+              nullptr, 0, n.loc});
+        Pc begin = here();
+        GateId g0 = gate_mark();
+        bump_depth();
+        int mark = slots_.save();
+        flat_body(n.body);
+        slots_.restore(mark);
+        --depth_;
+        Pc skip = emit({IOp::Jump, -1, -1, nullptr, nullptr, 0, n.loc});
+        Pc esc_cont = here();
+        emit({IOp::KillRegion, region, -1, nullptr, nullptr, 0, n.loc});
+        patch(skip, here());
+        emit({IOp::Once, -1, once_slot, nullptr, nullptr, 0, n.loc});
+        emit({IOp::AssignSlot, -1, result_slot, lhs, nullptr, 0, n.loc});
+
+        fp_.escapes[static_cast<size_t>(esc)].cont = esc_cont;
+        fp_.regions[static_cast<size_t>(region)] = {begin, esc_cont, g0, gate_mark()};
+        ret_targets_.pop_back();
+        slots_.restore(hidden_mark);
+    }
+
+    // -- asyncs ---------------------------------------------------------------------
+
+    void flat_async(const AsyncStmt& n, const Expr* lhs) {
+        int region = new_region();
+        int async_idx = static_cast<int>(fp_.asyncs.size());
+        GateId g = new_gate({GateInfo::Kind::Async, async_idx, -1, 0, n.loc});
+        fp_.asyncs.push_back({-1, region, g, n.loc});
+
+        Pc run = emit({IOp::AsyncRun, async_idx, g, nullptr, nullptr, 0, n.loc});
+        Pc begin = here();
+        fp_.asyncs[static_cast<size_t>(async_idx)].begin = begin;
+
+        in_async_ = true;
+        ret_targets_.push_back({RetTarget::Kind::Async, -1, async_idx});
+        int mark = slots_.save();
+        flat_body(n.body);
+        slots_.restore(mark);
+        emit({IOp::AsyncEnd, async_idx, -1, nullptr, nullptr, 0, n.loc});
+        ret_targets_.pop_back();
+        in_async_ = false;
+
+        Pc cont = here();
+        fp_.gates[static_cast<size_t>(g)].cont = cont;
+        fp_.regions[static_cast<size_t>(region)] = {run, cont, g, gate_mark()};
+        if (lhs != nullptr) {
+            emit({IOp::AssignWake, -1, -1, lhs, nullptr, 0, n.loc});
+        }
+    }
+
+    // -- finalization -----------------------------------------------------------------
+
+    void finish() {
+        fp_.data_size = slots_.peak();
+        fp_.ext_gates.assign(sema_.inputs.size(), {});
+        fp_.int_gates.assign(sema_.internals.size(), {});
+        for (size_t g = 0; g < fp_.gates.size(); ++g) {
+            const GateInfo& gi = fp_.gates[g];
+            if (gi.kind == GateInfo::Kind::Ext && gi.event >= 0) {
+                fp_.ext_gates[static_cast<size_t>(gi.event)].push_back(
+                    static_cast<GateId>(g));
+            } else if (gi.kind == GateInfo::Kind::Int && gi.event >= 0) {
+                fp_.int_gates[static_cast<size_t>(gi.event)].push_back(
+                    static_cast<GateId>(g));
+            }
+        }
+    }
+};
+
+}  // namespace
+
+FlatProgram flatten(const Program& prog, const SemaInfo& sema, Diagnostics& diags) {
+    return Flattener(prog, sema, diags).run();
+}
+
+CompiledProgram compile(const std::string& source, const std::string& name) {
+    auto cp = std::make_unique<CompiledProgram>();
+    Diagnostics diags;
+    if (!compile_checked(source, cp.get(), diags, name)) {
+        throw CompileError(diags.str());
+    }
+    return std::move(*cp);
+}
+
+bool compile_checked(const std::string& source, CompiledProgram* out, Diagnostics& diags,
+                     const std::string& name) {
+    out->ast = parse_source(source, diags, name);
+    if (!diags.ok()) return false;
+    out->sema = analyze(out->ast, diags);
+    if (!diags.ok()) return false;
+    out->flat = flatten(out->ast, out->sema, diags);
+    return diags.ok();
+}
+
+}  // namespace ceu::flat

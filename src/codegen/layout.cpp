@@ -1,0 +1,70 @@
+// Disassembler for FlatProgram (debugging aid + golden tests). The layout
+// allocator itself is header-only (layout.hpp).
+#include <sstream>
+
+#include "ast/print.hpp"
+#include "codegen/flatten.hpp"
+#include "codegen/layout.hpp"
+
+namespace ceu::flat {
+
+namespace {
+const char* iop_name(IOp op) {
+    switch (op) {
+        case IOp::Nop: return "nop";
+        case IOp::Eval: return "eval";
+        case IOp::Assign: return "assign";
+        case IOp::AssignWake: return "assign_wake";
+        case IOp::AssignSlot: return "assign_slot";
+        case IOp::IfNot: return "ifnot";
+        case IOp::Jump: return "jump";
+        case IOp::AwaitExt: return "await_ext";
+        case IOp::AwaitInt: return "await_int";
+        case IOp::AwaitTime: return "await_time";
+        case IOp::AwaitDyn: return "await_dyn";
+        case IOp::AwaitForever: return "await_forever";
+        case IOp::EmitInt: return "emit_int";
+        case IOp::EmitExtAsync: return "emit_ext";
+        case IOp::EmitOutput: return "emit_output";
+        case IOp::EmitTimeAsync: return "emit_time";
+        case IOp::ParSpawn: return "par_spawn";
+        case IOp::BranchEnd: return "branch_end";
+        case IOp::KillRegion: return "kill_region";
+        case IOp::Escape: return "escape";
+        case IOp::ClearSlot: return "clear_slot";
+        case IOp::Once: return "once";
+        case IOp::ProgReturn: return "prog_return";
+        case IOp::AsyncRun: return "async_run";
+        case IOp::AsyncYield: return "async_yield";
+        case IOp::AsyncEnd: return "async_end";
+        case IOp::Halt: return "halt";
+    }
+    return "?";
+}
+}  // namespace
+
+std::string disassemble(const FlatProgram& fp) {
+    std::ostringstream os;
+    os << "; data_size=" << fp.data_size << " gates=" << fp.gates.size()
+       << " pars=" << fp.pars.size() << " regions=" << fp.regions.size() << "\n";
+    for (size_t pc = 0; pc < fp.code.size(); ++pc) {
+        const Instr& i = fp.code[pc];
+        os << pc << ":\t" << iop_name(i.op);
+        if (i.a >= 0) os << " a=" << i.a;
+        if (i.b >= 0) os << " b=" << i.b;
+        if (i.us != 0) os << " t=" << format_micros(i.us);
+        if (i.e1 != nullptr) os << "  " << ast::print_expr(*i.e1);
+        if (i.e2 != nullptr) os << " := " << ast::print_expr(*i.e2);
+        os << "\n";
+    }
+    for (size_t g = 0; g < fp.gates.size(); ++g) {
+        const GateInfo& gi = fp.gates[g];
+        os << "; gate " << g << ": kind=" << static_cast<int>(gi.kind)
+           << " event=" << gi.event << " cont=" << gi.cont;
+        if (gi.us != 0) os << " t=" << format_micros(gi.us);
+        os << "\n";
+    }
+    return os.str();
+}
+
+}  // namespace ceu::flat

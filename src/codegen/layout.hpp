@@ -1,0 +1,46 @@
+// Static memory-slot layout (paper §4.2): all data lives in one fixed
+// vector whose size is the maximum the program needs at any instant.
+// Sequential constructs *reuse* slots; parallel branches *coexist*.
+#pragma once
+
+#include <algorithm>
+
+namespace ceu::flat {
+
+class SlotAllocator {
+  public:
+    /// Allocates `n` consecutive slots at the current watermark.
+    int alloc(int n) {
+        int s = cur_;
+        cur_ += n;
+        peak_ = std::max(peak_, cur_);
+        return s;
+    }
+
+    /// Current watermark; `restore` rewinds it when a sequential scope ends
+    /// so that following statements reuse the space.
+    [[nodiscard]] int save() const { return cur_; }
+    void restore(int mark) { cur_ = mark; }
+
+    /// Runs `body` measuring the *local* peak from the current watermark.
+    /// Used to stack parallel branches: branch i+1 starts where branch i's
+    /// local peak ended, so their slots coexist.
+    template <typename Fn>
+    int with_local_peak(Fn&& body) {
+        int saved_peak = peak_;
+        peak_ = cur_;
+        body();
+        int local = peak_;
+        peak_ = std::max(saved_peak, local);
+        return local;
+    }
+
+    /// Total slots the program ever needs simultaneously.
+    [[nodiscard]] int peak() const { return peak_; }
+
+  private:
+    int cur_ = 0;
+    int peak_ = 0;
+};
+
+}  // namespace ceu::flat

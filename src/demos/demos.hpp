@@ -1,0 +1,85 @@
+// The paper's demo applications (§3) as reusable artifacts: the Céu source
+// of each program plus the support C bindings it needs. Shared by the
+// runnable examples, the test suite, and the benches so all three exercise
+// the exact same programs.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "arduino/binding.hpp"
+#include "display/binding.hpp"
+#include "runtime/cbind.hpp"
+
+namespace ceu::demos {
+
+// ---------------------------------------------------------------------------
+// §2: the three-trail counter (quickstart) and the temperature dataflow.
+// ---------------------------------------------------------------------------
+
+extern const char* const kQuickstart;
+extern const char* const kTemperature;
+
+// ---------------------------------------------------------------------------
+// §3.1: the WSN ring (runs on wsn::CeuMote; no extra bindings needed).
+// ---------------------------------------------------------------------------
+
+extern const char* const kRing;
+
+/// Multi-hop data collection (the protocol the paper's conclusion reports
+/// students building): every non-sink mote samples a sensor periodically
+/// and routes readings hop by hop toward mote 0, which `_collect`s them.
+/// Needs `_Read_sensor` and `_collect` bindings (see the example/tests).
+extern const char* const kMultihop;
+
+// ---------------------------------------------------------------------------
+// §3.2: the ship game (Arduino). Needs a ShipWorld for `_MAP`,
+// `_map_generate`, `_redraw`, `_FINISH` on top of the Arduino bindings.
+// ---------------------------------------------------------------------------
+
+extern const char* const kShip;
+
+/// The ship game's C-side state: the meteor map and the screen renderer.
+class ShipWorld {
+  public:
+    static constexpr int kRows = 2;
+    static constexpr int kCols = 48;
+
+    explicit ShipWorld(arduino::Lcd& lcd, uint32_t seed = 7) : lcd_(lcd), seed_(seed) {}
+
+    void generate();
+    [[nodiscard]] int64_t map_at(int64_t row, int64_t col) const;
+    void redraw(int64_t step, int64_t ship, int64_t points);
+
+    [[nodiscard]] int finish_column() const { return kCols - 2; }
+    [[nodiscard]] uint64_t redraws() const { return redraws_; }
+
+  private:
+    arduino::Lcd& lcd_;
+    uint32_t seed_;
+    uint32_t state_ = 1;
+    char map_[kRows][kCols] = {};
+    uint64_t redraws_ = 0;
+};
+
+/// Arduino bindings + ship-game helpers. `world`, `lcd`, `board` must
+/// outlive the engine.
+rt::CBindings make_ship_bindings(ShipWorld& world, arduino::Lcd& lcd,
+                                 arduino::Board& board);
+
+// ---------------------------------------------------------------------------
+// §3.3: Mario (display substrate). Three environment variants:
+//   kMarioLive      — plain event generator (play only)
+//   kMarioReplay    — record 10s of play, then replay it (fast) forever
+//   kMarioBackwards — record, then replay the gameplay backwards
+// Each embeds the same unmodified game code (the demo's whole point).
+// ---------------------------------------------------------------------------
+
+extern const char* const kMarioLive;
+extern const char* const kMarioReplay;
+extern const char* const kMarioBackwards;
+
+/// The Mario demos need SDL-ish bindings only.
+rt::CBindings make_mario_bindings(display::Display& disp);
+
+}  // namespace ceu::demos

@@ -1,0 +1,661 @@
+#include "dfa/abstract.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "ast/print.hpp"
+#include "flow/flowgraph.hpp"
+
+namespace ceu::dfa {
+
+using flat::FlatProgram;
+using flat::GateInfo;
+using flat::Instr;
+using flat::IOp;
+using flat::kNormalPrio;
+using flat::Pc;
+
+// ---------------------------------------------------------------------------
+// MachineState
+// ---------------------------------------------------------------------------
+
+std::string MachineState::key() const {
+    std::ostringstream os;
+    for (uint8_t g : gates) os << (g ? '1' : '0');
+    os << '|';
+    std::vector<std::pair<int, Micros>> t = timers;
+    std::sort(t.begin(), t.end());
+    for (const auto& [g, rem] : t) os << g << ':' << rem << ',';
+    os << '|';
+    for (const auto& [par, cnt] : counters) os << par << '=' << cnt << ',';
+    return os.str();
+}
+
+bool MachineState::has_active_gate() const {
+    for (uint8_t g : gates) {
+        if (g) return true;
+    }
+    return false;
+}
+
+std::string Conflict::str() const {
+    std::ostringstream os;
+    switch (kind) {
+        case Kind::Variable: os << "variable '" << what << "'"; break;
+        case Kind::InternalEvent: os << "internal event '" << what << "'"; break;
+        case Kind::CCall: os << "C call(s) " << what; break;
+    }
+    os << " accessed concurrently (" << loc_a.str() << " vs " << loc_b.str()
+       << ") on " << trigger;
+    return os.str();
+}
+
+std::string Trigger::label(const flat::CompiledProgram& cp) const {
+    switch (kind) {
+        case Kind::Boot: return "boot";
+        case Kind::Ext: return cp.sema.inputs[static_cast<size_t>(event)].name;
+        case Kind::Time: {
+            std::string l = "TIME";
+            if (advance > 0) l += "+" + format_micros(advance);
+            if (advance == 0) l += "+?";
+            return l;
+        }
+        case Kind::AsyncDone: return "async#" + std::to_string(event);
+    }
+    return "?";
+}
+
+MachineState initial_state(const flat::CompiledProgram& cp) {
+    MachineState ms;
+    ms.gates.assign(cp.flat.gates.size(), 0);
+    return ms;
+}
+
+// ---------------------------------------------------------------------------
+// Abstract machine
+// ---------------------------------------------------------------------------
+
+namespace {
+
+struct Seg {
+    std::set<int> reads, writes;       // variable decl ids
+    std::set<int> emits, arrivals;     // internal event ids
+    std::vector<std::pair<std::string, SourceLoc>> ccalls;
+    std::map<int, SourceLoc> var_loc;  // representative location per var
+    std::map<int, SourceLoc> evt_loc;  // representative location per event
+};
+
+struct AbsTrack {
+    Pc pc = 0;
+    int prio = kNormalPrio;
+    uint64_t seq = 0;
+    int parent_seg = -1;
+    // A par/and rejoin is ordered after *every* branch end, not only the
+    // one that scheduled it.
+    std::vector<int> extra_parents;
+};
+
+struct AbsFrame {
+    Pc resume = 0;
+    int prio = kNormalPrio;
+    bool dead = false;
+    int seg = -1;
+    size_t seg_watermark = 0;  // segments created before the push
+};
+
+struct Machine {
+    std::vector<uint8_t> gates;
+    std::vector<std::pair<int, Micros>> timers;
+    std::map<int, int64_t> counters;      // par idx -> remaining branches
+    std::map<int, int64_t> flags;         // hidden slot -> value (transient)
+    std::map<int, std::vector<int>> branch_ends;  // par idx -> segments
+    std::vector<AbsTrack> queue;
+    std::vector<AbsFrame> stack;
+    std::vector<Seg> segs;
+    std::vector<std::pair<int, int>> hb;  // happens-before edges
+    std::set<std::string> executed;
+    uint64_t seq = 0;
+};
+
+class AbstractExec {
+  public:
+    AbstractExec(const flat::CompiledProgram& cp, const Trigger& trigger)
+        : cp_(cp), fp_(cp.flat), trigger_(trigger) {}
+
+    std::vector<ReactionOutcome> run(const MachineState& from) {
+        Machine m;
+        m.gates = from.gates;
+        m.timers = from.timers;
+        m.counters = from.counters;
+
+        // Apply the trigger: advance timers, wake fired gates (one root
+        // segment each — concurrent by construction).
+        if (trigger_.kind == Trigger::Kind::Time && trigger_.advance > 0) {
+            for (auto& [g, rem] : m.timers) {
+                if (rem != kUnknownRemainder) rem -= trigger_.advance;
+            }
+        }
+        if (trigger_.kind == Trigger::Kind::Boot) {
+            m.queue.push_back({0, kNormalPrio, m.seq++, -1, {}});
+        } else {
+            for (int g : trigger_.gates) {
+                if (!m.gates[static_cast<size_t>(g)]) continue;
+                m.gates[static_cast<size_t>(g)] = 0;
+                std::erase_if(m.timers,
+                              [g](const std::pair<int, Micros>& t) { return t.first == g; });
+                m.queue.push_back({fp_.gates[static_cast<size_t>(g)].cont, kNormalPrio,
+                                   m.seq++, -1, {}});
+            }
+        }
+        explore(std::move(m));
+        return std::move(outcomes_);
+    }
+
+  private:
+    const flat::CompiledProgram& cp_;
+    const FlatProgram& fp_;
+    const Trigger& trigger_;
+    std::vector<ReactionOutcome> outcomes_;
+
+    // -- operation recording ---------------------------------------------------
+
+    void record_reads(Machine& m, int seg, const ast::Expr& e) {
+        ast::walk_exprs(e, [&](const ast::Expr& x) {
+            if (x.kind == ast::ExprKind::Var) {
+                const auto& v = static_cast<const ast::VarExpr&>(x);
+                if (v.decl_id >= 0) {
+                    m.segs[static_cast<size_t>(seg)].reads.insert(v.decl_id);
+                    m.segs[static_cast<size_t>(seg)].var_loc.emplace(v.decl_id, x.loc);
+                }
+            } else if (x.kind == ast::ExprKind::Call) {
+                record_ccall(m, seg, static_cast<const ast::CallExpr&>(x));
+            }
+        });
+    }
+
+    void record_ccall(Machine& m, int seg, const ast::CallExpr& call) {
+        std::string name;
+        if (call.fn->kind == ast::ExprKind::CSym) {
+            name = static_cast<const ast::CSymExpr&>(*call.fn).name;
+        } else if (call.fn->kind == ast::ExprKind::Field) {
+            const auto& f = static_cast<const ast::FieldExpr&>(*call.fn);
+            if (f.base->kind == ast::ExprKind::CSym) {
+                name = static_cast<const ast::CSymExpr&>(*f.base).name + "." + f.field;
+            } else {
+                name = f.field;
+            }
+        }
+        if (!name.empty()) {
+            m.segs[static_cast<size_t>(seg)].ccalls.emplace_back(name, call.loc);
+        }
+    }
+
+    void record_write(Machine& m, int seg, const ast::Expr& lhs) {
+        // Peel indices: `a[i] = ...` writes a, reads i.
+        const ast::Expr* root = &lhs;
+        while (root->kind == ast::ExprKind::Index) {
+            const auto& ix = static_cast<const ast::IndexExpr&>(*root);
+            record_reads(m, seg, *ix.index);
+            root = ix.base.get();
+        }
+        if (root->kind == ast::ExprKind::Var) {
+            const auto& v = static_cast<const ast::VarExpr&>(*root);
+            if (v.decl_id >= 0) {
+                m.segs[static_cast<size_t>(seg)].writes.insert(v.decl_id);
+                m.segs[static_cast<size_t>(seg)].var_loc.emplace(v.decl_id, root->loc);
+            }
+        } else if (root->kind == ast::ExprKind::Unop) {
+            // `*p = ...`: pointer-mediated; behind the "C hat" (unchecked,
+            // like the paper's compiler). Still read the pointer itself.
+            record_reads(m, seg, *static_cast<const ast::UnopExpr&>(*root).sub);
+        } else if (root->kind == ast::ExprKind::CSym) {
+            // Writing a C global is equivalent to a C call on it.
+            m.segs[static_cast<size_t>(seg)].ccalls.emplace_back(
+                static_cast<const ast::CSymExpr&>(*root).name + "=", root->loc);
+        }
+    }
+
+    void note_executed(Machine& m, const Instr& i) {
+        std::string l = flow::instr_label(cp_, i);
+        if (!l.empty()) m.executed.insert(l);
+    }
+
+    // -- exploration -------------------------------------------------------------
+
+    void explore(Machine m) {
+        for (;;) {
+            if (!m.queue.empty()) {
+                size_t best = 0;
+                for (size_t i = 1; i < m.queue.size(); ++i) {
+                    if (m.queue[i].prio > m.queue[best].prio ||
+                        (m.queue[i].prio == m.queue[best].prio &&
+                         m.queue[i].seq < m.queue[best].seq)) {
+                        best = i;
+                    }
+                }
+                AbsTrack t = m.queue[best];
+                m.queue.erase(m.queue.begin() + static_cast<std::ptrdiff_t>(best));
+                int seg = static_cast<int>(m.segs.size());
+                m.segs.emplace_back();
+                if (t.parent_seg >= 0) m.hb.emplace_back(t.parent_seg, seg);
+                for (int p : t.extra_parents) m.hb.emplace_back(p, seg);
+                if (!exec(m, t.pc, t.prio, seg)) return;  // forked; children finish
+            } else if (!m.stack.empty()) {
+                AbsFrame f = m.stack.back();
+                m.stack.pop_back();
+                if (f.dead) continue;
+                int seg = static_cast<int>(m.segs.size());
+                m.segs.emplace_back();
+                // Everything the nested reaction ran precedes the resume.
+                if (f.seg >= 0) m.hb.emplace_back(f.seg, seg);
+                for (size_t s = f.seg_watermark; s + 1 < m.segs.size(); ++s) {
+                    m.hb.emplace_back(static_cast<int>(s), seg);
+                }
+                if (!exec(m, f.resume, f.prio, seg)) return;
+            } else {
+                break;
+            }
+        }
+        finish(std::move(m));
+    }
+
+    /// Executes one track in segment `seg`. Returns false if the machine
+    /// forked (ownership passed to recursive explorations).
+    bool exec(Machine& m, Pc pc, int prio, int seg) {
+        for (;;) {
+            const Instr& I = fp_.code[static_cast<size_t>(pc)];
+            switch (I.op) {
+                case IOp::Nop:
+                    ++pc;
+                    break;
+                case IOp::Eval:
+                    note_executed(m, I);
+                    record_reads(m, seg, *I.e1);
+                    ++pc;
+                    break;
+                case IOp::Assign:
+                    note_executed(m, I);
+                    record_write(m, seg, *I.e1);
+                    record_reads(m, seg, *I.e2);
+                    ++pc;
+                    break;
+                case IOp::AssignWake:
+                case IOp::AssignSlot:
+                    note_executed(m, I);
+                    record_write(m, seg, *I.e1);
+                    ++pc;
+                    break;
+
+                case IOp::IfNot: {
+                    note_executed(m, I);
+                    record_reads(m, seg, *I.e1);
+                    // Unknown condition: fork (the DFA covers all paths).
+                    Machine m2 = m;
+                    // m  -> condition true  (fall through)
+                    // m2 -> condition false (jump)
+                    Pc t_pc = pc + 1;
+                    Pc f_pc = I.a;
+                    if (exec(m2, f_pc, prio, seg)) explore(std::move(m2));
+                    pc = t_pc;
+                    break;
+                }
+
+                case IOp::Jump:
+                    pc = I.a;
+                    break;
+
+                case IOp::AwaitExt:
+                case IOp::AwaitForever:
+                    note_executed(m, I);
+                    m.gates[static_cast<size_t>(I.b)] = 1;
+                    return true;
+                case IOp::AwaitInt:
+                    note_executed(m, I);
+                    m.segs[static_cast<size_t>(seg)].arrivals.insert(I.a);
+                    m.segs[static_cast<size_t>(seg)].evt_loc.emplace(I.a, I.loc);
+                    m.gates[static_cast<size_t>(I.b)] = 1;
+                    return true;
+                case IOp::AwaitTime:
+                    note_executed(m, I);
+                    m.gates[static_cast<size_t>(I.b)] = 1;
+                    m.timers.emplace_back(I.b, I.us);
+                    return true;
+                case IOp::AwaitDyn:
+                    note_executed(m, I);
+                    record_reads(m, seg, *I.e1);
+                    m.gates[static_cast<size_t>(I.b)] = 1;
+                    m.timers.emplace_back(I.b, kUnknownRemainder);
+                    return true;
+
+                case IOp::EmitOutput: {
+                    note_executed(m, I);
+                    if (I.e1 != nullptr) record_reads(m, seg, *I.e1);
+                    // Concurrent emissions of the same output are order-
+                    // sensitive at the environment boundary: model them as
+                    // an annotatable C call named after the event, so
+                    // `deterministic _O, _O;` (or `pure _O;`) admits them.
+                    m.segs[static_cast<size_t>(seg)].ccalls.emplace_back(
+                        cp_.sema.outputs[static_cast<size_t>(I.a)].name, I.loc);
+                    ++pc;
+                    break;
+                }
+
+                case IOp::EmitInt: {
+                    note_executed(m, I);
+                    if (I.e1 != nullptr) record_reads(m, seg, *I.e1);
+                    m.segs[static_cast<size_t>(seg)].emits.insert(I.a);
+                    m.segs[static_cast<size_t>(seg)].evt_loc.emplace(I.a, I.loc);
+                    std::vector<int> firing;
+                    for (int g : fp_.int_gates[static_cast<size_t>(I.a)]) {
+                        if (m.gates[static_cast<size_t>(g)]) firing.push_back(g);
+                    }
+                    if (firing.empty()) {
+                        ++pc;
+                        break;
+                    }
+                    m.stack.push_back({pc + 1, prio, false, seg, m.segs.size()});
+                    for (int g : firing) {
+                        m.gates[static_cast<size_t>(g)] = 0;
+                        m.queue.push_back({fp_.gates[static_cast<size_t>(g)].cont,
+                                           kNormalPrio, m.seq++, seg, {}});
+                    }
+                    return true;
+                }
+
+                case IOp::ParSpawn: {
+                    const flat::ParInfo& par = fp_.pars[static_cast<size_t>(I.a)];
+                    if (par.counter_slot >= 0) {
+                        m.counters[I.a] = static_cast<int64_t>(par.branches.size());
+                    }
+                    m.flags[par.sched_slot] = 0;
+                    for (Pc b : par.branches) {
+                        m.queue.push_back({b, kNormalPrio, m.seq++, seg, {}});
+                    }
+                    return true;
+                }
+
+                case IOp::BranchEnd: {
+                    const flat::ParInfo& par = fp_.pars[static_cast<size_t>(I.a)];
+                    switch (par.kind) {
+                        case ast::ParKind::Par:
+                            return true;
+                        case ast::ParKind::ParAnd: {
+                            m.branch_ends[I.a].push_back(seg);
+                            int64_t& cnt = m.counters[I.a];
+                            if (--cnt > 0) return true;
+                            m.counters.erase(I.a);
+                            break;
+                        }
+                        case ast::ParKind::ParOr:
+                            break;
+                    }
+                    int64_t& sched = m.flags[par.sched_slot];
+                    if (sched != 0) return true;
+                    sched = 1;
+                    AbsTrack cont{par.cont, par.prio, m.seq++, seg, {}};
+                    if (par.kind == ast::ParKind::ParAnd) {
+                        // Ordered after every branch that completed.
+                        cont.extra_parents = m.branch_ends[I.a];
+                        m.branch_ends.erase(I.a);
+                    }
+                    m.queue.push_back(std::move(cont));
+                    return true;
+                }
+
+                case IOp::KillRegion: {
+                    const flat::RegionInfo& r = fp_.regions[static_cast<size_t>(I.a)];
+                    for (int g = r.gate_begin; g < r.gate_end; ++g) {
+                        m.gates[static_cast<size_t>(g)] = 0;
+                    }
+                    std::erase_if(m.timers, [&](const std::pair<int, Micros>& t) {
+                        return t.first >= r.gate_begin && t.first < r.gate_end;
+                    });
+                    std::erase_if(m.queue, [&](const AbsTrack& t) {
+                        return t.pc >= r.pc_begin && t.pc < r.pc_end;
+                    });
+                    for (AbsFrame& f : m.stack) {
+                        if (f.resume >= r.pc_begin && f.resume < r.pc_end) f.dead = true;
+                    }
+                    // Kill par/and counters belonging to killed pars.
+                    for (size_t p = 0; p < fp_.pars.size(); ++p) {
+                        const auto& pi = fp_.pars[p];
+                        if (!pi.branches.empty() && pi.branches.front() >= r.pc_begin &&
+                            pi.branches.front() < r.pc_end) {
+                            m.counters.erase(static_cast<int>(p));
+                        }
+                    }
+                    ++pc;
+                    break;
+                }
+
+                case IOp::Escape: {
+                    note_executed(m, I);
+                    const flat::EscapeInfo& esc = fp_.escapes[static_cast<size_t>(I.a)];
+                    int64_t& sched = m.flags[esc.sched_slot];
+                    if (sched != 0) return true;
+                    sched = 1;
+                    if (I.e1 != nullptr) record_reads(m, seg, *I.e1);
+                    m.queue.push_back({esc.cont, esc.prio, m.seq++, seg, {}});
+                    return true;
+                }
+
+                case IOp::ClearSlot:
+                    m.flags[I.b] = 0;
+                    ++pc;
+                    break;
+                case IOp::Once: {
+                    int64_t& v = m.flags[I.b];
+                    if (v != 0) return true;
+                    v = 1;
+                    ++pc;
+                    break;
+                }
+
+                case IOp::ProgReturn:
+                    note_executed(m, I);
+                    if (I.e1 != nullptr) record_reads(m, seg, *I.e1);
+                    // Termination: wipe everything awaiting.
+                    std::fill(m.gates.begin(), m.gates.end(), 0);
+                    m.timers.clear();
+                    m.queue.clear();
+                    for (AbsFrame& f : m.stack) f.dead = true;
+                    m.counters.clear();
+                    return true;
+
+                case IOp::AsyncRun:
+                    note_executed(m, I);
+                    m.gates[static_cast<size_t>(I.b)] = 1;
+                    return true;
+
+                case IOp::AsyncYield:
+                case IOp::AsyncEnd:
+                case IOp::EmitExtAsync:
+                case IOp::EmitTimeAsync:
+                    // Async bodies run outside the synchronous reaction; the
+                    // analysis treats their completion as an input. Nothing
+                    // inside them participates in a reaction chain.
+                    return true;
+
+                case IOp::Halt:
+                    return true;
+            }
+        }
+    }
+
+    // -- conflict detection at reaction end -----------------------------------------
+
+    void finish(Machine m) {
+        ReactionOutcome out;
+        out.next.gates = std::move(m.gates);
+        out.next.timers = std::move(m.timers);
+        out.next.counters = std::move(m.counters);
+        out.executed.assign(m.executed.begin(), m.executed.end());
+
+        // Transitive closure of happens-before over the (small) segment set.
+        size_t n = m.segs.size();
+        std::vector<std::vector<uint8_t>> reach(n, std::vector<uint8_t>(n, 0));
+        for (const auto& [a, b] : m.hb) {
+            if (a >= 0 && b >= 0) reach[static_cast<size_t>(a)][static_cast<size_t>(b)] = 1;
+        }
+        for (size_t k = 0; k < n; ++k) {
+            for (size_t i = 0; i < n; ++i) {
+                if (!reach[i][k]) continue;
+                for (size_t j = 0; j < n; ++j) {
+                    if (reach[k][j]) reach[i][j] = 1;
+                }
+            }
+        }
+
+        const std::string trig = trigger_.label(cp_);
+        auto var_name = [&](int d) { return cp_.sema.vars[static_cast<size_t>(d)].name; };
+        auto evt_name = [&](int e) {
+            return cp_.sema.internals[static_cast<size_t>(e)].name;
+        };
+
+        for (size_t i = 0; i < n; ++i) {
+            for (size_t j = i + 1; j < n; ++j) {
+                if (reach[i][j] || reach[j][i]) continue;  // ordered
+                const Seg& a = m.segs[i];
+                const Seg& b = m.segs[j];
+
+                // Variables: write in one, read-or-write in the other.
+                auto var_conflicts = [&](const Seg& w, const Seg& r) {
+                    for (int d : w.writes) {
+                        if (r.reads.count(d) || r.writes.count(d)) {
+                            Conflict c;
+                            c.kind = Conflict::Kind::Variable;
+                            c.what = var_name(d);
+                            c.loc_a = w.var_loc.count(d) ? w.var_loc.at(d) : SourceLoc{};
+                            c.loc_b = r.var_loc.count(d) ? r.var_loc.at(d) : SourceLoc{};
+                            c.trigger = trig;
+                            out.conflicts.push_back(c);
+                        }
+                    }
+                };
+                var_conflicts(a, b);
+                var_conflicts(b, a);
+
+                // Internal events: emit in one, emit-or-await in the other.
+                auto evt_conflicts = [&](const Seg& e, const Seg& o) {
+                    for (int ev : e.emits) {
+                        if (o.emits.count(ev) || o.arrivals.count(ev)) {
+                            Conflict c;
+                            c.kind = Conflict::Kind::InternalEvent;
+                            c.what = evt_name(ev);
+                            c.loc_a = e.evt_loc.count(ev) ? e.evt_loc.at(ev) : SourceLoc{};
+                            c.loc_b = o.evt_loc.count(ev) ? o.evt_loc.at(ev) : SourceLoc{};
+                            c.trigger = trig;
+                            out.conflicts.push_back(c);
+                        }
+                    }
+                };
+                evt_conflicts(a, b);
+                evt_conflicts(b, a);
+
+                // C calls: every unordered pair must be annotation-allowed.
+                for (const auto& [f, floc] : a.ccalls) {
+                    for (const auto& [g, gloc] : b.ccalls) {
+                        if (!cp_.sema.ccalls.allowed(f, g)) {
+                            Conflict c;
+                            c.kind = Conflict::Kind::CCall;
+                            c.what = "_" + f + " / _" + g;
+                            c.loc_a = floc;
+                            c.loc_b = gloc;
+                            c.trigger = trig;
+                            out.conflicts.push_back(c);
+                        }
+                    }
+                }
+            }
+        }
+        outcomes_.push_back(std::move(out));
+    }
+};
+
+}  // namespace
+
+std::vector<ReactionOutcome> abstract_react(const flat::CompiledProgram& cp,
+                                            const MachineState& from,
+                                            const Trigger& trigger) {
+    return AbstractExec(cp, trigger).run(from);
+}
+
+std::vector<Trigger> enumerate_triggers(const flat::CompiledProgram& cp,
+                                        const MachineState& state) {
+    const FlatProgram& fp = cp.flat;
+    std::vector<Trigger> out;
+
+    // External input events with at least one active await.
+    for (size_t evt = 0; evt < fp.ext_gates.size(); ++evt) {
+        Trigger t;
+        t.kind = Trigger::Kind::Ext;
+        t.event = static_cast<int>(evt);
+        for (int g : fp.ext_gates[evt]) {
+            if (state.gates[static_cast<size_t>(g)]) t.gates.push_back(g);
+        }
+        if (!t.gates.empty()) out.push_back(std::move(t));
+    }
+
+    // Async completions.
+    for (size_t a = 0; a < fp.asyncs.size(); ++a) {
+        int g = fp.asyncs[a].gate;
+        if (state.gates[static_cast<size_t>(g)]) {
+            Trigger t;
+            t.kind = Trigger::Kind::AsyncDone;
+            t.event = static_cast<int>(a);
+            t.gates.push_back(g);
+            out.push_back(std::move(t));
+        }
+    }
+
+    // Wall-clock time: the earliest known deadline group fires together;
+    // unknown-duration timers (await (expr)) may fire before it, with it,
+    // or after it — all orderings are explored (this is what forces the
+    // ship demo's `pure`/`deterministic` annotations).
+    std::vector<int> known_min_gates;
+    Micros min_rem = -1;
+    std::vector<int> unknown_gates;
+    for (const auto& [g, rem] : state.timers) {
+        if (!state.gates[static_cast<size_t>(g)]) continue;
+        if (rem == kUnknownRemainder) {
+            unknown_gates.push_back(g);
+        } else if (min_rem < 0 || rem < min_rem) {
+            min_rem = rem;
+            known_min_gates.assign(1, g);
+        } else if (rem == min_rem) {
+            known_min_gates.push_back(g);
+        }
+    }
+    if (!known_min_gates.empty()) {
+        Trigger t;
+        t.kind = Trigger::Kind::Time;
+        t.advance = min_rem;
+        t.gates = known_min_gates;
+        out.push_back(t);
+        for (int u : unknown_gates) {
+            Trigger together = t;
+            together.gates.push_back(u);
+            out.push_back(std::move(together));
+        }
+    }
+    for (int u : unknown_gates) {
+        Trigger t;
+        t.kind = Trigger::Kind::Time;
+        t.advance = 0;
+        t.gates.push_back(u);
+        out.push_back(std::move(t));
+    }
+    // Pairs of unknown timers may coincide.
+    for (size_t i = 0; i < unknown_gates.size(); ++i) {
+        for (size_t j = i + 1; j < unknown_gates.size(); ++j) {
+            Trigger t;
+            t.kind = Trigger::Kind::Time;
+            t.advance = 0;
+            t.gates = {unknown_gates[i], unknown_gates[j]};
+            out.push_back(std::move(t));
+        }
+    }
+    return out;
+}
+
+}  // namespace ceu::dfa

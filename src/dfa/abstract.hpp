@@ -1,0 +1,82 @@
+// Abstract reaction execution — the front half of the temporal analysis
+// (paper §2.6/§4.1).
+//
+// A reaction chain is re-executed *abstractly*: variable values are unknown
+// (every `if` forks the machine), but the control machinery — gates, par
+// counters, rejoin scheduling flags, the internal-event stack — is tracked
+// concretely, exactly as the runtime would. Each scheduled track execution
+// is a *segment*; happens-before edges connect spawner→spawned,
+// emitter→awakened, and nested-reaction→emitter-resume. Two segments with
+// no path between them ran concurrently: their recorded operations (reads,
+// writes, internal-event emits/await-arrivals, C calls) are checked
+// pairwise for the paper's three sources of nondeterminism.
+#pragma once
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "codegen/flatten.hpp"
+
+namespace ceu::dfa {
+
+/// Remainder value meaning "duration unknown until runtime" (await (expr)).
+constexpr Micros kUnknownRemainder = -1;
+
+/// Inter-reaction machine state: what must be remembered between reactions
+/// for the exploration to be exact. Hidden scheduling flags are transient
+/// (reset on construct re-entry) and deliberately excluded.
+struct MachineState {
+    std::vector<uint8_t> gates;                       // active flags per gate
+    std::vector<std::pair<int, Micros>> timers;       // gate -> remainder
+    std::map<int, int64_t> counters;                  // par/and counters
+
+    [[nodiscard]] std::string key() const;
+    [[nodiscard]] bool has_active_gate() const;
+};
+
+/// One detected source of nondeterminism.
+struct Conflict {
+    enum class Kind { Variable, InternalEvent, CCall };
+    Kind kind = Kind::Variable;
+    std::string what;   // variable/event/function name(s)
+    SourceLoc loc_a, loc_b;
+    std::string trigger;  // the input that provoked the concurrent reaction
+
+    [[nodiscard]] std::string str() const;
+};
+
+/// Result of abstractly executing one reaction from one machine state.
+struct ReactionOutcome {
+    MachineState next;
+    std::vector<Conflict> conflicts;
+    std::vector<std::string> executed;  // statement summaries (DFA labels)
+};
+
+/// The triggering input of a reaction.
+struct Trigger {
+    enum class Kind { Boot, Ext, Time, AsyncDone };
+    Kind kind = Kind::Boot;
+    int event = -1;             // Ext: input event id; AsyncDone: async idx
+    std::vector<int> gates;     // gates fired by this trigger
+    Micros advance = 0;         // Time: amount subtracted from remainders
+
+    [[nodiscard]] std::string label(const flat::CompiledProgram& cp) const;
+};
+
+/// Runs one abstract reaction. Forks on unknown conditions, so several
+/// outcomes may be produced; all are exact covers of runtime possibilities.
+std::vector<ReactionOutcome> abstract_react(const flat::CompiledProgram& cp,
+                                            const MachineState& from,
+                                            const Trigger& trigger);
+
+/// Enumerates the triggers applicable in `state` (awaited external events,
+/// expiring timer groups with unknown-duration forks, async completions).
+std::vector<Trigger> enumerate_triggers(const flat::CompiledProgram& cp,
+                                        const MachineState& state);
+
+/// Initial machine state (everything inactive) sized for `cp`.
+MachineState initial_state(const flat::CompiledProgram& cp);
+
+}  // namespace ceu::dfa

@@ -1,0 +1,131 @@
+#include "dfa/dfa.hpp"
+
+#include <deque>
+#include <set>
+#include <sstream>
+#include <unordered_map>
+
+namespace ceu::dfa {
+
+Dfa Dfa::build(const flat::CompiledProgram& cp, DfaOptions opt) {
+    Dfa dfa;
+    std::unordered_map<std::string, int> index;
+    std::deque<int> worklist;
+    std::set<std::string> conflict_keys;
+
+    auto add_conflict = [&](Conflict c) {
+        // Normalize the symmetric pair so each conflict reports once.
+        if (c.loc_b.line < c.loc_a.line ||
+            (c.loc_b.line == c.loc_a.line && c.loc_b.col < c.loc_a.col)) {
+            std::swap(c.loc_a, c.loc_b);
+        }
+        if (conflict_keys.insert(c.str()).second) dfa.conflicts_.push_back(c);
+    };
+
+    auto intern = [&](MachineState ms, const std::vector<std::string>& executed,
+                      bool conflicted) -> int {
+        std::string key = ms.key();
+        auto it = index.find(key);
+        int id;
+        if (it == index.end()) {
+            id = static_cast<int>(dfa.states_.size());
+            index.emplace(std::move(key), id);
+            DfaStateNode node;
+            node.id = id;
+            node.terminal = !ms.has_active_gate();
+            node.state = std::move(ms);
+            dfa.states_.push_back(std::move(node));
+            worklist.push_back(id);
+        } else {
+            id = it->second;
+        }
+        DfaStateNode& node = dfa.states_[static_cast<size_t>(id)];
+        for (const std::string& s : executed) {
+            bool seen = false;
+            for (const std::string& have : node.executed) {
+                if (have == s) {
+                    seen = true;
+                    break;
+                }
+            }
+            if (!seen) node.executed.push_back(s);
+        }
+        node.has_conflict = node.has_conflict || conflicted;
+        return id;
+    };
+
+    // Boot reaction.
+    Trigger boot;
+    boot.kind = Trigger::Kind::Boot;
+    for (ReactionOutcome& o : abstract_react(cp, initial_state(cp), boot)) {
+        for (const Conflict& c : o.conflicts) add_conflict(c);
+        intern(std::move(o.next), o.executed, !o.conflicts.empty());
+    }
+
+    while (!worklist.empty()) {
+        if (dfa.states_.size() > opt.max_states) {
+            dfa.complete_ = false;
+            break;
+        }
+        if (opt.stop_at_first_conflict && !dfa.conflicts_.empty()) {
+            dfa.complete_ = false;
+            break;
+        }
+        int id = worklist.front();
+        worklist.pop_front();
+
+        // NOTE: take a copy — `intern` may grow the vector and invalidate
+        // references into it.
+        MachineState state = dfa.states_[static_cast<size_t>(id)].state;
+        for (const Trigger& t : enumerate_triggers(cp, state)) {
+            std::string label = t.label(cp);
+            for (ReactionOutcome& o : abstract_react(cp, state, t)) {
+                for (const Conflict& c : o.conflicts) add_conflict(c);
+                int target = intern(std::move(o.next), o.executed, !o.conflicts.empty());
+                dfa.states_[static_cast<size_t>(id)].out.push_back({label, target});
+            }
+        }
+    }
+    return dfa;
+}
+
+std::string Dfa::to_dot(const std::string& title) const {
+    std::ostringstream os;
+    os << "digraph \"" << title << "\" {\n  rankdir=TB;\n"
+       << "  node [shape=box, fontname=\"monospace\"];\n";
+    for (const DfaStateNode& s : states_) {
+        os << "  s" << s.id << " [label=\"DFA #" << s.id;
+        for (const std::string& line : s.executed) {
+            std::string esc;
+            for (char c : line) {
+                if (c == '"' || c == '\\') esc += '\\';
+                esc += c;
+            }
+            os << "\\n" << esc;
+        }
+        os << "\"";
+        if (s.has_conflict) os << ", color=red, penwidth=2";
+        if (s.terminal) os << ", peripheries=2";
+        os << "];\n";
+    }
+    for (const DfaStateNode& s : states_) {
+        for (const DfaTransition& t : s.out) {
+            os << "  s" << s.id << " -> s" << t.target << " [label=\"" << t.label
+               << "\"];\n";
+        }
+    }
+    os << "}\n";
+    return os.str();
+}
+
+std::string Dfa::report() const {
+    std::ostringstream os;
+    for (const Conflict& c : conflicts_) os << c.str() << "\n";
+    return os.str();
+}
+
+std::vector<Conflict> temporal_analysis(const flat::CompiledProgram& cp, DfaOptions opt) {
+    return Dfa::build(cp, opt).conflicts();
+}
+
+}  // namespace ceu::dfa

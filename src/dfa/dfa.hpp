@@ -1,0 +1,71 @@
+// Temporal analysis: builds the deterministic-finite-automaton covering
+// every reachable reaction of a program (paper §2.6, Figure 2), detecting
+// the three sources of nondeterminism:
+//   1. concurrent access to variables,
+//   2. concurrent access to internal events (emit vs emit/await),
+//   3. concurrent C calls not allowed by `pure`/`deterministic` annotations.
+//
+// The conversion is exponential in the worst case (a theoretical lower
+// bound the paper acknowledges, §7); `DfaOptions::max_states` bounds the
+// exploration, and `complete()` reports whether the cover is exhaustive.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "dfa/abstract.hpp"
+
+namespace ceu::dfa {
+
+struct DfaOptions {
+    size_t max_states = 20000;
+    bool stop_at_first_conflict = false;
+};
+
+struct DfaTransition {
+    std::string label;  // triggering input ("A", "TIME+10ms", "async#0")
+    int target = -1;
+};
+
+struct DfaStateNode {
+    int id = 0;
+    MachineState state;
+    std::vector<DfaTransition> out;
+    std::vector<std::string> executed;  // stmts run by reactions *entering* it
+    bool has_conflict = false;          // some entering reaction conflicts
+    bool terminal = false;              // no awaiting trails: program over
+};
+
+class Dfa {
+  public:
+    static Dfa build(const flat::CompiledProgram& cp, DfaOptions opt = {});
+
+    /// True iff no reachable reaction exhibits nondeterminism.
+    [[nodiscard]] bool deterministic() const { return conflicts_.empty(); }
+    [[nodiscard]] const std::vector<Conflict>& conflicts() const { return conflicts_; }
+    [[nodiscard]] size_t state_count() const { return states_.size(); }
+    [[nodiscard]] const std::vector<DfaStateNode>& states() const { return states_; }
+    /// False if exploration hit `max_states` (analysis then incomplete).
+    [[nodiscard]] bool complete() const { return complete_; }
+
+    /// Graphviz export in the spirit of the paper's Figure 2: one node per
+    /// state, labeled with the statements its entering reactions execute;
+    /// conflicting states are outlined.
+    [[nodiscard]] std::string to_dot(const std::string& title = "dfa") const;
+
+    /// Human-readable conflict report (empty when deterministic).
+    [[nodiscard]] std::string report() const;
+
+  private:
+    std::vector<DfaStateNode> states_;
+    std::vector<Conflict> conflicts_;
+    bool complete_ = true;
+};
+
+/// Convenience: full pipeline check as the Céu compiler would run it —
+/// returns the conflicts (empty = program accepted).
+std::vector<Conflict> temporal_analysis(const flat::CompiledProgram& cp,
+                                        DfaOptions opt = {});
+
+}  // namespace ceu::dfa

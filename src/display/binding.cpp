@@ -1,0 +1,55 @@
+#include "display/binding.hpp"
+
+namespace ceu::display {
+
+using rt::CBindings;
+using rt::Engine;
+using rt::Value;
+
+CBindings make_sdl_bindings(Display& disp) {
+    CBindings c;
+
+    c.constant("SDL_KEYDOWN", kEventKeyDown);
+
+    c.fn("SDL_PollEvent", [&disp](Engine&, std::span<const Value> args) {
+        int64_t e = disp.poll_event();
+        if (!args.empty() && args[0].is_ptr() && args[0].p != nullptr) {
+            *args[0].p = e;
+        }
+        return Value::integer(e == kEventNone ? 0 : 1);
+    });
+
+    // `event.type` on a `_SDL_Event event` variable: the slot holds the
+    // event code written by SDL_PollEvent.
+    c.fn("SDL_Event.type", [](Engine&, std::span<const Value> args) {
+        if (!args.empty() && args[0].is_ptr() && args[0].p != nullptr) {
+            return Value::integer(*args[0].p);
+        }
+        return Value::integer(kEventNone);
+    });
+
+    c.fn("SDL_Delay", [&disp](Engine&, std::span<const Value> args) {
+        // SDL_Delay takes milliseconds.
+        disp.delay((args.empty() ? 0 : args[0].as_int()) * kMs);
+        return Value::integer(0);
+    });
+
+    c.fn("redraw", [&disp](Engine&, std::span<const Value> args) {
+        Display::Scene s{0, 0, 0, 0};
+        if (args.size() >= 4) {
+            s = {args[0].as_int(), args[1].as_int(), args[2].as_int(),
+                 args[3].as_int()};
+        }
+        disp.redraw(s);
+        return Value::integer(0);
+    });
+
+    c.fn("redraw_on", [&disp](Engine&, std::span<const Value> args) {
+        disp.set_redraw(args.empty() || args[0].truthy());
+        return Value::integer(0);
+    });
+
+    return c;
+}
+
+}  // namespace ceu::display

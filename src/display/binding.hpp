@@ -1,0 +1,19 @@
+// C bindings exposing the display to Céu programs, SDL-flavored:
+//   _SDL_PollEvent(&event)  pops one pending event into `event`; 1 if any
+//   event.type              field accessor for `_SDL_Event event` variables
+//   _SDL_KEYDOWN            event-type constant
+//   _SDL_Delay(ms)          virtual delay
+//   _redraw(mx,my,tx,ty)    draws a scene (honors _redraw_on)
+//   _redraw_on(flag)        toggles drawing (backwards replay)
+#pragma once
+
+#include "display/display.hpp"
+#include "runtime/cbind.hpp"
+#include "runtime/engine.hpp"
+
+namespace ceu::display {
+
+/// `disp` must outlive the engine.
+rt::CBindings make_sdl_bindings(Display& disp);
+
+}  // namespace ceu::display

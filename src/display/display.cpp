@@ -1,0 +1,6 @@
+// Display is header-only; this TU anchors the module.
+#include "display/display.hpp"
+
+namespace ceu::display {
+static_assert(kEventKeyDown != kEventNone);
+}  // namespace ceu::display

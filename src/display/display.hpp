@@ -1,0 +1,74 @@
+// SDL-like display/input simulator (paper §3.3, the Mario demo): a polled
+// key-event queue, a delay call, and a scene whose redraws can be switched
+// off — exactly what the backwards-replay trick needs.
+#pragma once
+
+#include <deque>
+#include <string>
+#include <vector>
+
+#include "util/timeval.hpp"
+
+namespace ceu::display {
+
+constexpr int64_t kEventNone = 0;
+constexpr int64_t kEventKeyDown = 2;  // matches the demo's _SDL_KEYDOWN use
+
+class Display {
+  public:
+    // -- input -----------------------------------------------------------------
+
+    /// Scripted key press: becomes visible to poll_event() in FIFO order.
+    void push_key() { pending_keys_.push_back(kEventKeyDown); }
+    [[nodiscard]] size_t pending() const { return pending_keys_.size(); }
+
+    /// SDL_PollEvent: pops one pending event; returns kEventNone if empty.
+    int64_t poll_event() {
+        if (pending_keys_.empty()) return kEventNone;
+        int64_t e = pending_keys_.front();
+        pending_keys_.pop_front();
+        return e;
+    }
+
+    // -- output ----------------------------------------------------------------
+
+    void set_redraw(bool on) { redraw_on_ = on; }
+    [[nodiscard]] bool redraw_enabled() const { return redraw_on_; }
+
+    struct Scene {
+        int64_t mario_x, mario_y, turtle_x, turtle_y;
+        bool operator==(const Scene&) const = default;
+    };
+
+    /// Records a frame iff redraws are enabled (backwards replay shows only
+    /// the final scene of each re-execution). The last scene is remembered
+    /// either way so `mark_frame` can surface it.
+    void redraw(const Scene& s) {
+        ++redraw_calls_;
+        last_scene_ = s;
+        if (redraw_on_) frames_.push_back(s);
+    }
+
+    /// Pushes the most recent scene into the frame history regardless of
+    /// the redraw switch (the backwards-replay "show the final scene" hook).
+    void mark_frame() { frames_.push_back(last_scene_); }
+    [[nodiscard]] const Scene& last_scene() const { return last_scene_; }
+
+    [[nodiscard]] const std::vector<Scene>& frames() const { return frames_; }
+    [[nodiscard]] uint64_t redraw_calls() const { return redraw_calls_; }
+    void clear_frames() { frames_.clear(); }
+
+    /// SDL_Delay: virtual; accumulates so tests can assert pacing.
+    void delay(Micros us) { delayed_ += us; }
+    [[nodiscard]] Micros total_delay() const { return delayed_; }
+
+  private:
+    std::deque<int64_t> pending_keys_;
+    Scene last_scene_{0, 0, 0, 0};
+    bool redraw_on_ = true;
+    std::vector<Scene> frames_;
+    uint64_t redraw_calls_ = 0;
+    Micros delayed_ = 0;
+};
+
+}  // namespace ceu::display

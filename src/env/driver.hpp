@@ -1,0 +1,59 @@
+// Environment driver: owns an Engine, feeds it a Script, collects traces.
+// Plays the role of the platform binding described in §5 — it decides the
+// order in which the four API entry points are called, and it never
+// interleaves them (which would break the discrete semantics of time).
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "codegen/flatten.hpp"
+#include "env/script.hpp"
+#include "runtime/engine.hpp"
+
+namespace ceu::env {
+
+/// Standard C bindings every test/demo gets: `_printf`, `_assert`,
+/// `_trace`, `_abs`, and a deterministic `_srand`/`_rand`/`_time`.
+/// Trace-producing calls are routed to the engine's `on_trace` hook.
+rt::CBindings make_standard_bindings();
+
+/// Formats `fmt` with printf-style directives (%d %ld %u %x %c %s %%)
+/// against Céu values. Shared by the console binding and the substrates.
+std::string format_printf(const std::string& fmt, std::span<const rt::Value> args);
+
+class Driver {
+  public:
+    /// `cp` must outlive the driver. Extra bindings are merged over the
+    /// standard ones (platform bindings win on conflicts).
+    explicit Driver(const flat::CompiledProgram& cp,
+                    const rt::CBindings* extra = nullptr);
+
+    /// Boot + run the whole script + drain asyncs. Returns final status.
+    rt::Engine::Status run(const Script& script);
+
+    /// Step API for tests that interleave with engine inspection.
+    void boot();
+    void feed(const ScriptItem& item);
+    /// Runs asyncs until idle (or the slice cap trips — a test safety net).
+    void settle_asyncs(uint64_t max_slices = 10'000'000);
+
+    [[nodiscard]] rt::Engine& engine() { return *engine_; }
+    [[nodiscard]] const std::vector<std::string>& trace() const { return trace_; }
+    [[nodiscard]] std::string trace_text() const;
+    [[nodiscard]] Micros clock() const { return clock_; }
+
+  private:
+    rt::CBindings bindings_;
+    std::unique_ptr<rt::Engine> engine_;
+    std::vector<std::string> trace_;
+    Micros clock_ = 0;
+};
+
+/// One-shot helper: compile, run `script`, return the trace lines.
+/// Throws CompileError / RuntimeError on failure.
+std::vector<std::string> run_and_trace(const std::string& source, const Script& script,
+                                       const rt::CBindings* extra = nullptr);
+
+}  // namespace ceu::env

@@ -1,0 +1,6 @@
+// Script is header-only; this TU anchors the module for the build.
+#include "env/script.hpp"
+
+namespace ceu::env {
+static_assert(sizeof(ScriptItem) > 0);
+}  // namespace ceu::env

@@ -1,0 +1,54 @@
+// Input scripts: a deterministic description of what the environment does
+// to a program — occurrences of input events and the passage of wall-clock
+// time. The paper's reactive premise (§2.8) is that a program execution is
+// a function of its input sequence alone; scripts make that sequence a
+// first-class, replayable artifact for tests and benches.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "runtime/value.hpp"
+#include "util/timeval.hpp"
+
+namespace ceu::env {
+
+struct ScriptItem {
+    enum class Kind {
+        Event,      // deliver an input event (optionally valued)
+        Advance,    // advance wall-clock time by `us`
+        AsyncIdle,  // let asynchronous blocks run until they go idle
+    };
+    Kind kind = Kind::Event;
+    std::string event;
+    rt::Value value = rt::Value::integer(0);
+    Micros us = 0;
+};
+
+class Script {
+  public:
+    Script& event(std::string name) {
+        items_.push_back({ScriptItem::Kind::Event, std::move(name), rt::Value::integer(0), 0});
+        return *this;
+    }
+    Script& event(std::string name, int64_t v) {
+        items_.push_back(
+            {ScriptItem::Kind::Event, std::move(name), rt::Value::integer(v), 0});
+        return *this;
+    }
+    Script& advance(Micros us) {
+        items_.push_back({ScriptItem::Kind::Advance, "", rt::Value::integer(0), us});
+        return *this;
+    }
+    Script& settle_asyncs() {
+        items_.push_back({ScriptItem::Kind::AsyncIdle, "", rt::Value::integer(0), 0});
+        return *this;
+    }
+
+    [[nodiscard]] const std::vector<ScriptItem>& items() const { return items_; }
+
+  private:
+    std::vector<ScriptItem> items_;
+};
+
+}  // namespace ceu::env

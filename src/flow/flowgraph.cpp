@@ -1,0 +1,184 @@
+#include "flow/flowgraph.hpp"
+
+#include <sstream>
+
+#include "ast/print.hpp"
+
+namespace ceu::flow {
+
+using flat::FlatProgram;
+using flat::GateInfo;
+using flat::Instr;
+using flat::IOp;
+using flat::Pc;
+
+std::string instr_label(const flat::CompiledProgram& cp, const Instr& i) {
+    switch (i.op) {
+        case IOp::Eval: return ast::print_expr(*i.e1);
+        case IOp::Assign:
+            return ast::print_expr(*i.e1) + " = " + ast::print_expr(*i.e2);
+        case IOp::AssignWake: return ast::print_expr(*i.e1) + " = <wake>";
+        case IOp::AssignSlot: return ast::print_expr(*i.e1) + " = <result>";
+        case IOp::IfNot: return "if " + ast::print_expr(*i.e1);
+        case IOp::Jump: return "";
+        case IOp::AwaitExt:
+            return "await " + cp.sema.inputs[static_cast<size_t>(i.a)].name;
+        case IOp::AwaitInt:
+            return "await " + cp.sema.internals[static_cast<size_t>(i.a)].name;
+        case IOp::AwaitTime: return "await " + format_micros(i.us);
+        case IOp::AwaitDyn: return "await (" + ast::print_expr(*i.e1) + ")";
+        case IOp::AwaitForever: return "await forever";
+        case IOp::EmitInt:
+            return "emit " + cp.sema.internals[static_cast<size_t>(i.a)].name;
+        case IOp::EmitExtAsync:
+            return "emit " + cp.sema.inputs[static_cast<size_t>(i.a)].name;
+        case IOp::EmitTimeAsync: return "emit " + format_micros(i.us);
+        case IOp::ParSpawn: return "par";
+        case IOp::BranchEnd: return "rejoin";
+        case IOp::KillRegion: return "kill";
+        case IOp::Escape: return i.e1 ? "return " + ast::print_expr(*i.e1) : "break";
+        case IOp::ProgReturn:
+            return i.e1 ? "return " + ast::print_expr(*i.e1) : "return";
+        case IOp::AsyncRun: return "async";
+        case IOp::AsyncEnd: return "async end";
+        case IOp::Halt: return "halt";
+        default: return "";
+    }
+}
+
+FlowGraph build_flow_graph(const flat::CompiledProgram& cp) {
+    const FlatProgram& fp = cp.flat;
+    FlowGraph g;
+    g.nodes.resize(fp.code.size());
+
+    // Rejoin priority: paper convention is 0 = highest, outer rejoins lower.
+    // A continuation at construct depth d gets priority (max_depth+1-d), so
+    // deeper rejoins carry a smaller number than outer ones... inverted to
+    // match the figure where deeper rejoins print a *smaller* value. We
+    // print: normal 0, rejoin at depth d -> (max_depth + 1 - d).
+    auto rejoin_prio = [&](int depth) { return fp.max_depth + 1 - depth; };
+
+    for (size_t pc = 0; pc < fp.code.size(); ++pc) {
+        const Instr& i = fp.code[pc];
+        Node& n = g.nodes[pc];
+        n.pc = static_cast<Pc>(pc);
+        n.label = instr_label(cp, i);
+        switch (i.op) {
+            case IOp::AwaitExt:
+            case IOp::AwaitInt:
+            case IOp::AwaitTime:
+            case IOp::AwaitDyn:
+            case IOp::AwaitForever:
+                n.is_await = true;
+                break;
+            default:
+                break;
+        }
+    }
+    for (const auto& par : fp.pars) {
+        if (par.cont >= 0) {
+            g.nodes[static_cast<size_t>(par.cont)].is_rejoin = true;
+            g.nodes[static_cast<size_t>(par.cont)].priority = rejoin_prio(par.prio + 1);
+        }
+    }
+    for (const auto& esc : fp.escapes) {
+        if (esc.cont >= 0) {
+            g.nodes[static_cast<size_t>(esc.cont)].is_rejoin = true;
+            g.nodes[static_cast<size_t>(esc.cont)].priority = rejoin_prio(esc.prio + 1);
+        }
+    }
+
+    auto edge = [&](Pc a, Pc b, std::string label = "") {
+        if (a >= 0 && b >= 0 && static_cast<size_t>(b) < fp.code.size()) {
+            g.edges.push_back({a, b, std::move(label)});
+        }
+    };
+
+    for (size_t pcz = 0; pcz < fp.code.size(); ++pcz) {
+        Pc pc = static_cast<Pc>(pcz);
+        const Instr& i = fp.code[pcz];
+        switch (i.op) {
+            case IOp::IfNot:
+                edge(pc, pc + 1, "true");
+                edge(pc, i.a, "false");
+                break;
+            case IOp::Jump:
+                edge(pc, i.a);
+                break;
+            case IOp::AwaitExt:
+                edge(pc, pc + 1, cp.sema.inputs[static_cast<size_t>(i.a)].name);
+                break;
+            case IOp::AwaitInt:
+                edge(pc, pc + 1, cp.sema.internals[static_cast<size_t>(i.a)].name);
+                break;
+            case IOp::AwaitTime:
+                edge(pc, pc + 1, format_micros(i.us));
+                break;
+            case IOp::AwaitDyn:
+                edge(pc, pc + 1, "(dyn)");
+                break;
+            case IOp::AwaitForever:
+            case IOp::Halt:
+            case IOp::ProgReturn:
+                break;
+            case IOp::ParSpawn: {
+                const auto& par = fp.pars[static_cast<size_t>(i.a)];
+                for (Pc b : par.branches) edge(pc, b);
+                break;
+            }
+            case IOp::BranchEnd: {
+                const auto& par = fp.pars[static_cast<size_t>(i.a)];
+                if (par.cont >= 0) edge(pc, par.cont, "rejoin");
+                break;
+            }
+            case IOp::Escape: {
+                const auto& esc = fp.escapes[static_cast<size_t>(i.a)];
+                edge(pc, esc.cont, "escape");
+                break;
+            }
+            case IOp::AsyncRun: {
+                const auto& ai = fp.asyncs[static_cast<size_t>(i.a)];
+                edge(pc, ai.begin, "spawn");
+                edge(pc, fp.gates[static_cast<size_t>(ai.gate)].cont, "done");
+                break;
+            }
+            case IOp::AsyncEnd:
+                break;
+            default:
+                edge(pc, pc + 1);
+                break;
+        }
+    }
+    return g;
+}
+
+std::string FlowGraph::to_dot(const std::string& title) const {
+    std::ostringstream os;
+    os << "digraph \"" << title << "\" {\n  rankdir=TB;\n  node [shape=box, "
+          "fontname=\"monospace\"];\n";
+    for (const Node& n : nodes) {
+        os << "  n" << n.pc << " [label=\"" << n.pc;
+        if (!n.label.empty()) {
+            std::string esc;
+            for (char c : n.label) {
+                if (c == '"' || c == '\\') esc += '\\';
+                esc += c;
+            }
+            os << ": " << esc;
+        }
+        if (n.is_rejoin) os << "\\nprio=" << n.priority;
+        os << "\"";
+        if (n.is_await) os << ", style=rounded";
+        if (n.is_rejoin) os << ", style=dashed";
+        os << "];\n";
+    }
+    for (const Edge& e : edges) {
+        os << "  n" << e.from << " -> n" << e.to;
+        if (!e.label.empty()) os << " [label=\"" << e.label << "\"]";
+        os << ";\n";
+    }
+    os << "}\n";
+    return os.str();
+}
+
+}  // namespace ceu::flow

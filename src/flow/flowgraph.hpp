@@ -1,0 +1,42 @@
+// Execution-flow graph (paper §4.1, Figure "nfa"): nodes are flat-program
+// instructions, edges are possible control transfers, and rejoin nodes are
+// annotated with their (lower-than-normal) priority. Exported to Graphviz
+// DOT for the Figure-"nfa" reproduction and used as documentation of the
+// temporal-analysis front half.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "codegen/flatten.hpp"
+
+namespace ceu::flow {
+
+struct Node {
+    flat::Pc pc = 0;
+    std::string label;
+    int priority = 0;      // 0 = highest (normal); rejoins get depth-based
+    bool is_await = false;
+    bool is_rejoin = false;
+};
+
+struct Edge {
+    int from = 0, to = 0;
+    std::string label;  // event name for await->continuation edges
+};
+
+struct FlowGraph {
+    std::vector<Node> nodes;
+    std::vector<Edge> edges;
+
+    [[nodiscard]] std::string to_dot(const std::string& title = "flow") const;
+};
+
+/// Builds the flow graph of a compiled program.
+FlowGraph build_flow_graph(const flat::CompiledProgram& cp);
+
+/// One-line human label for an instruction ("await A", "v = (v + 1)", ...);
+/// shared with the DFA exporter so both figures speak the same language.
+std::string instr_label(const flat::CompiledProgram& cp, const flat::Instr& i);
+
+}  // namespace ceu::flow

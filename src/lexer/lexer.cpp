@@ -1,0 +1,416 @@
+#include "lexer/lexer.hpp"
+
+#include <cctype>
+#include <unordered_map>
+
+namespace ceu {
+
+const char* tok_name(Tok t) {
+    switch (t) {
+        case Tok::Eof: return "<eof>";
+        case Tok::Num: return "number";
+        case Tok::Time: return "time literal";
+        case Tok::Str: return "string";
+        case Tok::IdExt: return "external identifier";
+        case Tok::IdInt: return "identifier";
+        case Tok::IdC: return "C identifier";
+        case Tok::CBlock: return "C block";
+        case Tok::KwInput: return "'input'";
+        case Tok::KwInternal: return "'internal'";
+        case Tok::KwOutput: return "'output'";
+        case Tok::KwDo: return "'do'";
+        case Tok::KwEnd: return "'end'";
+        case Tok::KwPar: return "'par'";
+        case Tok::KwParOr: return "'par/or'";
+        case Tok::KwParAnd: return "'par/and'";
+        case Tok::KwWith: return "'with'";
+        case Tok::KwLoop: return "'loop'";
+        case Tok::KwBreak: return "'break'";
+        case Tok::KwAwait: return "'await'";
+        case Tok::KwEmit: return "'emit'";
+        case Tok::KwIf: return "'if'";
+        case Tok::KwThen: return "'then'";
+        case Tok::KwElse: return "'else'";
+        case Tok::KwForever: return "'forever'";
+        case Tok::KwAsync: return "'async'";
+        case Tok::KwReturn: return "'return'";
+        case Tok::KwCall: return "'call'";
+        case Tok::KwPure: return "'pure'";
+        case Tok::KwDeterministic: return "'deterministic'";
+        case Tok::KwNothing: return "'nothing'";
+        case Tok::KwSizeof: return "'sizeof'";
+        case Tok::KwNull: return "'null'";
+        case Tok::LParen: return "'('";
+        case Tok::RParen: return "')'";
+        case Tok::LBrack: return "'['";
+        case Tok::RBrack: return "']'";
+        case Tok::Comma: return "','";
+        case Tok::Semi: return "';'";
+        case Tok::Assign: return "'='";
+        case Tok::OrOr: return "'||'";
+        case Tok::AndAnd: return "'&&'";
+        case Tok::Or: return "'|'";
+        case Tok::Xor: return "'^'";
+        case Tok::And: return "'&'";
+        case Tok::Ne: return "'!='";
+        case Tok::EqEq: return "'=='";
+        case Tok::Le: return "'<='";
+        case Tok::Ge: return "'>='";
+        case Tok::Lt: return "'<'";
+        case Tok::Gt: return "'>'";
+        case Tok::Shl: return "'<<'";
+        case Tok::Shr: return "'>>'";
+        case Tok::Plus: return "'+'";
+        case Tok::Minus: return "'-'";
+        case Tok::Star: return "'*'";
+        case Tok::Slash: return "'/'";
+        case Tok::Percent: return "'%'";
+        case Tok::Dot: return "'.'";
+        case Tok::Arrow: return "'->'";
+        case Tok::Not: return "'!'";
+        case Tok::Tilde: return "'~'";
+        case Tok::Question: return "'?'";
+        case Tok::Colon: return "':'";
+    }
+    return "?";
+}
+
+namespace {
+
+const std::unordered_map<std::string, Tok>& keyword_table() {
+    static const std::unordered_map<std::string, Tok> kTable = {
+        {"input", Tok::KwInput},
+        {"internal", Tok::KwInternal},
+        {"output", Tok::KwOutput},
+        {"do", Tok::KwDo},
+        {"end", Tok::KwEnd},
+        {"par", Tok::KwPar},
+        {"with", Tok::KwWith},
+        {"loop", Tok::KwLoop},
+        {"break", Tok::KwBreak},
+        {"await", Tok::KwAwait},
+        {"emit", Tok::KwEmit},
+        {"if", Tok::KwIf},
+        {"then", Tok::KwThen},
+        {"else", Tok::KwElse},
+        {"forever", Tok::KwForever},
+        {"async", Tok::KwAsync},
+        {"return", Tok::KwReturn},
+        {"call", Tok::KwCall},
+        {"pure", Tok::KwPure},
+        {"deterministic", Tok::KwDeterministic},
+        {"nothing", Tok::KwNothing},
+        {"sizeof", Tok::KwSizeof},
+        {"null", Tok::KwNull},
+    };
+    return kTable;
+}
+
+class Lexer {
+  public:
+    Lexer(const SourceFile& src, Diagnostics& diags)
+        : text_(src.text()), diags_(diags) {}
+
+    std::vector<Token> run() {
+        std::vector<Token> out;
+        for (;;) {
+            skip_trivia();
+            Token t = next();
+            bool eof = (t.kind == Tok::Eof);
+            out.push_back(std::move(t));
+            if (eof) break;
+        }
+        return out;
+    }
+
+  private:
+    std::string_view text_;
+    Diagnostics& diags_;
+    size_t pos_ = 0;
+    uint32_t line_ = 1;
+    uint32_t col_ = 1;
+
+    [[nodiscard]] SourceLoc loc() const { return {line_, col_}; }
+    [[nodiscard]] bool eof() const { return pos_ >= text_.size(); }
+    [[nodiscard]] char peek(size_t off = 0) const {
+        return pos_ + off < text_.size() ? text_[pos_ + off] : '\0';
+    }
+    char advance() {
+        char c = text_[pos_++];
+        if (c == '\n') {
+            ++line_;
+            col_ = 1;
+        } else {
+            ++col_;
+        }
+        return c;
+    }
+    bool match(char c) {
+        if (peek() == c) {
+            advance();
+            return true;
+        }
+        return false;
+    }
+
+    void skip_trivia() {
+        for (;;) {
+            char c = peek();
+            if (c == ' ' || c == '\t' || c == '\r' || c == '\n') {
+                advance();
+            } else if (c == '/' && peek(1) == '/') {
+                while (!eof() && peek() != '\n') advance();
+            } else if (c == '/' && peek(1) == '*') {
+                SourceLoc start = loc();
+                advance();
+                advance();
+                while (!eof() && !(peek() == '*' && peek(1) == '/')) advance();
+                if (eof()) {
+                    diags_.error(start, "unterminated block comment");
+                    return;
+                }
+                advance();
+                advance();
+            } else {
+                return;
+            }
+        }
+    }
+
+    Token make(Tok k, SourceLoc at) {
+        Token t;
+        t.kind = k;
+        t.loc = at;
+        return t;
+    }
+
+    Token next() {
+        SourceLoc at = loc();
+        if (eof()) return make(Tok::Eof, at);
+        char c = peek();
+        if (std::isdigit(static_cast<unsigned char>(c))) return lex_number(at);
+        if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') return lex_ident(at);
+        if (c == '"') return lex_string(at);
+        if (c == '\'') return lex_char(at);
+        return lex_operator(at);
+    }
+
+    Token lex_number(SourceLoc at) {
+        // A digit run optionally followed by time units makes a TIME literal
+        // (e.g. `1h35min`); digits alone make a NUM.
+        size_t start = pos_;
+        while (!eof() && (std::isdigit(static_cast<unsigned char>(peek())) ||
+                          std::isalpha(static_cast<unsigned char>(peek())))) {
+            advance();
+        }
+        std::string word(text_.substr(start, pos_ - start));
+        Token t = make(Tok::Num, at);
+        bool digits_only = true;
+        for (char ch : word) {
+            if (!std::isdigit(static_cast<unsigned char>(ch))) digits_only = false;
+        }
+        if (digits_only) {
+            t.num = std::stoll(word);
+            return t;
+        }
+        Micros us = 0;
+        if (parse_time_literal(word, &us)) {
+            t.kind = Tok::Time;
+            t.num = us;
+            return t;
+        }
+        // Hex literal support (common in pasted C constants).
+        if (word.size() > 2 && word[0] == '0' && (word[1] == 'x' || word[1] == 'X')) {
+            try {
+                t.num = std::stoll(word.substr(2), nullptr, 16);
+                return t;
+            } catch (const std::exception&) {
+                // fall through to error
+            }
+        }
+        diags_.error(at, "malformed numeric or time literal '" + word + "'");
+        t.num = 0;
+        return t;
+    }
+
+    Token lex_ident(SourceLoc at) {
+        size_t start = pos_;
+        while (!eof() && (std::isalnum(static_cast<unsigned char>(peek())) || peek() == '_')) {
+            advance();
+        }
+        std::string word(text_.substr(start, pos_ - start));
+        auto it = keyword_table().find(word);
+        if (it != keyword_table().end()) {
+            Tok k = it->second;
+            if (k == Tok::KwPar) {
+                // `par/or` and `par/and` are single keywords.
+                if (peek() == '/') {
+                    size_t save_pos = pos_;
+                    uint32_t save_line = line_, save_col = col_;
+                    advance();
+                    size_t wstart = pos_;
+                    while (!eof() && std::isalpha(static_cast<unsigned char>(peek()))) advance();
+                    std::string tail(text_.substr(wstart, pos_ - wstart));
+                    if (tail == "or") return make(Tok::KwParOr, at);
+                    if (tail == "and") return make(Tok::KwParAnd, at);
+                    pos_ = save_pos;
+                    line_ = save_line;
+                    col_ = save_col;
+                }
+            }
+            return make(k, at);
+        }
+        if (word == "C") {
+            // `C do ... end` captures a raw C block.
+            size_t save_pos = pos_;
+            uint32_t save_line = line_, save_col = col_;
+            skip_trivia();
+            if (!eof() && text_.substr(pos_).starts_with("do") &&
+                !(std::isalnum(static_cast<unsigned char>(peek(2))) || peek(2) == '_')) {
+                advance();
+                advance();  // consume 'do'
+                return lex_raw_c_block(at);
+            }
+            pos_ = save_pos;
+            line_ = save_line;
+            col_ = save_col;
+        }
+        Token t;
+        if (word[0] == '_') {
+            t = make(Tok::IdC, at);
+            t.text = word.substr(1);  // the underscore is stripped (paper §2.4)
+            if (t.text.empty()) diags_.error(at, "'_' is not a valid C identifier");
+        } else if (std::isupper(static_cast<unsigned char>(word[0]))) {
+            t = make(Tok::IdExt, at);
+            t.text = word;
+        } else {
+            t = make(Tok::IdInt, at);
+            t.text = word;
+        }
+        return t;
+    }
+
+    Token lex_raw_c_block(SourceLoc at) {
+        // Capture everything until the first standalone `end` word. The
+        // open-source Céu compiler does not parse the embedded C either.
+        Token t = make(Tok::CBlock, at);
+        size_t start = pos_;
+        while (!eof()) {
+            if (peek() == 'e' && text_.substr(pos_).starts_with("end")) {
+                char before = pos_ > 0 ? text_[pos_ - 1] : '\n';
+                char after = peek(3);
+                bool left_ok = !(std::isalnum(static_cast<unsigned char>(before)) || before == '_');
+                bool right_ok = !(std::isalnum(static_cast<unsigned char>(after)) || after == '_');
+                if (left_ok && right_ok) {
+                    t.text = std::string(text_.substr(start, pos_ - start));
+                    advance();
+                    advance();
+                    advance();  // consume 'end'
+                    return t;
+                }
+            }
+            advance();
+        }
+        diags_.error(at, "unterminated C block (missing 'end')");
+        t.text = std::string(text_.substr(start));
+        return t;
+    }
+
+    Token lex_string(SourceLoc at) {
+        advance();  // opening quote
+        std::string value;
+        while (!eof() && peek() != '"') {
+            char c = advance();
+            if (c == '\\' && !eof()) {
+                char e = advance();
+                switch (e) {
+                    case 'n': value += '\n'; break;
+                    case 't': value += '\t'; break;
+                    case 'r': value += '\r'; break;
+                    case '0': value += '\0'; break;
+                    case '\\': value += '\\'; break;
+                    case '"': value += '"'; break;
+                    default: value += e; break;
+                }
+            } else {
+                value += c;
+            }
+        }
+        if (eof()) {
+            diags_.error(at, "unterminated string literal");
+        } else {
+            advance();  // closing quote
+        }
+        Token t = make(Tok::Str, at);
+        t.text = std::move(value);
+        return t;
+    }
+
+    Token lex_char(SourceLoc at) {
+        advance();  // opening quote
+        int64_t value = 0;
+        if (!eof()) {
+            char c = advance();
+            if (c == '\\' && !eof()) {
+                char e = advance();
+                switch (e) {
+                    case 'n': value = '\n'; break;
+                    case 't': value = '\t'; break;
+                    case '0': value = '\0'; break;
+                    default: value = e; break;
+                }
+            } else {
+                value = c;
+            }
+        }
+        if (!match('\'')) diags_.error(at, "unterminated character literal");
+        Token t = make(Tok::Num, at);
+        t.num = value;
+        return t;
+    }
+
+    Token lex_operator(SourceLoc at) {
+        char c = advance();
+        switch (c) {
+            case '(': return make(Tok::LParen, at);
+            case ')': return make(Tok::RParen, at);
+            case '[': return make(Tok::LBrack, at);
+            case ']': return make(Tok::RBrack, at);
+            case ',': return make(Tok::Comma, at);
+            case ';': return make(Tok::Semi, at);
+            case '?': return make(Tok::Question, at);
+            case ':': return make(Tok::Colon, at);
+            case '~': return make(Tok::Tilde, at);
+            case '^': return make(Tok::Xor, at);
+            case '%': return make(Tok::Percent, at);
+            case '.': return make(Tok::Dot, at);
+            case '+': return make(Tok::Plus, at);
+            case '*': return make(Tok::Star, at);
+            case '/': return make(Tok::Slash, at);
+            case '=': return make(match('=') ? Tok::EqEq : Tok::Assign, at);
+            case '!': return make(match('=') ? Tok::Ne : Tok::Not, at);
+            case '|': return make(match('|') ? Tok::OrOr : Tok::Or, at);
+            case '&': return make(match('&') ? Tok::AndAnd : Tok::And, at);
+            case '-': return make(match('>') ? Tok::Arrow : Tok::Minus, at);
+            case '<':
+                if (match('=')) return make(Tok::Le, at);
+                if (match('<')) return make(Tok::Shl, at);
+                return make(Tok::Lt, at);
+            case '>':
+                if (match('=')) return make(Tok::Ge, at);
+                if (match('>')) return make(Tok::Shr, at);
+                return make(Tok::Gt, at);
+            default:
+                diags_.error(at, std::string("unexpected character '") + c + "'");
+                return make(Tok::Eof, at);
+        }
+    }
+};
+
+}  // namespace
+
+std::vector<Token> lex(const SourceFile& src, Diagnostics& diags) {
+    return Lexer(src, diags).run();
+}
+
+}  // namespace ceu

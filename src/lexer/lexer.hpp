@@ -1,0 +1,54 @@
+// Tokenizer for Céu source (paper Appendix A).
+//
+// Identifier classes are distinguished lexically, exactly as in the paper:
+//   ID_ext  begins with an uppercase letter  (external input events)
+//   ID_int  begins with a lowercase letter   (variables, internal events)
+//   ID_c    begins with an underscore        (symbols repassed to C)
+// TIME literals such as `1h35min` or `500ms` are lexed as a single token
+// whose value is in microseconds. `C do ... end` blocks are captured raw.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/diag.hpp"
+#include "util/source.hpp"
+#include "util/timeval.hpp"
+
+namespace ceu {
+
+enum class Tok {
+    Eof,
+    Num,      // integer literal (also character literals)
+    Time,     // wall-clock literal, value in microseconds
+    Str,      // string literal (quotes stripped, escapes resolved)
+    IdExt,    // Uppercase identifier
+    IdInt,    // lowercase identifier
+    IdC,      // _underscore identifier (text stored without the underscore)
+    CBlock,   // raw `C do ... end` body
+    // keywords
+    KwInput, KwInternal, KwOutput, KwDo, KwEnd, KwPar, KwParOr, KwParAnd,
+    KwWith, KwLoop, KwBreak, KwAwait, KwEmit, KwIf, KwThen, KwElse,
+    KwForever, KwAsync, KwReturn, KwCall, KwPure, KwDeterministic,
+    KwNothing, KwSizeof, KwNull,
+    // punctuation / operators
+    LParen, RParen, LBrack, RBrack, Comma, Semi, Assign,
+    OrOr, AndAnd, Or, Xor, And, Ne, EqEq, Le, Ge, Lt, Gt, Shl, Shr,
+    Plus, Minus, Star, Slash, Percent, Dot, Arrow, Not, Tilde, Question, Colon,
+};
+
+const char* tok_name(Tok t);
+
+struct Token {
+    Tok kind = Tok::Eof;
+    std::string text;     // identifier / string / raw C body
+    int64_t num = 0;      // Num value or Time microseconds
+    SourceLoc loc;
+};
+
+/// Tokenizes `src`, reporting malformed input to `diags`.
+/// Always ends the stream with an Eof token.
+std::vector<Token> lex(const SourceFile& src, Diagnostics& diags);
+
+}  // namespace ceu

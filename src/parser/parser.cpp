@@ -1,0 +1,577 @@
+#include "parser/parser.hpp"
+
+#include <utility>
+
+namespace ceu {
+
+using namespace ast;
+
+namespace {
+
+class Parser {
+  public:
+    Parser(std::vector<Token> tokens, Diagnostics& diags)
+        : toks_(std::move(tokens)), diags_(diags) {}
+
+    Program run() {
+        Program p;
+        p.body = parse_block_until({Tok::Eof});
+        expect(Tok::Eof, "end of program");
+        return p;
+    }
+
+  private:
+    std::vector<Token> toks_;
+    Diagnostics& diags_;
+    size_t pos_ = 0;
+
+    // -- token helpers ------------------------------------------------------
+
+    [[nodiscard]] const Token& peek(size_t off = 0) const {
+        size_t i = pos_ + off;
+        if (i >= toks_.size()) i = toks_.size() - 1;  // Eof sentinel
+        return toks_[i];
+    }
+    [[nodiscard]] Tok kind(size_t off = 0) const { return peek(off).kind; }
+    [[nodiscard]] SourceLoc loc() const { return peek().loc; }
+
+    const Token& advance() {
+        const Token& t = peek();
+        if (pos_ + 1 < toks_.size()) ++pos_;
+        return t;
+    }
+    bool check(Tok k) const { return kind() == k; }
+    bool match(Tok k) {
+        if (check(k)) {
+            advance();
+            return true;
+        }
+        return false;
+    }
+    const Token& expect(Tok k, const char* what) {
+        if (!check(k)) {
+            diags_.error(loc(), std::string("expected ") + what + ", found " +
+                                    tok_name(kind()));
+            return peek();
+        }
+        return advance();
+    }
+
+    // -- blocks -------------------------------------------------------------
+
+    [[nodiscard]] static bool is_terminator(Tok k, const std::vector<Tok>& stops) {
+        for (Tok s : stops) {
+            if (k == s) return true;
+        }
+        return false;
+    }
+
+    BlockBody parse_block_until(const std::vector<Tok>& stops) {
+        BlockBody body;
+        while (match(Tok::Semi)) {}
+        while (!is_terminator(kind(), stops) && kind() != Tok::Eof) {
+            size_t before = pos_;
+            body.stmts.push_back(parse_stmt());
+            while (match(Tok::Semi)) {}
+            if (pos_ == before) {
+                // Error recovery: never loop without progress.
+                advance();
+            }
+        }
+        return body;
+    }
+
+    // -- statements ---------------------------------------------------------
+
+    StmtPtr parse_stmt() {
+        switch (kind()) {
+            case Tok::KwNothing: {
+                SourceLoc l = advance().loc;
+                return std::make_unique<NothingStmt>(l);
+            }
+            case Tok::KwInput: return parse_decl_input();
+            case Tok::KwInternal: return parse_decl_internal();
+            case Tok::KwOutput: return parse_decl_output();
+            case Tok::CBlock: {
+                const Token& t = advance();
+                return std::make_unique<CBlockStmt>(t.text, t.loc);
+            }
+            case Tok::KwPure: return parse_annotation(/*pure=*/true);
+            case Tok::KwDeterministic: return parse_annotation(/*pure=*/false);
+            case Tok::KwAwait: return parse_await();
+            case Tok::KwEmit: return parse_emit();
+            case Tok::KwIf: return parse_if();
+            case Tok::KwLoop: return parse_loop();
+            case Tok::KwBreak: {
+                SourceLoc l = advance().loc;
+                return std::make_unique<BreakStmt>(l);
+            }
+            case Tok::KwPar:
+            case Tok::KwParOr:
+            case Tok::KwParAnd: return parse_par();
+            case Tok::KwReturn: return parse_return();
+            case Tok::KwDo: return parse_do_block();
+            case Tok::KwAsync: return parse_async();
+            case Tok::KwCall: {
+                SourceLoc l = advance().loc;
+                ExprPtr e = parse_expr();
+                return std::make_unique<ExprStmtStmt>(std::move(e), l);
+            }
+            default:
+                if (starts_var_decl()) return parse_decl_var();
+                return parse_expr_or_assign();
+        }
+    }
+
+    StmtPtr parse_decl_input() {
+        SourceLoc l = advance().loc;
+        auto n = std::make_unique<DeclInputStmt>(l);
+        n->type = parse_type();
+        do {
+            const Token& t = expect(Tok::IdExt, "external event name (Uppercase)");
+            if (t.kind == Tok::IdExt) n->names.push_back(t.text);
+            else break;
+        } while (match(Tok::Comma));
+        return n;
+    }
+
+    StmtPtr parse_decl_output() {
+        SourceLoc l = advance().loc;
+        auto n = std::make_unique<DeclOutputStmt>(l);
+        n->type = parse_type();
+        do {
+            const Token& t = expect(Tok::IdExt, "output event name (Uppercase)");
+            if (t.kind == Tok::IdExt) n->names.push_back(t.text);
+            else break;
+        } while (match(Tok::Comma));
+        return n;
+    }
+
+    StmtPtr parse_decl_internal() {
+        SourceLoc l = advance().loc;
+        auto n = std::make_unique<DeclInternalStmt>(l);
+        n->type = parse_type();
+        do {
+            const Token& t = expect(Tok::IdInt, "internal event name (lowercase)");
+            if (t.kind == Tok::IdInt) n->names.push_back(t.text);
+            else break;
+        } while (match(Tok::Comma));
+        return n;
+    }
+
+    StmtPtr parse_annotation(bool pure) {
+        SourceLoc l = advance().loc;
+        std::vector<std::string> names;
+        do {
+            const Token& t = expect(Tok::IdC, "C function name (_underscored)");
+            if (t.kind != Tok::IdC) break;
+            std::string name = t.text;
+            // Dotted method names (`_lcd.setCursor`) are annotatable too.
+            while (match(Tok::Dot)) {
+                const Token& f = advance();
+                name += "." + f.text;
+            }
+            names.push_back(std::move(name));
+        } while (match(Tok::Comma));
+        if (pure) {
+            auto n = std::make_unique<PureStmt>(l);
+            n->names = std::move(names);
+            return n;
+        }
+        auto n = std::make_unique<DeterministicStmt>(l);
+        n->names = std::move(names);
+        return n;
+    }
+
+    StmtPtr parse_await() {
+        SourceLoc l = advance().loc;
+        switch (kind()) {
+            case Tok::KwForever:
+                advance();
+                return std::make_unique<AwaitForeverStmt>(l);
+            case Tok::Time: {
+                const Token& t = advance();
+                return std::make_unique<AwaitTimeStmt>(t.num, l);
+            }
+            case Tok::LParen: {
+                advance();
+                ExprPtr e = parse_expr();
+                expect(Tok::RParen, "')' closing await duration");
+                return std::make_unique<AwaitDynStmt>(std::move(e), l);
+            }
+            case Tok::IdExt: {
+                const Token& t = advance();
+                return std::make_unique<AwaitExtStmt>(t.text, l);
+            }
+            case Tok::IdInt: {
+                const Token& t = advance();
+                return std::make_unique<AwaitIntStmt>(t.text, l);
+            }
+            default:
+                diags_.error(l, "malformed await: expected event, time, or 'forever'");
+                return std::make_unique<NothingStmt>(l);
+        }
+    }
+
+    StmtPtr parse_emit() {
+        SourceLoc l = advance().loc;
+        switch (kind()) {
+            case Tok::Time: {
+                const Token& t = advance();
+                return std::make_unique<EmitTimeStmt>(t.num, l);
+            }
+            case Tok::IdExt: {
+                const Token& t = advance();
+                auto n = std::make_unique<EmitExtStmt>(t.text, l);
+                if (match(Tok::Assign)) n->value = parse_expr();
+                return n;
+            }
+            case Tok::IdInt: {
+                const Token& t = advance();
+                auto n = std::make_unique<EmitIntStmt>(t.text, l);
+                if (match(Tok::Assign)) n->value = parse_expr();
+                return n;
+            }
+            default:
+                diags_.error(l, "malformed emit: expected event or time");
+                return std::make_unique<NothingStmt>(l);
+        }
+    }
+
+    StmtPtr parse_if() {
+        SourceLoc l = advance().loc;
+        auto n = std::make_unique<IfStmt>(l);
+        n->cond = parse_expr();
+        expect(Tok::KwThen, "'then'");
+        n->then_body = parse_block_until({Tok::KwElse, Tok::KwEnd});
+        if (match(Tok::KwElse)) {
+            n->has_else = true;
+            n->else_body = parse_block_until({Tok::KwEnd});
+        }
+        expect(Tok::KwEnd, "'end' closing if");
+        return n;
+    }
+
+    StmtPtr parse_loop() {
+        SourceLoc l = advance().loc;
+        expect(Tok::KwDo, "'do' after loop");
+        auto n = std::make_unique<LoopStmt>(l);
+        n->body = parse_block_until({Tok::KwEnd});
+        expect(Tok::KwEnd, "'end' closing loop");
+        return n;
+    }
+
+    StmtPtr parse_par() {
+        SourceLoc l = loc();
+        ParKind pk = kind() == Tok::KwPar ? ParKind::Par
+                     : kind() == Tok::KwParAnd ? ParKind::ParAnd
+                                               : ParKind::ParOr;
+        advance();
+        expect(Tok::KwDo, "'do' after par");
+        auto n = std::make_unique<ParStmt>(pk, l);
+        n->branches.push_back(parse_block_until({Tok::KwWith, Tok::KwEnd}));
+        while (match(Tok::KwWith)) {
+            n->branches.push_back(parse_block_until({Tok::KwWith, Tok::KwEnd}));
+        }
+        expect(Tok::KwEnd, "'end' closing par");
+        if (n->branches.size() < 2) {
+            diags_.error(l, "parallel statement requires at least two branches");
+        }
+        return n;
+    }
+
+    StmtPtr parse_return() {
+        SourceLoc l = advance().loc;
+        auto n = std::make_unique<ReturnStmt>(l);
+        if (!check(Tok::Semi) && !check(Tok::KwEnd) && !check(Tok::KwWith) &&
+            !check(Tok::KwElse) && !check(Tok::Eof)) {
+            n->value = parse_expr();
+        }
+        return n;
+    }
+
+    StmtPtr parse_do_block() {
+        SourceLoc l = advance().loc;
+        auto n = std::make_unique<BlockStmt>(l);
+        n->body = parse_block_until({Tok::KwEnd});
+        expect(Tok::KwEnd, "'end' closing block");
+        return n;
+    }
+
+    StmtPtr parse_async() {
+        SourceLoc l = advance().loc;
+        expect(Tok::KwDo, "'do' after async");
+        auto n = std::make_unique<AsyncStmt>(l);
+        n->body = parse_block_until({Tok::KwEnd});
+        expect(Tok::KwEnd, "'end' closing async");
+        return n;
+    }
+
+    // -- declarations vs expressions -----------------------------------------
+
+    /// A statement is a variable declaration iff it starts with
+    /// (ID_int | ID_c) '*'* ('[' NUM ']')? ID_int  — e.g. `int v`,
+    /// `_message_t* msg`, `int[10] keys`.
+    bool starts_var_decl() const {
+        if (kind() != Tok::IdInt && kind() != Tok::IdC) return false;
+        size_t i = 1;
+        while (kind(i) == Tok::Star) ++i;
+        if (kind(i) == Tok::LBrack) {
+            if (kind(i + 1) != Tok::Num || kind(i + 2) != Tok::RBrack) return false;
+            i += 3;
+        }
+        return kind(i) == Tok::IdInt;
+    }
+
+    Type parse_type() {
+        Type t;
+        if (kind() == Tok::IdInt) {
+            t.name = advance().text;
+        } else if (kind() == Tok::IdC) {
+            t.name = advance().text;
+            t.is_c = true;
+        } else {
+            diags_.error(loc(), "expected a type name");
+            advance();
+        }
+        while (match(Tok::Star)) ++t.pointer_depth;
+        return t;
+    }
+
+    StmtPtr parse_decl_var() {
+        SourceLoc l = loc();
+        auto n = std::make_unique<DeclVarStmt>(l);
+        // Type, possibly with `[N]` array suffix applying to all declarators.
+        n->type.name = advance().text;
+        n->type.is_c = (toks_[pos_ - 1].kind == Tok::IdC);
+        while (match(Tok::Star)) ++n->type.pointer_depth;
+        int64_t array_size = 0;
+        if (match(Tok::LBrack)) {
+            array_size = expect(Tok::Num, "array size").num;
+            expect(Tok::RBrack, "']'");
+        }
+        do {
+            DeclVarStmt::Var v;
+            v.loc = loc();
+            v.array_size = array_size;
+            const Token& name = expect(Tok::IdInt, "variable name");
+            if (name.kind != Tok::IdInt) break;
+            v.name = name.text;
+            if (match(Tok::Assign)) parse_setexp(v.init, v.init_stmt);
+            n->vars.push_back(std::move(v));
+        } while (match(Tok::Comma));
+        return n;
+    }
+
+    /// SetExp ::= Exp | await-stmt | par/do/async block returning a value.
+    void parse_setexp(ExprPtr& out_expr, StmtPtr& out_stmt) {
+        switch (kind()) {
+            case Tok::KwAwait: out_stmt = parse_await(); return;
+            case Tok::KwPar:
+            case Tok::KwParOr:
+            case Tok::KwParAnd: out_stmt = parse_par(); return;
+            case Tok::KwDo: out_stmt = parse_do_block(); return;
+            case Tok::KwAsync: out_stmt = parse_async(); return;
+            default: out_expr = parse_expr(); return;
+        }
+    }
+
+    StmtPtr parse_expr_or_assign() {
+        SourceLoc l = loc();
+        ExprPtr e = parse_expr();
+        if (match(Tok::Assign)) {
+            auto n = std::make_unique<AssignStmt>(l);
+            n->lhs = std::move(e);
+            parse_setexp(n->rhs_expr, n->rhs_stmt);
+            return n;
+        }
+        return std::make_unique<ExprStmtStmt>(std::move(e), l);
+    }
+
+    // -- expressions (C precedence) ------------------------------------------
+
+    ExprPtr parse_expr() { return parse_binary(0); }
+
+    struct OpLevel {
+        Tok ops[4];
+        int count;
+    };
+
+    static int binop_level(Tok k) {
+        switch (k) {
+            case Tok::OrOr: return 1;
+            case Tok::AndAnd: return 2;
+            case Tok::Or: return 3;
+            case Tok::Xor: return 4;
+            case Tok::And: return 5;
+            case Tok::EqEq:
+            case Tok::Ne: return 6;
+            case Tok::Lt:
+            case Tok::Gt:
+            case Tok::Le:
+            case Tok::Ge: return 7;
+            case Tok::Shl:
+            case Tok::Shr: return 8;
+            case Tok::Plus:
+            case Tok::Minus: return 9;
+            case Tok::Star:
+            case Tok::Slash:
+            case Tok::Percent: return 10;
+            default: return 0;
+        }
+    }
+
+    ExprPtr parse_binary(int min_level) {
+        ExprPtr lhs = parse_unary();
+        for (;;) {
+            Tok k = kind();
+            int level = binop_level(k);
+            if (level == 0 || level < min_level) return lhs;
+            // `<` might open a cast in unary position only, never here.
+            SourceLoc l = loc();
+            advance();
+            ExprPtr rhs = parse_binary(level + 1);
+            lhs = std::make_unique<BinopExpr>(k, std::move(lhs), std::move(rhs), l);
+        }
+    }
+
+    /// `< type >` at unary position introduces a cast.
+    bool starts_cast() const {
+        if (kind() != Tok::Lt) return false;
+        size_t i = 1;
+        if (kind(i) != Tok::IdInt && kind(i) != Tok::IdC) return false;
+        ++i;
+        while (kind(i) == Tok::Star) ++i;
+        return kind(i) == Tok::Gt;
+    }
+
+    ExprPtr parse_unary() {
+        SourceLoc l = loc();
+        switch (kind()) {
+            case Tok::Not:
+            case Tok::And:
+            case Tok::Minus:
+            case Tok::Plus:
+            case Tok::Tilde:
+            case Tok::Star: {
+                Tok op = advance().kind;
+                ExprPtr sub = parse_unary();
+                return std::make_unique<UnopExpr>(op, std::move(sub), l);
+            }
+            case Tok::KwSizeof: {
+                advance();
+                expect(Tok::Lt, "'<' after sizeof");
+                Type t = parse_type();
+                expect(Tok::Gt, "'>' after sizeof type");
+                return std::make_unique<SizeOfExpr>(std::move(t), l);
+            }
+            case Tok::Lt:
+                if (starts_cast()) {
+                    advance();
+                    Type t = parse_type();
+                    expect(Tok::Gt, "'>' closing cast");
+                    ExprPtr sub = parse_unary();
+                    return std::make_unique<CastExpr>(std::move(t), std::move(sub), l);
+                }
+                break;
+            default:
+                break;
+        }
+        return parse_postfix();
+    }
+
+    ExprPtr parse_postfix() {
+        ExprPtr e = parse_primary();
+        for (;;) {
+            SourceLoc l = loc();
+            if (match(Tok::LBrack)) {
+                ExprPtr idx = parse_expr();
+                expect(Tok::RBrack, "']'");
+                e = std::make_unique<IndexExpr>(std::move(e), std::move(idx), l);
+            } else if (match(Tok::LParen)) {
+                std::vector<ExprPtr> args;
+                if (!check(Tok::RParen)) {
+                    do {
+                        args.push_back(parse_expr());
+                    } while (match(Tok::Comma));
+                }
+                expect(Tok::RParen, "')' closing call");
+                e = std::make_unique<CallExpr>(std::move(e), std::move(args), l);
+            } else if (match(Tok::Dot)) {
+                const Token& f = advance();
+                if (f.kind != Tok::IdInt && f.kind != Tok::IdExt && f.kind != Tok::IdC) {
+                    diags_.error(f.loc, "expected field name after '.'");
+                    return e;
+                }
+                e = std::make_unique<FieldExpr>(std::move(e), f.text, /*arrow=*/false, l);
+            } else if (match(Tok::Arrow)) {
+                const Token& f = advance();
+                if (f.kind != Tok::IdInt && f.kind != Tok::IdExt && f.kind != Tok::IdC) {
+                    diags_.error(f.loc, "expected field name after '->'");
+                    return e;
+                }
+                e = std::make_unique<FieldExpr>(std::move(e), f.text, /*arrow=*/true, l);
+            } else {
+                return e;
+            }
+        }
+    }
+
+    ExprPtr parse_primary() {
+        SourceLoc l = loc();
+        switch (kind()) {
+            case Tok::Num: {
+                const Token& t = advance();
+                return std::make_unique<NumExpr>(t.num, l);
+            }
+            case Tok::Str: {
+                const Token& t = advance();
+                return std::make_unique<StrExpr>(t.text, l);
+            }
+            case Tok::KwNull:
+                advance();
+                return std::make_unique<NullExpr>(l);
+            case Tok::IdInt: {
+                const Token& t = advance();
+                return std::make_unique<VarExpr>(t.text, l);
+            }
+            case Tok::IdExt: {
+                // External event names appear in expressions only via bugs;
+                // accept as a variable reference so sema can diagnose.
+                const Token& t = advance();
+                return std::make_unique<VarExpr>(t.text, l);
+            }
+            case Tok::IdC: {
+                const Token& t = advance();
+                return std::make_unique<CSymExpr>(t.text, l);
+            }
+            case Tok::LParen: {
+                advance();
+                ExprPtr e = parse_expr();
+                expect(Tok::RParen, "')'");
+                return e;
+            }
+            default:
+                diags_.error(l, std::string("expected an expression, found ") +
+                                    tok_name(kind()));
+                advance();
+                return std::make_unique<NumExpr>(0, l);
+        }
+    }
+};
+
+}  // namespace
+
+ast::Program parse(std::vector<Token> tokens, Diagnostics& diags) {
+    return Parser(std::move(tokens), diags).run();
+}
+
+ast::Program parse_source(const std::string& text, Diagnostics& diags,
+                          const std::string& name) {
+    SourceFile src(name, text);
+    auto tokens = lex(src, diags);
+    if (!diags.ok()) return {};
+    return parse(std::move(tokens), diags);
+}
+
+}  // namespace ceu

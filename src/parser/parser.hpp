@@ -1,0 +1,27 @@
+// Recursive-descent parser for the Céu grammar (paper Appendix A).
+//
+// Deviations from the paper grammar, all of which *accept more* programs:
+//  * semicolons between statements are optional (the paper's own examples
+//    omit them after `end`);
+//  * `await (Exp)` accepts a full expression, not just NUM — the ship demo
+//    uses `await(dt*1000)`;
+//  * `internal <type> e` declares internal events (the paper's examples use
+//    this form although the printed grammar omits it).
+#pragma once
+
+#include "ast/ast.hpp"
+#include "lexer/lexer.hpp"
+#include "util/diag.hpp"
+
+namespace ceu {
+
+/// Parses a token stream into a Program. On error, diagnostics are recorded
+/// and a best-effort partial tree is returned; callers must check
+/// `diags.ok()` before using the result.
+ast::Program parse(std::vector<Token> tokens, Diagnostics& diags);
+
+/// Convenience: lex + parse a source string.
+ast::Program parse_source(const std::string& text, Diagnostics& diags,
+                          const std::string& name = "<memory>");
+
+}  // namespace ceu

@@ -1,0 +1,13 @@
+#include "runtime/cbind.hpp"
+
+namespace ceu::rt {
+
+void CBindings::merge(const CBindings& other) {
+    for (const auto& [k, v] : other.fns_) fns_[k] = v;
+    for (const auto& [k, v] : other.consts_) consts_[k] = v;
+    for (const auto& [k, v] : other.globals_) globals_[k] = v;
+    for (const auto& [k, v] : other.arrays_) arrays_[k] = v;
+    for (const auto& [k, v] : other.outputs_) outputs_[k] = v;
+}
+
+}  // namespace ceu::rt

@@ -1,0 +1,91 @@
+// C bindings: the runtime counterpart of Céu's `_underscore` identifiers.
+//
+// The paper's compiler repasses `_f(...)` to the host C compiler; our
+// interpreter routes them through this registry instead. Platform bindings
+// (console, WSN, Arduino, display) register functions, constants, mutable
+// globals, indexed arrays (`_MAP[i][j]`), and field accessors
+// (`event.type` on C-typed variables, keyed "Type.field").
+#pragma once
+
+#include <functional>
+#include <span>
+#include <string>
+#include <unordered_map>
+
+#include "runtime/value.hpp"
+
+namespace ceu::rt {
+
+class Engine;
+
+class CBindings {
+  public:
+    using Fn = std::function<Value(Engine&, std::span<const Value>)>;
+    using ArrayGet = std::function<Value(std::span<const int64_t>)>;
+    using ArraySet = std::function<void(std::span<const int64_t>, Value)>;
+
+    /// Registers `_name(...)`; dotted names ("lcd.setCursor") bind method
+    /// syntax on C objects; "Type.field" binds field access on C-typed vars.
+    void fn(const std::string& name, Fn f) { fns_[name] = std::move(f); }
+
+    /// Registers a read-only constant (`_KEY_UP`, `_FINISH`, ...).
+    void constant(const std::string& name, int64_t v) {
+        consts_[name] = Value::integer(v);
+    }
+    void constant_value(const std::string& name, Value v) { consts_[name] = v; }
+
+    /// Registers a mutable C global backed by host storage.
+    void global(const std::string& name, int64_t* storage) { globals_[name] = storage; }
+
+    /// Registers an indexed host array (`_MAP[ship][step]`).
+    void array(const std::string& name, ArrayGet get, ArraySet set = nullptr) {
+        arrays_[name] = {std::move(get), std::move(set)};
+    }
+
+    /// Registers a handler for an output event (extension: the paper's
+    /// future-work `output` events; `emit O = v` invokes it).
+    using OutputFn = std::function<void(Engine&, Value)>;
+    void output(const std::string& name, OutputFn f) { outputs_[name] = std::move(f); }
+    [[nodiscard]] const OutputFn* find_output(const std::string& name) const {
+        auto it = outputs_.find(name);
+        return it == outputs_.end() ? nullptr : &it->second;
+    }
+
+    // -- lookup (used by the engine) -----------------------------------------
+
+    [[nodiscard]] const Fn* find_fn(const std::string& name) const {
+        auto it = fns_.find(name);
+        return it == fns_.end() ? nullptr : &it->second;
+    }
+    [[nodiscard]] bool get_constant(const std::string& name, Value* out) const {
+        auto it = consts_.find(name);
+        if (it == consts_.end()) return false;
+        *out = it->second;
+        return true;
+    }
+    [[nodiscard]] int64_t* find_global(const std::string& name) const {
+        auto it = globals_.find(name);
+        return it == globals_.end() ? nullptr : it->second;
+    }
+    struct ArrayBinding {
+        ArrayGet get;
+        ArraySet set;
+    };
+    [[nodiscard]] const ArrayBinding* find_array(const std::string& name) const {
+        auto it = arrays_.find(name);
+        return it == arrays_.end() ? nullptr : &it->second;
+    }
+
+    /// Merges another binding set (later registrations win). Lets platform
+    /// bindings compose: console + WSN + app-specific.
+    void merge(const CBindings& other);
+
+  private:
+    std::unordered_map<std::string, Fn> fns_;
+    std::unordered_map<std::string, Value> consts_;
+    std::unordered_map<std::string, int64_t*> globals_;
+    std::unordered_map<std::string, ArrayBinding> arrays_;
+    std::unordered_map<std::string, OutputFn> outputs_;
+};
+
+}  // namespace ceu::rt

@@ -1,0 +1,203 @@
+// The Céu reactive engine: executes a FlatProgram under the synchronous
+// model of §2 and the implementation scheme of §4/§5.
+//
+// The external API mirrors the paper's four C entry points:
+//   go_init()          boot reaction
+//   go_event(id, v)    reaction to one external input event
+//   go_time(now)       wall-clock advance; runs one reaction per expiring
+//                      deadline group, with residual-delta compensation
+//   go_async()         one round-robin slice of one asynchronous block
+//
+// A reaction chain drains a priority queue of *tracks* (continuation pcs).
+// Freshly awakened tracks run at the highest priority; rejoin continuations
+// (par/or, par/and, loop escapes) run at their construct's nesting depth —
+// outer rejoins last (glitch avoidance, §4.1). Internal events use a stack:
+// `emit` suspends the emitter until all awaiting trails completely react
+// (§2.2). Trail destruction clears contiguous gate ranges (§4.3).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "codegen/flatten.hpp"
+#include "runtime/cbind.hpp"
+#include "runtime/timerwheel.hpp"
+#include "runtime/value.hpp"
+
+namespace ceu::rt {
+
+/// Raised on dynamic errors (unbound C symbol, bad dereference). The
+/// temporal analysis cannot rule these out — they live behind the "C hat".
+class RuntimeError : public std::runtime_error {
+  public:
+    RuntimeError(SourceLoc loc, const std::string& msg)
+        : std::runtime_error(loc.valid() ? loc.str() + ": " + msg : msg) {}
+};
+
+/// Scheduling knobs. The defaults implement the paper's semantics; the
+/// alternatives exist to *validate* the temporal analysis (a program the
+/// DFA accepts must behave identically under any legal tie-break) and to
+/// ablate the internal-event stack policy of §2.2.
+struct EngineOptions {
+    /// Order among same-priority tracks. Both are legal serializations of
+    /// the unspecified scheduler order (§2).
+    enum class TieBreak { Fifo, Lifo };
+    TieBreak tie_break = TieBreak::Fifo;
+
+    /// §2.2 ablation: Stack = the paper's policy (emitter halts until
+    /// awaiting trails completely react); Queue = broadcast-and-continue
+    /// (the emitter proceeds; awakened trails run later). The queue policy
+    /// re-introduces dataflow cycles: mutual dependencies ping-pong forever
+    /// inside one reaction.
+    enum class InternalEvents { Stack, Queue };
+    InternalEvents internal_events = InternalEvents::Stack;
+
+    /// Safety net for unbounded reactions (only reachable via the Queue
+    /// ablation or buggy C bindings): instruction budget per reaction.
+    uint64_t reaction_budget = 50'000'000;
+};
+
+class Engine {
+  public:
+    enum class Status { Loaded, Running, Terminated };
+    using Options = EngineOptions;
+
+    /// `cp` and `bindings` must outlive the engine.
+    Engine(const flat::CompiledProgram& cp, CBindings& bindings,
+           Options opt = Options());
+
+    // -- the four-entry reactive API (paper §5) ------------------------------
+
+    void go_init();
+    void go_event(int event_id, Value v = Value::integer(0));
+    /// Convenience: event by name. Returns false if the name is unknown.
+    bool go_event_by_name(const std::string& name, Value v = Value::integer(0));
+    void go_time(Micros now);
+    /// Runs one slice of the current async (round-robin). Returns true if
+    /// asynchronous work remains afterwards.
+    bool go_async();
+
+    [[nodiscard]] bool has_async_work() const { return alive_asyncs() > 0; }
+    [[nodiscard]] Status status() const { return status_; }
+    [[nodiscard]] Value result() const { return result_; }
+    [[nodiscard]] Micros now() const { return now_; }
+    /// The timestamp attributed to the current reaction chain (§2.3): the
+    /// expired deadline for timer reactions, the arrival instant for
+    /// events. C bindings that model the physical world must use this, not
+    /// `now()` — a late `go_time` batch serves several logical instants.
+    [[nodiscard]] Micros logical_now() const { return logical_now_; }
+
+    // -- introspection (tests, benches) ---------------------------------------
+
+    [[nodiscard]] int active_gate_count() const;
+    [[nodiscard]] uint64_t reactions() const { return reactions_; }
+    [[nodiscard]] uint64_t instructions_executed() const { return instructions_; }
+    /// Largest reaction chain observed, in instructions — the §2.5 bounded-
+    /// execution property made measurable.
+    [[nodiscard]] uint64_t max_reaction_instructions() const { return max_reaction_; }
+    [[nodiscard]] size_t pending_timers() const { return timers_.size(); }
+    /// Earliest armed wall-clock deadline, or -1 if no timer is pending.
+    [[nodiscard]] Micros next_timer_deadline() const {
+        return timers_.empty() ? -1 : timers_.next_deadline();
+    }
+    [[nodiscard]] const std::vector<Value>& data() const { return data_; }
+    [[nodiscard]] Value slot(int s) const { return data_[static_cast<size_t>(s)]; }
+    /// Value of a named program variable (outermost declaration wins).
+    [[nodiscard]] std::optional<Value> var(const std::string& name) const;
+
+    /// Modeled RAM of the static runtime state, in bytes: the slot vector,
+    /// gate flags, timer entries and track-queue capacity. Used by the
+    /// Table 1 reproduction.
+    [[nodiscard]] size_t ram_model_bytes() const;
+
+    /// Trace hook: receives one line per `_trace`-style binding call; the
+    /// env module wires `_printf` and friends into it.
+    std::function<void(const std::string&)> on_trace;
+    void trace(const std::string& line) {
+        if (on_trace) on_trace(line);
+    }
+
+  private:
+    struct Track {
+        flat::Pc pc = 0;
+        int prio = flat::kNormalPrio;
+        uint64_t seq = 0;
+        Value wake = Value::integer(0);
+    };
+    struct EmitFrame {
+        flat::Pc resume = 0;
+        int prio = flat::kNormalPrio;
+        bool dead = false;
+    };
+    struct AsyncCtx {
+        int async_idx = -1;
+        flat::Pc pc = 0;
+        bool alive = true;
+    };
+
+    /// Either a slot lvalue (full Value) or a raw host int64 lvalue, or an
+    /// indexed C array.
+    struct LRef {
+        enum class Kind { Slot, Raw, CArray, CGlobal } kind = Kind::Slot;
+        Value* slot = nullptr;
+        int64_t* raw = nullptr;
+        const CBindings::ArrayBinding* arr = nullptr;
+        std::vector<int64_t> indices;
+        SourceLoc loc;
+    };
+
+    const flat::CompiledProgram& cp_;
+    const flat::FlatProgram& fp_;
+    CBindings& c_;
+    Options opt_;
+    uint64_t reaction_instr_ = 0;  // instructions in the current reaction
+    uint64_t max_reaction_ = 0;
+    bool in_reaction_ = false;
+
+    Status status_ = Status::Loaded;
+    Value result_ = Value::integer(0);
+    std::vector<Value> data_;
+    std::vector<uint8_t> gate_active_;
+    std::vector<Track> queue_;   // priority queue (max prio, then FIFO)
+    std::vector<EmitFrame> stack_;
+    TimerWheel timers_;
+    std::vector<AsyncCtx> asyncs_;
+    size_t async_rr_ = 0;
+
+    Micros now_ = 0;          // latest wall-clock timestamp seen
+    Micros logical_now_ = 0;  // timestamp attributed to the current reaction
+    uint64_t seq_ = 0;
+    uint64_t reactions_ = 0;
+    uint64_t instructions_ = 0;
+    int cur_prio_ = flat::kNormalPrio;
+    size_t queue_peak_ = 0;
+
+    // -- scheduling -----------------------------------------------------------
+
+    void enqueue(flat::Pc pc, int prio, Value wake = Value::integer(0));
+    bool queue_empty() const { return queue_.empty(); }
+    Track pop_track();
+    void run_reaction();
+    void wake_gate(int gate, Value v);
+    void exec(Track t);
+    void exec_async(AsyncCtx& ctx);
+    void kill_region(int region_idx);
+    void check_termination();
+    void check_not_reentrant(const char* api) const;
+    [[nodiscard]] size_t alive_asyncs() const;
+
+    // -- expression evaluation --------------------------------------------------
+
+    Value eval(const ast::Expr& e);
+    LRef lvalue(const ast::Expr& e);
+    void store(const LRef& ref, Value v);
+    Value call_c(const ast::CallExpr& call);
+    std::string callee_name(const ast::Expr& fn, Value* self, bool* has_self);
+};
+
+}  // namespace ceu::rt

@@ -1,0 +1,44 @@
+#include "runtime/timerwheel.hpp"
+
+#include <algorithm>
+#include <limits>
+
+namespace ceu::rt {
+
+void TimerWheel::disarm_range(GateId lo, GateId hi) {
+    std::erase_if(entries_, [lo, hi](const Entry& e) {
+        return e.gate >= lo && e.gate < hi;
+    });
+}
+
+Micros TimerWheel::next_deadline() const {
+    Micros best = std::numeric_limits<Micros>::max();
+    for (const Entry& e : entries_) best = std::min(best, e.deadline);
+    return best;
+}
+
+std::vector<TimerWheel::GateId> TimerWheel::pop_expired(Micros now, Micros* fired_deadline) {
+    if (entries_.empty()) return {};
+    Micros min = next_deadline();
+    if (min > now) return {};
+
+    std::vector<Entry> firing;
+    std::erase_if(entries_, [&](const Entry& e) {
+        if (e.deadline == min) {
+            firing.push_back(e);
+            return true;
+        }
+        return false;
+    });
+    // Trails awaking together are ordered by gate id, i.e. program order —
+    // the same policy external events use when traversing gate lists.
+    std::sort(firing.begin(), firing.end(),
+              [](const Entry& a, const Entry& b) { return a.gate < b.gate; });
+    std::vector<GateId> gates;
+    gates.reserve(firing.size());
+    for (const Entry& e : firing) gates.push_back(e.gate);
+    if (fired_deadline != nullptr) *fired_deadline = min;
+    return gates;
+}
+
+}  // namespace ceu::rt

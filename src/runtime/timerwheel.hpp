@@ -1,0 +1,49 @@
+// Timer container implementing the paper's wall-clock semantics (§2.3):
+// deadlines are absolute microsecond timestamps derived from the *logical*
+// time of the arming reaction, so residual deltas compensate automatically,
+// and timers armed with equal accumulated deadlines expire in the same
+// reaction (time is a physical quantity: 50ms+49ms < 100ms, always).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/timeval.hpp"
+
+namespace ceu::rt {
+
+class TimerWheel {
+  public:
+    using GateId = int;
+
+    void arm(GateId gate, Micros deadline) {
+        entries_.push_back({gate, deadline, seq_++});
+    }
+
+    /// Removes timers whose gate lies in [lo, hi) — trail destruction.
+    void disarm_range(GateId lo, GateId hi);
+
+    [[nodiscard]] bool empty() const { return entries_.empty(); }
+    [[nodiscard]] size_t size() const { return entries_.size(); }
+
+    /// Earliest pending deadline; only valid when !empty().
+    [[nodiscard]] Micros next_deadline() const;
+
+    /// If the earliest deadline is <= now, removes *all* entries sharing
+    /// that deadline (they expire together, in one reaction) and returns
+    /// their gates in arming order. Otherwise returns empty.
+    std::vector<GateId> pop_expired(Micros now, Micros* fired_deadline);
+
+    void clear() { entries_.clear(); }
+
+  private:
+    struct Entry {
+        GateId gate;
+        Micros deadline;
+        uint64_t seq;
+    };
+    std::vector<Entry> entries_;
+    uint64_t seq_ = 0;
+};
+
+}  // namespace ceu::rt

@@ -1,0 +1,6 @@
+// Intentionally small: Value is header-only; this TU anchors the module.
+#include "runtime/value.hpp"
+
+namespace ceu::rt {
+static_assert(sizeof(Value) <= 32, "Value should stay small; it is copied freely");
+}  // namespace ceu::rt

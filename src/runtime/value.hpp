@@ -1,0 +1,76 @@
+// Runtime values. Céu's data model is deliberately small: integers (which
+// also cover characters and booleans), pointers (into memory slots or host
+// buffers exposed by C bindings), and string literals (passed to C calls).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace ceu::rt {
+
+struct Value {
+    enum class Kind : uint8_t { Int, Ptr, Str };
+
+    Kind kind = Kind::Int;
+    int64_t i = 0;
+    int64_t* p = nullptr;
+    const char* s = nullptr;
+
+    static Value integer(int64_t v) {
+        Value x;
+        x.kind = Kind::Int;
+        x.i = v;
+        return x;
+    }
+    static Value pointer(int64_t* ptr) {
+        Value x;
+        x.kind = Kind::Ptr;
+        x.p = ptr;
+        return x;
+    }
+    static Value str(const char* text) {
+        Value x;
+        x.kind = Kind::Str;
+        x.s = text;
+        return x;
+    }
+
+    [[nodiscard]] bool is_int() const { return kind == Kind::Int; }
+    [[nodiscard]] bool is_ptr() const { return kind == Kind::Ptr; }
+
+    /// Numeric view; pointers convert to their address (C semantics).
+    [[nodiscard]] int64_t as_int() const {
+        if (kind == Kind::Ptr) return reinterpret_cast<int64_t>(p);
+        return i;
+    }
+
+    [[nodiscard]] bool truthy() const {
+        switch (kind) {
+            case Kind::Int: return i != 0;
+            case Kind::Ptr: return p != nullptr;
+            case Kind::Str: return s != nullptr;
+        }
+        return false;
+    }
+
+    [[nodiscard]] std::string str_repr() const {
+        switch (kind) {
+            case Kind::Int: return std::to_string(i);
+            case Kind::Ptr: return p ? "<ptr>" : "null";
+            case Kind::Str: return s ? std::string("\"") + s + "\"" : "\"\"";
+        }
+        return "?";
+    }
+
+    friend bool operator==(const Value& a, const Value& b) {
+        if (a.kind != b.kind) return a.as_int() == b.as_int();
+        switch (a.kind) {
+            case Kind::Int: return a.i == b.i;
+            case Kind::Ptr: return a.p == b.p;
+            case Kind::Str: return a.s == b.s;
+        }
+        return false;
+    }
+};
+
+}  // namespace ceu::rt

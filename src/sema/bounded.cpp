@@ -1,0 +1,196 @@
+// The bounded-execution check (paper §2.5): a reaction chain must run in
+// bounded time, so every possible path through a loop body must contain at
+// least one `await` or `break`. C calls are assumed not to loop (the
+// programmer's responsibility, per the paper).
+//
+// The analysis computes, by structural induction, whether a statement (or
+// sequence) *may complete instantaneously* — i.e. finish in the same
+// reaction without awaiting — and whether it *may break instantaneously*
+// out of the enclosing loop. A loop whose body may complete instantaneously
+// is a tight loop and is refused.
+#include "sema/sema.hpp"
+
+namespace ceu {
+
+using namespace ast;
+
+namespace {
+
+struct Flags {
+    bool may_complete_instant = false;  // may fall off the end without awaiting
+    bool may_break_instant = false;     // may `break` the nearest loop without awaiting
+    bool may_return_instant = false;    // may `return` without awaiting
+};
+
+class BoundedChecker {
+  public:
+    explicit BoundedChecker(Diagnostics& diags) : diags_(diags) {}
+
+    void check_program(const Program& prog) {
+        (void)analyze_seq(prog.body, /*instant_entry=*/true);
+    }
+
+  private:
+    Diagnostics& diags_;
+
+    Flags analyze_stmt(const Stmt& s, bool instant_entry) {
+        Flags f;
+        switch (s.kind) {
+            case StmtKind::AwaitExt:
+            case StmtKind::AwaitInt:
+            case StmtKind::AwaitTime:
+            case StmtKind::AwaitDyn:
+            case StmtKind::AwaitForever:
+                // Awaiting always ends the instantaneous path.
+                f.may_complete_instant = false;
+                return f;
+
+            case StmtKind::Break:
+                f.may_break_instant = instant_entry;
+                return f;
+
+            case StmtKind::Return:
+                f.may_return_instant = instant_entry;
+                return f;
+
+            case StmtKind::If: {
+                const auto& n = static_cast<const IfStmt&>(s);
+                Flags a = analyze_seq(n.then_body, instant_entry);
+                Flags b = analyze_seq(n.else_body, instant_entry);
+                f.may_complete_instant = a.may_complete_instant || b.may_complete_instant;
+                f.may_break_instant = a.may_break_instant || b.may_break_instant;
+                f.may_return_instant = a.may_return_instant || b.may_return_instant;
+                return f;
+            }
+
+            case StmtKind::Loop: {
+                const auto& n = static_cast<const LoopStmt&>(s);
+                Flags body = analyze_seq(n.body, /*instant_entry=*/true);
+                if (body.may_complete_instant) {
+                    diags_.error(s.loc,
+                                 "unbounded loop: a path through the loop body "
+                                 "contains no await or break (paper §2.5)");
+                }
+                // The loop statement completes via a break of its own body;
+                // it does so instantaneously only if entry was instantaneous
+                // and some break path awaited nothing first.
+                f.may_complete_instant = instant_entry && body.may_break_instant;
+                f.may_return_instant = instant_entry && body.may_return_instant;
+                f.may_break_instant = false;  // inner breaks target this loop
+                return f;
+            }
+
+            case StmtKind::Par: {
+                const auto& n = static_cast<const ParStmt&>(s);
+                bool all_complete = true;
+                bool any_complete = false;
+                for (const auto& b : n.branches) {
+                    Flags bf = analyze_seq(b, instant_entry);
+                    all_complete = all_complete && bf.may_complete_instant;
+                    any_complete = any_complete || bf.may_complete_instant;
+                    f.may_break_instant |= bf.may_break_instant;
+                    f.may_return_instant |= bf.may_return_instant;
+                }
+                switch (n.par_kind) {
+                    case ParKind::Par:
+                        f.may_complete_instant = false;  // never rejoins
+                        break;
+                    case ParKind::ParAnd:
+                        f.may_complete_instant = all_complete;
+                        break;
+                    case ParKind::ParOr:
+                        f.may_complete_instant = any_complete;
+                        break;
+                }
+                return f;
+            }
+
+            case StmtKind::Block: {
+                return analyze_seq(static_cast<const BlockStmt&>(s).body, instant_entry);
+            }
+
+            case StmtKind::Async: {
+                const auto& n = static_cast<const AsyncStmt&>(s);
+                // An async runs in unbounded time *outside* the synchronous
+                // side; loops inside it are exempt. The synchronous side
+                // always awaits its completion.
+                check_async_body(n.body);
+                f.may_complete_instant = false;
+                return f;
+            }
+
+            case StmtKind::Assign: {
+                const auto& n = static_cast<const AssignStmt&>(s);
+                if (n.rhs_stmt) {
+                    Flags rf = analyze_value_block(*n.rhs_stmt, instant_entry);
+                    return rf;
+                }
+                f.may_complete_instant = instant_entry;
+                return f;
+            }
+
+            case StmtKind::DeclVar: {
+                const auto& n = static_cast<const DeclVarStmt&>(s);
+                bool instant = instant_entry;
+                Flags acc;
+                for (const auto& v : n.vars) {
+                    if (v.init_stmt) {
+                        Flags rf = analyze_value_block(*v.init_stmt, instant);
+                        acc.may_break_instant |= rf.may_break_instant;
+                        acc.may_return_instant |= rf.may_return_instant;
+                        instant = rf.may_complete_instant;
+                    }
+                }
+                acc.may_complete_instant = instant;
+                return acc;
+            }
+
+            default:
+                // Plain zero-delay statements: declarations, emits, C calls.
+                f.may_complete_instant = instant_entry;
+                return f;
+        }
+    }
+
+    /// A value-producing block (`v = par do ... end`): `return` completes
+    /// the *block*, so return-instant folds into complete-instant.
+    Flags analyze_value_block(const Stmt& s, bool instant_entry) {
+        Flags f = analyze_stmt(s, instant_entry);
+        f.may_complete_instant = f.may_complete_instant || f.may_return_instant;
+        f.may_return_instant = false;
+        return f;
+    }
+
+    Flags analyze_seq(const BlockBody& body, bool instant_entry) {
+        Flags acc;
+        bool instant = instant_entry;
+        for (const auto& s : body.stmts) {
+            Flags sf = analyze_stmt(*s, instant);
+            acc.may_break_instant |= sf.may_break_instant;
+            acc.may_return_instant |= sf.may_return_instant;
+            if (s->kind == StmtKind::Break || s->kind == StmtKind::Return) {
+                // Control never falls through; the rest of the sequence is dead.
+                acc.may_complete_instant = false;
+                return acc;
+            }
+            instant = sf.may_complete_instant;
+        }
+        acc.may_complete_instant = instant;
+        return acc;
+    }
+
+    /// Asyncs may contain unbounded loops, but a loop with *no* break and
+    /// no enclosing-iteration budget would starve the whole async queue
+    /// only cooperatively — that is allowed (paper: "no warranty that an
+    /// async will ever terminate"). Nothing to check structurally; we still
+    /// recurse to flag nested loops' own structure errors: none apply.
+    void check_async_body(const BlockBody&) {}
+};
+
+}  // namespace
+
+void check_bounded(const Program& prog, Diagnostics& diags) {
+    BoundedChecker(diags).check_program(prog);
+}
+
+}  // namespace ceu

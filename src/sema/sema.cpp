@@ -1,0 +1,429 @@
+#include "sema/sema.hpp"
+
+#include <unordered_map>
+
+namespace ceu {
+
+using namespace ast;
+
+namespace {
+
+/// Lexical scope chain mapping names to declaration ids.
+class Scope {
+  public:
+    explicit Scope(Scope* parent = nullptr) : parent_(parent) {}
+
+    void declare(const std::string& name, int decl_id) { table_[name] = decl_id; }
+
+    [[nodiscard]] int lookup(const std::string& name) const {
+        auto it = table_.find(name);
+        if (it != table_.end()) return it->second;
+        return parent_ ? parent_->lookup(name) : -1;
+    }
+
+    /// True if `name` resolves in this scope or any ancestor *up to and
+    /// including* `stop` (used for the async outer-assignment rule).
+    [[nodiscard]] bool declared_within(const std::string& name, const Scope* stop) const {
+        for (const Scope* s = this; s != nullptr; s = s->parent_) {
+            if (s->table_.count(name)) return true;
+            if (s == stop) break;
+        }
+        return false;
+    }
+
+    [[nodiscard]] Scope* parent() const { return parent_; }
+
+  private:
+    Scope* parent_;
+    std::unordered_map<std::string, int> table_;
+};
+
+class Analyzer {
+  public:
+    Analyzer(Program& prog, Diagnostics& diags) : prog_(prog), diags_(diags) {}
+
+    SemaInfo run() {
+        Scope root;
+        visit_body(prog_.body, root);
+        check_bounded(prog_, diags_);
+        return std::move(info_);
+    }
+
+  private:
+    Program& prog_;
+    Diagnostics& diags_;
+    SemaInfo info_;
+    std::unordered_map<std::string, int> input_ids_;
+    std::unordered_map<std::string, int> internal_ids_;
+    std::unordered_map<std::string, int> output_ids_;
+    int loop_depth_ = 0;
+    Scope* async_boundary_ = nullptr;  // innermost async scope, if any
+    bool in_async_ = false;
+
+    // -- declarations --------------------------------------------------------
+
+    void declare_input(DeclInputStmt& s) {
+        for (const auto& name : s.names) {
+            if (input_ids_.count(name)) {
+                diags_.error(s.loc, "input event '" + name + "' redeclared");
+                continue;
+            }
+            input_ids_[name] = static_cast<int>(info_.inputs.size());
+            info_.inputs.push_back({name, s.type, s.loc});
+        }
+    }
+
+    void declare_output(DeclOutputStmt& s) {
+        for (const auto& name : s.names) {
+            if (output_ids_.count(name) || input_ids_.count(name)) {
+                diags_.error(s.loc, "event '" + name + "' redeclared");
+                continue;
+            }
+            output_ids_[name] = static_cast<int>(info_.outputs.size());
+            info_.outputs.push_back({name, s.type, s.loc});
+        }
+    }
+
+    void declare_internal(DeclInternalStmt& s) {
+        for (const auto& name : s.names) {
+            if (internal_ids_.count(name)) {
+                diags_.error(s.loc, "internal event '" + name + "' redeclared");
+                continue;
+            }
+            internal_ids_[name] = static_cast<int>(info_.internals.size());
+            info_.internals.push_back({name, s.type, s.loc});
+        }
+    }
+
+    int declare_var(const std::string& name, const Type& type, int64_t array_size,
+                    SourceLoc loc, Scope& scope) {
+        int id = static_cast<int>(info_.vars.size());
+        info_.vars.push_back({name, type, array_size, loc, in_async_});
+        scope.declare(name, id);
+        return id;
+    }
+
+    // -- expressions ---------------------------------------------------------
+
+    void visit_expr(Expr& e, Scope& scope) {
+        switch (e.kind) {
+            case ExprKind::Var: {
+                auto& n = static_cast<VarExpr&>(e);
+                n.decl_id = scope.lookup(n.name);
+                if (n.decl_id < 0) {
+                    // internal events are lowercase too, but are not values
+                    if (internal_ids_.count(n.name)) {
+                        diags_.error(e.loc, "event '" + n.name +
+                                                "' used as a value (events carry "
+                                                "values only through await)");
+                    } else {
+                        diags_.error(e.loc, "undeclared variable '" + n.name + "'");
+                    }
+                }
+                break;
+            }
+            case ExprKind::Unop:
+                visit_expr(*static_cast<UnopExpr&>(e).sub, scope);
+                break;
+            case ExprKind::Binop: {
+                auto& n = static_cast<BinopExpr&>(e);
+                visit_expr(*n.lhs, scope);
+                visit_expr(*n.rhs, scope);
+                break;
+            }
+            case ExprKind::Index: {
+                auto& n = static_cast<IndexExpr&>(e);
+                visit_expr(*n.base, scope);
+                visit_expr(*n.index, scope);
+                break;
+            }
+            case ExprKind::Call: {
+                auto& n = static_cast<CallExpr&>(e);
+                visit_expr(*n.fn, scope);
+                for (auto& a : n.args) visit_expr(*a, scope);
+                break;
+            }
+            case ExprKind::Cast:
+                visit_expr(*static_cast<CastExpr&>(e).sub, scope);
+                break;
+            case ExprKind::Field:
+                visit_expr(*static_cast<FieldExpr&>(e).base, scope);
+                break;
+            default:
+                break;  // literals, C symbols, sizeof
+        }
+    }
+
+    // -- statements ----------------------------------------------------------
+
+    void visit_body(BlockBody& body, Scope& scope) {
+        for (auto& s : body.stmts) visit_stmt(*s, scope);
+    }
+
+    /// Visits a body in a fresh child scope (do-blocks, branches, loops).
+    void visit_child(BlockBody& body, Scope& parent) {
+        Scope child(&parent);
+        visit_body(body, child);
+    }
+
+    void visit_stmt(Stmt& s, Scope& scope) {
+        switch (s.kind) {
+            case StmtKind::Nothing:
+                break;
+            case StmtKind::DeclInput:
+                declare_input(static_cast<DeclInputStmt&>(s));
+                break;
+            case StmtKind::DeclInternal:
+                declare_internal(static_cast<DeclInternalStmt&>(s));
+                break;
+            case StmtKind::DeclOutput:
+                declare_output(static_cast<DeclOutputStmt&>(s));
+                break;
+            case StmtKind::DeclVar: {
+                auto& n = static_cast<DeclVarStmt&>(s);
+                for (auto& v : n.vars) {
+                    // Initializers are resolved before the name is visible
+                    // (C scoping would allow self-reference; Céu does not).
+                    if (v.init) visit_expr(*v.init, scope);
+                    if (v.init_stmt) visit_stmt(*v.init_stmt, scope);
+                    v.decl_id = declare_var(v.name, n.type, v.array_size, v.loc, scope);
+                    if (v.init_stmt) check_value_producer(*v.init_stmt, n.type);
+                }
+                break;
+            }
+            case StmtKind::CBlock:
+                info_.c_blocks.push_back(static_cast<CBlockStmt&>(s).code);
+                break;
+            case StmtKind::Pure:
+                for (const auto& f : static_cast<PureStmt&>(s).names) {
+                    info_.ccalls.add_pure(f);
+                }
+                break;
+            case StmtKind::Deterministic:
+                info_.ccalls.add_group(static_cast<DeterministicStmt&>(s).names);
+                break;
+            case StmtKind::AwaitExt: {
+                auto& n = static_cast<AwaitExtStmt&>(s);
+                if (in_async_) {
+                    diags_.error(s.loc, "async blocks cannot await input events");
+                }
+                auto it = input_ids_.find(n.event);
+                if (it == input_ids_.end()) {
+                    diags_.error(s.loc, "undeclared input event '" + n.event + "'");
+                } else {
+                    n.event_id = it->second;
+                }
+                break;
+            }
+            case StmtKind::AwaitInt: {
+                auto& n = static_cast<AwaitIntStmt&>(s);
+                if (in_async_) {
+                    diags_.error(s.loc, "async blocks cannot manipulate internal events");
+                }
+                auto it = internal_ids_.find(n.event);
+                if (it == internal_ids_.end()) {
+                    diags_.error(s.loc, "undeclared internal event '" + n.event + "'");
+                } else {
+                    n.event_id = it->second;
+                }
+                break;
+            }
+            case StmtKind::AwaitTime:
+            case StmtKind::AwaitForever:
+                if (in_async_) {
+                    diags_.error(s.loc, "async blocks cannot await");
+                }
+                break;
+            case StmtKind::AwaitDyn:
+                if (in_async_) {
+                    diags_.error(s.loc, "async blocks cannot await");
+                } else {
+                    visit_expr(*static_cast<AwaitDynStmt&>(s).us, scope);
+                }
+                break;
+            case StmtKind::EmitInt: {
+                auto& n = static_cast<EmitIntStmt&>(s);
+                if (in_async_) {
+                    diags_.error(s.loc, "async blocks cannot manipulate internal events");
+                }
+                auto it = internal_ids_.find(n.event);
+                if (it == internal_ids_.end()) {
+                    diags_.error(s.loc, "undeclared internal event '" + n.event + "'");
+                } else {
+                    n.event_id = it->second;
+                    if (n.value && info_.internals[it->second].type.is_void()) {
+                        diags_.error(s.loc, "internal event '" + n.event +
+                                                "' is notify-only (void) but an emit "
+                                                "value was given");
+                    }
+                }
+                if (n.value) visit_expr(*n.value, scope);
+                break;
+            }
+            case StmtKind::EmitExt: {
+                auto& n = static_cast<EmitExtStmt&>(s);
+                // Output events (extension) are emitted from synchronous
+                // code; input events only from asyncs (simulation, §2.8).
+                auto out_it = output_ids_.find(n.event);
+                if (out_it != output_ids_.end()) {
+                    n.is_output = true;
+                    n.event_id = out_it->second;
+                    if (in_async_) {
+                        diags_.error(s.loc, "async blocks cannot emit output events");
+                    }
+                    if (n.value && info_.outputs[out_it->second].type.is_void()) {
+                        diags_.error(s.loc, "output event '" + n.event +
+                                                "' is void but an emit value was given");
+                    }
+                    if (n.value) visit_expr(*n.value, scope);
+                    break;
+                }
+                if (!in_async_) {
+                    diags_.error(s.loc,
+                                 "input events can only be emitted from async blocks "
+                                 "(simulation, paper §2.8)");
+                }
+                auto it = input_ids_.find(n.event);
+                if (it == input_ids_.end()) {
+                    diags_.error(s.loc, "undeclared input event '" + n.event + "'");
+                } else {
+                    n.event_id = it->second;
+                    if (n.value && info_.inputs[it->second].type.is_void()) {
+                        diags_.error(s.loc, "input event '" + n.event +
+                                                "' is void but an emit value was given");
+                    }
+                }
+                if (n.value) visit_expr(*n.value, scope);
+                break;
+            }
+            case StmtKind::EmitTime:
+                if (!in_async_) {
+                    diags_.error(s.loc,
+                                 "time can only be emitted from async blocks "
+                                 "(simulation, paper §2.8)");
+                }
+                break;
+            case StmtKind::If: {
+                auto& n = static_cast<IfStmt&>(s);
+                visit_expr(*n.cond, scope);
+                visit_child(n.then_body, scope);
+                visit_child(n.else_body, scope);
+                break;
+            }
+            case StmtKind::Loop: {
+                ++loop_depth_;
+                visit_child(static_cast<LoopStmt&>(s).body, scope);
+                --loop_depth_;
+                break;
+            }
+            case StmtKind::Break:
+                if (loop_depth_ == 0) {
+                    diags_.error(s.loc, "'break' outside of a loop");
+                }
+                break;
+            case StmtKind::Par: {
+                auto& n = static_cast<ParStmt&>(s);
+                if (in_async_) {
+                    diags_.error(s.loc, "async blocks cannot contain parallel blocks");
+                }
+                // A `break` may not cross a parallel-composition boundary
+                // into a loop outside the par only for plain statements; the
+                // paper allows escaping loops from trails, so loop_depth_ is
+                // kept as-is across branches.
+                for (auto& b : n.branches) visit_child(b, scope);
+                break;
+            }
+            case StmtKind::ExprStmt:
+                visit_expr(*static_cast<ExprStmtStmt&>(s).expr, scope);
+                break;
+            case StmtKind::Assign: {
+                auto& n = static_cast<AssignStmt&>(s);
+                visit_expr(*n.lhs, scope);
+                check_async_assignment(*n.lhs, scope, s.loc);
+                if (n.rhs_expr) visit_expr(*n.rhs_expr, scope);
+                if (n.rhs_stmt) {
+                    visit_stmt(*n.rhs_stmt, scope);
+                    Type dummy{"int", 0, false};
+                    check_value_producer(*n.rhs_stmt, dummy);
+                }
+                break;
+            }
+            case StmtKind::Return: {
+                auto& n = static_cast<ReturnStmt&>(s);
+                if (n.value) visit_expr(*n.value, scope);
+                break;
+            }
+            case StmtKind::Block:
+                visit_child(static_cast<BlockStmt&>(s).body, scope);
+                break;
+            case StmtKind::Async: {
+                auto& n = static_cast<AsyncStmt&>(s);
+                if (in_async_) {
+                    diags_.error(s.loc, "async blocks cannot nest");
+                    break;
+                }
+                in_async_ = true;
+                Scope child(&scope);
+                Scope* saved = async_boundary_;
+                async_boundary_ = &child;
+                int saved_loops = loop_depth_;
+                loop_depth_ = 0;  // breaks inside async target async-local loops
+                visit_body(n.body, child);
+                loop_depth_ = saved_loops;
+                async_boundary_ = saved;
+                in_async_ = false;
+                break;
+            }
+        }
+    }
+
+    /// Paper §2.7: asyncs "cannot assign to variables defined in outer
+    /// blocks" — results flow out only through `return`.
+    void check_async_assignment(Expr& lhs, Scope& scope, SourceLoc loc) {
+        if (!in_async_ || async_boundary_ == nullptr) return;
+        const Expr* root = &lhs;
+        while (root->kind == ExprKind::Index) {
+            root = static_cast<const IndexExpr*>(root)->base.get();
+        }
+        if (root->kind != ExprKind::Var) return;  // *ptr / C globals: programmer's "C hat"
+        const auto& v = static_cast<const VarExpr&>(*root);
+        if (v.decl_id < 0) return;
+        if (!scope.declared_within(v.name, async_boundary_)) {
+            diags_.error(loc, "async blocks cannot assign to variable '" + v.name +
+                                  "' defined in an outer block (paper §2.7)");
+        }
+    }
+
+    /// A SetExp statement must be able to produce a value: an await on a
+    /// value-carrying event/time, or a block containing `return`.
+    void check_value_producer(Stmt& rhs, const Type&) {
+        switch (rhs.kind) {
+            case StmtKind::AwaitExt: {
+                auto& n = static_cast<AwaitExtStmt&>(rhs);
+                if (n.event_id >= 0 && info_.inputs[n.event_id].type.is_void()) {
+                    diags_.error(rhs.loc, "await of void event '" + n.event +
+                                              "' cannot produce a value");
+                }
+                break;
+            }
+            case StmtKind::AwaitInt: {
+                auto& n = static_cast<AwaitIntStmt&>(rhs);
+                if (n.event_id >= 0 && info_.internals[n.event_id].type.is_void()) {
+                    diags_.error(rhs.loc, "await of void event '" + n.event +
+                                              "' cannot produce a value");
+                }
+                break;
+            }
+            default:
+                break;  // par/do/async blocks produce via `return`
+        }
+    }
+};
+
+}  // namespace
+
+SemaInfo analyze(Program& prog, Diagnostics& diags) {
+    return Analyzer(prog, diags).run();
+}
+
+}  // namespace ceu

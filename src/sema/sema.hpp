@@ -1,0 +1,103 @@
+// Semantic analysis for Céu:
+//  * scoped name resolution (variables, external/internal events);
+//  * declaration rules (declare-before-use, ID-class conventions);
+//  * async-block restrictions (paper §2.7: no parallel blocks, no awaiting
+//    input events, no internal-event manipulation, no assignment to outer
+//    variables);
+//  * the `pure` / `deterministic` C-call annotation registry (paper §2.6);
+//  * the bounded-execution check (paper §2.5) lives in bounded.cpp and is
+//    invoked from here.
+#pragma once
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "ast/ast.hpp"
+#include "util/diag.hpp"
+
+namespace ceu {
+
+/// A declared Céu variable. `decl_id` indexes into SemaInfo::vars and is
+/// written back into every VarExpr that resolves to it.
+struct VarInfo {
+    std::string name;
+    ast::Type type;
+    int64_t array_size = 0;  // 0 = scalar
+    SourceLoc loc;
+    bool declared_in_async = false;
+};
+
+/// A declared event (external input or internal).
+struct EventInfo {
+    std::string name;
+    ast::Type type;  // value carried by occurrences; `void` = notify-only
+    SourceLoc loc;
+};
+
+/// The annotation registry for concurrent C calls. Two calls `f`, `g` may
+/// run concurrently iff either is `pure` or both belong to one
+/// `deterministic` group (paper §2.6).
+class CCallPolicy {
+  public:
+    void add_pure(const std::string& f) { pure_.insert(f); }
+    void add_group(const std::vector<std::string>& fs) {
+        groups_.emplace_back(fs.begin(), fs.end());
+    }
+
+    [[nodiscard]] bool is_pure(const std::string& f) const { return pure_.count(f) > 0; }
+
+    /// May `f` and `g` (possibly the same function) run concurrently?
+    [[nodiscard]] bool allowed(const std::string& f, const std::string& g) const {
+        if (is_pure(f) || is_pure(g)) return true;
+        for (const auto& grp : groups_) {
+            if (grp.count(f) && grp.count(g)) return true;
+        }
+        return false;
+    }
+
+  private:
+    std::set<std::string> pure_;
+    std::vector<std::set<std::string>> groups_;
+};
+
+/// Results of semantic analysis. Later phases (flattener, DFA, C emitter)
+/// consume ids from here and never re-resolve names.
+struct SemaInfo {
+    std::vector<VarInfo> vars;        // indexed by decl_id
+    std::vector<EventInfo> inputs;    // indexed by external event id
+    std::vector<EventInfo> internals; // indexed by internal event id
+    std::vector<EventInfo> outputs;   // extension: output events
+    CCallPolicy ccalls;
+    std::vector<std::string> c_blocks;  // raw C bodies, in program order
+
+    [[nodiscard]] int input_id(const std::string& name) const {
+        for (size_t i = 0; i < inputs.size(); ++i) {
+            if (inputs[i].name == name) return static_cast<int>(i);
+        }
+        return -1;
+    }
+    [[nodiscard]] int internal_id(const std::string& name) const {
+        for (size_t i = 0; i < internals.size(); ++i) {
+            if (internals[i].name == name) return static_cast<int>(i);
+        }
+        return -1;
+    }
+    [[nodiscard]] int output_id(const std::string& name) const {
+        for (size_t i = 0; i < outputs.size(); ++i) {
+            if (outputs[i].name == name) return static_cast<int>(i);
+        }
+        return -1;
+    }
+};
+
+/// Runs all semantic checks over `prog`, annotating the AST in place.
+/// Check `diags.ok()` before trusting the returned SemaInfo.
+SemaInfo analyze(ast::Program& prog, Diagnostics& diags);
+
+/// The bounded-execution check (paper §2.5): every possible path through a
+/// loop body must contain an await or a break. Exposed separately for
+/// focused tests; `analyze` already calls it.
+void check_bounded(const ast::Program& prog, Diagnostics& diags);
+
+}  // namespace ceu

@@ -1,0 +1,170 @@
+// ceuc — the Céu compiler driver.
+//
+//   ceuc file.ceu                 compile + temporal analysis (report only)
+//   ceuc --run file.ceu           compile, analyze, then run; input script
+//                                 read from stdin (see below)
+//   ceuc --emit-c file.ceu        print the generated single-threaded C
+//   ceuc --disasm file.ceu        print the flat-program disassembly
+//   ceuc --dfa-dot file.ceu       print the temporal-analysis DFA (Graphviz)
+//   ceuc --flow-dot file.ceu      print the flow graph (Graphviz)
+//   ceuc --no-analysis ...        skip the temporal analysis
+//
+// Input script protocol (one item per line, matching the C harness):
+//   E <event> [value]   deliver an input event
+//   T <micros>          advance wall-clock time
+//   A                   run async blocks until idle
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+
+#include "cgen/cgen.hpp"
+#include "codegen/flatten.hpp"
+#include "demos/demos.hpp"
+#include "dfa/dfa.hpp"
+#include "env/driver.hpp"
+#include "flow/flowgraph.hpp"
+
+namespace {
+
+using namespace ceu;
+
+int usage() {
+    std::fprintf(stderr,
+                 "usage: ceuc [--run|--emit-c|--disasm|--dfa-dot|--flow-dot] "
+                 "[--no-analysis] <file.ceu>\n");
+    return 2;
+}
+
+std::string read_file(const std::string& path) {
+    if (path == "-") {
+        std::ostringstream os;
+        os << std::cin.rdbuf();
+        return os.str();
+    }
+    std::ifstream f(path);
+    if (!f) throw std::runtime_error("cannot open " + path);
+    std::ostringstream os;
+    os << f.rdbuf();
+    return os.str();
+}
+
+int run_program(const flat::CompiledProgram& cp) {
+    env::Driver driver(cp);
+    driver.engine().on_trace = [](const std::string& line) {
+        std::printf("%s\n", line.c_str());
+    };
+    driver.boot();
+    std::string op;
+    while (std::cin >> op) {
+        if (driver.engine().status() != rt::Engine::Status::Running) break;
+        if (op == "E") {
+            std::string name;
+            std::cin >> name;
+            int64_t v = 0;
+            if (std::cin.peek() != '\n') std::cin >> v;
+            driver.feed({env::ScriptItem::Kind::Event, name, rt::Value::integer(v), 0});
+        } else if (op == "T") {
+            int64_t us = 0;
+            std::cin >> us;
+            driver.feed({env::ScriptItem::Kind::Advance, "", rt::Value::integer(0), us});
+        } else if (op == "A") {
+            driver.settle_asyncs();
+        } else if (op == "Q") {
+            break;
+        }
+    }
+    if (driver.engine().status() == rt::Engine::Status::Running) {
+        driver.settle_asyncs();
+    }
+    if (driver.engine().status() == rt::Engine::Status::Terminated) {
+        std::fprintf(stderr, "program terminated with %lld\n",
+                     static_cast<long long>(driver.engine().result().as_int()));
+        return static_cast<int>(driver.engine().result().as_int());
+    }
+    std::fprintf(stderr, "program still awaiting (%d trails)\n",
+                 driver.engine().active_gate_count());
+    return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    enum class Mode { Check, Run, EmitC, Disasm, DfaDot, FlowDot };
+    Mode mode = Mode::Check;
+    bool analysis = true;
+    std::string path;
+
+    for (int i = 1; i < argc; ++i) {
+        std::string a = argv[i];
+        if (a == "--run") mode = Mode::Run;
+        else if (a == "--emit-c") mode = Mode::EmitC;
+        else if (a == "--disasm") mode = Mode::Disasm;
+        else if (a == "--dfa-dot") mode = Mode::DfaDot;
+        else if (a == "--flow-dot") mode = Mode::FlowDot;
+        else if (a == "--no-analysis") analysis = false;
+        else if (a == "--help" || a == "-h") return usage();
+        else if (!a.empty() && a[0] == '-' && a != "-") return usage();
+        else path = a;
+    }
+    if (path.empty()) return usage();
+
+    try {
+        std::string source = read_file(path);
+        flat::CompiledProgram cp;
+        Diagnostics diags;
+        if (!flat::compile_checked(source, &cp, diags, path)) {
+            std::fprintf(stderr, "%s", diags.str().c_str());
+            return 1;
+        }
+        for (const auto& d : diags.all()) {
+            std::fprintf(stderr, "%s\n", d.str().c_str());
+        }
+
+        if (analysis) {
+            dfa::Dfa d = dfa::Dfa::build(cp);
+            if (!d.deterministic()) {
+                std::fprintf(stderr, "temporal analysis refused the program:\n%s",
+                             d.report().c_str());
+                if (mode != Mode::DfaDot) return 1;
+            }
+            if (mode == Mode::DfaDot) {
+                std::printf("%s", d.to_dot(path).c_str());
+                return d.deterministic() ? 0 : 1;
+            }
+            if (mode == Mode::Check) {
+                std::printf("%s: OK (%zu DFA states, %zu instructions, %d slots, "
+                            "%zu gates)\n",
+                            path.c_str(), d.state_count(), cp.flat.code.size(),
+                            cp.flat.data_size, cp.flat.gates.size());
+                return 0;
+            }
+        } else if (mode == Mode::Check) {
+            std::printf("%s: parsed and flattened (analysis skipped)\n", path.c_str());
+            return 0;
+        } else if (mode == Mode::DfaDot) {
+            std::fprintf(stderr, "--dfa-dot requires the analysis\n");
+            return 2;
+        }
+
+        switch (mode) {
+            case Mode::Run:
+                return run_program(cp);
+            case Mode::EmitC:
+                std::printf("%s", cgen::emit_c(cp).c_str());
+                return 0;
+            case Mode::Disasm:
+                std::printf("%s", flat::disassemble(cp.flat).c_str());
+                return 0;
+            case Mode::FlowDot:
+                std::printf("%s", flow::build_flow_graph(cp).to_dot(path).c_str());
+                return 0;
+            default:
+                return 0;
+        }
+    } catch (const std::exception& e) {
+        std::fprintf(stderr, "ceuc: %s\n", e.what());
+        return 1;
+    }
+}

@@ -1,0 +1,56 @@
+#include "util/diag.hpp"
+
+#include <sstream>
+
+namespace ceu {
+
+namespace {
+const char* severity_name(Severity s) {
+    switch (s) {
+        case Severity::Note: return "note";
+        case Severity::Warning: return "warning";
+        case Severity::Error: return "error";
+    }
+    return "?";
+}
+}  // namespace
+
+std::string Diagnostic::str() const {
+    std::ostringstream os;
+    if (loc.valid()) os << loc.str() << ": ";
+    os << severity_name(severity) << ": " << message;
+    return os.str();
+}
+
+void Diagnostics::error(SourceLoc loc, std::string msg) {
+    diags_.push_back({Severity::Error, loc, std::move(msg)});
+    ++error_count_;
+}
+
+void Diagnostics::warning(SourceLoc loc, std::string msg) {
+    diags_.push_back({Severity::Warning, loc, std::move(msg)});
+}
+
+void Diagnostics::note(SourceLoc loc, std::string msg) {
+    diags_.push_back({Severity::Note, loc, std::move(msg)});
+}
+
+bool Diagnostics::contains(std::string_view needle) const {
+    for (const auto& d : diags_) {
+        if (d.message.find(needle) != std::string::npos) return true;
+    }
+    return false;
+}
+
+std::string Diagnostics::str() const {
+    std::ostringstream os;
+    for (const auto& d : diags_) os << d.str() << "\n";
+    return os.str();
+}
+
+void Diagnostics::clear() {
+    diags_.clear();
+    error_count_ = 0;
+}
+
+}  // namespace ceu

@@ -1,0 +1,55 @@
+// Diagnostics engine: every phase reports errors/warnings here instead of
+// throwing ad-hoc exceptions, so callers (tests, the CLI driver, benches)
+// can inspect structured results.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "util/source.hpp"
+
+namespace ceu {
+
+enum class Severity { Note, Warning, Error };
+
+struct Diagnostic {
+    Severity severity = Severity::Error;
+    SourceLoc loc;
+    std::string message;
+
+    [[nodiscard]] std::string str() const;
+};
+
+/// Collects diagnostics across phases. A phase that encounters a hard error
+/// records it and returns; `ok()` gates progression to the next phase.
+class Diagnostics {
+  public:
+    void error(SourceLoc loc, std::string msg);
+    void warning(SourceLoc loc, std::string msg);
+    void note(SourceLoc loc, std::string msg);
+
+    [[nodiscard]] bool ok() const { return error_count_ == 0; }
+    [[nodiscard]] size_t error_count() const { return error_count_; }
+    [[nodiscard]] const std::vector<Diagnostic>& all() const { return diags_; }
+
+    /// True if any diagnostic message contains `needle` (handy in tests).
+    [[nodiscard]] bool contains(std::string_view needle) const;
+
+    /// All diagnostics joined with newlines.
+    [[nodiscard]] std::string str() const;
+
+    void clear();
+
+  private:
+    std::vector<Diagnostic> diags_;
+    size_t error_count_ = 0;
+};
+
+/// Thrown by convenience entry points that promise a fully-checked program.
+class CompileError : public std::runtime_error {
+  public:
+    explicit CompileError(std::string what) : std::runtime_error(std::move(what)) {}
+};
+
+}  // namespace ceu

@@ -1,0 +1,37 @@
+// Source locations and source buffers shared by every compiler phase.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace ceu {
+
+/// A position inside a source buffer (1-based line/column, as editors count).
+struct SourceLoc {
+    uint32_t line = 0;
+    uint32_t col = 0;
+
+    [[nodiscard]] bool valid() const { return line != 0; }
+    [[nodiscard]] std::string str() const {
+        return std::to_string(line) + ":" + std::to_string(col);
+    }
+    friend bool operator==(const SourceLoc&, const SourceLoc&) = default;
+};
+
+/// An immutable source buffer. Owns the text so that string_views handed out
+/// by the lexer stay valid for the lifetime of the compilation.
+class SourceFile {
+  public:
+    SourceFile(std::string name, std::string text)
+        : name_(std::move(name)), text_(std::move(text)) {}
+
+    [[nodiscard]] const std::string& name() const { return name_; }
+    [[nodiscard]] std::string_view text() const { return text_; }
+
+  private:
+    std::string name_;
+    std::string text_;
+};
+
+}  // namespace ceu

@@ -1,0 +1,65 @@
+#include "util/timeval.hpp"
+
+#include <cctype>
+#include <sstream>
+
+namespace ceu {
+
+std::string format_micros(Micros us) {
+    if (us == 0) return "0us";
+    std::ostringstream os;
+    if (us < 0) {
+        os << "-";
+        us = -us;
+    }
+    struct Unit {
+        Micros size;
+        const char* name;
+    };
+    static constexpr Unit kUnits[] = {
+        {kHour, "h"}, {kMin, "min"}, {kSec, "s"}, {kMs, "ms"}, {kUs, "us"},
+    };
+    for (const auto& u : kUnits) {
+        if (us >= u.size) {
+            os << (us / u.size) << u.name;
+            us %= u.size;
+        }
+    }
+    return os.str();
+}
+
+bool parse_time_literal(const std::string& text, Micros* out) {
+    // Grammar: (NUM h)? (NUM min)? (NUM s)? (NUM ms)? (NUM us)?  -- at least
+    // one; we accept the units in any order but each at most once, which is
+    // a superset of the paper's grammar and matches its examples.
+    Micros total = 0;
+    size_t i = 0;
+    bool any = false;
+    while (i < text.size()) {
+        if (!std::isdigit(static_cast<unsigned char>(text[i]))) return false;
+        Micros num = 0;
+        while (i < text.size() && std::isdigit(static_cast<unsigned char>(text[i]))) {
+            num = num * 10 + (text[i] - '0');
+            ++i;
+        }
+        size_t start = i;
+        while (i < text.size() && std::isalpha(static_cast<unsigned char>(text[i]))) ++i;
+        std::string unit = text.substr(start, i - start);
+        // "min" must be checked before "m"-like prefixes; we only accept the
+        // exact unit names from the grammar.
+        Micros scale = 0;
+        if (unit == "h") scale = kHour;
+        else if (unit == "min") scale = kMin;
+        else if (unit == "s") scale = kSec;
+        else if (unit == "ms") scale = kMs;
+        else if (unit == "us") scale = kUs;
+        else return false;
+        total += num * scale;
+        any = true;
+    }
+    if (!any) return false;
+    *out = total;
+    return true;
+}
+
+}  // namespace ceu

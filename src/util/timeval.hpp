@@ -1,0 +1,28 @@
+// Wall-clock durations. Céu treats time as a physical quantity that can be
+// added and compared (paper §2.3); internally everything is microseconds.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace ceu {
+
+/// Microseconds since program boot (or a duration). Signed so that residual
+/// delta arithmetic (`now - deadline`) is natural.
+using Micros = int64_t;
+
+constexpr Micros kUs = 1;
+constexpr Micros kMs = 1000 * kUs;
+constexpr Micros kSec = 1000 * kMs;
+constexpr Micros kMin = 60 * kSec;
+constexpr Micros kHour = 60 * kMin;
+
+/// Renders a duration the way Céu source spells it, e.g. "1h35min" or
+/// "500ms". Used by diagnostics, DFA dumps and traces.
+std::string format_micros(Micros us);
+
+/// Parses a concatenated time literal body such as "1h35min" / "500ms".
+/// Returns false if `text` is not a valid TIME literal.
+bool parse_time_literal(const std::string& text, Micros* out);
+
+}  // namespace ceu

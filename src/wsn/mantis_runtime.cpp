@@ -1,0 +1,183 @@
+#include "wsn/mantis_runtime.hpp"
+
+#include <cassert>
+
+namespace ceu::wsn {
+
+MantisThread& MantisKernel::add(std::unique_ptr<MantisThread> t) {
+    Tcb tcb;
+    tcb.thread = std::move(t);
+    threads_.push_back(std::move(tcb));
+    return *threads_.back().thread;
+}
+
+void MantisKernel::boot(Micros now) {
+    last_ = now;
+    for (auto& t : threads_) {
+        t.state = Tcb::State::Ready;
+        t.fresh = true;
+    }
+    schedule(now);
+}
+
+bool MantisKernel::idle() const {
+    for (const auto& t : threads_) {
+        if (t.state != Tcb::State::Done) return false;
+    }
+    return true;
+}
+
+Micros MantisKernel::next_event() const {
+    Micros best = -1;
+    auto consider = [&](Micros t) {
+        if (t >= 0 && (best < 0 || t < best)) best = t;
+    };
+    if (running_ >= 0) consider(slice_end_);
+    for (const auto& t : threads_) {
+        if (t.state == Tcb::State::Sleeping) consider(t.wake_at);
+    }
+    return best;
+}
+
+void MantisKernel::msg_arrival(const Packet& p, Micros now) {
+    advance(now);
+    // Prefer handing the message straight to a blocked thread (highest
+    // priority first); otherwise buffer it.
+    int best = -1;
+    for (size_t i = 0; i < threads_.size(); ++i) {
+        if (threads_[i].state == Tcb::State::Blocked &&
+            (best < 0 || threads_[i].thread->priority >
+                             threads_[static_cast<size_t>(best)].thread->priority)) {
+            best = static_cast<int>(i);
+        }
+    }
+    if (best >= 0) {
+        Tcb& t = threads_[static_cast<size_t>(best)];
+        t.thread->on_msg(p);
+        ++messages_handled;
+        t.state = Tcb::State::Ready;
+        t.fresh = true;
+        // Interrupt-to-ready latency, then the scheduler decides (a
+        // higher-priority receiver preempts the running loop).
+        schedule(now);
+    } else if (msg_queue_.size() < cfg_.msg_queue_capacity) {
+        msg_queue_.push_back(p);
+    } else {
+        ++messages_dropped;
+    }
+}
+
+void MantisKernel::advance(Micros now) {
+    if (now < last_) now = last_;
+    // Account the running thread's progress.
+    if (running_ >= 0) {
+        Tcb& r = threads_[static_cast<size_t>(running_)];
+        Micros ran = now - last_;
+        r.remaining -= std::min(ran, r.remaining);
+    }
+    last_ = now;
+    // Wake sleepers.
+    for (auto& t : threads_) {
+        if (t.state == Tcb::State::Sleeping && t.wake_at <= now) {
+            t.state = Tcb::State::Ready;
+            t.fresh = true;
+        }
+    }
+    // Did the running thread finish its computation?
+    if (running_ >= 0) {
+        Tcb& r = threads_[static_cast<size_t>(running_)];
+        if (r.remaining == 0) {
+            r.fresh = true;  // needs resume() for its next action
+        }
+    }
+    schedule(now);
+}
+
+int MantisKernel::pick_next(Micros) const {
+    int best = -1;
+    for (size_t i = 0; i < threads_.size(); ++i) {
+        const Tcb& t = threads_[i];
+        if (t.state != Tcb::State::Ready && t.state != Tcb::State::Running) continue;
+        if (best < 0) {
+            best = static_cast<int>(i);
+            continue;
+        }
+        const Tcb& b = threads_[static_cast<size_t>(best)];
+        if (t.thread->priority > b.thread->priority ||
+            (t.thread->priority == b.thread->priority && t.last_run < b.last_run)) {
+            best = static_cast<int>(i);
+        }
+    }
+    return best;
+}
+
+void MantisKernel::apply_action(Tcb& t, MantisThread::Action a, Micros now) {
+    switch (a.kind) {
+        case MantisThread::Action::Kind::Compute:
+            t.remaining = a.amount;
+            t.state = Tcb::State::Ready;
+            break;
+        case MantisThread::Action::Kind::Sleep:
+            t.state = Tcb::State::Sleeping;
+            t.wake_at = now + a.amount + cfg_.wake_latency;
+            t.remaining = 0;
+            break;
+        case MantisThread::Action::Kind::WaitMsg:
+            if (!msg_queue_.empty()) {
+                Packet p = msg_queue_.front();
+                msg_queue_.pop_front();
+                t.thread->on_msg(p);
+                ++messages_handled;
+                t.fresh = true;   // resume again right away
+                t.state = Tcb::State::Ready;
+            } else {
+                t.state = Tcb::State::Blocked;
+                t.remaining = 0;
+            }
+            break;
+        case MantisThread::Action::Kind::Exit:
+            t.state = Tcb::State::Done;
+            t.remaining = 0;
+            break;
+    }
+}
+
+void MantisKernel::schedule(Micros now) {
+    // Resolve fresh threads' next actions (may cascade through WaitMsg).
+    for (int guard = 0; guard < 1000; ++guard) {
+        bool progressed = false;
+        for (auto& t : threads_) {
+            if ((t.state == Tcb::State::Ready || t.state == Tcb::State::Running) &&
+                t.fresh) {
+                t.fresh = false;
+                apply_action(t, t.thread->resume(*this, now), now);
+                progressed = true;
+            }
+        }
+        if (!progressed) break;
+    }
+
+    int pick = pick_next(now);
+    if (pick < 0) {
+        running_ = -1;
+        slice_end_ = -1;
+        return;
+    }
+    Tcb& p = threads_[static_cast<size_t>(pick)];
+    if (pick != running_) {
+        ++context_switches;
+        // Model the switch cost as a stretch of the new thread's slice.
+        p.remaining += cfg_.ctx_switch;
+    }
+    if (running_ >= 0 && running_ != pick) {
+        Tcb& old = threads_[static_cast<size_t>(running_)];
+        if (old.state == Tcb::State::Running) old.state = Tcb::State::Ready;
+    }
+    running_ = pick;
+    p.state = Tcb::State::Running;
+    p.last_run = rr_++;
+    slice_end_ = now + std::min(cfg_.quantum, p.remaining);
+    if (p.remaining == 0) slice_end_ = now + cfg_.quantum;  // degenerate guard
+}
+
+}  // namespace ceu::wsn

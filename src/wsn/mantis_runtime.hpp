@@ -1,0 +1,232 @@
+// MantisOS-style preemptive multithreading baseline (the Table 2
+// comparator, and the asynchronous side of the §6 blink experiment).
+//
+// Threads are resumable step objects: each `resume` returns the action the
+// thread performs next (compute for N microseconds, sleep, block on the
+// message queue, exit). The kernel schedules the highest-priority ready
+// thread, round-robin with a time-slice among equals, preempting on
+// message arrival — a faithful skeleton of a priority-scheduled RTOS,
+// including the context-switch cost and the wake-to-run latency that make
+// naive relative-sleep timers drift (paper §6).
+#pragma once
+
+#include <deque>
+#include <memory>
+#include <vector>
+
+#include "wsn/network.hpp"
+
+namespace ceu::wsn {
+
+class MantisKernel;
+
+class MantisThread {
+  public:
+    struct Action {
+        enum class Kind { Compute, Sleep, WaitMsg, Exit };
+        Kind kind = Kind::Exit;
+        Micros amount = 0;  // Compute: duration; Sleep: duration
+
+        static Action compute(Micros us) { return {Kind::Compute, us}; }
+        static Action sleep(Micros us) { return {Kind::Sleep, us}; }
+        static Action wait_msg() { return {Kind::WaitMsg, 0}; }
+        static Action exit() { return {Kind::Exit, 0}; }
+    };
+
+    virtual ~MantisThread() = default;
+
+    /// Called when the previous action completed (or at boot). `now` is the
+    /// virtual time at which the thread actually got the CPU back.
+    virtual Action resume(MantisKernel& k, Micros now) = 0;
+
+    /// Called right before `resume` when a WaitMsg was satisfied.
+    virtual void on_msg(const Packet& p) { (void)p; }
+
+    int priority = 1;  // larger = more urgent
+};
+
+struct MantisConfig {
+    Micros quantum = 10 * kMs;       // round-robin time slice
+    Micros ctx_switch = 150;         // per-switch kernel overhead
+    Micros wake_latency = 300;       // interrupt-to-ready latency
+    size_t msg_queue_capacity = 2;
+};
+
+/// The per-mote kernel. Exposed separately from the Mote so the blink
+/// bench can run it stand-alone (no radio).
+class MantisKernel {
+  public:
+    explicit MantisKernel(MantisConfig cfg = {}) : cfg_(cfg) {}
+
+    MantisThread& add(std::unique_ptr<MantisThread> t);
+
+    void boot(Micros now);
+    void msg_arrival(const Packet& p, Micros now);
+    [[nodiscard]] Micros next_event() const;
+    void advance(Micros now);
+    [[nodiscard]] bool idle() const;
+
+    /// Observability for experiments.
+    uint64_t messages_handled = 0;
+    uint64_t messages_dropped = 0;
+    uint64_t context_switches = 0;
+
+    /// Lets threads ask for the hosting network mote (may be null).
+    Network* net = nullptr;
+    int node_id = -1;
+
+  private:
+    struct Tcb {
+        std::unique_ptr<MantisThread> thread;
+        enum class State { Ready, Running, Sleeping, Blocked, Done } state = State::Ready;
+        Micros remaining = 0;    // compute left
+        Micros wake_at = 0;      // sleeping threads
+        uint64_t last_run = 0;   // round-robin fairness
+        bool fresh = true;       // needs first resume()
+    };
+
+    void schedule(Micros now);
+    void apply_action(Tcb& t, MantisThread::Action a, Micros now);
+    [[nodiscard]] int pick_next(Micros now) const;
+
+    MantisConfig cfg_;
+    std::vector<Tcb> threads_;
+    std::deque<Packet> msg_queue_;
+    int running_ = -1;
+    Micros slice_end_ = -1;   // running thread's current slice ends here
+    Micros last_ = 0;         // last accounting instant
+    uint64_t rr_ = 0;
+};
+
+/// Mote adapter: radio arrivals feed the kernel's message queue.
+class MantisMote final : public Mote {
+  public:
+    MantisMote(int id, MantisConfig cfg = {}) : Mote(id), kernel_(cfg) {
+        kernel_.node_id = id;
+    }
+
+    MantisKernel& kernel() { return kernel_; }
+
+    void boot(Network& net) override {
+        kernel_.net = &net;
+        kernel_.boot(net.now());
+    }
+    void deliver(Network& net, const Packet& p) override {
+        kernel_.msg_arrival(p, net.now());
+        rx_count = kernel_.messages_handled;
+        rx_dropped = kernel_.messages_dropped;
+    }
+    [[nodiscard]] Micros next_wakeup() const override { return kernel_.next_event(); }
+    void wakeup(Network& net) override {
+        kernel_.advance(net.now());
+        rx_count = kernel_.messages_handled;
+        rx_dropped = kernel_.messages_dropped;
+    }
+
+  private:
+    MantisKernel kernel_;
+};
+
+// ---------------------------------------------------------------------------
+// Ready-made threads for the experiments
+// ---------------------------------------------------------------------------
+
+/// Blocks on the message queue; each message costs `service` CPU. A message
+/// counts as `processed` only when its service computation completes — the
+/// latency the responsiveness experiment measures.
+class MantisReceiverThread final : public MantisThread {
+  public:
+    explicit MantisReceiverThread(Micros service) : service_(service) {}
+    Action resume(MantisKernel&, Micros now) override {
+        if (serving_) {
+            serving_ = false;
+            ++processed;
+            last_processed_at = now;
+        }
+        if (pending_ > 0) {
+            --pending_;
+            serving_ = true;
+            return Action::compute(service_);
+        }
+        return Action::wait_msg();
+    }
+    void on_msg(const Packet&) override { ++pending_; }
+
+    uint64_t processed = 0;
+    Micros last_processed_at = 0;
+
+  private:
+    Micros service_;
+    uint32_t pending_ = 0;
+    bool serving_ = false;
+};
+
+/// An infinite loop: computes forever in chunks (the "5 loops" of Table 2).
+class MantisLoopThread final : public MantisThread {
+  public:
+    explicit MantisLoopThread(Micros chunk = kMs) : chunk_(chunk) {}
+    Action resume(MantisKernel&, Micros) override { return Action::compute(chunk_); }
+
+  private:
+    Micros chunk_;
+};
+
+/// Sends a packet every `interval`, `count` times (0 = forever).
+class MantisSenderThread final : public MantisThread {
+  public:
+    MantisSenderThread(int dst, Micros interval, uint64_t count)
+        : dst_(dst), interval_(interval), count_(count) {}
+    Action resume(MantisKernel& k, Micros now) override {
+        if (started_) {
+            if (count_ != 0 && sent_ >= count_) return Action::exit();
+            Packet p;
+            p.payload[0] = static_cast<int64_t>(sent_++);
+            if (k.net != nullptr) k.net->send(k.node_id, dst_, p);
+        }
+        started_ = true;
+        // Drift-free schedule: compensate for scheduling latency so the
+        // send *rate* stays exact (a steady traffic source).
+        next_at_ += interval_;
+        Micros d = next_at_ > now ? next_at_ - now : 1;
+        return Action::sleep(d);
+    }
+
+  private:
+    int dst_;
+    Micros interval_;
+    uint64_t count_;
+    uint64_t sent_ = 0;
+    bool started_ = false;
+    Micros next_at_ = 0;
+};
+
+/// The naive blink thread of §6: toggles a led, then sleeps *relative to
+/// when it actually ran* — scheduling latency accumulates as drift.
+class MantisBlinkThread final : public MantisThread {
+  public:
+    MantisBlinkThread(Micros period, Micros toggle_cost = 200)
+        : period_(period), toggle_cost_(toggle_cost) {}
+    Action resume(MantisKernel&, Micros now) override {
+        if (computing_) {
+            // The toggle computation just finished: the led visibly changes
+            // *now*, and the next period is measured from this (possibly
+            // late) instant — the naive pattern that drifts.
+            computing_ = false;
+            on_ = !on_;
+            toggles.emplace_back(now, on_);
+            return Action::sleep(period_);
+        }
+        computing_ = true;
+        return Action::compute(toggle_cost_);
+    }
+
+    std::vector<std::pair<Micros, bool>> toggles;
+
+  private:
+    Micros period_;
+    Micros toggle_cost_;
+    bool computing_ = false;
+    bool on_ = false;
+};
+
+}  // namespace ceu::wsn

@@ -1,0 +1,6 @@
+// Mote is an interface; this TU anchors the module.
+#include "wsn/mote.hpp"
+
+namespace ceu::wsn {
+static_assert(Packet::kPayloadWords >= 1);
+}  // namespace ceu::wsn

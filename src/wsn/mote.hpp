@@ -1,0 +1,46 @@
+// Abstract mote: a node in the discrete-event network simulation. Concrete
+// motes host the Céu engine (tinyos_binding), the event-driven baseline
+// (nesc_runtime) or the preemptive-thread baseline (mantis_runtime).
+#pragma once
+
+#include <cstdint>
+
+#include "util/timeval.hpp"
+#include "wsn/radio.hpp"
+
+namespace ceu::wsn {
+
+class Network;
+
+class Mote {
+  public:
+    explicit Mote(int id) : id_(id) {}
+    virtual ~Mote() = default;
+    Mote(const Mote&) = delete;
+    Mote& operator=(const Mote&) = delete;
+
+    [[nodiscard]] int id() const { return id_; }
+
+    /// Called once when the network starts.
+    virtual void boot(Network& net) = 0;
+
+    /// A packet arrived at this mote's radio at the current network time.
+    virtual void deliver(Network& net, const Packet& p) = 0;
+
+    /// The next instant this mote needs CPU (timer expiry, end of a busy
+    /// period, pending background work). -1 = nothing scheduled.
+    [[nodiscard]] virtual Micros next_wakeup() const { return -1; }
+
+    /// Called when the network clock reaches next_wakeup().
+    virtual void wakeup(Network& net) { (void)net; }
+
+    // Simple observability shared by all runtimes.
+    uint64_t rx_count = 0;      // messages the application actually handled
+    uint64_t rx_dropped = 0;    // arrivals lost (busy/buffer-full)
+    uint64_t tx_count = 0;
+
+  private:
+    int id_;
+};
+
+}  // namespace ceu::wsn

@@ -1,0 +1,198 @@
+#include "wsn/nesc_runtime.hpp"
+
+#include <cassert>
+
+namespace ceu::wsn {
+
+// ---------------------------------------------------------------------------
+// NescApp service forwarding
+// ---------------------------------------------------------------------------
+
+void NescApp::post(std::function<void()> task) { host_->tasks_.push_back(std::move(task)); }
+
+void NescApp::start_timer(int id, Micros period, bool periodic) {
+    for (auto& t : host_->timers_) {
+        if (t.id == id) {
+            t.deadline = host_->net_->now() + period;
+            t.period = period;
+            t.periodic = periodic;
+            t.active = true;
+            return;
+        }
+    }
+    host_->timers_.push_back({id, host_->net_->now() + period, period, periodic, true});
+}
+
+void NescApp::stop_timer(int id) {
+    for (auto& t : host_->timers_) {
+        if (t.id == id) t.active = false;
+    }
+}
+
+bool NescApp::send(int dst, const Packet& p) {
+    return host_->net_->send(host_->id(), dst, p);
+}
+
+void NescApp::leds_set(int64_t v) {
+    host_->leds_ = v;
+    host_->led_history_.emplace_back(host_->net_->now(), v);
+}
+
+int NescApp::node_id() const { return host_->id(); }
+Micros NescApp::now() const { return host_->net_->now(); }
+
+// ---------------------------------------------------------------------------
+// NescMote
+// ---------------------------------------------------------------------------
+
+NescMote::NescMote(int id, std::unique_ptr<NescApp> app, NescMoteConfig cfg)
+    : Mote(id), app_(std::move(app)), cfg_(cfg) {
+    app_->host_ = this;
+}
+
+void NescMote::boot(Network& net) {
+    net_ = &net;
+    app_->booted();
+    run_tasks(net);
+    busy_until_ = net.now() + cfg_.handler_cost;
+    net_ = nullptr;
+}
+
+void NescMote::deliver(Network& net, const Packet& p) {
+    (void)net;
+    if (rx_queue_.size() >= cfg_.rx_queue_capacity) {
+        ++rx_dropped;
+        return;
+    }
+    rx_queue_.push_back(p);
+}
+
+Micros NescMote::next_wakeup() const {
+    Micros best = -1;
+    auto consider = [&](Micros t) {
+        if (t >= 0 && (best < 0 || t < best)) best = t;
+    };
+    if (!rx_queue_.empty() || !tasks_.empty()) consider(busy_until_);
+    for (const auto& t : timers_) {
+        if (t.active) consider(std::max(t.deadline, busy_until_));
+    }
+    return best;
+}
+
+void NescMote::wakeup(Network& net) {
+    net_ = &net;
+    Micros now = net.now();
+    if (now >= busy_until_) {
+        if (!rx_queue_.empty()) {
+            Packet p = rx_queue_.front();
+            rx_queue_.pop_front();
+            app_->receive(p);
+            ++rx_count;
+            busy_until_ = now + cfg_.handler_cost;
+        } else {
+            // Earliest due timer.
+            Timer* due = nullptr;
+            for (auto& t : timers_) {
+                if (t.active && t.deadline <= now &&
+                    (due == nullptr || t.deadline < due->deadline)) {
+                    due = &t;
+                }
+            }
+            if (due != nullptr) {
+                if (due->periodic) {
+                    due->deadline += due->period;  // drift-free re-arm
+                } else {
+                    due->active = false;
+                }
+                app_->timer_fired(due->id);
+                busy_until_ = now + cfg_.handler_cost;
+            } else if (!tasks_.empty()) {
+                run_tasks(net);
+                busy_until_ = now + cfg_.handler_cost;
+            }
+        }
+        run_tasks(net);
+    }
+    net_ = nullptr;
+}
+
+void NescMote::run_tasks(Network&) {
+    // Tasks run to completion, FIFO, within the current busy window.
+    while (!tasks_.empty()) {
+        auto task = std::move(tasks_.front());
+        tasks_.pop_front();
+        task();
+    }
+}
+
+size_t NescMote::ram_model_bytes() const {
+    return app_->ram_bytes() + 8 /*task queue*/ + timers_.size() * 10 /*timer table*/ +
+           cfg_.rx_queue_capacity * sizeof(Packet) / 4 /*16-bit-platform message*/ + 16;
+}
+
+// ---------------------------------------------------------------------------
+// Applications
+// ---------------------------------------------------------------------------
+
+void NescBlinkApp::booted() { start_timer(0, 250 * kMs, /*periodic=*/true); }
+
+void NescBlinkApp::timer_fired(int) {
+    state_.on ^= 1;
+    leds_set(state_.on);
+}
+
+void NescSenseApp::booted() { start_timer(0, 100 * kMs, true); }
+
+void NescSenseApp::timer_fired(int) {
+    // Virtual sensor: a deterministic ramp (stands in for an ADC read).
+    state_.reading = static_cast<int16_t>((state_.count * 17) % 1024);
+    ++state_.count;
+    leds_set(state_.reading >> 7);
+}
+
+void NescClientApp::booted() { start_timer(0, 250 * kMs, true); }
+
+void NescClientApp::timer_fired(int id) {
+    if (id == 0) {
+        state_.reading = static_cast<int16_t>((state_.seq * 31) % 1024);
+        if (state_.n < 4) state_.buffer[state_.n++] = state_.reading;
+        if (state_.n == 4 && !state_.awaiting_ack) flush();
+    } else if (id == 1 && state_.awaiting_ack) {
+        flush();  // retry watchdog
+    }
+}
+
+void NescClientApp::flush() {
+    Packet p;
+    p.payload[0] = state_.seq;
+    for (int i = 0; i < 4; ++i) p.payload[static_cast<size_t>(i) + 1] = state_.buffer[i];
+    send(0, p);
+    state_.awaiting_ack = 1;
+    start_timer(1, kSec, false);
+}
+
+void NescClientApp::receive(const Packet& p) {
+    if (p.payload[0] == state_.seq) {  // ack for the current batch
+        state_.awaiting_ack = 0;
+        state_.n = 0;
+        ++state_.seq;
+        stop_timer(1);
+    }
+}
+
+void NescServerApp::booted() { start_timer(0, 500 * kMs, true); }
+
+void NescServerApp::receive(const Packet& p) {
+    ++state_.received;
+    state_.last_seq = static_cast<uint16_t>(p.payload[0]);
+    Packet ack;
+    ack.payload[0] = p.payload[0];
+    send(p.src, ack);
+    leds_set(static_cast<int64_t>(state_.received & 0x7));
+}
+
+void NescServerApp::timer_fired(int) {
+    state_.blink_on ^= 1;  // heartbeat led
+}
+
+}  // namespace ceu::wsn

@@ -1,0 +1,160 @@
+// nesC/TinyOS-style event-driven baseline runtime (paper §6, and the
+// comparator of Table 1). Applications are callback objects: `booted`,
+// `receive`, and `timer_fired` handlers run to completion on a single
+// stack; `post`ed tasks run FIFO when the handler returns — the classic
+// inversion-of-control structure Céu is contrasted against.
+//
+// The four Table-1 applications (Blink, Sense, Client, Server) ship here so
+// the memory bench and the tests share one implementation.
+#pragma once
+
+#include <deque>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "wsn/network.hpp"
+
+namespace ceu::wsn {
+
+class NescMote;
+
+class NescApp {
+  public:
+    virtual ~NescApp() = default;
+    virtual void booted() = 0;
+    virtual void receive(const Packet& p) { (void)p; }
+    virtual void timer_fired(int timer_id) { (void)timer_id; }
+
+    /// Static RAM the application state needs (Table 1's RAM column).
+    [[nodiscard]] virtual size_t ram_bytes() const = 0;
+
+  protected:
+    // Services provided by the hosting mote (valid after attachment).
+    void post(std::function<void()> task);
+    void start_timer(int id, Micros period, bool periodic);
+    void stop_timer(int id);
+    bool send(int dst, const Packet& p);
+    void leds_set(int64_t v);
+    [[nodiscard]] int node_id() const;
+    [[nodiscard]] Micros now() const;
+
+  private:
+    friend class NescMote;
+    NescMote* host_ = nullptr;
+};
+
+struct NescMoteConfig {
+    Micros handler_cost = 400;      // per-event handler CPU (TinyOS is lean)
+    size_t rx_queue_capacity = 2;
+};
+
+class NescMote final : public Mote {
+  public:
+    NescMote(int id, std::unique_ptr<NescApp> app, NescMoteConfig cfg = {});
+
+    void boot(Network& net) override;
+    void deliver(Network& net, const Packet& p) override;
+    [[nodiscard]] Micros next_wakeup() const override;
+    void wakeup(Network& net) override;
+
+    [[nodiscard]] int64_t leds() const { return leds_; }
+    [[nodiscard]] const std::vector<std::pair<Micros, int64_t>>& led_history() const {
+        return led_history_;
+    }
+    [[nodiscard]] NescApp& app() { return *app_; }
+
+    /// Modeled RAM: app state + task queue + timer table + rx buffer.
+    [[nodiscard]] size_t ram_model_bytes() const;
+
+  private:
+    friend class NescApp;
+    struct Timer {
+        int id;
+        Micros deadline;
+        Micros period;
+        bool periodic;
+        bool active;
+    };
+
+    void run_tasks(Network& net);
+
+    std::unique_ptr<NescApp> app_;
+    NescMoteConfig cfg_;
+    Network* net_ = nullptr;
+    std::deque<std::function<void()>> tasks_;
+    std::vector<Timer> timers_;
+    std::deque<Packet> rx_queue_;
+    Micros busy_until_ = 0;
+    int64_t leds_ = 0;
+    std::vector<std::pair<Micros, int64_t>> led_history_;
+};
+
+// ---------------------------------------------------------------------------
+// The four Table-1 applications, nesC-style.
+// ---------------------------------------------------------------------------
+
+/// Blink: toggle led0 every 250ms (timer callback).
+class NescBlinkApp final : public NescApp {
+  public:
+    void booted() override;
+    void timer_fired(int) override;
+    [[nodiscard]] size_t ram_bytes() const override { return sizeof(state_); }
+
+  private:
+    struct {
+        uint8_t on;
+    } state_{};
+};
+
+/// Sense: sample a (virtual) sensor every 100ms, show the reading on leds.
+class NescSenseApp final : public NescApp {
+  public:
+    void booted() override;
+    void timer_fired(int) override;
+    [[nodiscard]] size_t ram_bytes() const override { return sizeof(state_); }
+
+  private:
+    struct {
+        int16_t reading;
+        uint16_t count;
+    } state_{};
+};
+
+/// Client: sample every 250ms, buffer 4 readings, send them to mote 0,
+/// retry with a 1s watchdog until an ack arrives.
+class NescClientApp final : public NescApp {
+  public:
+    void booted() override;
+    void timer_fired(int) override;
+    void receive(const Packet& p) override;
+    [[nodiscard]] size_t ram_bytes() const override { return sizeof(state_); }
+
+  private:
+    void flush();
+    struct {
+        int16_t buffer[4];
+        uint8_t n;
+        uint8_t awaiting_ack;
+        uint16_t seq;
+        int16_t reading;
+    } state_{};
+};
+
+/// Server: receive batches, ack them, show the running count on leds.
+class NescServerApp final : public NescApp {
+  public:
+    void booted() override;
+    void receive(const Packet& p) override;
+    void timer_fired(int) override;
+    [[nodiscard]] size_t ram_bytes() const override { return sizeof(state_); }
+
+  private:
+    struct {
+        uint32_t received;
+        uint16_t last_seq;
+        uint8_t blink_on;
+    } state_{};
+};
+
+}  // namespace ceu::wsn

@@ -1,0 +1,69 @@
+#include "wsn/network.hpp"
+
+#include <cassert>
+
+namespace ceu::wsn {
+
+Mote& Network::add(std::unique_ptr<Mote> mote) {
+    assert(!started_ && "motes must be added before start()");
+    assert(mote->id() == static_cast<int>(motes_.size()) &&
+           "mote ids must be dense and in order");
+    motes_.push_back(std::move(mote));
+    return *motes_.back();
+}
+
+bool Network::send(int src, int dst, const Packet& p) {
+    ++packets_sent;
+    motes_[static_cast<size_t>(src)]->tx_count++;
+    if (radio_.is_down(src) || radio_.is_down(dst) || !radio_.connected(src, dst) ||
+        radio_.should_drop()) {
+        ++packets_dropped;
+        return false;
+    }
+    Packet sent = p;
+    sent.src = src;
+    sent.dst = dst;
+    in_flight_.push({now_ + radio_.latency(src, dst), seq_++, sent});
+    return true;
+}
+
+void Network::start() {
+    started_ = true;
+    for (auto& m : motes_) m->boot(*this);
+}
+
+bool Network::step(Micros limit) {
+    // Next event: earliest in-flight delivery or mote wakeup.
+    Micros next = -1;
+    int wake_mote = -1;
+    if (!in_flight_.empty()) next = in_flight_.top().at;
+    for (auto& m : motes_) {
+        Micros w = m->next_wakeup();
+        if (w >= 0 && (next < 0 || w < next)) {
+            next = w;
+            wake_mote = m->id();
+        }
+    }
+    if (next < 0 || next > limit) {
+        now_ = limit;
+        return false;
+    }
+    now_ = std::max(now_, next);
+    if (wake_mote >= 0) {
+        motes_[static_cast<size_t>(wake_mote)]->wakeup(*this);
+        return true;
+    }
+    InFlight f = in_flight_.top();
+    in_flight_.pop();
+    ++packets_delivered;
+    motes_[static_cast<size_t>(f.packet.dst)]->deliver(*this, f.packet);
+    return true;
+}
+
+void Network::run_until(Micros t) {
+    while (now_ < t) {
+        if (!step(t)) break;
+    }
+}
+
+}  // namespace ceu::wsn

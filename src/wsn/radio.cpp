@@ -1,0 +1,6 @@
+// RadioModel is header-only; this TU anchors the module.
+#include "wsn/radio.hpp"
+
+namespace ceu::wsn {
+static_assert(sizeof(Packet) > 0);
+}  // namespace ceu::wsn

@@ -1,0 +1,67 @@
+// Radio model for the WSN substrate: topology (directed links), per-link
+// latency, and deterministic loss injection. The paper's evaluation runs on
+// micaz motes within radio range; this model preserves what the experiments
+// depend on — delivery order, latency, losses, and per-mote isolation.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <map>
+#include <utility>
+#include <vector>
+
+#include "util/timeval.hpp"
+
+namespace ceu::wsn {
+
+/// A radio message: fixed-capacity payload of machine words, mirroring
+/// TinyOS's message_t with a small data region.
+struct Packet {
+    static constexpr size_t kPayloadWords = 8;
+    int src = -1;
+    int dst = -1;
+    std::array<int64_t, kPayloadWords> payload{};
+};
+
+class RadioModel {
+  public:
+    /// Adds a directed link with the given propagation+MAC latency.
+    void link(int from, int to, Micros latency = kMs) {
+        links_[{from, to}] = latency;
+    }
+    void bidi_link(int a, int b, Micros latency = kMs) {
+        link(a, b, latency);
+        link(b, a, latency);
+    }
+
+    [[nodiscard]] bool connected(int from, int to) const {
+        return links_.count({from, to}) > 0;
+    }
+    [[nodiscard]] Micros latency(int from, int to) const {
+        auto it = links_.find({from, to});
+        return it == links_.end() ? -1 : it->second;
+    }
+
+    /// Loss injection: drop one message in every `period` (0 = lossless),
+    /// counted per model — deterministic, so experiments replay exactly.
+    void set_loss_period(uint64_t period) { loss_period_ = period; }
+    bool should_drop() {
+        if (loss_period_ == 0) return false;
+        return ++sent_ % loss_period_ == 0;
+    }
+
+    /// Administrative kill-switch for a mote's radio (network-down tests).
+    void set_down(int mote, bool down) { down_[mote] = down; }
+    [[nodiscard]] bool is_down(int mote) const {
+        auto it = down_.find(mote);
+        return it != down_.end() && it->second;
+    }
+
+  private:
+    std::map<std::pair<int, int>, Micros> links_;
+    std::map<int, bool> down_;
+    uint64_t loss_period_ = 0;
+    uint64_t sent_ = 0;
+};
+
+}  // namespace ceu::wsn

@@ -1,0 +1,151 @@
+#include "wsn/tinyos_binding.hpp"
+
+#include "env/driver.hpp"
+
+namespace ceu::wsn {
+
+using rt::Engine;
+using rt::Value;
+
+CeuMote::CeuMote(int id, CeuMoteConfig cfg)
+    : Mote(id), cfg_(std::move(cfg)), cp_(flat::compile(cfg_.source)) {
+    msgs_.resize(kMsgPool);
+
+    bindings_ = env::make_standard_bindings();
+    bindings_.constant("TOS_NODE_ID", id);
+
+    bindings_.fn("Radio_send", [this](Engine&, std::span<const Value> args) {
+        if (args.size() < 2 || net_ == nullptr) return Value::integer(0);
+        int dst = static_cast<int>(args[0].as_int());
+        int64_t h = resolve_handle(args[1]);
+        if (h <= 0) return Value::integer(0);
+        bool ok = net_->send(this->id(), dst, msgs_[static_cast<size_t>(h - 1)]);
+        return Value::integer(ok ? 1 : 0);
+    });
+
+    bindings_.fn("Radio_getPayload", [this](Engine&, std::span<const Value> args) {
+        if (args.empty()) return Value::pointer(nullptr);
+        return radio_get_payload(args[0]);
+    });
+
+    auto toggle = [this](int bit) {
+        set_leds(leds_ ^ (int64_t{1} << bit));
+        return Value::integer(0);
+    };
+    bindings_.fn("Leds_set", [this](Engine&, std::span<const Value> args) {
+        set_leds(args.empty() ? 0 : args[0].as_int());
+        return Value::integer(0);
+    });
+    bindings_.fn("Leds_led0Toggle",
+                 [toggle](Engine&, std::span<const Value>) { return toggle(0); });
+    bindings_.fn("Leds_led1Toggle",
+                 [toggle](Engine&, std::span<const Value>) { return toggle(1); });
+    bindings_.fn("Leds_led2Toggle",
+                 [toggle](Engine&, std::span<const Value>) { return toggle(2); });
+
+    if (cfg_.customize) cfg_.customize(bindings_, id);
+    engine_ = std::make_unique<Engine>(cp_, bindings_);
+    engine_->on_trace = [this](const std::string& line) { trace_.push_back(line); };
+}
+
+CeuMote::~CeuMote() = default;
+
+void CeuMote::set_leds(int64_t v) {
+    leds_ = v;
+    led_history_.emplace_back(net_ != nullptr ? net_->now() : 0, v);
+}
+
+int64_t CeuMote::resolve_handle(Value arg) {
+    if (arg.is_ptr() && arg.p != nullptr) return *arg.p;
+    return arg.as_int();
+}
+
+Value CeuMote::radio_get_payload(Value arg) {
+    int64_t h = 0;
+    if (arg.is_ptr() && arg.p != nullptr) {
+        h = *arg.p;
+        if (h <= 0 || static_cast<size_t>(h) > kMsgPool) {
+            // A fresh local `_message_t msg`: allocate a pooled handle.
+            next_handle_ = next_handle_ % kMsgPool + 1;
+            h = static_cast<int64_t>(next_handle_);
+            *arg.p = h;
+            msgs_[static_cast<size_t>(h - 1)].payload.fill(0);
+        }
+    } else {
+        h = arg.as_int();
+    }
+    if (h <= 0 || static_cast<size_t>(h) > kMsgPool) return Value::pointer(nullptr);
+    return Value::pointer(msgs_[static_cast<size_t>(h - 1)].payload.data());
+}
+
+void CeuMote::boot(Network& net) {
+    net_ = &net;
+    engine_->go_time(net.now());
+    engine_->go_init();
+    busy_until_ = net.now() + cfg_.reaction_cost;
+    net_ = nullptr;
+}
+
+void CeuMote::deliver(Network& net, const Packet& p) {
+    if (rx_queue_.size() >= cfg_.rx_queue_capacity) {
+        ++rx_dropped;
+        return;
+    }
+    rx_queue_.push_back(p);
+    (void)net;
+}
+
+Micros CeuMote::next_wakeup() const {
+    if (engine_->status() != Engine::Status::Running) return -1;
+    Micros best = -1;
+    auto consider = [&](Micros t) {
+        if (t >= 0 && (best < 0 || t < best)) best = t;
+    };
+    if (!rx_queue_.empty()) consider(busy_until_);
+    Micros deadline = engine_->next_timer_deadline();
+    if (deadline >= 0) consider(std::max(deadline, busy_until_));
+    if (engine_->has_async_work()) consider(busy_until_);
+    return best;
+}
+
+void CeuMote::wakeup(Network& net) {
+    net_ = &net;
+    Micros now = net.now();
+    if (engine_->status() != Engine::Status::Running) {
+        net_ = nullptr;
+        return;
+    }
+    // Priority: queued radio input, then due timers, then async slices —
+    // synchronous inputs outrank long computations (paper §2.7).
+    if (!rx_queue_.empty() && now >= busy_until_) {
+        dispatch_rx(net);
+    } else {
+        Micros deadline = engine_->next_timer_deadline();
+        if (deadline >= 0 && deadline <= now && now >= busy_until_) {
+            engine_->go_time(now);
+            busy_until_ = now + cfg_.reaction_cost;
+        } else if (engine_->has_async_work() && now >= busy_until_) {
+            engine_->go_time(now);
+            if (engine_->status() == Engine::Status::Running) engine_->go_async();
+            busy_until_ = now + cfg_.async_slice_cost;
+        }
+    }
+    net_ = nullptr;
+}
+
+void CeuMote::dispatch_rx(Network& net) {
+    Packet p = rx_queue_.front();
+    rx_queue_.pop_front();
+    // Stash the message in the pool and hand the program its handle.
+    next_handle_ = next_handle_ % kMsgPool + 1;
+    int64_t h = static_cast<int64_t>(next_handle_);
+    msgs_[static_cast<size_t>(h - 1)] = p;
+    engine_->go_time(net.now());
+    if (engine_->status() == Engine::Status::Running) {
+        engine_->go_event_by_name("Radio_receive", Value::integer(h));
+        ++rx_count;
+    }
+    busy_until_ = net.now() + cfg_.reaction_cost;
+}
+
+}  // namespace ceu::wsn

@@ -1,0 +1,79 @@
+// TinyOS-style binding for Céu (paper §3): hosts a Céu program on a
+// simulated mote, mapping OS services to C identifiers —
+//   input events:  Radio_receive (carries a message handle)
+//   C functions:   _Radio_send, _Radio_getPayload, _Leds_set,
+//                  _Leds_led0Toggle/_led1Toggle/_led2Toggle
+//   C constants:   _TOS_NODE_ID
+// Wall-clock time comes from the network's virtual clock. Asynchronous
+// blocks run when the mote is otherwise idle, charged a configurable CPU
+// cost per slice (the mote CPU model behind the Table 2 reproduction).
+#pragma once
+
+#include <deque>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "codegen/flatten.hpp"
+#include "runtime/engine.hpp"
+#include "wsn/network.hpp"
+
+namespace ceu::wsn {
+
+struct CeuMoteConfig {
+    std::string source;                 // the Céu program this mote runs
+    Micros reaction_cost = 500;         // CPU charged per external reaction
+    Micros async_slice_cost = kMs;      // CPU charged per go_async slice
+    size_t rx_queue_capacity = 2;       // buffered receives (TinyOS queues)
+    /// Application-specific bindings layered over the TinyOS ones (e.g. the
+    /// multi-hop demo's `_Read_sensor` / `_collect`). Called once at
+    /// construction with the mote id.
+    std::function<void(rt::CBindings&, int id)> customize;
+};
+
+class CeuMote final : public Mote {
+  public:
+    CeuMote(int id, CeuMoteConfig cfg);
+    ~CeuMote() override;
+
+    void boot(Network& net) override;
+    void deliver(Network& net, const Packet& p) override;
+    [[nodiscard]] Micros next_wakeup() const override;
+    void wakeup(Network& net) override;
+
+    [[nodiscard]] rt::Engine& engine() { return *engine_; }
+    [[nodiscard]] const std::vector<std::string>& trace() const { return trace_; }
+
+    /// Current LED register and its history (timestamped) — the observable
+    /// the ring demo and the blink experiment assert on.
+    [[nodiscard]] int64_t leds() const { return leds_; }
+    [[nodiscard]] const std::vector<std::pair<Micros, int64_t>>& led_history() const {
+        return led_history_;
+    }
+
+  private:
+    void dispatch_rx(Network& net);
+    void set_leds(int64_t v);
+    rt::Value radio_get_payload(rt::Value arg);
+    int64_t resolve_handle(rt::Value arg);
+
+    CeuMoteConfig cfg_;
+    flat::CompiledProgram cp_;
+    rt::CBindings bindings_;
+    std::unique_ptr<rt::Engine> engine_;
+    Network* net_ = nullptr;  // valid only during callbacks
+
+    std::deque<Packet> rx_queue_;
+    Micros busy_until_ = 0;
+
+    // Message handles: a small recycled pool standing in for message_t*.
+    static constexpr size_t kMsgPool = 64;
+    std::vector<Packet> msgs_;
+    size_t next_handle_ = 0;
+
+    int64_t leds_ = 0;
+    std::vector<std::pair<Micros, int64_t>> led_history_;
+    std::vector<std::string> trace_;
+};
+
+}  // namespace ceu::wsn

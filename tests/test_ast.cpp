@@ -1,0 +1,125 @@
+// AST-layer tests: the generic walkers (used by sema and the temporal
+// analysis) and the block pretty-printer.
+#include <gtest/gtest.h>
+
+#include "ast/print.hpp"
+#include "parser/parser.hpp"
+
+namespace ceu {
+namespace {
+
+using namespace ast;
+
+Program parse_ok(const std::string& text) {
+    Diagnostics diags;
+    Program p = parse_source(text, diags);
+    EXPECT_TRUE(diags.ok()) << diags.str();
+    return p;
+}
+
+TEST(AstWalk, VisitsNestedStatements) {
+    Program p = parse_ok(R"(
+        input void A;
+        int v;
+        par do
+           loop do
+              await A;
+              if v then
+                 v = 1;
+              else
+                 v = 2;
+              end
+           end
+        with
+           int w = do
+              return 3;
+           end;
+        end
+    )");
+    int awaits = 0, assigns = 0, returns = 0, total = 0;
+    walk_stmts(p.body, [&](const Stmt& s) {
+        ++total;
+        switch (s.kind) {
+            case StmtKind::AwaitExt: ++awaits; break;
+            case StmtKind::Assign: ++assigns; break;
+            case StmtKind::Return: ++returns; break;
+            default: break;
+        }
+        return true;
+    });
+    EXPECT_EQ(awaits, 1);
+    EXPECT_EQ(assigns, 2);   // v = 1 and v = 2
+    EXPECT_EQ(returns, 1);   // inside the value do-block
+    EXPECT_GT(total, 8);
+}
+
+TEST(AstWalk, ReturningFalsePrunesTheSubtree) {
+    Program p = parse_ok("loop do await 1s; loop do await 2s; end end");
+    int loops = 0, awaits = 0;
+    walk_stmts(p.body, [&](const Stmt& s) {
+        if (s.kind == StmtKind::Loop) {
+            ++loops;
+            return loops == 1;  // descend only into the first loop
+        }
+        if (s.kind == StmtKind::AwaitTime) ++awaits;
+        return true;
+    });
+    EXPECT_EQ(loops, 2);
+    EXPECT_EQ(awaits, 1);  // the inner loop's await was pruned
+}
+
+TEST(AstWalk, VisitsEverySubexpression) {
+    Program p = parse_ok("int a, b; a = _f(a + b, b[2]) * -a;");
+    const auto& assign = static_cast<const AssignStmt&>(*p.body.stmts[1]);
+    int vars = 0, calls = 0, nums = 0;
+    walk_exprs(*assign.rhs_expr, [&](const Expr& e) {
+        if (e.kind == ExprKind::Var) ++vars;
+        if (e.kind == ExprKind::Call) ++calls;
+        if (e.kind == ExprKind::Num) ++nums;
+    });
+    EXPECT_EQ(vars, 4);  // a, b, b, a
+    EXPECT_EQ(calls, 1);
+    EXPECT_EQ(nums, 1);  // the index 2
+}
+
+TEST(AstPrint, BlockPrinterRoundTripsStructure) {
+    Program p = parse_ok(R"(
+        input void A;
+        par/or do
+           loop do
+              await A;
+           end
+        with
+           if 1 then
+              nothing;
+           else
+              await 1s;
+           end
+        end
+    )");
+    std::string printed = print_block(p.body);
+    // The printed form re-parses to the same structure.
+    Program again = parse_ok(printed);
+    EXPECT_EQ(print_block(again.body), printed);
+    EXPECT_NE(printed.find("par/or do"), std::string::npos);
+    EXPECT_NE(printed.find("await A"), std::string::npos);
+    EXPECT_NE(printed.find("else"), std::string::npos);
+}
+
+TEST(AstPrint, SummariesForAllDeclarationForms) {
+    Program p = parse_ok(
+        "input int A; output void O; internal void e; int[4] xs; pure _f;\n"
+        "deterministic _g, _h; C do int q; end");
+    std::vector<std::string> summaries;
+    for (const auto& s : p.body.stmts) summaries.push_back(summarize_stmt(*s));
+    EXPECT_EQ(summaries[0], "input int A");
+    EXPECT_EQ(summaries[1], "output void O");
+    EXPECT_EQ(summaries[2], "internal void e");
+    EXPECT_EQ(summaries[3], "int xs[4]");
+    EXPECT_EQ(summaries[4], "pure _f");
+    EXPECT_EQ(summaries[5], "deterministic _g, _h");
+    EXPECT_EQ(summaries[6], "C do ... end");
+}
+
+}  // namespace
+}  // namespace ceu

@@ -1,0 +1,103 @@
+// Integration tests of the `ceuc` compiler driver (built alongside the
+// tests; invoked as a subprocess).
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+namespace ceu {
+namespace {
+
+std::string ceuc_path() {
+    // tests/ and src/ are sibling build directories.
+    return std::string(CEU_BUILD_DIR) + "/src/ceuc";
+}
+
+struct CliResult {
+    int exit_code = 0;
+    std::string out;
+};
+
+CliResult run_cli(const std::string& args, const std::string& program,
+                  const std::string& stdin_text = "") {
+    static int n = 0;
+    std::string base = ::testing::TempDir() + "ceuc_test_" + std::to_string(getpid()) +
+                       "_" + std::to_string(n++);
+    {
+        std::ofstream f(base + ".ceu");
+        f << program;
+    }
+    {
+        std::ofstream f(base + ".in");
+        f << stdin_text;
+    }
+    std::string cmd = ceuc_path() + " " + args + " " + base + ".ceu < " + base +
+                      ".in > " + base + ".out 2>" + base + ".err";
+    CliResult r;
+    int rc = std::system(cmd.c_str());
+    r.exit_code = WEXITSTATUS(rc);
+    std::ifstream f(base + ".out");
+    std::ostringstream os;
+    os << f.rdbuf();
+    r.out = os.str();
+    return r;
+}
+
+const char* kCounter = R"(
+    input int Restart;
+    internal void changed;
+    int v = 0;
+    par do
+       loop do await 1s; v = v + 1; emit changed; end
+    with
+       loop do v = await Restart; emit changed; end
+    with
+       loop do await changed; _printf("v = %d\n", v); end
+    end
+)";
+
+TEST(Cli, CheckReportsStats) {
+    CliResult r = run_cli("", kCounter);
+    EXPECT_EQ(r.exit_code, 0) << r.out;
+    EXPECT_NE(r.out.find("OK"), std::string::npos);
+    EXPECT_NE(r.out.find("DFA states"), std::string::npos);
+}
+
+TEST(Cli, RunExecutesAScript) {
+    CliResult r = run_cli("--run", kCounter, "T 1000000\nE Restart 5\nT 1000000\n");
+    EXPECT_EQ(r.out, "v = 1\nv = 5\nv = 6\n");
+}
+
+TEST(Cli, RefusesNondeterministicPrograms) {
+    CliResult r = run_cli("", "int v; par/and do v = 1; with v = 2; end return v;");
+    EXPECT_NE(r.exit_code, 0);
+}
+
+TEST(Cli, NoAnalysisSkipsTheRefusal) {
+    CliResult r = run_cli("--no-analysis",
+                          "int v; par/and do v = 1; with v = 2; end return v;");
+    EXPECT_EQ(r.exit_code, 0);
+}
+
+TEST(Cli, EmitCPrintsTheTranslation) {
+    CliResult r = run_cli("--emit-c", kCounter);
+    EXPECT_EQ(r.exit_code, 0);
+    EXPECT_NE(r.out.find("void ceu_go_init(void)"), std::string::npos);
+}
+
+TEST(Cli, DisasmAndDots) {
+    EXPECT_NE(run_cli("--disasm", kCounter).out.find("par_spawn"), std::string::npos);
+    EXPECT_NE(run_cli("--flow-dot", kCounter).out.find("digraph"), std::string::npos);
+    EXPECT_NE(run_cli("--dfa-dot", kCounter).out.find("DFA #"), std::string::npos);
+}
+
+TEST(Cli, CompileErrorsGoToStderrWithNonZeroExit) {
+    CliResult r = run_cli("", "loop do v = 1; end");
+    EXPECT_NE(r.exit_code, 0);
+    EXPECT_TRUE(r.out.empty());
+}
+
+}  // namespace
+}  // namespace ceu

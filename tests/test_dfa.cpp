@@ -1,0 +1,507 @@
+// Temporal-analysis tests: every accept/reject program from §2.6, plus the
+// wall-clock cases, annotations, the GALS example of §2.9, and structural
+// checks on the DFA itself (Figure 2).
+#include <gtest/gtest.h>
+
+#include "dfa/dfa.hpp"
+
+namespace ceu {
+namespace {
+
+using dfa::Conflict;
+using dfa::Dfa;
+using dfa::DfaOptions;
+
+Dfa build(const std::string& source, DfaOptions opt = {}) {
+    flat::CompiledProgram cp = flat::compile(source);
+    return Dfa::build(cp, opt);
+}
+
+void expect_deterministic(const std::string& source) {
+    Dfa d = build(source);
+    EXPECT_TRUE(d.deterministic()) << d.report();
+    EXPECT_TRUE(d.complete());
+}
+
+Dfa expect_nondeterministic(const std::string& source, Conflict::Kind kind,
+                            const std::string& what) {
+    Dfa d = build(source);
+    EXPECT_FALSE(d.deterministic()) << "expected a conflict in:\n" << source;
+    bool found = false;
+    for (const Conflict& c : d.conflicts()) {
+        if (c.kind == kind && c.what.find(what) != std::string::npos) found = true;
+    }
+    EXPECT_TRUE(found) << "conflicts found instead:\n" << d.report();
+    return d;
+}
+
+// -- §2.1 / §2.6 basic variable conflicts -------------------------------------
+
+TEST(Dfa, ConcurrentWritesAtBootAreRefused) {
+    expect_nondeterministic(R"(
+        int v;
+        par/and do
+            v = 1;
+        with
+            v = 2;
+        end
+        return v;
+    )", Conflict::Kind::Variable, "v");
+}
+
+TEST(Dfa, WriteReadConflictIsAlsoRefused) {
+    expect_nondeterministic(R"(
+        int v, w;
+        par/and do
+            v = 1;
+        with
+            w = v;
+        end
+        return w;
+    )", Conflict::Kind::Variable, "v");
+}
+
+TEST(Dfa, FalsePositiveSameValueWritesAreStillRefused) {
+    // §2.6: "programs that access the same variables concurrently are
+    // always detected as nondeterministic, regardless of the values".
+    expect_nondeterministic(R"(
+        int v;
+        par/and do
+            v = 1;
+        with
+            v = 1;
+        end
+        return v;
+    )", Conflict::Kind::Variable, "v");
+}
+
+TEST(Dfa, DifferentExternalEventsCannotBeSimultaneous) {
+    // §2.6: A and B are external, so the assignments can never run in the
+    // same reaction chain.
+    expect_deterministic(R"(
+        input void A, B;
+        int v;
+        par/and do
+            await A;
+            v = 1;
+        with
+            await B;
+            v = 2;
+        end
+        return v;
+    )");
+}
+
+TEST(Dfa, Figure2TwoVersusThreeAwaits) {
+    // The paper's Figure 2 program: trails of period 2 and 3 over the same
+    // event collide on the 6th occurrence of A.
+    flat::CompiledProgram cp = flat::compile(R"(
+        input void A;
+        int v;
+        par do
+           loop do
+              await A;
+              await A;
+              v = 1;
+           end
+        with
+           loop do
+              await A;
+              await A;
+              await A;
+              v = 2;
+           end
+        end
+    )");
+    Dfa d = Dfa::build(cp);
+    EXPECT_FALSE(d.deterministic());
+    ASSERT_FALSE(d.conflicts().empty());
+    const Conflict& c = d.conflicts().front();
+    EXPECT_EQ(c.kind, Conflict::Kind::Variable);
+    EXPECT_EQ(c.what, "v");
+    EXPECT_EQ(c.trigger, "A");
+    // Positions cycle with period lcm(2,3)=6: the reachable state count is
+    // small and the automaton is complete (paper Fig. 2 draws 8 states).
+    EXPECT_TRUE(d.complete());
+    EXPECT_GE(d.state_count(), 6u);
+    EXPECT_LE(d.state_count(), 9u);
+    // Some state must be marked as conflicting, and the DOT must flag it.
+    bool any = false;
+    for (const auto& s : d.states()) any = any || s.has_conflict;
+    EXPECT_TRUE(any);
+    std::string dot = d.to_dot();
+    EXPECT_NE(dot.find("DFA #"), std::string::npos);
+    EXPECT_NE(dot.find("color=red"), std::string::npos);
+}
+
+TEST(Dfa, SameEventDifferentVariablesIsFine) {
+    expect_deterministic(R"(
+        input void A;
+        int v, w;
+        par do
+           loop do await A; v = 1; end
+        with
+           loop do await A; w = 2; end
+        end
+    )");
+}
+
+// -- wall-clock time (§2.6) ----------------------------------------------------
+
+TEST(Dfa, TimeArithmetic5049Versus100IsDeterministic) {
+    expect_deterministic(R"(
+        int v;
+        par/or do
+            await 50ms;
+            await 49ms;
+            v = 1;
+        with
+            await 100ms;
+            v = 2;
+        end
+        return v;
+    )");
+}
+
+TEST(Dfa, TimerLoop10msVersus100msIsNondeterministic) {
+    // §2.6: the 10ms loop's accumulated deadline meets 100ms every ten
+    // iterations.
+    expect_nondeterministic(R"(
+        int v;
+        par/or do
+            loop do
+                await 10ms;
+                v = 1;
+            end
+        with
+            await 100ms;
+            v = 2;
+        end
+        return v;
+    )", Conflict::Kind::Variable, "v");
+}
+
+TEST(Dfa, NonDivisorPeriodsAreDeterministic) {
+    // 30ms accumulates 30,60,90,120... and 100 is never hit; the remainder
+    // algebra must terminate and accept.
+    expect_deterministic(R"(
+        int v;
+        par/or do
+            loop do
+                await 30ms;
+                v = 1;
+            end
+        with
+            await 100ms;
+        end
+        return v;
+    )");
+}
+
+TEST(Dfa, EqualTimersConflict) {
+    expect_nondeterministic(R"(
+        int v;
+        par/and do
+            await 100ms;
+            v = 1;
+        with
+            await 100ms;
+            v = 2;
+        end
+        return v;
+    )", Conflict::Kind::Variable, "v");
+}
+
+TEST(Dfa, UnknownDurationTimersMayCoincide) {
+    expect_nondeterministic(R"(
+        int dt = 5;
+        int v;
+        par/and do
+            await (dt * 1000);
+            v = 1;
+        with
+            await 100ms;
+            v = 2;
+        end
+        return v;
+    )", Conflict::Kind::Variable, "v");
+}
+
+// -- internal events (§2.6) -----------------------------------------------------
+
+TEST(Dfa, ConcurrentEmitsOfTheSameEventAreRefused) {
+    expect_nondeterministic(R"(
+        input void A;
+        internal void e;
+        par do
+           loop do await A; emit e; end
+        with
+           loop do await A; emit e; end
+        with
+           loop do await e; end
+        end
+    )", Conflict::Kind::InternalEvent, "e");
+}
+
+TEST(Dfa, EmitConcurrentWithAwaitArrivalIsRefused) {
+    // One trail emits e while a concurrent trail *reaches* `await e` in the
+    // same reaction: whether the awaiting trail catches the emission
+    // depends on scheduling order.
+    expect_nondeterministic(R"(
+        input void A;
+        internal void e;
+        par do
+           loop do await A; emit e; end
+        with
+           loop do await A; await e; end
+        end
+    )", Conflict::Kind::InternalEvent, "e");
+}
+
+TEST(Dfa, DataflowChainIsCausallyOrderedAndAccepted) {
+    // §2.2's dependency chain: the emitter is stacked while dependents
+    // react, so everything is ordered — no conflicts.
+    expect_deterministic(R"(
+        input int V1;
+        int v1, v2, v3;
+        internal void v1_evt, v2_evt, v3_evt;
+        par do
+           loop do
+              await v1_evt;
+              v2 = v1 + 1;
+              emit v2_evt;
+           end
+        with
+           loop do
+              await v2_evt;
+              v3 = v2 * 2;
+              emit v3_evt;
+           end
+        with
+           loop do
+              v1 = await V1;
+              emit v1_evt;
+           end
+        end
+    )");
+}
+
+TEST(Dfa, TemperatureMutualDependencyIsAccepted) {
+    expect_deterministic(R"(
+        input int TC;
+        int tc, tf;
+        internal void tc_evt, tf_evt;
+        par do
+           loop do
+              await tc_evt;
+              tf = 9 * tc / 5 + 32;
+              emit tf_evt;
+           end
+        with
+           loop do
+              await tf_evt;
+              tc = 5 * (tf - 32) / 9;
+              emit tc_evt;
+           end
+        with
+           loop do
+              tc = await TC;
+              emit tc_evt;
+           end
+        end
+    )");
+}
+
+// -- C calls (§2.6) ---------------------------------------------------------------
+
+TEST(Dfa, ConcurrentCCallsAreRefusedByDefault) {
+    expect_nondeterministic(R"(
+        par/and do
+           _led1On();
+        with
+           _led2On();
+        end
+    )", Conflict::Kind::CCall, "led1On");
+}
+
+TEST(Dfa, DeterministicAnnotationAllowsThePair) {
+    expect_deterministic(R"(
+        deterministic _led1On, _led2On;
+        par/and do
+           _led1On();
+        with
+           _led2On();
+        end
+    )");
+}
+
+TEST(Dfa, PureFunctionsMayRunWithAnything) {
+    expect_deterministic(R"(
+        pure _abs;
+        par/and do
+           _abs(1);
+        with
+           _led2On();
+        end
+    )");
+    expect_nondeterministic(R"(
+        pure _abs;
+        par/and do
+           _led1On();
+        with
+           _led2On();
+        end
+    )", Conflict::Kind::CCall, "led");
+}
+
+TEST(Dfa, SequentialCCallsNeedNoAnnotations) {
+    expect_deterministic("_led1On(); _led2On();");
+}
+
+// -- GALS (§2.9) --------------------------------------------------------------------
+
+TEST(Dfa, AsyncRaceIsLocallyDeterministic) {
+    // The async may finish before or after the 1s timer, but the two
+    // assignments can never share a reaction chain: accepted.
+    expect_deterministic(R"(
+        int ret;
+        par/or do
+            int r = async do
+               return 1;
+            end;
+            ret = 1;
+        with
+            await 1s;
+            ret = 2;
+        end
+        return ret;
+    )");
+}
+
+// -- structure / bookkeeping -----------------------------------------------------------
+
+TEST(Dfa, AsyncCompletionIsItsOwnTrigger) {
+    // The async may finish at any point relative to other inputs; its
+    // completion appears as a distinct trigger in the automaton.
+    Dfa d = build(R"(
+        int ret;
+        par/or do
+            ret = async do return 1; end;
+        with
+            await 1s;
+            ret = 2;
+        end
+        return ret;
+    )");
+    bool has_async = false, has_time = false;
+    for (const auto& s : d.states()) {
+        for (const auto& t : s.out) {
+            if (t.label.rfind("async#", 0) == 0) has_async = true;
+            if (t.label.rfind("TIME", 0) == 0) has_time = true;
+        }
+    }
+    EXPECT_TRUE(has_async);
+    EXPECT_TRUE(has_time);
+    EXPECT_TRUE(d.deterministic()) << d.report();
+}
+
+TEST(Dfa, UnknownDurationAloneDoesNotConflictWithDisjointVars) {
+    expect_deterministic(R"(
+        int dt = 7;
+        int v, w;
+        par/and do
+            await (dt * 1000);
+            v = 1;
+        with
+            await 100ms;
+            w = 2;
+        end
+        return v + w;
+    )");
+}
+
+TEST(Dfa, TerminalStateIsMarked) {
+    Dfa d = build("input void A; await A; return 1;");
+    bool has_terminal = false;
+    for (const auto& s : d.states()) has_terminal = has_terminal || s.terminal;
+    EXPECT_TRUE(has_terminal);
+}
+
+TEST(Dfa, StateCapMakesAnalysisIncomplete) {
+    DfaOptions opt;
+    opt.max_states = 1;
+    Dfa d = build(R"(
+        input void A;
+        int v;
+        par do
+           loop do await A; await A; v = 1; end
+        with
+           loop do await A; await A; await A; v = 2; end
+        end
+    )", opt);
+    EXPECT_FALSE(d.complete());
+}
+
+TEST(Dfa, ExecutedStatementsAppearInStateLabels) {
+    Dfa d = build("input void A; int v; loop do await A; v = v + 1; end");
+    bool found = false;
+    for (const auto& s : d.states()) {
+        for (const auto& line : s.executed) {
+            if (line.find("v = ") != std::string::npos) found = true;
+        }
+    }
+    EXPECT_TRUE(found);
+}
+
+TEST(Dfa, RingMonitoringPatternNeedsNoAnnotations) {
+    // §3.1: two trails await Radio_receive concurrently, but only one of
+    // them touches state; the other merely re-arms the watchdog.
+    expect_deterministic(R"(
+        input int Radio_receive;
+        internal void retry;
+        par do
+           loop do
+              int msg = await Radio_receive;
+              await 1s;
+           end
+        with
+           loop do
+              par/or do
+                 await 5s;
+                 par do
+                    loop do
+                       emit retry;
+                       await 10s;
+                    end
+                 with
+                    loop do
+                       await 500ms;
+                    end
+                 end
+              with
+                 await Radio_receive;
+              end
+           end
+        end
+    )");
+}
+
+TEST(Dfa, ParOrBothBranchesTerminatingSameReactionIsHandled) {
+    // Two trails of one par/or complete on the same event; the rejoin runs
+    // once and the continuation's write is ordered after both.
+    expect_deterministic(R"(
+        input void A;
+        int v;
+        loop do
+           par/or do
+              await A;
+           with
+              await A;
+           end
+           v = v + 1;
+        end
+    )");
+}
+
+}  // namespace
+}  // namespace ceu

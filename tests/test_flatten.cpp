@@ -1,0 +1,263 @@
+// Flattener tests: the static memory layout (§4.2 — sequential reuse,
+// parallel coexistence), gate allocation (§4.3 — contiguous ranges per
+// region), rejoin priorities (§4.1), and structural invariants of the flat
+// program, checked over a corpus.
+#include <gtest/gtest.h>
+
+#include "codegen/flatten.hpp"
+#include "demos/demos.hpp"
+
+namespace ceu {
+namespace {
+
+using flat::CompiledProgram;
+using flat::FlatProgram;
+using flat::IOp;
+
+int slot_of(const CompiledProgram& cp, const std::string& var) {
+    for (size_t d = 0; d < cp.sema.vars.size(); ++d) {
+        if (cp.sema.vars[d].name == var) return cp.flat.var_slot[d];
+    }
+    return -1;
+}
+
+// ---------------------------------------------------------------------------
+// Memory layout (§4.2)
+// ---------------------------------------------------------------------------
+
+TEST(Layout, SequentialBlocksReuseSlots) {
+    // `a` and `b` live in disjoint do-blocks: same slot.
+    CompiledProgram cp = flat::compile(R"(
+        do int a = 1; _trace(a); end
+        do int b = 2; _trace(b); end
+    )");
+    EXPECT_EQ(slot_of(cp, "a"), slot_of(cp, "b"));
+}
+
+TEST(Layout, ParallelBranchesCoexist) {
+    CompiledProgram cp = flat::compile(R"(
+        input void E;
+        par do
+           int a = 1; await E; _trace(a);
+        with
+           int b = 2; await E; _trace(b);
+        end
+    )");
+    EXPECT_NE(slot_of(cp, "a"), slot_of(cp, "b"));
+}
+
+TEST(Layout, CodeAfterTheLoopReusesLoopMemory) {
+    // The paper's §4.2 example: "the code following the loop reuses all
+    // memory from the loop."
+    CompiledProgram cp = flat::compile(R"(
+        input int A, B;
+        loop do
+           int a = await A;
+           if a then break; end
+        end
+        int after = 1;
+        _trace(after);
+    )");
+    // `after` must land at or below the loop's storage (which also holds
+    // the loop's hidden scheduling flag), i.e. the space is reclaimed.
+    EXPECT_LE(slot_of(cp, "after"), slot_of(cp, "a"));
+}
+
+TEST(Layout, ArraysOccupyConsecutiveSlots) {
+    CompiledProgram cp = flat::compile("int[8] arr; int tail = 0; _trace(arr[0] + tail);");
+    int a = slot_of(cp, "arr");
+    int t = slot_of(cp, "tail");
+    EXPECT_EQ(t, a + 8);
+}
+
+TEST(Layout, DataSizeIsTheMaxOverParallelNotTheSum) {
+    // Two sequential pars of 2 slots each need 2 slots, not 4 (+hidden).
+    CompiledProgram seq = flat::compile(R"(
+        input void E;
+        par/and do int a = 1; await E; _trace(a); with int b = 2; await E; _trace(b); end
+        par/and do int c = 3; await E; _trace(c); with int d = 4; await E; _trace(d); end
+    )");
+    CompiledProgram par = flat::compile(R"(
+        input void E;
+        par/and do
+           par/and do int a = 1; await E; _trace(a); with int b = 2; await E; _trace(b); end
+        with
+           par/and do int c = 3; await E; _trace(c); with int d = 4; await E; _trace(d); end
+        end
+    )");
+    EXPECT_LT(seq.flat.data_size, par.flat.data_size);
+    EXPECT_EQ(slot_of(seq, "a"), slot_of(seq, "c"));  // reuse across pars
+    EXPECT_NE(slot_of(par, "a"), slot_of(par, "c"));  // coexistence
+}
+
+// ---------------------------------------------------------------------------
+// Gate allocation (§4.3)
+// ---------------------------------------------------------------------------
+
+struct CorpusCase {
+    const char* name;
+    const char* source;
+};
+
+std::vector<CorpusCase> corpus() {
+    return {
+        {"quickstart", demos::kQuickstart},
+        {"temperature", demos::kTemperature},
+        {"ring", demos::kRing},
+        {"ship", demos::kShip},
+        {"mario", demos::kMarioReplay},
+    };
+}
+
+class FlatInvariants : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(FlatInvariants, RegionsHaveWellFormedRanges) {
+    CorpusCase c = corpus()[GetParam()];
+    CompiledProgram cp = flat::compile(c.source, c.name);
+    const FlatProgram& fp = cp.flat;
+    for (const auto& r : fp.regions) {
+        EXPECT_LE(r.pc_begin, r.pc_end) << c.name;
+        EXPECT_GE(r.pc_begin, 0) << c.name;
+        EXPECT_LE(static_cast<size_t>(r.pc_end), fp.code.size()) << c.name;
+        EXPECT_LE(r.gate_begin, r.gate_end) << c.name;
+        EXPECT_LE(static_cast<size_t>(r.gate_end), fp.gates.size()) << c.name;
+    }
+}
+
+TEST_P(FlatInvariants, GatesOfARegionLieInsideItsPcRange) {
+    // A region's gates belong to awaits within its pc range — the property
+    // that makes range-kill (memset) correct.
+    CorpusCase c = corpus()[GetParam()];
+    CompiledProgram cp = flat::compile(c.source, c.name);
+    const FlatProgram& fp = cp.flat;
+    for (const auto& r : fp.regions) {
+        for (size_t pc = 0; pc < fp.code.size(); ++pc) {
+            const auto& i = fp.code[pc];
+            int gate = -1;
+            switch (i.op) {
+                case IOp::AwaitExt:
+                case IOp::AwaitInt:
+                case IOp::AwaitTime:
+                case IOp::AwaitDyn:
+                case IOp::AwaitForever:
+                    gate = i.b;
+                    break;
+                default:
+                    continue;
+            }
+            bool pc_inside = static_cast<int>(pc) >= r.pc_begin &&
+                             static_cast<int>(pc) < r.pc_end;
+            bool gate_inside = gate >= r.gate_begin && gate < r.gate_end;
+            if (pc_inside) {
+                EXPECT_TRUE(gate_inside)
+                    << c.name << ": await at pc " << pc << " gate " << gate
+                    << " outside its region's gate range";
+            }
+        }
+    }
+}
+
+TEST_P(FlatInvariants, EveryGateHasAValidContinuation) {
+    CorpusCase c = corpus()[GetParam()];
+    CompiledProgram cp = flat::compile(c.source, c.name);
+    for (const auto& g : cp.flat.gates) {
+        EXPECT_GE(g.cont, 0) << c.name;
+        EXPECT_LT(static_cast<size_t>(g.cont), cp.flat.code.size()) << c.name;
+    }
+}
+
+TEST_P(FlatInvariants, JumpTargetsAreInBounds) {
+    CorpusCase c = corpus()[GetParam()];
+    CompiledProgram cp = flat::compile(c.source, c.name);
+    const FlatProgram& fp = cp.flat;
+    for (const auto& i : fp.code) {
+        if (i.op == IOp::Jump || i.op == IOp::IfNot) {
+            ASSERT_GE(i.a, 0) << c.name;
+            ASSERT_LT(static_cast<size_t>(i.a), fp.code.size()) << c.name;
+        }
+    }
+}
+
+TEST_P(FlatInvariants, RejoinPrioritiesAreBelowNormal) {
+    CorpusCase c = corpus()[GetParam()];
+    CompiledProgram cp = flat::compile(c.source, c.name);
+    for (const auto& p : cp.flat.pars) {
+        EXPECT_LT(p.prio, flat::kNormalPrio) << c.name;
+        EXPECT_GE(p.prio, 0) << c.name;
+    }
+    for (const auto& e : cp.flat.escapes) {
+        EXPECT_LT(e.prio, flat::kNormalPrio) << c.name;
+    }
+}
+
+TEST_P(FlatInvariants, ExternalGateListsMatchGateTable) {
+    CorpusCase c = corpus()[GetParam()];
+    CompiledProgram cp = flat::compile(c.source, c.name);
+    const FlatProgram& fp = cp.flat;
+    size_t listed = 0;
+    for (size_t e = 0; e < fp.ext_gates.size(); ++e) {
+        for (int g : fp.ext_gates[e]) {
+            EXPECT_EQ(fp.gates[static_cast<size_t>(g)].kind,
+                      flat::GateInfo::Kind::Ext);
+            EXPECT_EQ(fp.gates[static_cast<size_t>(g)].event, static_cast<int>(e));
+            ++listed;
+        }
+    }
+    size_t ext_gates = 0;
+    for (const auto& g : fp.gates) {
+        if (g.kind == flat::GateInfo::Kind::Ext) ++ext_gates;
+    }
+    EXPECT_EQ(listed, ext_gates) << c.name;
+}
+
+INSTANTIATE_TEST_SUITE_P(Corpus, FlatInvariants,
+                         ::testing::Range<size_t>(0, corpus().size()),
+                         [](const auto& info) { return corpus()[info.param].name; });
+
+// ---------------------------------------------------------------------------
+// Nesting depth / priorities
+// ---------------------------------------------------------------------------
+
+TEST(Flatten, InnerRejoinsGetHigherPriorityThanOuter) {
+    CompiledProgram cp = flat::compile(R"(
+        input void A, B;
+        par/or do
+           par/and do
+              await A;
+           with
+              await B;
+           end
+        with
+           await 1s;
+        end
+    )");
+    ASSERT_EQ(cp.flat.pars.size(), 2u);
+    // pars are created in source order: outer par/or first, inner par/and
+    // second; the inner one must carry the larger (earlier) priority.
+    EXPECT_GT(cp.flat.pars[1].prio, cp.flat.pars[0].prio);
+    EXPECT_EQ(cp.flat.max_depth, 2);
+}
+
+TEST(Flatten, DisassemblerMentionsEveryOpcode) {
+    CompiledProgram cp = flat::compile(demos::kMarioReplay);
+    std::string dis = flat::disassemble(cp.flat);
+    for (const char* needle :
+         {"par_spawn", "branch_end", "await_ext", "await_time", "emit_int",
+          "kill_region", "async_run", "jump", "assign"}) {
+        EXPECT_NE(dis.find(needle), std::string::npos) << needle;
+    }
+}
+
+TEST(Flatten, RomFootprintIsPositive) {
+    CompiledProgram cp = flat::compile(demos::kQuickstart);
+    EXPECT_GT(cp.flat.rom_footprint(), 0u);
+}
+
+TEST(Flatten, CompileThrowsOnAnyPhaseError) {
+    EXPECT_THROW(flat::compile("loop do v = 1; end"), CompileError);   // sema
+    EXPECT_THROW(flat::compile("par do nothing; end"), CompileError);  // parse
+    EXPECT_THROW(flat::compile("int 5abc;"), CompileError);            // lex
+}
+
+}  // namespace
+}  // namespace ceu

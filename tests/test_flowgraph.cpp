@@ -1,0 +1,170 @@
+// Flow-graph and DFA-structure tests (the paper's two compiler artifacts).
+#include <gtest/gtest.h>
+
+#include "demos/demos.hpp"
+#include "dfa/dfa.hpp"
+#include "flow/flowgraph.hpp"
+
+namespace ceu {
+namespace {
+
+TEST(FlowGraph, GuidingExampleShape) {
+    flat::CompiledProgram cp = flat::compile(R"(
+        input int A, B, C;
+        int ret;
+        loop do
+           par/or do
+              int a = await A;
+              int b = await B;
+              ret = a + b;
+              break;
+           with
+              par/and do
+                 await C;
+              with
+                 await A;
+              end
+           end
+        end
+    )");
+    flow::FlowGraph g = flow::build_flow_graph(cp);
+    EXPECT_EQ(g.nodes.size(), cp.flat.code.size());
+
+    size_t awaits = 0, rejoins = 0;
+    for (const auto& n : g.nodes) {
+        awaits += n.is_await ? 1 : 0;
+        rejoins += n.is_rejoin ? 1 : 0;
+    }
+    EXPECT_EQ(awaits, 4u);   // the paper's figure has 4 awaits
+    EXPECT_EQ(rejoins, 3u);  // par/and, par/or, loop escape
+
+    // Rejoin priorities: inner constructs print larger (run earlier).
+    std::vector<int> prios;
+    for (const auto& n : g.nodes) {
+        if (n.is_rejoin) prios.push_back(n.priority);
+    }
+    std::sort(prios.begin(), prios.end());
+    EXPECT_EQ(prios, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(FlowGraph, EdgesReferenceValidNodes) {
+    flat::CompiledProgram cp = flat::compile(demos::kRing);
+    flow::FlowGraph g = flow::build_flow_graph(cp);
+    for (const auto& e : g.edges) {
+        EXPECT_GE(e.from, 0);
+        EXPECT_LT(static_cast<size_t>(e.from), g.nodes.size());
+        EXPECT_GE(e.to, 0);
+        EXPECT_LT(static_cast<size_t>(e.to), g.nodes.size());
+    }
+}
+
+TEST(FlowGraph, AwaitEdgesCarryEventLabels) {
+    flat::CompiledProgram cp =
+        flat::compile("input void Alpha; loop do await Alpha; await 3s; end");
+    flow::FlowGraph g = flow::build_flow_graph(cp);
+    bool alpha = false, time3s = false;
+    for (const auto& e : g.edges) {
+        if (e.label == "Alpha") alpha = true;
+        if (e.label == "3s") time3s = true;
+    }
+    EXPECT_TRUE(alpha);
+    EXPECT_TRUE(time3s);
+}
+
+TEST(FlowGraph, DotOutputIsWellFormed) {
+    flat::CompiledProgram cp = flat::compile(demos::kQuickstart);
+    std::string dot = flow::build_flow_graph(cp).to_dot("quickstart");
+    EXPECT_EQ(dot.find("digraph"), 0u);
+    EXPECT_NE(dot.find("->"), std::string::npos);
+    EXPECT_EQ(dot.back(), '\n');
+    // Quotes in labels must be escaped.
+    flat::CompiledProgram cp2 = flat::compile(R"(_printf("hi \"there\"\n");)");
+    std::string dot2 = flow::build_flow_graph(cp2).to_dot();
+    EXPECT_NE(dot2.find("\\\""), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// DFA structure extras
+// ---------------------------------------------------------------------------
+
+TEST(DfaStructure, TransitionsTargetExistingStates) {
+    flat::CompiledProgram cp = flat::compile(demos::kRing);
+    dfa::Dfa d = dfa::Dfa::build(cp);
+    for (const auto& s : d.states()) {
+        for (const auto& t : s.out) {
+            EXPECT_GE(t.target, 0);
+            EXPECT_LT(static_cast<size_t>(t.target), d.state_count());
+            EXPECT_FALSE(t.label.empty());
+        }
+    }
+}
+
+TEST(DfaStructure, StopAtFirstConflictShortCircuits) {
+    const char* kBig = R"(
+        input void A;
+        int v;
+        par do
+           loop do await A; v = 1; end
+        with
+           loop do await A; v = 2; end
+        with
+           loop do await A; await A; await A; await A; await A; end
+        end
+    )";
+    flat::CompiledProgram cp = flat::compile(kBig);
+    dfa::DfaOptions opt;
+    opt.stop_at_first_conflict = true;
+    dfa::Dfa d = dfa::Dfa::build(cp, opt);
+    EXPECT_FALSE(d.deterministic());
+    EXPECT_FALSE(d.complete());  // it stopped early
+
+    // The convenience wrapper reports the same verdict.
+    EXPECT_FALSE(dfa::temporal_analysis(cp).empty());
+}
+
+TEST(DfaStructure, ConflictReportsAreDeduplicated) {
+    flat::CompiledProgram cp = flat::compile(R"(
+        input void A;
+        int v;
+        par do
+           loop do await A; v = 1; end
+        with
+           loop do await A; v = 2; end
+        end
+    )");
+    dfa::Dfa d = dfa::Dfa::build(cp);
+    // One unique (pair, trigger) even though the state recurs forever.
+    EXPECT_EQ(d.conflicts().size(), 1u);
+}
+
+TEST(DfaStructure, MachineStateKeyDistinguishesTimers) {
+    dfa::MachineState a, b;
+    a.gates = {1, 0};
+    b.gates = {1, 0};
+    a.timers = {{0, 100}};
+    b.timers = {{0, 200}};
+    EXPECT_NE(a.key(), b.key());
+    b.timers = {{0, 100}};
+    EXPECT_EQ(a.key(), b.key());
+}
+
+TEST(DfaStructure, ParAndCountersArePartOfTheState) {
+    // A par/and with one branch done is a different state from none done.
+    flat::CompiledProgram cp = flat::compile(R"(
+        input void A, B;
+        par/and do
+           await A;
+        with
+           await B;
+        end
+        _led();
+        await forever;
+    )");
+    dfa::Dfa d = dfa::Dfa::build(cp);
+    EXPECT_TRUE(d.deterministic()) << d.report();
+    // boot, after-A, after-B, after-both (merged via gates+counters), ...
+    EXPECT_GE(d.state_count(), 3u);
+}
+
+}  // namespace
+}  // namespace ceu

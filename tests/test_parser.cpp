@@ -1,0 +1,266 @@
+// Parser unit tests over the Appendix-A grammar, including every statement
+// form the paper's examples use.
+#include <gtest/gtest.h>
+
+#include "ast/print.hpp"
+#include "parser/parser.hpp"
+
+namespace ceu {
+namespace {
+
+using namespace ast;
+
+Program parse_ok(const std::string& text) {
+    Diagnostics diags;
+    Program p = parse_source(text, diags);
+    EXPECT_TRUE(diags.ok()) << diags.str();
+    return p;
+}
+
+void parse_err(const std::string& text, const std::string& needle) {
+    Diagnostics diags;
+    (void)parse_source(text, diags);
+    EXPECT_FALSE(diags.ok()) << "expected an error for: " << text;
+    EXPECT_TRUE(diags.contains(needle)) << diags.str();
+}
+
+const Stmt& only_stmt(const Program& p) {
+    EXPECT_EQ(p.body.stmts.size(), 1u);
+    return *p.body.stmts[0];
+}
+
+TEST(Parser, InputDeclaration) {
+    Program p = parse_ok("input int Restart, Other;");
+    const auto& d = static_cast<const DeclInputStmt&>(only_stmt(p));
+    ASSERT_EQ(d.kind, StmtKind::DeclInput);
+    EXPECT_EQ(d.type.name, "int");
+    ASSERT_EQ(d.names.size(), 2u);
+    EXPECT_EQ(d.names[0], "Restart");
+    EXPECT_EQ(d.names[1], "Other");
+}
+
+TEST(Parser, InternalDeclaration) {
+    Program p = parse_ok("internal void changed;");
+    const auto& d = static_cast<const DeclInternalStmt&>(only_stmt(p));
+    ASSERT_EQ(d.kind, StmtKind::DeclInternal);
+    EXPECT_TRUE(d.type.is_void());
+    EXPECT_EQ(d.names[0], "changed");
+}
+
+TEST(Parser, VarDeclarationWithInit) {
+    Program p = parse_ok("int v = 0, w;");
+    const auto& d = static_cast<const DeclVarStmt&>(only_stmt(p));
+    ASSERT_EQ(d.vars.size(), 2u);
+    EXPECT_EQ(d.vars[0].name, "v");
+    ASSERT_NE(d.vars[0].init, nullptr);
+    EXPECT_EQ(d.vars[1].name, "w");
+    EXPECT_EQ(d.vars[1].init, nullptr);
+}
+
+TEST(Parser, ArrayDeclaration) {
+    Program p = parse_ok("int[10] keys;");
+    const auto& d = static_cast<const DeclVarStmt&>(only_stmt(p));
+    EXPECT_EQ(d.vars[0].array_size, 10);
+}
+
+TEST(Parser, PointerDeclaration) {
+    Program p = parse_ok("_message_t* msg;");
+    const auto& d = static_cast<const DeclVarStmt&>(only_stmt(p));
+    EXPECT_EQ(d.type.name, "message_t");
+    EXPECT_TRUE(d.type.is_c);
+    EXPECT_EQ(d.type.pointer_depth, 1);
+}
+
+TEST(Parser, DeclarationWithAwaitInitializer) {
+    Program p = parse_ok("input int Start; int v = await Start;");
+    const auto& d = static_cast<const DeclVarStmt&>(*p.body.stmts[1]);
+    ASSERT_NE(d.vars[0].init_stmt, nullptr);
+    EXPECT_EQ(d.vars[0].init_stmt->kind, StmtKind::AwaitExt);
+}
+
+TEST(Parser, AwaitForms) {
+    Program p = parse_ok(
+        "input void A; internal void e;\n"
+        "await A; await e; await 1s; await (10); await forever;");
+    EXPECT_EQ(p.body.stmts[2]->kind, StmtKind::AwaitExt);
+    EXPECT_EQ(p.body.stmts[3]->kind, StmtKind::AwaitInt);
+    EXPECT_EQ(p.body.stmts[4]->kind, StmtKind::AwaitTime);
+    EXPECT_EQ(static_cast<const AwaitTimeStmt&>(*p.body.stmts[4]).us, kSec);
+    EXPECT_EQ(p.body.stmts[5]->kind, StmtKind::AwaitDyn);
+    EXPECT_EQ(p.body.stmts[6]->kind, StmtKind::AwaitForever);
+}
+
+TEST(Parser, EmitForms) {
+    Program p = parse_ok(
+        "input int E; internal int e;\n"
+        "emit e; emit e = 5; async do emit E = 1; emit 10ms; end");
+    EXPECT_EQ(p.body.stmts[2]->kind, StmtKind::EmitInt);
+    const auto& e2 = static_cast<const EmitIntStmt&>(*p.body.stmts[3]);
+    ASSERT_NE(e2.value, nullptr);
+    const auto& as = static_cast<const AsyncStmt&>(*p.body.stmts[4]);
+    EXPECT_EQ(as.body.stmts[0]->kind, StmtKind::EmitExt);
+    EXPECT_EQ(as.body.stmts[1]->kind, StmtKind::EmitTime);
+}
+
+TEST(Parser, ParVariants) {
+    Program p = parse_ok(
+        "par do nothing; with nothing; end\n"
+        "par/or do nothing; with nothing; with nothing; end\n"
+        "par/and do nothing; with nothing; end");
+    EXPECT_EQ(static_cast<const ParStmt&>(*p.body.stmts[0]).par_kind, ParKind::Par);
+    const auto& po = static_cast<const ParStmt&>(*p.body.stmts[1]);
+    EXPECT_EQ(po.par_kind, ParKind::ParOr);
+    EXPECT_EQ(po.branches.size(), 3u);
+    EXPECT_EQ(static_cast<const ParStmt&>(*p.body.stmts[2]).par_kind, ParKind::ParAnd);
+}
+
+TEST(Parser, ParRequiresTwoBranches) {
+    parse_err("par do nothing; end", "at least two branches");
+}
+
+TEST(Parser, IfThenElse) {
+    Program p = parse_ok("int v; if v then v = 1; else v = 2; end");
+    const auto& n = static_cast<const IfStmt&>(*p.body.stmts[1]);
+    EXPECT_TRUE(n.has_else);
+    EXPECT_EQ(n.then_body.stmts.size(), 1u);
+    EXPECT_EQ(n.else_body.stmts.size(), 1u);
+}
+
+TEST(Parser, LoopWithBreak) {
+    Program p = parse_ok("loop do break; end");
+    const auto& n = static_cast<const LoopStmt&>(only_stmt(p));
+    EXPECT_EQ(n.body.stmts[0]->kind, StmtKind::Break);
+}
+
+TEST(Parser, AssignFromParBlock) {
+    Program p = parse_ok(
+        "input void Key; internal void collision;\n"
+        "int v = par do await Key; return 1; with await collision; return 0; end;");
+    const auto& d = static_cast<const DeclVarStmt&>(*p.body.stmts[2]);
+    ASSERT_NE(d.vars[0].init_stmt, nullptr);
+    EXPECT_EQ(d.vars[0].init_stmt->kind, StmtKind::Par);
+}
+
+TEST(Parser, AssignFromAsync) {
+    Program p = parse_ok("int ret; ret = async do return 5; end;");
+    const auto& a = static_cast<const AssignStmt&>(*p.body.stmts[1]);
+    ASSERT_NE(a.rhs_stmt, nullptr);
+    EXPECT_EQ(a.rhs_stmt->kind, StmtKind::Async);
+}
+
+TEST(Parser, DerefAssignment) {
+    Program p = parse_ok("int* cnt; *cnt = *cnt + 1;");
+    const auto& a = static_cast<const AssignStmt&>(*p.body.stmts[1]);
+    EXPECT_EQ(a.lhs->kind, ExprKind::Unop);
+}
+
+TEST(Parser, CCallStatementAndExpressions) {
+    Program p = parse_ok("_Leds_set((_TOS_NODE_ID + 1) % 3);");
+    const auto& e = static_cast<const ExprStmtStmt&>(only_stmt(p));
+    EXPECT_EQ(e.expr->kind, ExprKind::Call);
+    EXPECT_EQ(ast::print_expr(*e.expr), "_Leds_set(((_TOS_NODE_ID + 1) % 3))");
+}
+
+TEST(Parser, DottedMethodCall) {
+    Program p = parse_ok("int ship; _lcd.setCursor(0, ship);");
+    const auto& e = static_cast<const ExprStmtStmt&>(*p.body.stmts[1]);
+    const auto& call = static_cast<const CallExpr&>(*e.expr);
+    EXPECT_EQ(call.fn->kind, ExprKind::Field);
+}
+
+TEST(Parser, PureAndDeterministicAnnotations) {
+    Program p = parse_ok("pure _abs; deterministic _led1On, _led2On;");
+    const auto& pu = static_cast<const PureStmt&>(*p.body.stmts[0]);
+    EXPECT_EQ(pu.names[0], "abs");
+    const auto& de = static_cast<const DeterministicStmt&>(*p.body.stmts[1]);
+    ASSERT_EQ(de.names.size(), 2u);
+    EXPECT_EQ(de.names[1], "led2On");
+}
+
+TEST(Parser, OperatorPrecedenceMatchesC) {
+    Program p = parse_ok("int a, b, c; a = a + b * c;");
+    const auto& s = static_cast<const AssignStmt&>(*p.body.stmts[1]);
+    EXPECT_EQ(print_expr(*s.rhs_expr), "(a + (b * c))");
+}
+
+TEST(Parser, ComparisonAndLogicalPrecedence) {
+    Program p = parse_ok("int a, b; a = a == 1 && b != 2 || a < b;");
+    const auto& s = static_cast<const AssignStmt&>(*p.body.stmts[1]);
+    EXPECT_EQ(print_expr(*s.rhs_expr), "(((a == 1) && (b != 2)) || (a < b))");
+}
+
+TEST(Parser, CastExpression) {
+    Program p = parse_ok("int a; a = <int> 5;");
+    const auto& s = static_cast<const AssignStmt&>(*p.body.stmts[1]);
+    EXPECT_EQ(s.rhs_expr->kind, ExprKind::Cast);
+}
+
+TEST(Parser, LessThanIsNotMistakenForCast) {
+    Program p = parse_ok("int a, b; a = a < b;");
+    const auto& s = static_cast<const AssignStmt&>(*p.body.stmts[1]);
+    EXPECT_EQ(print_expr(*s.rhs_expr), "(a < b)");
+}
+
+TEST(Parser, SizeofType) {
+    Program p = parse_ok("int a; a = sizeof<int>;");
+    const auto& s = static_cast<const AssignStmt&>(*p.body.stmts[1]);
+    EXPECT_EQ(s.rhs_expr->kind, ExprKind::SizeOf);
+}
+
+TEST(Parser, IndexingChains) {
+    Program p = parse_ok("int ship, step, v; v = _MAP[ship][step];");
+    const auto& s = static_cast<const AssignStmt&>(*p.body.stmts[1]);
+    EXPECT_EQ(print_expr(*s.rhs_expr), "_MAP[ship][step]");
+}
+
+TEST(Parser, SemicolonsAreOptionalAfterEnd) {
+    Program p = parse_ok("loop do await 1s; end\nloop do await 1s; end");
+    EXPECT_EQ(p.body.stmts.size(), 2u);
+}
+
+TEST(Parser, CBlockStatement) {
+    Program p = parse_ok("C do int I = 0; end");
+    const auto& c = static_cast<const CBlockStmt&>(only_stmt(p));
+    EXPECT_NE(c.code.find("int I = 0;"), std::string::npos);
+}
+
+TEST(Parser, OutputEventDeclaration) {
+    // Extension: the paper's future-work output events.
+    Program p = parse_ok("output int Led, Buzzer;");
+    const auto& d = static_cast<const DeclOutputStmt&>(only_stmt(p));
+    ASSERT_EQ(d.kind, StmtKind::DeclOutput);
+    EXPECT_EQ(d.type.name, "int");
+    ASSERT_EQ(d.names.size(), 2u);
+    EXPECT_EQ(d.names[0], "Led");
+    EXPECT_EQ(d.names[1], "Buzzer");
+}
+
+TEST(Parser, MissingEndIsAnError) {
+    parse_err("loop do await 1s;", "expected 'end'");
+}
+
+TEST(Parser, GuidingExampleFromSection4Parses) {
+    // The paper's §4 guiding example, verbatim (modulo declarations).
+    Program p = parse_ok(R"(
+        input int A, B, C;
+        int ret;
+        loop do
+           par/or do
+              int a = await A;
+              int b = await B;
+              ret = a + b;
+              break;
+           with
+              par/and do
+                 await C;
+              with
+                 await A;
+              end
+           end
+        end
+    )");
+    EXPECT_EQ(p.body.stmts.size(), 3u);
+}
+
+}  // namespace
+}  // namespace ceu

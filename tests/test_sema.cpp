@@ -1,0 +1,233 @@
+// Semantic analysis tests: name resolution, declaration rules, async
+// restrictions (§2.7), and the bounded-execution check (§2.5) — including
+// every accept/reject example printed in the paper.
+#include <gtest/gtest.h>
+
+#include "parser/parser.hpp"
+#include "sema/sema.hpp"
+
+namespace ceu {
+namespace {
+
+SemaInfo sema_ok(const std::string& text) {
+    Diagnostics diags;
+    ast::Program p = parse_source(text, diags);
+    EXPECT_TRUE(diags.ok()) << diags.str();
+    SemaInfo info = analyze(p, diags);
+    EXPECT_TRUE(diags.ok()) << diags.str();
+    return info;
+}
+
+void sema_err(const std::string& text, const std::string& needle) {
+    Diagnostics diags;
+    ast::Program p = parse_source(text, diags);
+    ASSERT_TRUE(diags.ok()) << diags.str();
+    (void)analyze(p, diags);
+    EXPECT_FALSE(diags.ok()) << "expected error for:\n" << text;
+    EXPECT_TRUE(diags.contains(needle)) << diags.str();
+}
+
+TEST(Sema, ResolvesEventsAndVariables) {
+    SemaInfo info = sema_ok(
+        "input int Restart; internal void changed; int v = 0;\n"
+        "par do loop do await 1s; v = v + 1; emit changed; end\n"
+        "with loop do v = await Restart; emit changed; end\n"
+        "with loop do await changed; _printf(\"v\"); end end");
+    EXPECT_EQ(info.inputs.size(), 1u);
+    EXPECT_EQ(info.internals.size(), 1u);
+    EXPECT_EQ(info.input_id("Restart"), 0);
+    EXPECT_EQ(info.internal_id("changed"), 0);
+    ASSERT_EQ(info.vars.size(), 1u);
+    EXPECT_EQ(info.vars[0].name, "v");
+}
+
+TEST(Sema, UndeclaredVariable) { sema_err("v = 1;", "undeclared variable 'v'"); }
+
+TEST(Sema, UndeclaredInputEvent) {
+    sema_err("await A;", "undeclared input event 'A'");
+}
+
+TEST(Sema, UndeclaredInternalEvent) {
+    sema_err("await e;", "undeclared internal event 'e'");
+}
+
+TEST(Sema, RedeclaredInputEvent) {
+    sema_err("input void A; input int A;", "redeclared");
+}
+
+TEST(Sema, EventUsedAsValue) {
+    sema_err("internal void e; int v; v = e;", "used as a value");
+}
+
+TEST(Sema, ShadowingInNestedScopesIsAllowed) {
+    sema_ok("int v = 1; do int v = 2; end");
+}
+
+TEST(Sema, ScopeEndsWithBlock) {
+    sema_err("do int v = 2; end v = 3;", "undeclared variable 'v'");
+}
+
+TEST(Sema, EmitValueOnVoidEventIsAnError) {
+    sema_err("internal void e; emit e = 5;", "notify-only");
+}
+
+TEST(Sema, AwaitVoidEventAsValueIsAnError) {
+    sema_err("input void A; int v = await A;", "cannot produce a value");
+}
+
+// -- async restrictions (paper §2.7) ----------------------------------------
+
+TEST(SemaAsync, CannotAwaitInputEvents) {
+    sema_err("input void A; int r; r = async do await A; return 1; end;",
+             "cannot await");
+}
+
+TEST(SemaAsync, CannotContainParallels) {
+    sema_err("int r; r = async do par do nothing; with nothing; end return 1; end;",
+             "cannot contain parallel blocks");
+}
+
+TEST(SemaAsync, CannotManipulateInternalEvents) {
+    sema_err("internal void e; int r; r = async do emit e; return 1; end;",
+             "cannot manipulate internal events");
+}
+
+TEST(SemaAsync, CannotAssignToOuterVariables) {
+    sema_err("int v; int r; r = async do v = 1; return 1; end;",
+             "cannot assign to variable 'v' defined in an outer block");
+}
+
+TEST(SemaAsync, LocalAssignmentsAreFine) {
+    sema_ok("int r; r = async do int sum = 0; sum = sum + 1; return sum; end;");
+}
+
+TEST(SemaAsync, CanReadOuterVariables) {
+    sema_ok("int n = 10; int r; r = async do int s = n + 1; return s; end;");
+}
+
+TEST(SemaAsync, CannotNest) {
+    sema_err("int r; r = async do int q = 1; async do return 1; end return q; end;",
+             "cannot nest");
+}
+
+TEST(SemaAsync, EmitInputOnlyInsideAsync) {
+    sema_err("input void A; emit A;", "can only be emitted from async blocks");
+    sema_err("emit 10ms;", "can only be emitted from async blocks");
+    sema_ok("input void A; par do await A; with async do emit A; emit 10ms; end end");
+}
+
+TEST(Sema, BreakOutsideLoop) { sema_err("break;", "'break' outside of a loop"); }
+
+// -- bounded execution (paper §2.5) ------------------------------------------
+// Examples 1-5 verbatim from the paper.
+
+TEST(Bounded, Example1TightLoopRefused) {
+    sema_err("int v; loop do v = v + 1; end", "unbounded loop");
+}
+
+TEST(Bounded, Example2IfWithoutElseAwaitRefused) {
+    sema_err("input void A; int v; loop do if v then await A; end end",
+             "unbounded loop");
+}
+
+TEST(Bounded, Example3ParOrWithInstantBranchRefused) {
+    sema_err(
+        "input void A; int v;\n"
+        "loop do par/or do await A; with v = 1; end end",
+        "unbounded loop");
+}
+
+TEST(Bounded, Example4SimpleAwaitAccepted) {
+    sema_ok("input void A; loop do await A; end");
+}
+
+TEST(Bounded, Example5ParAndAccepted) {
+    sema_ok("input void A; int v; loop do par/and do await A; with v = 1; end end");
+}
+
+TEST(Bounded, BreakSatisfiesTheLoop) {
+    sema_ok("int v; loop do if v then break; else await 1s; end end");
+}
+
+TEST(Bounded, BreakAloneSatisfies) { sema_ok("loop do break; end"); }
+
+TEST(Bounded, IfBothBranchesAwaitAccepted) {
+    sema_ok("input void A, B; int v; loop do if v then await A; else await B; end end");
+}
+
+TEST(Bounded, NestedLoopThatBreaksInstantlyDoesNotBoundTheOuter) {
+    // The inner loop is fine (break), but its break path completes the
+    // inner loop without awaiting -> the outer loop has an instantaneous
+    // path -> refused.
+    sema_err("loop do loop do break; end end", "unbounded loop");
+}
+
+TEST(Bounded, NestedLoopWithAwaitBeforeBreakBoundsTheOuter) {
+    sema_ok("input void A; loop do loop do await A; break; end end");
+}
+
+TEST(Bounded, PlainParNeverRejoinsSoItBounds) {
+    sema_ok("input void A; int v;\n"
+            "loop do par do await A; with v = 1; await A; end end");
+}
+
+TEST(Bounded, ReturnBoundsTheLoop) {
+    sema_ok("int v; loop do return v; end");
+}
+
+TEST(Bounded, AwaitValueAssignmentCounts) {
+    sema_ok("input int A; int v; loop do v = await A; end");
+}
+
+TEST(Bounded, ValueParOrWithInstantBranchRefused) {
+    sema_err(
+        "input void A; int v;\n"
+        "loop do\n"
+        "  int x = par/or do await A; return 1; with v = 1; end;\n"
+        "  v = x;\n"
+        "end",
+        "unbounded loop");
+}
+
+TEST(Bounded, AsyncLoopsAreExempt) {
+    sema_ok(
+        "int ret;\n"
+        "ret = async do\n"
+        "   int sum = 0; int i = 1;\n"
+        "   loop do sum = sum + i;\n"
+        "      if i == 100 then break; else i = i + 1; end\n"
+        "   end\n"
+        "   return sum;\n"
+        "end;");
+}
+
+TEST(Bounded, AwaitingAnAsyncBoundsTheLoop) {
+    sema_ok("int r; loop do r = async do return 1; end; end");
+}
+
+TEST(Sema, PureAndDeterministicPolicies) {
+    SemaInfo info = sema_ok(
+        "pure _abs;\n"
+        "deterministic _led1On, _led2On;\n"
+        "deterministic _led1Off, _led2Off;");
+    EXPECT_TRUE(info.ccalls.is_pure("abs"));
+    EXPECT_TRUE(info.ccalls.allowed("abs", "led1On"));
+    EXPECT_TRUE(info.ccalls.allowed("led1On", "led2On"));
+    EXPECT_TRUE(info.ccalls.allowed("led1Off", "led2Off"));
+    EXPECT_FALSE(info.ccalls.allowed("led1On", "led2Off"));
+    // A group covers all pairs drawn from it, including a function with a
+    // concurrent instance of itself; un-annotated self-pairs stay refused.
+    EXPECT_TRUE(info.ccalls.allowed("led1On", "led1On"));
+    EXPECT_FALSE(info.ccalls.allowed("unannotated", "unannotated"));
+    EXPECT_FALSE(info.ccalls.allowed("unannotated", "led1On"));
+}
+
+TEST(Sema, CBlocksAreCollectedInOrder) {
+    SemaInfo info = sema_ok("C do int A; end C do int B; end");
+    ASSERT_EQ(info.c_blocks.size(), 2u);
+    EXPECT_NE(info.c_blocks[0].find("int A;"), std::string::npos);
+    EXPECT_NE(info.c_blocks[1].find("int B;"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ceu

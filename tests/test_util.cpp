@@ -1,0 +1,98 @@
+// Utility-layer tests: diagnostics, source locations, the slot allocator.
+#include <gtest/gtest.h>
+
+#include "codegen/layout.hpp"
+#include "runtime/value.hpp"
+#include "util/diag.hpp"
+
+namespace ceu {
+namespace {
+
+TEST(Diagnostics, CollectsAndCounts) {
+    Diagnostics d;
+    EXPECT_TRUE(d.ok());
+    d.warning({1, 2}, "just a warning");
+    EXPECT_TRUE(d.ok());
+    d.error({3, 4}, "an error");
+    d.note({}, "a note");
+    EXPECT_FALSE(d.ok());
+    EXPECT_EQ(d.error_count(), 1u);
+    EXPECT_EQ(d.all().size(), 3u);
+    EXPECT_TRUE(d.contains("an error"));
+    EXPECT_FALSE(d.contains("missing"));
+    EXPECT_NE(d.str().find("3:4: error: an error"), std::string::npos);
+    // Notes without a location omit the position prefix.
+    EXPECT_NE(d.str().find("note: a note"), std::string::npos);
+    d.clear();
+    EXPECT_TRUE(d.ok());
+    EXPECT_TRUE(d.all().empty());
+}
+
+TEST(SourceLoc, ValidityAndFormatting) {
+    SourceLoc none;
+    EXPECT_FALSE(none.valid());
+    SourceLoc at{12, 7};
+    EXPECT_TRUE(at.valid());
+    EXPECT_EQ(at.str(), "12:7");
+    EXPECT_EQ(at, (SourceLoc{12, 7}));
+}
+
+TEST(SlotAllocator, SequentialReuseAndPeak) {
+    flat::SlotAllocator a;
+    int x = a.alloc(2);
+    EXPECT_EQ(x, 0);
+    int mark = a.save();
+    int y = a.alloc(3);
+    EXPECT_EQ(y, 2);
+    a.restore(mark);
+    int z = a.alloc(1);
+    EXPECT_EQ(z, 2);  // reuses y's space
+    EXPECT_EQ(a.peak(), 5);
+}
+
+TEST(SlotAllocator, ParallelStackingViaLocalPeaks) {
+    flat::SlotAllocator a;
+    (void)a.alloc(1);  // enclosing scope
+    int base = a.save();
+    int running = base;
+    // Branch 1 needs 3 slots (with internal reuse of 2 of them).
+    a.restore(running);
+    running = a.with_local_peak([&] {
+        int m = a.save();
+        (void)a.alloc(2);
+        a.restore(m);
+        (void)a.alloc(1);
+    });
+    EXPECT_EQ(running, base + 2);  // local peak, not the sum
+    // Branch 2 starts above branch 1's peak: coexistence.
+    a.restore(running);
+    int b2 = a.alloc(1);
+    EXPECT_EQ(b2, base + 2);
+    EXPECT_EQ(a.peak(), base + 3);
+}
+
+TEST(Value, Conversions) {
+    rt::Value i = rt::Value::integer(-5);
+    EXPECT_TRUE(i.is_int());
+    EXPECT_EQ(i.as_int(), -5);
+    EXPECT_TRUE(i.truthy());
+    EXPECT_FALSE(rt::Value::integer(0).truthy());
+
+    int64_t cell = 9;
+    rt::Value p = rt::Value::pointer(&cell);
+    EXPECT_TRUE(p.is_ptr());
+    EXPECT_TRUE(p.truthy());
+    EXPECT_FALSE(rt::Value::pointer(nullptr).truthy());
+    EXPECT_EQ(*p.p, 9);
+
+    rt::Value s = rt::Value::str("hi");
+    EXPECT_EQ(s.str_repr(), "\"hi\"");
+    EXPECT_EQ(i.str_repr(), "-5");
+    EXPECT_EQ(rt::Value::pointer(nullptr).str_repr(), "null");
+
+    EXPECT_TRUE(rt::Value::integer(4) == rt::Value::integer(4));
+    EXPECT_FALSE(rt::Value::integer(4) == rt::Value::integer(5));
+}
+
+}  // namespace
+}  // namespace ceu
