@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_blink_sync"
+  "../bench/bench_blink_sync.pdb"
+  "CMakeFiles/bench_blink_sync.dir/bench_blink_sync.cpp.o"
+  "CMakeFiles/bench_blink_sync.dir/bench_blink_sync.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_blink_sync.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

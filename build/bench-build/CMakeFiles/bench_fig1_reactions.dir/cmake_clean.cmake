@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig1_reactions"
+  "../bench/bench_fig1_reactions.pdb"
+  "CMakeFiles/bench_fig1_reactions.dir/bench_fig1_reactions.cpp.o"
+  "CMakeFiles/bench_fig1_reactions.dir/bench_fig1_reactions.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig1_reactions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

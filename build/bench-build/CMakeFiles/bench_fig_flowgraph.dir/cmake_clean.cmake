@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig_flowgraph"
+  "../bench/bench_fig_flowgraph.pdb"
+  "CMakeFiles/bench_fig_flowgraph.dir/bench_fig_flowgraph.cpp.o"
+  "CMakeFiles/bench_fig_flowgraph.dir/bench_fig_flowgraph.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig_flowgraph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table2_responsiveness"
+  "../bench/bench_table2_responsiveness.pdb"
+  "CMakeFiles/bench_table2_responsiveness.dir/bench_table2_responsiveness.cpp.o"
+  "CMakeFiles/bench_table2_responsiveness.dir/bench_table2_responsiveness.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_responsiveness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/dataflow_temperature.cpp" "examples/CMakeFiles/dataflow_temperature.dir/dataflow_temperature.cpp.o" "gcc" "examples/CMakeFiles/dataflow_temperature.dir/dataflow_temperature.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/ceu_demos.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ceu_arduino.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ceu_display.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ceu_wsn.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ceu.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

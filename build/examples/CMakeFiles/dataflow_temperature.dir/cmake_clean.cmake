@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dataflow_temperature.dir/dataflow_temperature.cpp.o"
+  "CMakeFiles/dataflow_temperature.dir/dataflow_temperature.cpp.o.d"
+  "dataflow_temperature"
+  "dataflow_temperature.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dataflow_temperature.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mario_replay.dir/mario_replay.cpp.o"
+  "CMakeFiles/mario_replay.dir/mario_replay.cpp.o.d"
+  "mario_replay"
+  "mario_replay.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mario_replay.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

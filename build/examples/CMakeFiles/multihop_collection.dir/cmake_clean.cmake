@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multihop_collection.dir/multihop_collection.cpp.o"
+  "CMakeFiles/multihop_collection.dir/multihop_collection.cpp.o.d"
+  "multihop_collection"
+  "multihop_collection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multihop_collection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

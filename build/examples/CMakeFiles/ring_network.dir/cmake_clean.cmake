@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ring_network.dir/ring_network.cpp.o"
+  "CMakeFiles/ring_network.dir/ring_network.cpp.o.d"
+  "ring_network"
+  "ring_network.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ring_network.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ship_game.dir/ship_game.cpp.o"
+  "CMakeFiles/ship_game.dir/ship_game.cpp.o.d"
+  "ship_game"
+  "ship_game.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ship_game.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,38 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ast/ast.cpp" "src/CMakeFiles/ceu.dir/ast/ast.cpp.o" "gcc" "src/CMakeFiles/ceu.dir/ast/ast.cpp.o.d"
+  "/root/repo/src/ast/print.cpp" "src/CMakeFiles/ceu.dir/ast/print.cpp.o" "gcc" "src/CMakeFiles/ceu.dir/ast/print.cpp.o.d"
+  "/root/repo/src/cgen/cgen.cpp" "src/CMakeFiles/ceu.dir/cgen/cgen.cpp.o" "gcc" "src/CMakeFiles/ceu.dir/cgen/cgen.cpp.o.d"
+  "/root/repo/src/codegen/flatten.cpp" "src/CMakeFiles/ceu.dir/codegen/flatten.cpp.o" "gcc" "src/CMakeFiles/ceu.dir/codegen/flatten.cpp.o.d"
+  "/root/repo/src/codegen/layout.cpp" "src/CMakeFiles/ceu.dir/codegen/layout.cpp.o" "gcc" "src/CMakeFiles/ceu.dir/codegen/layout.cpp.o.d"
+  "/root/repo/src/dfa/abstract.cpp" "src/CMakeFiles/ceu.dir/dfa/abstract.cpp.o" "gcc" "src/CMakeFiles/ceu.dir/dfa/abstract.cpp.o.d"
+  "/root/repo/src/dfa/dfa.cpp" "src/CMakeFiles/ceu.dir/dfa/dfa.cpp.o" "gcc" "src/CMakeFiles/ceu.dir/dfa/dfa.cpp.o.d"
+  "/root/repo/src/env/driver.cpp" "src/CMakeFiles/ceu.dir/env/driver.cpp.o" "gcc" "src/CMakeFiles/ceu.dir/env/driver.cpp.o.d"
+  "/root/repo/src/env/script.cpp" "src/CMakeFiles/ceu.dir/env/script.cpp.o" "gcc" "src/CMakeFiles/ceu.dir/env/script.cpp.o.d"
+  "/root/repo/src/flow/flowgraph.cpp" "src/CMakeFiles/ceu.dir/flow/flowgraph.cpp.o" "gcc" "src/CMakeFiles/ceu.dir/flow/flowgraph.cpp.o.d"
+  "/root/repo/src/lexer/lexer.cpp" "src/CMakeFiles/ceu.dir/lexer/lexer.cpp.o" "gcc" "src/CMakeFiles/ceu.dir/lexer/lexer.cpp.o.d"
+  "/root/repo/src/parser/parser.cpp" "src/CMakeFiles/ceu.dir/parser/parser.cpp.o" "gcc" "src/CMakeFiles/ceu.dir/parser/parser.cpp.o.d"
+  "/root/repo/src/runtime/cbind.cpp" "src/CMakeFiles/ceu.dir/runtime/cbind.cpp.o" "gcc" "src/CMakeFiles/ceu.dir/runtime/cbind.cpp.o.d"
+  "/root/repo/src/runtime/engine.cpp" "src/CMakeFiles/ceu.dir/runtime/engine.cpp.o" "gcc" "src/CMakeFiles/ceu.dir/runtime/engine.cpp.o.d"
+  "/root/repo/src/runtime/timerwheel.cpp" "src/CMakeFiles/ceu.dir/runtime/timerwheel.cpp.o" "gcc" "src/CMakeFiles/ceu.dir/runtime/timerwheel.cpp.o.d"
+  "/root/repo/src/runtime/value.cpp" "src/CMakeFiles/ceu.dir/runtime/value.cpp.o" "gcc" "src/CMakeFiles/ceu.dir/runtime/value.cpp.o.d"
+  "/root/repo/src/sema/bounded.cpp" "src/CMakeFiles/ceu.dir/sema/bounded.cpp.o" "gcc" "src/CMakeFiles/ceu.dir/sema/bounded.cpp.o.d"
+  "/root/repo/src/sema/sema.cpp" "src/CMakeFiles/ceu.dir/sema/sema.cpp.o" "gcc" "src/CMakeFiles/ceu.dir/sema/sema.cpp.o.d"
+  "/root/repo/src/util/diag.cpp" "src/CMakeFiles/ceu.dir/util/diag.cpp.o" "gcc" "src/CMakeFiles/ceu.dir/util/diag.cpp.o.d"
+  "/root/repo/src/util/timeval.cpp" "src/CMakeFiles/ceu.dir/util/timeval.cpp.o" "gcc" "src/CMakeFiles/ceu.dir/util/timeval.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

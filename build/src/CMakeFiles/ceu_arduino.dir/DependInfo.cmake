@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/arduino/binding.cpp" "src/CMakeFiles/ceu_arduino.dir/arduino/binding.cpp.o" "gcc" "src/CMakeFiles/ceu_arduino.dir/arduino/binding.cpp.o.d"
+  "/root/repo/src/arduino/board.cpp" "src/CMakeFiles/ceu_arduino.dir/arduino/board.cpp.o" "gcc" "src/CMakeFiles/ceu_arduino.dir/arduino/board.cpp.o.d"
+  "/root/repo/src/arduino/lcd.cpp" "src/CMakeFiles/ceu_arduino.dir/arduino/lcd.cpp.o" "gcc" "src/CMakeFiles/ceu_arduino.dir/arduino/lcd.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/ceu.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ceu_arduino.dir/arduino/binding.cpp.o"
+  "CMakeFiles/ceu_arduino.dir/arduino/binding.cpp.o.d"
+  "CMakeFiles/ceu_arduino.dir/arduino/board.cpp.o"
+  "CMakeFiles/ceu_arduino.dir/arduino/board.cpp.o.d"
+  "CMakeFiles/ceu_arduino.dir/arduino/lcd.cpp.o"
+  "CMakeFiles/ceu_arduino.dir/arduino/lcd.cpp.o.d"
+  "libceu_arduino.a"
+  "libceu_arduino.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ceu_arduino.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for ceu_arduino.
+# This may be replaced when dependencies are built.

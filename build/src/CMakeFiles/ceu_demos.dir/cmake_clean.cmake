@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ceu_demos.dir/demos/demos.cpp.o"
+  "CMakeFiles/ceu_demos.dir/demos/demos.cpp.o.d"
+  "libceu_demos.a"
+  "libceu_demos.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ceu_demos.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

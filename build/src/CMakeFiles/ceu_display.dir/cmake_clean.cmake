@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ceu_display.dir/display/binding.cpp.o"
+  "CMakeFiles/ceu_display.dir/display/binding.cpp.o.d"
+  "CMakeFiles/ceu_display.dir/display/display.cpp.o"
+  "CMakeFiles/ceu_display.dir/display/display.cpp.o.d"
+  "libceu_display.a"
+  "libceu_display.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ceu_display.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

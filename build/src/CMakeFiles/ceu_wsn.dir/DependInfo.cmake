@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/wsn/mantis_runtime.cpp" "src/CMakeFiles/ceu_wsn.dir/wsn/mantis_runtime.cpp.o" "gcc" "src/CMakeFiles/ceu_wsn.dir/wsn/mantis_runtime.cpp.o.d"
+  "/root/repo/src/wsn/mote.cpp" "src/CMakeFiles/ceu_wsn.dir/wsn/mote.cpp.o" "gcc" "src/CMakeFiles/ceu_wsn.dir/wsn/mote.cpp.o.d"
+  "/root/repo/src/wsn/nesc_runtime.cpp" "src/CMakeFiles/ceu_wsn.dir/wsn/nesc_runtime.cpp.o" "gcc" "src/CMakeFiles/ceu_wsn.dir/wsn/nesc_runtime.cpp.o.d"
+  "/root/repo/src/wsn/network.cpp" "src/CMakeFiles/ceu_wsn.dir/wsn/network.cpp.o" "gcc" "src/CMakeFiles/ceu_wsn.dir/wsn/network.cpp.o.d"
+  "/root/repo/src/wsn/radio.cpp" "src/CMakeFiles/ceu_wsn.dir/wsn/radio.cpp.o" "gcc" "src/CMakeFiles/ceu_wsn.dir/wsn/radio.cpp.o.d"
+  "/root/repo/src/wsn/tinyos_binding.cpp" "src/CMakeFiles/ceu_wsn.dir/wsn/tinyos_binding.cpp.o" "gcc" "src/CMakeFiles/ceu_wsn.dir/wsn/tinyos_binding.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/ceu.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ceu_wsn.dir/wsn/mantis_runtime.cpp.o"
+  "CMakeFiles/ceu_wsn.dir/wsn/mantis_runtime.cpp.o.d"
+  "CMakeFiles/ceu_wsn.dir/wsn/mote.cpp.o"
+  "CMakeFiles/ceu_wsn.dir/wsn/mote.cpp.o.d"
+  "CMakeFiles/ceu_wsn.dir/wsn/nesc_runtime.cpp.o"
+  "CMakeFiles/ceu_wsn.dir/wsn/nesc_runtime.cpp.o.d"
+  "CMakeFiles/ceu_wsn.dir/wsn/network.cpp.o"
+  "CMakeFiles/ceu_wsn.dir/wsn/network.cpp.o.d"
+  "CMakeFiles/ceu_wsn.dir/wsn/radio.cpp.o"
+  "CMakeFiles/ceu_wsn.dir/wsn/radio.cpp.o.d"
+  "CMakeFiles/ceu_wsn.dir/wsn/tinyos_binding.cpp.o"
+  "CMakeFiles/ceu_wsn.dir/wsn/tinyos_binding.cpp.o.d"
+  "libceu_wsn.a"
+  "libceu_wsn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ceu_wsn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ceuc.dir/tools/ceuc.cpp.o"
+  "CMakeFiles/ceuc.dir/tools/ceuc.cpp.o.d"
+  "ceuc"
+  "ceuc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ceuc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,42 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_arduino_display.cpp" "tests/CMakeFiles/ceu_tests.dir/test_arduino_display.cpp.o" "gcc" "tests/CMakeFiles/ceu_tests.dir/test_arduino_display.cpp.o.d"
+  "/root/repo/tests/test_ast.cpp" "tests/CMakeFiles/ceu_tests.dir/test_ast.cpp.o" "gcc" "tests/CMakeFiles/ceu_tests.dir/test_ast.cpp.o.d"
+  "/root/repo/tests/test_cgen.cpp" "tests/CMakeFiles/ceu_tests.dir/test_cgen.cpp.o" "gcc" "tests/CMakeFiles/ceu_tests.dir/test_cgen.cpp.o.d"
+  "/root/repo/tests/test_cli.cpp" "tests/CMakeFiles/ceu_tests.dir/test_cli.cpp.o" "gcc" "tests/CMakeFiles/ceu_tests.dir/test_cli.cpp.o.d"
+  "/root/repo/tests/test_demos.cpp" "tests/CMakeFiles/ceu_tests.dir/test_demos.cpp.o" "gcc" "tests/CMakeFiles/ceu_tests.dir/test_demos.cpp.o.d"
+  "/root/repo/tests/test_dfa.cpp" "tests/CMakeFiles/ceu_tests.dir/test_dfa.cpp.o" "gcc" "tests/CMakeFiles/ceu_tests.dir/test_dfa.cpp.o.d"
+  "/root/repo/tests/test_env.cpp" "tests/CMakeFiles/ceu_tests.dir/test_env.cpp.o" "gcc" "tests/CMakeFiles/ceu_tests.dir/test_env.cpp.o.d"
+  "/root/repo/tests/test_flatten.cpp" "tests/CMakeFiles/ceu_tests.dir/test_flatten.cpp.o" "gcc" "tests/CMakeFiles/ceu_tests.dir/test_flatten.cpp.o.d"
+  "/root/repo/tests/test_flowgraph.cpp" "tests/CMakeFiles/ceu_tests.dir/test_flowgraph.cpp.o" "gcc" "tests/CMakeFiles/ceu_tests.dir/test_flowgraph.cpp.o.d"
+  "/root/repo/tests/test_lexer.cpp" "tests/CMakeFiles/ceu_tests.dir/test_lexer.cpp.o" "gcc" "tests/CMakeFiles/ceu_tests.dir/test_lexer.cpp.o.d"
+  "/root/repo/tests/test_outputs.cpp" "tests/CMakeFiles/ceu_tests.dir/test_outputs.cpp.o" "gcc" "tests/CMakeFiles/ceu_tests.dir/test_outputs.cpp.o.d"
+  "/root/repo/tests/test_parser.cpp" "tests/CMakeFiles/ceu_tests.dir/test_parser.cpp.o" "gcc" "tests/CMakeFiles/ceu_tests.dir/test_parser.cpp.o.d"
+  "/root/repo/tests/test_properties.cpp" "tests/CMakeFiles/ceu_tests.dir/test_properties.cpp.o" "gcc" "tests/CMakeFiles/ceu_tests.dir/test_properties.cpp.o.d"
+  "/root/repo/tests/test_runtime_core.cpp" "tests/CMakeFiles/ceu_tests.dir/test_runtime_core.cpp.o" "gcc" "tests/CMakeFiles/ceu_tests.dir/test_runtime_core.cpp.o.d"
+  "/root/repo/tests/test_runtime_more.cpp" "tests/CMakeFiles/ceu_tests.dir/test_runtime_more.cpp.o" "gcc" "tests/CMakeFiles/ceu_tests.dir/test_runtime_more.cpp.o.d"
+  "/root/repo/tests/test_sema.cpp" "tests/CMakeFiles/ceu_tests.dir/test_sema.cpp.o" "gcc" "tests/CMakeFiles/ceu_tests.dir/test_sema.cpp.o.d"
+  "/root/repo/tests/test_simulation_suite.cpp" "tests/CMakeFiles/ceu_tests.dir/test_simulation_suite.cpp.o" "gcc" "tests/CMakeFiles/ceu_tests.dir/test_simulation_suite.cpp.o.d"
+  "/root/repo/tests/test_util.cpp" "tests/CMakeFiles/ceu_tests.dir/test_util.cpp.o" "gcc" "tests/CMakeFiles/ceu_tests.dir/test_util.cpp.o.d"
+  "/root/repo/tests/test_wsn.cpp" "tests/CMakeFiles/ceu_tests.dir/test_wsn.cpp.o" "gcc" "tests/CMakeFiles/ceu_tests.dir/test_wsn.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/ceu.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ceu_demos.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ceu_wsn.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ceu_arduino.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ceu_display.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
