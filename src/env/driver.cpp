@@ -150,6 +150,14 @@ void Driver::feed(const ScriptItem& item) {
         case ScriptItem::Kind::AsyncIdle:
             settle_asyncs();
             break;
+        case ScriptItem::Kind::Crash:
+            // Power-cycle: all program state is lost; the wall-clock
+            // persists (reset keeps `now`, so the reboot reaction and any
+            // timers it arms are stamped with the current instant).
+            engine_->reset();
+            engine_->trace("[crash] engine power-cycled");
+            engine_->go_init();
+            break;
     }
 }
 
@@ -168,11 +176,23 @@ void Driver::settle_asyncs(uint64_t max_slices) {
 rt::Engine::Status Driver::run(const Script& script) {
     boot();
     for (const ScriptItem& item : script.items()) {
-        if (engine_->status() != Engine::Status::Running) break;
+        if (engine_->status() != Engine::Status::Running &&
+            item.kind != ScriptItem::Kind::Crash) {
+            break;
+        }
         feed(item);
     }
     if (engine_->status() == Engine::Status::Running) settle_asyncs();
     return engine_->status();
+}
+
+rt::Engine::Status Driver::run(const Script& script, Diagnostics& diags) {
+    try {
+        return run(script);
+    } catch (const rt::RuntimeError& e) {
+        diags.error(e.loc(), e.message());
+        return engine_->status();
+    }
 }
 
 std::string Driver::trace_text() const {

@@ -31,7 +31,15 @@ class Driver {
                     const rt::CBindings* extra = nullptr);
 
     /// Boot + run the whole script + drain asyncs. Returns final status.
+    /// Dynamic errors (rt::RuntimeError) propagate to the caller.
     rt::Engine::Status run(const Script& script);
+
+    /// Like run(), but catches rt::RuntimeError and reports it as a
+    /// structured diagnostic (source location + bare message) instead of
+    /// letting it unwind — the CLI's error path. Returns the engine status
+    /// at the point of failure (Faulted when the engine traps faults,
+    /// otherwise whatever state the error interrupted).
+    rt::Engine::Status run(const Script& script, Diagnostics& diags);
 
     /// Step API for tests that interleave with engine inspection.
     void boot();

@@ -1,6 +1,91 @@
-// Script is header-only; this TU anchors the module for the build.
 #include "env/script.hpp"
 
+#include <sstream>
+
 namespace ceu::env {
-static_assert(sizeof(ScriptItem) > 0);
+
+namespace {
+
+/// Time argument: a raw microsecond count or a Céu time literal ("500ms").
+bool parse_time_arg(const std::string& t, Micros* out) {
+    if (t.empty()) return false;
+    if (parse_time_literal(t, out)) return true;
+    try {
+        size_t used = 0;
+        *out = std::stoll(t, &used);
+        return used == t.size();
+    } catch (...) {
+        return false;
+    }
+}
+
+}  // namespace
+
+bool Script::parse(const std::string& text, Script* out, Diagnostics& diags) {
+    Script script;
+    std::istringstream is(text);
+    std::string raw;
+    uint32_t lineno = 0;
+    bool ok = true;
+
+    while (std::getline(is, raw)) {
+        ++lineno;
+        SourceLoc loc{lineno, 1};
+        if (size_t hash = raw.find('#'); hash != std::string::npos) {
+            raw.resize(hash);
+        }
+        std::istringstream ls(raw);
+        std::vector<std::string> tok;
+        std::string t;
+        while (ls >> t) tok.push_back(t);
+        if (tok.empty()) continue;
+
+        const std::string& cmd = tok[0];
+        if (cmd == "E" || cmd == "event") {
+            if (tok.size() < 2 || tok.size() > 3) {
+                diags.error(loc, "script: usage: event NAME [value]");
+                ok = false;
+                continue;
+            }
+            int64_t v = 0;
+            if (tok.size() == 3) {
+                try {
+                    v = std::stoll(tok[2]);
+                } catch (...) {
+                    diags.error(loc, "script: bad event value '" + tok[2] + "'");
+                    ok = false;
+                    continue;
+                }
+            }
+            script.event(tok[1], v);
+        } else if (cmd == "T" || cmd == "advance") {
+            Micros us = 0;
+            if (tok.size() != 2 || !parse_time_arg(tok[1], &us)) {
+                diags.error(loc, "script: usage: advance TIME");
+                ok = false;
+                continue;
+            }
+            script.advance(us);
+        } else if (cmd == "A" || cmd == "settle") {
+            script.settle_asyncs();
+        } else if (cmd == "C" || cmd == "crash") {
+            script.crash();
+        } else if (cmd == "Q" || cmd == "quit") {
+            break;
+        } else if (cmd == "fault") {
+            // Strip the keyword; the rest of the line is one fault-plan
+            // command, validated later by fault::parse_plan (which knows
+            // the plan grammar and reports with its own line numbers).
+            size_t at = raw.find("fault");
+            script.fault_plan_text_ += raw.substr(at + 5);
+            script.fault_plan_text_ += '\n';
+        } else {
+            diags.error(loc, "script: unknown command '" + cmd + "'");
+            ok = false;
+        }
+    }
+    if (ok) *out = std::move(script);
+    return ok;
+}
+
 }  // namespace ceu::env

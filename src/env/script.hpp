@@ -3,12 +3,17 @@
 // time. The paper's reactive premise (§2.8) is that a program execution is
 // a function of its input sequence alone; scripts make that sequence a
 // first-class, replayable artifact for tests and benches.
+//
+// The fault layer extends the vocabulary: a script can power-cycle the
+// engine (`crash`) and carry a fault plan (`fault ...` lines, parsed by
+// fault::parse_plan) for harnesses that drive a simulated network.
 #pragma once
 
 #include <string>
 #include <vector>
 
 #include "runtime/value.hpp"
+#include "util/diag.hpp"
 #include "util/timeval.hpp"
 
 namespace ceu::env {
@@ -18,6 +23,7 @@ struct ScriptItem {
         Event,      // deliver an input event (optionally valued)
         Advance,    // advance wall-clock time by `us`
         AsyncIdle,  // let asynchronous blocks run until they go idle
+        Crash,      // power-cycle the engine: reset + go_init (time persists)
     };
     Kind kind = Kind::Event;
     std::string event;
@@ -44,11 +50,35 @@ class Script {
         items_.push_back({ScriptItem::Kind::AsyncIdle, "", rt::Value::integer(0), 0});
         return *this;
     }
+    Script& crash() {
+        items_.push_back({ScriptItem::Kind::Crash, "", rt::Value::integer(0), 0});
+        return *this;
+    }
 
     [[nodiscard]] const std::vector<ScriptItem>& items() const { return items_; }
 
+    /// Fault-plan lines accumulated from `fault ...` script commands, in
+    /// the DSL of fault::parse_plan. Empty when the script injects no
+    /// faults. Consumed by network-level harnesses; the single-engine
+    /// driver ignores it.
+    [[nodiscard]] const std::string& fault_plan_text() const { return fault_plan_text_; }
+
+    /// Parses the textual script protocol (ceuc --run; docs/LANGUAGE.md):
+    ///
+    ///   E <event> [v]      | event <name> [v]     deliver an input event
+    ///   T <micros|TIME>    | advance <time>       advance the clock
+    ///   A                  | settle               drain async blocks
+    ///   C                  | crash                power-cycle the engine
+    ///   Q                  | quit                 stop reading the script
+    ///   fault <plan-line>                         accumulate a fault plan
+    ///
+    /// One command per line; `#` starts a comment. Malformed lines are
+    /// reported through `diags` and make the parse return false.
+    static bool parse(const std::string& text, Script* out, Diagnostics& diags);
+
   private:
     std::vector<ScriptItem> items_;
+    std::string fault_plan_text_;
 };
 
 }  // namespace ceu::env

@@ -1,0 +1,394 @@
+#include "fault/plan.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace ceu::fault {
+
+namespace {
+const char* kind_name(Action::Kind k) {
+    switch (k) {
+        case Action::Kind::LinkDown: return "link-down";
+        case Action::Kind::LinkUp: return "link-up";
+        case Action::Kind::RadioDown: return "radio-down";
+        case Action::Kind::RadioUp: return "radio-up";
+        case Action::Kind::Crash: return "crash";
+        case Action::Kind::Reboot: return "reboot";
+    }
+    return "?";
+}
+}  // namespace
+
+std::string Action::str() const {
+    std::string s = kind_name(kind);
+    s += " " + std::to_string(a);
+    if (b >= 0) s += "->" + std::to_string(b);
+    s += " @ " + format_micros(at);
+    return s;
+}
+
+FaultPlan& FaultPlan::drop(double p) {
+    global_drop_ = p;
+    return *this;
+}
+
+FaultPlan& FaultPlan::drop(int from, int to, double p) {
+    link_noise_.push_back({from, to, p});
+    return *this;
+}
+
+FaultPlan& FaultPlan::corrupt(double p) {
+    corrupt_ = p;
+    return *this;
+}
+
+FaultPlan& FaultPlan::duplicate(double p) {
+    duplicate_ = p;
+    return *this;
+}
+
+FaultPlan& FaultPlan::jitter(Micros max_extra) {
+    jitter_ = max_extra;
+    return *this;
+}
+
+FaultPlan& FaultPlan::link_down(int from, int to, Micros at, Micros until) {
+    actions_.push_back({Action::Kind::LinkDown, at, from, to});
+    if (until >= 0) actions_.push_back({Action::Kind::LinkUp, until, from, to});
+    return *this;
+}
+
+FaultPlan& FaultPlan::bidi_link_down(int a, int b, Micros at, Micros until) {
+    link_down(a, b, at, until);
+    link_down(b, a, at, until);
+    return *this;
+}
+
+FaultPlan& FaultPlan::flap(int a, int b, Micros first, Micros down_for, Micros period,
+                           int count) {
+    for (int i = 0; i < count; ++i) {
+        Micros at = first + static_cast<Micros>(i) * period;
+        bidi_link_down(a, b, at, at + down_for);
+    }
+    return *this;
+}
+
+FaultPlan& FaultPlan::radio_down(int m, Micros at, Micros until) {
+    actions_.push_back({Action::Kind::RadioDown, at, m, -1});
+    if (until >= 0) actions_.push_back({Action::Kind::RadioUp, until, m, -1});
+    return *this;
+}
+
+FaultPlan& FaultPlan::partition(const std::vector<int>& side_a,
+                                const std::vector<int>& side_b, Micros at,
+                                Micros until) {
+    for (int a : side_a) {
+        for (int b : side_b) bidi_link_down(a, b, at, until);
+    }
+    return *this;
+}
+
+FaultPlan& FaultPlan::crash(int m, Micros at, Micros reboot_at) {
+    actions_.push_back({Action::Kind::Crash, at, m, -1});
+    if (reboot_at >= 0) actions_.push_back({Action::Kind::Reboot, reboot_at, m, -1});
+    return *this;
+}
+
+FaultPlan& FaultPlan::clock_drift(int m, double drift_ppm, Micros jitter) {
+    clocks_.push_back({m, drift_ppm, jitter});
+    return *this;
+}
+
+double FaultPlan::drop_for(int from, int to) const {
+    // Most specific match wins: exact pair, then one-sided wildcards, then
+    // the global probability.
+    double best = global_drop_;
+    int best_score = -1;
+    for (const LinkNoise& n : link_noise_) {
+        bool from_ok = n.from < 0 || n.from == from;
+        bool to_ok = n.to < 0 || n.to == to;
+        if (!from_ok || !to_ok) continue;
+        int score = (n.from >= 0 ? 1 : 0) + (n.to >= 0 ? 1 : 0);
+        if (score > best_score) {
+            best_score = score;
+            best = n.drop;
+        }
+    }
+    return best;
+}
+
+std::vector<Action> FaultPlan::schedule() const {
+    std::vector<Action> s = actions_;
+    std::stable_sort(s.begin(), s.end(),
+                     [](const Action& x, const Action& y) { return x.at < y.at; });
+    return s;
+}
+
+std::string FaultPlan::describe() const {
+    std::ostringstream os;
+    os << "fault plan (seed " << seed_ << ")\n";
+    if (global_drop_ > 0) os << "  drop " << global_drop_ << "\n";
+    for (const LinkNoise& n : link_noise_) {
+        os << "  drop " << n.from << "->" << n.to << " " << n.drop << "\n";
+    }
+    if (corrupt_ > 0) os << "  corrupt " << corrupt_ << "\n";
+    if (duplicate_ > 0) os << "  duplicate " << duplicate_ << "\n";
+    if (jitter_ > 0) os << "  jitter " << format_micros(jitter_) << "\n";
+    for (const ClockFault& c : clocks_) {
+        os << "  drift mote " << c.mote << " " << c.drift_ppm << "ppm jitter "
+           << format_micros(c.jitter) << "\n";
+    }
+    for (const Action& a : schedule()) os << "  " << a.str() << "\n";
+    return os.str();
+}
+
+// ---------------------------------------------------------------------------
+// The textual DSL
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// Tokenizer state for one plan line.
+struct Line {
+    std::vector<std::string> tok;
+    size_t pos = 0;
+    SourceLoc loc;
+
+    [[nodiscard]] bool done() const { return pos >= tok.size(); }
+    [[nodiscard]] const std::string& peek() const {
+        static const std::string empty;
+        return done() ? empty : tok[pos];
+    }
+    std::string take() { return done() ? std::string() : tok[pos++]; }
+    bool accept(const std::string& word) {
+        if (peek() == word) {
+            ++pos;
+            return true;
+        }
+        return false;
+    }
+};
+
+bool take_int(Line& ln, int* out) {
+    const std::string t = ln.take();
+    if (t.empty()) return false;
+    try {
+        size_t used = 0;
+        *out = std::stoi(t, &used);
+        return used == t.size();
+    } catch (...) {
+        return false;
+    }
+}
+
+bool take_u64(Line& ln, uint64_t* out) {
+    const std::string t = ln.take();
+    if (t.empty()) return false;
+    try {
+        size_t used = 0;
+        *out = std::stoull(t, &used);
+        return used == t.size();
+    } catch (...) {
+        return false;
+    }
+}
+
+bool take_prob(Line& ln, double* out) {
+    const std::string t = ln.take();
+    if (t.empty()) return false;
+    try {
+        size_t used = 0;
+        *out = std::stod(t, &used);
+        return used == t.size() && *out >= 0.0 && *out <= 1.0;
+    } catch (...) {
+        return false;
+    }
+}
+
+/// Accepts either a Céu time literal ("300ms", "1s500ms") or a raw
+/// microsecond count.
+bool take_time(Line& ln, Micros* out) {
+    const std::string t = ln.take();
+    if (t.empty()) return false;
+    if (parse_time_literal(t, out)) return true;
+    try {
+        size_t used = 0;
+        *out = std::stoll(t, &used);
+        return used == t.size();
+    } catch (...) {
+        return false;
+    }
+}
+
+/// `@ TIME [until TIME]`; `*until` stays -1 when absent.
+bool take_window(Line& ln, Micros* at, Micros* until) {
+    if (!ln.accept("@")) return false;
+    if (!take_time(ln, at)) return false;
+    *until = -1;
+    if (ln.accept("until")) return take_time(ln, until);
+    return true;
+}
+
+/// Mote ids until `|` or end-of-line.
+bool take_group(Line& ln, std::vector<int>* out) {
+    while (!ln.done() && ln.peek() != "|" && ln.peek() != "@") {
+        int m = 0;
+        if (!take_int(ln, &m)) return false;
+        out->push_back(m);
+    }
+    return !out->empty();
+}
+
+}  // namespace
+
+bool parse_plan(const std::string& text, FaultPlan* out, Diagnostics& diags) {
+    FaultPlan plan = *out;  // allow incremental extension of an existing plan
+    std::istringstream is(text);
+    std::string raw;
+    uint32_t lineno = 0;
+    bool ok = true;
+
+    auto fail = [&](SourceLoc loc, const std::string& msg) {
+        diags.error(loc, "fault plan: " + msg);
+        ok = false;
+    };
+
+    while (std::getline(is, raw)) {
+        ++lineno;
+        if (size_t hash = raw.find('#'); hash != std::string::npos) {
+            raw.resize(hash);
+        }
+        Line ln;
+        ln.loc = {lineno, 1};
+        std::istringstream ls(raw);
+        std::string t;
+        while (ls >> t) ln.tok.push_back(t);
+        if (ln.tok.empty()) continue;
+
+        std::string cmd = ln.take();
+        if (cmd == "seed") {
+            uint64_t s = 0;
+            if (!take_u64(ln, &s)) {
+                fail(ln.loc, "usage: seed N");
+                continue;
+            }
+            plan = FaultPlan(s);  // the seed opens a plan: earlier knobs reset
+        } else if (cmd == "drop") {
+            // Either `drop P` or `drop FROM TO P`.
+            if (ln.tok.size() == 2) {
+                double p = 0;
+                if (!take_prob(ln, &p)) {
+                    fail(ln.loc, "usage: drop P (0..1)");
+                    continue;
+                }
+                plan.drop(p);
+            } else {
+                int from = 0, to = 0;
+                double p = 0;
+                if (!take_int(ln, &from) || !take_int(ln, &to) || !take_prob(ln, &p)) {
+                    fail(ln.loc, "usage: drop FROM TO P");
+                    continue;
+                }
+                plan.drop(from, to, p);
+            }
+        } else if (cmd == "corrupt" || cmd == "duplicate") {
+            double p = 0;
+            if (!take_prob(ln, &p)) {
+                fail(ln.loc, "usage: " + cmd + " P (0..1)");
+                continue;
+            }
+            if (cmd == "corrupt") plan.corrupt(p);
+            else plan.duplicate(p);
+        } else if (cmd == "jitter") {
+            Micros us = 0;
+            if (!take_time(ln, &us)) {
+                fail(ln.loc, "usage: jitter TIME");
+                continue;
+            }
+            plan.jitter(us);
+        } else if (cmd == "link") {
+            int a = 0, b = 0;
+            Micros at = 0, until = -1;
+            if (!ln.accept("down") || !take_int(ln, &a) || !take_int(ln, &b) ||
+                !take_window(ln, &at, &until)) {
+                fail(ln.loc, "usage: link down A B @ TIME [until TIME]");
+                continue;
+            }
+            plan.bidi_link_down(a, b, at, until);
+        } else if (cmd == "radio") {
+            int m = 0;
+            Micros at = 0, until = -1;
+            if (!ln.accept("down") || !take_int(ln, &m) ||
+                !take_window(ln, &at, &until)) {
+                fail(ln.loc, "usage: radio down M @ TIME [until TIME]");
+                continue;
+            }
+            plan.radio_down(m, at, until);
+        } else if (cmd == "crash") {
+            int m = 0;
+            Micros at = 0, reboot = -1;
+            ln.accept("mote");
+            if (!take_int(ln, &m) || !ln.accept("@") || !take_time(ln, &at)) {
+                fail(ln.loc, "usage: crash mote M @ TIME [reboot @ TIME]");
+                continue;
+            }
+            if (ln.accept("reboot")) {
+                if (!ln.accept("@") || !take_time(ln, &reboot)) {
+                    fail(ln.loc, "crash: expected `reboot @ TIME`");
+                    continue;
+                }
+            }
+            plan.crash(m, at, reboot);
+        } else if (cmd == "drift") {
+            int m = 0;
+            double ppm = 0;
+            Micros jit = 0;
+            ln.accept("mote");
+            if (!take_int(ln, &m) || !ln.accept("ppm")) {
+                fail(ln.loc, "usage: drift mote M ppm N [jitter TIME]");
+                continue;
+            }
+            try {
+                ppm = std::stod(ln.take());
+            } catch (...) {
+                fail(ln.loc, "drift: bad ppm value");
+                continue;
+            }
+            if (ln.accept("jitter") && !take_time(ln, &jit)) {
+                fail(ln.loc, "drift: bad jitter time");
+                continue;
+            }
+            plan.clock_drift(m, ppm, jit);
+        } else if (cmd == "flap") {
+            int a = 0, b = 0, count = 0;
+            Micros first = 0, down_for = 0, period = 0;
+            if (!take_int(ln, &a) || !take_int(ln, &b) || !ln.accept("@") ||
+                !take_time(ln, &first) || !ln.accept("down") ||
+                !take_time(ln, &down_for) || !ln.accept("period") ||
+                !take_time(ln, &period) || !ln.accept("count") || !take_int(ln, &count)) {
+                fail(ln.loc,
+                     "usage: flap A B @ TIME down TIME period TIME count N");
+                continue;
+            }
+            plan.flap(a, b, first, down_for, period, count);
+        } else if (cmd == "partition") {
+            std::vector<int> side_a, side_b;
+            Micros at = 0, until = -1;
+            if (!take_group(ln, &side_a) || !ln.accept("|") || !take_group(ln, &side_b) ||
+                !take_window(ln, &at, &until)) {
+                fail(ln.loc, "usage: partition A... | B... @ TIME [until TIME]");
+                continue;
+            }
+            plan.partition(side_a, side_b, at, until);
+        } else {
+            fail(ln.loc, "unknown command '" + cmd + "'");
+        }
+        if (ok && !ln.done()) {
+            fail(ln.loc, "trailing tokens after '" + cmd + "' command");
+        }
+    }
+    if (ok) *out = plan;
+    return ok;
+}
+
+}  // namespace ceu::fault

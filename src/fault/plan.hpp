@@ -1,0 +1,142 @@
+// Declarative fault plans: a seed plus a schedule of environmental faults
+// to inject into a deterministic simulation. The paper's evaluation ran on
+// physical micaz motes with lossy radios, node resets and drifting clocks;
+// a FaultPlan reintroduces those conditions into the simulator *without*
+// giving up replayability — the plan (seed included) fully determines every
+// fault decision.
+//
+// A plan is pure data. The runtime side (PRNG streams, due-action cursor)
+// lives in fault::Session; the network substrate consumes both.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/diag.hpp"
+#include "util/timeval.hpp"
+
+namespace ceu::fault {
+
+/// One scheduled fault at an absolute virtual-clock instant. `a`/`b` are
+/// mote ids (for link actions: the directed endpoints).
+struct Action {
+    enum class Kind {
+        LinkDown,   // block the directed link a -> b
+        LinkUp,     // restore it
+        RadioDown,  // administratively kill mote a's radio (both directions)
+        RadioUp,
+        Crash,   // power-fail mote a (volatile state lost)
+        Reboot,  // power mote a back up (boot from clean state)
+    };
+    Kind kind = Kind::LinkDown;
+    Micros at = 0;
+    int a = -1;
+    int b = -1;
+
+    [[nodiscard]] std::string str() const;
+};
+
+/// Per-link probabilistic loss override; from/to == -1 matches any mote.
+struct LinkNoise {
+    int from = -1;
+    int to = -1;
+    double drop = 0.0;
+};
+
+/// Per-mote clock fault: a constant drift (parts per million of elapsed
+/// virtual time) plus a bounded per-reaction jitter drawn from the seed.
+struct ClockFault {
+    int mote = -1;
+    double drift_ppm = 0.0;
+    Micros jitter = 0;
+};
+
+class FaultPlan {
+  public:
+    explicit FaultPlan(uint64_t seed = 1) : seed_(seed) {}
+
+    // -- probabilistic knobs (checked on every transmission) -----------------
+
+    /// Global drop probability in [0,1] applied to every send.
+    FaultPlan& drop(double p);
+    /// Per-link override (takes precedence over the global probability).
+    FaultPlan& drop(int from, int to, double p);
+    /// Probability of flipping one random payload word of a delivered packet.
+    FaultPlan& corrupt(double p);
+    /// Probability of delivering a packet twice (second copy re-jittered).
+    FaultPlan& duplicate(double p);
+    /// Extra per-packet latency drawn uniformly from [0, max]; with enough
+    /// spread this reorders packets that share a link.
+    FaultPlan& jitter(Micros max_extra);
+
+    // -- scheduled faults -----------------------------------------------------
+
+    /// Block the directed link from->to during [at, until). until < 0 means
+    /// forever.
+    FaultPlan& link_down(int from, int to, Micros at, Micros until = -1);
+    /// Both directions.
+    FaultPlan& bidi_link_down(int a, int b, Micros at, Micros until = -1);
+    /// Link flapping: starting at `first`, take the (bidirectional) link
+    /// down for `down_for` once every `period`, `count` times.
+    FaultPlan& flap(int a, int b, Micros first, Micros down_for, Micros period,
+                    int count);
+    /// Kill mote `m`'s radio during [at, until).
+    FaultPlan& radio_down(int m, Micros at, Micros until = -1);
+    /// Partition the motes in `side_a` from those in `side_b` (all pairwise
+    /// links blocked, both directions) during [at, until).
+    FaultPlan& partition(const std::vector<int>& side_a, const std::vector<int>& side_b,
+                         Micros at, Micros until = -1);
+    /// Power-fail mote `m` at `at`; power it back up at `reboot_at`
+    /// (reboot_at < 0: never).
+    FaultPlan& crash(int m, Micros at, Micros reboot_at = -1);
+    /// Give mote `m` a drifting/jittery local clock.
+    FaultPlan& clock_drift(int m, double drift_ppm, Micros jitter = 0);
+
+    // -- accessors ------------------------------------------------------------
+
+    [[nodiscard]] uint64_t seed() const { return seed_; }
+    [[nodiscard]] double drop_for(int from, int to) const;
+    [[nodiscard]] double corrupt_prob() const { return corrupt_; }
+    [[nodiscard]] double duplicate_prob() const { return duplicate_; }
+    [[nodiscard]] Micros jitter_max() const { return jitter_; }
+    /// Schedule sorted by time (stable: insertion order breaks ties).
+    [[nodiscard]] std::vector<Action> schedule() const;
+    [[nodiscard]] const std::vector<ClockFault>& clocks() const { return clocks_; }
+
+    /// Canonical human-readable rendering of the whole plan — what the soak
+    /// harness prints so that "different seeds produce different fault
+    /// schedules" is directly observable.
+    [[nodiscard]] std::string describe() const;
+
+  private:
+    uint64_t seed_;
+    double global_drop_ = 0.0;
+    std::vector<LinkNoise> link_noise_;
+    double corrupt_ = 0.0;
+    double duplicate_ = 0.0;
+    Micros jitter_ = 0;
+    std::vector<Action> actions_;
+    std::vector<ClockFault> clocks_;
+};
+
+/// Parses the textual fault-plan DSL (one command per line, `#` comments).
+/// This is the language behind the driver scripts' `fault ...` lines and
+/// the soak harness's reproduce-a-seed workflow:
+///
+///   seed 42
+///   drop 0.15            | drop 1 2 0.5
+///   corrupt 0.05
+///   duplicate 0.02
+///   jitter 3ms
+///   link down 0 1 @ 200ms until 900ms
+///   radio down 2 @ 1s until 2s
+///   crash mote 2 @ 300ms reboot @ 900ms
+///   drift mote 1 ppm 250 jitter 2ms
+///   flap 0 1 @ 1s down 100ms period 400ms count 5
+///   partition 0 1 | 2 3 @ 1s until 2s
+///
+/// Reports malformed lines through `diags` and returns false.
+bool parse_plan(const std::string& text, FaultPlan* out, Diagnostics& diags);
+
+}  // namespace ceu::fault

@@ -1,0 +1,42 @@
+// Seed-pure PRNG for the fault-injection layer. Every fault decision —
+// drop, corrupt, duplicate, jitter — must come from one of these streams so
+// that two runs with the same seed replay byte-identically, and a failing
+// soak seed can be handed around as a bug report.
+#pragma once
+
+#include <cstdint>
+
+namespace ceu::fault {
+
+/// splitmix64 (Steele/Lea/Flood): tiny state, full-period, and — unlike
+/// std::mt19937 — identical across standard libraries, which the
+/// determinism guarantee depends on.
+class Prng {
+  public:
+    explicit Prng(uint64_t seed) : state_(seed) {}
+
+    uint64_t next() {
+        uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+        z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+        z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+        return z ^ (z >> 31);
+    }
+
+    /// Uniform double in [0, 1).
+    double uniform() { return static_cast<double>(next() >> 11) * 0x1.0p-53; }
+
+    /// Uniform integer in [0, n); returns 0 for n == 0.
+    uint64_t below(uint64_t n) { return n == 0 ? 0 : next() % n; }
+
+    /// Derives an independent stream. Each fault concern (loss, corruption,
+    /// duplication, jitter) draws from its own fork so that enabling one
+    /// knob does not shift the decisions of the others.
+    [[nodiscard]] Prng fork(uint64_t stream) const {
+        return Prng(state_ ^ (0xbf58476d1ce4e5b9ULL * (stream + 1)));
+    }
+
+  private:
+    uint64_t state_;
+};
+
+}  // namespace ceu::fault

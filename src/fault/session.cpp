@@ -1,0 +1,63 @@
+#include "fault/session.hpp"
+
+namespace ceu::fault {
+
+Session::Session(FaultPlan plan)
+    : plan_(std::move(plan)),
+      drop_rng_(Prng(plan_.seed()).fork(1)),
+      corrupt_rng_(Prng(plan_.seed()).fork(2)),
+      dup_rng_(Prng(plan_.seed()).fork(3)),
+      jitter_rng_(Prng(plan_.seed()).fork(4)),
+      schedule_(plan_.schedule()) {}
+
+bool Session::roll_drop(int from, int to) {
+    double p = plan_.drop_for(from, to);
+    // Always draw: the stream must advance identically whether or not this
+    // particular link is noisy, or per-link overrides would reshuffle every
+    // later decision.
+    bool hit = drop_rng_.uniform() < p;
+    if (hit) ++injected_drops;
+    return hit;
+}
+
+bool Session::roll_corrupt() {
+    bool hit = corrupt_rng_.uniform() < plan_.corrupt_prob();
+    if (hit) ++injected_corruptions;
+    return hit;
+}
+
+bool Session::roll_duplicate() {
+    bool hit = dup_rng_.uniform() < plan_.duplicate_prob();
+    if (hit) ++injected_duplicates;
+    return hit;
+}
+
+Micros Session::roll_jitter() {
+    Micros max = plan_.jitter_max();
+    if (max <= 0) return 0;
+    return static_cast<Micros>(jitter_rng_.below(static_cast<uint64_t>(max) + 1));
+}
+
+uint64_t Session::corrupt_word(uint64_t payload_words) {
+    return corrupt_rng_.below(payload_words);
+}
+
+int64_t Session::corrupt_mask() {
+    uint64_t m = corrupt_rng_.next();
+    if (m == 0) m = 1;  // flipping nothing would make corruption a no-op
+    return static_cast<int64_t>(m);
+}
+
+Micros Session::next_action_at() const {
+    return next_ < schedule_.size() ? schedule_[next_].at : -1;
+}
+
+std::vector<Action> Session::pop_due(Micros now) {
+    std::vector<Action> due;
+    while (next_ < schedule_.size() && schedule_[next_].at <= now) {
+        due.push_back(schedule_[next_++]);
+    }
+    return due;
+}
+
+}  // namespace ceu::fault

@@ -1,0 +1,53 @@
+// Runtime side of a FaultPlan: the PRNG streams and the due-action cursor.
+// A Session is consumed by the network substrate — one transmission makes a
+// fixed sequence of draws (drop, corrupt, duplicate, jitter) from four
+// independent streams, so enabling one fault class never perturbs the
+// decisions of another, and the whole run replays from the plan's seed.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "fault/plan.hpp"
+#include "fault/prng.hpp"
+
+namespace ceu::fault {
+
+class Session {
+  public:
+    explicit Session(FaultPlan plan);
+
+    [[nodiscard]] const FaultPlan& plan() const { return plan_; }
+
+    // -- per-transmission draws (call order per send is fixed) ---------------
+
+    bool roll_drop(int from, int to);
+    bool roll_corrupt();
+    bool roll_duplicate();
+    /// Extra latency in [0, jitter_max]; 0 when jitter is off.
+    Micros roll_jitter();
+    /// Which payload word to damage and the (nonzero) bits to flip.
+    uint64_t corrupt_word(uint64_t payload_words);
+    int64_t corrupt_mask();
+
+    // -- the scheduled-fault cursor ------------------------------------------
+
+    /// Instant of the next unapplied scheduled action; -1 when exhausted.
+    [[nodiscard]] Micros next_action_at() const;
+    /// Removes and returns every action due at or before `now`.
+    std::vector<Action> pop_due(Micros now);
+
+    // -- injection accounting (what the soak harness reports) ----------------
+
+    uint64_t injected_drops = 0;
+    uint64_t injected_corruptions = 0;
+    uint64_t injected_duplicates = 0;
+
+  private:
+    FaultPlan plan_;
+    Prng drop_rng_, corrupt_rng_, dup_rng_, jitter_rng_;
+    std::vector<Action> schedule_;
+    size_t next_ = 0;
+};
+
+}  // namespace ceu::fault

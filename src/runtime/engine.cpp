@@ -49,6 +49,19 @@ void Engine::wake_gate(int gate, Value v) {
 }
 
 void Engine::run_reaction() {
+    if (!opt_.trap_faults) {
+        run_reaction_impl();
+    } else {
+        try {
+            run_reaction_impl();
+        } catch (const RuntimeError& e) {
+            enter_fault(e);
+        }
+    }
+    if (opt_.check_invariants) check_invariants();
+}
+
+void Engine::run_reaction_impl() {
     // Drain tracks; when the queue is empty, resume the most recent
     // suspended emitter (stack policy for internal events, §2.2).
     in_reaction_ = true;
@@ -69,6 +82,79 @@ void Engine::run_reaction() {
     max_reaction_ = std::max(max_reaction_, reaction_instr_);
     ++reactions_;
     check_termination();
+}
+
+void Engine::enter_fault(const RuntimeError& e) {
+    // The reaction is abandoned: queued tracks and suspended emitters
+    // belong to the instant that just failed, so they are dropped (gates
+    // and timers stay — reset() is the path back to a clean program).
+    in_reaction_ = false;
+    max_reaction_ = std::max(max_reaction_, reaction_instr_);
+    ++reactions_;
+    queue_.clear();
+    stack_.clear();
+    status_ = Status::Faulted;
+    fault_ = FaultInfo{e.message(), e.loc(), reactions_};
+    if (on_fault) on_fault(*fault_);
+}
+
+void Engine::reset() {
+    check_not_reentrant("reset");
+    // §4.3 generalized to the whole program: deactivate every gate, disarm
+    // every timer, drop queued tracks, suspended emitters and asyncs, and
+    // zero the data slots — a reboot must find no residue of the old run.
+    std::fill(gate_active_.begin(), gate_active_.end(), uint8_t{0});
+    timers_.clear();
+    queue_.clear();
+    stack_.clear();
+    asyncs_.clear();
+    async_rr_ = 0;
+    data_.assign(data_.size(), Value::integer(0));
+    result_ = Value::integer(0);
+    fault_.reset();
+    logical_now_ = now_;  // wall-clock persists: reboots don't rewind time
+    status_ = Status::Loaded;
+}
+
+std::vector<std::string> Engine::verify_invariants() const {
+    std::vector<std::string> v;
+    if (!in_reaction_) {
+        if (!queue_.empty()) {
+            v.push_back("stuck tracks: " + std::to_string(queue_.size()) +
+                        " queued outside a reaction");
+        }
+        for (const EmitFrame& f : stack_) {
+            if (!f.dead) {
+                v.push_back("suspended emitter (pc " + std::to_string(f.resume) +
+                            ") survived the reaction");
+            }
+        }
+    }
+    for (TimerWheel::GateId g : timers_.armed_gates()) {
+        if (g < 0 || static_cast<size_t>(g) >= gate_active_.size()) {
+            v.push_back("timer armed on out-of-range gate " + std::to_string(g));
+        } else if (!gate_active_[static_cast<size_t>(g)]) {
+            v.push_back("timer armed on inactive gate " + std::to_string(g));
+        }
+    }
+    if (status_ == Status::Running && active_gate_count() == 0 && alive_asyncs() == 0) {
+        v.push_back("running with no awaiting trails (termination missed)");
+    }
+    if (status_ == Status::Loaded &&
+        (active_gate_count() != 0 || !timers_.empty() || !queue_.empty())) {
+        v.push_back("loaded engine carries residual state");
+    }
+    return v;
+}
+
+void Engine::check_invariants() const {
+    std::vector<std::string> v = verify_invariants();
+    if (v.empty()) return;
+    std::string all = "engine invariant violated";
+    for (const std::string& s : v) all += "; " + s;
+    // An invariant breach is an engine bug, not a program error: it must
+    // not be trappable as an environmental fault.
+    throw std::logic_error(all);
 }
 
 void Engine::check_termination() {
@@ -187,7 +273,18 @@ bool Engine::go_async() {
         size_t i = (async_rr_ + k) % n;
         if (asyncs_[i].alive) {
             async_rr_ = i + 1;
-            exec_async(asyncs_[i]);
+            if (!opt_.trap_faults) {
+                exec_async(asyncs_[i]);
+            } else {
+                // Faults raised by the async's own expressions are trapped
+                // here; faults inside a nested go_event/go_time reaction
+                // are already trapped by run_reaction and never rethrow.
+                try {
+                    exec_async(asyncs_[i]);
+                } catch (const RuntimeError& e) {
+                    enter_fault(e);
+                }
+            }
             return alive_asyncs() > 0 && status_ == Status::Running;
         }
     }

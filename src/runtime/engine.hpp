@@ -33,10 +33,22 @@ namespace ceu::rt {
 
 /// Raised on dynamic errors (unbound C symbol, bad dereference). The
 /// temporal analysis cannot rule these out — they live behind the "C hat".
+/// Carries the location and bare message separately so error paths
+/// (env::Driver, the engine's fault trap) can report structured
+/// diagnostics instead of a pre-formatted string.
 class RuntimeError : public std::runtime_error {
   public:
     RuntimeError(SourceLoc loc, const std::string& msg)
-        : std::runtime_error(loc.valid() ? loc.str() + ": " + msg : msg) {}
+        : std::runtime_error(loc.valid() ? loc.str() + ": " + msg : msg),
+          loc_(loc),
+          msg_(msg) {}
+
+    [[nodiscard]] SourceLoc loc() const { return loc_; }
+    [[nodiscard]] const std::string& message() const { return msg_; }
+
+  private:
+    SourceLoc loc_;
+    std::string msg_;
 };
 
 /// Scheduling knobs. The defaults implement the paper's semantics; the
@@ -60,12 +72,39 @@ struct EngineOptions {
     /// Safety net for unbounded reactions (only reachable via the Queue
     /// ablation or buggy C bindings): instruction budget per reaction.
     uint64_t reaction_budget = 50'000'000;
+
+    /// Fault policy for dynamic errors (unbound C symbols, bad derefs,
+    /// budget exhaustion). `false` preserves the historical behavior:
+    /// RuntimeError propagates out of the go_* entry point. `true` makes
+    /// environmental faults *recoverable*: the engine traps the error,
+    /// abandons the reaction, moves to Status::Faulted, invokes `on_fault`,
+    /// and can be returned to a bootable state with `reset()`.
+    bool trap_faults = false;
+
+    /// Runs the engine invariant checker after every reaction (stuck
+    /// tracks, gate/timer consistency). Costs O(gates + timers) per
+    /// reaction, so it defaults on only in debug builds; soak tests enable
+    /// it explicitly.
+    bool check_invariants =
+#ifndef NDEBUG
+        true;
+#else
+        false;
+#endif
 };
 
 class Engine {
   public:
-    enum class Status { Loaded, Running, Terminated };
+    enum class Status { Loaded, Running, Faulted, Terminated };
     using Options = EngineOptions;
+
+    /// What went wrong when a trapped fault moved the engine to
+    /// Status::Faulted.
+    struct FaultInfo {
+        std::string message;
+        SourceLoc loc;
+        uint64_t at_reaction = 0;  // value of reactions() when it tripped
+    };
 
     /// `cp` and `bindings` must outlive the engine.
     Engine(const flat::CompiledProgram& cp, CBindings& bindings,
@@ -82,9 +121,20 @@ class Engine {
     /// asynchronous work remains afterwards.
     bool go_async();
 
+    /// Power-cycle: discards every piece of dynamic state — tracks, emit
+    /// stack, timers, asyncs, gate flags, data slots — by the same
+    /// clear-everything discipline §4.3 uses for trail destruction, and
+    /// returns the engine to Status::Loaded so `go_init()` can boot it
+    /// again. Wall-clock time (`now()`) persists: reboots don't travel
+    /// back in time. Cumulative counters (reactions, instructions) persist
+    /// too. Callable from Running, Faulted or Terminated.
+    void reset();
+
     [[nodiscard]] bool has_async_work() const { return alive_asyncs() > 0; }
     [[nodiscard]] Status status() const { return status_; }
     [[nodiscard]] Value result() const { return result_; }
+    /// Set while status() == Faulted; cleared by reset().
+    [[nodiscard]] const std::optional<FaultInfo>& fault() const { return fault_; }
     [[nodiscard]] Micros now() const { return now_; }
     /// The timestamp attributed to the current reaction chain (§2.3): the
     /// expired deadline for timer reactions, the arrival instant for
@@ -115,12 +165,25 @@ class Engine {
     /// Table 1 reproduction.
     [[nodiscard]] size_t ram_model_bytes() const;
 
+    /// Engine self-checks, run after every reaction when
+    /// options.check_invariants is on: no stuck tracks or live suspended
+    /// emitters outside a reaction, every armed timer points at an active
+    /// in-range gate, and a Running engine has something left to wake.
+    /// Returns the list of violations (empty = healthy).
+    [[nodiscard]] std::vector<std::string> verify_invariants() const;
+
     /// Trace hook: receives one line per `_trace`-style binding call; the
     /// env module wires `_printf` and friends into it.
     std::function<void(const std::string&)> on_trace;
     void trace(const std::string& line) {
         if (on_trace) on_trace(line);
     }
+
+    /// Fault hook: invoked (if set) when a trapped fault moves the engine
+    /// to Status::Faulted. The engine is safe to `reset()` from inside the
+    /// hook's caller, but not from the hook itself (the reaction frame is
+    /// still unwinding).
+    std::function<void(const FaultInfo&)> on_fault;
 
   private:
     struct Track {
@@ -160,6 +223,7 @@ class Engine {
     bool in_reaction_ = false;
 
     Status status_ = Status::Loaded;
+    std::optional<FaultInfo> fault_;
     Value result_ = Value::integer(0);
     std::vector<Value> data_;
     std::vector<uint8_t> gate_active_;
@@ -183,6 +247,9 @@ class Engine {
     bool queue_empty() const { return queue_.empty(); }
     Track pop_track();
     void run_reaction();
+    void run_reaction_impl();
+    void enter_fault(const RuntimeError& e);
+    void check_invariants() const;
     void wake_gate(int gate, Value v);
     void exec(Track t);
     void exec_async(AsyncCtx& ctx);

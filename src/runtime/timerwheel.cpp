@@ -17,6 +17,13 @@ Micros TimerWheel::next_deadline() const {
     return best;
 }
 
+std::vector<TimerWheel::GateId> TimerWheel::armed_gates() const {
+    std::vector<GateId> gates;
+    gates.reserve(entries_.size());
+    for (const Entry& e : entries_) gates.push_back(e.gate);
+    return gates;
+}
+
 std::vector<TimerWheel::GateId> TimerWheel::pop_expired(Micros now, Micros* fired_deadline) {
     if (entries_.empty()) return {};
     Micros min = next_deadline();

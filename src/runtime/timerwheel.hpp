@@ -34,6 +34,10 @@ class TimerWheel {
     /// their gates in arming order. Otherwise returns empty.
     std::vector<GateId> pop_expired(Micros now, Micros* fired_deadline);
 
+    /// Gates of every armed entry, in arming order — the engine's
+    /// invariant checker cross-checks them against the gate flags.
+    [[nodiscard]] std::vector<GateId> armed_gates() const;
+
     void clear() { entries_.clear(); }
 
   private:

@@ -9,10 +9,14 @@
 //   ceuc --flow-dot file.ceu      print the flow graph (Graphviz)
 //   ceuc --no-analysis ...        skip the temporal analysis
 //
-// Input script protocol (one item per line, matching the C harness):
+// Input script protocol (one item per line, matching the C harness; see
+// env::Script::parse for the full grammar):
 //   E <event> [value]   deliver an input event
-//   T <micros>          advance wall-clock time
+//   T <micros|TIME>     advance wall-clock time ("T 500ms" also works)
 //   A                   run async blocks until idle
+//   C                   crash: power-cycle the engine (time persists)
+//   Q                   stop reading the script
+//   fault <plan-line>   accumulate a fault plan (network harnesses only)
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -24,6 +28,7 @@
 #include "demos/demos.hpp"
 #include "dfa/dfa.hpp"
 #include "env/driver.hpp"
+#include "fault/plan.hpp"
 #include "flow/flowgraph.hpp"
 
 namespace {
@@ -51,34 +56,46 @@ std::string read_file(const std::string& path) {
 }
 
 int run_program(const flat::CompiledProgram& cp) {
+    std::ostringstream script_text;
+    script_text << std::cin.rdbuf();
+
+    Diagnostics diags;
+    env::Script script;
+    if (!env::Script::parse(script_text.str(), &script, diags)) {
+        std::fprintf(stderr, "%s", diags.str().c_str());
+        return 2;
+    }
+    if (!script.fault_plan_text().empty()) {
+        // No simulated network here, but a typo'd plan should not pass
+        // silently: validate it and say it goes unused.
+        fault::FaultPlan plan;
+        if (!fault::parse_plan(script.fault_plan_text(), &plan, diags)) {
+            std::fprintf(stderr, "%s", diags.str().c_str());
+            return 2;
+        }
+        std::fprintf(stderr,
+                     "note: fault plan parsed but unused (ceuc --run drives a "
+                     "single engine, not a network)\n");
+    }
+
     env::Driver driver(cp);
     driver.engine().on_trace = [](const std::string& line) {
         std::printf("%s\n", line.c_str());
     };
-    driver.boot();
-    std::string op;
-    while (std::cin >> op) {
-        if (driver.engine().status() != rt::Engine::Status::Running) break;
-        if (op == "E") {
-            std::string name;
-            std::cin >> name;
-            int64_t v = 0;
-            if (std::cin.peek() != '\n') std::cin >> v;
-            driver.feed({env::ScriptItem::Kind::Event, name, rt::Value::integer(v), 0});
-        } else if (op == "T") {
-            int64_t us = 0;
-            std::cin >> us;
-            driver.feed({env::ScriptItem::Kind::Advance, "", rt::Value::integer(0), us});
-        } else if (op == "A") {
-            driver.settle_asyncs();
-        } else if (op == "Q") {
-            break;
-        }
+    // Dynamic errors come back as structured diagnostics with a source
+    // location instead of an unwound exception string.
+    rt::Engine::Status status = driver.run(script, diags);
+    if (!diags.ok()) {
+        std::fprintf(stderr, "%s", diags.str().c_str());
+        return 1;
     }
-    if (driver.engine().status() == rt::Engine::Status::Running) {
-        driver.settle_asyncs();
+    if (status == rt::Engine::Status::Faulted) {
+        const auto& f = driver.engine().fault();
+        std::fprintf(stderr, "engine faulted: %s\n",
+                     f ? f->message.c_str() : "(unknown)");
+        return 1;
     }
-    if (driver.engine().status() == rt::Engine::Status::Terminated) {
+    if (status == rt::Engine::Status::Terminated) {
         std::fprintf(stderr, "program terminated with %lld\n",
                      static_cast<long long>(driver.engine().result().as_int()));
         return static_cast<int>(driver.engine().result().as_int());

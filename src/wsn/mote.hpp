@@ -34,10 +34,42 @@ class Mote {
     /// Called when the network clock reaches next_wakeup().
     virtual void wakeup(Network& net) { (void)net; }
 
+    // -- fault hooks (driven by the network's fault layer) -------------------
+
+    /// Power failure: the mote goes silent — no deliveries, no wakeups —
+    /// until reboot(). Subclasses that host a runtime tear it down here
+    /// (volatile state is lost); the base implementation only freezes.
+    virtual void crash(Network& net) {
+        (void)net;
+        crashed_ = true;
+    }
+
+    /// Power restored: boot again from a clean state at the current
+    /// network time.
+    virtual void reboot(Network& net) {
+        (void)net;
+        crashed_ = false;
+    }
+
+    [[nodiscard]] bool crashed() const { return crashed_; }
+
+    /// Clock fault: give this mote a drifting (ppm of elapsed virtual
+    /// time), jittery (bounded, seed-drawn) local clock. The base
+    /// implementation ignores it; runtimes that timestamp reactions
+    /// override.
+    virtual void set_clock_model(double drift_ppm, Micros jitter, uint64_t seed) {
+        (void)drift_ppm;
+        (void)jitter;
+        (void)seed;
+    }
+
     // Simple observability shared by all runtimes.
     uint64_t rx_count = 0;      // messages the application actually handled
     uint64_t rx_dropped = 0;    // arrivals lost (busy/buffer-full)
     uint64_t tx_count = 0;
+
+  protected:
+    bool crashed_ = false;
 
   private:
     int id_;

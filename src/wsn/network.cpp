@@ -12,36 +12,118 @@ Mote& Network::add(std::unique_ptr<Mote> mote) {
     return *motes_.back();
 }
 
+void Network::inject(fault::FaultPlan plan) {
+    fault_ = std::make_unique<fault::Session>(std::move(plan));
+}
+
 bool Network::send(int src, int dst, const Packet& p) {
     ++packets_sent;
     motes_[static_cast<size_t>(src)]->tx_count++;
-    if (radio_.is_down(src) || radio_.is_down(dst) || !radio_.connected(src, dst) ||
+    if (dst < 0 || static_cast<size_t>(dst) >= motes_.size() ||
+        !radio_.connected(src, dst)) {
+        // No link at all: a routing/topology failure, not radio loss.
+        ++packets_unroutable;
+        return false;
+    }
+    if (radio_.is_down(src) || radio_.is_down(dst) || radio_.link_blocked(src, dst) ||
         radio_.should_drop()) {
+        ++packets_dropped;
+        return false;
+    }
+    if (fault_ && fault_->roll_drop(src, dst)) {
         ++packets_dropped;
         return false;
     }
     Packet sent = p;
     sent.src = src;
     sent.dst = dst;
-    in_flight_.push({now_ + radio_.latency(src, dst), seq_++, sent});
+    if (fault_ && fault_->roll_corrupt()) {
+        size_t w = static_cast<size_t>(fault_->corrupt_word(Packet::kPayloadWords));
+        sent.payload[w] ^= fault_->corrupt_mask();
+        ++packets_corrupted;
+    }
+    Micros latency = radio_.latency(src, dst);
+    Micros jitter = fault_ ? fault_->roll_jitter() : 0;
+    in_flight_.push({now_ + latency + jitter, seq_++, sent});
+    if (fault_ && fault_->roll_duplicate()) {
+        // The copy draws its own jitter, so duplicates may also reorder.
+        in_flight_.push({now_ + latency + fault_->roll_jitter(), seq_++, sent});
+        ++packets_duplicated;
+    }
     return true;
 }
 
 void Network::start() {
     started_ = true;
+    if (fault_) {
+        for (const fault::ClockFault& c : fault_->plan().clocks()) {
+            if (c.mote >= 0 && static_cast<size_t>(c.mote) < motes_.size()) {
+                motes_[static_cast<size_t>(c.mote)]->set_clock_model(
+                    c.drift_ppm, c.jitter,
+                    fault_->plan().seed() ^ static_cast<uint64_t>(c.mote));
+            }
+        }
+    }
     for (auto& m : motes_) m->boot(*this);
 }
 
+void Network::apply_fault(const fault::Action& a) {
+    using Kind = fault::Action::Kind;
+    auto valid = [&](int m) {
+        return m >= 0 && static_cast<size_t>(m) < motes_.size();
+    };
+    switch (a.kind) {
+        case Kind::LinkDown:
+            radio_.set_link_down(a.a, a.b, true);
+            break;
+        case Kind::LinkUp:
+            radio_.set_link_down(a.a, a.b, false);
+            break;
+        case Kind::RadioDown:
+            radio_.set_down(a.a, true);
+            break;
+        case Kind::RadioUp:
+            radio_.set_down(a.a, false);
+            break;
+        case Kind::Crash:
+            if (valid(a.a) && !motes_[static_cast<size_t>(a.a)]->crashed()) {
+                motes_[static_cast<size_t>(a.a)]->crash(*this);
+                ++motes_crashed;
+            }
+            break;
+        case Kind::Reboot:
+            if (valid(a.a) && motes_[static_cast<size_t>(a.a)]->crashed()) {
+                motes_[static_cast<size_t>(a.a)]->reboot(*this);
+                ++motes_rebooted;
+            }
+            break;
+    }
+}
+
 bool Network::step(Micros limit) {
-    // Next event: earliest in-flight delivery or mote wakeup.
+    // Next event: scheduled fault, in-flight delivery, or mote wakeup.
+    // Ties resolve fault > delivery > wakeup (fixed order = determinism).
     Micros next = -1;
     int wake_mote = -1;
-    if (!in_flight_.empty()) next = in_flight_.top().at;
+    bool fault_due = false;
+    if (fault_) {
+        Micros f = fault_->next_action_at();
+        if (f >= 0) {
+            next = f;
+            fault_due = true;
+        }
+    }
+    if (!in_flight_.empty() && (next < 0 || in_flight_.top().at < next)) {
+        next = in_flight_.top().at;
+        fault_due = false;
+    }
     for (auto& m : motes_) {
+        if (m->crashed()) continue;  // a crashed mote is silent until reboot
         Micros w = m->next_wakeup();
         if (w >= 0 && (next < 0 || w < next)) {
             next = w;
             wake_mote = m->id();
+            fault_due = false;
         }
     }
     if (next < 0 || next > limit) {
@@ -49,12 +131,20 @@ bool Network::step(Micros limit) {
         return false;
     }
     now_ = std::max(now_, next);
+    if (fault_due) {
+        for (const fault::Action& a : fault_->pop_due(now_)) apply_fault(a);
+        return true;
+    }
     if (wake_mote >= 0) {
         motes_[static_cast<size_t>(wake_mote)]->wakeup(*this);
         return true;
     }
     InFlight f = in_flight_.top();
     in_flight_.pop();
+    if (motes_[static_cast<size_t>(f.packet.dst)]->crashed()) {
+        ++packets_dropped;  // nobody is listening
+        return true;
+    }
     ++packets_delivered;
     motes_[static_cast<size_t>(f.packet.dst)]->deliver(*this, f.packet);
     return true;

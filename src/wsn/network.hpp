@@ -1,12 +1,19 @@
 // Discrete-event network simulator: advances a virtual clock over packet
 // deliveries and mote wakeups. Replaces the paper's physical micaz testbed;
 // deterministic by construction so every experiment replays exactly.
+//
+// The fault layer (src/fault/) plugs in here: an attached fault::Session
+// injects seeded loss/corruption/duplication/jitter into `send`, and its
+// scheduled actions (link flaps, partitions, crashes, reboots) become
+// events of the discrete-event loop — still fully deterministic, because
+// every decision derives from the plan's seed.
 #pragma once
 
 #include <memory>
 #include <queue>
 #include <vector>
 
+#include "fault/session.hpp"
 #include "wsn/mote.hpp"
 #include "wsn/radio.hpp"
 
@@ -19,13 +26,18 @@ class Network {
     /// Takes ownership; motes must be added before `start`.
     Mote& add(std::unique_ptr<Mote> mote);
 
+    /// Attaches a seeded fault plan (replacing any previous one). Call
+    /// before `start` so per-mote clock faults apply from boot.
+    void inject(fault::FaultPlan plan);
+    [[nodiscard]] fault::Session* faults() { return fault_.get(); }
+
     [[nodiscard]] Micros now() const { return now_; }
     [[nodiscard]] RadioModel& radio() { return radio_; }
     [[nodiscard]] Mote& mote(int id) { return *motes_.at(static_cast<size_t>(id)); }
     [[nodiscard]] size_t mote_count() const { return motes_.size(); }
 
     /// Transmits a packet from `src`. Returns false if there is no link or
-    /// the radio dropped it (loss injection / radio down).
+    /// the packet was dropped (radio down, blocked link, loss injection).
     bool send(int src, int dst, const Packet& p);
 
     /// Boots all motes (time 0).
@@ -35,7 +47,10 @@ class Network {
     /// remains scheduled before it).
     void run_until(Micros t);
 
-    /// Runs until `pred()` holds or the clock reaches `deadline`.
+    /// Runs until `pred()` becomes false or the clock reaches `deadline`.
+    /// A predicate that is false on entry runs nothing and leaves the
+    /// clock untouched; with nothing scheduled the clock jumps to the
+    /// deadline.
     template <typename Pred>
     Micros run_while(Micros deadline, Pred&& pred) {
         while (now_ < deadline && pred()) {
@@ -45,8 +60,18 @@ class Network {
     }
 
     uint64_t packets_sent = 0;
+    /// Lost in flight: radio/link down, deterministic loss, injected loss,
+    /// or addressed to a crashed mote.
     uint64_t packets_dropped = 0;
+    /// Never had a link to travel on — a topology/routing failure, kept
+    /// separate from `packets_dropped` so soak assertions can tell
+    /// topology bugs from injected loss.
+    uint64_t packets_unroutable = 0;
     uint64_t packets_delivered = 0;
+    uint64_t packets_corrupted = 0;
+    uint64_t packets_duplicated = 0;
+    uint64_t motes_crashed = 0;
+    uint64_t motes_rebooted = 0;
 
   private:
     struct InFlight {
@@ -59,12 +84,16 @@ class Network {
     };
 
     /// Advances to the next event not later than `limit`; returns false if
-    /// there is none.
+    /// there is none. Event order at one instant: scheduled faults first,
+    /// then deliveries, then mote wakeups — fixed, hence deterministic.
     bool step(Micros limit);
+
+    void apply_fault(const fault::Action& a);
 
     RadioModel radio_;
     std::vector<std::unique_ptr<Mote>> motes_;
     std::priority_queue<InFlight, std::vector<InFlight>, std::greater<>> in_flight_;
+    std::unique_ptr<fault::Session> fault_;
     Micros now_ = 0;
     uint64_t seq_ = 0;
     bool started_ = false;

@@ -7,6 +7,7 @@
 #include <array>
 #include <cstdint>
 #include <map>
+#include <set>
 #include <utility>
 #include <vector>
 
@@ -57,9 +58,22 @@ class RadioModel {
         return it != down_.end() && it->second;
     }
 
+    /// Fault-layer kill-switch for a single directed link. Unlike removing
+    /// the link, a blocked link still *exists* (sends on it count as radio
+    /// drops, not routing failures) — the distinction the soak assertions
+    /// use to tell topology bugs from injected loss.
+    void set_link_down(int from, int to, bool down) {
+        if (down) link_down_.insert({from, to});
+        else link_down_.erase({from, to});
+    }
+    [[nodiscard]] bool link_blocked(int from, int to) const {
+        return link_down_.count({from, to}) > 0;
+    }
+
   private:
     std::map<std::pair<int, int>, Micros> links_;
     std::map<int, bool> down_;
+    std::set<std::pair<int, int>> link_down_;
     uint64_t loss_period_ = 0;
     uint64_t sent_ = 0;
 };

@@ -1,6 +1,9 @@
 #include "wsn/tinyos_binding.hpp"
 
+#include <cmath>
+
 #include "env/driver.hpp"
+#include "fault/prng.hpp"
 
 namespace ceu::wsn {
 
@@ -44,11 +47,49 @@ CeuMote::CeuMote(int id, CeuMoteConfig cfg)
                  [toggle](Engine&, std::span<const Value>) { return toggle(2); });
 
     if (cfg_.customize) cfg_.customize(bindings_, id);
-    engine_ = std::make_unique<Engine>(cp_, bindings_);
+    engine_ = std::make_unique<Engine>(cp_, bindings_, cfg_.engine_options);
     engine_->on_trace = [this](const std::string& line) { trace_.push_back(line); };
 }
 
 CeuMote::~CeuMote() = default;
+
+void CeuMote::set_clock_model(double drift_ppm, Micros jitter, uint64_t seed) {
+    drift_ppm_ = drift_ppm;
+    clock_jitter_ = jitter;
+    clock_rng_state_ = seed | 1;
+}
+
+Micros CeuMote::local_now(Micros global) {
+    Micros local = global;
+    if (drift_ppm_ != 0.0) {
+        local += static_cast<Micros>(static_cast<double>(global) * drift_ppm_ / 1e6);
+    }
+    if (clock_jitter_ > 0) {
+        local += static_cast<Micros>(fault::Prng(clock_rng_state_ += 2).below(
+            static_cast<uint64_t>(clock_jitter_) + 1));
+    }
+    // The engine clamps monotonically (go_time takes the max), so a jitter
+    // draw smaller than the previous one is harmless.
+    return local;
+}
+
+void CeuMote::crash(Network& net) {
+    Mote::crash(net);
+    rx_queue_.clear();  // queued receives were in volatile RAM
+    // Power loss: every trail, gate, timer and slot is discarded through
+    // the engine's §4.3-based reset, leaving a verified-bootable engine.
+    engine_->reset();
+}
+
+void CeuMote::reboot(Network& net) {
+    Mote::reboot(net);
+    net_ = &net;
+    engine_->go_time(local_now(net.now()));
+    engine_->go_init();
+    ++boots_;
+    busy_until_ = net.now() + cfg_.reaction_cost;
+    net_ = nullptr;
+}
 
 void CeuMote::set_leds(int64_t v) {
     leds_ = v;
@@ -80,8 +121,9 @@ Value CeuMote::radio_get_payload(Value arg) {
 
 void CeuMote::boot(Network& net) {
     net_ = &net;
-    engine_->go_time(net.now());
+    engine_->go_time(local_now(net.now()));
     engine_->go_init();
+    ++boots_;
     busy_until_ = net.now() + cfg_.reaction_cost;
     net_ = nullptr;
 }
@@ -95,6 +137,18 @@ void CeuMote::deliver(Network& net, const Packet& p) {
     (void)net;
 }
 
+Micros CeuMote::global_for(Micros local) const {
+    if (drift_ppm_ == 0.0) return local;
+    double factor = 1.0 + drift_ppm_ / 1e6;
+    auto g = static_cast<Micros>(std::ceil(static_cast<double>(local) / factor));
+    // Guard against rounding: the local clock at `g` must have reached
+    // `local`, or a drifting mote would wake up a tick early and spin.
+    while (g + static_cast<Micros>(static_cast<double>(g) * drift_ppm_ / 1e6) < local) {
+        ++g;
+    }
+    return g;
+}
+
 Micros CeuMote::next_wakeup() const {
     if (engine_->status() != Engine::Status::Running) return -1;
     Micros best = -1;
@@ -102,8 +156,10 @@ Micros CeuMote::next_wakeup() const {
         if (t >= 0 && (best < 0 || t < best)) best = t;
     };
     if (!rx_queue_.empty()) consider(busy_until_);
+    // Engine deadlines are in the mote's (possibly drifting) local time;
+    // the network schedules in global time.
     Micros deadline = engine_->next_timer_deadline();
-    if (deadline >= 0) consider(std::max(deadline, busy_until_));
+    if (deadline >= 0) consider(std::max(global_for(deadline), busy_until_));
     if (engine_->has_async_work()) consider(busy_until_);
     return best;
 }
@@ -121,11 +177,11 @@ void CeuMote::wakeup(Network& net) {
         dispatch_rx(net);
     } else {
         Micros deadline = engine_->next_timer_deadline();
-        if (deadline >= 0 && deadline <= now && now >= busy_until_) {
-            engine_->go_time(now);
+        if (deadline >= 0 && deadline <= local_now(now) && now >= busy_until_) {
+            engine_->go_time(local_now(now));
             busy_until_ = now + cfg_.reaction_cost;
         } else if (engine_->has_async_work() && now >= busy_until_) {
-            engine_->go_time(now);
+            engine_->go_time(local_now(now));
             if (engine_->status() == Engine::Status::Running) engine_->go_async();
             busy_until_ = now + cfg_.async_slice_cost;
         }
@@ -140,7 +196,7 @@ void CeuMote::dispatch_rx(Network& net) {
     next_handle_ = next_handle_ % kMsgPool + 1;
     int64_t h = static_cast<int64_t>(next_handle_);
     msgs_[static_cast<size_t>(h - 1)] = p;
-    engine_->go_time(net.now());
+    engine_->go_time(local_now(net.now()));
     if (engine_->status() == Engine::Status::Running) {
         engine_->go_event_by_name("Radio_receive", Value::integer(h));
         ++rx_count;

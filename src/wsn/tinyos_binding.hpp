@@ -25,6 +25,9 @@ struct CeuMoteConfig {
     Micros reaction_cost = 500;         // CPU charged per external reaction
     Micros async_slice_cost = kMs;      // CPU charged per go_async slice
     size_t rx_queue_capacity = 2;       // buffered receives (TinyOS queues)
+    /// Engine knobs (the soak harness turns on trap_faults and the
+    /// invariant checker here).
+    rt::EngineOptions engine_options;
     /// Application-specific bindings layered over the TinyOS ones (e.g. the
     /// multi-hop demo's `_Read_sensor` / `_collect`). Called once at
     /// construction with the mote id.
@@ -41,8 +44,24 @@ class CeuMote final : public Mote {
     [[nodiscard]] Micros next_wakeup() const override;
     void wakeup(Network& net) override;
 
+    /// Power failure: the engine is power-cycled through rt::Engine::reset
+    /// (the §4.3 gate-clearing machinery), pending receives are lost.
+    void crash(Network& net) override;
+    /// Boot the clean engine again at the current (local) time.
+    void reboot(Network& net) override;
+    void set_clock_model(double drift_ppm, Micros jitter, uint64_t seed) override;
+
+    /// The mote's local clock: network time plus drift plus seeded jitter.
+    /// Identity until set_clock_model is called.
+    [[nodiscard]] Micros local_now(Micros global);
+    /// Inverse of the drift component: the global instant at which the
+    /// local clock reaches `local` (jitter excluded — it only runs ahead).
+    [[nodiscard]] Micros global_for(Micros local) const;
+
     [[nodiscard]] rt::Engine& engine() { return *engine_; }
     [[nodiscard]] const std::vector<std::string>& trace() const { return trace_; }
+    /// Boots since start (1 = never crashed, or crashed and not yet back).
+    [[nodiscard]] uint64_t boots() const { return boots_; }
 
     /// Current LED register and its history (timestamped) — the observable
     /// the ring demo and the blink experiment assert on.
@@ -65,6 +84,12 @@ class CeuMote final : public Mote {
 
     std::deque<Packet> rx_queue_;
     Micros busy_until_ = 0;
+    uint64_t boots_ = 0;
+
+    // Clock fault model (identity until set_clock_model).
+    double drift_ppm_ = 0.0;
+    Micros clock_jitter_ = 0;
+    uint64_t clock_rng_state_ = 0;
 
     // Message handles: a small recycled pool standing in for message_t*.
     static constexpr size_t kMsgPool = 64;

@@ -70,6 +70,9 @@ void expect_parity(const std::string& source, const env::Script& script) {
             case env::ScriptItem::Kind::AsyncIdle:
                 text += "A\n";
                 break;
+            case env::ScriptItem::Kind::Crash:
+                text += "C\n";
+                break;
         }
     }
     cgen::CgenOptions opt;

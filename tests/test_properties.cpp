@@ -54,6 +54,10 @@ RunResult run_with(const flat::CompiledProgram& cp, const Script& script,
             case ScriptItem::Kind::AsyncIdle:
                 for (int i = 0; i < 10'000'000 && eng.go_async(); ++i) {}
                 break;
+            case ScriptItem::Kind::Crash:
+                eng.reset();
+                eng.go_init();
+                break;
         }
     }
     while (eng.status() == Engine::Status::Running && eng.go_async()) {}

@@ -45,7 +45,47 @@ TEST(Network, NoLinkMeansDrop) {
     net.add(std::make_unique<ProbeMote>(1));
     net.start();
     EXPECT_FALSE(net.send(0, 1, {}));
-    EXPECT_EQ(net.packets_dropped, 1u);
+    // Routing failure, not channel loss: the accounting keeps them apart.
+    EXPECT_EQ(net.packets_unroutable, 1u);
+    EXPECT_EQ(net.packets_dropped, 0u);
+}
+
+TEST(Network, RunWhileFalsePredicateRunsNothing) {
+    RadioModel radio;
+    radio.bidi_link(0, 1, kMs);
+    Network net(radio);
+    net.add(std::make_unique<ProbeMote>(0));
+    net.add(std::make_unique<ProbeMote>(1));
+    net.start();
+    net.send(0, 1, {});  // a delivery is pending...
+    Micros t = net.run_while(kSec, [] { return false; });
+    EXPECT_EQ(t, 0);  // ...but a false predicate leaves the clock untouched
+    EXPECT_EQ(net.packets_delivered, 0u);
+}
+
+TEST(Network, RunWhileDeadlineEqualToNowIsANoop) {
+    RadioModel radio;
+    Network net(radio);
+    net.add(std::make_unique<ProbeMote>(0));
+    net.start();
+    net.run_until(5 * kMs);
+    int polls = 0;
+    Micros t = net.run_while(5 * kMs, [&] {
+        ++polls;
+        return true;
+    });
+    EXPECT_EQ(t, 5 * kMs);
+    EXPECT_EQ(polls, 0);  // now == deadline: the loop never entered
+}
+
+TEST(Network, RunWhileEmptyQueueJumpsToDeadline) {
+    RadioModel radio;
+    Network net(radio);
+    net.add(std::make_unique<ProbeMote>(0));  // never schedules a wakeup
+    net.start();
+    Micros t = net.run_while(2 * kSec, [] { return true; });
+    EXPECT_EQ(t, 2 * kSec);  // nothing scheduled: clock jumps to the deadline
+    EXPECT_EQ(net.now(), 2 * kSec);
 }
 
 TEST(Network, RadioDownDropsAndRestores) {
