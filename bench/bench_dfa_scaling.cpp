@@ -9,10 +9,15 @@
 //     (exponential in program size);
 //   2. the paper's real programs (quickstart, ring, ship, Mario) analyze in
 //     milliseconds with small automata.
+// Sweep 3 measures the parallel explorer (analysis::explore) against the
+// serial one on a wide-frontier program, verifying order-normalized
+// equivalence while timing each --analysis-jobs setting.
 #include <chrono>
 #include <cstdio>
 #include <sstream>
+#include <thread>
 
+#include "analysis/explore.hpp"
 #include "demos/demos.hpp"
 #include "dfa/dfa.hpp"
 
@@ -33,6 +38,25 @@ std::string coprime_program(int k) {
         os << "    v" << i << " = 1;\n  end\n";
     }
     if (k > 1) os << "end\n";
+    return os.str();
+}
+
+// Wide-frontier synthetic for the parallel sweep: k independent trails over
+// k *distinct* events. Every state has k outgoing triggers, so the frontier
+// is broad enough to shard across workers (the coprime program above has a
+// single event and a frontier of width 1 — no parallelism to extract).
+std::string wide_program(int k) {
+    std::ostringstream os;
+    os << "input void";
+    for (int i = 0; i < k; ++i) os << (i ? "," : "") << " E" << i;
+    os << ";\npar do\n";
+    for (int i = 0; i < k; ++i) {
+        if (i) os << "with\n";
+        os << "  loop do\n";
+        for (int j = 0; j < 3 + i; ++j) os << "    await E" << i << ";\n";
+        os << "  end\n";
+    }
+    os << "end\n";
     return os.str();
 }
 
@@ -90,7 +114,39 @@ int main() {
         std::printf("%-12s %12zu %8.1fms %15s\n", p.name, r.states, r.ms,
                     r.deterministic ? "deterministic" : "REFUSED");
     }
+    std::printf("\nsweep 3: parallel exploration (--analysis-jobs) on a "
+                "wide-frontier program\n");
+    std::printf("(hardware concurrency: %u threads)\n",
+                std::thread::hardware_concurrency());
+    {
+        flat::CompiledProgram cp = flat::compile(wide_program(6));
+        analysis::ExploreOptions base;
+        base.max_states = 200000;
+        auto t0 = std::chrono::steady_clock::now();
+        dfa::Dfa serial = analysis::explore(cp, base);
+        auto t1 = std::chrono::steady_clock::now();
+        double serial_ms = std::chrono::duration<double, std::milli>(t1 - t0).count();
+        std::string want = serial.signature();
+        std::printf("%6s %12s %10s %9s %12s\n", "jobs", "DFA states", "time",
+                    "speedup", "signature");
+        std::printf("%6d %12zu %8.1fms %8.2fx %12s\n", 1, serial.state_count(),
+                    serial_ms, 1.0, "(reference)");
+        for (int jobs : {2, 4, 8}) {
+            analysis::ExploreOptions opt = base;
+            opt.jobs = jobs;
+            auto p0 = std::chrono::steady_clock::now();
+            dfa::Dfa par = analysis::explore(cp, opt);
+            auto p1 = std::chrono::steady_clock::now();
+            double ms = std::chrono::duration<double, std::milli>(p1 - p0).count();
+            std::printf("%6d %12zu %8.1fms %8.2fx %12s\n", jobs, par.state_count(),
+                        ms, serial_ms / ms,
+                        par.signature() == want ? "identical" : "MISMATCH");
+        }
+    }
+
     std::printf("\npaper check: exponential growth in sweep 1, millisecond-scale\n"
-                "analysis of every real demo program in sweep 2.\n");
+                "analysis of every real demo program in sweep 2, and an\n"
+                "order-normalized-identical automaton from every jobs setting in\n"
+                "sweep 3 (speedup scales with available cores).\n");
     return 0;
 }

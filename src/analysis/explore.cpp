@@ -1,0 +1,296 @@
+#include "analysis/explore.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <condition_variable>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <set>
+#include <thread>
+#include <unordered_map>
+
+namespace ceu::analysis {
+
+namespace {
+
+using dfa::Conflict;
+using dfa::ConflictSet;
+using dfa::MachineState;
+using dfa::ReactionOutcome;
+using dfa::Trigger;
+using dfa::WitnessStep;
+
+/// One reachable state during parallel exploration. Owned by the shard its
+/// key hashes into; `out` is written only by the (single) worker that
+/// dequeued the node for expansion, `executed`/`has_conflict` are merged
+/// under the owning shard's mutex, everything else is immutable after
+/// creation.
+struct Node {
+    int id = 0;
+    MachineState state;
+    std::set<std::string> executed;
+    std::vector<dfa::DfaTransition> out;
+    bool has_conflict = false;
+    bool terminal = false;
+    int pred = -1;
+    WitnessStep pred_step;
+};
+
+/// A conflict recorded mid-exploration; the witness chain is reconstructed
+/// from predecessor links once all workers have drained.
+struct PendingConflict {
+    Conflict c;
+    int src = -1;
+    WitnessStep step;
+};
+
+constexpr size_t kShardCount = 64;
+
+class ParallelExplorer {
+  public:
+    ParallelExplorer(const flat::CompiledProgram& cp, const ExploreOptions& opt)
+        : cp_(cp), opt_(opt) {}
+
+    dfa::Dfa run() {
+        // Boot reaction on the calling thread seeds the frontier.
+        Trigger boot;
+        boot.kind = Trigger::Kind::Boot;
+        WitnessStep boot_step = dfa::witness_step(cp_, boot);
+        std::vector<PendingConflict> boot_pending;
+        for (ReactionOutcome& o : dfa::abstract_react(cp_, dfa::initial_state(cp_), boot)) {
+            for (const Conflict& c : o.conflicts) {
+                boot_pending.push_back({c, -1, boot_step});
+            }
+            intern(std::move(o.next), o.executed, !o.conflicts.empty(), -1, boot_step,
+                   nullptr);
+        }
+        {
+            std::lock_guard lk(pending_mu_);
+            pending_.insert(pending_.end(), boot_pending.begin(), boot_pending.end());
+            if (!boot_pending.empty()) conflict_seen_.store(true, std::memory_order_relaxed);
+        }
+        if (opt_.stop_at_first_conflict && conflict_seen_.load()) {
+            stop_.store(true);
+            incomplete_.store(true);
+        }
+
+        int jobs = std::clamp(opt_.jobs, 1, 64);
+        std::vector<std::thread> workers;
+        workers.reserve(static_cast<size_t>(jobs));
+        for (int i = 0; i < jobs; ++i) {
+            workers.emplace_back([this] { worker(); });
+        }
+        for (std::thread& t : workers) t.join();
+        return finalize();
+    }
+
+  private:
+    struct Shard {
+        std::mutex mu;
+        std::unordered_map<std::string, std::unique_ptr<Node>> nodes;
+    };
+
+    const flat::CompiledProgram& cp_;
+    const ExploreOptions& opt_;
+    Shard shards_[kShardCount];
+    std::atomic<int> next_id_{0};
+    std::atomic<bool> stop_{false};
+    std::atomic<bool> incomplete_{false};
+    std::atomic<bool> conflict_seen_{false};
+
+    std::mutex queue_mu_;
+    std::condition_variable queue_cv_;
+    std::deque<Node*> queue_;
+    size_t active_ = 0;
+
+    std::mutex pending_mu_;
+    std::vector<PendingConflict> pending_;
+
+    /// Interns `ms`, merging `executed`/`conflicted` into the node. When
+    /// the state is new its node is appended to `fresh` (or, when fresh is
+    /// null, enqueued directly — the boot path). Returns the node's id, or
+    /// -1 if the state budget is exhausted.
+    int intern(MachineState ms, const std::vector<std::string>& executed, bool conflicted,
+               int pred, const WitnessStep& step, std::vector<Node*>* fresh) {
+        std::string key = ms.key();
+        Shard& shard = shards_[std::hash<std::string>{}(key) % kShardCount];
+        Node* node = nullptr;
+        bool created = false;
+        {
+            std::lock_guard lk(shard.mu);
+            auto it = shard.nodes.find(key);
+            if (it == shard.nodes.end()) {
+                // Mirror the serial budget: exploration becomes incomplete
+                // once the state count would exceed max_states.
+                int id = next_id_.fetch_add(1, std::memory_order_relaxed);
+                if (static_cast<size_t>(id) >= opt_.max_states) {
+                    next_id_.fetch_sub(1, std::memory_order_relaxed);
+                    incomplete_.store(true, std::memory_order_relaxed);
+                    stop_.store(true, std::memory_order_relaxed);
+                    queue_cv_.notify_all();
+                    return -1;
+                }
+                auto fresh_node = std::make_unique<Node>();
+                fresh_node->id = id;
+                fresh_node->terminal = !ms.has_active_gate();
+                fresh_node->state = std::move(ms);
+                fresh_node->pred = pred;
+                fresh_node->pred_step = step;
+                node = fresh_node.get();
+                shard.nodes.emplace(std::move(key), std::move(fresh_node));
+                created = true;
+            } else {
+                node = it->second.get();
+            }
+            for (const std::string& s : executed) node->executed.insert(s);
+            node->has_conflict = node->has_conflict || conflicted;
+        }
+        if (created) {
+            if (fresh != nullptr) {
+                fresh->push_back(node);
+            } else {
+                std::lock_guard lk(queue_mu_);
+                queue_.push_back(node);
+                queue_cv_.notify_one();
+            }
+        }
+        return node->id;
+    }
+
+    void expand(Node* n, std::vector<Node*>& fresh,
+                std::vector<PendingConflict>& local_pending) {
+        const MachineState& state = n->state;
+        for (const Trigger& t : dfa::enumerate_triggers(cp_, state)) {
+            std::string label = t.label(cp_);
+            WitnessStep step = dfa::witness_step(cp_, t);
+            for (ReactionOutcome& o : dfa::abstract_react(cp_, state, t)) {
+                for (const Conflict& c : o.conflicts) {
+                    local_pending.push_back({c, n->id, step});
+                }
+                bool conflicted = !o.conflicts.empty();
+                int target = intern(std::move(o.next), o.executed, conflicted, n->id,
+                                    step, &fresh);
+                if (target >= 0) n->out.push_back({label, target});
+            }
+        }
+    }
+
+    void worker() {
+        std::vector<Node*> fresh;
+        std::vector<PendingConflict> local_pending;
+        for (;;) {
+            Node* n = nullptr;
+            {
+                std::unique_lock lk(queue_mu_);
+                queue_cv_.wait(lk, [this] {
+                    return stop_.load() || !queue_.empty() || active_ == 0;
+                });
+                if (stop_.load() || queue_.empty()) {
+                    // Either a stop was requested or the frontier drained
+                    // with no expansion in flight: exploration is over.
+                    queue_cv_.notify_all();
+                    break;
+                }
+                n = queue_.front();
+                queue_.pop_front();
+                ++active_;
+            }
+
+            fresh.clear();
+            expand(n, fresh, local_pending);
+
+            {
+                std::unique_lock lk(queue_mu_);
+                for (Node* f : fresh) queue_.push_back(f);
+                --active_;
+                if (!fresh.empty()) {
+                    queue_cv_.notify_all();
+                } else if (queue_.empty() && active_ == 0) {
+                    queue_cv_.notify_all();
+                }
+            }
+
+            if (!local_pending.empty()) {
+                {
+                    std::lock_guard lk(pending_mu_);
+                    pending_.insert(pending_.end(), local_pending.begin(),
+                                    local_pending.end());
+                }
+                local_pending.clear();
+                conflict_seen_.store(true, std::memory_order_relaxed);
+                if (opt_.stop_at_first_conflict) {
+                    incomplete_.store(true, std::memory_order_relaxed);
+                    stop_.store(true, std::memory_order_relaxed);
+                    queue_cv_.notify_all();
+                }
+            }
+        }
+    }
+
+    dfa::Dfa finalize() {
+        // Collect nodes from all shards and renumber them by state key so
+        // the assembled Dfa is deterministic regardless of thread timing.
+        std::vector<std::pair<std::string, Node*>> keyed;
+        for (Shard& s : shards_) {
+            for (auto& [key, node] : s.nodes) keyed.emplace_back(key, node.get());
+        }
+        std::sort(keyed.begin(), keyed.end(),
+                  [](const auto& a, const auto& b) { return a.first < b.first; });
+        std::vector<int> remap(keyed.size());
+        for (size_t i = 0; i < keyed.size(); ++i) {
+            remap[static_cast<size_t>(keyed[i].second->id)] = static_cast<int>(i);
+        }
+
+        std::vector<dfa::DfaStateNode> states(keyed.size());
+        for (size_t i = 0; i < keyed.size(); ++i) {
+            Node* n = keyed[i].second;
+            dfa::DfaStateNode& out = states[i];
+            out.id = static_cast<int>(i);
+            out.state = std::move(n->state);
+            out.executed.assign(n->executed.begin(), n->executed.end());
+            out.has_conflict = n->has_conflict;
+            out.terminal = n->terminal;
+            out.pred = n->pred >= 0 ? remap[static_cast<size_t>(n->pred)] : -1;
+            out.pred_step = n->pred_step;
+            out.out = std::move(n->out);
+            for (dfa::DfaTransition& t : out.out) {
+                t.target = remap[static_cast<size_t>(t.target)];
+            }
+        }
+
+        auto witness_into = [&states](int id) {
+            std::vector<WitnessStep> chain;
+            while (id >= 0) {
+                const dfa::DfaStateNode& s = states[static_cast<size_t>(id)];
+                chain.push_back(s.pred_step);
+                id = s.pred;
+            }
+            std::reverse(chain.begin(), chain.end());
+            return chain;
+        };
+
+        ConflictSet cset;
+        for (PendingConflict& p : pending_) {
+            int src = p.src >= 0 ? remap[static_cast<size_t>(p.src)] : -1;
+            p.c.witness = witness_into(src);
+            p.c.witness.push_back(p.step);
+            cset.add(std::move(p.c));
+        }
+        return dfa::Dfa::assemble(std::move(states), cset.take(), !incomplete_.load());
+    }
+};
+
+}  // namespace
+
+dfa::Dfa explore(const flat::CompiledProgram& cp, const ExploreOptions& opt) {
+    if (opt.jobs <= 1) {
+        dfa::DfaOptions dopt;
+        dopt.max_states = opt.max_states;
+        dopt.stop_at_first_conflict = opt.stop_at_first_conflict;
+        return dfa::Dfa::build(cp, dopt);
+    }
+    return ParallelExplorer(cp, opt).run();
+}
+
+}  // namespace ceu::analysis

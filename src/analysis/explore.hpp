@@ -1,0 +1,25 @@
+// Parallel, memoized DFA exploration (the tentpole of the analysis
+// subsystem): a worklist over the reachable-state frontier sharded across a
+// thread pool, with MachineState::key() hashed into a concurrent seen-set.
+// Results are order-normalized identical to the serial explorer
+// (dfa::Dfa::build): same state set, same transition structure, same
+// deduplicated conflict set — compare with dfa::Dfa::signature().
+#pragma once
+
+#include "codegen/flatten.hpp"
+#include "dfa/dfa.hpp"
+
+namespace ceu::analysis {
+
+struct ExploreOptions {
+    size_t max_states = 20000;
+    bool stop_at_first_conflict = false;
+    /// Worker threads; <= 1 runs the serial reference explorer.
+    int jobs = 1;
+};
+
+/// Runs the temporal analysis with `opt.jobs` workers. With jobs <= 1 this
+/// delegates to dfa::Dfa::build, so callers get one entry point for both.
+dfa::Dfa explore(const flat::CompiledProgram& cp, const ExploreOptions& opt = {});
+
+}  // namespace ceu::analysis

@@ -1,0 +1,109 @@
+#include "analysis/lint.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace ceu::analysis {
+
+namespace {
+
+void json_escape(std::ostringstream& os, const std::string& s) {
+    os << '"';
+    for (char c : s) {
+        switch (c) {
+            case '"': os << "\\\""; break;
+            case '\\': os << "\\\\"; break;
+            case '\n': os << "\\n"; break;
+            case '\t': os << "\\t"; break;
+            default:
+                if (static_cast<unsigned char>(c) < 0x20) {
+                    char buf[8];
+                    std::snprintf(buf, sizeof buf, "\\u%04x", c);
+                    os << buf;
+                } else {
+                    os << c;
+                }
+        }
+    }
+    os << '"';
+}
+
+}  // namespace
+
+std::string Finding::str(const std::string& file) const {
+    std::ostringstream os;
+    if (!file.empty()) os << file << ":";
+    if (loc.valid()) os << loc.str() << ": ";
+    else if (!file.empty()) os << " ";
+    os << severity_name(severity) << ": [" << pass << "] " << message;
+    return os.str();
+}
+
+std::string Finding::json(const std::string& file) const {
+    std::ostringstream os;
+    os << "{\"pass\":";
+    json_escape(os, pass);
+    os << ",\"severity\":\"" << severity_name(severity) << "\",\"file\":";
+    json_escape(os, file);
+    os << ",\"line\":" << loc.line << ",\"col\":" << loc.col << ",\"message\":";
+    json_escape(os, message);
+    if (!witness.empty()) {
+        os << ",\"witness\":[";
+        for (size_t i = 0; i < witness.size(); ++i) {
+            if (i) os << ",";
+            json_escape(os, witness[i].label());
+        }
+        os << "]";
+    }
+    os << "}";
+    return os.str();
+}
+
+const Pass* PassRegistry::find(const std::string& id) const {
+    for (const auto& p : passes_) {
+        if (p->id() == id) return p.get();
+    }
+    return nullptr;
+}
+
+std::vector<Finding> run_lints(const flat::CompiledProgram& cp, const LintOptions& opt,
+                               const PassRegistry& reg) {
+    auto listed = [](const std::vector<std::string>& ids, const std::string& id) {
+        return std::find(ids.begin(), ids.end(), id) != ids.end();
+    };
+    std::vector<Finding> out;
+    for (const auto& pass : reg.passes()) {
+        if (!opt.only.empty() && !listed(opt.only, pass->id())) continue;
+        if (listed(opt.disable, pass->id())) continue;
+        size_t before = out.size();
+        pass->run(cp, out);
+        std::sort(out.begin() + static_cast<std::ptrdiff_t>(before), out.end(),
+                  [](const Finding& a, const Finding& b) {
+                      return std::tie(a.loc.line, a.loc.col, a.message) <
+                             std::tie(b.loc.line, b.loc.col, b.message);
+                  });
+    }
+    return out;
+}
+
+Finding conflict_finding(const dfa::Conflict& c) {
+    Finding f;
+    f.pass = "temporal";
+    f.severity = Severity::Error;
+    f.loc = c.loc_a;
+    f.message = c.str();
+    f.witness = c.witness;
+    return f;
+}
+
+Finding incomplete_finding(size_t explored, size_t max_states) {
+    Finding f;
+    f.pass = "temporal";
+    f.severity = Severity::Warning;
+    f.message = "temporal analysis incomplete (state budget exhausted: " +
+                std::to_string(explored) + " states explored, --max-states=" +
+                std::to_string(max_states) + "); determinism NOT proven";
+    return f;
+}
+
+}  // namespace ceu::analysis

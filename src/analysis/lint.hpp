@@ -1,0 +1,81 @@
+// Multi-pass lint framework over the AST/flow graph: a registry of
+// analysis::Pass instances with per-pass severities and enable/disable,
+// producing structured Findings that print as compiler diagnostics or as
+// machine-readable JSON (ceuc --lint --diag-format=json) so CI can gate on
+// them. Temporal-analysis conflicts flow through the same Finding type so
+// one output channel covers everything.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "codegen/flatten.hpp"
+#include "dfa/dfa.hpp"
+#include "util/diag.hpp"
+
+namespace ceu::analysis {
+
+/// One diagnostic produced by a pass (or by the temporal analysis).
+struct Finding {
+    std::string pass;  // pass id ("uninit-read", "temporal", ...)
+    Severity severity = Severity::Warning;
+    SourceLoc loc;
+    std::string message;
+    /// Replayable input chain for temporal findings (empty otherwise).
+    std::vector<dfa::WitnessStep> witness;
+
+    /// "file:line:col: warning: [pass] message" (file omitted when empty).
+    [[nodiscard]] std::string str(const std::string& file = "") const;
+    /// One-line JSON object: {"pass":..,"severity":..,"file":..,"line":..,
+    /// "col":..,"message":..,"witness":[..]}.
+    [[nodiscard]] std::string json(const std::string& file = "") const;
+};
+
+class Pass {
+  public:
+    virtual ~Pass() = default;
+    [[nodiscard]] virtual std::string id() const = 0;
+    [[nodiscard]] virtual std::string description() const = 0;
+    [[nodiscard]] virtual Severity severity() const { return Severity::Warning; }
+    virtual void run(const flat::CompiledProgram& cp, std::vector<Finding>& out) const = 0;
+};
+
+/// An ordered set of passes. `default_registry()` holds the built-in ones;
+/// embedders may build their own registry and `add` custom passes.
+class PassRegistry {
+  public:
+    void add(std::unique_ptr<Pass> pass) { passes_.push_back(std::move(pass)); }
+    [[nodiscard]] const std::vector<std::unique_ptr<Pass>>& passes() const {
+        return passes_;
+    }
+    [[nodiscard]] const Pass* find(const std::string& id) const;
+
+  private:
+    std::vector<std::unique_ptr<Pass>> passes_;
+};
+
+/// The built-in passes: uninit-read, unused, unreachable-trail,
+/// emit-no-awaiter.
+const PassRegistry& default_registry();
+
+struct LintOptions {
+    /// When non-empty, only these pass ids run.
+    std::vector<std::string> only;
+    /// Pass ids to skip.
+    std::vector<std::string> disable;
+};
+
+/// Runs the (enabled) passes of `reg` over `cp`. Findings are ordered by
+/// pass registration order, then source location.
+std::vector<Finding> run_lints(const flat::CompiledProgram& cp, const LintOptions& opt = {},
+                               const PassRegistry& reg = default_registry());
+
+/// Converts a temporal-analysis conflict into a Finding (pass "temporal",
+/// severity Error, witness attached).
+Finding conflict_finding(const dfa::Conflict& c);
+
+/// The Finding emitted when exploration exhausts its state budget.
+Finding incomplete_finding(size_t explored, size_t max_states);
+
+}  // namespace ceu::analysis

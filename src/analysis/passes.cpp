@@ -1,0 +1,396 @@
+// The built-in lint passes.
+//
+//   uninit-read       abstract interpretation (must-be-initialized forward
+//                     dataflow) over the flow graph: reads that some path
+//                     reaches before any write
+//   unused            variables never read; internal events never used, or
+//                     awaited but never emitted
+//   unreachable-trail code after an await in a `par/or` branch whose
+//                     sibling always terminates in the reaction it starts
+//                     (the region is killed before the trail can resume)
+//   emit-no-awaiter   `emit` on an internal event no trail ever awaits
+#include <functional>
+#include <map>
+#include <set>
+
+#include "analysis/lint.hpp"
+#include "flow/flowgraph.hpp"
+
+namespace ceu::analysis {
+
+namespace {
+
+using flat::FlatProgram;
+using flat::Instr;
+using flat::IOp;
+using flat::Pc;
+
+// -- shared read/write extraction (mirrors the abstract machine's) -----------
+
+struct Access {
+    std::vector<std::pair<int, SourceLoc>> reads;  // decl_id, site
+    std::vector<int> writes;
+};
+
+void collect_reads(const ast::Expr& e, Access& out) {
+    ast::walk_exprs(e, [&](const ast::Expr& x) {
+        if (x.kind == ast::ExprKind::Var) {
+            const auto& v = static_cast<const ast::VarExpr&>(x);
+            if (v.decl_id >= 0) out.reads.emplace_back(v.decl_id, x.loc);
+        }
+    });
+}
+
+void collect_write(const ast::Expr& lhs, Access& out) {
+    const ast::Expr* root = &lhs;
+    while (root->kind == ast::ExprKind::Index) {
+        const auto& ix = static_cast<const ast::IndexExpr&>(*root);
+        collect_reads(*ix.index, out);
+        root = ix.base.get();
+    }
+    if (root->kind == ast::ExprKind::Var) {
+        const auto& v = static_cast<const ast::VarExpr&>(*root);
+        if (v.decl_id >= 0) out.writes.push_back(v.decl_id);
+    } else if (root->kind == ast::ExprKind::Unop) {
+        collect_reads(*static_cast<const ast::UnopExpr&>(*root).sub, out);
+    }
+}
+
+Access instr_access(const Instr& I) {
+    Access a;
+    switch (I.op) {
+        case IOp::Eval:
+        case IOp::IfNot:
+        case IOp::AwaitDyn:
+            collect_reads(*I.e1, a);
+            break;
+        case IOp::Assign:
+            collect_write(*I.e1, a);
+            collect_reads(*I.e2, a);
+            break;
+        case IOp::AssignWake:
+        case IOp::AssignSlot:
+            collect_write(*I.e1, a);
+            break;
+        case IOp::EmitInt:
+        case IOp::EmitOutput:
+        case IOp::EmitExtAsync:
+        case IOp::Escape:
+        case IOp::ProgReturn:
+            if (I.e1 != nullptr) collect_reads(*I.e1, a);
+            break;
+        default:
+            break;
+    }
+    return a;
+}
+
+// -- uninit-read --------------------------------------------------------------
+
+class UninitReadPass final : public Pass {
+  public:
+    [[nodiscard]] std::string id() const override { return "uninit-read"; }
+    [[nodiscard]] std::string description() const override {
+        return "variable reads some execution path reaches before any write";
+    }
+
+    void run(const flat::CompiledProgram& cp, std::vector<Finding>& out) const override {
+        const FlatProgram& fp = cp.flat;
+        size_t n = fp.code.size();
+        size_t nvars = cp.sema.vars.size();
+        if (n == 0 || nvars == 0) return;
+        size_t words = (nvars + 63) / 64;
+
+        std::vector<Access> access(n);
+        for (size_t pc = 0; pc < n; ++pc) access[pc] = instr_access(fp.code[pc]);
+
+        std::vector<std::vector<int>> succs = flow::build_flow_graph(cp).successors();
+
+        // Must-be-initialized sets: entry starts empty, everything else at
+        // TOP (all ones) so unreachable code produces no findings.
+        std::vector<std::vector<uint64_t>> in(n, std::vector<uint64_t>(words, ~0ull));
+        std::fill(in[0].begin(), in[0].end(), 0ull);
+        std::vector<uint8_t> queued(n, 0);
+        std::vector<size_t> worklist{0};
+        queued[0] = 1;
+        while (!worklist.empty()) {
+            size_t pc = worklist.back();
+            worklist.pop_back();
+            queued[pc] = 0;
+            std::vector<uint64_t> outset = in[pc];
+            for (int d : access[pc].writes) {
+                outset[static_cast<size_t>(d) / 64] |= 1ull << (d % 64);
+            }
+            for (int s : succs[pc]) {
+                auto& target = in[static_cast<size_t>(s)];
+                bool changed = false;
+                for (size_t w = 0; w < words; ++w) {
+                    uint64_t met = target[w] & outset[w];
+                    if (met != target[w]) {
+                        target[w] = met;
+                        changed = true;
+                    }
+                }
+                if (changed && !queued[static_cast<size_t>(s)]) {
+                    queued[static_cast<size_t>(s)] = 1;
+                    worklist.push_back(static_cast<size_t>(s));
+                }
+            }
+        }
+
+        std::set<std::pair<int, std::pair<uint32_t, uint32_t>>> reported;
+        for (size_t pc = 0; pc < n; ++pc) {
+            for (const auto& [d, loc] : access[pc].reads) {
+                if (in[pc][static_cast<size_t>(d) / 64] & (1ull << (d % 64))) continue;
+                if (!reported.insert({d, {loc.line, loc.col}}).second) continue;
+                Finding f;
+                f.pass = id();
+                f.severity = severity();
+                f.loc = loc;
+                f.message = "variable '" + cp.sema.vars[static_cast<size_t>(d)].name +
+                            "' may be read before initialization";
+                out.push_back(std::move(f));
+            }
+        }
+    }
+};
+
+// -- unused -------------------------------------------------------------------
+
+class UnusedPass final : public Pass {
+  public:
+    [[nodiscard]] std::string id() const override { return "unused"; }
+    [[nodiscard]] std::string description() const override {
+        return "variables never read; internal events never emitted/awaited";
+    }
+
+    void run(const flat::CompiledProgram& cp, std::vector<Finding>& out) const override {
+        const FlatProgram& fp = cp.flat;
+        std::set<int> read, written, emitted;
+        for (const Instr& I : fp.code) {
+            Access a = instr_access(I);
+            for (const auto& [d, loc] : a.reads) read.insert(d);
+            for (int d : a.writes) written.insert(d);
+            if (I.op == IOp::EmitInt) emitted.insert(I.a);
+        }
+
+        auto finding = [&](SourceLoc loc, std::string msg) {
+            Finding f;
+            f.pass = id();
+            f.severity = severity();
+            f.loc = loc;
+            f.message = std::move(msg);
+            out.push_back(std::move(f));
+        };
+
+        for (size_t d = 0; d < cp.sema.vars.size(); ++d) {
+            const VarInfo& v = cp.sema.vars[d];
+            if (read.count(static_cast<int>(d))) continue;
+            if (written.count(static_cast<int>(d))) {
+                finding(v.loc, "variable '" + v.name + "' is written but never read");
+            } else {
+                finding(v.loc, "variable '" + v.name + "' is never used");
+            }
+        }
+        for (size_t e = 0; e < cp.sema.internals.size(); ++e) {
+            const EventInfo& ev = cp.sema.internals[e];
+            bool is_emitted = emitted.count(static_cast<int>(e)) > 0;
+            bool is_awaited = !fp.int_gates[e].empty();
+            if (!is_emitted && !is_awaited) {
+                finding(ev.loc, "internal event '" + ev.name + "' is never used");
+            } else if (is_awaited && !is_emitted) {
+                finding(ev.loc, "internal event '" + ev.name +
+                                    "' is awaited but never emitted: those awaits "
+                                    "can never fire");
+            }
+        }
+    }
+};
+
+// -- unreachable-trail --------------------------------------------------------
+
+class UnreachableTrailPass final : public Pass {
+  public:
+    [[nodiscard]] std::string id() const override { return "unreachable-trail"; }
+    [[nodiscard]] std::string description() const override {
+        return "code after an await that a sibling par/or branch always preempts";
+    }
+
+    void run(const flat::CompiledProgram& cp, std::vector<Finding>& out) const override {
+        const FlatProgram& fp = cp.flat;
+        for (size_t p = 0; p < fp.pars.size(); ++p) {
+            const flat::ParInfo& par = fp.pars[p];
+            if (par.kind != ast::ParKind::ParOr) continue;
+
+            int sync_branch = -1;
+            for (size_t b = 0; b < par.branches.size(); ++b) {
+                if (always_sync_exit(cp, static_cast<int>(p), b)) {
+                    sync_branch = static_cast<int>(b);
+                    break;
+                }
+            }
+            if (sync_branch < 0) continue;
+
+            for (size_t b = 0; b < par.branches.size(); ++b) {
+                if (static_cast<int>(b) == sync_branch) continue;
+                std::set<Pc> visited;
+                std::vector<Pc> awaits;
+                first_awaits(fp, static_cast<int>(p), par.branches[b],
+                             par.branch_ranges[b], visited, awaits);
+                for (Pc a : awaits) {
+                    Finding f;
+                    f.pass = id();
+                    f.severity = severity();
+                    f.loc = fp.code[static_cast<size_t>(a)].loc;
+                    f.message =
+                        "code after this await never runs: a sibling branch of the "
+                        "`par/or` at line " +
+                        std::to_string(par.loc.line) +
+                        " always terminates in the reaction it starts, killing "
+                        "this trail before it can resume";
+                    out.push_back(std::move(f));
+                }
+            }
+        }
+    }
+
+  private:
+    /// True if every path from the branch entry reaches this par's rejoin
+    /// (or escapes past the par entirely) without crossing an await.
+    static bool always_sync_exit(const flat::CompiledProgram& cp, int par_idx,
+                                 size_t branch) {
+        const FlatProgram& fp = cp.flat;
+        const flat::ParInfo& par = fp.pars[static_cast<size_t>(par_idx)];
+        auto [lo, hi] = par.branch_ranges[branch];
+        std::map<Pc, int> color;  // 1 = in progress, 2 = true, 3 = false
+        std::function<bool(Pc)> visit = [&](Pc pc) -> bool {
+            if (pc < lo || pc >= hi) return true;  // left the branch: escaped
+            auto it = color.find(pc);
+            if (it != color.end()) return it->second == 2;  // cycle -> false
+            color[pc] = 1;
+            bool r = [&]() -> bool {
+                const Instr& I = fp.code[static_cast<size_t>(pc)];
+                switch (I.op) {
+                    case IOp::AwaitExt:
+                    case IOp::AwaitInt:
+                    case IOp::AwaitTime:
+                    case IOp::AwaitDyn:
+                    case IOp::AwaitForever:
+                    case IOp::AsyncRun:
+                    case IOp::Halt:
+                    case IOp::ParSpawn:  // conservative: nested par may await
+                        return false;
+                    case IOp::BranchEnd:
+                        return I.a == par_idx;
+                    case IOp::ProgReturn:
+                        return true;
+                    case IOp::Escape: {
+                        const flat::EscapeInfo& esc =
+                            fp.escapes[static_cast<size_t>(I.a)];
+                        return visit(esc.cont);
+                    }
+                    case IOp::IfNot:
+                        return visit(pc + 1) && visit(I.a);
+                    case IOp::Jump:
+                        return visit(I.a);
+                    default:
+                        return visit(pc + 1);
+                }
+            }();
+            color[pc] = r ? 2 : 3;
+            return r;
+        };
+        return visit(par.branches[branch]);
+    }
+
+    /// Collects the first await (or async spawn) on every path from `pc`,
+    /// descending into nested pars (their trails die with the region too).
+    static void first_awaits(const FlatProgram& fp, int par_idx, Pc pc,
+                             std::pair<Pc, Pc> range, std::set<Pc>& visited,
+                             std::vector<Pc>& awaits) {
+        auto [lo, hi] = range;
+        if (pc < lo || pc >= hi) return;
+        if (!visited.insert(pc).second) return;
+        const Instr& I = fp.code[static_cast<size_t>(pc)];
+        switch (I.op) {
+            case IOp::AwaitExt:
+            case IOp::AwaitInt:
+            case IOp::AwaitTime:
+            case IOp::AwaitDyn:
+            case IOp::AwaitForever:
+            case IOp::AsyncRun:
+                awaits.push_back(pc);
+                return;
+            case IOp::BranchEnd:
+                if (I.a == par_idx) return;
+                return;
+            case IOp::ProgReturn:
+            case IOp::Halt:
+                return;
+            case IOp::Escape: {
+                const flat::EscapeInfo& esc = fp.escapes[static_cast<size_t>(I.a)];
+                first_awaits(fp, par_idx, esc.cont, range, visited, awaits);
+                return;
+            }
+            case IOp::IfNot:
+                first_awaits(fp, par_idx, pc + 1, range, visited, awaits);
+                first_awaits(fp, par_idx, I.a, range, visited, awaits);
+                return;
+            case IOp::Jump:
+                first_awaits(fp, par_idx, I.a, range, visited, awaits);
+                return;
+            case IOp::ParSpawn: {
+                const flat::ParInfo& nested = fp.pars[static_cast<size_t>(I.a)];
+                for (Pc b : nested.branches) {
+                    first_awaits(fp, par_idx, b, range, visited, awaits);
+                }
+                return;
+            }
+            default:
+                first_awaits(fp, par_idx, pc + 1, range, visited, awaits);
+                return;
+        }
+    }
+};
+
+// -- emit-no-awaiter ----------------------------------------------------------
+
+class EmitNoAwaiterPass final : public Pass {
+  public:
+    [[nodiscard]] std::string id() const override { return "emit-no-awaiter"; }
+    [[nodiscard]] std::string description() const override {
+        return "emissions of internal events that no trail ever awaits";
+    }
+
+    void run(const flat::CompiledProgram& cp, std::vector<Finding>& out) const override {
+        const FlatProgram& fp = cp.flat;
+        for (const Instr& I : fp.code) {
+            if (I.op != IOp::EmitInt) continue;
+            if (!fp.int_gates[static_cast<size_t>(I.a)].empty()) continue;
+            Finding f;
+            f.pass = id();
+            f.severity = severity();
+            f.loc = I.loc;
+            f.message = "emit on internal event '" +
+                        cp.sema.internals[static_cast<size_t>(I.a)].name +
+                        "' that no trail ever awaits (the emission is a no-op)";
+            out.push_back(std::move(f));
+        }
+    }
+};
+
+}  // namespace
+
+const PassRegistry& default_registry() {
+    static const PassRegistry* reg = [] {
+        auto* r = new PassRegistry;
+        r->add(std::make_unique<UninitReadPass>());
+        r->add(std::make_unique<UnusedPass>());
+        r->add(std::make_unique<UnreachableTrailPass>());
+        r->add(std::make_unique<EmitNoAwaiterPass>());
+        return r;
+    }();
+    return *reg;
+}
+
+}  // namespace ceu::analysis

@@ -1,0 +1,66 @@
+#include "analysis/witness.hpp"
+
+#include <sstream>
+
+namespace ceu::analysis {
+
+using dfa::WitnessStep;
+
+std::string witness_chain(const std::vector<WitnessStep>& w) {
+    if (w.empty()) return "(no witness)";
+    std::string out;
+    for (size_t i = 0; i < w.size(); ++i) {
+        if (i) out += " -> ";
+        out += w[i].label();
+    }
+    return out;
+}
+
+std::string witness_script_text(const std::vector<WitnessStep>& w) {
+    std::ostringstream os;
+    for (const WitnessStep& s : w) {
+        switch (s.kind) {
+            case WitnessStep::Kind::Boot:
+                os << "# boot (implicit)\n";
+                break;
+            case WitnessStep::Kind::Event:
+                os << "E " << s.event << "\n";
+                break;
+            case WitnessStep::Kind::Time:
+                if (s.advance > 0) {
+                    os << "T " << s.advance << "\n";
+                } else {
+                    os << "# unknown-duration timer (await (expr)) fires here;\n"
+                       << "# the static analysis cannot name the concrete instant\n"
+                       << "T 0\n";
+                }
+                break;
+            case WitnessStep::Kind::AsyncDone:
+                os << "A\n";
+                break;
+        }
+    }
+    return os.str();
+}
+
+env::Script witness_script(const std::vector<WitnessStep>& w) {
+    env::Script s;
+    for (const WitnessStep& step : w) {
+        switch (step.kind) {
+            case WitnessStep::Kind::Boot:
+                break;  // the driver boots before feeding items
+            case WitnessStep::Kind::Event:
+                s.event(step.event);
+                break;
+            case WitnessStep::Kind::Time:
+                s.advance(step.advance);
+                break;
+            case WitnessStep::Kind::AsyncDone:
+                s.settle_asyncs();
+                break;
+        }
+    }
+    return s;
+}
+
+}  // namespace ceu::analysis

@@ -1,0 +1,28 @@
+// Witness traces as replayable artifacts: the DFA explorers record, for
+// every conflict, the boot->...->trigger input chain that reaches the
+// conflicting reaction. This module prints that chain as a human-readable
+// path and converts it into an env::Script (the `ceuc --run` protocol) so
+// `ceuc --explain` output can drive the runtime straight into the conflict.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "dfa/abstract.hpp"
+#include "env/script.hpp"
+
+namespace ceu::analysis {
+
+/// "boot -> A -> A -> TIME+10ms" (empty witness: "(no witness)").
+std::string witness_chain(const std::vector<dfa::WitnessStep>& w);
+
+/// The witness as `ceuc --run` script text, one command per line:
+/// events as `E <name>`, time as `T <us>`, async completions as `A`.
+/// Unknown-duration timer steps cannot be replayed exactly and are emitted
+/// as a `T 0` with an explanatory comment.
+std::string witness_script_text(const std::vector<dfa::WitnessStep>& w);
+
+/// The witness as an in-memory Script (tests replay this directly).
+env::Script witness_script(const std::vector<dfa::WitnessStep>& w);
+
+}  // namespace ceu::analysis

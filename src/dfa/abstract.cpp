@@ -38,6 +38,17 @@ bool MachineState::has_active_gate() const {
     return false;
 }
 
+std::string WitnessStep::label() const {
+    switch (kind) {
+        case Kind::Boot: return "boot";
+        case Kind::Event: return event;
+        case Kind::Time:
+            return advance > 0 ? "TIME+" + format_micros(advance) : "TIME+?";
+        case Kind::AsyncDone: return "async#" + event;
+    }
+    return "?";
+}
+
 std::string Conflict::str() const {
     std::ostringstream os;
     switch (kind) {
@@ -47,6 +58,7 @@ std::string Conflict::str() const {
     }
     os << " accessed concurrently (" << loc_a.str() << " vs " << loc_b.str()
        << ") on " << trigger;
+    if (occurrences > 1) os << " [x" << occurrences << "]";
     return os.str();
 }
 
@@ -63,6 +75,28 @@ std::string Trigger::label(const flat::CompiledProgram& cp) const {
         case Kind::AsyncDone: return "async#" + std::to_string(event);
     }
     return "?";
+}
+
+WitnessStep witness_step(const flat::CompiledProgram& cp, const Trigger& t) {
+    WitnessStep s;
+    switch (t.kind) {
+        case Trigger::Kind::Boot:
+            s.kind = WitnessStep::Kind::Boot;
+            break;
+        case Trigger::Kind::Ext:
+            s.kind = WitnessStep::Kind::Event;
+            s.event = cp.sema.inputs[static_cast<size_t>(t.event)].name;
+            break;
+        case Trigger::Kind::Time:
+            s.kind = WitnessStep::Kind::Time;
+            s.advance = t.advance;
+            break;
+        case Trigger::Kind::AsyncDone:
+            s.kind = WitnessStep::Kind::AsyncDone;
+            s.event = std::to_string(t.event);
+            break;
+    }
+    return s;
 }
 
 MachineState initial_state(const flat::CompiledProgram& cp) {

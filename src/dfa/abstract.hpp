@@ -36,6 +36,19 @@ struct MachineState {
     [[nodiscard]] bool has_active_gate() const;
 };
 
+/// One step of a witness trace: an input the environment must produce to
+/// move the program one reaction further along the path to a conflict.
+/// The chain boot -> step -> ... -> step is replayable as an env::Script
+/// (see analysis/witness.hpp).
+struct WitnessStep {
+    enum class Kind { Boot, Event, Time, AsyncDone };
+    Kind kind = Kind::Boot;
+    std::string event;   // Event: input event name
+    Micros advance = 0;  // Time: clock advance (0 = unknown-duration timer)
+
+    [[nodiscard]] std::string label() const;
+};
+
 /// One detected source of nondeterminism.
 struct Conflict {
     enum class Kind { Variable, InternalEvent, CCall };
@@ -43,6 +56,13 @@ struct Conflict {
     std::string what;   // variable/event/function name(s)
     SourceLoc loc_a, loc_b;
     std::string trigger;  // the input that provoked the concurrent reaction
+
+    /// Concrete input sequence (boot first) whose last step provokes the
+    /// conflicting reaction. Filled by the DFA explorers.
+    std::vector<WitnessStep> witness;
+    /// How many distinct (DFA state, trigger) discoveries reported this
+    /// same (kind, what, loc pair); see ConflictSet.
+    int occurrences = 1;
 
     [[nodiscard]] std::string str() const;
 };
@@ -75,6 +95,9 @@ std::vector<ReactionOutcome> abstract_react(const flat::CompiledProgram& cp,
 /// expiring timer groups with unknown-duration forks, async completions).
 std::vector<Trigger> enumerate_triggers(const flat::CompiledProgram& cp,
                                         const MachineState& state);
+
+/// The replayable witness step corresponding to a trigger.
+WitnessStep witness_step(const flat::CompiledProgram& cp, const Trigger& t);
 
 /// Initial machine state (everything inactive) sized for `cp`.
 MachineState initial_state(const flat::CompiledProgram& cp);

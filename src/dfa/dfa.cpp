@@ -1,29 +1,87 @@
 #include "dfa/dfa.hpp"
 
+#include <algorithm>
 #include <deque>
-#include <set>
 #include <sstream>
 #include <unordered_map>
 
 namespace ceu::dfa {
 
+// ---------------------------------------------------------------------------
+// ConflictSet
+// ---------------------------------------------------------------------------
+
+std::string ConflictSet::key(const Conflict& c) {
+    // The pair is symmetric: order the locations so (a, b) and (b, a)
+    // produce the same key.
+    SourceLoc lo = c.loc_a;
+    SourceLoc hi = c.loc_b;
+    if (hi.line < lo.line || (hi.line == lo.line && hi.col < lo.col)) {
+        std::swap(lo, hi);
+    }
+    std::ostringstream os;
+    os << static_cast<int>(c.kind) << '|' << c.what << '|' << lo.line << ':'
+       << lo.col << '|' << hi.line << ':' << hi.col;
+    return os.str();
+}
+
+void ConflictSet::add(Conflict c) {
+    // Normalize the symmetric pair so the stored conflict matches its key.
+    if (c.loc_b.line < c.loc_a.line ||
+        (c.loc_b.line == c.loc_a.line && c.loc_b.col < c.loc_a.col)) {
+        std::swap(c.loc_a, c.loc_b);
+    }
+    std::string k = key(c);
+    auto it = by_key_.find(k);
+    if (it == by_key_.end()) {
+        c.occurrences = 1;
+        by_key_.emplace(std::move(k), std::move(c));
+        return;
+    }
+    Conflict& have = it->second;
+    ++have.occurrences;
+    // Prefer the shortest witness; break ties lexicographically so the
+    // merged result is independent of discovery order.
+    auto witness_rank = [](const Conflict& x) {
+        std::string joined;
+        for (const WitnessStep& s : x.witness) joined += s.label() + ";";
+        return std::make_pair(x.witness.size(), joined);
+    };
+    if (witness_rank(c) < witness_rank(have)) {
+        have.witness = std::move(c.witness);
+        have.trigger = std::move(c.trigger);
+    }
+}
+
+std::vector<Conflict> ConflictSet::take() {
+    std::vector<Conflict> out;
+    out.reserve(by_key_.size());
+    for (auto& [k, c] : by_key_) out.push_back(std::move(c));
+    by_key_.clear();
+    return out;
+}
+
+// ---------------------------------------------------------------------------
+// Serial exploration (the reference explorer)
+// ---------------------------------------------------------------------------
+
 Dfa Dfa::build(const flat::CompiledProgram& cp, DfaOptions opt) {
     Dfa dfa;
     std::unordered_map<std::string, int> index;
     std::deque<int> worklist;
-    std::set<std::string> conflict_keys;
-
-    auto add_conflict = [&](Conflict c) {
-        // Normalize the symmetric pair so each conflict reports once.
-        if (c.loc_b.line < c.loc_a.line ||
-            (c.loc_b.line == c.loc_a.line && c.loc_b.col < c.loc_a.col)) {
-            std::swap(c.loc_a, c.loc_b);
-        }
-        if (conflict_keys.insert(c.str()).second) dfa.conflicts_.push_back(c);
+    ConflictSet cset;
+    // Conflicts keep only the source state until exploration ends; the
+    // witness chain is reconstructed from predecessor links afterwards.
+    struct Pending {
+        Conflict c;
+        int src = -1;  // state the conflicting reaction left from (-1: boot)
+        WitnessStep step;
     };
+    std::vector<Pending> pending;
+    bool any_conflict = false;
 
     auto intern = [&](MachineState ms, const std::vector<std::string>& executed,
-                      bool conflicted) -> int {
+                      bool conflicted, int pred, const WitnessStep& step) -> int {
         std::string key = ms.key();
         auto it = index.find(key);
         int id;
@@ -34,6 +92,8 @@ Dfa Dfa::build(const flat::CompiledProgram& cp, DfaOptions opt) {
             node.id = id;
             node.terminal = !ms.has_active_gate();
             node.state = std::move(ms);
+            node.pred = pred;
+            node.pred_step = step;
             dfa.states_.push_back(std::move(node));
             worklist.push_back(id);
         } else {
@@ -57,9 +117,13 @@ Dfa Dfa::build(const flat::CompiledProgram& cp, DfaOptions opt) {
     // Boot reaction.
     Trigger boot;
     boot.kind = Trigger::Kind::Boot;
+    WitnessStep boot_step = witness_step(cp, boot);
     for (ReactionOutcome& o : abstract_react(cp, initial_state(cp), boot)) {
-        for (const Conflict& c : o.conflicts) add_conflict(c);
-        intern(std::move(o.next), o.executed, !o.conflicts.empty());
+        for (const Conflict& c : o.conflicts) {
+            pending.push_back({c, -1, boot_step});
+            any_conflict = true;
+        }
+        intern(std::move(o.next), o.executed, !o.conflicts.empty(), -1, boot_step);
     }
 
     while (!worklist.empty()) {
@@ -67,7 +131,7 @@ Dfa Dfa::build(const flat::CompiledProgram& cp, DfaOptions opt) {
             dfa.complete_ = false;
             break;
         }
-        if (opt.stop_at_first_conflict && !dfa.conflicts_.empty()) {
+        if (opt.stop_at_first_conflict && any_conflict) {
             dfa.complete_ = false;
             break;
         }
@@ -79,14 +143,88 @@ Dfa Dfa::build(const flat::CompiledProgram& cp, DfaOptions opt) {
         MachineState state = dfa.states_[static_cast<size_t>(id)].state;
         for (const Trigger& t : enumerate_triggers(cp, state)) {
             std::string label = t.label(cp);
+            WitnessStep step = witness_step(cp, t);
             for (ReactionOutcome& o : abstract_react(cp, state, t)) {
-                for (const Conflict& c : o.conflicts) add_conflict(c);
-                int target = intern(std::move(o.next), o.executed, !o.conflicts.empty());
+                for (const Conflict& c : o.conflicts) {
+                    pending.push_back({c, id, step});
+                    any_conflict = true;
+                }
+                int target = intern(std::move(o.next), o.executed, !o.conflicts.empty(),
+                                    id, step);
                 dfa.states_[static_cast<size_t>(id)].out.push_back({label, target});
             }
         }
     }
+
+    for (Pending& p : pending) {
+        p.c.witness = dfa.witness_into(p.src);
+        p.c.witness.push_back(p.step);
+        cset.add(std::move(p.c));
+    }
+    dfa.conflicts_ = cset.take();
     return dfa;
+}
+
+Dfa Dfa::assemble(std::vector<DfaStateNode> states, std::vector<Conflict> conflicts,
+                  bool complete) {
+    Dfa dfa;
+    dfa.states_ = std::move(states);
+    dfa.conflicts_ = std::move(conflicts);
+    dfa.complete_ = complete;
+    return dfa;
+}
+
+std::vector<WitnessStep> Dfa::witness_into(int state_id) const {
+    std::vector<WitnessStep> chain;
+    if (state_id < 0) {
+        // A boot-reaction conflict: the path is just "boot" (appended by
+        // the caller as the provoking step).
+        return chain;
+    }
+    int at = state_id;
+    while (at >= 0) {
+        const DfaStateNode& n = states_[static_cast<size_t>(at)];
+        chain.push_back(n.pred_step);
+        at = n.pred;
+    }
+    std::reverse(chain.begin(), chain.end());
+    return chain;
+}
+
+std::string Dfa::signature() const {
+    // Map ids to state keys so transitions are expressed id-independently.
+    std::vector<std::string> keys(states_.size());
+    for (size_t i = 0; i < states_.size(); ++i) keys[i] = states_[i].state.key();
+
+    std::vector<std::string> lines;
+    lines.reserve(states_.size());
+    for (const DfaStateNode& s : states_) {
+        std::ostringstream os;
+        os << "S " << keys[static_cast<size_t>(s.id)];
+        os << " conflict=" << (s.has_conflict ? 1 : 0)
+           << " terminal=" << (s.terminal ? 1 : 0);
+        std::vector<std::string> ex(s.executed.begin(), s.executed.end());
+        std::sort(ex.begin(), ex.end());
+        for (const std::string& e : ex) os << " !" << e;
+        std::vector<std::string> outs;
+        outs.reserve(s.out.size());
+        for (const DfaTransition& t : s.out) {
+            outs.push_back(t.label + " -> " + keys[static_cast<size_t>(t.target)]);
+        }
+        std::sort(outs.begin(), outs.end());
+        for (const std::string& o : outs) os << " [" << o << "]";
+        lines.push_back(os.str());
+    }
+    std::sort(lines.begin(), lines.end());
+
+    std::ostringstream os;
+    for (const std::string& l : lines) os << l << "\n";
+    os << "-- conflicts --\n";
+    for (const Conflict& c : conflicts_) {
+        os << ConflictSet::key(c) << " x" << c.occurrences << "\n";
+    }
+    os << "complete=" << (complete_ ? 1 : 0) << "\n";
+    return os.str();
 }
 
 std::string Dfa::to_dot(const std::string& title) const {

@@ -35,11 +35,41 @@ struct DfaStateNode {
     std::vector<std::string> executed;  // stmts run by reactions *entering* it
     bool has_conflict = false;          // some entering reaction conflicts
     bool terminal = false;              // no awaiting trails: program over
+    // Witness bookkeeping: the first-discovered predecessor and the input
+    // that led from it into this state (pred < 0: entered by boot).
+    int pred = -1;
+    WitnessStep pred_step;
+};
+
+/// Deduplicates conflicts across DFA states: the same (kind, what, loc
+/// pair) reached via many states/triggers is reported once with an
+/// occurrence count; the (a, b)/(b, a) orderings are normalized. Keeps the
+/// shortest (then lexicographically smallest) witness so reports stay
+/// deterministic regardless of exploration order.
+class ConflictSet {
+  public:
+    void add(Conflict c);
+    /// Sorted (by kind, name, locations) final conflict list.
+    [[nodiscard]] std::vector<Conflict> take();
+    [[nodiscard]] bool empty() const { return by_key_.empty(); }
+
+    /// The normalization/dedup key (also used by Dfa::signature()).
+    static std::string key(const Conflict& c);
+
+  private:
+    std::map<std::string, Conflict> by_key_;
 };
 
 class Dfa {
   public:
     static Dfa build(const flat::CompiledProgram& cp, DfaOptions opt = {});
+
+    /// Assembles a Dfa from externally-explored parts (the parallel
+    /// explorer in analysis/explore.cpp). `states` must already carry
+    /// dense ids matching their indices; `conflicts` should come from a
+    /// ConflictSet so they are deduplicated and sorted.
+    static Dfa assemble(std::vector<DfaStateNode> states, std::vector<Conflict> conflicts,
+                        bool complete);
 
     /// True iff no reachable reaction exhibits nondeterminism.
     [[nodiscard]] bool deterministic() const { return conflicts_.empty(); }
@@ -56,6 +86,16 @@ class Dfa {
 
     /// Human-readable conflict report (empty when deterministic).
     [[nodiscard]] std::string report() const;
+
+    /// The input chain (boot first) that reaches `state_id` from the
+    /// initial state, following first-discovered predecessors.
+    [[nodiscard]] std::vector<WitnessStep> witness_into(int state_id) const;
+
+    /// Order-normalized canonical form: independent of state ids and
+    /// exploration order, so a serial and a parallel exploration of the
+    /// same program compare equal iff they found the same state set, the
+    /// same transition structure, and the same conflict set.
+    [[nodiscard]] std::string signature() const;
 
   private:
     std::vector<DfaStateNode> states_;

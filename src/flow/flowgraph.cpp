@@ -152,6 +152,14 @@ FlowGraph build_flow_graph(const flat::CompiledProgram& cp) {
     return g;
 }
 
+std::vector<std::vector<int>> FlowGraph::successors() const {
+    std::vector<std::vector<int>> succs(nodes.size());
+    for (const Edge& e : edges) {
+        succs[static_cast<size_t>(e.from)].push_back(e.to);
+    }
+    return succs;
+}
+
 std::string FlowGraph::to_dot(const std::string& title) const {
     std::ostringstream os;
     os << "digraph \"" << title << "\" {\n  rankdir=TB;\n  node [shape=box, "

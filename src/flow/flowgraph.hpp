@@ -30,6 +30,10 @@ struct FlowGraph {
     std::vector<Edge> edges;
 
     [[nodiscard]] std::string to_dot(const std::string& title = "flow") const;
+
+    /// The edge list as an adjacency vector indexed by pc (dataflow passes
+    /// iterate successors; the edge list is better for export).
+    [[nodiscard]] std::vector<std::vector<int>> successors() const;
 };
 
 /// Builds the flow graph of a compiled program.

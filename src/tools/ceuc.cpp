@@ -7,7 +7,20 @@
 //   ceuc --disasm file.ceu        print the flat-program disassembly
 //   ceuc --dfa-dot file.ceu       print the temporal-analysis DFA (Graphviz)
 //   ceuc --flow-dot file.ceu      print the flow graph (Graphviz)
+//   ceuc --lint file.ceu          temporal analysis + lint passes
+//   ceuc --explain file.ceu       on refusal, print each conflict's witness
+//                                 chain (stderr) and a replayable script
+//                                 reaching the first conflict (stdout)
 //   ceuc --no-analysis ...        skip the temporal analysis
+//
+// Analysis options:
+//   --analysis-jobs N             explore the DFA with N worker threads
+//   --max-states N                state budget (default 20000)
+//   --strict                      incomplete analysis => exit 1
+//   --fail-fast                   stop exploring at the first conflict
+//   --diag-format=text|json       --lint output format (JSON: one object
+//                                 per diagnostic, for CI gating)
+//   --lint-only=a,b  --lint-disable=a,b   pass-level enable/disable
 //
 // Input script protocol (one item per line, matching the C harness; see
 // env::Script::parse for the full grammar):
@@ -23,6 +36,9 @@
 #include <iostream>
 #include <sstream>
 
+#include "analysis/explore.hpp"
+#include "analysis/lint.hpp"
+#include "analysis/witness.hpp"
 #include "cgen/cgen.hpp"
 #include "codegen/flatten.hpp"
 #include "demos/demos.hpp"
@@ -37,9 +53,28 @@ using namespace ceu;
 
 int usage() {
     std::fprintf(stderr,
-                 "usage: ceuc [--run|--emit-c|--disasm|--dfa-dot|--flow-dot] "
-                 "[--no-analysis] <file.ceu>\n");
+                 "usage: ceuc [--run|--emit-c|--disasm|--dfa-dot|--flow-dot|--lint|"
+                 "--explain]\n"
+                 "            [--no-analysis] [--analysis-jobs N] [--max-states N] "
+                 "[--strict]\n"
+                 "            [--fail-fast] [--diag-format=text|json] "
+                 "[--lint-only=IDs] [--lint-disable=IDs] <file.ceu>\n");
     return 2;
+}
+
+std::vector<std::string> split_ids(const std::string& csv) {
+    std::vector<std::string> out;
+    std::string cur;
+    for (char c : csv) {
+        if (c == ',') {
+            if (!cur.empty()) out.push_back(cur);
+            cur.clear();
+        } else {
+            cur += c;
+        }
+    }
+    if (!cur.empty()) out.push_back(cur);
+    return out;
 }
 
 std::string read_file(const std::string& path) {
@@ -108,19 +143,62 @@ int run_program(const flat::CompiledProgram& cp) {
 }  // namespace
 
 int main(int argc, char** argv) {
-    enum class Mode { Check, Run, EmitC, Disasm, DfaDot, FlowDot };
+    enum class Mode { Check, Run, EmitC, Disasm, DfaDot, FlowDot, Lint, Explain };
     Mode mode = Mode::Check;
     bool analysis = true;
+    bool strict = false;
+    bool json = false;
+    analysis::ExploreOptions eopt;
+    analysis::LintOptions lopt;
     std::string path;
+
+    // `--flag value` and `--flag=value` are both accepted.
+    auto value_of = [&](const std::string& a, const char* name, int& i,
+                        std::string* out) -> bool {
+        std::string prefix = std::string(name) + "=";
+        if (a == name) {
+            if (i + 1 >= argc) return false;
+            *out = argv[++i];
+            return true;
+        }
+        if (a.rfind(prefix, 0) == 0) {
+            *out = a.substr(prefix.size());
+            return true;
+        }
+        return false;
+    };
 
     for (int i = 1; i < argc; ++i) {
         std::string a = argv[i];
+        std::string v;
         if (a == "--run") mode = Mode::Run;
         else if (a == "--emit-c") mode = Mode::EmitC;
         else if (a == "--disasm") mode = Mode::Disasm;
         else if (a == "--dfa-dot") mode = Mode::DfaDot;
         else if (a == "--flow-dot") mode = Mode::FlowDot;
+        else if (a == "--lint") mode = Mode::Lint;
+        else if (a == "--explain") mode = Mode::Explain;
         else if (a == "--no-analysis") analysis = false;
+        else if (a == "--strict") strict = true;
+        else if (a == "--fail-fast") eopt.stop_at_first_conflict = true;
+        else if (a.rfind("--analysis-jobs", 0) == 0 &&
+                 value_of(a, "--analysis-jobs", i, &v)) {
+            eopt.jobs = std::max(1, std::atoi(v.c_str()));
+        } else if (a.rfind("--max-states", 0) == 0 && value_of(a, "--max-states", i, &v)) {
+            long n = std::atol(v.c_str());
+            if (n <= 0) return usage();
+            eopt.max_states = static_cast<size_t>(n);
+        } else if (a.rfind("--diag-format", 0) == 0 &&
+                   value_of(a, "--diag-format", i, &v)) {
+            if (v == "json") json = true;
+            else if (v == "text") json = false;
+            else return usage();
+        } else if (a.rfind("--lint-only", 0) == 0 && value_of(a, "--lint-only", i, &v)) {
+            lopt.only = split_ids(v);
+        } else if (a.rfind("--lint-disable", 0) == 0 &&
+                   value_of(a, "--lint-disable", i, &v)) {
+            lopt.disable = split_ids(v);
+        }
         else if (a == "--help" || a == "-h") return usage();
         else if (!a.empty() && a[0] == '-' && a != "-") return usage();
         else path = a;
@@ -140,26 +218,88 @@ int main(int argc, char** argv) {
         }
 
         if (analysis) {
-            dfa::Dfa d = dfa::Dfa::build(cp);
+            dfa::Dfa d = analysis::explore(cp, eopt);
+            // An exploration truncated by the state budget proves nothing:
+            // never let it masquerade as an "OK".
+            bool budget_exhausted =
+                !d.complete() && !(eopt.stop_at_first_conflict && !d.deterministic());
+
+            if (mode == Mode::Lint) {
+                std::vector<analysis::Finding> findings;
+                for (const dfa::Conflict& c : d.conflicts()) {
+                    findings.push_back(analysis::conflict_finding(c));
+                }
+                if (budget_exhausted) {
+                    findings.push_back(
+                        analysis::incomplete_finding(d.state_count(), eopt.max_states));
+                }
+                std::vector<analysis::Finding> lints = analysis::run_lints(cp, lopt);
+                findings.insert(findings.end(), std::make_move_iterator(lints.begin()),
+                                std::make_move_iterator(lints.end()));
+                bool errors = false;
+                for (const analysis::Finding& f : findings) {
+                    errors = errors || f.severity == Severity::Error;
+                    std::printf("%s\n",
+                                (json ? f.json(path) : f.str(path)).c_str());
+                }
+                if (errors) return 1;
+                return (strict && budget_exhausted) ? 1 : 0;
+            }
+
+            if (budget_exhausted) {
+                std::fprintf(stderr,
+                             "warning: temporal analysis incomplete (state budget "
+                             "exhausted: %zu states explored, --max-states=%zu); "
+                             "determinism NOT proven\n",
+                             d.state_count(), eopt.max_states);
+                if (strict && mode != Mode::DfaDot) {
+                    std::fprintf(stderr, "error: --strict: refusing incompletely "
+                                         "analyzed program\n");
+                    return 1;
+                }
+            }
             if (!d.deterministic()) {
                 std::fprintf(stderr, "temporal analysis refused the program:\n%s",
                              d.report().c_str());
+                if (mode == Mode::Explain) {
+                    for (const dfa::Conflict& c : d.conflicts()) {
+                        std::fprintf(
+                            stderr, "  witness: %s\n",
+                            analysis::witness_chain(c.witness).c_str());
+                    }
+                    const dfa::Conflict& first = d.conflicts().front();
+                    std::printf("# replay script reaching: %s\n", first.str().c_str());
+                    std::printf("%s",
+                                analysis::witness_script_text(first.witness).c_str());
+                    std::printf("Q\n");
+                }
                 if (mode != Mode::DfaDot) return 1;
             }
             if (mode == Mode::DfaDot) {
                 std::printf("%s", d.to_dot(path).c_str());
                 return d.deterministic() ? 0 : 1;
             }
-            if (mode == Mode::Check) {
-                std::printf("%s: OK (%zu DFA states, %zu instructions, %d slots, "
+            if (mode == Mode::Check || mode == Mode::Explain) {
+                std::printf("%s: %s (%zu DFA states, %zu instructions, %d slots, "
                             "%zu gates)\n",
-                            path.c_str(), d.state_count(), cp.flat.code.size(),
+                            path.c_str(),
+                            budget_exhausted ? "no conflicts found, INCOMPLETE" : "OK",
+                            d.state_count(), cp.flat.code.size(),
                             cp.flat.data_size, cp.flat.gates.size());
                 return 0;
             }
         } else if (mode == Mode::Check) {
             std::printf("%s: parsed and flattened (analysis skipped)\n", path.c_str());
             return 0;
+        } else if (mode == Mode::Lint) {
+            std::vector<analysis::Finding> findings = analysis::run_lints(cp, lopt);
+            for (const analysis::Finding& f : findings) {
+                std::printf("%s\n", (json ? f.json(path) : f.str(path)).c_str());
+            }
+            return 0;
+        } else if (mode == Mode::Explain) {
+            std::fprintf(stderr, "--explain requires the analysis\n");
+            return 2;
         } else if (mode == Mode::DfaDot) {
             std::fprintf(stderr, "--dfa-dot requires the analysis\n");
             return 2;

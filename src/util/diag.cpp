@@ -4,7 +4,6 @@
 
 namespace ceu {
 
-namespace {
 const char* severity_name(Severity s) {
     switch (s) {
         case Severity::Note: return "note";
@@ -13,7 +12,6 @@ const char* severity_name(Severity s) {
     }
     return "?";
 }
-}  // namespace
 
 std::string Diagnostic::str() const {
     std::ostringstream os;

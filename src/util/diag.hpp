@@ -13,6 +13,10 @@ namespace ceu {
 
 enum class Severity { Note, Warning, Error };
 
+/// "note" / "warning" / "error" — the spelling used in diagnostic output
+/// (shared by Diagnostic::str and the analysis Finding printers).
+const char* severity_name(Severity s);
+
 struct Diagnostic {
     Severity severity = Severity::Error;
     SourceLoc loc;
