@@ -47,9 +47,23 @@ void print_expr_to(const Expr& e, std::ostringstream& os) {
         case ExprKind::Num:
             os << static_cast<const NumExpr&>(e).value;
             break;
-        case ExprKind::Str:
-            os << '"' << static_cast<const StrExpr&>(e).value << '"';
+        case ExprKind::Str: {
+            // The lexer unescaped the literal; re-escape so the printed
+            // source lexes back (and survives verbatim inclusion in C).
+            os << '"';
+            for (char c : static_cast<const StrExpr&>(e).value) {
+                switch (c) {
+                    case '\n': os << "\\n"; break;
+                    case '\t': os << "\\t"; break;
+                    case '\r': os << "\\r"; break;
+                    case '\\': os << "\\\\"; break;
+                    case '"': os << "\\\""; break;
+                    default: os << c;
+                }
+            }
+            os << '"';
             break;
+        }
         case ExprKind::Null:
             os << "null";
             break;
@@ -164,6 +178,34 @@ void print_stmt(const Stmt& s, std::ostringstream& os, int indent) {
             os << p << "end;\n";
             break;
         }
+        case StmtKind::Assign: {
+            // `v = par do .. end` / `v = do .. end` / `v = async do .. end`
+            // must print their full bodies to stay re-parseable; simple
+            // SetExps (`v = e`, `v = await X`) keep the one-line form.
+            const auto& n = static_cast<const AssignStmt&>(s);
+            if (n.rhs_stmt != nullptr &&
+                (n.rhs_stmt->kind == StmtKind::Par || n.rhs_stmt->kind == StmtKind::Block ||
+                 n.rhs_stmt->kind == StmtKind::Async)) {
+                os << p << print_expr(*n.lhs) << " =\n";
+                print_stmt(*n.rhs_stmt, os, indent + 3);
+                break;
+            }
+            os << p << summarize_stmt(s) << ";\n";
+            break;
+        }
+        case StmtKind::DeclVar: {
+            const auto& n = static_cast<const DeclVarStmt&>(s);
+            if (n.vars.size() == 1 && n.vars[0].init_stmt != nullptr &&
+                (n.vars[0].init_stmt->kind == StmtKind::Par ||
+                 n.vars[0].init_stmt->kind == StmtKind::Block ||
+                 n.vars[0].init_stmt->kind == StmtKind::Async)) {
+                os << p << n.type.str() << ' ' << n.vars[0].name << " =\n";
+                print_stmt(*n.vars[0].init_stmt, os, indent + 3);
+                break;
+            }
+            os << p << summarize_stmt(s) << ";\n";
+            break;
+        }
         default:
             os << p << summarize_stmt(s) << ";\n";
             break;
@@ -209,6 +251,7 @@ std::string summarize_stmt(const Stmt& s) {
                 os << (i ? ", " : " ") << n.vars[i].name;
                 if (n.vars[i].array_size) os << "[" << n.vars[i].array_size << "]";
                 if (n.vars[i].init) os << " = " << print_expr(*n.vars[i].init);
+                else if (n.vars[i].init_stmt) os << " = " << summarize_stmt(*n.vars[i].init_stmt);
             }
             break;
         }

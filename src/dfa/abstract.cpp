@@ -55,6 +55,7 @@ std::string Conflict::str() const {
         case Kind::Variable: os << "variable '" << what << "'"; break;
         case Kind::InternalEvent: os << "internal event '" << what << "'"; break;
         case Kind::CCall: os << "C call(s) " << what; break;
+        case Kind::Escape: os << "block exit/return (" << what << ")"; break;
     }
     os << " accessed concurrently (" << loc_a.str() << " vs " << loc_b.str()
        << ") on " << trigger;
@@ -117,6 +118,8 @@ struct Seg {
     std::vector<std::pair<std::string, SourceLoc>> ccalls;
     std::map<int, SourceLoc> var_loc;  // representative location per var
     std::map<int, SourceLoc> evt_loc;  // representative location per event
+    std::map<int, SourceLoc> escapes;  // escape index (-1: program return)
+    Pc entry = -1;                     // pc the segment started at
 };
 
 struct AbsTrack {
@@ -149,6 +152,7 @@ struct Machine {
     std::vector<std::pair<int, int>> hb;  // happens-before edges
     std::set<std::string> executed;
     uint64_t seq = 0;
+    bool terminated = false;  // a ProgReturn ran this reaction
 };
 
 class AbstractExec {
@@ -271,6 +275,7 @@ class AbstractExec {
                 m.queue.erase(m.queue.begin() + static_cast<std::ptrdiff_t>(best));
                 int seg = static_cast<int>(m.segs.size());
                 m.segs.emplace_back();
+                m.segs.back().entry = t.pc;
                 if (t.parent_seg >= 0) m.hb.emplace_back(t.parent_seg, seg);
                 for (int p : t.extra_parents) m.hb.emplace_back(p, seg);
                 if (!exec(m, t.pc, t.prio, seg)) return;  // forked; children finish
@@ -280,6 +285,7 @@ class AbstractExec {
                 if (f.dead) continue;
                 int seg = static_cast<int>(m.segs.size());
                 m.segs.emplace_back();
+                m.segs.back().entry = f.resume;
                 // Everything the nested reaction ran precedes the resume.
                 if (f.seg >= 0) m.hb.emplace_back(f.seg, seg);
                 for (size_t s = f.seg_watermark; s + 1 < m.segs.size(); ++s) {
@@ -464,6 +470,9 @@ class AbstractExec {
 
                 case IOp::Escape: {
                     note_executed(m, I);
+                    // Recorded even when the exit was already scheduled by
+                    // a sibling: that second arrival IS the race.
+                    m.segs[static_cast<size_t>(seg)].escapes.emplace(I.a, I.loc);
                     const flat::EscapeInfo& esc = fp_.escapes[static_cast<size_t>(I.a)];
                     int64_t& sched = m.flags[esc.sched_slot];
                     if (sched != 0) return true;
@@ -487,13 +496,14 @@ class AbstractExec {
 
                 case IOp::ProgReturn:
                     note_executed(m, I);
+                    m.segs[static_cast<size_t>(seg)].escapes.emplace(-1, I.loc);
                     if (I.e1 != nullptr) record_reads(m, seg, *I.e1);
-                    // Termination: wipe everything awaiting.
-                    std::fill(m.gates.begin(), m.gates.end(), 0);
-                    m.timers.clear();
-                    m.queue.clear();
-                    for (AbsFrame& f : m.stack) f.dead = true;
-                    m.counters.clear();
+                    // Don't clear the queue: tracks already scheduled would
+                    // have run *before* the return under another tie-break,
+                    // so they ghost-run (as killed siblings do for Escape)
+                    // and the conflict check sees their effects. The
+                    // terminal wipe happens in finish().
+                    m.terminated = true;
                     return true;
 
                 case IOp::AsyncRun:
@@ -519,6 +529,12 @@ class AbstractExec {
     // -- conflict detection at reaction end -----------------------------------------
 
     void finish(Machine m) {
+        if (m.terminated) {
+            // Program returned: nothing awaits any more.
+            std::fill(m.gates.begin(), m.gates.end(), 0);
+            m.timers.clear();
+            m.counters.clear();
+        }
         ReactionOutcome out;
         out.next.gates = std::move(m.gates);
         out.next.timers = std::move(m.timers);
@@ -585,6 +601,57 @@ class AbstractExec {
                 };
                 evt_conflicts(a, b);
                 evt_conflicts(b, a);
+
+                // Block exits / program returns. Two unordered exits of
+                // the same target race for the result value and the
+                // continuation; an exit also kills every unfinished trail
+                // of its region, so racing an *effectful* trail inside the
+                // region means those effects happen-or-not by order.
+                auto has_effects = [](const Seg& s) {
+                    return !s.writes.empty() || !s.emits.empty() || !s.ccalls.empty() ||
+                           !s.escapes.empty();
+                };
+                auto effect_loc = [](const Seg& s) {
+                    if (!s.ccalls.empty()) return s.ccalls.front().second;
+                    if (!s.var_loc.empty()) return s.var_loc.begin()->second;
+                    if (!s.evt_loc.empty()) return s.evt_loc.begin()->second;
+                    if (!s.escapes.empty()) return s.escapes.begin()->second;
+                    return SourceLoc{};
+                };
+                auto esc_conflicts = [&](const Seg& e, const Seg& o) {
+                    for (const auto& [idx, eloc] : e.escapes) {
+                        SourceLoc oloc;
+                        bool collide = false;
+                        auto same = o.escapes.find(idx);
+                        if (same != o.escapes.end()) {
+                            collide = true;
+                            oloc = same->second;
+                        } else if (has_effects(o)) {
+                            bool in_region = idx < 0;  // return kills all
+                            if (idx >= 0) {
+                                const flat::RegionInfo& r =
+                                    fp_.regions[static_cast<size_t>(
+                                        fp_.escapes[static_cast<size_t>(idx)].region)];
+                                in_region = o.entry >= r.pc_begin && o.entry < r.pc_end;
+                            }
+                            if (in_region) {
+                                collide = true;
+                                oloc = effect_loc(o);
+                            }
+                        }
+                        if (collide) {
+                            Conflict c;
+                            c.kind = Conflict::Kind::Escape;
+                            c.what = idx < 0 ? "return" : "break/return";
+                            c.loc_a = eloc;
+                            c.loc_b = oloc;
+                            c.trigger = trig;
+                            out.conflicts.push_back(c);
+                        }
+                    }
+                };
+                esc_conflicts(a, b);
+                esc_conflicts(b, a);
 
                 // C calls: every unordered pair must be annotation-allowed.
                 for (const auto& [f, floc] : a.ccalls) {

@@ -49,9 +49,14 @@ struct WitnessStep {
     [[nodiscard]] std::string label() const;
 };
 
-/// One detected source of nondeterminism.
+/// One detected source of nondeterminism. `Escape` extends the paper's
+/// three sources: concurrent exits of the same block (two par/or branches
+/// breaking, two value-par branches returning, two program returns) — or a
+/// block exit racing an effectful trail it would kill — leave the winner,
+/// and thus the observable behaviour, to scheduling order. (Found by the
+/// differential conformance harness, tests/corpus/.)
 struct Conflict {
-    enum class Kind { Variable, InternalEvent, CCall };
+    enum class Kind { Variable, InternalEvent, CCall, Escape };
     Kind kind = Kind::Variable;
     std::string what;   // variable/event/function name(s)
     SourceLoc loc_a, loc_b;

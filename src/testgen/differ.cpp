@@ -1,0 +1,267 @@
+#include "testgen/differ.hpp"
+
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#include "cgen/cgen.hpp"
+#include "codegen/flatten.hpp"
+#include "dfa/dfa.hpp"
+#include "env/driver.hpp"
+#include "runtime/engine.hpp"
+#include "testgen/generator.hpp"
+
+namespace ceu::testgen {
+namespace {
+
+struct InterpRun {
+    std::vector<std::string> trace;
+    int exit_code = 0;
+    rt::Engine::Status status = rt::Engine::Status::Loaded;
+    bool error = false;
+    std::string error_msg;
+};
+
+/// Mirrors env::Driver::run and the cgen main(): boot, feed the script
+/// (stopping once the program leaves Running), drain asyncs to idle.
+InterpRun run_interp(const flat::CompiledProgram& cp, const env::Script& script,
+                     rt::EngineOptions::TieBreak tb) {
+    rt::CBindings bindings = env::make_standard_bindings();
+    rt::EngineOptions opt;
+    opt.tie_break = tb;
+    InterpRun r;
+    try {
+        rt::Engine eng(cp, bindings, opt);
+        eng.on_trace = [&r](const std::string& line) { r.trace.push_back(line); };
+        eng.go_init();
+        Micros clock = 0;
+        for (const env::ScriptItem& item : script.items()) {
+            if (eng.status() != rt::Engine::Status::Running) break;
+            switch (item.kind) {
+                case env::ScriptItem::Kind::Event:
+                    eng.go_event_by_name(item.event, item.value);
+                    break;
+                case env::ScriptItem::Kind::Advance:
+                    clock += item.us;
+                    eng.go_time(clock);
+                    break;
+                case env::ScriptItem::Kind::AsyncIdle:
+                    for (int i = 0; i < 10'000'000 && eng.go_async(); ++i) {}
+                    break;
+                case env::ScriptItem::Kind::Crash:
+                    eng.reset();
+                    eng.go_init();
+                    break;
+            }
+        }
+        while (eng.status() == rt::Engine::Status::Running && eng.go_async()) {}
+        r.status = eng.status();
+        // The cgen harness exits with (int)result truncated by the OS to
+        // one byte; fold the interpreter result the same way.
+        r.exit_code = static_cast<int>(static_cast<uint8_t>(eng.result().as_int()));
+    } catch (const std::exception& e) {
+        r.error = true;
+        r.error_msg = e.what();
+    }
+    return r;
+}
+
+struct CgenRun {
+    std::vector<std::string> lines;
+    int exit_code = 0;
+    bool build_error = false;
+    bool run_error = false;
+    std::string error_msg;
+};
+
+CgenRun run_cgen(const flat::CompiledProgram& cp, const std::string& script,
+                 const DiffOptions& opt, const std::string& base) {
+    CgenRun out;
+    std::string c_path = base + ".c";
+    std::string bin_path = base + ".bin";
+    std::string in_path = base + ".in";
+    std::string out_path = base + ".out";
+    std::string err_path = base + ".cc.err";
+    {
+        std::ofstream f(c_path);
+        f << cgen::emit_c(cp);
+    }
+    {
+        std::ofstream f(in_path);
+        f << script;
+    }
+    std::string cc = opt.cc + " -o " + bin_path + " " + c_path + " 2>" + err_path;
+    if (std::system(cc.c_str()) != 0) {
+        out.build_error = true;
+        std::ifstream f(err_path);
+        std::stringstream ss;
+        ss << f.rdbuf();
+        out.error_msg = ss.str();
+        return out;
+    }
+    // `timeout` guards against an emitted C scheduler that spins; generated
+    // programs are bounded by construction, so 20s means "hung".
+    std::string run = "timeout 20 " + bin_path + " < " + in_path + " > " + out_path;
+    int rc = std::system(run.c_str());
+    if (WIFEXITED(rc)) {
+        out.exit_code = WEXITSTATUS(rc);
+        if (out.exit_code == 124) {  // timeout(1)'s kill status
+            out.run_error = true;
+            out.error_msg = "compiled program timed out";
+        }
+    } else {
+        out.run_error = true;
+        out.error_msg = "compiled program crashed (signal)";
+    }
+    std::ifstream f(out_path);
+    std::string line;
+    while (std::getline(f, line)) out.lines.push_back(line);
+    if (!opt.keep_artifacts) {
+        for (const std::string& p : {c_path, bin_path, in_path, out_path, err_path}) {
+            ::unlink(p.c_str());
+        }
+    }
+    return out;
+}
+
+std::string first_divergence(const std::vector<std::string>& a,
+                             const std::vector<std::string>& b, const std::string& la,
+                             const std::string& lb) {
+    size_t n = std::min(a.size(), b.size());
+    for (size_t i = 0; i < n; ++i) {
+        if (a[i] != b[i]) {
+            return "line " + std::to_string(i + 1) + ": " + la + " \"" + a[i] + "\" vs " +
+                   lb + " \"" + b[i] + "\"";
+        }
+    }
+    if (a.size() != b.size()) {
+        return la + " has " + std::to_string(a.size()) + " lines, " + lb + " has " +
+               std::to_string(b.size());
+    }
+    return "";
+}
+
+std::string unique_base(const DiffOptions& opt) {
+    static int counter = 0;
+    std::string dir = opt.workdir;
+    if (dir.empty()) {
+        const char* t = std::getenv("TMPDIR");
+        dir = (t != nullptr && *t != '\0') ? t : "/tmp";
+    }
+    if (dir.back() != '/') dir += '/';
+    return dir + "ceu_diff_" + std::to_string(getpid()) + "_" + std::to_string(counter++);
+}
+
+}  // namespace
+
+const char* DiffResult::kind_name(Kind k) {
+    switch (k) {
+        case Kind::Agree: return "agree";
+        case Kind::CompileError: return "compile-error";
+        case Kind::DfaRefused: return "dfa-refused";
+        case Kind::DfaUnknown: return "dfa-unknown";
+        case Kind::TieBreakDiverged: return "tiebreak-diverged";
+        case Kind::CgenDiverged: return "cgen-diverged";
+        case Kind::CgenBuildError: return "cgen-build-error";
+        case Kind::EngineError: return "engine-error";
+    }
+    return "?";
+}
+
+DiffResult run_differential(const std::string& source, const env::Script& script,
+                            const DiffOptions& opt) {
+    DiffResult res;
+
+    flat::CompiledProgram cp;
+    Diagnostics diags;
+    if (!flat::compile_checked(source, &cp, diags, "<testgen>")) {
+        res.kind = DiffResult::Kind::CompileError;
+        res.detail = diags.str();
+        return res;
+    }
+
+    // DFA verdict first: it decides which checks below are hard asserts.
+    dfa::DfaOptions dopt;
+    dopt.max_states = opt.max_states;
+    dfa::Dfa d = dfa::Dfa::build(cp, dopt);
+    res.dfa_states = d.state_count();
+    res.dfa_conflicts = d.conflicts().size();
+    const bool verdict_ok = d.deterministic() && d.complete();
+    const bool verdict_unknown = d.deterministic() && !d.complete();
+
+    InterpRun fifo = run_interp(cp, script, rt::EngineOptions::TieBreak::Fifo);
+    InterpRun lifo = run_interp(cp, script, rt::EngineOptions::TieBreak::Lifo);
+    if (fifo.error || lifo.error) {
+        res.kind = DiffResult::Kind::EngineError;
+        res.detail = fifo.error ? fifo.error_msg : lifo.error_msg;
+        return res;
+    }
+    res.fifo_trace = fifo.trace;
+    res.lifo_trace = lifo.trace;
+    res.fifo_exit = fifo.exit_code;
+    res.lifo_exit = lifo.exit_code;
+
+    const bool tie_same = fifo.trace == lifo.trace && fifo.exit_code == lifo.exit_code &&
+                          fifo.status == lifo.status;
+
+    CgenRun c;
+    bool cgen_same = true;
+    if (opt.run_cgen) {
+        c = run_cgen(cp, script_text(script), opt, unique_base(opt));
+        if (c.build_error) {
+            res.kind = DiffResult::Kind::CgenBuildError;
+            res.detail = c.error_msg;
+            return res;
+        }
+        res.cgen_trace = c.lines;
+        res.cgen_exit = c.exit_code;
+        // Compare against FIFO: the emitted C uses FIFO track order. The
+        // exit code only binds when the program terminated (a still-running
+        // program's C main returns the result slot's current value, while
+        // the interpreter reports status separately).
+        cgen_same = !c.run_error && c.lines == fifo.trace &&
+                    (fifo.status != rt::Engine::Status::Terminated ||
+                     c.exit_code == fifo.exit_code);
+    }
+
+    if (verdict_ok) {
+        if (!tie_same) {
+            res.kind = DiffResult::Kind::TieBreakDiverged;
+            res.detail = first_divergence(fifo.trace, lifo.trace, "fifo", "lifo");
+            if (res.detail.empty()) {
+                res.detail = "exit/status differ: fifo=" + std::to_string(fifo.exit_code) +
+                             " lifo=" + std::to_string(lifo.exit_code);
+            }
+            return res;
+        }
+        if (!cgen_same) {
+            res.kind = DiffResult::Kind::CgenDiverged;
+            res.detail = c.run_error
+                             ? c.error_msg
+                             : first_divergence(c.lines, fifo.trace, "cgen", "interp");
+            if (res.detail.empty()) {
+                res.detail = "exit codes differ: cgen=" + std::to_string(c.exit_code) +
+                             " interp=" + std::to_string(fifo.exit_code);
+            }
+            return res;
+        }
+        res.kind = DiffResult::Kind::Agree;
+        return res;
+    }
+
+    // Refused / unknown: record whether schedulers actually disagreed, but
+    // a C scheduler crash or hang is a hard failure regardless of verdict.
+    if (opt.run_cgen && c.run_error) {
+        res.kind = DiffResult::Kind::CgenDiverged;
+        res.detail = c.error_msg;
+        return res;
+    }
+    res.kind = verdict_unknown ? DiffResult::Kind::DfaUnknown : DiffResult::Kind::DfaRefused;
+    res.refused_diverged = !tie_same || !cgen_same;
+    return res;
+}
+
+}  // namespace ceu::testgen

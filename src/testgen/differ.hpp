@@ -1,0 +1,89 @@
+// Differential driver: one generated (or hand-written) program + script
+// pair is executed under every semantics the repo implements —
+//
+//   * the rt::Engine interpreter under FIFO tie-breaking,
+//   * the same interpreter under LIFO tie-breaking,
+//   * the cgen-emitted C, compiled with the host C compiler and run with
+//     the script on stdin,
+//
+// and the observable traces are compared against what the temporal
+// analysis (dfa/) promised. The conformance contract (paper §2.6) is:
+//
+//   DFA says OK (deterministic, exploration complete)
+//       -> all three executions produce identical traces, results and
+//          final statuses. Any mismatch is a bug in one of the backends.
+//   DFA refuses (conflicts found)
+//       -> the program MAY diverge between schedulers; the harness only
+//          records whether it actually did (a meaningfulness statistic),
+//          it never asserts equality.
+//   DFA incomplete (state budget exhausted)
+//       -> no verdict; the case is counted but not failed.
+//
+// A divergence report carries both traces so the shrinker can preserve
+// "same kind of failure" while minimizing.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "env/script.hpp"
+#include "runtime/value.hpp"
+
+namespace ceu::testgen {
+
+struct DiffOptions {
+    /// Host C compiler invocation prefix (completed with -o out in.c).
+    std::string cc = "cc -std=c11 -O1";
+    /// Scratch directory for .c/.bin/.in/.out artifacts ("" = TempDir).
+    std::string workdir;
+    /// DFA exploration budget (verdicts above it become Unknown).
+    size_t max_states = 20000;
+    /// Skip the compile-and-run C leg entirely (DFA + tie-break only);
+    /// used by quick smoke modes where spawning a compiler is too slow.
+    bool run_cgen = true;
+    /// Keep the generated artifacts on disk even when the case agrees.
+    bool keep_artifacts = false;
+};
+
+struct DiffResult {
+    enum class Kind {
+        Agree,             // every applicable cross-check held
+        CompileError,      // Céu frontend rejected the program (generator bug)
+        DfaRefused,        // DFA found conflicts; parity not asserted
+        DfaUnknown,        // DFA hit the state budget; parity not asserted
+        TieBreakDiverged,  // DFA OK but FIFO != LIFO  (engine/dfa bug)
+        CgenDiverged,      // DFA OK but C != interpreter (cgen bug)
+        CgenBuildError,    // host cc rejected the emitted C (cgen bug)
+        EngineError,       // interpreter raised a runtime error (engine bug)
+    };
+    Kind kind = Kind::Agree;
+
+    /// For DfaRefused cases: did FIFO/LIFO/C actually disagree? (The
+    /// statistic showing the conflict bias produces *meaningful* refusals.)
+    bool refused_diverged = false;
+
+    std::vector<std::string> fifo_trace;
+    std::vector<std::string> lifo_trace;
+    std::vector<std::string> cgen_trace;
+    int fifo_exit = 0;   // uint8-truncated program result
+    int lifo_exit = 0;
+    int cgen_exit = 0;
+    size_t dfa_states = 0;
+    size_t dfa_conflicts = 0;
+
+    std::string detail;  // human-readable first point of divergence / error
+
+    [[nodiscard]] bool failure() const {
+        return kind == Kind::CompileError || kind == Kind::TieBreakDiverged ||
+               kind == Kind::CgenDiverged || kind == Kind::CgenBuildError ||
+               kind == Kind::EngineError;
+    }
+    [[nodiscard]] static const char* kind_name(Kind k);
+};
+
+/// Runs the full differential check on one program + script pair.
+/// Never throws: every failure mode is folded into the result kind.
+DiffResult run_differential(const std::string& source, const env::Script& script,
+                            const DiffOptions& opt = {});
+
+}  // namespace ceu::testgen

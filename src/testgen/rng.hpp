@@ -1,0 +1,44 @@
+// Deterministic PRNG for the conformance generator. SplitMix64: the same
+// seed must produce the same program on every platform and compiler, so the
+// generator never touches rand()/mt19937 (whose distributions are
+// implementation-defined) — reductions and ranges use plain modulo.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace ceu::testgen {
+
+class Rng {
+  public:
+    explicit Rng(uint64_t seed) : state_(seed + 0x9e3779b97f4a7c15ULL) {
+        // Decorrelate small consecutive seeds.
+        next();
+        next();
+    }
+
+    uint64_t next() {
+        uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+        z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+        z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+        return z ^ (z >> 31);
+    }
+
+    /// Uniform in [lo, hi] (inclusive). Requires lo <= hi.
+    int range(int lo, int hi) {
+        return lo + static_cast<int>(next() % static_cast<uint64_t>(hi - lo + 1));
+    }
+
+    /// True with probability `permille`/1000.
+    bool chance(int permille) { return next() % 1000 < static_cast<uint64_t>(permille); }
+
+    template <typename T>
+    const T& pick(const std::vector<T>& v) {
+        return v[next() % v.size()];
+    }
+
+  private:
+    uint64_t state_;
+};
+
+}  // namespace ceu::testgen

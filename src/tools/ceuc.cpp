@@ -11,7 +11,22 @@
 //   ceuc --explain file.ceu       on refusal, print each conflict's witness
 //                                 chain (stderr) and a replayable script
 //                                 reaching the first conflict (stdout)
+//   ceuc --gen-fuzz N --seed S    conformance fuzzing: generate N seeded
+//                                 programs from seed S, cross-check the
+//                                 interpreter (FIFO+LIFO), the compiled
+//                                 cgen output and the DFA verdict; shrink
+//                                 and report divergences (exit 1 if any)
+//   ceuc --gen-dump --seed S      print the generated program + script for
+//                                 one seed (corpus format, for replaying)
 //   ceuc --no-analysis ...        skip the temporal analysis
+//
+// Fuzz options:
+//   --fuzz-out DIR                write shrunk failures to DIR as corpus
+//                                 files (default: report only)
+//   --fuzz-cc CMD                 host C compiler command (default
+//                                 "cc -std=c11 -O1")
+//   --fuzz-no-cgen                skip the compile-and-run C leg
+//   --fuzz-no-shrink              report divergences unshrunk
 //
 // Analysis options:
 //   --analysis-jobs N             explore the DFA with N worker threads
@@ -46,6 +61,7 @@
 #include "env/driver.hpp"
 #include "fault/plan.hpp"
 #include "flow/flowgraph.hpp"
+#include "testgen/fuzz.hpp"
 
 namespace {
 
@@ -58,7 +74,10 @@ int usage() {
                  "            [--no-analysis] [--analysis-jobs N] [--max-states N] "
                  "[--strict]\n"
                  "            [--fail-fast] [--diag-format=text|json] "
-                 "[--lint-only=IDs] [--lint-disable=IDs] <file.ceu>\n");
+                 "[--lint-only=IDs] [--lint-disable=IDs] <file.ceu>\n"
+                 "       ceuc --gen-fuzz N [--seed S] [--fuzz-out DIR] [--fuzz-cc CMD]\n"
+                 "            [--fuzz-no-cgen] [--fuzz-no-shrink] [--max-states N]\n"
+                 "       ceuc --gen-dump [--seed S]\n");
     return 2;
 }
 
@@ -151,6 +170,10 @@ int main(int argc, char** argv) {
     analysis::ExploreOptions eopt;
     analysis::LintOptions lopt;
     std::string path;
+    long gen_fuzz_count = -1;  // >= 0: fuzz mode
+    bool gen_dump = false;
+    uint64_t gen_seed = 0;
+    testgen::FuzzOptions fopt;
 
     // `--flag value` and `--flag=value` are both accepted.
     auto value_of = [&](const std::string& a, const char* name, int& i,
@@ -198,10 +221,43 @@ int main(int argc, char** argv) {
         } else if (a.rfind("--lint-disable", 0) == 0 &&
                    value_of(a, "--lint-disable", i, &v)) {
             lopt.disable = split_ids(v);
+        } else if (a.rfind("--gen-fuzz", 0) == 0 && value_of(a, "--gen-fuzz", i, &v)) {
+            gen_fuzz_count = std::atol(v.c_str());
+            if (gen_fuzz_count <= 0) return usage();
+        } else if (a == "--gen-dump") {
+            gen_dump = true;
+        } else if (a.rfind("--seed", 0) == 0 && value_of(a, "--seed", i, &v)) {
+            gen_seed = std::strtoull(v.c_str(), nullptr, 10);
+        } else if (a.rfind("--fuzz-out", 0) == 0 && value_of(a, "--fuzz-out", i, &v)) {
+            fopt.corpus_dir = v;
+        } else if (a.rfind("--fuzz-cc", 0) == 0 && value_of(a, "--fuzz-cc", i, &v)) {
+            fopt.diff.cc = v;
+        } else if (a == "--fuzz-no-cgen") {
+            fopt.diff.run_cgen = false;
+        } else if (a == "--fuzz-no-shrink") {
+            fopt.shrink_failures = false;
         }
         else if (a == "--help" || a == "-h") return usage();
         else if (!a.empty() && a[0] == '-' && a != "-") return usage();
         else path = a;
+    }
+    if (gen_dump) {
+        testgen::GenCase gc = testgen::generate(gen_seed);
+        testgen::CorpusCase cc;
+        cc.source = gc.source;
+        cc.script_text = gc.script_text;
+        cc.kind = "generated";
+        cc.seed = gen_seed;
+        std::printf("%s", testgen::corpus_format(cc).c_str());
+        return 0;
+    }
+    if (gen_fuzz_count >= 0) {
+        fopt.seed = gen_seed;
+        fopt.count = static_cast<int>(gen_fuzz_count);
+        fopt.diff.max_states = eopt.max_states;
+        testgen::FuzzReport rep = testgen::run_fuzz(
+            fopt, [](const std::string& line) { std::fprintf(stderr, "%s\n", line.c_str()); });
+        return rep.failures == 0 ? 0 : 1;
     }
     if (path.empty()) return usage();
 

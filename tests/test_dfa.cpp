@@ -503,5 +503,95 @@ TEST(Dfa, ParOrBothBranchesTerminatingSameReactionIsHandled) {
     )");
 }
 
+// -- Escape conflicts (beyond the paper's three sources) ----------------------
+//
+// Concurrent exits of the same block are a fourth nondeterminism source the
+// differential conformance harness surfaced (tests/corpus/): the escape that
+// runs first kills its sibling's queued track, so the surviving value/effect
+// depends on tie-break order.
+
+TEST(Dfa, ValueParBothBranchesReturningOnSameTriggerIsRefused) {
+    expect_nondeterministic(R"(
+        input void A;
+        int v;
+        v =
+           par do
+              await A;
+              return 1;
+           with
+              await A;
+              return 2;
+           end;
+        return v;
+    )", Conflict::Kind::Escape, "return");
+}
+
+TEST(Dfa, ValueParBranchesReturningOnDifferentTriggersIsAccepted) {
+    expect_deterministic(R"(
+        input void A, B;
+        int v;
+        v =
+           par do
+              await A;
+              return 1;
+           with
+              await B;
+              return 2;
+           end;
+        return v;
+    )");
+}
+
+TEST(Dfa, ConcurrentProgramReturnsAreRefused) {
+    expect_nondeterministic(R"(
+        input void A;
+        par do
+           await A;
+           return 1;
+        with
+           await A;
+           return 2;
+        end
+    )", Conflict::Kind::Escape, "return");
+}
+
+TEST(Dfa, ConcurrentBreaksOfTheSameLoopAreRefused) {
+    expect_nondeterministic(R"(
+        input void A;
+        int v;
+        loop do
+           par/and do
+              await A;
+              v = 1;
+              break;
+           with
+              await A;
+              v = 2;
+              break;
+           end
+        end
+        return v;
+    )", Conflict::Kind::Escape, "break");
+}
+
+TEST(Dfa, BreakRacingAnEffectfulSiblingTrailIsRefused) {
+    // The break kills the par; whether the sibling's increment lands first
+    // depends on scheduling order.
+    expect_nondeterministic(R"(
+        input void A;
+        int v;
+        loop do
+           par/or do
+              await A;
+              break;
+           with
+              await A;
+              v = v + 1;
+           end
+        end
+        return v;
+    )", Conflict::Kind::Escape, "break");
+}
+
 }  // namespace
 }  // namespace ceu
