@@ -14,7 +14,10 @@
 // equivalence while timing each --analysis-jobs setting.
 #include <chrono>
 #include <cstdio>
+#include <cstring>
+#include <fstream>
 #include <sstream>
+#include <string>
 #include <thread>
 
 #include "analysis/explore.hpp"
@@ -81,19 +84,39 @@ Result analyze(const std::string& src) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+    // --json[=PATH] additionally writes the sweep results as a machine-readable
+    // artifact (default BENCH_dfa.json; the nightly CI job uploads it).
+    std::string json_path;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--json") == 0) {
+            json_path = (i + 1 < argc) ? argv[++i] : "BENCH_dfa.json";
+        } else if (std::strncmp(argv[i], "--json=", 7) == 0) {
+            json_path = argv[i] + 7;
+        } else {
+            std::fprintf(stderr, "usage: %s [--json[=PATH]]\n", argv[0]);
+            return 2;
+        }
+    }
+    std::ostringstream js;
+
     std::printf("== Temporal-analysis cost ==\n\n");
     std::printf("sweep 1: k trails with coprime periods over one event "
                 "(state explosion)\n");
     std::printf("%4s %12s %10s %14s\n", "k", "DFA states", "time", "product bound");
     long long product = 1;
     static const int kPeriods[] = {2, 3, 5, 7, 11, 13};
+    js << "{\"explosion\":[";
     for (int k = 1; k <= 5; ++k) {
         product *= kPeriods[k - 1];
         Result r = analyze(coprime_program(k));
         std::printf("%4d %12zu %8.1fms %14lld%s\n", k, r.states, r.ms, product,
                     r.complete ? "" : "  (capped)");
+        js << (k > 1 ? "," : "") << "{\"k\":" << k << ",\"states\":" << r.states
+           << ",\"ms\":" << r.ms << ",\"bound\":" << product
+           << ",\"complete\":" << (r.complete ? "true" : "false") << "}";
     }
+    js << "]";
 
     std::printf("\nsweep 2: the paper's programs (all 'compile in a few "
                 "seconds')\n");
@@ -109,11 +132,18 @@ int main() {
         {"ship", demos::kShip},
         {"mario", demos::kMarioLive},
     };
-    for (const Named& p : programs) {
+    js << ",\"programs\":[";
+    for (size_t i = 0; i < sizeof(programs) / sizeof(programs[0]); ++i) {
+        const Named& p = programs[i];
         Result r = analyze(p.src);
         std::printf("%-12s %12zu %8.1fms %15s\n", p.name, r.states, r.ms,
                     r.deterministic ? "deterministic" : "REFUSED");
+        js << (i ? "," : "") << "{\"name\":\"" << p.name
+           << "\",\"states\":" << r.states << ",\"ms\":" << r.ms
+           << ",\"deterministic\":" << (r.deterministic ? "true" : "false")
+           << "}";
     }
+    js << "]";
     std::printf("\nsweep 3: parallel exploration (--analysis-jobs) on a "
                 "wide-frontier program\n");
     std::printf("(hardware concurrency: %u threads)\n",
@@ -131,6 +161,8 @@ int main() {
                     "speedup", "signature");
         std::printf("%6d %12zu %8.1fms %8.2fx %12s\n", 1, serial.state_count(),
                     serial_ms, 1.0, "(reference)");
+        js << ",\"parallel\":[{\"jobs\":1,\"states\":" << serial.state_count()
+           << ",\"ms\":" << serial_ms << ",\"speedup\":1,\"identical\":true}";
         for (int jobs : {2, 4, 8}) {
             analysis::ExploreOptions opt = base;
             opt.jobs = jobs;
@@ -141,7 +173,24 @@ int main() {
             std::printf("%6d %12zu %8.1fms %8.2fx %12s\n", jobs, par.state_count(),
                         ms, serial_ms / ms,
                         par.signature() == want ? "identical" : "MISMATCH");
+            js << ",{\"jobs\":" << jobs << ",\"states\":" << par.state_count()
+               << ",\"ms\":" << ms << ",\"speedup\":" << serial_ms / ms
+               << ",\"identical\":" << (par.signature() == want ? "true" : "false")
+               << "}";
         }
+        js << "]";
+    }
+    js << ",\"schema\":\"ceu-bench-dfa-v1\"}";
+
+    if (!json_path.empty()) {
+        std::ofstream f(json_path, std::ios::binary);
+        if (!f.good()) {
+            std::fprintf(stderr, "bench_dfa_scaling: cannot write %s\n",
+                         json_path.c_str());
+            return 1;
+        }
+        f << js.str() << "\n";
+        std::printf("\nwrote %s\n", json_path.c_str());
     }
 
     std::printf("\npaper check: exponential growth in sweep 1, millisecond-scale\n"

@@ -1,0 +1,118 @@
+// E10 — runtime stats exporter: drives the paper's demo programs through
+// ceu::host::Instance with the observability recorder armed and writes the
+// per-program obs::ProcessStats snapshots as BENCH_runtime.json (the
+// regression-gating artifact the nightly CI job uploads; see ROADMAP.md).
+//
+//   $ ./bench/bench_runtime_stats [OUT.json]     (default: BENCH_runtime.json)
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "demos/demos.hpp"
+#include "host/instance.hpp"
+
+namespace {
+
+using namespace ceu;
+
+struct Row {
+    std::string name;
+    std::string stats_json;
+};
+
+Row run_quickstart() {
+    host::Instance inst(demos::kQuickstart);
+    inst.observe_stats();
+    inst.run(env::Script()
+                 .advance(kSec)
+                 .advance(kSec)
+                 .event("Restart", 10)
+                 .advance(kSec)
+                 .advance(kSec));
+    inst.finish_observation();
+    return {"quickstart", inst.snapshot().to_json()};
+}
+
+Row run_temperature() {
+    host::Instance inst(demos::kTemperature);
+    inst.observe_stats();
+    env::Script script;
+    for (int i = 0; i < 200; ++i) {
+        script.event("SetCelsius", i).event("SetFahrenheit", 2 * i + 32);
+    }
+    inst.run(script);
+    inst.finish_observation();
+    return {"temperature", inst.snapshot().to_json()};
+}
+
+Row run_mario() {
+    display::Display disp;
+    disp.push_key();
+    disp.push_key();
+    rt::CBindings bindings = demos::make_mario_bindings(disp);
+    flat::CompiledProgram cp = flat::compile(demos::kMarioLive, "mario.ceu");
+    host::Config cfg;
+    cfg.bindings = &bindings;
+    host::Instance inst(cp, cfg);
+    inst.observe_stats();
+    inst.run(env::Script().settle_asyncs());
+    inst.finish_observation();
+    return {"mario_live", inst.snapshot().to_json()};
+}
+
+Row run_ship() {
+    arduino::Board board;
+    arduino::Lcd lcd;
+    demos::ShipWorld world(lcd);
+    rt::CBindings bindings = demos::make_ship_bindings(world, lcd, board);
+    board.set_analog_source(
+        0, arduino::Board::combine(
+               {arduino::Board::keypad_press(arduino::kRawUp, 120 * kMs, 400 * kMs),
+                arduino::Board::keypad_press(arduino::kRawDown, 2000 * kMs,
+                                             2300 * kMs)}));
+    flat::CompiledProgram cp = flat::compile(demos::kShip, "ship.ceu");
+    host::Config cfg;
+    cfg.bindings = &bindings;
+    host::Instance inst(cp, cfg);
+    inst.observe_stats();
+    inst.boot();
+    for (int tick = 0; tick < 120; ++tick) {  // 6 seconds of 50ms keypad ticks
+        inst.advance(50 * kMs);
+        inst.settle();
+    }
+    inst.finish_observation();
+    return {"ship_game", inst.snapshot().to_json()};
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    const std::string out_path = argc > 1 ? argv[1] : "BENCH_runtime.json";
+
+    std::vector<Row> rows;
+    rows.push_back(run_quickstart());
+    rows.push_back(run_temperature());
+    rows.push_back(run_mario());
+    rows.push_back(run_ship());
+
+    std::string json = "{\"programs\":{";
+    for (size_t i = 0; i < rows.size(); ++i) {
+        if (i) json += ',';
+        json += '"' + rows[i].name + "\":" + rows[i].stats_json;
+    }
+    json += "},\"schema\":\"ceu-bench-runtime-v1\"}\n";
+
+    std::ofstream f(out_path, std::ios::binary);
+    if (!f.good()) {
+        std::fprintf(stderr, "bench_runtime_stats: cannot write %s\n",
+                     out_path.c_str());
+        return 1;
+    }
+    f << json;
+    std::printf("wrote %s (%zu programs)\n", out_path.c_str(), rows.size());
+    for (const Row& r : rows) {
+        std::printf("  %-12s %s\n", r.name.c_str(), r.stats_json.c_str());
+    }
+    return 0;
+}

@@ -7,7 +7,7 @@
 
 #include "demos/demos.hpp"
 #include "dfa/dfa.hpp"
-#include "env/driver.hpp"
+#include "host/instance.hpp"
 
 int main() {
     using namespace ceu;
@@ -22,14 +22,14 @@ int main() {
                 d.deterministic() ? "deterministic" : "NONDETERMINISTIC",
                 d.state_count());
 
-    env::Driver driver(cp);
-    driver.run(env::Script()
-                   .event("SetCelsius", 0)
-                   .event("SetCelsius", 100)
-                   .event("SetFahrenheit", 212)
-                   .event("SetFahrenheit", -40)
-                   .event("SetCelsius", 37));
-    for (const auto& line : driver.trace()) std::printf("%s\n", line.c_str());
+    host::Instance inst(cp);
+    inst.run(env::Script()
+                 .event("SetCelsius", 0)
+                 .event("SetCelsius", 100)
+                 .event("SetFahrenheit", 212)
+                 .event("SetFahrenheit", -40)
+                 .event("SetCelsius", 37));
+    for (const auto& line : inst.trace()) std::printf("%s\n", line.c_str());
     std::printf("\n(each set of one unit recomputed the other within the same "
                 "reaction chain)\n");
     return 0;

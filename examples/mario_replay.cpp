@@ -6,7 +6,7 @@
 #include <cstdio>
 
 #include "demos/demos.hpp"
-#include "env/driver.hpp"
+#include "host/instance.hpp"
 
 namespace {
 
@@ -17,8 +17,10 @@ display::Display run_variant(const char* name, const char* source, int keys) {
     for (int i = 0; i < keys; ++i) disp.push_key();
     rt::CBindings bindings = demos::make_mario_bindings(disp);
     flat::CompiledProgram cp = flat::compile(source, name);
-    env::Driver driver(cp, &bindings);
-    driver.run(env::Script().settle_asyncs());
+    host::Config cfg;
+    cfg.bindings = &bindings;
+    host::Instance inst(cp, cfg);
+    inst.run(env::Script().settle_asyncs());
     std::printf("%-9s: %zu frames recorded, %llu redraw calls\n", name,
                 disp.frames().size(),
                 static_cast<unsigned long long>(disp.redraw_calls()));

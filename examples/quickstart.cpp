@@ -8,8 +8,8 @@
 #include "cgen/cgen.hpp"
 #include "demos/demos.hpp"
 #include "dfa/dfa.hpp"
-#include "env/driver.hpp"
 #include "flow/flowgraph.hpp"
+#include "host/instance.hpp"
 
 int main() {
     using namespace ceu;
@@ -24,16 +24,29 @@ int main() {
     std::printf("temporal analysis: %zu DFA states, %s\n", d.state_count(),
                 d.deterministic() ? "deterministic" : "NONDETERMINISTIC");
 
-    // 3. React to an input script: one second ticks and a Restart=10.
-    env::Driver driver(cp);
-    driver.run(env::Script()
-                   .advance(kSec)
-                   .advance(kSec)
-                   .event("Restart", 10)
-                   .advance(kSec)
-                   .advance(kSec));
+    // 3. React to an input script: one second ticks and a Restart=10. The
+    //    Instance is the embedding facade — it owns the engine, the standard
+    //    C bindings and the trace; observe_stats() arms the (otherwise free)
+    //    observability layer for reaction-level counters.
+    host::Instance inst(cp);
+    inst.observe_stats();
+    inst.run(env::Script()
+                 .advance(kSec)
+                 .advance(kSec)
+                 .event("Restart", 10)
+                 .advance(kSec)
+                 .advance(kSec));
     std::printf("\nprogram output:\n");
-    for (const auto& line : driver.trace()) std::printf("  %s\n", line.c_str());
+    for (const auto& line : inst.trace()) std::printf("  %s\n", line.c_str());
+
+    obs::ProcessStats stats = inst.snapshot();
+    std::printf("\nobserved: %llu reactions (%llu timer, %llu event), "
+                "%llu trail wakes, %llu internal emits\n",
+                static_cast<unsigned long long>(stats.reactions),
+                static_cast<unsigned long long>(stats.reactions_by_kind[2]),
+                static_cast<unsigned long long>(stats.reactions_by_kind[1]),
+                static_cast<unsigned long long>(stats.wakes),
+                static_cast<unsigned long long>(stats.emits));
 
     // 4. The same program as single-threaded C (§4.4) — first lines only.
     std::string c = cgen::emit_c(cp);

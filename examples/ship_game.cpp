@@ -6,7 +6,7 @@
 #include <cstdio>
 
 #include "demos/demos.hpp"
-#include "env/driver.hpp"
+#include "host/instance.hpp"
 
 int main() {
     using namespace ceu;
@@ -24,14 +24,16 @@ int main() {
                 arduino::Board::keypad_press(arduino::kRawUp, 4000 * kMs, 4300 * kMs)}));
 
     flat::CompiledProgram cp = flat::compile(demos::kShip, "ship.ceu");
-    env::Driver driver(cp, &bindings);
-    driver.boot();
+    host::Config cfg;
+    cfg.bindings = &bindings;
+    host::Instance inst(cp, cfg);
+    inst.boot();
 
     // Drive 12 seconds in 50ms ticks (the keypad sampling period),
     // letting the async key-emitter settle after each tick.
     for (int tick = 0; tick < 240; ++tick) {
-        driver.feed({env::ScriptItem::Kind::Advance, "", rt::Value::integer(0), 50 * kMs});
-        driver.feed({env::ScriptItem::Kind::AsyncIdle, "", rt::Value::integer(0), 0});
+        inst.advance(50 * kMs);
+        inst.settle();
     }
 
     std::printf("ship game: %llu redraws, %zu LCD frames\n\n",

@@ -2,6 +2,8 @@
 
 #include <sstream>
 
+#include "obs/trace_format.hpp"
+
 namespace ceu::cgen {
 
 using flat::FlatProgram;
@@ -18,6 +20,7 @@ class Emitter {
 
     std::string run() {
         prelude();
+        obs_hooks();
         tables();
         runtime_core();
         track_dispatch();
@@ -256,6 +259,83 @@ class Emitter {
         os_ << "\n";
     }
 
+    void obs_hooks() {
+        os_ << "/* ---- reaction-trace hooks (ceu_obs_*, weak: the embedder may\n"
+               " * relink them). The defaults are no-ops until ceu_obs_open()\n"
+               " * arms a file; they then stream Chrome trace_event JSON with\n"
+               " * the exact format strings of src/obs/trace_format.hpp, so a\n"
+               " * traced run is byte-identical with the interpreter's\n"
+               " * ChromeTraceSink on the same input script. ---- */\n";
+        if (!opt_.with_libc) {
+            // Freestanding target: keep the hook symbols (a platform layer
+            // can relink them) but default them to empty stubs.
+            os_ << "__attribute__((weak)) void ceu_obs_open(const char* path) { (void)path; }\n"
+                << "__attribute__((weak)) void ceu_obs_close(void) {}\n"
+                << "__attribute__((weak)) void ceu_obs_begin(int kind, int id, const char* name, int64_t ts) { (void)kind; (void)id; (void)name; (void)ts; }\n"
+                << "__attribute__((weak)) void ceu_obs_wake(int gate) { (void)gate; }\n"
+                << "__attribute__((weak)) void ceu_obs_emit(int evt, int depth) { (void)evt; (void)depth; }\n"
+                << "__attribute__((weak)) void ceu_obs_timer(int gate, int64_t residual) { (void)gate; (void)residual; }\n"
+                << "__attribute__((weak)) void ceu_obs_end(int status, int64_t result) { (void)status; (void)result; }\n\n";
+            return;
+        }
+        os_ << "static FILE* ceu_obs_f;\n"
+            << "static int ceu_obs_first, ceu_obs_span;\n"
+            << "static unsigned long long ceu_obs_seq;\n"
+            << "static long long ceu_obs_ts;\n"
+            << "__attribute__((weak)) void ceu_obs_open(const char* path) {\n"
+            << "    ceu_obs_f = fopen(path, \"w\");\n"
+            << "    if (ceu_obs_f) { fputs(\"" << c_escape(obs::kTraceHeader)
+            << "\", ceu_obs_f); ceu_obs_first = 1; }\n"
+            << "}\n"
+            << "static void ceu_obs_sep(void) {\n"
+            << "    if (!ceu_obs_first) fputs(\"" << c_escape(obs::kTraceSep)
+            << "\", ceu_obs_f);\n"
+            << "    ceu_obs_first = 0;\n"
+            << "}\n"
+            << "__attribute__((weak)) void ceu_obs_begin(int kind, int id, const char* name, int64_t ts) {\n"
+            << "    static const char* K[4] = {\"boot\", \"event\", \"timer\", \"async\"};\n"
+            << "    if (!ceu_obs_f) return;\n"
+            << "    ceu_obs_ts = (long long)ts; ceu_obs_span = 1;\n"
+            << "    ceu_obs_sep();\n"
+            << "    fprintf(ceu_obs_f, \"" << c_escape(obs::kFmtReactionBegin)
+            << "\", ceu_obs_ts, K[kind], id, name, ceu_obs_seq++);\n"
+            << "}\n"
+            << "__attribute__((weak)) void ceu_obs_wake(int gate) {\n"
+            << "    if (!ceu_obs_f || !ceu_obs_span) return;\n"
+            << "    ceu_obs_sep();\n"
+            << "    fprintf(ceu_obs_f, \"" << c_escape(obs::kFmtWake)
+            << "\", ceu_obs_ts, gate);\n"
+            << "}\n"
+            << "__attribute__((weak)) void ceu_obs_emit(int evt, int depth) {\n"
+            << "    if (!ceu_obs_f || !ceu_obs_span) return;\n"
+            << "    ceu_obs_sep();\n"
+            << "    fprintf(ceu_obs_f, \"" << c_escape(obs::kFmtEmit)
+            << "\", ceu_obs_ts, evt, depth);\n"
+            << "}\n"
+            << "__attribute__((weak)) void ceu_obs_timer(int gate, int64_t residual) {\n"
+            << "    if (!ceu_obs_f || !ceu_obs_span) return;\n"
+            << "    ceu_obs_sep();\n"
+            << "    fprintf(ceu_obs_f, \"" << c_escape(obs::kFmtTimerFire)
+            << "\", ceu_obs_ts, gate, (long long)residual);\n"
+            << "}\n"
+            << "__attribute__((weak)) void ceu_obs_end(int status, int64_t result) {\n"
+            << "    if (!ceu_obs_f || !ceu_obs_span) return;\n"
+            << "    ceu_obs_span = 0;\n"
+            << "    ceu_obs_sep();\n"
+            << "    if (status == 2)\n"
+            << "        fprintf(ceu_obs_f, \"" << c_escape(obs::kFmtReactionEndResult)
+            << "\", ceu_obs_ts, status, (long long)result);\n"
+            << "    else\n"
+            << "        fprintf(ceu_obs_f, \"" << c_escape(obs::kFmtReactionEnd)
+            << "\", ceu_obs_ts, status);\n"
+            << "}\n"
+            << "__attribute__((weak)) void ceu_obs_close(void) {\n"
+            << "    if (!ceu_obs_f) return;\n"
+            << "    fputs(\"" << c_escape(obs::kTraceFooter) << "\", ceu_obs_f);\n"
+            << "    fclose(ceu_obs_f); ceu_obs_f = 0;\n"
+            << "}\n\n";
+    }
+
     void tables() {
         os_ << "/* ---- static memory layout (paper 4.2) ---- */\n"
             << "#define CEU_DATA_N " << (fp_.data_size > 0 ? fp_.data_size : 1) << "\n"
@@ -341,6 +421,7 @@ static void ceu_reaction(void) {
         for (g = 0; g < CEU_GATES_N; g++) any |= GATES[g];
         if (!any) ceu_status = 2;
     }
+    ceu_obs_end(ceu_status, ceu_result);
 }
 static void ceu_kill(int pc0, int pc1, int g0, int g1) {
     int i, j;
@@ -414,10 +495,11 @@ static void ceu_kill(int pc0, int pc1, int g0, int g1) {
                 }
                 os_ << "                if (fired) {\n"
                     << "                    if (sn < CEU_SCAP) { ST[sn].resume = " << pc + 1
-                    << "; ST[sn].prio = prio; ST[sn].dead = 0; sn++; }\n";
+                    << "; ST[sn].prio = prio; ST[sn].dead = 0; sn++; }\n"
+                    << "                    ceu_obs_emit(" << I.a << ", sn);\n";
                 for (int g : fp_.int_gates[static_cast<size_t>(I.a)]) {
-                    os_ << "                    if (GATES[" << g << "]) ceu_wake(" << g
-                        << ", v);\n";
+                    os_ << "                    if (GATES[" << g << "]) { ceu_obs_wake("
+                        << g << "); ceu_wake(" << g << ", v); }\n";
                 }
                 os_ << "                    return;\n                }\n            }\n";
                 break;
@@ -539,7 +621,11 @@ static void ceu_kill(int pc0, int pc1, int g0, int g1) {
         if (fp_.asyncs.empty()) os_ << "-1";
         os_ << "};\n"
             << "    int g = ASYNC_GATE[idx];\n"
-            << "    if (g >= 0 && GATES[g]) { ceu_wake(g, v); ceu_reaction(); }\n"
+            << "    if (g >= 0 && GATES[g]) {\n"
+            << "        ceu_obs_begin(3, idx, \"\", ceu_logical);\n"
+            << "        ceu_obs_wake(g);\n"
+            << "        ceu_wake(g, v); ceu_reaction();\n"
+            << "    }\n"
             << "}\n"
             << "void ceu_go_event(int evt, int64_t val);\n"
             << "void ceu_go_time(int64_t now);\n"
@@ -603,13 +689,23 @@ static void ceu_kill(int pc0, int pc1, int g0, int g1) {
 
     void api() {
         os_ << "/* ---- the four-entry reactive API (paper 5) ---- */\n"
+            << "static const char* CEU_INPUT_NAME[] = {";
+        for (size_t e = 0; e < cp_.sema.inputs.size(); ++e) {
+            if (e) os_ << ", ";
+            os_ << "\"" << c_escape(cp_.sema.inputs[e].name) << "\"";
+        }
+        if (cp_.sema.inputs.empty()) os_ << "\"\"";
+        os_ << "};\n"
             << "void ceu_go_init(void) {\n"
             << "    ceu_status = 1; ceu_logical = ceu_now;\n"
+            << "    ceu_obs_begin(0, 0, \"\", ceu_logical);\n"
             << "    ceu_enqueue(0, CEU_NORMAL_PRIO, 0);\n"
             << "    ceu_reaction();\n}\n\n"
             << "void ceu_go_event(int evt, int64_t val) {\n"
             << "    if (ceu_status != 1) return;\n"
             << "    ceu_logical = ceu_now;\n"
+            << "    if (evt >= 0 && evt < " << fp_.ext_gates.size() << ")\n"
+            << "        ceu_obs_begin(1, evt, CEU_INPUT_NAME[evt], ceu_logical);\n"
             << "    {\n        int fired[CEU_GATES_N]; int nf = 0, i;\n";
         os_ << "        switch (evt) {\n";
         for (size_t e = 0; e < fp_.ext_gates.size(); ++e) {
@@ -620,7 +716,8 @@ static void ceu_kill(int pc0, int pc1, int g0, int g1) {
             os_ << "            break;\n";
         }
         os_ << "        default: break;\n        }\n"
-            << "        for (i = 0; i < nf; i++) ceu_wake(fired[i], val);\n"
+            << "        for (i = 0; i < nf; i++) { ceu_obs_wake(fired[i]); "
+               "ceu_wake(fired[i], val); }\n"
             << "    }\n    ceu_reaction();\n}\n\n"
             << R"(void ceu_go_time(int64_t now) {
     if (ceu_status != 1) return;
@@ -642,7 +739,12 @@ static void ceu_kill(int pc0, int pc1, int g0, int g1) {
                 for (j = i + 1; j < nf; j++) if (fired[j] < fired[best]) best = j;
                 j = fired[i]; fired[i] = fired[best]; fired[best] = j;
             }
-            for (i = 0; i < nf; i++) if (GATES[fired[i]]) ceu_wake(fired[i], ceu_now - min);
+            ceu_obs_begin(2, nf, "", ceu_logical);
+            for (i = 0; i < nf; i++) if (GATES[fired[i]]) {
+                ceu_obs_timer(fired[i], ceu_now - min);
+                ceu_obs_wake(fired[i]);
+                ceu_wake(fired[i], ceu_now - min);
+            }
         }
         ceu_reaction();
         if (ceu_status != 1) break;
@@ -675,6 +777,8 @@ int64_t ceu_result_get(void) { return ceu_result; }
         os_ << "\n/* ---- scripted-input harness (integration tests) ---- */\n"
             << "int main(void) {\n"
             << "    char op; char name[128]; long long v;\n"
+            << "    { const char* tp = getenv(\"CEU_TRACE\"); "
+               "if (tp && *tp) ceu_obs_open(tp); }\n"
             << "    ceu_go_init();\n"
             << "    while (scanf(\" %c\", &op) == 1) {\n"
             << "        if (op == 'E') {\n"
@@ -692,6 +796,7 @@ int64_t ceu_result_get(void) { return ceu_result; }
             << "        if (ceu_status_get() != 1) break;\n"
             << "    }\n"
             << "    while (ceu_status_get() == 1 && ceu_go_async()) {}\n"
+            << "    ceu_obs_close();\n"
             << "    fflush(stdout);\n"
             << "    return (int)ceu_result_get();\n"
             << "}\n";

@@ -1,211 +1,9 @@
 #include "env/driver.hpp"
 
-#include <cinttypes>
-#include <cstdlib>
-
 namespace ceu::env {
 
-using rt::CBindings;
-using rt::Engine;
-using rt::Value;
-
-std::string format_printf(const std::string& fmt, std::span<const Value> args) {
-    std::string out;
-    size_t arg = 0;
-    for (size_t i = 0; i < fmt.size(); ++i) {
-        char ch = fmt[i];
-        if (ch != '%') {
-            out += ch;
-            continue;
-        }
-        if (i + 1 >= fmt.size()) break;
-        // Consume length modifiers (l, ll, z) silently.
-        size_t j = i + 1;
-        while (j < fmt.size() && (fmt[j] == 'l' || fmt[j] == 'z')) ++j;
-        char conv = j < fmt.size() ? fmt[j] : '%';
-        i = j;
-        if (conv == '%') {
-            out += '%';
-            continue;
-        }
-        Value v = arg < args.size() ? args[arg++] : Value::integer(0);
-        switch (conv) {
-            case 'd':
-            case 'i':
-            case 'u':
-                out += std::to_string(v.as_int());
-                break;
-            case 'x': {
-                char buf[32];
-                std::snprintf(buf, sizeof buf, "%" PRIx64, v.as_int());
-                out += buf;
-                break;
-            }
-            case 'c':
-                out += static_cast<char>(v.as_int());
-                break;
-            case 's':
-                out += (v.kind == Value::Kind::Str && v.s) ? v.s : v.str_repr();
-                break;
-            default:
-                out += conv;
-                break;
-        }
-    }
-    return out;
-}
-
-CBindings make_standard_bindings() {
-    CBindings c;
-
-    c.fn("printf", [](Engine& eng, std::span<const Value> args) {
-        std::string fmt = (args.empty() || args[0].kind != Value::Kind::Str || !args[0].s)
-                              ? ""
-                              : args[0].s;
-        std::string line = format_printf(fmt, args.subspan(args.empty() ? 0 : 1));
-        // Strip one trailing newline: each call is one trace entry.
-        if (!line.empty() && line.back() == '\n') line.pop_back();
-        eng.trace(line);
-        return Value::integer(static_cast<int64_t>(line.size()));
-    });
-
-    c.fn("trace", [](Engine& eng, std::span<const Value> args) {
-        std::string line;
-        for (size_t i = 0; i < args.size(); ++i) {
-            if (i) line += " ";
-            line += args[i].kind == Value::Kind::Str && args[i].s
-                        ? std::string(args[i].s)
-                        : std::to_string(args[i].as_int());
-        }
-        eng.trace(line);
-        return Value::integer(0);
-    });
-
-    c.fn("assert", [](Engine& eng, std::span<const Value> args) {
-        bool ok = !args.empty() && args[0].truthy();
-        if (!ok) {
-            eng.trace("ASSERTION FAILED");
-            throw rt::RuntimeError({}, "_assert(0) reached");
-        }
-        return Value::integer(1);
-    });
-
-    c.fn("abs", [](Engine&, std::span<const Value> args) {
-        int64_t v = args.empty() ? 0 : args[0].as_int();
-        return Value::integer(v < 0 ? -v : v);
-    });
-
-    // Deterministic PRNG: the paper's Mario demo relies on `_srand(seed)`
-    // making replays reproducible, so the generator must be seed-pure.
-    struct Prng {
-        uint64_t state = 0x9e3779b97f4a7c15ULL;
-    };
-    auto prng = std::make_shared<Prng>();
-    c.fn("srand", [prng](Engine&, std::span<const Value> args) {
-        prng->state = args.empty() ? 1 : static_cast<uint64_t>(args[0].as_int()) * 2654435761u + 1;
-        return Value::integer(0);
-    });
-    c.fn("rand", [prng](Engine&, std::span<const Value>) {
-        // xorshift64*
-        uint64_t x = prng->state;
-        x ^= x >> 12;
-        x ^= x << 25;
-        x ^= x >> 27;
-        prng->state = x;
-        return Value::integer(static_cast<int64_t>((x * 0x2545F4914F6CDD1DULL) >> 33));
-    });
-
-    // `_time(0)` — virtual epoch; deterministic by design (simulation).
-    c.fn("time", [](Engine& eng, std::span<const Value>) {
-        return Value::integer(eng.logical_now() / kSec + 42);
-    });
-
-    return c;
-}
-
-Driver::Driver(const flat::CompiledProgram& cp, const CBindings* extra) {
-    bindings_ = make_standard_bindings();
-    if (extra != nullptr) bindings_.merge(*extra);
-    engine_ = std::make_unique<Engine>(cp, bindings_);
-    engine_->on_trace = [this](const std::string& line) { trace_.push_back(line); };
-}
-
-void Driver::boot() {
-    engine_->go_init();
-}
-
-void Driver::feed(const ScriptItem& item) {
-    switch (item.kind) {
-        case ScriptItem::Kind::Event:
-            // Pending input has priority over asyncs; deliver directly.
-            if (!engine_->go_event_by_name(item.event, item.value)) {
-                throw rt::RuntimeError({}, "script refers to unknown input event '" +
-                                               item.event + "'");
-            }
-            break;
-        case ScriptItem::Kind::Advance:
-            clock_ += item.us;
-            engine_->go_time(clock_);
-            break;
-        case ScriptItem::Kind::AsyncIdle:
-            settle_asyncs();
-            break;
-        case ScriptItem::Kind::Crash:
-            // Power-cycle: all program state is lost; the wall-clock
-            // persists (reset keeps `now`, so the reboot reaction and any
-            // timers it arms are stamped with the current instant).
-            engine_->reset();
-            engine_->trace("[crash] engine power-cycled");
-            engine_->go_init();
-            break;
-    }
-}
-
-void Driver::settle_asyncs(uint64_t max_slices) {
-    uint64_t n = 0;
-    while (engine_->status() == Engine::Status::Running && engine_->has_async_work()) {
-        if (!engine_->go_async()) break;
-        if (++n >= max_slices) {
-            throw rt::RuntimeError({}, "async work did not settle within the slice cap");
-        }
-    }
-    // The virtual clock may have advanced via `emit <time>` inside asyncs.
-    clock_ = std::max(clock_, engine_->now());
-}
-
-rt::Engine::Status Driver::run(const Script& script) {
-    boot();
-    for (const ScriptItem& item : script.items()) {
-        if (engine_->status() != Engine::Status::Running &&
-            item.kind != ScriptItem::Kind::Crash) {
-            break;
-        }
-        feed(item);
-    }
-    if (engine_->status() == Engine::Status::Running) settle_asyncs();
-    return engine_->status();
-}
-
-rt::Engine::Status Driver::run(const Script& script, Diagnostics& diags) {
-    try {
-        return run(script);
-    } catch (const rt::RuntimeError& e) {
-        diags.error(e.loc(), e.message());
-        return engine_->status();
-    }
-}
-
-std::string Driver::trace_text() const {
-    std::string out;
-    for (const auto& line : trace_) {
-        out += line;
-        out += '\n';
-    }
-    return out;
-}
-
 std::vector<std::string> run_and_trace(const std::string& source, const Script& script,
-                                       const CBindings* extra) {
+                                       const rt::CBindings* extra) {
     flat::CompiledProgram cp = flat::compile(source);
     Driver d(cp, extra);
     d.run(script);

@@ -1,62 +1,60 @@
-// Environment driver: owns an Engine, feeds it a Script, collects traces.
-// Plays the role of the platform binding described in §5 — it decides the
-// order in which the four API entry points are called, and it never
-// interleaves them (which would break the discrete semantics of time).
+// Environment driver: the historical script-running front end, now a thin
+// shim over ceu::host::Instance (the single embedding facade). Kept for the
+// large body of tests written against it; new hosts should embed
+// host::Instance directly — see docs/EMBEDDING.md.
 #pragma once
 
-#include <memory>
 #include <string>
 #include <vector>
 
 #include "codegen/flatten.hpp"
+#include "env/bindings.hpp"
 #include "env/script.hpp"
+#include "host/instance.hpp"
 #include "runtime/engine.hpp"
 
 namespace ceu::env {
-
-/// Standard C bindings every test/demo gets: `_printf`, `_assert`,
-/// `_trace`, `_abs`, and a deterministic `_srand`/`_rand`/`_time`.
-/// Trace-producing calls are routed to the engine's `on_trace` hook.
-rt::CBindings make_standard_bindings();
-
-/// Formats `fmt` with printf-style directives (%d %ld %u %x %c %s %%)
-/// against Céu values. Shared by the console binding and the substrates.
-std::string format_printf(const std::string& fmt, std::span<const rt::Value> args);
 
 class Driver {
   public:
     /// `cp` must outlive the driver. Extra bindings are merged over the
     /// standard ones (platform bindings win on conflicts).
     explicit Driver(const flat::CompiledProgram& cp,
-                    const rt::CBindings* extra = nullptr);
+                    const rt::CBindings* extra = nullptr)
+        : inst_(cp, make_config(extra)) {}
 
     /// Boot + run the whole script + drain asyncs. Returns final status.
     /// Dynamic errors (rt::RuntimeError) propagate to the caller.
-    rt::Engine::Status run(const Script& script);
+    rt::Engine::Status run(const Script& script) { return inst_.run(script); }
 
     /// Like run(), but catches rt::RuntimeError and reports it as a
     /// structured diagnostic (source location + bare message) instead of
-    /// letting it unwind — the CLI's error path. Returns the engine status
-    /// at the point of failure (Faulted when the engine traps faults,
-    /// otherwise whatever state the error interrupted).
-    rt::Engine::Status run(const Script& script, Diagnostics& diags);
+    /// letting it unwind — the CLI's error path.
+    rt::Engine::Status run(const Script& script, Diagnostics& diags) {
+        return inst_.run(script, diags);
+    }
 
     /// Step API for tests that interleave with engine inspection.
-    void boot();
-    void feed(const ScriptItem& item);
+    void boot() { inst_.boot(); }
+    void feed(const ScriptItem& item) { inst_.feed(item); }
     /// Runs asyncs until idle (or the slice cap trips — a test safety net).
-    void settle_asyncs(uint64_t max_slices = 10'000'000);
+    void settle_asyncs(uint64_t max_slices = 10'000'000) { inst_.settle(max_slices); }
 
-    [[nodiscard]] rt::Engine& engine() { return *engine_; }
-    [[nodiscard]] const std::vector<std::string>& trace() const { return trace_; }
-    [[nodiscard]] std::string trace_text() const;
-    [[nodiscard]] Micros clock() const { return clock_; }
+    [[nodiscard]] rt::Engine& engine() { return inst_.engine(); }
+    [[nodiscard]] const std::vector<std::string>& trace() const { return inst_.trace(); }
+    [[nodiscard]] std::string trace_text() const { return inst_.trace_text(); }
+    [[nodiscard]] Micros clock() const { return inst_.clock(); }
+
+    /// The wrapped facade, for callers migrating off the shim.
+    [[nodiscard]] host::Instance& instance() { return inst_; }
 
   private:
-    rt::CBindings bindings_;
-    std::unique_ptr<rt::Engine> engine_;
-    std::vector<std::string> trace_;
-    Micros clock_ = 0;
+    static host::Config make_config(const rt::CBindings* extra) {
+        host::Config cfg;
+        cfg.bindings = extra;
+        return cfg;
+    }
+    host::Instance inst_;
 };
 
 /// One-shot helper: compile, run `script`, return the trace lines.

@@ -1,0 +1,184 @@
+#include "host/instance.hpp"
+
+#include <algorithm>
+
+#include "env/bindings.hpp"
+
+namespace ceu::host {
+
+using rt::Engine;
+using rt::Value;
+
+Instance::Instance(const flat::CompiledProgram& cp, Config cfg) : cp_(&cp) {
+    init(cfg);
+}
+
+Instance::Instance(const std::string& source, Config cfg)
+    : owned_cp_(std::make_unique<flat::CompiledProgram>(flat::compile(source))),
+      cp_(owned_cp_.get()) {
+    init(cfg);
+}
+
+void Instance::init(Config& cfg) {
+    collect_trace_ = cfg.collect_trace;
+    bindings_ = env::make_standard_bindings();
+    if (cfg.bindings != nullptr) bindings_.merge(*cfg.bindings);
+    engine_ = std::make_unique<Engine>(*cp_, bindings_, cfg.engine);
+    engine_->on_trace = [this](const std::string& line) {
+        if (collect_trace_) trace_.push_back(line);
+        if (on_trace_line) on_trace_line(line);
+    };
+}
+
+// -- lifecycle ----------------------------------------------------------------
+
+void Instance::boot() { engine_->go_init(); }
+
+void Instance::reset() { engine_->reset(); }
+
+void Instance::power_cycle() {
+    // Power-cycle: all program state is lost; the wall-clock persists
+    // (reset keeps `now`, so the reboot reaction and any timers it arms
+    // are stamped with the current instant).
+    engine_->reset();
+    engine_->trace("[crash] engine power-cycled");
+    engine_->go_init();
+}
+
+// -- inputs -------------------------------------------------------------------
+
+void Instance::inject(const std::string& event, Value v) {
+    if (!engine_->go_event_by_name(event, v)) {
+        throw rt::RuntimeError({}, "unknown input event '" + event + "'");
+    }
+}
+
+bool Instance::try_inject(const std::string& event, Value v) {
+    return engine_->go_event_by_name(event, v);
+}
+
+void Instance::inject(int event_id, Value v) { engine_->go_event(event_id, v); }
+
+void Instance::advance(Micros delta) {
+    // `delta` is measured from the engine's current instant, which may be
+    // ahead of our accumulator when asyncs advanced time via `emit <time>`.
+    // This matches the compiled harness (`ceu_go_time(ceu_now + v)`), so
+    // interpreter and cgen traces stay byte-compatible.
+    clock_ = std::max(clock_, engine_->now()) + delta;
+    engine_->go_time(clock_);
+}
+
+void Instance::advance_to(Micros abs_us) {
+    clock_ = std::max(clock_, abs_us);
+    engine_->go_time(clock_);
+}
+
+bool Instance::step_async() { return engine_->go_async(); }
+
+void Instance::settle(uint64_t max_slices) {
+    uint64_t n = 0;
+    while (engine_->status() == Engine::Status::Running && engine_->has_async_work()) {
+        if (!engine_->go_async()) break;
+        if (++n >= max_slices) {
+            throw rt::RuntimeError({}, "async work did not settle within the slice cap");
+        }
+    }
+    // The virtual clock may have advanced via `emit <time>` inside asyncs.
+    clock_ = std::max(clock_, engine_->now());
+}
+
+// -- scripts ------------------------------------------------------------------
+
+void Instance::feed(const env::ScriptItem& item) {
+    using Kind = env::ScriptItem::Kind;
+    switch (item.kind) {
+        case Kind::Event:
+            // Pending input has priority over asyncs; deliver directly.
+            if (!try_inject(item.event, item.value)) {
+                throw rt::RuntimeError({}, "script refers to unknown input event '" +
+                                               item.event + "'");
+            }
+            break;
+        case Kind::Advance:
+            advance(item.us);
+            break;
+        case Kind::AsyncIdle:
+            settle();
+            break;
+        case Kind::Crash:
+            power_cycle();
+            break;
+    }
+}
+
+Engine::Status Instance::run(const env::Script& script) {
+    boot();
+    for (const env::ScriptItem& item : script.items()) {
+        if (engine_->status() != Engine::Status::Running &&
+            item.kind != env::ScriptItem::Kind::Crash) {
+            break;
+        }
+        feed(item);
+    }
+    if (engine_->status() == Engine::Status::Running) settle();
+    return engine_->status();
+}
+
+Engine::Status Instance::run(const env::Script& script, Diagnostics& diags) {
+    try {
+        return run(script);
+    } catch (const rt::RuntimeError& e) {
+        diags.error(e.loc(), e.message());
+        return engine_->status();
+    }
+}
+
+// -- observability ------------------------------------------------------------
+
+void Instance::arm_recorder() { engine_->set_recorder(&recorder_); }
+
+void Instance::add_sink(obs::Sink* sink) {
+    recorder_.add_sink(sink);
+    recorder_.set_spans_enabled(true);
+    arm_recorder();
+}
+
+void Instance::own_sink(std::unique_ptr<obs::Sink> sink) {
+    add_sink(sink.get());
+    owned_sinks_.push_back(std::move(sink));
+}
+
+void Instance::observe_stats() {
+    if (engine_->recorder() == nullptr) {
+        recorder_.set_spans_enabled(recorder_.has_sinks());
+        arm_recorder();
+    }
+}
+
+obs::ProcessStats Instance::snapshot() const {
+    obs::ProcessStats s = recorder_.stats();
+    // Engine-lifetime gauges beat the recorder's (possibly late-armed)
+    // window for the fields the engine tracks unconditionally.
+    s.reactions = std::max<uint64_t>(s.reactions, engine_->reactions());
+    s.instructions = std::max<uint64_t>(s.instructions, engine_->instructions_executed());
+    s.max_reaction_instructions = std::max<uint64_t>(s.max_reaction_instructions,
+                                                     engine_->max_reaction_instructions());
+    s.queue_peak = std::max(s.queue_peak, engine_->queue_peak());
+    s.timers_peak = std::max(s.timers_peak, engine_->pending_timers());
+    return s;
+}
+
+void Instance::finish_observation() { recorder_.finish(); }
+
+// -- traces -------------------------------------------------------------------
+
+std::string Instance::trace_text() const {
+    std::string out;
+    for (const auto& line : trace_) {
+        out += line;
+        out += '\n';
+    }
+    return out;
+}
+
+}  // namespace ceu::host

@@ -1,0 +1,156 @@
+// ceu::host::Instance — the single embedding facade for running a compiled
+// Céu program. Every in-tree host (env::Driver, wsn::CeuMote, the ceuc
+// script runner, the conformance differ, the demos and examples) routes its
+// event injection through this class; rt::Engine stays an internal detail
+// with exactly one documented construction path (this one).
+//
+// The facade bundles what every embedding otherwise re-plumbs by hand:
+//   - the standard C bindings (merged under host-supplied extras),
+//   - trace-line collection / streaming,
+//   - the script vocabulary (boot / inject / advance / settle / crash),
+//   - the observability layer: sink registration, the reaction Recorder,
+//     and the fused ProcessStats snapshot the bench exporters serialize.
+//
+// Observation is off by default: the engine's Recorder pointer stays null
+// and every hook site is one predicted branch (the <1% overhead budget the
+// obs tests assert). Attaching a sink — or calling observe_stats() — arms
+// the recorder for the rest of the instance's life.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "codegen/flatten.hpp"
+#include "env/script.hpp"
+#include "obs/obs.hpp"
+#include "runtime/cbind.hpp"
+#include "runtime/engine.hpp"
+
+namespace ceu::host {
+
+struct Config {
+    /// Scheduling / fault-trap knobs forwarded to the engine.
+    rt::EngineOptions engine;
+    /// Extra C bindings merged over the standard ones (extras win on
+    /// conflicts). Must outlive the Instance. May be null.
+    const rt::CBindings* bindings = nullptr;
+    /// Keep every trace line in memory (trace()/trace_text()). Turn off for
+    /// long-running hosts that only stream via on_trace_line.
+    bool collect_trace = true;
+};
+
+class Instance {
+  public:
+    /// Wraps an already-compiled program; `cp` must outlive the instance.
+    explicit Instance(const flat::CompiledProgram& cp, Config cfg = Config());
+    /// Compiles `source` and owns the result. Throws CompileError.
+    explicit Instance(const std::string& source, Config cfg = Config());
+
+    Instance(const Instance&) = delete;
+    Instance& operator=(const Instance&) = delete;
+
+    // -- lifecycle ------------------------------------------------------------
+
+    /// Boot reaction (go_init). The instance must be freshly constructed,
+    /// reset, or power-cycled.
+    void boot();
+    /// Discards all dynamic program state; wall-clock persists. The engine
+    /// returns to Loaded and boot() can run again.
+    void reset();
+    /// Crash semantics: reset + a "[crash] engine power-cycled" trace line
+    /// + boot. What a Script's `crash` item does.
+    void power_cycle();
+
+    // -- inputs (the §5 environment side) ------------------------------------
+
+    /// Delivers one occurrence of a named input event. Throws RuntimeError
+    /// if the name is not an input of the program.
+    void inject(const std::string& event, rt::Value v = rt::Value::integer(0));
+    /// Like inject(), but unknown names are ignored (returns false) — the
+    /// conformance differ's contract, where generated scripts may mention
+    /// events a shrunk program no longer declares.
+    bool try_inject(const std::string& event, rt::Value v = rt::Value::integer(0));
+    /// Delivers by input id (bounds-checked by the engine; out-of-range ids
+    /// are discarded exactly like the compiled C's switch default).
+    void inject(int event_id, rt::Value v = rt::Value::integer(0));
+
+    /// Advances the virtual wall-clock by `delta` and runs the due timer
+    /// reactions (one per expired deadline group, §2.3).
+    void advance(Micros delta);
+    /// Absolute-time variant; moving backwards is a no-op (clocks don't
+    /// rewind).
+    void advance_to(Micros abs_us);
+
+    /// One round-robin async slice; true if async work remains.
+    bool step_async();
+    /// Runs asyncs until idle (or the slice cap trips — a safety net).
+    void settle(uint64_t max_slices = 10'000'000);
+
+    // -- scripts --------------------------------------------------------------
+
+    void feed(const env::ScriptItem& item);
+    /// Boot + run the whole script + drain asyncs. Returns final status.
+    /// Dynamic errors (rt::RuntimeError) propagate to the caller.
+    rt::Engine::Status run(const env::Script& script);
+    /// Like run(), but catches rt::RuntimeError into a structured
+    /// diagnostic — the CLI's error path.
+    rt::Engine::Status run(const env::Script& script, Diagnostics& diags);
+
+    // -- observability --------------------------------------------------------
+
+    /// Registers a reaction-span sink (not owned; must outlive the
+    /// instance) and arms the recorder.
+    void add_sink(obs::Sink* sink);
+    /// Same, transferring ownership to the instance.
+    void own_sink(std::unique_ptr<obs::Sink> sink);
+    /// Arms the recorder for counters only (no span materialization) — the
+    /// cheap always-on profile the bench exporters use.
+    void observe_stats();
+    /// Process-level counters: the recorder's aggregation fused with the
+    /// engine's own lifetime gauges (reactions, instructions, queue peak),
+    /// so the engine-derived fields are correct even when observation was
+    /// armed late or never. Span-derived fields (wakes, emits, by-kind
+    /// splits) cover only the observed window.
+    [[nodiscard]] obs::ProcessStats snapshot() const;
+    /// Flushes every sink (closes the Chrome-trace JSON array). Idempotent.
+    void finish_observation();
+    [[nodiscard]] obs::Recorder& recorder() { return recorder_; }
+    /// Fault-layer integration: harnesses report each injected fault here
+    /// so it lands in the stats snapshot.
+    void note_fault_injection() { recorder_.count_fault_injection(); }
+
+    // -- traces ---------------------------------------------------------------
+
+    /// Streaming hook: called once per trace line, in addition to (not
+    /// instead of) collection. Settable at any time.
+    std::function<void(const std::string&)> on_trace_line;
+    [[nodiscard]] const std::vector<std::string>& trace() const { return trace_; }
+    [[nodiscard]] std::string trace_text() const;
+
+    // -- introspection (tests, benches; do not inject events through this) ----
+
+    [[nodiscard]] rt::Engine& engine() { return *engine_; }
+    [[nodiscard]] const rt::Engine& engine() const { return *engine_; }
+    [[nodiscard]] rt::Engine::Status status() const { return engine_->status(); }
+    [[nodiscard]] rt::Value result() const { return engine_->result(); }
+    [[nodiscard]] Micros clock() const { return clock_; }
+    [[nodiscard]] const flat::CompiledProgram& program() const { return *cp_; }
+
+  private:
+    void init(Config& cfg);
+    void arm_recorder();
+
+    std::unique_ptr<flat::CompiledProgram> owned_cp_;  // set by the source ctor
+    const flat::CompiledProgram* cp_ = nullptr;
+    rt::CBindings bindings_;
+    std::unique_ptr<rt::Engine> engine_;
+    obs::Recorder recorder_;
+    std::vector<std::unique_ptr<obs::Sink>> owned_sinks_;
+    std::vector<std::string> trace_;
+    bool collect_trace_ = true;
+    Micros clock_ = 0;
+};
+
+}  // namespace ceu::host

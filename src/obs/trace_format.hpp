@@ -1,0 +1,59 @@
+// The reaction-trace wire format, shared by the interpreter-side
+// ChromeTraceSink and the cgen-emitted C writer. Both serializers print
+// with exactly these printf format strings, so a compiled program and the
+// interpreter produce byte-identical trace files for the same reaction
+// history — the property the conformance suite asserts on fixed seeds.
+//
+// The format is the Chrome trace_event JSON array form (load via
+// chrome://tracing or https://ui.perfetto.dev): one "B"/"E" duration pair
+// per reaction chain plus instant events ("ph":"i") for each woken trail,
+// internal emit and timer expiry inside the chain. Timestamps are the
+// *logical* time of the reaction (§2.3), so the trace is a pure function
+// of the input script — wall-clock measurements never appear here (the
+// stats snapshot carries those).
+//
+// Integer arguments are printed as long long / unsigned long long; callers
+// cast explicitly on both sides.
+#pragma once
+
+namespace ceu::obs {
+
+inline constexpr const char* kTraceHeader = "[\n";
+inline constexpr const char* kTraceSep = ",\n";
+inline constexpr const char* kTraceFooter = "\n]\n";
+
+/// kind string ("boot"/"event"/"timer"/"async"), id, name, seq, ts.
+inline constexpr const char* kFmtReactionBegin =
+    "{\"name\":\"reaction\",\"cat\":\"ceu\",\"ph\":\"B\",\"pid\":1,\"tid\":1,"
+    "\"ts\":%lld,\"args\":{\"kind\":\"%s\",\"id\":%d,\"name\":\"%s\",\"seq\":%llu}}";
+
+/// ts, gate.
+inline constexpr const char* kFmtWake =
+    "{\"name\":\"wake\",\"cat\":\"ceu\",\"ph\":\"i\",\"s\":\"t\",\"pid\":1,"
+    "\"tid\":1,\"ts\":%lld,\"args\":{\"gate\":%d}}";
+
+/// ts, internal event id, emit-stack depth.
+inline constexpr const char* kFmtEmit =
+    "{\"name\":\"emit\",\"cat\":\"ceu\",\"ph\":\"i\",\"s\":\"t\",\"pid\":1,"
+    "\"tid\":1,\"ts\":%lld,\"args\":{\"event\":%d,\"depth\":%d}}";
+
+/// ts, gate, residual delta (now - deadline, §2.3).
+inline constexpr const char* kFmtTimerFire =
+    "{\"name\":\"timer\",\"cat\":\"ceu\",\"ph\":\"i\",\"s\":\"t\",\"pid\":1,"
+    "\"tid\":1,\"ts\":%lld,\"args\":{\"gate\":%d,\"residual\":%lld}}";
+
+/// ts, status (1 running / 2 terminated / 3 faulted).
+inline constexpr const char* kFmtReactionEnd =
+    "{\"name\":\"reaction\",\"cat\":\"ceu\",\"ph\":\"E\",\"pid\":1,\"tid\":1,"
+    "\"ts\":%lld,\"args\":{\"status\":%d}}";
+
+/// ts, status, program result — used instead of kFmtReactionEnd when the
+/// reaction terminated the program (status 2).
+inline constexpr const char* kFmtReactionEndResult =
+    "{\"name\":\"reaction\",\"cat\":\"ceu\",\"ph\":\"E\",\"pid\":1,\"tid\":1,"
+    "\"ts\":%lld,\"args\":{\"status\":%d,\"result\":%lld}}";
+
+inline constexpr const char* kReactionKindNames[4] = {"boot", "event", "timer",
+                                                      "async"};
+
+}  // namespace ceu::obs

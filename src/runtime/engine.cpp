@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cassert>
 
+#include "obs/obs.hpp"
+
 namespace ceu::rt {
 
 using flat::GateInfo;
@@ -22,8 +24,12 @@ Engine::Engine(const flat::CompiledProgram& cp, CBindings& bindings, Options opt
 // ---------------------------------------------------------------------------
 
 void Engine::enqueue(Pc pc, int prio, Value wake) {
+    if (obs_ != nullptr && queue_.size() == queue_.capacity()) {
+        obs_->count_allocation();
+    }
     queue_.push_back({pc, prio, seq_++, wake});
     queue_peak_ = std::max(queue_peak_, queue_.size());
+    if (obs_ != nullptr) obs_->gauge_queue_depth(queue_.size());
 }
 
 Engine::Track Engine::pop_track() {
@@ -48,6 +54,16 @@ void Engine::wake_gate(int gate, Value v) {
     enqueue(fp_.gates[static_cast<size_t>(gate)].cont, kNormalPrio, v);
 }
 
+int Engine::status_code() const {
+    switch (status_) {
+        case Status::Loaded: return 0;
+        case Status::Running: return 1;
+        case Status::Terminated: return 2;
+        case Status::Faulted: return 3;
+    }
+    return 0;
+}
+
 void Engine::run_reaction() {
     if (!opt_.trap_faults) {
         run_reaction_impl();
@@ -58,13 +74,22 @@ void Engine::run_reaction() {
             enter_fault(e);
         }
     }
+    if (obs_ != nullptr) obs_->end(status_code(), result_.as_int(), reaction_instr_);
     if (opt_.check_invariants) check_invariants();
 }
 
 void Engine::run_reaction_impl() {
     // Drain tracks; when the queue is empty, resume the most recent
     // suspended emitter (stack policy for internal events, §2.2).
-    in_reaction_ = true;
+    //
+    // The flag must drop even when a RuntimeError unwinds with trap_faults
+    // off — otherwise the engine looks permanently mid-reaction and a later
+    // reset() is rejected as reentrant, leaving armed timers stranded.
+    struct ReactionFlag {
+        bool& flag;
+        explicit ReactionFlag(bool& f) : flag(f) { flag = true; }
+        ~ReactionFlag() { flag = false; }
+    } guard(in_reaction_);
     reaction_instr_ = 0;
     for (;;) {
         if (!queue_.empty()) {
@@ -78,7 +103,6 @@ void Engine::run_reaction_impl() {
             break;
         }
     }
-    in_reaction_ = false;
     max_reaction_ = std::max(max_reaction_, reaction_instr_);
     ++reactions_;
     check_termination();
@@ -216,6 +240,7 @@ void Engine::go_init() {
     assert(status_ == Status::Loaded);
     status_ = Status::Running;
     logical_now_ = now_;
+    if (obs_ != nullptr) obs_->begin(obs::ReactionKind::Boot, 0, "", logical_now_);
     enqueue(0, kNormalPrio);
     run_reaction();
 }
@@ -225,13 +250,21 @@ void Engine::go_event(int event_id, Value v) {
     if (event_id < 0 || static_cast<size_t>(event_id) >= fp_.ext_gates.size()) return;
     check_not_reentrant("go_event");
     logical_now_ = now_;
+    if (obs_ != nullptr) {
+        obs_->begin(obs::ReactionKind::Event, event_id,
+                    cp_.sema.inputs[static_cast<size_t>(event_id)].name.c_str(),
+                    logical_now_);
+    }
     // Snapshot: trails that re-await the same event during this reaction
     // must not see this occurrence again.
     std::vector<int> firing;
     for (int g : fp_.ext_gates[static_cast<size_t>(event_id)]) {
         if (gate_active_[static_cast<size_t>(g)]) firing.push_back(g);
     }
-    for (int g : firing) wake_gate(g, v);
+    for (int g : firing) {
+        if (obs_ != nullptr) obs_->wake(g);
+        wake_gate(g, v);
+    }
     // Even a discarded occurrence is a (trivial) reaction chain.
     run_reaction();
 }
@@ -256,8 +289,16 @@ void Engine::go_time(Micros now) {
         // by the awakened code (§2.3).
         logical_now_ = fired;
         Micros delta = now_ - fired;
+        if (obs_ != nullptr) {
+            obs_->begin(obs::ReactionKind::Timer, static_cast<int>(gates.size()),
+                        "", logical_now_);
+        }
         for (int g : gates) {
             if (gate_active_[static_cast<size_t>(g)]) {
+                if (obs_ != nullptr) {
+                    obs_->timer_fire(g, delta);
+                    obs_->wake(g);
+                }
                 wake_gate(g, Value::integer(delta));
             }
         }
@@ -367,12 +408,14 @@ void Engine::exec(Track t) {
             case IOp::AwaitTime: {
                 gate_active_[static_cast<size_t>(I.b)] = 1;
                 timers_.arm(I.b, logical_now_ + I.us);
+                if (obs_ != nullptr) obs_->gauge_timer_count(timers_.size());
                 return;
             }
             case IOp::AwaitDyn: {
                 Micros dur = eval(*I.e1).as_int();
                 gate_active_[static_cast<size_t>(I.b)] = 1;
                 timers_.arm(I.b, logical_now_ + dur);
+                if (obs_ != nullptr) obs_->gauge_timer_count(timers_.size());
                 return;
             }
 
@@ -389,14 +432,24 @@ void Engine::exec(Track t) {
                 if (opt_.internal_events == Options::InternalEvents::Queue) {
                     // Ablation: broadcast-and-continue. The emitter keeps
                     // running; awakened trails are merely enqueued.
-                    for (int g : firing) wake_gate(g, v);
+                    if (obs_ != nullptr) {
+                        obs_->emit(I.a, static_cast<int>(stack_.size()));
+                    }
+                    for (int g : firing) {
+                        if (obs_ != nullptr) obs_->wake(g);
+                        wake_gate(g, v);
+                    }
                     ++pc;
                     break;
                 }
                 // Stack policy (§2.2): the emitter halts until every
                 // awaiting trail completely reacts.
                 stack_.push_back({pc + 1, cur_prio_, false});
-                for (int g : firing) wake_gate(g, v);
+                if (obs_ != nullptr) obs_->emit(I.a, static_cast<int>(stack_.size()));
+                for (int g : firing) {
+                    if (obs_ != nullptr) obs_->wake(g);
+                    wake_gate(g, v);
+                }
                 return;
             }
 
@@ -559,6 +612,10 @@ void Engine::exec_async(AsyncCtx& ctx) {
                 ctx.alive = false;
                 int g = fp_.asyncs[static_cast<size_t>(I.a)].gate;
                 if (gate_active_[static_cast<size_t>(g)]) {
+                    if (obs_ != nullptr) {
+                        obs_->begin(obs::ReactionKind::Async, I.a, "", logical_now_);
+                        obs_->wake(g);
+                    }
                     wake_gate(g, v);
                     run_reaction();
                 }

@@ -29,6 +29,10 @@
 #include "runtime/timerwheel.hpp"
 #include "runtime/value.hpp"
 
+namespace ceu::obs {
+class Recorder;
+}
+
 namespace ceu::rt {
 
 /// Raised on dynamic errors (unbound C symbol, bad dereference). The
@@ -160,6 +164,16 @@ class Engine {
     /// Value of a named program variable (outermost declaration wins).
     [[nodiscard]] std::optional<Value> var(const std::string& name) const;
 
+    /// Most tracks ever queued at once — the trail high-water mark.
+    [[nodiscard]] size_t queue_peak() const { return queue_peak_; }
+
+    /// Attaches (or detaches, with nullptr) a reaction-span recorder. The
+    /// recorder must outlive the engine or be detached first. When null —
+    /// the default — every observability hook is one pointer test; this is
+    /// the zero-overhead-when-off contract the obs tests assert.
+    void set_recorder(obs::Recorder* rec) { obs_ = rec; }
+    [[nodiscard]] obs::Recorder* recorder() const { return obs_; }
+
     /// Modeled RAM of the static runtime state, in bytes: the slot vector,
     /// gate flags, timer entries and track-queue capacity. Used by the
     /// Table 1 reproduction.
@@ -240,6 +254,7 @@ class Engine {
     uint64_t instructions_ = 0;
     int cur_prio_ = flat::kNormalPrio;
     size_t queue_peak_ = 0;
+    obs::Recorder* obs_ = nullptr;
 
     // -- scheduling -----------------------------------------------------------
 
@@ -256,6 +271,7 @@ class Engine {
     void kill_region(int region_idx);
     void check_termination();
     void check_not_reentrant(const char* api) const;
+    [[nodiscard]] int status_code() const;
     [[nodiscard]] size_t alive_asyncs() const;
 
     // -- expression evaluation --------------------------------------------------

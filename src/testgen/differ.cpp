@@ -10,7 +10,7 @@
 #include "cgen/cgen.hpp"
 #include "codegen/flatten.hpp"
 #include "dfa/dfa.hpp"
-#include "env/driver.hpp"
+#include "host/instance.hpp"
 #include "runtime/engine.hpp"
 #include "testgen/generator.hpp"
 
@@ -25,43 +25,46 @@ struct InterpRun {
     std::string error_msg;
 };
 
-/// Mirrors env::Driver::run and the cgen main(): boot, feed the script
-/// (stopping once the program leaves Running), drain asyncs to idle.
+/// Mirrors the cgen main(): boot, feed the script (stopping once the
+/// program leaves Running), drain asyncs to idle. Drives the engine through
+/// the host::Instance facade; the async loop deliberately avoids
+/// Instance::settle's clock sync to match the compiled harness exactly.
 InterpRun run_interp(const flat::CompiledProgram& cp, const env::Script& script,
-                     rt::EngineOptions::TieBreak tb) {
-    rt::CBindings bindings = env::make_standard_bindings();
-    rt::EngineOptions opt;
-    opt.tie_break = tb;
+                     rt::EngineOptions::TieBreak tb, obs::Sink* sink = nullptr) {
+    host::Config cfg;
+    cfg.engine.tie_break = tb;
     InterpRun r;
     try {
-        rt::Engine eng(cp, bindings, opt);
-        eng.on_trace = [&r](const std::string& line) { r.trace.push_back(line); };
-        eng.go_init();
-        Micros clock = 0;
+        host::Instance inst(cp, cfg);
+        if (sink != nullptr) inst.add_sink(sink);
+        inst.boot();
         for (const env::ScriptItem& item : script.items()) {
-            if (eng.status() != rt::Engine::Status::Running) break;
+            if (inst.status() != rt::Engine::Status::Running) break;
             switch (item.kind) {
                 case env::ScriptItem::Kind::Event:
-                    eng.go_event_by_name(item.event, item.value);
+                    // Unknown events are discarded, like the compiled C's
+                    // input switch default.
+                    inst.try_inject(item.event, item.value);
                     break;
                 case env::ScriptItem::Kind::Advance:
-                    clock += item.us;
-                    eng.go_time(clock);
+                    inst.advance(item.us);
                     break;
                 case env::ScriptItem::Kind::AsyncIdle:
-                    for (int i = 0; i < 10'000'000 && eng.go_async(); ++i) {}
+                    for (int i = 0; i < 10'000'000 && inst.step_async(); ++i) {}
                     break;
                 case env::ScriptItem::Kind::Crash:
-                    eng.reset();
-                    eng.go_init();
+                    inst.reset();
+                    inst.boot();
                     break;
             }
         }
-        while (eng.status() == rt::Engine::Status::Running && eng.go_async()) {}
-        r.status = eng.status();
+        while (inst.status() == rt::Engine::Status::Running && inst.step_async()) {}
+        inst.finish_observation();
+        r.status = inst.status();
+        r.trace = inst.trace();
         // The cgen harness exits with (int)result truncated by the OS to
         // one byte; fold the interpreter result the same way.
-        r.exit_code = static_cast<int>(static_cast<uint8_t>(eng.result().as_int()));
+        r.exit_code = static_cast<int>(static_cast<uint8_t>(inst.result().as_int()));
     } catch (const std::exception& e) {
         r.error = true;
         r.error_msg = e.what();
@@ -78,7 +81,8 @@ struct CgenRun {
 };
 
 CgenRun run_cgen(const flat::CompiledProgram& cp, const std::string& script,
-                 const DiffOptions& opt, const std::string& base) {
+                 const DiffOptions& opt, const std::string& base,
+                 const std::string& trace_path = "") {
     CgenRun out;
     std::string c_path = base + ".c";
     std::string bin_path = base + ".bin";
@@ -105,6 +109,7 @@ CgenRun run_cgen(const flat::CompiledProgram& cp, const std::string& script,
     // `timeout` guards against an emitted C scheduler that spins; generated
     // programs are bounded by construction, so 20s means "hung".
     std::string run = "timeout 20 " + bin_path + " < " + in_path + " > " + out_path;
+    if (!trace_path.empty()) run = "CEU_TRACE=" + trace_path + " " + run;
     int rc = std::system(run.c_str());
     if (WIFEXITED(rc)) {
         out.exit_code = WEXITSTATUS(rc);
@@ -262,6 +267,52 @@ DiffResult run_differential(const std::string& source, const env::Script& script
     res.kind = verdict_unknown ? DiffResult::Kind::DfaUnknown : DiffResult::Kind::DfaRefused;
     res.refused_diverged = !tie_same || !cgen_same;
     return res;
+}
+
+TraceRun interp_chrome_trace(const std::string& source, const env::Script& script) {
+    TraceRun out;
+    flat::CompiledProgram cp;
+    Diagnostics diags;
+    if (!flat::compile_checked(source, &cp, diags, "<trace>")) {
+        out.error = diags.str();
+        return out;
+    }
+    obs::ChromeTraceSink sink;
+    InterpRun r = run_interp(cp, script, rt::EngineOptions::TieBreak::Fifo, &sink);
+    if (r.error) {
+        out.error = r.error_msg;
+        return out;
+    }
+    out.ok = true;
+    out.trace = sink.text();
+    return out;
+}
+
+TraceRun cgen_chrome_trace(const std::string& source, const env::Script& script,
+                           const DiffOptions& opt) {
+    TraceRun out;
+    flat::CompiledProgram cp;
+    Diagnostics diags;
+    if (!flat::compile_checked(source, &cp, diags, "<trace>")) {
+        out.error = diags.str();
+        return out;
+    }
+    std::string base = unique_base(opt);
+    std::string trace_path = base + ".trace.json";
+    CgenRun c = run_cgen(cp, script_text(script), opt, base, trace_path);
+    if (c.build_error || c.run_error) {
+        out.error = c.error_msg;
+        ::unlink(trace_path.c_str());
+        return out;
+    }
+    std::ifstream f(trace_path);
+    std::stringstream ss;
+    ss << f.rdbuf();
+    out.trace = ss.str();
+    out.ok = f.good() || !out.trace.empty();
+    if (!out.ok) out.error = "compiled program produced no trace file";
+    if (!opt.keep_artifacts) ::unlink(trace_path.c_str());
+    return out;
 }
 
 }  // namespace ceu::testgen

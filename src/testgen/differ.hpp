@@ -86,4 +86,20 @@ struct DiffResult {
 DiffResult run_differential(const std::string& source, const env::Script& script,
                             const DiffOptions& opt = {});
 
+/// One leg of the reaction-trace byte-compatibility check: the program +
+/// script pair executed with Chrome tracing armed. `trace` is the complete
+/// trace_event JSON (footer included) when `ok`.
+struct TraceRun {
+    bool ok = false;
+    std::string error;  // compile/build/run failure detail
+    std::string trace;
+};
+
+/// Interpreter leg: host::Instance with a ChromeTraceSink attached.
+TraceRun interp_chrome_trace(const std::string& source, const env::Script& script);
+/// Compiled leg: the cgen binary run with CEU_TRACE= pointing at a scratch
+/// file. Byte-identical to the interpreter leg on conforming programs.
+TraceRun cgen_chrome_trace(const std::string& source, const env::Script& script,
+                           const DiffOptions& opt = {});
+
 }  // namespace ceu::testgen

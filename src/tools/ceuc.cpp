@@ -20,22 +20,36 @@
 //                                 one seed (corpus format, for replaying)
 //   ceuc --no-analysis ...        skip the temporal analysis
 //
-// Fuzz options:
-//   --fuzz-out DIR                write shrunk failures to DIR as corpus
-//                                 files (default: report only)
-//   --fuzz-cc CMD                 host C compiler command (default
-//                                 "cc -std=c11 -O1")
-//   --fuzz-no-cgen                skip the compile-and-run C leg
-//   --fuzz-no-shrink              report divergences unshrunk
+// Run options:
+//   --trace=FILE                  write a Chrome trace_event JSON of every
+//                                 reaction chain (load in about:tracing /
+//                                 Perfetto). Byte-identical with the trace
+//                                 the cgen-compiled binary writes under
+//                                 CEU_TRACE=FILE.
+//   --stats=FILE                  write a ProcessStats JSON snapshot after
+//                                 the run ("-" = stderr)
 //
-// Analysis options:
-//   --analysis-jobs N             explore the DFA with N worker threads
-//   --max-states N                state budget (default 20000)
-//   --strict                      incomplete analysis => exit 1
-//   --fail-fast                   stop exploring at the first conflict
-//   --diag-format=text|json       --lint output format (JSON: one object
-//                                 per diagnostic, for CI gating)
-//   --lint-only=a,b  --lint-disable=a,b   pass-level enable/disable
+// Analysis options (dotted keys; the historical --analysis-jobs,
+// --max-states, --strict and --fail-fast spellings stay as aliases):
+//   --analysis.jobs N             explore the DFA with N worker threads
+//   --analysis.max-states N       state budget (default 20000)
+//   --analysis.strict             incomplete analysis => exit 1
+//   --analysis.fail-fast          stop exploring at the first conflict
+//
+// Fuzz options (dotted keys; --fuzz-out etc. stay as aliases):
+//   --fuzz.out DIR                write shrunk failures to DIR as corpus
+//                                 files (default: report only)
+//   --fuzz.cc CMD                 host C compiler command (default
+//                                 "cc -std=c11 -O1")
+//   --fuzz.no-cgen                skip the compile-and-run C leg
+//   --fuzz.no-shrink              report divergences unshrunk
+//
+// Every subcommand honors --diag-format=text|json (JSON: one object per
+// diagnostic on stdout, for CI gating) and the exit-code contract:
+//   0  success
+//   1  diagnostics reported (compile error, refusal, divergence, runtime
+//      error) — except --run, whose exit code is the program's result
+//   2  command-line usage error
 //
 // Input script protocol (one item per line, matching the C harness; see
 // env::Script::parse for the full grammar):
@@ -56,11 +70,11 @@
 #include "analysis/witness.hpp"
 #include "cgen/cgen.hpp"
 #include "codegen/flatten.hpp"
-#include "demos/demos.hpp"
 #include "dfa/dfa.hpp"
-#include "env/driver.hpp"
 #include "fault/plan.hpp"
 #include "flow/flowgraph.hpp"
+#include "host/instance.hpp"
+#include "obs/obs.hpp"
 #include "testgen/fuzz.hpp"
 
 namespace {
@@ -68,16 +82,18 @@ namespace {
 using namespace ceu;
 
 int usage() {
-    std::fprintf(stderr,
-                 "usage: ceuc [--run|--emit-c|--disasm|--dfa-dot|--flow-dot|--lint|"
-                 "--explain]\n"
-                 "            [--no-analysis] [--analysis-jobs N] [--max-states N] "
-                 "[--strict]\n"
-                 "            [--fail-fast] [--diag-format=text|json] "
-                 "[--lint-only=IDs] [--lint-disable=IDs] <file.ceu>\n"
-                 "       ceuc --gen-fuzz N [--seed S] [--fuzz-out DIR] [--fuzz-cc CMD]\n"
-                 "            [--fuzz-no-cgen] [--fuzz-no-shrink] [--max-states N]\n"
-                 "       ceuc --gen-dump [--seed S]\n");
+    std::fprintf(
+        stderr,
+        "usage: ceuc [--run|--emit-c|--disasm|--dfa-dot|--flow-dot|--lint|"
+        "--explain]\n"
+        "            [--no-analysis] [--analysis.jobs N] [--analysis.max-states N]\n"
+        "            [--analysis.strict] [--analysis.fail-fast]\n"
+        "            [--diag-format=text|json] [--lint-only=IDs] "
+        "[--lint-disable=IDs]\n"
+        "            [--trace=FILE] [--stats=FILE] <file.ceu>\n"
+        "       ceuc --gen-fuzz N [--seed S] [--fuzz.out DIR] [--fuzz.cc CMD]\n"
+        "            [--fuzz.no-cgen] [--fuzz.no-shrink] [--analysis.max-states N]\n"
+        "       ceuc --gen-dump [--seed S]\n");
     return 2;
 }
 
@@ -109,54 +125,159 @@ std::string read_file(const std::string& path) {
     return os.str();
 }
 
-int run_program(const flat::CompiledProgram& cp) {
+void json_escape(std::ostringstream& os, const std::string& s) {
+    os << '"';
+    for (char c : s) {
+        switch (c) {
+            case '"': os << "\\\""; break;
+            case '\\': os << "\\\\"; break;
+            case '\n': os << "\\n"; break;
+            case '\t': os << "\\t"; break;
+            default:
+                if (static_cast<unsigned char>(c) < 0x20) {
+                    char buf[8];
+                    std::snprintf(buf, sizeof buf, "\\u%04x", c);
+                    os << buf;
+                } else {
+                    os << c;
+                }
+        }
+    }
+    os << '"';
+}
+
+/// One compiler/runtime diagnostic in the same shape as analysis
+/// Finding::json, with "pass" naming the producing stage.
+std::string diag_json(const Diagnostic& d, const std::string& pass,
+                      const std::string& file) {
+    std::ostringstream os;
+    os << "{\"pass\":";
+    json_escape(os, pass);
+    os << ",\"severity\":\"" << severity_name(d.severity) << "\",\"file\":";
+    json_escape(os, file);
+    os << ",\"line\":" << d.loc.line << ",\"col\":" << d.loc.col << ",\"message\":";
+    json_escape(os, d.message);
+    os << "}";
+    return os.str();
+}
+
+/// Dumps diagnostics honoring --diag-format: text goes to stderr, JSON goes
+/// to stdout one object per line (the machine-readable channel).
+void print_diags(const Diagnostics& diags, const std::string& pass,
+                 const std::string& file, bool json) {
+    if (json) {
+        for (const Diagnostic& d : diags.all()) {
+            std::printf("%s\n", diag_json(d, pass, file).c_str());
+        }
+    } else {
+        std::fprintf(stderr, "%s", diags.str().c_str());
+    }
+}
+
+struct RunOptions {
+    std::string trace_path;  // --trace=FILE: Chrome trace_event JSON
+    std::string stats_path;  // --stats=FILE: ProcessStats snapshot ("-" = stderr)
+};
+
+int run_program(const flat::CompiledProgram& cp, const std::string& path,
+                const RunOptions& ropt, bool json) {
     std::ostringstream script_text;
     script_text << std::cin.rdbuf();
 
     Diagnostics diags;
     env::Script script;
     if (!env::Script::parse(script_text.str(), &script, diags)) {
-        std::fprintf(stderr, "%s", diags.str().c_str());
-        return 2;
+        print_diags(diags, "script", "<stdin>", json);
+        return 1;
     }
     if (!script.fault_plan_text().empty()) {
         // No simulated network here, but a typo'd plan should not pass
         // silently: validate it and say it goes unused.
         fault::FaultPlan plan;
         if (!fault::parse_plan(script.fault_plan_text(), &plan, diags)) {
-            std::fprintf(stderr, "%s", diags.str().c_str());
-            return 2;
+            print_diags(diags, "fault-plan", "<stdin>", json);
+            return 1;
         }
         std::fprintf(stderr,
                      "note: fault plan parsed but unused (ceuc --run drives a "
                      "single engine, not a network)\n");
     }
 
-    env::Driver driver(cp);
-    driver.engine().on_trace = [](const std::string& line) {
+    host::Instance inst(cp);
+    inst.on_trace_line = [](const std::string& line) {
         std::printf("%s\n", line.c_str());
     };
+    obs::ChromeTraceSink trace_sink;
+    if (!ropt.trace_path.empty()) inst.add_sink(&trace_sink);
+    if (!ropt.stats_path.empty()) inst.observe_stats();
+
     // Dynamic errors come back as structured diagnostics with a source
     // location instead of an unwound exception string.
-    rt::Engine::Status status = driver.run(script, diags);
+    rt::Engine::Status status = inst.run(script, diags);
+    inst.finish_observation();
+
+    if (!ropt.trace_path.empty()) {
+        std::ofstream f(ropt.trace_path, std::ios::binary);
+        if (!f) {
+            std::fprintf(stderr, "ceuc: cannot write %s\n", ropt.trace_path.c_str());
+            return 1;
+        }
+        f << trace_sink.text();
+    }
+    if (!ropt.stats_path.empty()) {
+        std::string stats = inst.snapshot().to_json();
+        if (ropt.stats_path == "-") {
+            std::fprintf(stderr, "%s\n", stats.c_str());
+        } else {
+            std::ofstream f(ropt.stats_path, std::ios::binary);
+            if (!f) {
+                std::fprintf(stderr, "ceuc: cannot write %s\n",
+                             ropt.stats_path.c_str());
+                return 1;
+            }
+            f << stats << "\n";
+        }
+    }
+
     if (!diags.ok()) {
-        std::fprintf(stderr, "%s", diags.str().c_str());
+        print_diags(diags, "runtime", path, json);
         return 1;
     }
     if (status == rt::Engine::Status::Faulted) {
-        const auto& f = driver.engine().fault();
+        const auto& f = inst.engine().fault();
         std::fprintf(stderr, "engine faulted: %s\n",
                      f ? f->message.c_str() : "(unknown)");
         return 1;
     }
     if (status == rt::Engine::Status::Terminated) {
         std::fprintf(stderr, "program terminated with %lld\n",
-                     static_cast<long long>(driver.engine().result().as_int()));
-        return static_cast<int>(driver.engine().result().as_int());
+                     static_cast<long long>(inst.result().as_int()));
+        return static_cast<int>(inst.result().as_int());
     }
     std::fprintf(stderr, "program still awaiting (%d trails)\n",
-                 driver.engine().active_gate_count());
+                 inst.engine().active_gate_count());
     return 0;
+}
+
+/// Rewrites the dotted option spellings (--fuzz.<k>, --analysis.<k>) onto
+/// their historical flag names so one parser handles both.
+std::string canonical_arg(const std::string& a) {
+    static constexpr std::pair<const char*, const char*> kAliases[] = {
+        {"--fuzz.out", "--fuzz-out"},
+        {"--fuzz.cc", "--fuzz-cc"},
+        {"--fuzz.no-cgen", "--fuzz-no-cgen"},
+        {"--fuzz.no-shrink", "--fuzz-no-shrink"},
+        {"--analysis.jobs", "--analysis-jobs"},
+        {"--analysis.max-states", "--max-states"},
+        {"--analysis.strict", "--strict"},
+        {"--analysis.fail-fast", "--fail-fast"},
+    };
+    for (const auto& [dotted, legacy] : kAliases) {
+        if (a == dotted) return legacy;
+        std::string prefix = std::string(dotted) + "=";
+        if (a.rfind(prefix, 0) == 0) return legacy + ("=" + a.substr(prefix.size()));
+    }
+    return a;
 }
 
 }  // namespace
@@ -169,6 +290,7 @@ int main(int argc, char** argv) {
     bool json = false;
     analysis::ExploreOptions eopt;
     analysis::LintOptions lopt;
+    RunOptions ropt;
     std::string path;
     long gen_fuzz_count = -1;  // >= 0: fuzz mode
     bool gen_dump = false;
@@ -192,7 +314,7 @@ int main(int argc, char** argv) {
     };
 
     for (int i = 1; i < argc; ++i) {
-        std::string a = argv[i];
+        std::string a = canonical_arg(argv[i]);
         std::string v;
         if (a == "--run") mode = Mode::Run;
         else if (a == "--emit-c") mode = Mode::EmitC;
@@ -216,6 +338,12 @@ int main(int argc, char** argv) {
             if (v == "json") json = true;
             else if (v == "text") json = false;
             else return usage();
+        } else if (a.rfind("--trace", 0) == 0 && value_of(a, "--trace", i, &v)) {
+            if (v.empty()) return usage();
+            ropt.trace_path = v;
+        } else if (a.rfind("--stats", 0) == 0 && value_of(a, "--stats", i, &v)) {
+            if (v.empty()) return usage();
+            ropt.stats_path = v;
         } else if (a.rfind("--lint-only", 0) == 0 && value_of(a, "--lint-only", i, &v)) {
             lopt.only = split_ids(v);
         } else if (a.rfind("--lint-disable", 0) == 0 &&
@@ -266,11 +394,15 @@ int main(int argc, char** argv) {
         flat::CompiledProgram cp;
         Diagnostics diags;
         if (!flat::compile_checked(source, &cp, diags, path)) {
-            std::fprintf(stderr, "%s", diags.str().c_str());
+            print_diags(diags, "compile", path, json);
             return 1;
         }
-        for (const auto& d : diags.all()) {
-            std::fprintf(stderr, "%s\n", d.str().c_str());
+        if (json) {
+            print_diags(diags, "compile", path, true);  // notes / warnings
+        } else {
+            for (const auto& d : diags.all()) {
+                std::fprintf(stderr, "%s\n", d.str().c_str());
+            }
         }
 
         if (analysis) {
@@ -303,6 +435,13 @@ int main(int argc, char** argv) {
             }
 
             if (budget_exhausted) {
+                if (json) {
+                    std::printf("%s\n",
+                                analysis::incomplete_finding(d.state_count(),
+                                                             eopt.max_states)
+                                    .json(path)
+                                    .c_str());
+                }
                 std::fprintf(stderr,
                              "warning: temporal analysis incomplete (state budget "
                              "exhausted: %zu states explored, --max-states=%zu); "
@@ -315,6 +454,12 @@ int main(int argc, char** argv) {
                 }
             }
             if (!d.deterministic()) {
+                if (json) {
+                    for (const dfa::Conflict& c : d.conflicts()) {
+                        std::printf("%s\n",
+                                    analysis::conflict_finding(c).json(path).c_str());
+                    }
+                }
                 std::fprintf(stderr, "temporal analysis refused the program:\n%s",
                              d.report().c_str());
                 if (mode == Mode::Explain) {
@@ -363,7 +508,7 @@ int main(int argc, char** argv) {
 
         switch (mode) {
             case Mode::Run:
-                return run_program(cp);
+                return run_program(cp, path, ropt, json);
             case Mode::EmitC:
                 std::printf("%s", cgen::emit_c(cp).c_str());
                 return 0;

@@ -2,7 +2,6 @@
 
 #include <cmath>
 
-#include "env/driver.hpp"
 #include "fault/prng.hpp"
 
 namespace ceu::wsn {
@@ -14,7 +13,8 @@ CeuMote::CeuMote(int id, CeuMoteConfig cfg)
     : Mote(id), cfg_(std::move(cfg)), cp_(flat::compile(cfg_.source)) {
     msgs_.resize(kMsgPool);
 
-    bindings_ = env::make_standard_bindings();
+    // Only the mote-specific bindings live here; host::Instance layers them
+    // over the standard set (extras win on conflicts).
     bindings_.constant("TOS_NODE_ID", id);
 
     bindings_.fn("Radio_send", [this](Engine&, std::span<const Value> args) {
@@ -47,8 +47,10 @@ CeuMote::CeuMote(int id, CeuMoteConfig cfg)
                  [toggle](Engine&, std::span<const Value>) { return toggle(2); });
 
     if (cfg_.customize) cfg_.customize(bindings_, id);
-    engine_ = std::make_unique<Engine>(cp_, bindings_, cfg_.engine_options);
-    engine_->on_trace = [this](const std::string& line) { trace_.push_back(line); };
+    host::Config hcfg;
+    hcfg.engine = cfg_.engine_options;
+    hcfg.bindings = &bindings_;
+    inst_ = std::make_unique<host::Instance>(cp_, hcfg);
 }
 
 CeuMote::~CeuMote() = default;
@@ -78,14 +80,14 @@ void CeuMote::crash(Network& net) {
     rx_queue_.clear();  // queued receives were in volatile RAM
     // Power loss: every trail, gate, timer and slot is discarded through
     // the engine's §4.3-based reset, leaving a verified-bootable engine.
-    engine_->reset();
+    inst_->reset();
 }
 
 void CeuMote::reboot(Network& net) {
     Mote::reboot(net);
     net_ = &net;
-    engine_->go_time(local_now(net.now()));
-    engine_->go_init();
+    inst_->advance_to(local_now(net.now()));
+    inst_->boot();
     ++boots_;
     busy_until_ = net.now() + cfg_.reaction_cost;
     net_ = nullptr;
@@ -121,8 +123,8 @@ Value CeuMote::radio_get_payload(Value arg) {
 
 void CeuMote::boot(Network& net) {
     net_ = &net;
-    engine_->go_time(local_now(net.now()));
-    engine_->go_init();
+    inst_->advance_to(local_now(net.now()));
+    inst_->boot();
     ++boots_;
     busy_until_ = net.now() + cfg_.reaction_cost;
     net_ = nullptr;
@@ -150,7 +152,8 @@ Micros CeuMote::global_for(Micros local) const {
 }
 
 Micros CeuMote::next_wakeup() const {
-    if (engine_->status() != Engine::Status::Running) return -1;
+    const rt::Engine& eng = inst_->engine();
+    if (eng.status() != Engine::Status::Running) return -1;
     Micros best = -1;
     auto consider = [&](Micros t) {
         if (t >= 0 && (best < 0 || t < best)) best = t;
@@ -158,16 +161,16 @@ Micros CeuMote::next_wakeup() const {
     if (!rx_queue_.empty()) consider(busy_until_);
     // Engine deadlines are in the mote's (possibly drifting) local time;
     // the network schedules in global time.
-    Micros deadline = engine_->next_timer_deadline();
+    Micros deadline = eng.next_timer_deadline();
     if (deadline >= 0) consider(std::max(global_for(deadline), busy_until_));
-    if (engine_->has_async_work()) consider(busy_until_);
+    if (eng.has_async_work()) consider(busy_until_);
     return best;
 }
 
 void CeuMote::wakeup(Network& net) {
     net_ = &net;
     Micros now = net.now();
-    if (engine_->status() != Engine::Status::Running) {
+    if (inst_->status() != Engine::Status::Running) {
         net_ = nullptr;
         return;
     }
@@ -176,13 +179,13 @@ void CeuMote::wakeup(Network& net) {
     if (!rx_queue_.empty() && now >= busy_until_) {
         dispatch_rx(net);
     } else {
-        Micros deadline = engine_->next_timer_deadline();
+        Micros deadline = inst_->engine().next_timer_deadline();
         if (deadline >= 0 && deadline <= local_now(now) && now >= busy_until_) {
-            engine_->go_time(local_now(now));
+            inst_->advance_to(local_now(now));
             busy_until_ = now + cfg_.reaction_cost;
-        } else if (engine_->has_async_work() && now >= busy_until_) {
-            engine_->go_time(local_now(now));
-            if (engine_->status() == Engine::Status::Running) engine_->go_async();
+        } else if (inst_->engine().has_async_work() && now >= busy_until_) {
+            inst_->advance_to(local_now(now));
+            if (inst_->status() == Engine::Status::Running) inst_->step_async();
             busy_until_ = now + cfg_.async_slice_cost;
         }
     }
@@ -196,9 +199,9 @@ void CeuMote::dispatch_rx(Network& net) {
     next_handle_ = next_handle_ % kMsgPool + 1;
     int64_t h = static_cast<int64_t>(next_handle_);
     msgs_[static_cast<size_t>(h - 1)] = p;
-    engine_->go_time(local_now(net.now()));
-    if (engine_->status() == Engine::Status::Running) {
-        engine_->go_event_by_name("Radio_receive", Value::integer(h));
+    inst_->advance_to(local_now(net.now()));
+    if (inst_->status() == Engine::Status::Running) {
+        inst_->try_inject("Radio_receive", Value::integer(h));
         ++rx_count;
     }
     busy_until_ = net.now() + cfg_.reaction_cost;

@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "codegen/flatten.hpp"
+#include "host/instance.hpp"
 #include "runtime/engine.hpp"
 #include "wsn/network.hpp"
 
@@ -58,8 +59,11 @@ class CeuMote final : public Mote {
     /// local clock reaches `local` (jitter excluded — it only runs ahead).
     [[nodiscard]] Micros global_for(Micros local) const;
 
-    [[nodiscard]] rt::Engine& engine() { return *engine_; }
-    [[nodiscard]] const std::vector<std::string>& trace() const { return trace_; }
+    [[nodiscard]] rt::Engine& engine() { return inst_->engine(); }
+    /// The embedding facade hosting this mote's program (sink registration,
+    /// stats snapshots).
+    [[nodiscard]] host::Instance& instance() { return *inst_; }
+    [[nodiscard]] const std::vector<std::string>& trace() const { return inst_->trace(); }
     /// Boots since start (1 = never crashed, or crashed and not yet back).
     [[nodiscard]] uint64_t boots() const { return boots_; }
 
@@ -78,8 +82,8 @@ class CeuMote final : public Mote {
 
     CeuMoteConfig cfg_;
     flat::CompiledProgram cp_;
-    rt::CBindings bindings_;
-    std::unique_ptr<rt::Engine> engine_;
+    rt::CBindings bindings_;  // mote-specific extras; Instance adds the standard set
+    std::unique_ptr<host::Instance> inst_;
     Network* net_ = nullptr;  // valid only during callbacks
 
     std::deque<Packet> rx_queue_;
@@ -98,7 +102,6 @@ class CeuMote final : public Mote {
 
     int64_t leds_ = 0;
     std::vector<std::pair<Micros, int64_t>> led_history_;
-    std::vector<std::string> trace_;
 };
 
 }  // namespace ceu::wsn

@@ -1,0 +1,149 @@
+// Trace-schema conformance: (a) golden Chrome trace_event files for the
+// paper demos — the exporter's byte format is a public schema, frozen in
+// tests/golden_traces/; (b) interpreter-vs-cgen byte compatibility on fixed
+// generator seeds — the compiled C's weak ceu_obs_* writer must render the
+// exact same bytes as obs::ChromeTraceSink for every verdict-OK program.
+//
+// Regenerate goldens after an intentional schema change with:
+//   CEU_UPDATE_GOLDEN=1 ./tests/ceu_conformance_tests --gtest_filter='GoldenTrace*'
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "arduino/binding.hpp"
+#include "codegen/flatten.hpp"
+#include "demos/demos.hpp"
+#include "dfa/dfa.hpp"
+#include "env/script.hpp"
+#include "host/instance.hpp"
+#include "obs/obs.hpp"
+#include "testgen/differ.hpp"
+#include "testgen/generator.hpp"
+
+namespace {
+
+using namespace ceu;
+
+std::string golden_path(const std::string& name) {
+    return std::string(CEU_SOURCE_DIR) + "/tests/golden_traces/" + name +
+           ".trace.json";
+}
+
+void check_golden(const std::string& name, const std::string& trace) {
+    std::string path = golden_path(name);
+    if (std::getenv("CEU_UPDATE_GOLDEN") != nullptr) {
+        std::ofstream f(path, std::ios::binary);
+        ASSERT_TRUE(f.good()) << "cannot write " << path;
+        f << trace;
+        GTEST_SKIP() << "golden updated: " << path;
+    }
+    std::ifstream f(path, std::ios::binary);
+    ASSERT_TRUE(f.good()) << "missing golden " << path
+                          << " (regenerate with CEU_UPDATE_GOLDEN=1)";
+    std::stringstream ss;
+    ss << f.rdbuf();
+    EXPECT_EQ(trace, ss.str())
+        << "trace schema drifted from " << path
+        << " — if intentional, regenerate with CEU_UPDATE_GOLDEN=1";
+}
+
+TEST(GoldenTrace, Quickstart) {
+    host::Instance inst(demos::kQuickstart);
+    obs::ChromeTraceSink sink;
+    inst.add_sink(&sink);
+    inst.run(env::Script()
+                 .advance(kSec)
+                 .advance(kSec)
+                 .event("Restart", 10)
+                 .advance(kSec)
+                 .advance(kSec));
+    inst.finish_observation();
+    check_golden("quickstart", sink.text());
+}
+
+TEST(GoldenTrace, Temperature) {
+    host::Instance inst(demos::kTemperature);
+    obs::ChromeTraceSink sink;
+    inst.add_sink(&sink);
+    inst.run(env::Script()
+                 .event("SetCelsius", 0)
+                 .event("SetCelsius", 100)
+                 .event("SetFahrenheit", 212)
+                 .event("SetFahrenheit", -40)
+                 .event("SetCelsius", 37));
+    inst.finish_observation();
+    check_golden("temperature", sink.text());
+}
+
+TEST(GoldenTrace, ShipGame) {
+    arduino::Board board;
+    arduino::Lcd lcd;
+    demos::ShipWorld world(lcd);
+    rt::CBindings bindings = demos::make_ship_bindings(world, lcd, board);
+    board.set_analog_source(
+        0, arduino::Board::combine(
+               {arduino::Board::keypad_press(arduino::kRawUp, 120 * kMs, 400 * kMs),
+                arduino::Board::keypad_press(arduino::kRawDown, 1000 * kMs,
+                                             1300 * kMs)}));
+
+    flat::CompiledProgram cp = flat::compile(demos::kShip, "ship.ceu");
+    host::Config cfg;
+    cfg.bindings = &bindings;
+    host::Instance inst(cp, cfg);
+    obs::ChromeTraceSink sink;
+    inst.add_sink(&sink);
+    inst.boot();
+    // 2 seconds in keypad-sampling ticks: game start, one steer, a few
+    // steps — enough to cover timer, event and async reaction kinds.
+    for (int tick = 0; tick < 40; ++tick) {
+        inst.advance(50 * kMs);
+        inst.settle();
+    }
+    inst.finish_observation();
+    check_golden("ship_game", sink.text());
+}
+
+// ---------------------------------------------------------------------------
+// Interpreter vs cgen byte compatibility on fixed seeds.
+// ---------------------------------------------------------------------------
+
+TEST(TraceCompat, InterpAndCgenTracesAreByteIdenticalOnFixedSeeds) {
+    constexpr int kWanted = 20;   // verdict-OK cases to byte-compare
+    constexpr uint64_t kMaxSeed = 200;  // generator seeds scanned, worst case
+
+    testgen::DiffOptions opt;
+    int checked = 0;
+    uint64_t seed = 1;
+    for (; seed <= kMaxSeed && checked < kWanted; ++seed) {
+        testgen::GenCase gc = testgen::generate(seed);
+
+        flat::CompiledProgram cp;
+        Diagnostics diags;
+        ASSERT_TRUE(flat::compile_checked(gc.source, &cp, diags, "<gen>"))
+            << "seed " << seed << ": " << diags.str();
+
+        // Only verdict-OK programs promise scheduler-independent behavior;
+        // refused/unknown ones may legitimately diverge between backends.
+        dfa::Dfa d = dfa::Dfa::build(cp);
+        if (!(d.deterministic() && d.complete())) continue;
+
+        env::Script script;
+        ASSERT_TRUE(env::Script::parse(gc.script_text, &script, diags))
+            << "seed " << seed << ": " << diags.str();
+
+        testgen::TraceRun interp = testgen::interp_chrome_trace(gc.source, script);
+        ASSERT_TRUE(interp.ok) << "seed " << seed << ": interp: " << interp.error;
+        testgen::TraceRun cgen = testgen::cgen_chrome_trace(gc.source, script, opt);
+        ASSERT_TRUE(cgen.ok) << "seed " << seed << ": cgen: " << cgen.error;
+
+        EXPECT_EQ(interp.trace, cgen.trace) << "seed " << seed;
+        ++checked;
+    }
+    ASSERT_EQ(checked, kWanted)
+        << "only " << checked << " verdict-OK seeds in 1.." << (seed - 1);
+}
+
+}  // namespace
