@@ -180,6 +180,10 @@ int main(int argc, char** argv) {
         }
         js << "]";
     }
+    // The parallel sweep only means something relative to the box it ran
+    // on: record the thread count so a 1-core artifact is not mistaken
+    // for a scaling regression.
+    js << ",\"hw_threads\":" << std::thread::hardware_concurrency();
     js << ",\"schema\":\"ceu-bench-dfa-v1\"}";
 
     if (!json_path.empty()) {

@@ -62,8 +62,9 @@ class ParallelExplorer {
             for (const Conflict& c : o.conflicts) {
                 boot_pending.push_back({c, -1, boot_step});
             }
-            intern(std::move(o.next), o.executed, !o.conflicts.empty(), -1, boot_step,
-                   nullptr);
+            std::string key = o.next.key();
+            intern(key, std::move(o.next), o.executed, !o.conflicts.empty(), -1,
+                   boot_step, nullptr);
         }
         {
             std::lock_guard lk(pending_mu_);
@@ -107,13 +108,14 @@ class ParallelExplorer {
     std::mutex pending_mu_;
     std::vector<PendingConflict> pending_;
 
-    /// Interns `ms`, merging `executed`/`conflicted` into the node. When
-    /// the state is new its node is appended to `fresh` (or, when fresh is
-    /// null, enqueued directly — the boot path). Returns the node's id, or
-    /// -1 if the state budget is exhausted.
-    int intern(MachineState ms, const std::vector<std::string>& executed, bool conflicted,
+    /// Interns `ms` (whose precomputed key is `key`), merging `executed`/
+    /// `conflicted` into the node. When the state is new its node is
+    /// appended to `fresh` (or, when fresh is null, enqueued directly — the
+    /// boot path). Returns the node's id, or -1 if the state budget is
+    /// exhausted.
+    int intern(const std::string& key, MachineState ms,
+               const std::vector<std::string>& executed, bool conflicted,
                int pred, const WitnessStep& step, std::vector<Node*>* fresh) {
-        std::string key = ms.key();
         Shard& shard = shards_[std::hash<std::string>{}(key) % kShardCount];
         Node* node = nullptr;
         bool created = false;
@@ -138,7 +140,7 @@ class ParallelExplorer {
                 fresh_node->pred = pred;
                 fresh_node->pred_step = step;
                 node = fresh_node.get();
-                shard.nodes.emplace(std::move(key), std::move(fresh_node));
+                shard.nodes.emplace(key, std::move(fresh_node));
                 created = true;
             } else {
                 node = it->second.get();
@@ -159,7 +161,8 @@ class ParallelExplorer {
     }
 
     void expand(Node* n, std::vector<Node*>& fresh,
-                std::vector<PendingConflict>& local_pending) {
+                std::vector<PendingConflict>& local_pending,
+                std::unordered_map<std::string, int>& seen_cache) {
         const MachineState& state = n->state;
         for (const Trigger& t : dfa::enumerate_triggers(cp_, state)) {
             std::string label = t.label(cp_);
@@ -169,18 +172,42 @@ class ParallelExplorer {
                     local_pending.push_back({c, n->id, step});
                 }
                 bool conflicted = !o.conflicts.empty();
-                int target = intern(std::move(o.next), o.executed, conflicted, n->id,
-                                    step, &fresh);
-                if (target >= 0) n->out.push_back({label, target});
+                std::string key = o.next.key();
+                // Repeat states dominate dense graphs; the worker-local
+                // cache resolves them without touching the shard mutex.
+                // Only safe when there is nothing to merge into the node
+                // (intern folds executed/has_conflict under the shard
+                // lock); otherwise fall through to the shared path.
+                if (o.executed.empty() && !conflicted) {
+                    auto it = seen_cache.find(key);
+                    if (it != seen_cache.end()) {
+                        n->out.push_back({label, it->second});
+                        continue;
+                    }
+                }
+                int target = intern(key, std::move(o.next), o.executed, conflicted,
+                                    n->id, step, &fresh);
+                if (target >= 0) {
+                    n->out.push_back({label, target});
+                    seen_cache.emplace(std::move(key), target);
+                }
             }
         }
     }
 
     void worker() {
+        // Handoff is batched: each queue-lock acquisition moves up to
+        // kBatch nodes in (and a whole expansion's fresh nodes out), so
+        // lock traffic scales with batches, not states. `active_` counts
+        // workers holding unexpanded work, which keeps the termination
+        // condition (frontier empty, nothing in flight) intact.
+        constexpr size_t kBatch = 16;
+        std::vector<Node*> batch;
         std::vector<Node*> fresh;
         std::vector<PendingConflict> local_pending;
+        std::unordered_map<std::string, int> seen_cache;
         for (;;) {
-            Node* n = nullptr;
+            batch.clear();
             {
                 std::unique_lock lk(queue_mu_);
                 queue_cv_.wait(lk, [this] {
@@ -192,13 +219,19 @@ class ParallelExplorer {
                     queue_cv_.notify_all();
                     break;
                 }
-                n = queue_.front();
-                queue_.pop_front();
+                size_t take = std::min(kBatch, queue_.size());
+                for (size_t i = 0; i < take; ++i) {
+                    batch.push_back(queue_.front());
+                    queue_.pop_front();
+                }
                 ++active_;
             }
 
             fresh.clear();
-            expand(n, fresh, local_pending);
+            for (Node* n : batch) {
+                if (stop_.load(std::memory_order_relaxed)) break;
+                expand(n, fresh, local_pending, seen_cache);
+            }
 
             {
                 std::unique_lock lk(queue_mu_);

@@ -100,22 +100,22 @@ CBindings make_standard_bindings() {
     });
 
     // Deterministic PRNG: the paper's Mario demo relies on `_srand(seed)`
-    // making replays reproducible, so the generator must be seed-pure.
-    struct Prng {
-        uint64_t state = 0x9e3779b97f4a7c15ULL;
-    };
-    auto prng = std::make_shared<Prng>();
-    c.fn("srand", [prng](Engine&, std::span<const Value> args) {
-        prng->state = args.empty() ? 1 : static_cast<uint64_t>(args[0].as_int()) * 2654435761u + 1;
+    // making replays reproducible, so the generator must be seed-pure. The
+    // state lives on the engine (Engine::binding_prng), not in this
+    // closure, so one immutable binding set can serve a whole fleet of
+    // instances without cross-instance generator coupling.
+    c.fn("srand", [](Engine& eng, std::span<const Value> args) {
+        eng.binding_prng =
+            args.empty() ? 1 : static_cast<uint64_t>(args[0].as_int()) * 2654435761u + 1;
         return Value::integer(0);
     });
-    c.fn("rand", [prng](Engine&, std::span<const Value>) {
+    c.fn("rand", [](Engine& eng, std::span<const Value>) {
         // xorshift64*
-        uint64_t x = prng->state;
+        uint64_t x = eng.binding_prng;
         x ^= x >> 12;
         x ^= x << 25;
         x ^= x >> 27;
-        prng->state = x;
+        eng.binding_prng = x;
         return Value::integer(static_cast<int64_t>((x * 0x2545F4914F6CDD1DULL) >> 33));
     });
 

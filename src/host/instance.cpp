@@ -9,6 +9,17 @@ namespace ceu::host {
 using rt::Engine;
 using rt::Value;
 
+namespace {
+/// The process-wide immutable standard binding set. Engines only read
+/// bindings (per-engine binding state lives on the engine), so every
+/// instance without host extras shares this one copy — a fleet of 100k
+/// instances builds the standard set once, not 100k times.
+const rt::CBindings& shared_standard_bindings() {
+    static const rt::CBindings standard = env::make_standard_bindings();
+    return standard;
+}
+}  // namespace
+
 Instance::Instance(const flat::CompiledProgram& cp, Config cfg) : cp_(&cp) {
     init(cfg);
 }
@@ -19,11 +30,20 @@ Instance::Instance(const std::string& source, Config cfg)
     init(cfg);
 }
 
+Instance::Instance(std::shared_ptr<const flat::CompiledProgram> cp, Config cfg)
+    : shared_cp_(std::move(cp)), cp_(shared_cp_.get()) {
+    init(cfg);
+}
+
 void Instance::init(Config& cfg) {
     collect_trace_ = cfg.collect_trace;
-    bindings_ = env::make_standard_bindings();
-    if (cfg.bindings != nullptr) bindings_.merge(*cfg.bindings);
-    engine_ = std::make_unique<Engine>(*cp_, bindings_, cfg.engine);
+    const rt::CBindings* effective = &shared_standard_bindings();
+    if (cfg.bindings != nullptr) {
+        bindings_ = std::make_unique<rt::CBindings>(env::make_standard_bindings());
+        bindings_->merge(*cfg.bindings);
+        effective = bindings_.get();
+    }
+    engine_ = std::make_unique<Engine>(*cp_, *effective, cfg.engine);
     engine_->on_trace = [this](const std::string& line) {
         if (collect_trace_) trace_.push_back(line);
         if (on_trace_line) on_trace_line(line);
@@ -32,7 +52,13 @@ void Instance::init(Config& cfg) {
 
 // -- lifecycle ----------------------------------------------------------------
 
-void Instance::boot() { engine_->go_init(); }
+void Instance::boot() {
+    // If the host clock moved before boot (advance()/advance_to() on a
+    // not-yet-booted instance — the fleet late-joiner path), the boot
+    // reaction happens at that instant, not at the epoch.
+    engine_->set_boot_clock(clock_);
+    engine_->go_init();
+}
 
 void Instance::reset() { engine_->reset(); }
 
@@ -58,6 +84,10 @@ bool Instance::try_inject(const std::string& event, Value v) {
 }
 
 void Instance::inject(int event_id, Value v) { engine_->go_event(event_id, v); }
+
+EventId Instance::resolve_input(const std::string& event) const {
+    return cp_->sema.input_id(event);
+}
 
 void Instance::advance(Micros delta) {
     // `delta` is measured from the engine's current instant, which may be
@@ -113,12 +143,32 @@ void Instance::feed(const env::ScriptItem& item) {
 
 Engine::Status Instance::run(const env::Script& script) {
     boot();
-    for (const env::ScriptItem& item : script.items()) {
+    // Resolve event names to interned ids once, up front: replay then
+    // delivers by dense EventId and the string spelling never reaches the
+    // reaction path. Unknown names still only fault when (and if) their
+    // item is actually reached, matching the per-item feed() semantics.
+    const std::vector<env::ScriptItem>& items = script.items();
+    std::vector<EventId> ids(items.size(), kNoEvent);
+    for (size_t i = 0; i < items.size(); ++i) {
+        if (items[i].kind == env::ScriptItem::Kind::Event) {
+            ids[i] = resolve_input(items[i].event);
+        }
+    }
+    for (size_t i = 0; i < items.size(); ++i) {
+        const env::ScriptItem& item = items[i];
         if (engine_->status() != Engine::Status::Running &&
             item.kind != env::ScriptItem::Kind::Crash) {
             break;
         }
-        feed(item);
+        if (item.kind == env::ScriptItem::Kind::Event) {
+            if (ids[i] == kNoEvent) {
+                throw rt::RuntimeError({}, "script refers to unknown input event '" +
+                                               item.event + "'");
+            }
+            engine_->go_event(ids[i], item.value);
+        } else {
+            feed(item);
+        }
     }
     if (engine_->status() == Engine::Status::Running) settle();
     return engine_->status();

@@ -47,6 +47,12 @@ class Instance {
     explicit Instance(const flat::CompiledProgram& cp, Config cfg = Config());
     /// Compiles `source` and owns the result. Throws CompileError.
     explicit Instance(const std::string& source, Config cfg = Config());
+    /// Shares an immutable compiled program: the fleet path. Booting 100k
+    /// instances of one program costs memory proportional to *state*
+    /// (slots, gates, queues), not code — the AST/flat code is parsed once
+    /// and co-owned by every instance.
+    explicit Instance(std::shared_ptr<const flat::CompiledProgram> cp,
+                      Config cfg = Config());
 
     Instance(const Instance&) = delete;
     Instance& operator=(const Instance&) = delete;
@@ -66,7 +72,8 @@ class Instance {
     // -- inputs (the §5 environment side) ------------------------------------
 
     /// Delivers one occurrence of a named input event. Throws RuntimeError
-    /// if the name is not an input of the program.
+    /// if the name is not an input of the program. A thin resolve-once
+    /// wrapper: hot callers should resolve_input() once and inject by id.
     void inject(const std::string& event, rt::Value v = rt::Value::integer(0));
     /// Like inject(), but unknown names are ignored (returns false) — the
     /// conformance differ's contract, where generated scripts may mention
@@ -75,6 +82,9 @@ class Instance {
     /// Delivers by input id (bounds-checked by the engine; out-of-range ids
     /// are discarded exactly like the compiled C's switch default).
     void inject(int event_id, rt::Value v = rt::Value::integer(0));
+    /// Interns an input-event name to its dense id (kNoEvent if unknown) —
+    /// the string-to-id boundary; everything past it speaks EventId.
+    [[nodiscard]] EventId resolve_input(const std::string& event) const;
 
     /// Advances the virtual wall-clock by `delta` and runs the due timer
     /// reactions (one per expired deadline group, §2.3).
@@ -143,8 +153,11 @@ class Instance {
     void arm_recorder();
 
     std::unique_ptr<flat::CompiledProgram> owned_cp_;  // set by the source ctor
+    std::shared_ptr<const flat::CompiledProgram> shared_cp_;  // fleet ctor
     const flat::CompiledProgram* cp_ = nullptr;
-    rt::CBindings bindings_;
+    /// Only populated when the host supplied extra bindings; instances on
+    /// the pure standard set share one process-wide immutable copy.
+    std::unique_ptr<rt::CBindings> bindings_;
     std::unique_ptr<rt::Engine> engine_;
     obs::Recorder recorder_;
     std::vector<std::unique_ptr<obs::Sink>> owned_sinks_;

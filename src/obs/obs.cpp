@@ -35,6 +35,33 @@ double ProcessStats::reactions_per_sec() const {
     return static_cast<double>(reactions) * 1e9 / static_cast<double>(wall_ns);
 }
 
+void ProcessStats::merge(const ProcessStats& other) {
+    reactions += other.reactions;
+    for (size_t k = 0; k < reactions_by_kind.size(); ++k) {
+        reactions_by_kind[k] += other.reactions_by_kind[k];
+    }
+    wakes += other.wakes;
+    emits += other.emits;
+    timer_fires += other.timer_fires;
+    instructions += other.instructions;
+    max_reaction_instructions =
+        std::max(max_reaction_instructions, other.max_reaction_instructions);
+    allocations += other.allocations;
+    max_emit_depth = std::max(max_emit_depth, other.max_emit_depth);
+    wall_ns += other.wall_ns;
+    max_reaction_wall_ns = std::max(max_reaction_wall_ns, other.max_reaction_wall_ns);
+    queue_peak = std::max(queue_peak, other.queue_peak);
+    timers_peak = std::max(timers_peak, other.timers_peak);
+    faults += other.faults;
+    fault_injections += other.fault_injections;
+    terminations += other.terminations;
+}
+
+void ProcessStats::clear_measured() {
+    wall_ns = 0;
+    max_reaction_wall_ns = 0;
+}
+
 std::string ProcessStats::to_json() const {
     // Keys sorted, no whitespace: the rendering is part of the BENCH_*.json
     // schema and diffed across CI runs.

@@ -97,6 +97,19 @@ struct ProcessStats {
     /// Reactions per wall second spent inside chains (0 if unmeasured).
     [[nodiscard]] double reactions_per_sec() const;
 
+    /// Folds another process's counters into this one: sums the additive
+    /// counters, maxes the high-water marks. The reactor uses this to
+    /// aggregate per-instance snapshots into per-shard and fleet-level
+    /// stats; merging is commutative and associative, so the fleet total
+    /// is identical for any shard/worker layout.
+    void merge(const ProcessStats& other);
+
+    /// Zeroes the measured (non-deterministic) fields — wall-clock times —
+    /// leaving only counters that are a pure function of the input
+    /// sequence. The reactor determinism suite compares snapshots across
+    /// worker counts after this.
+    void clear_measured();
+
     /// Stable one-object JSON rendering (sorted keys, no whitespace) — the
     /// schema bench/ writes into BENCH_*.json.
     [[nodiscard]] std::string to_json() const;

@@ -1,0 +1,96 @@
+#include "reactor/fleet_wheel.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cassert>
+#include <cstddef>
+
+namespace ceu::reactor {
+
+FleetTimerWheel::FleetTimerWheel(Micros granularity_us)
+    : gran_(granularity_us > 0 ? granularity_us : 1) {
+    for (Micros& m : slot_min_) m = -1;
+}
+
+size_t FleetTimerWheel::bucket_of(Micros deadline) const {
+    // Level by magnitude: deadlines land in the finest level whose slot
+    // width still separates them from their neighbors. The slot index is
+    // the deadline's tick at that level's scale, mod 64 — a pure function
+    // of the deadline, so an entry never needs cascading: it stays put and
+    // is found again by its own slot minimum.
+    uint64_t tick = static_cast<uint64_t>(deadline < 0 ? 0 : deadline) /
+                    static_cast<uint64_t>(gran_);
+    int level = 0;
+    uint64_t scaled = tick;
+    while (level < kLevels - 1 && scaled >= kSlots) {
+        scaled >>= 6;
+        ++level;
+    }
+    // At the coarsest level ticks wrap; fine — the slot is just a bucket
+    // and expiry checks the exact deadline.
+    return static_cast<size_t>(level) * kSlots + static_cast<size_t>(scaled % kSlots);
+}
+
+void FleetTimerWheel::schedule(InstanceId instance, Micros deadline) {
+    if (deadline < 0) deadline = 0;
+    size_t b = bucket_of(deadline);
+    slots_[b].push_back({deadline, instance});
+    occupied_[b / kSlots] |= (1ULL << (b % kSlots));
+    if (slot_min_[b] < 0 || deadline < slot_min_[b]) slot_min_[b] = deadline;
+    if (count_ == 0 || deadline < min_) min_ = deadline;
+    ++count_;
+}
+
+size_t FleetTimerWheel::collect_due(Micros now, std::vector<Due>& out) {
+    if (count_ == 0 || now < min_) return 0;  // the quiescent fast path
+
+    size_t start = out.size();
+    Micros new_min = -1;
+    for (int level = 0; level < kLevels; ++level) {
+        uint64_t bits = occupied_[level];
+        while (bits != 0) {
+            int s = std::countr_zero(bits);
+            bits &= bits - 1;
+            size_t b = static_cast<size_t>(level) * kSlots + static_cast<size_t>(s);
+            if (slot_min_[b] > now) {
+                if (new_min < 0 || slot_min_[b] < new_min) new_min = slot_min_[b];
+                continue;  // slot untouched; its entries all lie in the future
+            }
+            std::vector<Entry>& v = slots_[b];
+            Micros smin = -1;
+            size_t w = 0;
+            for (size_t r = 0; r < v.size(); ++r) {
+                if (v[r].deadline <= now) {
+                    out.push_back({v[r].deadline, v[r].instance});
+                } else {
+                    if (smin < 0 || v[r].deadline < smin) smin = v[r].deadline;
+                    v[w++] = v[r];
+                }
+            }
+            count_ -= v.size() - w;
+            v.resize(w);
+            slot_min_[b] = smin;
+            if (w == 0) occupied_[level] &= ~(1ULL << s);
+            if (smin >= 0 && (new_min < 0 || smin < new_min)) new_min = smin;
+        }
+    }
+    min_ = new_min;
+    assert((count_ == 0) == (min_ < 0));
+
+    std::sort(out.begin() + static_cast<std::ptrdiff_t>(start), out.end(),
+              [](const Due& a, const Due& b) {
+                  return a.deadline != b.deadline ? a.deadline < b.deadline
+                                                  : a.instance < b.instance;
+              });
+    return out.size() - start;
+}
+
+void FleetTimerWheel::clear() {
+    for (auto& v : slots_) v.clear();
+    for (Micros& m : slot_min_) m = -1;
+    for (uint64_t& o : occupied_) o = 0;
+    min_ = -1;
+    count_ = 0;
+}
+
+}  // namespace ceu::reactor

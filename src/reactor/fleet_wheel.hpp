@@ -1,0 +1,82 @@
+// Fleet-level timer index: which instances have a wall-clock deadline due?
+//
+// Each instance's engine keeps its own precise TimerWheel (§2.3 residual
+// deltas and same-deadline grouping live there, untouched). At fleet scale
+// the scheduler only needs a coarser question answered in O(1) per clock
+// advance: *which of my 100k instances could have a timer due by `now`?*
+//
+// This wheel buckets (instance, deadline) pairs into 4 levels x 64 slots by
+// deadline tick (level l covers granularity * 64^l per slot). Two summaries
+// make advances cheap:
+//   - a global minimum deadline: advancing the fleet clock to a point
+//     before it is a single compare — the overwhelmingly common case when
+//     most instances are quiescent;
+//   - a per-slot minimum + occupancy bitmaps: when something is due, only
+//     slots whose minimum is reached are partitioned, so the cost of an
+//     expiry round is O(256 bitmap tests + entries actually touched), not
+//     O(armed entries).
+//
+// Entries may be stale (the instance's engine disarmed or re-armed the
+// underlying timer since scheduling) — the reactor re-checks each candidate
+// against the engine's actual next_timer_deadline() before delivering a
+// go_time, and simply reschedules. Expired candidates are reported sorted
+// by (deadline, instance) so the delivery order is a pure function of the
+// armed set, independent of bucketing or worker layout.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "reactor/mailbox.hpp"
+#include "util/timeval.hpp"
+
+namespace ceu::reactor {
+
+class FleetTimerWheel {
+  public:
+    struct Due {
+        Micros deadline = 0;
+        InstanceId instance = 0;
+    };
+
+    /// `granularity_us` is the level-0 tick width. Deadlines are *not*
+    /// rounded — it only controls bucket spread; expiry is exact.
+    explicit FleetTimerWheel(Micros granularity_us = 1024);
+
+    /// Indexes `deadline` for `instance`. Duplicates are allowed (the
+    /// reactor dedups by tracking each instance's scheduled deadline);
+    /// stale entries are filtered by the caller on expiry.
+    void schedule(InstanceId instance, Micros deadline);
+
+    /// Appends every entry with deadline <= now to `out`, sorted by
+    /// (deadline, instance), removing them from the wheel. Returns the
+    /// number appended. O(1) when nothing is due.
+    size_t collect_due(Micros now, std::vector<Due>& out);
+
+    [[nodiscard]] bool empty() const { return count_ == 0; }
+    [[nodiscard]] size_t size() const { return count_; }
+    /// Earliest indexed deadline, or -1 when empty.
+    [[nodiscard]] Micros next_deadline() const { return count_ == 0 ? -1 : min_; }
+
+    void clear();
+
+  private:
+    static constexpr int kLevels = 4;
+    static constexpr int kSlots = 64;  // per level; must stay 64 (bitmap word)
+
+    struct Entry {
+        Micros deadline;
+        InstanceId instance;
+    };
+
+    [[nodiscard]] size_t bucket_of(Micros deadline) const;
+
+    Micros gran_;
+    Micros min_ = -1;                        // global earliest (valid when count_ > 0)
+    size_t count_ = 0;
+    uint64_t occupied_[kLevels] = {0, 0, 0, 0};
+    std::vector<Entry> slots_[kLevels * kSlots];
+    Micros slot_min_[kLevels * kSlots];      // earliest deadline per slot
+};
+
+}  // namespace ceu::reactor

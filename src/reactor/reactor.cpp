@@ -1,0 +1,313 @@
+#include "reactor/reactor.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace ceu::reactor {
+
+namespace {
+uint64_t splitmix64(uint64_t& x) {
+    x += 0x9e3779b97f4a7c15ULL;
+    uint64_t z = x;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
+}  // namespace
+
+Reactor::Reactor(ReactorConfig cfg)
+    : cfg_(cfg), shards_(std::max<size_t>(1, cfg.workers)) {
+    for (Shard& sh : shards_) {
+        sh.wheel = FleetTimerWheel(cfg_.timer_granularity);
+    }
+    if (shards_.size() > 1) {
+        threads_.reserve(shards_.size());
+        for (size_t i = 0; i < shards_.size(); ++i) {
+            threads_.emplace_back(&Reactor::worker_main, this, i);
+        }
+    }
+}
+
+Reactor::~Reactor() {
+    if (!threads_.empty()) {
+        {
+            std::lock_guard<std::mutex> lk(pool_mu_);
+            cmd_ = Cmd::Exit;
+            ++generation_;
+        }
+        pool_cv_.notify_all();
+        for (std::thread& t : threads_) t.join();
+    }
+}
+
+// -- fleet construction -------------------------------------------------------
+
+InstanceId Reactor::add_slot(std::shared_ptr<const flat::CompiledProgram> cp,
+                             host::Config hcfg) {
+    InstanceId id = static_cast<InstanceId>(slots_.size());
+    hcfg.collect_trace = cfg_.collect_traces;
+    Slot sl;
+    sl.inst = std::make_unique<host::Instance>(std::move(cp), hcfg);
+    if (cfg_.observe_stats) sl.inst->observe_stats();
+    slots_.push_back(std::move(sl));
+    Shard& sh = shards_[id % shards_.size()];
+    sh.members.push_back(id);
+    sh.schedule_dirty = true;
+    return id;
+}
+
+InstanceId Reactor::add_instance(std::shared_ptr<const flat::CompiledProgram> cp) {
+    host::Config hcfg;
+    hcfg.engine = cfg_.engine;
+    return add_slot(std::move(cp), hcfg);
+}
+
+InstanceId Reactor::add_instance(std::shared_ptr<const flat::CompiledProgram> cp,
+                                 host::Config hcfg) {
+    return add_slot(std::move(cp), hcfg);
+}
+
+void Reactor::refresh_schedule(Shard& sh, size_t shard_idx) {
+    sh.schedule = sh.members;
+    uint64_t s = cfg_.seed ^ (0xa0761d6478bd642fULL * (shard_idx + 1));
+    for (size_t i = sh.schedule.size(); i > 1; --i) {
+        size_t j = static_cast<size_t>(splitmix64(s) % i);
+        std::swap(sh.schedule[i - 1], sh.schedule[j]);
+    }
+    sh.schedule_dirty = false;
+}
+
+void Reactor::boot() {
+    for (size_t i = 0; i < shards_.size(); ++i) {
+        if (shards_[i].schedule_dirty) refresh_schedule(shards_[i], i);
+    }
+    dispatch(Cmd::Boot);
+}
+
+void Reactor::boot_shard(Shard& sh) {
+    for (InstanceId id : sh.schedule) {
+        Slot& sl = slots_[id];
+        if (sl.booted) continue;
+        sl.booted = true;
+        try {
+            sl.inst->advance_to(now_);  // late joiners boot at the fleet instant
+            sl.inst->boot();
+            after_reaction(id, sl, sh);
+        } catch (const std::exception& ex) {
+            sl.error = ex.what();
+        }
+    }
+    sh.work_left = !sh.async_live.empty() ||
+                   (sh.wheel.next_deadline() >= 0 && sh.wheel.next_deadline() <= now_);
+}
+
+// -- inputs -------------------------------------------------------------------
+
+uint64_t Reactor::inject(InstanceId id, EventId event, rt::Value v) {
+    if (id >= slots_.size()) {
+        throw std::out_of_range("reactor: inject into unknown instance id");
+    }
+    Envelope* e = new Envelope;
+    e->instance = id;
+    e->event = event;
+    e->value = v;
+    e->ticket = ticket_.fetch_add(1, std::memory_order_relaxed);
+    shards_[id % shards_.size()].mailbox.push(e);
+    return e->ticket;
+}
+
+bool Reactor::inject(InstanceId id, const std::string& event, rt::Value v) {
+    if (id >= slots_.size()) {
+        throw std::out_of_range("reactor: inject into unknown instance id");
+    }
+    // resolve_input only reads the instance's immutable compiled program,
+    // so the name path stays as thread-safe as the id path.
+    EventId ev = slots_[id].inst->resolve_input(event);
+    if (ev == kNoEvent) return false;
+    inject(id, ev, v);
+    return true;
+}
+
+void Reactor::advance(Micros delta) {
+    if (delta > 0) now_ += delta;
+    run_round();
+}
+
+// -- rounds -------------------------------------------------------------------
+
+void Reactor::run_round() {
+    for (size_t i = 0; i < shards_.size(); ++i) {
+        if (shards_[i].schedule_dirty) refresh_schedule(shards_[i], i);
+    }
+    dispatch(Cmd::Round);
+}
+
+size_t Reactor::drain(size_t max_rounds) {
+    size_t rounds = 0;
+    while (rounds < max_rounds) {
+        bool pending = false;
+        for (const Shard& sh : shards_) {
+            if (sh.work_left || !sh.mailbox.empty()) {
+                pending = true;
+                break;
+            }
+        }
+        if (!pending) break;
+        run_round();
+        ++rounds;
+    }
+    return rounds;
+}
+
+void Reactor::sync_clock(Slot& sl) { sl.inst->advance_to(now_); }
+
+void Reactor::after_reaction(InstanceId id, Slot& sl, Shard& sh) {
+    const rt::Engine& eng = sl.inst->engine();
+    Micros d = eng.next_timer_deadline();
+    if (d >= 0 && d != sl.indexed_deadline) {
+        sh.wheel.schedule(id, d);
+        sl.indexed_deadline = d;
+    }
+    if (!sl.async_listed && eng.status() == rt::Engine::Status::Running &&
+        eng.has_async_work()) {
+        sh.async_live.push_back(id);
+        sl.async_listed = true;
+    }
+}
+
+void Reactor::run_shard_round(Shard& sh) {
+    // Phase 1: events. One atomic exchange empties the mailbox; tickets
+    // restore global injection order; each target is brought to the fleet
+    // instant before delivery so due timers fire first, as they would have
+    // under real time.
+    sh.drained.clear();
+    sh.mailbox.drain_into(sh.drained);
+    for (Envelope* e : sh.drained) {
+        Slot& sl = slots_[e->instance];
+        if (sl.booted) {
+            try {
+                sync_clock(sl);
+                sl.inst->inject(static_cast<int>(e->event), e->value);
+                after_reaction(e->instance, sl, sh);
+            } catch (const std::exception& ex) {
+                if (sl.error.empty()) sl.error = ex.what();
+            }
+        }
+        delete e;
+    }
+
+    // Phase 2: timers. Candidates come out sorted by (deadline, instance);
+    // stale ones (engine re-armed or disarmed since indexing) reduce to a
+    // no-op sync plus a re-index.
+    sh.due.clear();
+    sh.wheel.collect_due(now_, sh.due);
+    for (const FleetTimerWheel::Due& d : sh.due) {
+        Slot& sl = slots_[d.instance];
+        if (sl.indexed_deadline == d.deadline) sl.indexed_deadline = -1;
+        if (!sl.booted) continue;
+        try {
+            sync_clock(sl);
+            after_reaction(d.instance, sl, sh);
+        } catch (const std::exception& ex) {
+            if (sl.error.empty()) sl.error = ex.what();
+        }
+    }
+
+    // Phase 3: asyncs. Every async-live member gets a bounded slice
+    // allowance; the per-instance allowance is fixed per round, so an
+    // instance's async progress is a function of rounds elapsed — not of
+    // which shard or worker it landed on.
+    sh.async_scratch.clear();
+    sh.async_scratch.swap(sh.async_live);
+    for (InstanceId id : sh.async_scratch) {
+        Slot& sl = slots_[id];
+        sl.async_listed = false;
+        try {
+            for (uint64_t k = 0; k < cfg_.async_slices_per_round; ++k) {
+                if (sl.inst->status() != rt::Engine::Status::Running) break;
+                if (!sl.inst->step_async()) break;
+            }
+            after_reaction(id, sl, sh);
+        } catch (const std::exception& ex) {
+            if (sl.error.empty()) sl.error = ex.what();
+        }
+    }
+
+    sh.work_left = !sh.async_live.empty() ||
+                   (sh.wheel.next_deadline() >= 0 && sh.wheel.next_deadline() <= now_);
+}
+
+// -- worker pool --------------------------------------------------------------
+
+void Reactor::dispatch(Cmd cmd) {
+    if (threads_.empty()) {
+        for (Shard& sh : shards_) {
+            if (cmd == Cmd::Boot) {
+                boot_shard(sh);
+            } else {
+                run_shard_round(sh);
+            }
+        }
+        return;
+    }
+    {
+        std::lock_guard<std::mutex> lk(pool_mu_);
+        cmd_ = cmd;
+        done_count_ = 0;
+        ++generation_;
+    }
+    pool_cv_.notify_all();
+    std::unique_lock<std::mutex> lk(pool_mu_);
+    done_cv_.wait(lk, [this] { return done_count_ == threads_.size(); });
+}
+
+void Reactor::worker_main(size_t shard_idx) {
+    uint64_t seen = 0;
+    for (;;) {
+        Cmd cmd;
+        {
+            std::unique_lock<std::mutex> lk(pool_mu_);
+            pool_cv_.wait(lk, [&] { return generation_ != seen; });
+            seen = generation_;
+            cmd = cmd_;
+        }
+        if (cmd == Cmd::Exit) return;
+        Shard& sh = shards_[shard_idx];
+        if (cmd == Cmd::Boot) {
+            boot_shard(sh);
+        } else {
+            run_shard_round(sh);
+        }
+        {
+            std::lock_guard<std::mutex> lk(pool_mu_);
+            if (++done_count_ == threads_.size()) done_cv_.notify_one();
+        }
+    }
+}
+
+// -- introspection ------------------------------------------------------------
+
+host::Instance& Reactor::instance(InstanceId id) {
+    if (id >= slots_.size()) throw std::out_of_range("reactor: unknown instance id");
+    return *slots_[id].inst;
+}
+
+const host::Instance& Reactor::instance(InstanceId id) const {
+    if (id >= slots_.size()) throw std::out_of_range("reactor: unknown instance id");
+    return *slots_[id].inst;
+}
+
+obs::ProcessStats Reactor::fleet_stats() const {
+    obs::ProcessStats total;
+    for (const Slot& sl : slots_) {
+        total.merge(sl.inst->snapshot());
+    }
+    return total;
+}
+
+const std::string& Reactor::error(InstanceId id) const {
+    if (id >= slots_.size()) throw std::out_of_range("reactor: unknown instance id");
+    return slots_[id].error;
+}
+
+}  // namespace ceu::reactor

@@ -1,0 +1,206 @@
+// ceu::reactor::Reactor — a sharded multi-instance scheduler: one process
+// runs a fleet of host::Instances (100k is the design point) on a small
+// worker pool, deterministically.
+//
+// Sharding. Instances are dealt round-robin to `workers` shards (shard =
+// id % workers). Each shard owns its members exclusively: a per-shard run
+// queue (the drained mailbox batch), a per-shard FleetTimerWheel indexing
+// its members' earliest deadlines, and a per-shard async-live list. Workers
+// never touch another shard's instances, so rounds need no locking beyond
+// the start/finish barrier.
+//
+// Rounds. All scheduling happens in discrete *rounds* (run_round), each of
+// which runs the same three phases on every shard:
+//   1. events  — drain the shard mailbox (one atomic exchange), sort by
+//                global injection ticket, and deliver each envelope after
+//                lazily syncing the target's clock to the fleet instant
+//                (due timers fire first, as they would have in real time);
+//   2. timers  — collect due candidates from the fleet wheel, sorted by
+//                (deadline, instance); stale candidates (the engine re- or
+//                dis-armed since indexing) are dropped by re-checking the
+//                engine's actual next deadline;
+//   3. asyncs  — give every async-live member a bounded number of slices,
+//                in the shard's seeded schedule order.
+//
+// Determinism. Per-instance traces are a pure function of that instance's
+// input sequence (instances are independent; the engine is sequential).
+// The reactor preserves each instance's injection order exactly — tickets
+// are a global atomic sequence and every drained batch is replayed in
+// ticket order — and delivers timer/async work at fleet instants that do
+// not depend on shard layout. Hence per-instance traces and the aggregated
+// fleet stats (ProcessStats::merge is commutative) are byte-identical at
+// any worker count; the determinism suite asserts this at 1/2/8 workers.
+// The seeded shuffle fixes the intra-round visit order *per seed*, so a
+// given (seed, fleet, inputs) triple replays identically run-to-run too.
+//
+// Threading contract. inject() is safe from any thread at any time (lock-
+// free mailbox push). Everything else — add_instance, boot, advance,
+// run_round, drain, instance(), fleet_stats — must be called from the one
+// control thread, between rounds.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "host/instance.hpp"
+#include "reactor/fleet_wheel.hpp"
+#include "reactor/mailbox.hpp"
+
+namespace ceu::reactor {
+
+struct ReactorConfig {
+    /// Worker threads (== shards). 1 runs every round inline on the
+    /// control thread — no pool, no synchronization, the baseline the
+    /// determinism suite compares against.
+    size_t workers = 1;
+    /// Seeds the per-shard round schedule (the order members are visited
+    /// for boot and async slices). Same seed => same schedule, always.
+    uint64_t seed = 0;
+    /// Level-0 tick width of the per-shard fleet timer wheels.
+    Micros timer_granularity = 1024;
+    /// Forwarded to every instance's host::Config. Fleets default traces
+    /// off (100k instances of trace text is not a thing you want).
+    bool collect_traces = false;
+    /// Arm every instance's stats recorder so fleet_stats() covers the
+    /// whole run.
+    bool observe_stats = true;
+    /// Async slices granted per async-live instance per round.
+    uint64_t async_slices_per_round = 32;
+    /// Engine options for instances added without an explicit host config.
+    /// trap_faults defaults on: a fleet must contain a member's dynamic
+    /// error (the engine parks Faulted), not unwind a worker thread.
+    rt::EngineOptions engine = [] {
+        rt::EngineOptions o;
+        o.trap_faults = true;
+        return o;
+    }();
+};
+
+class Reactor {
+  public:
+    explicit Reactor(ReactorConfig cfg = ReactorConfig());
+    ~Reactor();
+    Reactor(const Reactor&) = delete;
+    Reactor& operator=(const Reactor&) = delete;
+
+    // -- fleet construction (control thread, before/between rounds) ----------
+
+    /// Adds one instance of the shared program; returns its fleet id.
+    /// The compiled program is co-owned, never copied: fleet memory scales
+    /// with per-instance *state*, not code.
+    InstanceId add_instance(std::shared_ptr<const flat::CompiledProgram> cp);
+    /// Same, with an explicit per-instance host config (extra bindings,
+    /// engine knobs). cfg.collect_trace is still forced by the reactor's
+    /// collect_traces switch so trace policy stays fleet-uniform.
+    InstanceId add_instance(std::shared_ptr<const flat::CompiledProgram> cp,
+                            host::Config hcfg);
+
+    /// Boots every not-yet-booted instance (shard-parallel, seeded order).
+    /// Callable again after adding more instances: only new ones boot.
+    void boot();
+
+    // -- inputs (inject: any thread; advance: control thread) ----------------
+
+    /// Queues one occurrence of input `event` for `id`. Lock-free; safe
+    /// from any thread, including mid-round. Delivery happens in the next
+    /// round, in global injection-ticket order. Returns the ticket.
+    uint64_t inject(InstanceId id, EventId event,
+                    rt::Value v = rt::Value::integer(0));
+    /// Name-resolving variant (resolves against the instance's program —
+    /// O(1) interned lookup). Returns false if `event` is not an input.
+    bool inject(InstanceId id, const std::string& event,
+                rt::Value v = rt::Value::integer(0));
+
+    /// Advances the fleet clock by `delta` and runs one round (so due
+    /// timers fire fleet-wide).
+    void advance(Micros delta);
+
+    /// Runs one scheduling round at the current fleet instant.
+    void run_round();
+
+    /// Rounds until quiescent: mailboxes empty, no timer due at the
+    /// current instant, no async work. Returns rounds run. `max_rounds`
+    /// bounds runaway async programs.
+    size_t drain(size_t max_rounds = 1'000'000);
+
+    // -- introspection (control thread) --------------------------------------
+
+    [[nodiscard]] host::Instance& instance(InstanceId id);
+    [[nodiscard]] const host::Instance& instance(InstanceId id) const;
+    [[nodiscard]] size_t size() const { return slots_.size(); }
+    [[nodiscard]] size_t workers() const { return shards_.size(); }
+    [[nodiscard]] Micros now() const { return now_; }
+
+    /// Fleet-level counters: every instance's snapshot merged in id order.
+    /// Deterministic (after ProcessStats::clear_measured) for a given
+    /// (seed, fleet, inputs), independent of worker count.
+    [[nodiscard]] obs::ProcessStats fleet_stats() const;
+
+    /// Last escaped error for `id` (empty if none). Only reachable when an
+    /// instance runs with trap_faults off and a dynamic error unwinds a
+    /// delivery — the reactor catches it at the shard boundary (a fleet
+    /// member's fault must never take down a worker thread), records it
+    /// here, and carries on with the rest of the shard.
+    [[nodiscard]] const std::string& error(InstanceId id) const;
+
+  private:
+    struct Slot {
+        std::unique_ptr<host::Instance> inst;
+        Micros indexed_deadline = -1;  // deadline currently in the wheel
+        bool async_listed = false;     // member of its shard's async_live
+        bool booted = false;
+        std::string error;             // first escaped rt::RuntimeError
+    };
+
+    struct Shard {
+        Mailbox mailbox;
+        FleetTimerWheel wheel{1024};
+        std::vector<InstanceId> members;
+        std::vector<InstanceId> schedule;     // seeded visit order
+        bool schedule_dirty = false;
+        std::vector<Envelope*> drained;       // round scratch
+        std::vector<FleetTimerWheel::Due> due;
+        std::vector<InstanceId> async_live;
+        std::vector<InstanceId> async_scratch;
+        bool work_left = false;               // set by the last round
+    };
+
+    enum class Cmd : uint8_t { Round, Boot, Exit };
+
+    InstanceId add_slot(std::shared_ptr<const flat::CompiledProgram> cp,
+                        host::Config hcfg);
+    void dispatch(Cmd cmd);
+    void worker_main(size_t shard_idx);
+    void boot_shard(Shard& sh);
+    void run_shard_round(Shard& sh);
+    void refresh_schedule(Shard& sh, size_t shard_idx);
+    /// Brings `id` to the fleet instant (due timers fire) — the lazy
+    /// clock sync in front of every delivery.
+    void sync_clock(Slot& sl);
+    /// Post-reaction bookkeeping: re-index the engine's next deadline in
+    /// the shard wheel, (re-)list the instance for async slices.
+    void after_reaction(InstanceId id, Slot& sl, Shard& sh);
+
+    ReactorConfig cfg_;
+    std::vector<Slot> slots_;
+    std::vector<Shard> shards_;
+    Micros now_ = 0;
+    std::atomic<uint64_t> ticket_{0};
+
+    // Worker pool (empty when workers == 1): generation-counter barrier.
+    std::vector<std::thread> threads_;
+    std::mutex pool_mu_;
+    std::condition_variable pool_cv_;   // control -> workers: new generation
+    std::condition_variable done_cv_;   // workers -> control: all finished
+    uint64_t generation_ = 0;
+    Cmd cmd_ = Cmd::Round;
+    size_t done_count_ = 0;
+};
+
+}  // namespace ceu::reactor

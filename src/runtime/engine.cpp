@@ -13,10 +13,17 @@ using flat::IOp;
 using flat::kNormalPrio;
 using flat::Pc;
 
-Engine::Engine(const flat::CompiledProgram& cp, CBindings& bindings, Options opt)
+Engine::Engine(const flat::CompiledProgram& cp, const CBindings& bindings, Options opt)
     : cp_(cp), fp_(cp.flat), c_(bindings), opt_(opt) {
     data_.assign(static_cast<size_t>(fp_.data_size), Value::integer(0));
     gate_active_.assign(fp_.gates.size(), 0);
+    // Pool the track/emit-frame storage up front: queue occupancy is
+    // bounded by the program's static trail count (§4), so after this the
+    // scheduler never allocates on a steady-state reaction path.
+    queue_.reserve(std::max<size_t>(8, fp_.gates.size() + 1));
+    stack_.reserve(8);
+    firing_scratch_.reserve(std::max<size_t>(4, fp_.gates.size()));
+    expired_scratch_.reserve(std::max<size_t>(4, fp_.gates.size()));
 }
 
 // ---------------------------------------------------------------------------
@@ -35,6 +42,9 @@ void Engine::enqueue(Pc pc, int prio, Value wake) {
 Engine::Track Engine::pop_track() {
     // Highest priority first; FIFO among equals. Queues are tiny (paper §4:
     // sizes are statically bounded), so a linear scan is appropriate.
+    // Selection depends only on (prio, seq) — seqs are unique — so the
+    // vector's element order is irrelevant and the winner can be removed
+    // with an O(1) swap-pop instead of an erase shift.
     const bool lifo = opt_.tie_break == Options::TieBreak::Lifo;
     size_t best = 0;
     for (size_t i = 1; i < queue_.size(); ++i) {
@@ -45,7 +55,8 @@ Engine::Track Engine::pop_track() {
         }
     }
     Track t = queue_[best];
-    queue_.erase(queue_.begin() + static_cast<std::ptrdiff_t>(best));
+    queue_[best] = queue_.back();
+    queue_.pop_back();
     return t;
 }
 
@@ -256,12 +267,13 @@ void Engine::go_event(int event_id, Value v) {
                     logical_now_);
     }
     // Snapshot: trails that re-await the same event during this reaction
-    // must not see this occurrence again.
-    std::vector<int> firing;
+    // must not see this occurrence again. The snapshot buffer is pooled —
+    // it is fully consumed before run_reaction() can reuse it for emits.
+    firing_scratch_.clear();
     for (int g : fp_.ext_gates[static_cast<size_t>(event_id)]) {
-        if (gate_active_[static_cast<size_t>(g)]) firing.push_back(g);
+        if (gate_active_[static_cast<size_t>(g)]) firing_scratch_.push_back(g);
     }
-    for (int g : firing) {
+    for (int g : firing_scratch_) {
         if (obs_ != nullptr) obs_->wake(g);
         wake_gate(g, v);
     }
@@ -282,8 +294,8 @@ void Engine::go_time(Micros now) {
     now_ = std::max(now_, now);
     for (;;) {
         Micros fired = 0;
-        std::vector<int> gates = timers_.pop_expired(now_, &fired);
-        if (gates.empty()) break;
+        if (!timers_.pop_expired_into(now_, &fired, expired_scratch_)) break;
+        const std::vector<int>& gates = expired_scratch_;
         // The reaction is attributed the *deadline*, not the (possibly
         // late) wall-clock instant: residual deltas carry into timers armed
         // by the awakened code (§2.3).
@@ -421,7 +433,10 @@ void Engine::exec(Track t) {
 
             case IOp::EmitInt: {
                 Value v = I.e1 ? eval(*I.e1) : Value::integer(0);
-                std::vector<int> firing;
+                // Pooled snapshot buffer: consumed completely below, before
+                // any other emit or event delivery can refill it.
+                std::vector<int>& firing = firing_scratch_;
+                firing.clear();
                 for (int g : fp_.int_gates[static_cast<size_t>(I.a)]) {
                     if (gate_active_[static_cast<size_t>(g)]) firing.push_back(g);
                 }

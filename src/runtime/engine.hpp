@@ -110,20 +110,36 @@ class Engine {
         uint64_t at_reaction = 0;  // value of reactions() when it tripped
     };
 
-    /// `cp` and `bindings` must outlive the engine.
-    Engine(const flat::CompiledProgram& cp, CBindings& bindings,
+    /// `cp` and `bindings` must outlive the engine. The bindings are read-
+    /// only to the engine, so one immutable set can be shared by a whole
+    /// fleet of engines (binding closures that need per-engine state keep
+    /// it on the engine — see `binding_prng`).
+    Engine(const flat::CompiledProgram& cp, const CBindings& bindings,
            Options opt = Options());
 
     // -- the four-entry reactive API (paper §5) ------------------------------
 
     void go_init();
     void go_event(int event_id, Value v = Value::integer(0));
-    /// Convenience: event by name. Returns false if the name is unknown.
+    /// Thin resolve-once wrapper over go_event: interns `name` to its dense
+    /// EventId (O(1) against the sema index) and delivers by id. Returns
+    /// false if the name is unknown. Hot paths should resolve once and
+    /// call go_event directly.
     bool go_event_by_name(const std::string& name, Value v = Value::integer(0));
     void go_time(Micros now);
     /// Runs one slice of the current async (round-robin). Returns true if
     /// asynchronous work remains afterwards.
     bool go_async();
+
+    /// Seeds the wall-clock of a not-yet-booted engine: the boot reaction
+    /// (and every timer it arms) is stamped `t` instead of 0. go_time
+    /// deliberately ignores pre-boot instants (a Loaded engine has no
+    /// reactions to run), so late joiners in a fleet need this to boot at
+    /// the fleet instant rather than at the epoch. Clocks never rewind;
+    /// no-op unless Loaded.
+    void set_boot_clock(Micros t) {
+        if (status_ == Status::Loaded) now_ = std::max(now_, t);
+    }
 
     /// Power-cycle: discards every piece of dynamic state — tracks, emit
     /// stack, timers, asyncs, gate flags, data slots — by the same
@@ -199,6 +215,13 @@ class Engine {
     /// still unwinding).
     std::function<void(const FaultInfo&)> on_fault;
 
+    /// Per-engine PRNG state for the standard `_srand`/`_rand` bindings.
+    /// Lives on the engine (not in the binding closure) so one immutable
+    /// CBindings set can serve many engines without sharing generator
+    /// state across instances. Survives reset()/power-cycles, matching the
+    /// historical per-instance closure behavior.
+    uint64_t binding_prng = 0x9e3779b97f4a7c15ULL;
+
   private:
     struct Track {
         flat::Pc pc = 0;
@@ -230,7 +253,7 @@ class Engine {
 
     const flat::CompiledProgram& cp_;
     const flat::FlatProgram& fp_;
-    CBindings& c_;
+    const CBindings& c_;
     Options opt_;
     uint64_t reaction_instr_ = 0;  // instructions in the current reaction
     uint64_t max_reaction_ = 0;
@@ -246,6 +269,13 @@ class Engine {
     TimerWheel timers_;
     std::vector<AsyncCtx> asyncs_;
     size_t async_rr_ = 0;
+
+    // Pooled hot-path scratch: gate snapshots taken while firing events /
+    // timers. Reused across reactions so steady-state delivery allocates
+    // nothing. Two buffers because a timer batch (expired_scratch_) runs
+    // reactions that may themselves snapshot emit targets (firing_scratch_).
+    std::vector<int> firing_scratch_;
+    std::vector<int> expired_scratch_;
 
     Micros now_ = 0;          // latest wall-clock timestamp seen
     Micros logical_now_ = 0;  // timestamp attributed to the current reaction

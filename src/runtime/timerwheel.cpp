@@ -25,27 +25,30 @@ std::vector<TimerWheel::GateId> TimerWheel::armed_gates() const {
 }
 
 std::vector<TimerWheel::GateId> TimerWheel::pop_expired(Micros now, Micros* fired_deadline) {
-    if (entries_.empty()) return {};
-    Micros min = next_deadline();
-    if (min > now) return {};
+    std::vector<GateId> gates;
+    pop_expired_into(now, fired_deadline, gates);
+    return gates;
+}
 
-    std::vector<Entry> firing;
+bool TimerWheel::pop_expired_into(Micros now, Micros* fired_deadline,
+                                  std::vector<GateId>& out) {
+    out.clear();
+    if (entries_.empty()) return false;
+    Micros min = next_deadline();
+    if (min > now) return false;
+
     std::erase_if(entries_, [&](const Entry& e) {
         if (e.deadline == min) {
-            firing.push_back(e);
+            out.push_back(e.gate);
             return true;
         }
         return false;
     });
     // Trails awaking together are ordered by gate id, i.e. program order —
     // the same policy external events use when traversing gate lists.
-    std::sort(firing.begin(), firing.end(),
-              [](const Entry& a, const Entry& b) { return a.gate < b.gate; });
-    std::vector<GateId> gates;
-    gates.reserve(firing.size());
-    for (const Entry& e : firing) gates.push_back(e.gate);
+    std::sort(out.begin(), out.end());
     if (fired_deadline != nullptr) *fired_deadline = min;
-    return gates;
+    return true;
 }
 
 }  // namespace ceu::rt

@@ -34,6 +34,11 @@ class TimerWheel {
     /// their gates in arming order. Otherwise returns empty.
     std::vector<GateId> pop_expired(Micros now, Micros* fired_deadline);
 
+    /// Allocation-free variant: fills `out` (cleared first) instead of
+    /// returning a fresh vector, so a hot caller can reuse one buffer for
+    /// the life of the engine. Returns true if anything expired.
+    bool pop_expired_into(Micros now, Micros* fired_deadline, std::vector<GateId>& out);
+
     /// Gates of every armed entry, in arming order — the engine's
     /// invariant checker cross-checks them against the gate flags.
     [[nodiscard]] std::vector<GateId> armed_gates() const;

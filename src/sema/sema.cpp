@@ -46,6 +46,7 @@ class Analyzer {
         Scope root;
         visit_body(prog_.body, root);
         check_bounded(prog_, diags_);
+        info_.build_event_index();
         return std::move(info_);
     }
 
@@ -421,6 +422,24 @@ class Analyzer {
 };
 
 }  // namespace
+
+void SemaInfo::build_event_index() {
+    input_index.clear();
+    internal_index.clear();
+    output_index.clear();
+    input_index.reserve(inputs.size());
+    internal_index.reserve(internals.size());
+    output_index.reserve(outputs.size());
+    for (size_t i = 0; i < inputs.size(); ++i) {
+        input_index.emplace(inputs[i].name, static_cast<EventId>(i));
+    }
+    for (size_t i = 0; i < internals.size(); ++i) {
+        internal_index.emplace(internals[i].name, static_cast<EventId>(i));
+    }
+    for (size_t i = 0; i < outputs.size(); ++i) {
+        output_index.emplace(outputs[i].name, static_cast<EventId>(i));
+    }
+}
 
 SemaInfo analyze(Program& prog, Diagnostics& diags) {
     return Analyzer(prog, diags).run();

@@ -11,12 +11,21 @@
 
 #include <set>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "ast/ast.hpp"
 #include "util/diag.hpp"
 
 namespace ceu {
+
+/// Dense interned id of a declared event (external input, internal, or
+/// output — each namespace is its own dense range starting at 0). Event
+/// names are interned once at load time; everything past the parse/CLI
+/// boundary speaks EventId, so no string comparison sits on a reaction
+/// path.
+using EventId = int;
+constexpr EventId kNoEvent = -1;
 
 /// A declared Céu variable. `decl_id` indexes into SemaInfo::vars and is
 /// written back into every VarExpr that resolves to it.
@@ -71,23 +80,38 @@ struct SemaInfo {
     CCallPolicy ccalls;
     std::vector<std::string> c_blocks;  // raw C bodies, in program order
 
-    [[nodiscard]] int input_id(const std::string& name) const {
-        for (size_t i = 0; i < inputs.size(); ++i) {
-            if (inputs[i].name == name) return static_cast<int>(i);
-        }
-        return -1;
+    /// name -> dense id. Built by analyze() (and rebuildable with
+    /// build_event_index() after hand-assembling the vectors); the id
+    /// lookups below are O(1) against these maps.
+    std::unordered_map<std::string, EventId> input_index;
+    std::unordered_map<std::string, EventId> internal_index;
+    std::unordered_map<std::string, EventId> output_index;
+
+    /// (Re)derives the three name->id maps from the event vectors.
+    void build_event_index();
+
+    [[nodiscard]] EventId input_id(const std::string& name) const {
+        return lookup(input_index, inputs, name);
     }
-    [[nodiscard]] int internal_id(const std::string& name) const {
-        for (size_t i = 0; i < internals.size(); ++i) {
-            if (internals[i].name == name) return static_cast<int>(i);
-        }
-        return -1;
+    [[nodiscard]] EventId internal_id(const std::string& name) const {
+        return lookup(internal_index, internals, name);
     }
-    [[nodiscard]] int output_id(const std::string& name) const {
-        for (size_t i = 0; i < outputs.size(); ++i) {
-            if (outputs[i].name == name) return static_cast<int>(i);
+    [[nodiscard]] EventId output_id(const std::string& name) const {
+        return lookup(output_index, outputs, name);
+    }
+
+  private:
+    static EventId lookup(const std::unordered_map<std::string, EventId>& index,
+                          const std::vector<EventInfo>& events, const std::string& name) {
+        if (index.size() == events.size()) {  // interned (the normal case)
+            auto it = index.find(name);
+            return it == index.end() ? kNoEvent : it->second;
         }
-        return -1;
+        // Fallback for a hand-assembled SemaInfo that skipped the interner.
+        for (size_t i = 0; i < events.size(); ++i) {
+            if (events[i].name == name) return static_cast<EventId>(i);
+        }
+        return kNoEvent;
     }
 };
 

@@ -10,7 +10,12 @@ using rt::Engine;
 using rt::Value;
 
 CeuMote::CeuMote(int id, CeuMoteConfig cfg)
-    : Mote(id), cfg_(std::move(cfg)), cp_(flat::compile(cfg_.source)) {
+    : Mote(id),
+      cfg_(std::move(cfg)),
+      cp_(cfg_.program != nullptr
+              ? cfg_.program
+              : std::make_shared<const flat::CompiledProgram>(
+                    flat::compile(cfg_.source))) {
     msgs_.resize(kMsgPool);
 
     // Only the mote-specific bindings live here; host::Instance layers them

@@ -23,6 +23,11 @@ namespace ceu::wsn {
 
 struct CeuMoteConfig {
     std::string source;                 // the Céu program this mote runs
+    /// Pre-compiled shared program: when set, `source` is ignored and the
+    /// mote co-owns this immutable program instead of compiling its own —
+    /// a fleet of N motes running the same firmware parses it once, not N
+    /// times, and per-mote memory scales with runtime state only.
+    std::shared_ptr<const flat::CompiledProgram> program;
     Micros reaction_cost = 500;         // CPU charged per external reaction
     Micros async_slice_cost = kMs;      // CPU charged per go_async slice
     size_t rx_queue_capacity = 2;       // buffered receives (TinyOS queues)
@@ -81,7 +86,7 @@ class CeuMote final : public Mote {
     int64_t resolve_handle(rt::Value arg);
 
     CeuMoteConfig cfg_;
-    flat::CompiledProgram cp_;
+    std::shared_ptr<const flat::CompiledProgram> cp_;
     rt::CBindings bindings_;  // mote-specific extras; Instance adds the standard set
     std::unique_ptr<host::Instance> inst_;
     Network* net_ = nullptr;  // valid only during callbacks

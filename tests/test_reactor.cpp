@@ -1,0 +1,404 @@
+// The sharded multi-instance reactor (src/reactor/): determinism across
+// worker counts is the headline contract — per-instance traces must be
+// byte-identical and the aggregated fleet stats identical whether the
+// fleet runs inline (1 worker) or sharded over a pool (2, 8 workers).
+// Also covers the fleet timer wheel, the lock-free mailbox under
+// concurrent producers, fault containment, and the shared-program paths
+// (host::Instance fleet ctor, CeuMoteConfig::program).
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "codegen/flatten.hpp"
+#include "reactor/fleet_wheel.hpp"
+#include "reactor/mailbox.hpp"
+#include "reactor/reactor.hpp"
+#include "wsn/network.hpp"
+#include "wsn/tinyos_binding.hpp"
+
+namespace {
+
+using namespace ceu;
+
+std::shared_ptr<const flat::CompiledProgram> compile_shared(const char* src) {
+    return std::make_shared<const flat::CompiledProgram>(flat::compile(src));
+}
+
+/// Accumulates injected values, tracing each delivery.
+constexpr const char* kCounter = R"(
+    input int ADD;
+    input void STOP;
+    int total = 0;
+    int v = 0;
+    par do
+       loop do
+          v = await ADD;
+          total = total + v;
+          _printf("add %d total %d\n", v, total);
+       end
+    with
+       await STOP;
+       return total;
+    end
+)";
+
+/// Ticks every 10ms, tracing the count.
+constexpr const char* kTicker = R"(
+    input void STOP;
+    int n = 0;
+    par do
+       loop do
+          await 10ms;
+          n = n + 1;
+          _printf("tick %d\n", n);
+       end
+    with
+       await STOP;
+       return n;
+    end
+)";
+
+/// Pure async computation: sums 1..100 in the background.
+constexpr const char* kAsyncSum = R"(
+    int r = 0;
+    r = async do
+       int acc = 0;
+       int i = 0;
+       loop do
+          i = i + 1;
+          acc = acc + i;
+          if i == 100 then break; end
+       end
+       return acc;
+    end;
+    _printf("sum %d\n", r);
+    return r;
+)";
+
+// -- FleetTimerWheel ----------------------------------------------------------
+
+TEST(FleetWheel, CollectsDueSortedByDeadlineThenInstance) {
+    reactor::FleetTimerWheel w(1024);
+    w.schedule(3, 5000);
+    w.schedule(1, 5000);
+    w.schedule(2, 200);
+    w.schedule(9, 70'000'000);  // lands in a coarser level
+    EXPECT_EQ(w.size(), 4u);
+    EXPECT_EQ(w.next_deadline(), 200);
+
+    std::vector<reactor::FleetTimerWheel::Due> due;
+    EXPECT_EQ(w.collect_due(100, due), 0u);  // before the minimum: O(1) no-op
+    EXPECT_EQ(w.collect_due(5000, due), 3u);
+    ASSERT_EQ(due.size(), 3u);
+    EXPECT_EQ(due[0].instance, 2u);
+    EXPECT_EQ(due[1].instance, 1u);  // equal deadlines tie-break by instance
+    EXPECT_EQ(due[2].instance, 3u);
+    EXPECT_EQ(w.size(), 1u);
+    EXPECT_EQ(w.next_deadline(), 70'000'000);
+
+    due.clear();
+    EXPECT_EQ(w.collect_due(70'000'000, due), 1u);
+    EXPECT_EQ(due[0].instance, 9u);
+    EXPECT_TRUE(w.empty());
+    EXPECT_EQ(w.next_deadline(), -1);
+}
+
+TEST(FleetWheel, SurvivesManyInstancesAndLargeJumps) {
+    reactor::FleetTimerWheel w(1024);
+    for (uint32_t i = 0; i < 10'000; ++i) {
+        w.schedule(i, static_cast<Micros>(1 + (i % 97) * 1000));
+    }
+    std::vector<reactor::FleetTimerWheel::Due> due;
+    w.collect_due(1'000'000'000, due);  // one giant jump collects everything
+    EXPECT_EQ(due.size(), 10'000u);
+    EXPECT_TRUE(w.empty());
+    for (size_t i = 1; i < due.size(); ++i) {
+        bool ordered = due[i - 1].deadline < due[i].deadline ||
+                       (due[i - 1].deadline == due[i].deadline &&
+                        due[i - 1].instance < due[i].instance);
+        ASSERT_TRUE(ordered) << "unsorted at " << i;
+    }
+}
+
+// -- Mailbox ------------------------------------------------------------------
+
+TEST(Mailbox, DrainRestoresTicketOrder) {
+    reactor::Mailbox mb;
+    for (uint64_t t = 0; t < 5; ++t) {
+        auto* e = new reactor::Envelope;
+        e->ticket = t;
+        mb.push(e);
+    }
+    std::vector<reactor::Envelope*> out;
+    EXPECT_EQ(mb.drain_into(out), 5u);
+    EXPECT_TRUE(mb.empty());
+    for (uint64_t t = 0; t < 5; ++t) EXPECT_EQ(out[t]->ticket, t);
+    for (auto* e : out) delete e;
+}
+
+TEST(Mailbox, ConcurrentProducersLoseNothing) {
+    reactor::Mailbox mb;
+    constexpr int kThreads = 4;
+    constexpr int kPerThread = 2000;
+    std::atomic<uint64_t> ticket{0};
+    std::vector<std::thread> producers;
+    producers.reserve(kThreads);
+    for (int t = 0; t < kThreads; ++t) {
+        producers.emplace_back([&mb, &ticket, t] {
+            for (int i = 0; i < kPerThread; ++i) {
+                auto* e = new reactor::Envelope;
+                e->instance = static_cast<reactor::InstanceId>(t);
+                e->ticket = ticket.fetch_add(1);
+                mb.push(e);
+            }
+        });
+    }
+    for (auto& p : producers) p.join();
+    std::vector<reactor::Envelope*> out;
+    EXPECT_EQ(mb.drain_into(out), static_cast<size_t>(kThreads * kPerThread));
+    for (size_t i = 1; i < out.size(); ++i) {
+        ASSERT_LT(out[i - 1]->ticket, out[i]->ticket);
+    }
+    for (auto* e : out) delete e;
+}
+
+// -- Reactor basics -----------------------------------------------------------
+
+TEST(Reactor, SingleInstanceRunsToTermination) {
+    reactor::ReactorConfig rc;
+    rc.collect_traces = true;
+    reactor::Reactor r(rc);
+    auto cp = compile_shared(kCounter);
+    reactor::InstanceId id = r.add_instance(cp);
+    r.boot();
+    EXPECT_TRUE(r.inject(id, "ADD", rt::Value::integer(4)));
+    EXPECT_TRUE(r.inject(id, "ADD", rt::Value::integer(2)));
+    EXPECT_FALSE(r.inject(id, "NOT_AN_INPUT"));
+    r.run_round();
+    EXPECT_TRUE(r.inject(id, "STOP"));
+    r.run_round();
+    r.drain();
+    EXPECT_EQ(r.instance(id).status(), rt::Engine::Status::Terminated);
+    EXPECT_EQ(r.instance(id).result().as_int(), 6);
+    EXPECT_EQ(r.instance(id).trace(),
+              (std::vector<std::string>{"add 4 total 4", "add 2 total 6"}));
+}
+
+TEST(Reactor, TimersFireAtFleetInstants) {
+    reactor::Reactor r;
+    auto cp = compile_shared(kTicker);
+    reactor::InstanceId a = r.add_instance(cp);
+    reactor::InstanceId b = r.add_instance(cp);
+    r.boot();
+    for (int i = 0; i < 5; ++i) r.advance(10 * kMs);
+    r.inject(a, "STOP");
+    r.run_round();
+    EXPECT_EQ(r.instance(a).result().as_int(), 5);
+    r.advance(20 * kMs);  // b keeps ticking after a terminated
+    r.inject(b, "STOP");
+    r.run_round();
+    EXPECT_EQ(r.instance(b).result().as_int(), 7);
+}
+
+TEST(Reactor, AsyncWorkSettlesAcrossRounds) {
+    reactor::Reactor r;
+    auto cp = compile_shared(kAsyncSum);
+    reactor::InstanceId id = r.add_instance(cp);
+    r.boot();
+    size_t rounds = r.drain();
+    EXPECT_GT(rounds, 0u);
+    EXPECT_EQ(r.instance(id).status(), rt::Engine::Status::Terminated);
+    EXPECT_EQ(r.instance(id).result().as_int(), 5050);
+}
+
+TEST(Reactor, LateJoinersBootAtTheFleetInstant) {
+    reactor::Reactor r;
+    auto cp = compile_shared(kTicker);
+    reactor::InstanceId a = r.add_instance(cp);
+    r.boot();
+    r.advance(30 * kMs);
+    reactor::InstanceId b = r.add_instance(cp);
+    r.boot();  // only b boots; its 10ms periods are relative to now
+    r.advance(10 * kMs);
+    r.inject(a, "STOP");
+    r.inject(b, "STOP");
+    r.run_round();
+    EXPECT_EQ(r.instance(a).result().as_int(), 4);
+    EXPECT_EQ(r.instance(b).result().as_int(), 1);
+}
+
+TEST(Reactor, FaultedMemberDoesNotStopTheFleet) {
+    reactor::Reactor r;
+    auto bad = compile_shared(R"(
+        input void GO;
+        await GO;
+        _no_such_function();
+    )");
+    auto good = compile_shared(kCounter);
+    reactor::InstanceId f = r.add_instance(bad);
+    reactor::InstanceId g = r.add_instance(good);
+    r.boot();
+    r.inject(f, "GO");
+    r.inject(g, "ADD", rt::Value::integer(1));
+    r.run_round();
+    // Default fleet policy traps the dynamic error: the member parks
+    // Faulted, the shard (and the rest of the fleet) carries on.
+    EXPECT_EQ(r.instance(f).status(), rt::Engine::Status::Faulted);
+    EXPECT_TRUE(r.error(f).empty());
+    r.inject(g, "STOP");
+    r.run_round();
+    EXPECT_EQ(r.instance(g).result().as_int(), 1);
+}
+
+TEST(Reactor, SharedProgramIsCoOwnedNotCopied) {
+    auto cp = compile_shared(kCounter);
+    reactor::Reactor r;
+    for (int i = 0; i < 50; ++i) r.add_instance(cp);
+    for (int i = 0; i < 50; ++i) {
+        EXPECT_EQ(&r.instance(static_cast<reactor::InstanceId>(i)).program(),
+                  cp.get());
+    }
+}
+
+// -- determinism across worker counts ----------------------------------------
+
+struct FleetRun {
+    std::vector<std::string> traces;
+    std::string stats_json;
+};
+
+FleetRun run_mixed_fleet(size_t workers) {
+    reactor::ReactorConfig rc;
+    rc.workers = workers;
+    rc.seed = 42;
+    rc.collect_traces = true;
+    reactor::Reactor r(rc);
+
+    auto counter = compile_shared(kCounter);
+    auto ticker = compile_shared(kTicker);
+    auto asum = compile_shared(kAsyncSum);
+    constexpr size_t kFleet = 60;
+    for (size_t i = 0; i < kFleet; ++i) {
+        switch (i % 3) {
+            case 0: r.add_instance(counter); break;
+            case 1: r.add_instance(ticker); break;
+            default: r.add_instance(asum); break;
+        }
+    }
+    r.boot();
+    r.drain();
+
+    for (int step = 0; step < 6; ++step) {
+        for (size_t i = 0; i < kFleet; i += 3) {
+            r.inject(static_cast<reactor::InstanceId>(i), "ADD",
+                     rt::Value::integer(static_cast<int64_t>(step * 100 + i)));
+        }
+        r.advance(10 * kMs);
+        r.drain();
+    }
+    for (size_t i = 0; i < kFleet; ++i) {
+        r.inject(static_cast<reactor::InstanceId>(i), "STOP");
+    }
+    r.run_round();
+    r.drain();
+
+    FleetRun out;
+    out.traces.reserve(kFleet);
+    for (size_t i = 0; i < kFleet; ++i) {
+        out.traces.push_back(r.instance(static_cast<reactor::InstanceId>(i)).trace_text());
+    }
+    obs::ProcessStats st = r.fleet_stats();
+    st.clear_measured();  // wall-clock fields are the only nondeterminism
+    out.stats_json = st.to_json();
+    return out;
+}
+
+TEST(Reactor, TracesAndStatsAreIdenticalAt1_2_8Workers) {
+    FleetRun w1 = run_mixed_fleet(1);
+    FleetRun w2 = run_mixed_fleet(2);
+    FleetRun w8 = run_mixed_fleet(8);
+    ASSERT_EQ(w1.traces.size(), w2.traces.size());
+    ASSERT_EQ(w1.traces.size(), w8.traces.size());
+    for (size_t i = 0; i < w1.traces.size(); ++i) {
+        EXPECT_EQ(w1.traces[i], w2.traces[i]) << "instance " << i << " (2 workers)";
+        EXPECT_EQ(w1.traces[i], w8.traces[i]) << "instance " << i << " (8 workers)";
+    }
+    EXPECT_EQ(w1.stats_json, w2.stats_json);
+    EXPECT_EQ(w1.stats_json, w8.stats_json);
+    EXPECT_FALSE(w1.traces[0].empty());
+}
+
+TEST(Reactor, RunsAreReproducibleForAFixedSeed) {
+    FleetRun a = run_mixed_fleet(2);
+    FleetRun b = run_mixed_fleet(2);
+    EXPECT_EQ(a.traces, b.traces);
+    EXPECT_EQ(a.stats_json, b.stats_json);
+}
+
+TEST(Reactor, ConcurrentInjectorsDeliverEverything) {
+    reactor::ReactorConfig rc;
+    rc.workers = 2;
+    reactor::Reactor r(rc);
+    auto cp = compile_shared(kCounter);
+    constexpr size_t kFleet = 8;
+    for (size_t i = 0; i < kFleet; ++i) r.add_instance(cp);
+    r.boot();
+
+    constexpr int kThreads = 4;
+    constexpr int kPerThread = 500;
+    std::vector<std::thread> producers;
+    producers.reserve(kThreads);
+    for (int t = 0; t < kThreads; ++t) {
+        producers.emplace_back([&r, t] {
+            for (int i = 0; i < kPerThread; ++i) {
+                r.inject(static_cast<reactor::InstanceId>((t * 31 + i) % kFleet),
+                         EventId{0} /* ADD */, rt::Value::integer(1));
+            }
+        });
+    }
+    for (auto& p : producers) p.join();
+    r.drain();
+    for (size_t i = 0; i < kFleet; ++i) {
+        r.inject(static_cast<reactor::InstanceId>(i), "STOP");
+    }
+    r.run_round();
+
+    int64_t total = 0;
+    for (size_t i = 0; i < kFleet; ++i) {
+        total += r.instance(static_cast<reactor::InstanceId>(i)).result().as_int();
+    }
+    EXPECT_EQ(total, kThreads * kPerThread);
+}
+
+// -- the WSN fleet path -------------------------------------------------------
+
+TEST(Reactor, CeuMoteFleetsShareOneCompiledProgram) {
+    auto firmware = compile_shared(R"(
+        int n = 0;
+        loop do
+           await 100ms;
+           n = n + 1;
+           _Leds_set(n);
+        end
+    )");
+    wsn::RadioModel radio;
+    wsn::Network net(radio);
+    std::vector<wsn::CeuMote*> motes;
+    for (int i = 0; i < 4; ++i) {
+        wsn::CeuMoteConfig cfg;
+        cfg.program = firmware;  // no per-mote compile
+        motes.push_back(static_cast<wsn::CeuMote*>(
+            &net.add(std::make_unique<wsn::CeuMote>(i, cfg))));
+    }
+    net.start();
+    net.run_until(550 * kMs);
+    for (wsn::CeuMote* m : motes) {
+        EXPECT_EQ(&m->instance().program(), firmware.get());
+        EXPECT_EQ(m->leds(), 5);
+    }
+}
+
+}  // namespace
