@@ -13,13 +13,15 @@ FleetTimerWheel::FleetTimerWheel(Micros granularity_us)
 }
 
 size_t FleetTimerWheel::bucket_of(Micros deadline) const {
-    // Level by magnitude: deadlines land in the finest level whose slot
-    // width still separates them from their neighbors. The slot index is
-    // the deadline's tick at that level's scale, mod 64 — a pure function
-    // of the deadline, so an entry never needs cascading: it stays put and
-    // is found again by its own slot minimum.
-    uint64_t tick = static_cast<uint64_t>(deadline < 0 ? 0 : deadline) /
-                    static_cast<uint64_t>(gran_);
+    // Level by distance from the epoch: deadlines land in the finest level
+    // whose slot width still separates them from their neighbors. The slot
+    // index is the relative tick at that level's scale, mod 64 — a pure
+    // function of (deadline, epoch), so an entry never needs cascading
+    // between rebases: it stays put and is found again by its own slot
+    // minimum. Already-due deadlines (<= epoch) clamp to slot 0.
+    Micros rel = deadline - epoch_;
+    uint64_t tick =
+        rel <= 0 ? 0 : static_cast<uint64_t>(rel) / static_cast<uint64_t>(gran_);
     int level = 0;
     uint64_t scaled = tick;
     while (level < kLevels - 1 && scaled >= kSlots) {
@@ -41,8 +43,36 @@ void FleetTimerWheel::schedule(InstanceId instance, Micros deadline) {
     ++count_;
 }
 
+void FleetTimerWheel::maybe_rebase(Micros now) {
+    // One full level-1 cycle past the epoch and relative ticks start
+    // spilling into needlessly coarse levels; re-bucket the survivors
+    // against a fresh epoch. O(count_), but at most once per 64^2 level-0
+    // ticks of clock advance — amortized O(1).
+    if (now - epoch_ <
+        gran_ * static_cast<Micros>(kSlots) * static_cast<Micros>(kSlots)) {
+        return;
+    }
+    std::vector<Entry> live;
+    live.reserve(count_);
+    for (auto& v : slots_) {
+        live.insert(live.end(), v.begin(), v.end());
+        v.clear();
+    }
+    for (Micros& m : slot_min_) m = -1;
+    for (uint64_t& o : occupied_) o = 0;
+    min_ = -1;
+    count_ = 0;
+    epoch_ = now;
+    for (const Entry& e : live) schedule(e.instance, e.deadline);
+}
+
 size_t FleetTimerWheel::collect_due(Micros now, std::vector<Due>& out) {
-    if (count_ == 0 || now < min_) return 0;  // the quiescent fast path
+    if (count_ == 0) {
+        if (now > epoch_) epoch_ = now;  // free rebase: nothing to move
+        return 0;
+    }
+    maybe_rebase(now);
+    if (now < min_) return 0;  // the quiescent fast path
 
     size_t start = out.size();
     Micros new_min = -1;
@@ -91,6 +121,7 @@ void FleetTimerWheel::clear() {
     for (uint64_t& o : occupied_) o = 0;
     min_ = -1;
     count_ = 0;
+    epoch_ = 0;
 }
 
 }  // namespace ceu::reactor

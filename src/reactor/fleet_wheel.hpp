@@ -6,8 +6,14 @@
 // advance: *which of my 100k instances could have a timer due by `now`?*
 //
 // This wheel buckets (instance, deadline) pairs into 4 levels x 64 slots by
-// deadline tick (level l covers granularity * 64^l per slot). Two summaries
-// make advances cheap:
+// deadline tick *relative to a rebased epoch* (level l covers
+// granularity * 64^l per slot), so slot spread tracks remaining time, not
+// absolute fleet time: without the epoch, a long-running fleet's deadlines
+// would all collapse into the coarsest level's wrap-around slots once the
+// clock exceeded 64^3 level-0 ticks. collect_due() re-buckets surviving
+// entries against a fresh epoch once the clock has advanced a full level-1
+// cycle (64^2 ticks) past the current one — O(live entries) per rebase,
+// amortized O(1) per advance. Two summaries make advances cheap:
 //   - a global minimum deadline: advancing the fleet clock to a point
 //     before it is a single compare — the overwhelmingly common case when
 //     most instances are quiescent;
@@ -70,8 +76,12 @@ class FleetTimerWheel {
     };
 
     [[nodiscard]] size_t bucket_of(Micros deadline) const;
+    /// Re-buckets every live entry against `now` once the clock has moved
+    /// a full level-1 cycle past the current epoch.
+    void maybe_rebase(Micros now);
 
     Micros gran_;
+    Micros epoch_ = 0;                       // bucketing origin (rebased as time passes)
     Micros min_ = -1;                        // global earliest (valid when count_ > 0)
     size_t count_ = 0;
     uint64_t occupied_[kLevels] = {0, 0, 0, 0};

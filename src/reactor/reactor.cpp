@@ -111,9 +111,13 @@ uint64_t Reactor::inject(InstanceId id, EventId event, rt::Value v) {
     e->instance = id;
     e->event = event;
     e->value = v;
-    e->ticket = ticket_.fetch_add(1, std::memory_order_relaxed);
+    // push() transfers ownership: a worker draining mid-round may consume
+    // and free the envelope immediately, so the ticket must be returned
+    // from a local, never read back through e.
+    uint64_t t = ticket_.fetch_add(1, std::memory_order_relaxed);
+    e->ticket = t;
     shards_[id % shards_.size()].mailbox.push(e);
-    return e->ticket;
+    return t;
 }
 
 bool Reactor::inject(InstanceId id, const std::string& event, rt::Value v) {

@@ -33,10 +33,14 @@
 // The seeded shuffle fixes the intra-round visit order *per seed*, so a
 // given (seed, fleet, inputs) triple replays identically run-to-run too.
 //
-// Threading contract. inject() is safe from any thread at any time (lock-
-// free mailbox push). Everything else — add_instance, boot, advance,
-// run_round, drain, instance(), fleet_stats — must be called from the one
-// control thread, between rounds.
+// Threading contract. Once the fleet is built, inject() is safe from any
+// thread, including mid-round (lock-free mailbox push; it otherwise only
+// reads the instance table and each target's immutable compiled program).
+// It must NOT overlap add_instance(), which grows that table: start
+// injector threads after the last add_instance, or quiesce them around
+// construction. Everything else — add_instance, boot, advance, run_round,
+// drain, instance(), fleet_stats — must be called from the one control
+// thread, between rounds.
 #pragma once
 
 #include <atomic>
@@ -108,8 +112,10 @@ class Reactor {
     // -- inputs (inject: any thread; advance: control thread) ----------------
 
     /// Queues one occurrence of input `event` for `id`. Lock-free; safe
-    /// from any thread, including mid-round. Delivery happens in the next
-    /// round, in global injection-ticket order. Returns the ticket.
+    /// from any thread, including mid-round, but not concurrently with
+    /// add_instance (see the threading contract above). Delivery happens
+    /// in the next round, in global injection-ticket order. Returns the
+    /// ticket.
     uint64_t inject(InstanceId id, EventId event,
                     rt::Value v = rt::Value::integer(0));
     /// Name-resolving variant (resolves against the instance's program —

@@ -123,6 +123,32 @@ TEST(FleetWheel, SurvivesManyInstancesAndLargeJumps) {
     }
 }
 
+TEST(FleetWheel, RebasesEpochSoLateDeadlinesStaySpread) {
+    // A long-running fleet: the clock walks far past the 64^2-tick rebase
+    // window many times over, scheduling as it goes. Expiry must stay
+    // exact — every deadline collected at its own instant, never early,
+    // never lost — across rebases.
+    reactor::FleetTimerWheel w(1024);
+    constexpr Micros kStep = 10 * kMs;
+    Micros now = 0;
+    std::vector<reactor::FleetTimerWheel::Due> due;
+    for (uint32_t round = 0; round < 2'000; ++round) {
+        // Two fresh deadlines per round: one due next step, one far out.
+        w.schedule(round, now + kStep);
+        w.schedule(100'000 + round, now + 100 * kStep);
+        now += kStep;
+        due.clear();
+        w.collect_due(now, due);
+        for (const auto& d : due) ASSERT_LE(d.deadline, now);
+        ASSERT_TRUE(w.next_deadline() < 0 || w.next_deadline() > now);
+    }
+    // Drain the tail: exactly the far-out stragglers remain, none dropped.
+    due.clear();
+    w.collect_due(now + 200 * kStep, due);
+    EXPECT_TRUE(w.empty());
+    EXPECT_EQ(due.size(), 99u);  // the last 99 far-out deadlines, still pending
+}
+
 // -- Mailbox ------------------------------------------------------------------
 
 TEST(Mailbox, DrainRestoresTicketOrder) {
