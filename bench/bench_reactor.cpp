@@ -164,6 +164,67 @@ Cell run_cell(size_t workers, size_t instances,
     return cell;
 }
 
+struct CheckpointMetrics {
+    size_t instances = 0;
+    double bytes_per_instance = 0;
+    double save_us_per_instance = 0;
+    double restore_us_per_instance = 0;
+};
+
+/// E13 — checkpoint cost: serialize and restore every member of a warmed
+/// mixed fleet; reports blob size and save/restore latency per instance.
+CheckpointMetrics run_checkpoint_bench(
+    size_t instances, const std::shared_ptr<const flat::CompiledProgram>& counter,
+    const std::shared_ptr<const flat::CompiledProgram>& ticker,
+    const std::shared_ptr<const flat::CompiledProgram>& async_step) {
+    CheckpointMetrics m;
+    m.instances = instances;
+
+    reactor::ReactorConfig rc;
+    rc.seed = 42;
+    reactor::Reactor r(rc);
+    for (size_t i = 0; i < instances; ++i) {
+        switch (i % 3) {
+            case 0: r.add_instance(counter); break;
+            case 1: r.add_instance(ticker); break;
+            default: r.add_instance(async_step); break;
+        }
+    }
+    r.boot();
+    // Warm the fleet so snapshots carry real state: armed timers, queued
+    // values, asyncs mid-computation.
+    for (int round = 0; round < 3; ++round) {
+        for (size_t i = 0; i < instances; i += 3) {
+            r.inject(static_cast<reactor::InstanceId>(i), EventId{0},
+                     rt::Value::integer(1));
+        }
+        r.advance(10 * kMs);
+        r.run_round();
+    }
+
+    std::vector<std::vector<uint8_t>> blobs;
+    blobs.reserve(instances);
+    size_t total_bytes = 0;
+    auto s0 = std::chrono::steady_clock::now();
+    for (size_t i = 0; i < instances; ++i) {
+        blobs.push_back(r.instance(static_cast<reactor::InstanceId>(i)).save());
+        total_bytes += blobs.back().size();
+    }
+    auto s1 = std::chrono::steady_clock::now();
+    for (size_t i = 0; i < instances; ++i) {
+        r.instance(static_cast<reactor::InstanceId>(i)).load(blobs[i]);
+    }
+    auto s2 = std::chrono::steady_clock::now();
+
+    double n = static_cast<double>(instances);
+    m.bytes_per_instance = static_cast<double>(total_bytes) / n;
+    m.save_us_per_instance =
+        std::chrono::duration<double, std::micro>(s1 - s0).count() / n;
+    m.restore_us_per_instance =
+        std::chrono::duration<double, std::micro>(s2 - s1).count() / n;
+    return m;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -224,10 +285,21 @@ int main(int argc, char** argv) {
         }
     }
     double speedup = rps_1w_10k > 0 ? rps_8w_10k / rps_1w_10k : 0.0;
-    js << "],\"speedup_8v1_10k\":" << speedup
-       << ",\"schema\":\"ceu-bench-reactor-v1\"}";
+
+    CheckpointMetrics ck = run_checkpoint_bench(quick ? 1'000 : 10'000, counter,
+                                                ticker, async_step);
+    js << "],\"speedup_8v1_10k\":" << speedup << ",\"checkpoint\":{\"instances\":"
+       << ck.instances << ",\"bytes_per_instance\":" << ck.bytes_per_instance
+       << ",\"save_us_per_instance\":" << ck.save_us_per_instance
+       << ",\"restore_us_per_instance\":" << ck.restore_us_per_instance
+       << "},\"schema\":\"ceu-bench-reactor-v2\"}";
 
     std::printf("\n8-worker vs 1-worker aggregate on the 10k mix: %.2fx\n", speedup);
+    std::printf(
+        "checkpoint (%zu-instance mix): %.0f B/inst, save %.2f us/inst, "
+        "restore %.2f us/inst\n",
+        ck.instances, ck.bytes_per_instance, ck.save_us_per_instance,
+        ck.restore_us_per_instance);
 
     if (!json_path.empty()) {
         std::ofstream f(json_path, std::ios::binary);

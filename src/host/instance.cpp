@@ -1,8 +1,10 @@
 #include "host/instance.hpp"
 
 #include <algorithm>
+#include <cstring>
 
 #include "env/bindings.hpp"
+#include "runtime/snapshot.hpp"
 
 namespace ceu::host {
 
@@ -143,6 +145,12 @@ void Instance::feed(const env::ScriptItem& item) {
 
 Engine::Status Instance::run(const env::Script& script) {
     boot();
+    return replay(script);
+}
+
+Engine::Status Instance::resume(const env::Script& script) { return replay(script); }
+
+Engine::Status Instance::replay(const env::Script& script) {
     // Resolve event names to interned ids once, up front: replay then
     // delivers by dense EventId and the string spelling never reaches the
     // reaction path. Unknown names still only fault when (and if) their
@@ -181,6 +189,117 @@ Engine::Status Instance::run(const env::Script& script, Diagnostics& diags) {
         diags.error(e.loc(), e.message());
         return engine_->status();
     }
+}
+
+Engine::Status Instance::resume(const env::Script& script, Diagnostics& diags) {
+    try {
+        return resume(script);
+    } catch (const rt::RuntimeError& e) {
+        diags.error(e.loc(), e.message());
+        return engine_->status();
+    }
+}
+
+// -- checkpoint / restore -----------------------------------------------------
+
+namespace {
+constexpr char kHostMagic[8] = {'C', 'E', 'U', 'H', 'S', 'T', '0', '1'};
+
+void write_stats(rt::snap::ByteWriter& w, const obs::ProcessStats& s) {
+    w.u64(s.reactions);
+    for (uint64_t k : s.reactions_by_kind) w.u64(k);
+    w.u64(s.wakes);
+    w.u64(s.emits);
+    w.u64(s.timer_fires);
+    w.u64(s.instructions);
+    w.u64(s.max_reaction_instructions);
+    w.u64(s.allocations);
+    w.i64(s.max_emit_depth);
+    w.u64(s.wall_ns);
+    w.u64(s.max_reaction_wall_ns);
+    w.u64(s.queue_peak);
+    w.u64(s.timers_peak);
+    w.u64(s.faults);
+    w.u64(s.fault_injections);
+    w.u64(s.terminations);
+    w.u64(s.checkpoints);
+    w.u64(s.restores);
+    w.u64(s.supervised_restarts);
+    w.u64(s.quarantines);
+    w.u64(s.sheds);
+}
+
+obs::ProcessStats read_stats(rt::snap::ByteReader& r) {
+    obs::ProcessStats s;
+    s.reactions = r.u64();
+    for (uint64_t& k : s.reactions_by_kind) k = r.u64();
+    s.wakes = r.u64();
+    s.emits = r.u64();
+    s.timer_fires = r.u64();
+    s.instructions = r.u64();
+    s.max_reaction_instructions = r.u64();
+    s.allocations = r.u64();
+    s.max_emit_depth = static_cast<int>(r.i64());
+    s.wall_ns = r.u64();
+    s.max_reaction_wall_ns = r.u64();
+    s.queue_peak = static_cast<size_t>(r.u64());
+    s.timers_peak = static_cast<size_t>(r.u64());
+    s.faults = r.u64();
+    s.fault_injections = r.u64();
+    s.terminations = r.u64();
+    s.checkpoints = r.u64();
+    s.restores = r.u64();
+    s.supervised_restarts = r.u64();
+    s.quarantines = r.u64();
+    s.sheds = r.u64();
+    return s;
+}
+}  // namespace
+
+std::vector<uint8_t> Instance::save() const {
+    std::vector<uint8_t> out;
+    rt::snap::ByteWriter w(out);
+    w.bytes(reinterpret_cast<const uint8_t*>(kHostMagic), sizeof kHostMagic);
+    w.i64(clock_);
+    // Length-prefixed engine blob so the host layer can add fields after
+    // it without version-coupling to the engine format.
+    std::vector<uint8_t> eng;
+    engine_->save(eng);
+    w.u32(static_cast<uint32_t>(eng.size()));
+    w.bytes(eng.data(), eng.size());
+    w.u64(recorder_.seq());
+    write_stats(w, recorder_.stats());
+    return out;
+}
+
+void Instance::load(const std::vector<uint8_t>& blob) {
+    rt::snap::ByteReader r(blob.data(), blob.size());
+    uint8_t magic[sizeof kHostMagic];
+    for (uint8_t& b : magic) b = r.u8();
+    if (std::memcmp(magic, kHostMagic, sizeof kHostMagic) != 0) {
+        throw rt::snap::SnapshotError("bad magic (not a CEUHST01 instance snapshot)");
+    }
+    Micros clock = r.i64();
+    uint32_t eng_len = r.count(1);
+    if (r.remaining() < eng_len) {
+        throw rt::snap::SnapshotError("truncated engine blob");
+    }
+    const std::ptrdiff_t off = static_cast<std::ptrdiff_t>(blob.size() - r.remaining());
+    std::vector<uint8_t> eng(blob.begin() + off,
+                             blob.begin() + off + static_cast<std::ptrdiff_t>(eng_len));
+    // Skip over the engine bytes in the outer reader, then parse the tail
+    // *before* mutating anything: Engine::load commits atomically, and the
+    // recorder must only be touched if the whole blob validates.
+    for (uint32_t i = 0; i < eng_len; ++i) (void)r.u8();
+    uint64_t rec_seq = r.u64();
+    obs::ProcessStats stats = read_stats(r);
+    if (!r.done()) {
+        throw rt::snap::SnapshotError("trailing bytes after instance state");
+    }
+
+    engine_->load(eng.data(), eng.size());
+    clock_ = clock;
+    recorder_.restore(stats, rec_seq);
 }
 
 // -- observability ------------------------------------------------------------

@@ -107,6 +107,26 @@ class Instance {
     /// Like run(), but catches rt::RuntimeError into a structured
     /// diagnostic — the CLI's error path.
     rt::Engine::Status run(const env::Script& script, Diagnostics& diags);
+    /// run() without the boot: replays `script` against the instance's
+    /// *current* state — the continuation path after load() restored a
+    /// checkpoint mid-script. The remaining items must be exactly the
+    /// suffix the saved run had not yet consumed for traces to line up.
+    rt::Engine::Status resume(const env::Script& script);
+    rt::Engine::Status resume(const env::Script& script, Diagnostics& diags);
+
+    // -- checkpoint / restore -------------------------------------------------
+
+    /// Serializes the instance at a reaction boundary: engine snapshot
+    /// (see Engine::save) + host clock + recorder counters. Collected
+    /// trace lines are *not* part of the blob — a checkpoint captures
+    /// state, and restore determinism is asserted over the trace produced
+    /// *after* the restore point.
+    [[nodiscard]] std::vector<uint8_t> save() const;
+    /// Restores a blob produced by save() into this instance. The compiled
+    /// program must fingerprint-match the saving instance's (same source
+    /// compiled in another process qualifies). Throws rt::snap::
+    /// SnapshotError on mismatch or corruption, leaving state untouched.
+    void load(const std::vector<uint8_t>& blob);
 
     // -- observability --------------------------------------------------------
 
@@ -151,6 +171,7 @@ class Instance {
   private:
     void init(Config& cfg);
     void arm_recorder();
+    rt::Engine::Status replay(const env::Script& script);
 
     std::unique_ptr<flat::CompiledProgram> owned_cp_;  // set by the source ctor
     std::shared_ptr<const flat::CompiledProgram> shared_cp_;  // fleet ctor

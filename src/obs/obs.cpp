@@ -55,6 +55,11 @@ void ProcessStats::merge(const ProcessStats& other) {
     faults += other.faults;
     fault_injections += other.fault_injections;
     terminations += other.terminations;
+    checkpoints += other.checkpoints;
+    restores += other.restores;
+    supervised_restarts += other.supervised_restarts;
+    quarantines += other.quarantines;
+    sheds += other.sheds;
 }
 
 void ProcessStats::clear_measured() {
@@ -68,6 +73,7 @@ std::string ProcessStats::to_json() const {
     std::ostringstream os;
     os << "{";
     os << "\"allocations\":" << allocations;
+    os << ",\"checkpoints\":" << checkpoints;
     os << ",\"emits\":" << emits;
     os << ",\"fault_injections\":" << fault_injections;
     os << ",\"faults\":" << faults;
@@ -75,6 +81,7 @@ std::string ProcessStats::to_json() const {
     os << ",\"max_emit_depth\":" << max_emit_depth;
     os << ",\"max_reaction_instructions\":" << max_reaction_instructions;
     os << ",\"max_reaction_wall_ns\":" << max_reaction_wall_ns;
+    os << ",\"quarantines\":" << quarantines;
     os << ",\"queue_peak\":" << queue_peak;
     os << ",\"reactions\":" << reactions;
     os << ",\"reactions_by_kind\":{\"boot\":" << reactions_by_kind[0]
@@ -84,6 +91,9 @@ std::string ProcessStats::to_json() const {
     char rps[32];
     std::snprintf(rps, sizeof rps, "%.1f", reactions_per_sec());
     os << ",\"reactions_per_sec\":" << rps;
+    os << ",\"restores\":" << restores;
+    os << ",\"sheds\":" << sheds;
+    os << ",\"supervised_restarts\":" << supervised_restarts;
     os << ",\"terminations\":" << terminations;
     os << ",\"timer_fires\":" << timer_fires;
     os << ",\"timers_peak\":" << timers_peak;

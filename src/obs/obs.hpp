@@ -94,6 +94,14 @@ struct ProcessStats {
     uint64_t fault_injections = 0;     // fault-layer events (host-reported)
     uint64_t terminations = 0;
 
+    // Supervision counters (reactor-reported; distinct from raw faults so
+    // fleet stats separate "things went wrong" from "the supervisor acted").
+    uint64_t checkpoints = 0;          // engine snapshots taken
+    uint64_t restores = 0;             // restarts served from a checkpoint
+    uint64_t supervised_restarts = 0;  // supervisor-initiated reboots+restores
+    uint64_t quarantines = 0;          // members benched after repeated faults
+    uint64_t sheds = 0;                // envelopes rejected by inbox backpressure
+
     /// Reactions per wall second spent inside chains (0 if unmeasured).
     [[nodiscard]] double reactions_per_sec() const;
 
@@ -159,6 +167,20 @@ class Recorder {
     [[nodiscard]] const ProcessStats& stats() const { return stats_; }
     /// The last finished span (tests / snapshot debugging).
     [[nodiscard]] const ReactionSpan& last_span() const { return last_; }
+
+    // -- checkpoint / restore -------------------------------------------------
+
+    /// Reaction-span ordinal the next begin() will take. Serialized by the
+    /// instance checkpoint so restored spans continue the saved numbering.
+    [[nodiscard]] uint64_t seq() const { return seq_; }
+    /// Reinstates counters and span numbering captured by a checkpoint. Any
+    /// half-open span is abandoned (checkpoints are only taken between
+    /// reactions, so there is never a legitimate one).
+    void restore(const ProcessStats& stats, uint64_t seq) {
+        stats_ = stats;
+        seq_ = seq;
+        open_ = false;
+    }
 
   private:
     std::vector<Sink*> sinks_;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <stdexcept>
+#include <string>
 
 namespace ceu::reactor {
 
@@ -38,21 +39,43 @@ Reactor::~Reactor() {
         pool_cv_.notify_all();
         for (std::thread& t : threads_) t.join();
     }
+    for (std::atomic<Slot*>& c : chunks_) {
+        delete[] c.load(std::memory_order_relaxed);
+    }
 }
 
 // -- fleet construction -------------------------------------------------------
 
+void Reactor::check_id(InstanceId id) const {
+    if (static_cast<size_t>(id) >= published_.load(std::memory_order_acquire)) {
+        throw std::out_of_range("reactor: unknown instance id");
+    }
+}
+
 InstanceId Reactor::add_slot(std::shared_ptr<const flat::CompiledProgram> cp,
                              host::Config hcfg) {
-    InstanceId id = static_cast<InstanceId>(slots_.size());
+    size_t idx = published_.load(std::memory_order_relaxed);
+    if (idx >= kMaxChunks * kChunkSize) {
+        throw std::length_error("reactor: instance table full");
+    }
+    size_t c = idx >> kChunkShift;
+    Slot* chunk = chunks_[c].load(std::memory_order_relaxed);
+    if (chunk == nullptr) {
+        chunk = new Slot[kChunkSize];
+        chunks_[c].store(chunk, std::memory_order_release);
+    }
+    Slot& sl = chunk[idx & kChunkMask];
     hcfg.collect_trace = cfg_.collect_traces;
-    Slot sl;
     sl.inst = std::make_unique<host::Instance>(std::move(cp), hcfg);
     if (cfg_.observe_stats) sl.inst->observe_stats();
-    slots_.push_back(std::move(sl));
+    sl.policy = cfg_.supervise;
+    InstanceId id = static_cast<InstanceId>(idx);
     Shard& sh = shards_[id % shards_.size()];
     sh.members.push_back(id);
     sh.schedule_dirty = true;
+    // Publish *after* the slot is fully constructed: a concurrent
+    // injector that reads the new size (acquire) sees a complete slot.
+    published_.store(idx + 1, std::memory_order_release);
     return id;
 }
 
@@ -65,6 +88,30 @@ InstanceId Reactor::add_instance(std::shared_ptr<const flat::CompiledProgram> cp
 InstanceId Reactor::add_instance(std::shared_ptr<const flat::CompiledProgram> cp,
                                  host::Config hcfg) {
     return add_slot(std::move(cp), hcfg);
+}
+
+void Reactor::retire(InstanceId id) {
+    check_id(id);
+    slot(id).retired.store(true, std::memory_order_release);
+}
+
+bool Reactor::retired(InstanceId id) const {
+    check_id(id);
+    return slot(id).retired.load(std::memory_order_acquire);
+}
+
+void Reactor::set_policy(InstanceId id, const SupervisorPolicy& policy) {
+    check_id(id);
+    Slot& sl = slot(id);
+    sl.policy = policy;
+    // Cadence re-derives from the next reaction boundary (lazy init in
+    // after_reaction); dropping the old threshold makes that happen.
+    sl.sup.next_checkpoint_at = 0;
+}
+
+const MemberState& Reactor::supervision(InstanceId id) const {
+    check_id(id);
+    return slot(id).sup;
 }
 
 void Reactor::refresh_schedule(Shard& sh, size_t shard_idx) {
@@ -86,8 +133,8 @@ void Reactor::boot() {
 
 void Reactor::boot_shard(Shard& sh) {
     for (InstanceId id : sh.schedule) {
-        Slot& sl = slots_[id];
-        if (sl.booted) continue;
+        Slot& sl = slot(id);
+        if (sl.booted || sl.retired.load(std::memory_order_relaxed)) continue;
         sl.booted = true;
         try {
             sl.inst->advance_to(now_);  // late joiners boot at the fleet instant
@@ -97,15 +144,31 @@ void Reactor::boot_shard(Shard& sh) {
             sl.error = ex.what();
         }
     }
-    sh.work_left = !sh.async_live.empty() ||
+    sh.work_left = !sh.async_live.empty() || shard_has_due_restart(sh) ||
                    (sh.wheel.next_deadline() >= 0 && sh.wheel.next_deadline() <= now_);
 }
 
 // -- inputs -------------------------------------------------------------------
 
-uint64_t Reactor::inject(InstanceId id, EventId event, rt::Value v) {
-    if (id >= slots_.size()) {
-        throw std::out_of_range("reactor: inject into unknown instance id");
+InjectResult Reactor::inject(InstanceId id, EventId event, rt::Value v) {
+    check_id(id);
+    Slot& sl = slot(id);
+    if (sl.retired.load(std::memory_order_acquire)) {
+        return {InjectResult::Status::Retired, 0};
+    }
+    // Reserve an inbox seat before allocating anything: capacity is
+    // enforced at the producer, so a flooded member sheds here instead of
+    // growing its mailbox without bound. The seat is released by the
+    // draining shard, one per envelope.
+    uint32_t prev = sl.inbox_depth.fetch_add(1, std::memory_order_acq_rel);
+    if (cfg_.inbox_capacity > 0 && prev >= cfg_.inbox_capacity) {
+        sl.inbox_depth.fetch_sub(1, std::memory_order_relaxed);
+        sl.sheds.fetch_add(1, std::memory_order_relaxed);
+        // The shed occurrence consumes a ticket: accepted tickets keep
+        // their total order, and the rejected caller learns which ordinal
+        // was dropped.
+        uint64_t t = ticket_.fetch_add(1, std::memory_order_relaxed);
+        return {InjectResult::Status::Shed, t};
     }
     Envelope* e = new Envelope;
     e->instance = id;
@@ -117,19 +180,16 @@ uint64_t Reactor::inject(InstanceId id, EventId event, rt::Value v) {
     uint64_t t = ticket_.fetch_add(1, std::memory_order_relaxed);
     e->ticket = t;
     shards_[id % shards_.size()].mailbox.push(e);
-    return t;
+    return {InjectResult::Status::Accepted, t};
 }
 
-bool Reactor::inject(InstanceId id, const std::string& event, rt::Value v) {
-    if (id >= slots_.size()) {
-        throw std::out_of_range("reactor: inject into unknown instance id");
-    }
+InjectResult Reactor::inject(InstanceId id, const std::string& event, rt::Value v) {
+    check_id(id);
     // resolve_input only reads the instance's immutable compiled program,
     // so the name path stays as thread-safe as the id path.
-    EventId ev = slots_[id].inst->resolve_input(event);
-    if (ev == kNoEvent) return false;
-    inject(id, ev, v);
-    return true;
+    EventId ev = slot(id).inst->resolve_input(event);
+    if (ev == kNoEvent) return {InjectResult::Status::UnknownEvent, 0};
+    return inject(id, ev, v);
 }
 
 void Reactor::advance(Micros delta) {
@@ -163,10 +223,94 @@ size_t Reactor::drain(size_t max_rounds) {
     return rounds;
 }
 
+Micros Reactor::next_restart_due() const {
+    Micros best = -1;
+    for (const Shard& sh : shards_) {
+        for (const RestartDue& d : sh.agenda) {
+            if (best < 0 || d.due < best) best = d.due;
+        }
+    }
+    return best;
+}
+
 void Reactor::sync_clock(Slot& sl) { sl.inst->advance_to(now_); }
+
+// -- supervision --------------------------------------------------------------
+
+void Reactor::on_member_fault(InstanceId id, Slot& sl, Shard& sh) {
+    sl.sup.fault_open = true;
+    uint64_t tick = cfg_.timer_granularity > 0
+                        ? static_cast<uint64_t>(now_ / cfg_.timer_granularity)
+                        : static_cast<uint64_t>(now_);
+    size_t in_window = note_fault_tick(sl.sup, sl.policy, tick);
+    if (sl.policy.quarantine_after > 0 &&
+        in_window >= sl.policy.quarantine_after) {
+        sl.sup.quarantined = true;
+        sl.inst->engine().trace("[supervisor] quarantined after " +
+                                std::to_string(sl.sup.faults) + " faults");
+        return;
+    }
+    if (sl.policy.restart == SupervisorPolicy::Restart::Park) return;
+    Micros delay = backoff_delay_us(sl.policy, cfg_.seed, id, sl.sup.faults,
+                                    cfg_.timer_granularity);
+    sh.agenda.push_back({now_ + delay, id});
+}
+
+void Reactor::restart_member(InstanceId id, Shard& sh) {
+    Slot& sl = slot(id);
+    if (sl.retired.load(std::memory_order_relaxed) || sl.sup.quarantined) return;
+    if (sl.inst->status() != rt::Engine::Status::Faulted) return;
+    host::Instance& inst = *sl.inst;
+    if (sl.policy.restart == SupervisorPolicy::Restart::Restore &&
+        !sl.sup.checkpoint.empty()) {
+        inst.load(sl.sup.checkpoint);
+        ++sl.sup.restores;
+        inst.engine().trace("[supervisor] restored from checkpoint (fault " +
+                            std::to_string(sl.sup.faults) + ")");
+        // Catch the restored clock up to the fleet instant: timers that
+        // came due between the checkpoint and now fire immediately, in
+        // deadline order, exactly as for a late joiner.
+        inst.advance_to(now_);
+    } else {
+        inst.reset();
+        inst.advance_to(now_);  // reboot at the fleet instant, not the epoch
+        inst.engine().trace("[supervisor] rebooted (fault " +
+                            std::to_string(sl.sup.faults) + ")");
+        inst.boot();
+    }
+    ++sl.sup.supervised_restarts;
+    sl.sup.fault_open = false;
+    sl.sup.next_checkpoint_at = 0;  // cadence restarts from the new state
+    sl.indexed_deadline = -1;       // wheel entries from the old life are stale
+    after_reaction(id, sl, sh);
+}
+
+bool Reactor::shard_has_due_restart(const Shard& sh) const {
+    for (const RestartDue& d : sh.agenda) {
+        if (d.due <= now_) return true;
+    }
+    return false;
+}
 
 void Reactor::after_reaction(InstanceId id, Slot& sl, Shard& sh) {
     const rt::Engine& eng = sl.inst->engine();
+    if (eng.status() == rt::Engine::Status::Faulted) {
+        // Parked (or awaiting its scheduled restart): a Faulted engine
+        // ignores go_time/go_event, so keeping its deadline in the wheel
+        // would make the shard re-collect a dead entry every round.
+        if (!sl.sup.fault_open) on_member_fault(id, sl, sh);
+        return;
+    }
+    if (sl.policy.checkpoint_every > 0 &&
+        eng.status() == rt::Engine::Status::Running) {
+        if (sl.sup.next_checkpoint_at == 0) {
+            sl.sup.next_checkpoint_at = eng.reactions() + sl.policy.checkpoint_every;
+        } else if (eng.reactions() >= sl.sup.next_checkpoint_at) {
+            sl.sup.checkpoint = sl.inst->save();
+            ++sl.sup.checkpoints;
+            sl.sup.next_checkpoint_at = eng.reactions() + sl.policy.checkpoint_every;
+        }
+    }
     Micros d = eng.next_timer_deadline();
     if (d >= 0 && d != sl.indexed_deadline) {
         sh.wheel.schedule(id, d);
@@ -180,15 +324,45 @@ void Reactor::after_reaction(InstanceId id, Slot& sl, Shard& sh) {
 }
 
 void Reactor::run_shard_round(Shard& sh) {
+    // Phase 0: supervised restarts whose backoff expired by the fleet
+    // instant, in (due, instance) order — a pure function of the fault
+    // history, independent of worker layout.
+    if (!sh.agenda.empty()) {
+        sh.due_restarts.clear();
+        for (size_t i = 0; i < sh.agenda.size();) {
+            if (sh.agenda[i].due <= now_) {
+                sh.due_restarts.push_back(sh.agenda[i]);
+                sh.agenda[i] = sh.agenda.back();
+                sh.agenda.pop_back();
+            } else {
+                ++i;
+            }
+        }
+        std::sort(sh.due_restarts.begin(), sh.due_restarts.end(),
+                  [](const RestartDue& a, const RestartDue& b) {
+                      return a.due != b.due ? a.due < b.due : a.instance < b.instance;
+                  });
+        for (const RestartDue& d : sh.due_restarts) {
+            try {
+                restart_member(d.instance, sh);
+            } catch (const std::exception& ex) {
+                Slot& sl = slot(d.instance);
+                if (sl.error.empty()) sl.error = ex.what();
+            }
+        }
+    }
+
     // Phase 1: events. One atomic exchange empties the mailbox; tickets
     // restore global injection order; each target is brought to the fleet
     // instant before delivery so due timers fire first, as they would have
-    // under real time.
+    // under real time. Every envelope releases its inbox seat, delivered
+    // or not.
     sh.drained.clear();
     sh.mailbox.drain_into(sh.drained);
     for (Envelope* e : sh.drained) {
-        Slot& sl = slots_[e->instance];
-        if (sl.booted) {
+        Slot& sl = slot(e->instance);
+        sl.inbox_depth.fetch_sub(1, std::memory_order_relaxed);
+        if (sl.booted && !sl.retired.load(std::memory_order_relaxed)) {
             try {
                 sync_clock(sl);
                 sl.inst->inject(static_cast<int>(e->event), e->value);
@@ -206,9 +380,9 @@ void Reactor::run_shard_round(Shard& sh) {
     sh.due.clear();
     sh.wheel.collect_due(now_, sh.due);
     for (const FleetTimerWheel::Due& d : sh.due) {
-        Slot& sl = slots_[d.instance];
+        Slot& sl = slot(d.instance);
         if (sl.indexed_deadline == d.deadline) sl.indexed_deadline = -1;
-        if (!sl.booted) continue;
+        if (!sl.booted || sl.retired.load(std::memory_order_relaxed)) continue;
         try {
             sync_clock(sl);
             after_reaction(d.instance, sl, sh);
@@ -224,8 +398,9 @@ void Reactor::run_shard_round(Shard& sh) {
     sh.async_scratch.clear();
     sh.async_scratch.swap(sh.async_live);
     for (InstanceId id : sh.async_scratch) {
-        Slot& sl = slots_[id];
+        Slot& sl = slot(id);
         sl.async_listed = false;
+        if (sl.retired.load(std::memory_order_relaxed)) continue;
         try {
             for (uint64_t k = 0; k < cfg_.async_slices_per_round; ++k) {
                 if (sl.inst->status() != rt::Engine::Status::Running) break;
@@ -237,7 +412,7 @@ void Reactor::run_shard_round(Shard& sh) {
         }
     }
 
-    sh.work_left = !sh.async_live.empty() ||
+    sh.work_left = !sh.async_live.empty() || shard_has_due_restart(sh) ||
                    (sh.wheel.next_deadline() >= 0 && sh.wheel.next_deadline() <= now_);
 }
 
@@ -292,26 +467,41 @@ void Reactor::worker_main(size_t shard_idx) {
 // -- introspection ------------------------------------------------------------
 
 host::Instance& Reactor::instance(InstanceId id) {
-    if (id >= slots_.size()) throw std::out_of_range("reactor: unknown instance id");
-    return *slots_[id].inst;
+    check_id(id);
+    return *slot(id).inst;
 }
 
 const host::Instance& Reactor::instance(InstanceId id) const {
-    if (id >= slots_.size()) throw std::out_of_range("reactor: unknown instance id");
-    return *slots_[id].inst;
+    check_id(id);
+    return *slot(id).inst;
 }
 
 obs::ProcessStats Reactor::fleet_stats() const {
     obs::ProcessStats total;
-    for (const Slot& sl : slots_) {
-        total.merge(sl.inst->snapshot());
+    size_t n = published_.load(std::memory_order_acquire);
+    for (size_t i = 0; i < n; ++i) {
+        const Slot& sl = slot(static_cast<InstanceId>(i));
+        obs::ProcessStats s = sl.inst->snapshot();
+        // Supervision counters live on the reactor, not the engine; stamp
+        // them onto the member's snapshot so one merge covers both.
+        s.checkpoints += sl.sup.checkpoints;
+        s.restores += sl.sup.restores;
+        s.supervised_restarts += sl.sup.supervised_restarts;
+        s.quarantines += sl.sup.quarantined ? 1 : 0;
+        s.sheds += sl.sheds.load(std::memory_order_relaxed);
+        // Raw faults come from the supervisor's lifetime count, not the
+        // recorder: restoring a checkpoint rewinds the recorder to the
+        // pre-fault timeline, which would erase the fault it recovered
+        // from. The supervisor never forgets one.
+        s.faults = std::max(s.faults, sl.sup.faults);
+        total.merge(s);
     }
     return total;
 }
 
 const std::string& Reactor::error(InstanceId id) const {
-    if (id >= slots_.size()) throw std::out_of_range("reactor: unknown instance id");
-    return slots_[id].error;
+    check_id(id);
+    return slot(id).error;
 }
 
 }  // namespace ceu::reactor

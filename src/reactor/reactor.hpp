@@ -1,16 +1,22 @@
 // ceu::reactor::Reactor — a sharded multi-instance scheduler: one process
 // runs a fleet of host::Instances (100k is the design point) on a small
-// worker pool, deterministically.
+// worker pool, deterministically, and keeps the fleet alive: faulted
+// members are restarted under per-instance supervision policies instead of
+// parking forever.
 //
 // Sharding. Instances are dealt round-robin to `workers` shards (shard =
 // id % workers). Each shard owns its members exclusively: a per-shard run
 // queue (the drained mailbox batch), a per-shard FleetTimerWheel indexing
-// its members' earliest deadlines, and a per-shard async-live list. Workers
-// never touch another shard's instances, so rounds need no locking beyond
-// the start/finish barrier.
+// its members' earliest deadlines, a per-shard async-live list, and a
+// per-shard restart agenda. Workers never touch another shard's instances,
+// so rounds need no locking beyond the start/finish barrier.
 //
 // Rounds. All scheduling happens in discrete *rounds* (run_round), each of
-// which runs the same three phases on every shard:
+// which runs the same four phases on every shard:
+//   0. restarts — supervised restarts whose backoff expired by the fleet
+//                instant execute, sorted by (due, instance): restore the
+//                latest checkpoint or reboot from scratch per the member's
+//                SupervisorPolicy;
 //   1. events  — drain the shard mailbox (one atomic exchange), sort by
 //                global injection ticket, and deliver each envelope after
 //                lazily syncing the target's clock to the fleet instant
@@ -26,23 +32,33 @@
 // input sequence (instances are independent; the engine is sequential).
 // The reactor preserves each instance's injection order exactly — tickets
 // are a global atomic sequence and every drained batch is replayed in
-// ticket order — and delivers timer/async work at fleet instants that do
-// not depend on shard layout. Hence per-instance traces and the aggregated
-// fleet stats (ProcessStats::merge is commutative) are byte-identical at
-// any worker count; the determinism suite asserts this at 1/2/8 workers.
-// The seeded shuffle fixes the intra-round visit order *per seed*, so a
-// given (seed, fleet, inputs) triple replays identically run-to-run too.
+// ticket order — and delivers timer/async/restart work at fleet instants
+// that do not depend on shard layout. Supervision decisions (backoff,
+// jitter, quarantine) hash (seed, id, fault ordinal), never thread timing.
+// Hence per-instance traces and the aggregated fleet stats
+// (ProcessStats::merge is commutative) are byte-identical at any worker
+// count; the determinism suites assert this at 1/2/8 workers. The seeded
+// shuffle fixes the intra-round visit order *per seed*, so a given
+// (seed, fleet, inputs) triple replays identically run-to-run too.
 //
-// Threading contract. Once the fleet is built, inject() is safe from any
-// thread, including mid-round (lock-free mailbox push; it otherwise only
-// reads the instance table and each target's immutable compiled program).
-// It must NOT overlap add_instance(), which grows that table: start
-// injector threads after the last add_instance, or quiesce them around
-// construction. Everything else — add_instance, boot, advance, run_round,
-// drain, instance(), fleet_stats — must be called from the one control
-// thread, between rounds.
+// Backpressure. ReactorConfig::inbox_capacity bounds each instance's
+// in-flight envelope count. An inject() over the cap is *shed*: the
+// envelope is dropped deterministically at the producer (never silently
+// queued), the verdict and consumed ticket are returned in InjectResult,
+// and the shed is counted in fleet_stats(). 0 = unbounded (historical
+// behavior).
+//
+// Threading contract. inject() is safe from any thread, including
+// mid-round, and — new in the supervision PR — concurrently with
+// add_instance()/retire(): the instance table is a chunked, pointer-stable
+// structure whose size is published with release/acquire ordering, so a
+// concurrent injector either sees a fully constructed slot or an
+// out-of-range id. add_instance/retire themselves, and everything else —
+// boot, advance, run_round, drain, instance(), set_policy, fleet_stats —
+// must still be called from the one control thread, between rounds.
 #pragma once
 
+#include <array>
 #include <atomic>
 #include <condition_variable>
 #include <cstdint>
@@ -55,6 +71,7 @@
 #include "host/instance.hpp"
 #include "reactor/fleet_wheel.hpp"
 #include "reactor/mailbox.hpp"
+#include "reactor/supervise.hpp"
 
 namespace ceu::reactor {
 
@@ -64,9 +81,11 @@ struct ReactorConfig {
     /// determinism suite compares against.
     size_t workers = 1;
     /// Seeds the per-shard round schedule (the order members are visited
-    /// for boot and async slices). Same seed => same schedule, always.
+    /// for boot and async slices) and the supervision backoff jitter.
+    /// Same seed => same schedule and same restart instants, always.
     uint64_t seed = 0;
-    /// Level-0 tick width of the per-shard fleet timer wheels.
+    /// Level-0 tick width of the per-shard fleet timer wheels; also the
+    /// unit supervision backoff is measured in.
     Micros timer_granularity = 1024;
     /// Forwarded to every instance's host::Config. Fleets default traces
     /// off (100k instances of trace text is not a thing you want).
@@ -76,6 +95,14 @@ struct ReactorConfig {
     bool observe_stats = true;
     /// Async slices granted per async-live instance per round.
     uint64_t async_slices_per_round = 32;
+    /// Per-instance inbox cap: an inject() that would push the in-flight
+    /// envelope count past this is shed (InjectResult::Status::Shed).
+    /// 0 = unbounded.
+    uint32_t inbox_capacity = 0;
+    /// Default supervision policy for members added without set_policy().
+    /// The default default is Park — identical to the pre-supervision
+    /// reactor.
+    SupervisorPolicy supervise;
     /// Engine options for instances added without an explicit host config.
     /// trap_faults defaults on: a fleet must contain a member's dynamic
     /// error (the engine parks Faulted), not unwind a worker thread.
@@ -86,6 +113,23 @@ struct ReactorConfig {
     }();
 };
 
+/// Verdict of one inject() call. `ticket` is the global injection ordinal
+/// and is meaningful for Accepted (the envelope will deliver in ticket
+/// order) and Shed (the ticket was consumed by the rejected occurrence, so
+/// accepted tickets stay totally ordered); it is 0 for the other verdicts.
+struct InjectResult {
+    enum class Status : uint8_t {
+        Accepted,      ///< queued; will deliver next round in ticket order
+        Shed,          ///< inbox over capacity: dropped at the producer
+        Retired,       ///< target was retire()d; no longer accepts input
+        UnknownEvent,  ///< name variant only: not an input of the program
+    };
+    Status status = Status::Accepted;
+    uint64_t ticket = 0;
+
+    [[nodiscard]] bool accepted() const { return status == Status::Accepted; }
+};
+
 class Reactor {
   public:
     explicit Reactor(ReactorConfig cfg = ReactorConfig());
@@ -93,11 +137,12 @@ class Reactor {
     Reactor(const Reactor&) = delete;
     Reactor& operator=(const Reactor&) = delete;
 
-    // -- fleet construction (control thread, before/between rounds) ----------
+    // -- fleet construction (control thread; injectors may stay live) --------
 
     /// Adds one instance of the shared program; returns its fleet id.
     /// The compiled program is co-owned, never copied: fleet memory scales
-    /// with per-instance *state*, not code.
+    /// with per-instance *state*, not code. Safe while other threads
+    /// inject(): the new slot is published to them atomically.
     InstanceId add_instance(std::shared_ptr<const flat::CompiledProgram> cp);
     /// Same, with an explicit per-instance host config (extra bindings,
     /// engine knobs). cfg.collect_trace is still forced by the reactor's
@@ -109,43 +154,72 @@ class Reactor {
     /// Callable again after adding more instances: only new ones boot.
     void boot();
 
+    /// Marks `id` retired: subsequent inject() calls return Retired,
+    /// already-queued envelopes are dropped at delivery, and the member is
+    /// skipped by every scheduling phase. The instance object (and its
+    /// stats, which fleet_stats keeps merging) stays alive. Control
+    /// thread, between rounds; safe while injector threads run.
+    void retire(InstanceId id);
+    [[nodiscard]] bool retired(InstanceId id) const;
+
+    /// Overrides the supervision policy for one member (control thread,
+    /// between rounds). Checkpoint cadence changes take effect from the
+    /// member's next reaction.
+    void set_policy(InstanceId id, const SupervisorPolicy& policy);
+    /// Supervision bookkeeping for one member (fault/restart/checkpoint
+    /// counters, quarantine flag) — test and dashboard introspection.
+    [[nodiscard]] const MemberState& supervision(InstanceId id) const;
+
     // -- inputs (inject: any thread; advance: control thread) ----------------
 
     /// Queues one occurrence of input `event` for `id`. Lock-free; safe
-    /// from any thread, including mid-round, but not concurrently with
-    /// add_instance (see the threading contract above). Delivery happens
-    /// in the next round, in global injection-ticket order. Returns the
-    /// ticket.
-    uint64_t inject(InstanceId id, EventId event,
-                    rt::Value v = rt::Value::integer(0));
+    /// from any thread, including mid-round and concurrently with
+    /// add_instance/retire. Delivery happens in the next round, in global
+    /// injection-ticket order. Backpressure: over-capacity occurrences are
+    /// shed here, not queued (see InjectResult). Unknown ids still throw:
+    /// that is API misuse, not load.
+    InjectResult inject(InstanceId id, EventId event,
+                        rt::Value v = rt::Value::integer(0));
     /// Name-resolving variant (resolves against the instance's program —
-    /// O(1) interned lookup). Returns false if `event` is not an input.
-    bool inject(InstanceId id, const std::string& event,
-                rt::Value v = rt::Value::integer(0));
+    /// O(1) interned lookup). Returns UnknownEvent if `event` is not an
+    /// input of the program.
+    InjectResult inject(InstanceId id, const std::string& event,
+                        rt::Value v = rt::Value::integer(0));
 
     /// Advances the fleet clock by `delta` and runs one round (so due
-    /// timers fire fleet-wide).
+    /// timers fire and due restarts execute fleet-wide).
     void advance(Micros delta);
 
     /// Runs one scheduling round at the current fleet instant.
     void run_round();
 
-    /// Rounds until quiescent: mailboxes empty, no timer due at the
-    /// current instant, no async work. Returns rounds run. `max_rounds`
-    /// bounds runaway async programs.
+    /// Rounds until quiescent: mailboxes empty, no timer or restart due at
+    /// the current instant, no async work. Returns rounds run. Restarts
+    /// whose backoff lies in the future do NOT hold drain() open — advance
+    /// the clock (see next_restart_due) to reach them. `max_rounds` bounds
+    /// runaway async programs.
     size_t drain(size_t max_rounds = 1'000'000);
 
     // -- introspection (control thread) --------------------------------------
 
     [[nodiscard]] host::Instance& instance(InstanceId id);
     [[nodiscard]] const host::Instance& instance(InstanceId id) const;
-    [[nodiscard]] size_t size() const { return slots_.size(); }
+    [[nodiscard]] size_t size() const {
+        return published_.load(std::memory_order_acquire);
+    }
     [[nodiscard]] size_t workers() const { return shards_.size(); }
     [[nodiscard]] Micros now() const { return now_; }
 
-    /// Fleet-level counters: every instance's snapshot merged in id order.
-    /// Deterministic (after ProcessStats::clear_measured) for a given
-    /// (seed, fleet, inputs), independent of worker count.
+    /// Earliest pending supervised-restart instant across all shards, or
+    /// -1 when none is scheduled. Tests and drivers advance() past it to
+    /// let backoffs expire deterministically.
+    [[nodiscard]] Micros next_restart_due() const;
+
+    /// Fleet-level counters: every instance's snapshot — stamped with its
+    /// supervision counters (checkpoints, restores, supervised restarts,
+    /// quarantines, sheds) — merged in id order. Deterministic (after
+    /// ProcessStats::clear_measured) for a given (seed, fleet, inputs),
+    /// independent of worker count.
     [[nodiscard]] obs::ProcessStats fleet_stats() const;
 
     /// Last escaped error for `id` (empty if none). Only reachable when an
@@ -162,6 +236,15 @@ class Reactor {
         bool async_listed = false;     // member of its shard's async_live
         bool booted = false;
         std::string error;             // first escaped rt::RuntimeError
+
+        // Supervision (owned by the member's shard / control thread).
+        SupervisorPolicy policy;
+        MemberState sup;
+
+        // Any-thread state: producers race these against the owning shard.
+        std::atomic<uint32_t> inbox_depth{0};
+        std::atomic<bool> retired{false};
+        std::atomic<uint64_t> sheds{0};
     };
 
     struct Shard {
@@ -174,10 +257,31 @@ class Reactor {
         std::vector<FleetTimerWheel::Due> due;
         std::vector<InstanceId> async_live;
         std::vector<InstanceId> async_scratch;
+        std::vector<RestartDue> agenda;       // pending supervised restarts
+        std::vector<RestartDue> due_restarts; // round scratch
         bool work_left = false;               // set by the last round
     };
 
     enum class Cmd : uint8_t { Round, Boot, Exit };
+
+    // Pointer-stable instance table: a fixed array of lazily allocated
+    // chunks. Slots never move (atomics and worker-owned state live in
+    // them), and a slot is visible to injector threads only after
+    // `published_` covers it (release store after full construction).
+    static constexpr size_t kChunkShift = 12;
+    static constexpr size_t kChunkSize = size_t{1} << kChunkShift;  // 4096
+    static constexpr size_t kChunkMask = kChunkSize - 1;
+    static constexpr size_t kMaxChunks = 4096;  // ~16.7M instances
+
+    [[nodiscard]] Slot& slot(InstanceId id) {
+        return chunks_[id >> kChunkShift].load(std::memory_order_relaxed)
+            [id & kChunkMask];
+    }
+    [[nodiscard]] const Slot& slot(InstanceId id) const {
+        return chunks_[id >> kChunkShift].load(std::memory_order_relaxed)
+            [id & kChunkMask];
+    }
+    void check_id(InstanceId id) const;
 
     InstanceId add_slot(std::shared_ptr<const flat::CompiledProgram> cp,
                         host::Config hcfg);
@@ -189,12 +293,20 @@ class Reactor {
     /// Brings `id` to the fleet instant (due timers fire) — the lazy
     /// clock sync in front of every delivery.
     void sync_clock(Slot& sl);
-    /// Post-reaction bookkeeping: re-index the engine's next deadline in
-    /// the shard wheel, (re-)list the instance for async slices.
+    /// Post-reaction bookkeeping: detect fresh faults (and schedule their
+    /// supervised restart), take due checkpoints, re-index the engine's
+    /// next deadline in the shard wheel, (re-)list for async slices.
     void after_reaction(InstanceId id, Slot& sl, Shard& sh);
+    /// A fresh Faulted transition: quarantine or enqueue a restart per the
+    /// member's policy.
+    void on_member_fault(InstanceId id, Slot& sl, Shard& sh);
+    /// Executes one due restart (phase 0): restore or reboot.
+    void restart_member(InstanceId id, Shard& sh);
+    [[nodiscard]] bool shard_has_due_restart(const Shard& sh) const;
 
     ReactorConfig cfg_;
-    std::vector<Slot> slots_;
+    std::array<std::atomic<Slot*>, kMaxChunks> chunks_{};
+    std::atomic<size_t> published_{0};
     std::vector<Shard> shards_;
     Micros now_ = 0;
     std::atomic<uint64_t> ticket_{0};

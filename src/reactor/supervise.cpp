@@ -1,0 +1,57 @@
+#include "reactor/supervise.hpp"
+
+#include <algorithm>
+
+namespace ceu::reactor {
+
+namespace {
+uint64_t splitmix64_once(uint64_t x) {
+    x += 0x9e3779b97f4a7c15ULL;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+    return x ^ (x >> 31);
+}
+}  // namespace
+
+Micros backoff_delay_us(const SupervisorPolicy& p, uint64_t seed, InstanceId id,
+                        uint64_t fault_ordinal, Micros tick_us) {
+    uint64_t ticks = p.backoff_initial_ticks;
+    // Exponential, saturating: shifting past the clamp (or past 63 bits)
+    // pins the delay at backoff_max_ticks instead of wrapping.
+    if (fault_ordinal > 1) {
+        uint64_t doublings = fault_ordinal - 1;
+        if (doublings >= 63 || (ticks << doublings) >> doublings != ticks) {
+            ticks = p.backoff_max_ticks;
+        } else {
+            ticks <<= doublings;
+        }
+    }
+    ticks = std::min(ticks, p.backoff_max_ticks);
+    Micros delay = static_cast<Micros>(ticks) * tick_us;
+    if (p.backoff_jitter_permille > 0 && delay > 0) {
+        // Hash (seed, id, ordinal) — not thread timing — so the jitter is
+        // identical for any worker count and reproducible per seed.
+        uint64_t h = splitmix64_once(seed ^ (0x517cc1b727220a95ULL * (id + 1)) ^
+                                     (0x2545f4914f6cdd1dULL * fault_ordinal));
+        uint64_t permille = p.backoff_jitter_permille;
+        // Map the hash to [-permille, +permille] around the base delay.
+        int64_t offset = static_cast<int64_t>(h % (2 * permille + 1)) -
+                         static_cast<int64_t>(permille);
+        delay += delay * offset / 1000;
+        if (delay < 1) delay = 1;
+    }
+    return delay;
+}
+
+size_t note_fault_tick(MemberState& m, const SupervisorPolicy& p, uint64_t tick) {
+    ++m.faults;
+    std::vector<uint64_t>& w = m.recent_fault_ticks;
+    if (p.fault_window_ticks > 0) {
+        uint64_t floor = tick >= p.fault_window_ticks ? tick - p.fault_window_ticks : 0;
+        std::erase_if(w, [floor](uint64_t t) { return t < floor; });
+    }
+    w.push_back(tick);
+    return w.size();
+}
+
+}  // namespace ceu::reactor

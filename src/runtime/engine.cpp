@@ -145,6 +145,7 @@ void Engine::reset() {
     asyncs_.clear();
     async_rr_ = 0;
     data_.assign(data_.size(), Value::integer(0));
+    snapshot_strings_.clear();  // no Value can reference the pool anymore
     result_ = Value::integer(0);
     fault_.reset();
     logical_now_ = now_;  // wall-clock persists: reboots don't rewind time

@@ -162,6 +162,34 @@ class Engine {
     /// `now()` — a late `go_time` batch serves several logical instants.
     [[nodiscard]] Micros logical_now() const { return logical_now_; }
 
+    // -- checkpoint / restore (snapshot.cpp) ----------------------------------
+
+    /// Serializes the complete dynamic state — status, data slots, gate
+    /// flags, track queue, emit stack, armed timers (with their expiry
+    /// sequence), asyncs, clocks and lifetime counters — as a versioned
+    /// little-endian blob appended to `out`. Only callable between
+    /// reactions (a mid-reaction engine has live C stack frames no byte
+    /// format can capture). Str values are serialized by content; Ptr
+    /// values into the engine's own slot vector are rebased to offsets
+    /// (restorable anywhere), while pointers into host memory are kept
+    /// verbatim and only survive a same-process restore.
+    void save(std::vector<uint8_t>& out) const;
+
+    /// Restores state previously captured by save(). The engine must have
+    /// been constructed over a structurally identical program (validated
+    /// via program_fingerprint()) with the same scheduling options; after
+    /// a successful load the engine behaves byte-identically to the one
+    /// that was saved. Throws snap::SnapshotError on any mismatch,
+    /// truncation or corruption, leaving the engine untouched.
+    void load(const uint8_t* data, size_t size);
+    void load(const std::vector<uint8_t>& blob) { load(blob.data(), blob.size()); }
+
+    /// FNV-1a hash of the flat code structure (instructions, gates, slot
+    /// layout, event vocabularies). Two programs with equal fingerprints
+    /// execute identically for snapshot purposes even when compiled in
+    /// different processes — the cross-process restore contract.
+    [[nodiscard]] uint64_t program_fingerprint() const;
+
     // -- introspection (tests, benches) ---------------------------------------
 
     [[nodiscard]] int active_gate_count() const;
@@ -269,6 +297,12 @@ class Engine {
     TimerWheel timers_;
     std::vector<AsyncCtx> asyncs_;
     size_t async_rr_ = 0;
+
+    /// Backing store for Str values rehydrated from a snapshot: the source
+    /// blob serializes strings by content, and restored Values point here
+    /// (AST literal pointers don't survive across processes). A deque so
+    /// c_str() stays stable as later strings arrive. Cleared on reset().
+    std::deque<std::string> snapshot_strings_;
 
     // Pooled hot-path scratch: gate snapshots taken while firing events /
     // timers. Reused across reactions so steady-state delivery allocates

@@ -16,6 +16,16 @@ class TimerWheel {
   public:
     using GateId = int;
 
+    /// One armed timer. Public so the engine snapshot can serialize the
+    /// wheel verbatim: `seq` is part of the expiry order contract (entries
+    /// sharing a deadline fire in arming order), so a restored wheel must
+    /// reproduce both the entries and the next sequence number.
+    struct Entry {
+        GateId gate;
+        Micros deadline;
+        uint64_t seq;
+    };
+
     void arm(GateId gate, Micros deadline) {
         entries_.push_back({gate, deadline, seq_++});
     }
@@ -45,12 +55,20 @@ class TimerWheel {
 
     void clear() { entries_.clear(); }
 
+    // -- checkpoint / restore -------------------------------------------------
+
+    /// Armed entries in arming order (snapshot serialization).
+    [[nodiscard]] const std::vector<Entry>& entries() const { return entries_; }
+    /// Sequence number the next arm() will take.
+    [[nodiscard]] uint64_t next_seq() const { return seq_; }
+    /// Reinstates a saved wheel: entries verbatim, next arm() continues at
+    /// `next_seq`. The caller (Engine::load) validates gate ranges.
+    void restore(std::vector<Entry> entries, uint64_t next_seq) {
+        entries_ = std::move(entries);
+        seq_ = next_seq;
+    }
+
   private:
-    struct Entry {
-        GateId gate;
-        Micros deadline;
-        uint64_t seq;
-    };
     std::vector<Entry> entries_;
     uint64_t seq_ = 0;
 };

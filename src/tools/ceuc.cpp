@@ -28,6 +28,12 @@
 //                                 CEU_TRACE=FILE.
 //   --stats=FILE                  write a ProcessStats JSON snapshot after
 //                                 the run ("-" = stderr)
+//   --checkpoint=FILE             after the script drains, serialize the
+//                                 full engine + host state to FILE
+//                                 (versioned binary, see docs/EMBEDDING.md)
+//   --restore=FILE                load FILE (taken from the same program)
+//                                 instead of booting, then run the script
+//                                 as a continuation
 //
 // Analysis options (dotted keys; the historical --analysis-jobs,
 // --max-states, --strict and --fail-fast spellings stay as aliases):
@@ -46,9 +52,11 @@
 //
 // Every subcommand honors --diag-format=text|json (JSON: one object per
 // diagnostic on stdout, for CI gating) and the exit-code contract:
-//   0  success
+//   0  success (--run: the program terminated or is still awaiting; the
+//      program's own result value is reported on stderr, not as the exit
+//      code — scripts that need it should parse the stats snapshot)
 //   1  diagnostics reported (compile error, refusal, divergence, runtime
-//      error) — except --run, whose exit code is the program's result
+//      error, engine fault)
 //   2  command-line usage error
 //
 // Input script protocol (one item per line, matching the C harness; see
@@ -90,7 +98,8 @@ int usage() {
         "            [--analysis.strict] [--analysis.fail-fast]\n"
         "            [--diag-format=text|json] [--lint-only=IDs] "
         "[--lint-disable=IDs]\n"
-        "            [--trace=FILE] [--stats=FILE] <file.ceu>\n"
+        "            [--trace=FILE] [--stats=FILE] [--checkpoint=FILE]\n"
+        "            [--restore=FILE] <file.ceu>\n"
         "       ceuc --gen-fuzz N [--seed S] [--fuzz.out DIR] [--fuzz.cc CMD]\n"
         "            [--fuzz.no-cgen] [--fuzz.no-shrink] [--analysis.max-states N]\n"
         "       ceuc --gen-dump [--seed S]\n");
@@ -177,7 +186,22 @@ void print_diags(const Diagnostics& diags, const std::string& pass,
 struct RunOptions {
     std::string trace_path;  // --trace=FILE: Chrome trace_event JSON
     std::string stats_path;  // --stats=FILE: ProcessStats snapshot ("-" = stderr)
+    std::string checkpoint_path;  // --checkpoint=FILE: snapshot after the run
+    std::string restore_path;     // --restore=FILE: resume from a snapshot
 };
+
+/// Engine faults carry a source location; report them in the same JSON
+/// shape as every other diagnostic so CI can gate on `"pass":"fault"`.
+std::string fault_json(const rt::Engine::FaultInfo& f, const std::string& file) {
+    std::ostringstream os;
+    os << "{\"pass\":\"fault\",\"severity\":\"error\",\"file\":";
+    json_escape(os, file);
+    os << ",\"line\":" << f.loc.line << ",\"col\":" << f.loc.col
+       << ",\"at_reaction\":" << f.at_reaction << ",\"message\":";
+    json_escape(os, f.message);
+    os << "}";
+    return os.str();
+}
 
 int run_program(const flat::CompiledProgram& cp, const std::string& path,
                 const RunOptions& ropt, bool json) {
@@ -203,7 +227,12 @@ int run_program(const flat::CompiledProgram& cp, const std::string& path,
                      "single engine, not a network)\n");
     }
 
-    host::Instance inst(cp);
+    // Trap dynamic errors: the engine parks Faulted with a structured
+    // FaultInfo (location + reaction ordinal) instead of unwinding, which
+    // is what the exit contract and --diag-format=json report from.
+    host::Config hcfg;
+    hcfg.engine.trap_faults = true;
+    host::Instance inst(cp, hcfg);
     inst.on_trace_line = [](const std::string& line) {
         std::printf("%s\n", line.c_str());
     };
@@ -211,10 +240,37 @@ int run_program(const flat::CompiledProgram& cp, const std::string& path,
     if (!ropt.trace_path.empty()) inst.add_sink(&trace_sink);
     if (!ropt.stats_path.empty()) inst.observe_stats();
 
+    if (!ropt.restore_path.empty()) {
+        std::ifstream f(ropt.restore_path, std::ios::binary);
+        if (!f) {
+            std::fprintf(stderr, "ceuc: cannot read %s\n", ropt.restore_path.c_str());
+            return 1;
+        }
+        std::ostringstream os;
+        os << f.rdbuf();
+        const std::string& raw = os.str();
+        std::vector<uint8_t> blob(raw.begin(), raw.end());
+        inst.load(blob);  // throws on version/program mismatch -> caught in main
+    }
+
     // Dynamic errors come back as structured diagnostics with a source
     // location instead of an unwound exception string.
-    rt::Engine::Status status = inst.run(script, diags);
+    rt::Engine::Status status = ropt.restore_path.empty()
+                                    ? inst.run(script, diags)
+                                    : inst.resume(script, diags);
     inst.finish_observation();
+
+    if (!ropt.checkpoint_path.empty()) {
+        std::vector<uint8_t> blob = inst.save();
+        std::ofstream f(ropt.checkpoint_path, std::ios::binary);
+        if (!f) {
+            std::fprintf(stderr, "ceuc: cannot write %s\n",
+                         ropt.checkpoint_path.c_str());
+            return 1;
+        }
+        f.write(reinterpret_cast<const char*>(blob.data()),
+                static_cast<std::streamsize>(blob.size()));
+    }
 
     if (!ropt.trace_path.empty()) {
         std::ofstream f(ropt.trace_path, std::ios::binary);
@@ -245,14 +301,20 @@ int run_program(const flat::CompiledProgram& cp, const std::string& path,
     }
     if (status == rt::Engine::Status::Faulted) {
         const auto& f = inst.engine().fault();
+        if (json && f) {
+            std::printf("%s\n", fault_json(*f, path).c_str());
+        }
         std::fprintf(stderr, "engine faulted: %s\n",
                      f ? f->message.c_str() : "(unknown)");
         return 1;
     }
     if (status == rt::Engine::Status::Terminated) {
+        // Exit-code contract: 0 means "ran cleanly", independent of the
+        // program's own result value (which is reported here instead —
+        // the historical `exit(result)` aliased result 1 with "faulted").
         std::fprintf(stderr, "program terminated with %lld\n",
                      static_cast<long long>(inst.result().as_int()));
-        return static_cast<int>(inst.result().as_int());
+        return 0;
     }
     std::fprintf(stderr, "program still awaiting (%d trails)\n",
                  inst.engine().active_gate_count());
@@ -344,6 +406,13 @@ int main(int argc, char** argv) {
         } else if (a.rfind("--stats", 0) == 0 && value_of(a, "--stats", i, &v)) {
             if (v.empty()) return usage();
             ropt.stats_path = v;
+        } else if (a.rfind("--checkpoint", 0) == 0 &&
+                   value_of(a, "--checkpoint", i, &v)) {
+            if (v.empty()) return usage();
+            ropt.checkpoint_path = v;
+        } else if (a.rfind("--restore", 0) == 0 && value_of(a, "--restore", i, &v)) {
+            if (v.empty()) return usage();
+            ropt.restore_path = v;
         } else if (a.rfind("--lint-only", 0) == 0 && value_of(a, "--lint-only", i, &v)) {
             lopt.only = split_ids(v);
         } else if (a.rfind("--lint-disable", 0) == 0 &&

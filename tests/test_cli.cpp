@@ -99,5 +99,59 @@ TEST(Cli, CompileErrorsGoToStderrWithNonZeroExit) {
     EXPECT_TRUE(r.out.empty());
 }
 
+// -- the --run exit contract: 0 ran clean / 1 faulted / 2 usage ---------------
+
+TEST(Cli, RunExitsZeroWhateverTheProgramReturns) {
+    // Historically --run exited with the program's result, which aliased
+    // `return 1` with "engine faulted". The result goes to stderr now.
+    CliResult r = run_cli("--run", "input void GO; await GO; return 7;", "E GO\n");
+    EXPECT_EQ(r.exit_code, 0);
+    r = run_cli("--run", "input void GO; await GO; return 1;", "E GO\n");
+    EXPECT_EQ(r.exit_code, 0);
+}
+
+TEST(Cli, RunExitsOneOnAFault) {
+    CliResult r = run_cli("--run", "input int Tick; int v = await Tick; v = 1 / v;",
+                          "E Tick 0\n");
+    EXPECT_EQ(r.exit_code, 1);
+}
+
+TEST(Cli, FaultsAreStructuredUnderJsonDiagFormat) {
+    CliResult r = run_cli("--run --diag-format=json",
+                          "input int Tick; int v = await Tick; v = 1 / v;",
+                          "E Tick 0\n");
+    EXPECT_EQ(r.exit_code, 1);
+    EXPECT_NE(r.out.find("\"pass\":\"fault\""), std::string::npos) << r.out;
+    EXPECT_NE(r.out.find("\"severity\":\"error\""), std::string::npos);
+    EXPECT_NE(r.out.find("\"at_reaction\":"), std::string::npos);
+    EXPECT_NE(r.out.find("\"line\":"), std::string::npos);
+}
+
+TEST(Cli, UsageErrorsExitTwo) {
+    EXPECT_EQ(run_cli("--no-such-flag", kCounter).exit_code, 2);
+    EXPECT_EQ(run_cli("--checkpoint=", kCounter).exit_code, 2);
+}
+
+TEST(Cli, CheckpointRestoreRoundTripsAcrossProcesses) {
+    std::string snap = ::testing::TempDir() + "ceuc_snap_" +
+                       std::to_string(getpid()) + ".ceusnap";
+    // First process: two seconds in, checkpoint and exit.
+    CliResult a = run_cli("--run --checkpoint=" + snap, kCounter,
+                          "T 1s\nE Restart 5\nQ\n");
+    EXPECT_EQ(a.exit_code, 0);
+    EXPECT_EQ(a.out, "v = 1\nv = 5\n");
+    // Second process: restore and play the remaining script. Output is
+    // exactly the suffix the uninterrupted RunExecutesAScript run printed
+    // after this point.
+    CliResult b = run_cli("--run --restore=" + snap, kCounter, "T 1s\nQ\n");
+    EXPECT_EQ(b.exit_code, 0);
+    EXPECT_EQ(b.out, "v = 6\n");
+    // Restoring into a different program is refused, not misexecuted.
+    CliResult c = run_cli("--run --restore=" + snap,
+                          "input void GO; await GO; return 0;", "Q\n");
+    EXPECT_EQ(c.exit_code, 1);
+    std::remove(snap.c_str());
+}
+
 }  // namespace
 }  // namespace ceu

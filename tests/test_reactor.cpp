@@ -200,11 +200,12 @@ TEST(Reactor, SingleInstanceRunsToTermination) {
     auto cp = compile_shared(kCounter);
     reactor::InstanceId id = r.add_instance(cp);
     r.boot();
-    EXPECT_TRUE(r.inject(id, "ADD", rt::Value::integer(4)));
-    EXPECT_TRUE(r.inject(id, "ADD", rt::Value::integer(2)));
-    EXPECT_FALSE(r.inject(id, "NOT_AN_INPUT"));
+    EXPECT_TRUE(r.inject(id, "ADD", rt::Value::integer(4)).accepted());
+    EXPECT_TRUE(r.inject(id, "ADD", rt::Value::integer(2)).accepted());
+    EXPECT_EQ(r.inject(id, "NOT_AN_INPUT").status,
+              reactor::InjectResult::Status::UnknownEvent);
     r.run_round();
-    EXPECT_TRUE(r.inject(id, "STOP"));
+    EXPECT_TRUE(r.inject(id, "STOP").accepted());
     r.run_round();
     r.drain();
     EXPECT_EQ(r.instance(id).status(), rt::Engine::Status::Terminated);
