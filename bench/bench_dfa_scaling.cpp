@@ -12,15 +12,20 @@
 // Sweep 3 measures the parallel explorer (analysis::explore) against the
 // serial one on a wide-frontier program, verifying order-normalized
 // equivalence while timing each --analysis-jobs setting.
+// Sweep 4 measures the modular partition-and-compose analysis with its
+// persistent cache: composed (sum) vs monolithic (product) state counts,
+// and cold-vs-warm wall time (a warm cache re-explores nothing).
 #include <chrono>
 #include <cstdio>
 #include <cstring>
+#include <filesystem>
 #include <fstream>
 #include <sstream>
 #include <string>
 #include <thread>
 
 #include "analysis/explore.hpp"
+#include "analysis/modular.hpp"
 #include "demos/demos.hpp"
 #include "dfa/dfa.hpp"
 
@@ -180,11 +185,65 @@ int main(int argc, char** argv) {
         }
         js << "]";
     }
+    std::printf("\nsweep 4: modular composition + persistent cache on the "
+                "wide-frontier family\n");
+    std::printf("%4s %12s %12s %10s %10s %9s %9s\n", "k", "monolithic",
+                "composed", "cold", "warm", "hit rate", "verdict");
+    js << ",\"modular\":[";
+    for (int k : {3, 4, 5, 6}) {
+        flat::CompiledProgram cp = flat::compile(wide_program(k));
+        dfa::DfaOptions mono_opt;
+        mono_opt.max_states = 200000;
+        auto m0 = std::chrono::steady_clock::now();
+        dfa::Dfa mono = dfa::Dfa::build(cp, mono_opt);
+        auto m1 = std::chrono::steady_clock::now();
+        double mono_ms = std::chrono::duration<double, std::milli>(m1 - m0).count();
+
+        std::string dir = std::filesystem::temp_directory_path() /
+                          ("ceu_bench_modular_" + std::to_string(k));
+        std::filesystem::remove_all(dir);
+        analysis::ModularOptions mopt;
+        mopt.explore.max_states = 200000;
+        mopt.cache_dir = dir;
+        auto c0 = std::chrono::steady_clock::now();
+        analysis::ModularOutcome cold = analysis::explore_modular(cp, mopt);
+        auto c1 = std::chrono::steady_clock::now();
+        double cold_ms = std::chrono::duration<double, std::milli>(c1 - c0).count();
+        auto w0 = std::chrono::steady_clock::now();
+        analysis::ModularOutcome warm = analysis::explore_modular(cp, mopt);
+        auto w1 = std::chrono::steady_clock::now();
+        double warm_ms = std::chrono::duration<double, std::milli>(w1 - w0).count();
+        std::filesystem::remove_all(dir);
+
+        double hit_rate = warm.groups.empty()
+                              ? 0.0
+                              : static_cast<double>(warm.cache.hits) /
+                                    static_cast<double>(warm.groups.size());
+        // The equivalence gate rides along: same verdict, same completeness,
+        // and the warm run must re-explore nothing.
+        bool equivalent = mono.deterministic() == warm.conflicts.empty() &&
+                          mono.complete() == warm.complete &&
+                          warm.states_explored == 0;
+        std::printf("%4d %12zu %12zu %8.1fms %8.1fms %8.0f%% %9s\n", k,
+                    mono.state_count(), cold.states_total, cold_ms, warm_ms,
+                    hit_rate * 100.0, equivalent ? "identical" : "MISMATCH");
+        js << (k > 3 ? "," : "") << "{\"k\":" << k
+           << ",\"mono_states\":" << mono.state_count()
+           << ",\"mono_ms\":" << mono_ms
+           << ",\"composed_states\":" << cold.states_total
+           << ",\"groups\":" << cold.groups.size()
+           << ",\"cold_ms\":" << cold_ms << ",\"warm_ms\":" << warm_ms
+           << ",\"warm_states_explored\":" << warm.states_explored
+           << ",\"hit_rate\":" << hit_rate
+           << ",\"equivalent\":" << (equivalent ? "true" : "false") << "}";
+    }
+    js << "]";
+
     // The parallel sweep only means something relative to the box it ran
     // on: record the thread count so a 1-core artifact is not mistaken
     // for a scaling regression.
     js << ",\"hw_threads\":" << std::thread::hardware_concurrency();
-    js << ",\"schema\":\"ceu-bench-dfa-v1\"}";
+    js << ",\"schema\":\"ceu-bench-dfa-v2\"}";
 
     if (!json_path.empty()) {
         std::ofstream f(json_path, std::ios::binary);

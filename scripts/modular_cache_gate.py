@@ -1,0 +1,98 @@
+#!/usr/bin/env python3
+"""Warm-cache incrementality gate for the modular temporal analysis.
+
+Lints a set of Céu programs twice against one shared --analysis.cache-dir
+and fails if the warm run re-explores anything: every group of every
+unchanged program must come back as a cache hit (cache_misses == 0 and
+states_explored == 0 in the "analysis-cache" JSON record).
+
+Programs come from two sources so the gate covers both shapes:
+  * seeded testgen programs (ceuc --gen-dump), stripped of the corpus
+    header/script sections;
+  * the checked-in tests/corpus/*.ceu witnesses, same format.
+
+Usage: modular_cache_gate.py <path-to-ceuc> [workdir]
+Exit: 0 = warm run fully cached; 1 = a warm miss (or a verdict flip).
+"""
+
+import glob
+import json
+import os
+import subprocess
+import sys
+
+
+def corpus_source(text: str) -> str:
+    """Strips the `# ceu-corpus ...` header and the `=== script ===` tail."""
+    if text.startswith("#"):
+        text = text.split("\n", 1)[1]
+    return text.split("=== script ===")[0]
+
+
+def lint(ceuc: str, path: str, cache_dir: str):
+    """Runs `ceuc --lint` and returns (exit_code, analysis-cache record)."""
+    proc = subprocess.run(
+        [ceuc, "--lint", "--diag-format=json",
+         "--analysis.cache-dir=" + cache_dir, path],
+        capture_output=True, text=True, check=False)
+    record = None
+    for line in proc.stdout.splitlines():
+        line = line.strip()
+        if not line.startswith("{"):
+            continue
+        obj = json.loads(line)
+        if obj.get("pass") == "analysis-cache":
+            record = obj
+    if record is None:
+        raise SystemExit(f"{path}: no analysis-cache record in output:\n"
+                         f"{proc.stdout}\n{proc.stderr}")
+    return proc.returncode, record
+
+
+def main() -> int:
+    if len(sys.argv) < 2:
+        print(__doc__, file=sys.stderr)
+        return 2
+    ceuc = sys.argv[1]
+    workdir = sys.argv[2] if len(sys.argv) > 2 else "cache-gate"
+    os.makedirs(workdir, exist_ok=True)
+    cache_dir = os.path.join(workdir, ".ceulint-cache")
+
+    programs = []
+    for seed in range(1, 21):
+        dump = subprocess.run([ceuc, "--gen-dump", "--seed", str(seed)],
+                              capture_output=True, text=True, check=True)
+        path = os.path.join(workdir, f"seed{seed}.ceu")
+        with open(path, "w") as f:
+            f.write(corpus_source(dump.stdout))
+        programs.append(path)
+    repo = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+    for corpus in sorted(glob.glob(os.path.join(repo, "tests", "corpus", "*.ceu"))):
+        path = os.path.join(workdir, "corpus_" + os.path.basename(corpus))
+        with open(corpus) as f, open(path, "w") as out:
+            out.write(corpus_source(f.read()))
+        programs.append(path)
+
+    cold = {p: lint(ceuc, p, cache_dir) for p in programs}
+    failures = 0
+    for p in programs:
+        cold_rc, cold_rec = cold[p]
+        warm_rc, warm_rec = lint(ceuc, p, cache_dir)
+        if warm_rc != cold_rc:
+            print(f"FAIL {p}: verdict flipped cold={cold_rc} warm={warm_rc}")
+            failures += 1
+            continue
+        if warm_rec["cache_misses"] != 0 or warm_rec["states_explored"] != 0:
+            print(f"FAIL {p}: warm run re-explored an unchanged module: "
+                  f"misses={warm_rec['cache_misses']} "
+                  f"states={warm_rec['states_explored']}")
+            failures += 1
+            continue
+        print(f"ok   {p}: groups={warm_rec['groups']} "
+              f"hits={warm_rec['cache_hits']} (fully cached)")
+    print(f"{len(programs)} programs, {failures} warm-run failures")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,261 @@
+#include "analysis/cache.hpp"
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include "runtime/snapshot.hpp"
+
+namespace ceu::analysis::cache {
+
+namespace {
+
+constexpr char kMagic[8] = {'C', 'E', 'U', 'L', 'I', 'N', 'T', '1'};
+
+std::string hex64(uint64_t v) {
+    char buf[17];
+    std::snprintf(buf, sizeof(buf), "%016llx", static_cast<unsigned long long>(v));
+    return buf;
+}
+
+/// (ordinal, delta) encoding of one conflict location against the member
+/// spans: lines inside a member are stored relative to its anchor so they
+/// survive whole-module shifts; lines outside every member (or invalid
+/// locations) are stored absolute with ordinal -1.
+void encode_loc(rt::snap::ByteWriter& w, const SourceLoc& loc,
+                const std::vector<MemberSpan>& members) {
+    int64_t ordinal = -1;
+    int64_t delta = static_cast<int64_t>(loc.line);
+    for (size_t i = 0; i < members.size(); ++i) {
+        const MemberSpan& m = members[i];
+        if (static_cast<int>(loc.line) >= m.line_begin &&
+            static_cast<int>(loc.line) <= m.line_end) {
+            ordinal = static_cast<int64_t>(i);
+            delta = static_cast<int64_t>(loc.line) - m.anchor_line;
+            break;
+        }
+    }
+    w.i64(ordinal);
+    w.i64(delta);
+    w.u32(loc.col);
+}
+
+SourceLoc decode_loc(rt::snap::ByteReader& r, const std::vector<MemberSpan>& members) {
+    int64_t ordinal = r.i64();
+    int64_t delta = r.i64();
+    uint32_t col = r.u32();
+    SourceLoc loc;
+    loc.col = col;
+    if (ordinal >= 0 && static_cast<size_t>(ordinal) < members.size()) {
+        int64_t line = members[static_cast<size_t>(ordinal)].anchor_line + delta;
+        if (line < 0) throw rt::snap::SnapshotError("negative rebased line");
+        loc.line = static_cast<uint32_t>(line);
+    } else {
+        if (delta < 0) throw rt::snap::SnapshotError("negative absolute line");
+        loc.line = static_cast<uint32_t>(delta);
+    }
+    return loc;
+}
+
+}  // namespace
+
+uint64_t fnv1a(const std::string& s, uint64_t seed) {
+    uint64_t h = seed;
+    for (unsigned char c : s) {
+        h ^= c;
+        h *= 1099511628211ULL;
+    }
+    return h;
+}
+
+uint64_t fnv1a_u64(uint64_t v, uint64_t seed) {
+    uint64_t h = seed;
+    for (int i = 0; i < 8; ++i) {
+        h ^= (v >> (8 * i)) & 0xffU;
+        h *= 1099511628211ULL;
+    }
+    return h;
+}
+
+uint64_t entry_key(const std::vector<uint64_t>& member_hashes, uint32_t max_states,
+                   bool stop_at_first_conflict) {
+    uint64_t h = fnv1a("ceulint-group-v1");
+    for (uint64_t m : member_hashes) h = fnv1a_u64(m, h);
+    h = fnv1a_u64(max_states, h);
+    h = fnv1a_u64(stop_at_first_conflict ? 1 : 0, h);
+    return h;
+}
+
+DfaCache::DfaCache(std::string dir) : dir_(std::move(dir)) {
+    if (dir_.empty()) return;
+    std::error_code ec;
+    std::filesystem::create_directories(dir_, ec);
+    if (ec) dir_.clear();  // unusable directory: run uncached
+}
+
+std::string DfaCache::path_for(uint64_t key) const {
+    return dir_ + "/" + hex64(key) + ".dfa";
+}
+
+std::vector<uint8_t> DfaCache::serialize(uint64_t key, const Entry& e) {
+    std::vector<uint8_t> blob;
+    rt::snap::ByteWriter w(blob);
+    w.bytes(reinterpret_cast<const uint8_t*>(kMagic), sizeof(kMagic));
+    w.u64(key);
+    w.u32(static_cast<uint32_t>(e.members.size()));
+    for (const MemberSpan& m : e.members) {
+        w.u64(m.hash);
+        w.i64(m.line_begin);
+        w.i64(m.line_end);
+        w.i64(m.anchor_line);
+    }
+    w.u32(e.max_states);
+    w.u8(e.stop_at_first_conflict ? 1 : 0);
+    w.u64(e.state_count);
+    w.u8(e.complete ? 1 : 0);
+    w.u64(e.sub_signature);
+    w.u32(static_cast<uint32_t>(e.conflicts.size()));
+    for (const dfa::Conflict& c : e.conflicts) {
+        w.u8(static_cast<uint8_t>(c.kind));
+        w.str(c.what);
+        w.str(c.trigger);
+        encode_loc(w, c.loc_a, e.members);
+        encode_loc(w, c.loc_b, e.members);
+        w.u32(static_cast<uint32_t>(c.occurrences));
+        w.u32(static_cast<uint32_t>(c.witness.size()));
+        for (const dfa::WitnessStep& s : c.witness) {
+            w.u8(static_cast<uint8_t>(s.kind));
+            w.str(s.event);
+            w.i64(s.advance);
+        }
+    }
+    return blob;
+}
+
+bool DfaCache::deserialize(const std::vector<uint8_t>& blob, uint64_t key, Entry* out) {
+    try {
+        rt::snap::ByteReader r(blob.data(), blob.size());
+        char magic[sizeof(kMagic)];
+        for (char& m : magic) m = static_cast<char>(r.u8());
+        if (std::string_view(magic, sizeof(magic)) !=
+            std::string_view(kMagic, sizeof(kMagic))) {
+            return false;
+        }
+        if (r.u64() != key) return false;
+        Entry e;
+        uint32_t nm = r.count(8 * 4);
+        e.members.resize(nm);
+        for (MemberSpan& m : e.members) {
+            m.hash = r.u64();
+            m.line_begin = static_cast<int>(r.i64());
+            m.line_end = static_cast<int>(r.i64());
+            m.anchor_line = static_cast<int>(r.i64());
+        }
+        e.max_states = r.u32();
+        e.stop_at_first_conflict = r.u8() != 0;
+        e.state_count = r.u64();
+        e.complete = r.u8() != 0;
+        e.sub_signature = r.u64();
+        uint32_t nc = r.count(1);
+        e.conflicts.resize(nc);
+        for (dfa::Conflict& c : e.conflicts) {
+            uint8_t kind = r.u8();
+            if (kind > static_cast<uint8_t>(dfa::Conflict::Kind::Escape)) return false;
+            c.kind = static_cast<dfa::Conflict::Kind>(kind);
+            c.what = r.str();
+            c.trigger = r.str();
+            c.loc_a = decode_loc(r, e.members);
+            c.loc_b = decode_loc(r, e.members);
+            c.occurrences = static_cast<int>(r.u32());
+            uint32_t nw = r.count(1);
+            c.witness.resize(nw);
+            for (dfa::WitnessStep& s : c.witness) {
+                uint8_t sk = r.u8();
+                if (sk > static_cast<uint8_t>(dfa::WitnessStep::Kind::AsyncDone)) {
+                    return false;
+                }
+                s.kind = static_cast<dfa::WitnessStep::Kind>(sk);
+                s.event = r.str();
+                s.advance = r.i64();
+            }
+        }
+        if (!r.done()) return false;  // trailing garbage: corrupt
+        *out = std::move(e);
+        return true;
+    } catch (const rt::snap::SnapshotError&) {
+        return false;
+    }
+}
+
+bool DfaCache::load(uint64_t key, const Entry& expect, Entry* out) {
+    if (!enabled()) {
+        ++stats_.misses;
+        return false;
+    }
+    std::ifstream in(path_for(key), std::ios::binary);
+    if (!in) {
+        ++stats_.misses;
+        return false;
+    }
+    std::vector<uint8_t> blob((std::istreambuf_iterator<char>(in)),
+                              std::istreambuf_iterator<char>());
+    Entry e;
+    if (!deserialize(blob, key, &e)) {
+        ++stats_.rejected;
+        return false;
+    }
+    // Identity check: the entry must describe exactly this group under
+    // exactly these options (defends against key collisions and any
+    // hand-edited/stale file).
+    bool match = e.members.size() == expect.members.size() &&
+                 e.max_states == expect.max_states &&
+                 e.stop_at_first_conflict == expect.stop_at_first_conflict;
+    for (size_t i = 0; match && i < e.members.size(); ++i) {
+        match = e.members[i].hash == expect.members[i].hash;
+    }
+    if (!match) {
+        ++stats_.rejected;
+        return false;
+    }
+    // Rebase conflict locations into the *current* program's coordinates:
+    // decode_loc resolved (ordinal, delta) against the *stored* anchors, so
+    // a line inside old member i shifts by (current anchor - stored anchor).
+    for (dfa::Conflict& c : e.conflicts) {
+        for (SourceLoc* loc : {&c.loc_a, &c.loc_b}) {
+            for (size_t i = 0; i < e.members.size(); ++i) {
+                const MemberSpan& old_m = e.members[i];
+                if (static_cast<int>(loc->line) < old_m.line_begin ||
+                    static_cast<int>(loc->line) > old_m.line_end) {
+                    continue;
+                }
+                int shifted = static_cast<int>(loc->line) - old_m.anchor_line +
+                              expect.members[i].anchor_line;
+                if (shifted >= 0) loc->line = static_cast<uint32_t>(shifted);
+                break;
+            }
+        }
+    }
+    e.members = expect.members;
+    *out = std::move(e);
+    ++stats_.hits;
+    return true;
+}
+
+void DfaCache::store(uint64_t key, const Entry& e) {
+    if (!enabled()) return;
+    std::vector<uint8_t> blob = serialize(key, e);
+    std::string final_path = path_for(key);
+    std::string tmp_path = final_path + ".tmp";
+    {
+        std::ofstream out(tmp_path, std::ios::binary | std::ios::trunc);
+        if (!out) return;
+        out.write(reinterpret_cast<const char*>(blob.data()),
+                  static_cast<std::streamsize>(blob.size()));
+        if (!out) return;
+    }
+    std::error_code ec;
+    std::filesystem::rename(tmp_path, final_path, ec);
+    if (!ec) ++stats_.stores;
+}
+
+}  // namespace ceu::analysis::cache

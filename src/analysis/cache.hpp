@@ -1,0 +1,95 @@
+// Persistent analysis cache: one file per explored module group, keyed by
+// the content hash of the group's members + exploration options, so
+// `ceuc --lint --cache-dir=D` re-explores only groups whose source (or
+// whose interference grouping) actually changed.
+//
+// The format follows the engine-snapshot discipline (runtime/snapshot.hpp):
+// versioned magic (`CEULINT1`), explicit little-endian fields, parse-then-
+// commit — a corrupt, truncated, stale or wrong-version entry is *rejected*
+// (counted, treated as a miss, re-explored and rewritten), never trusted.
+//
+// What is stored is the group's analysis *verdict*, not the raw automaton:
+// state count, completeness, the scope-rebased `Dfa::signature()` hash, and
+// the deduplicated conflicts with their replayable witness chains. Conflict
+// source locations are stored relative to each member module's anchor line
+// (member ordinal + line delta) and rebased on load, so an edit that merely
+// shifts an unchanged module down the file still reports correct lines.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "dfa/dfa.hpp"
+
+namespace ceu::analysis::cache {
+
+/// FNV-1a 64-bit — the repo-wide content-hash primitive (snapshots use it
+/// for program fingerprints).
+uint64_t fnv1a(const std::string& s, uint64_t seed = 14695981039346656037ULL);
+uint64_t fnv1a_u64(uint64_t v, uint64_t seed);
+
+struct CacheStats {
+    size_t hits = 0;      // groups served from disk
+    size_t misses = 0;    // groups with no entry (explored fresh)
+    size_t stores = 0;    // entries written
+    size_t rejected = 0;  // corrupt/truncated/stale entries discarded
+};
+
+/// Inclusive source-line span of one member module plus its anchor (first)
+/// line: the coordinate system conflict locations are stored in.
+struct MemberSpan {
+    uint64_t hash = 0;       // member content hash (identity check)
+    int line_begin = 0;      // inclusive
+    int line_end = 0;        // inclusive
+    int anchor_line = 0;
+};
+
+/// The cached verdict of one module group.
+struct Entry {
+    std::vector<MemberSpan> members;
+    uint32_t max_states = 0;
+    bool stop_at_first_conflict = false;
+    uint64_t state_count = 0;
+    bool complete = true;
+    uint64_t sub_signature = 0;  // fnv1a of Dfa::signature(scope)
+    std::vector<dfa::Conflict> conflicts;  // locations in absolute lines
+};
+
+/// The on-disk key of an entry: member hashes + the options that shaped the
+/// exploration. Changing --max-states or --fail-fast must miss.
+uint64_t entry_key(const std::vector<uint64_t>& member_hashes, uint32_t max_states,
+                   bool stop_at_first_conflict);
+
+class DfaCache {
+  public:
+    /// An empty dir disables the cache (every load misses, stores no-op).
+    explicit DfaCache(std::string dir);
+
+    /// Loads the entry for `key` into `out`. The entry is accepted only if
+    /// its member hashes/options match `expect` exactly; conflict locations
+    /// are rebased from stored (ordinal, line delta) form using the anchor
+    /// lines in `expect.members`. Returns false (and bumps misses or
+    /// rejected) otherwise.
+    bool load(uint64_t key, const Entry& expect, Entry* out);
+
+    /// Serializes `e` (conflict locations encoded against e.members' spans)
+    /// and commits it atomically (temp file + rename).
+    void store(uint64_t key, const Entry& e);
+
+    [[nodiscard]] const CacheStats& stats() const { return stats_; }
+    [[nodiscard]] const std::string& dir() const { return dir_; }
+    [[nodiscard]] bool enabled() const { return !dir_.empty(); }
+
+    /// Serialization exposed for tests (corruption/truncation coverage).
+    static std::vector<uint8_t> serialize(uint64_t key, const Entry& e);
+    static bool deserialize(const std::vector<uint8_t>& blob, uint64_t key, Entry* out);
+
+    [[nodiscard]] std::string path_for(uint64_t key) const;
+
+  private:
+    std::string dir_;
+    CacheStats stats_;
+};
+
+}  // namespace ceu::analysis::cache

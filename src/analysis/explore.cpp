@@ -56,6 +56,7 @@ class ParallelExplorer {
         // Boot reaction on the calling thread seeds the frontier.
         Trigger boot;
         boot.kind = Trigger::Kind::Boot;
+        boot.boot_pcs = opt_.boot_pcs;
         WitnessStep boot_step = dfa::witness_step(cp_, boot);
         std::vector<PendingConflict> boot_pending;
         for (ReactionOutcome& o : dfa::abstract_react(cp_, dfa::initial_state(cp_), boot)) {
@@ -321,6 +322,7 @@ dfa::Dfa explore(const flat::CompiledProgram& cp, const ExploreOptions& opt) {
         dfa::DfaOptions dopt;
         dopt.max_states = opt.max_states;
         dopt.stop_at_first_conflict = opt.stop_at_first_conflict;
+        dopt.boot_pcs = opt.boot_pcs;
         return dfa::Dfa::build(cp, dopt);
     }
     return ParallelExplorer(cp, opt).run();

@@ -16,6 +16,10 @@ struct ExploreOptions {
     bool stop_at_first_conflict = false;
     /// Worker threads; <= 1 runs the serial reference explorer.
     int jobs = 1;
+    /// Boot at these entry pcs (one concurrent root track each) instead of
+    /// pc 0 — the modular analysis explores a par-arm group in isolation
+    /// this way. Empty = whole program.
+    std::vector<flat::Pc> boot_pcs;
 };
 
 /// Runs the temporal analysis with `opt.jobs` workers. With jobs <= 1 this

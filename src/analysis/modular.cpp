@@ -1,0 +1,650 @@
+#include "analysis/modular.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <set>
+#include <thread>
+
+#include "ast/print.hpp"
+
+namespace ceu::analysis {
+
+namespace {
+
+using flat::FlatProgram;
+using flat::Instr;
+using flat::IOp;
+using flat::Pc;
+
+// ---------------------------------------------------------------------------
+// Content hashing (round-trip stable: hashes pretty-printed source, which
+// the PR 3 render∘parse fixpoint guarantees is invariant under re-parse)
+// ---------------------------------------------------------------------------
+
+/// Declarations with *program-global* effect on the analysis regardless of
+/// where they appear: event names (trigger/conflict labels) and the
+/// pure/deterministic C-call registry (which admits cross-arm call pairs).
+/// They are folded into every module's hash, so editing one conservatively
+/// invalidates all cached groups.
+std::string globals_text(const ast::Program& prog) {
+    std::string out = "-- globals --\n";
+    ast::walk_stmts(prog.body, [&](const ast::Stmt& s) {
+        switch (s.kind) {
+            case ast::StmtKind::DeclInput:
+            case ast::StmtKind::DeclInternal:
+            case ast::StmtKind::DeclOutput:
+            case ast::StmtKind::Pure:
+            case ast::StmtKind::Deterministic:
+                out += ast::print_stmt(s);
+                break;
+            default:
+                break;
+        }
+        return true;
+    });
+    return out;
+}
+
+/// The top-level statements before the partition par: shared declarations
+/// and prelude initialization every arm can see.
+std::string prelude_text(const ast::Program& prog, const ast::Stmt* par_stmt) {
+    std::string out = "-- prelude --\n";
+    for (const auto& st : prog.body.stmts) {
+        if (st.get() == par_stmt) break;
+        out += ast::print_stmt(*st);
+    }
+    return out;
+}
+
+/// C-call name extraction, mirroring dfa/abstract.cpp's record_ccall so the
+/// interface sees exactly the names the conflict detector will check.
+std::string ccall_name(const ast::CallExpr& call) {
+    if (call.fn->kind == ast::ExprKind::CSym) {
+        return static_cast<const ast::CSymExpr&>(*call.fn).name;
+    }
+    if (call.fn->kind == ast::ExprKind::Field) {
+        const auto& f = static_cast<const ast::FieldExpr&>(*call.fn);
+        if (f.base->kind == ast::ExprKind::CSym) {
+            return static_cast<const ast::CSymExpr&>(*f.base).name + "." + f.field;
+        }
+        return f.field;
+    }
+    return {};
+}
+
+void collect_reads(const ast::Expr& e, ModuleInfo& m) {
+    ast::walk_exprs(e, [&](const ast::Expr& x) {
+        if (x.kind == ast::ExprKind::Var) {
+            const auto& v = static_cast<const ast::VarExpr&>(x);
+            if (v.decl_id >= 0) m.var_reads.push_back(v.decl_id);
+        } else if (x.kind == ast::ExprKind::Call) {
+            std::string name = ccall_name(static_cast<const ast::CallExpr&>(x));
+            if (!name.empty()) m.ccalls.push_back(name);
+        }
+    });
+}
+
+/// Mirrors dfa/abstract.cpp's record_write: peel indices (index exprs are
+/// reads), root Var is the write, `*p = ...` reads the pointer, C-global
+/// writes count as a C call named `sym=`.
+void collect_write(const ast::Expr& lhs, ModuleInfo& m) {
+    const ast::Expr* root = &lhs;
+    while (root->kind == ast::ExprKind::Index) {
+        const auto& ix = static_cast<const ast::IndexExpr&>(*root);
+        collect_reads(*ix.index, m);
+        root = ix.base.get();
+    }
+    if (root->kind == ast::ExprKind::Var) {
+        const auto& v = static_cast<const ast::VarExpr&>(*root);
+        if (v.decl_id >= 0) m.var_writes.push_back(v.decl_id);
+    } else if (root->kind == ast::ExprKind::Unop) {
+        collect_reads(*static_cast<const ast::UnopExpr&>(*root).sub, m);
+    } else if (root->kind == ast::ExprKind::CSym) {
+        m.ccalls.push_back(static_cast<const ast::CSymExpr&>(*root).name + "=");
+    }
+}
+
+void sort_unique(std::vector<int>& v) {
+    std::sort(v.begin(), v.end());
+    v.erase(std::unique(v.begin(), v.end()), v.end());
+}
+
+void sort_unique(std::vector<std::string>& v) {
+    std::sort(v.begin(), v.end());
+    v.erase(std::unique(v.begin(), v.end()), v.end());
+}
+
+/// Scans the module's flat slice for its boundary interface. Async bodies
+/// are skipped: they run outside the synchronous reaction and the abstract
+/// step treats them as opaque (their completion is an input).
+void collect_interface(const flat::CompiledProgram& cp, ModuleInfo& m) {
+    const FlatProgram& fp = cp.flat;
+    std::vector<std::pair<Pc, Pc>> async_ranges;
+    for (const flat::AsyncInfo& a : fp.asyncs) {
+        if (a.region >= 0) {
+            const flat::RegionInfo& r = fp.regions[static_cast<size_t>(a.region)];
+            async_ranges.emplace_back(r.pc_begin, r.pc_end);
+        }
+    }
+    auto in_async = [&](Pc pc) {
+        for (const auto& [b, e] : async_ranges) {
+            if (pc >= b && pc < e) return true;
+        }
+        return false;
+    };
+
+    for (Pc pc = m.pc_begin; pc < m.pc_end; ++pc) {
+        if (in_async(pc)) continue;
+        const Instr& I = fp.code[static_cast<size_t>(pc)];
+        switch (I.op) {
+            case IOp::Eval:
+            case IOp::IfNot:
+                collect_reads(*I.e1, m);
+                break;
+            case IOp::Assign:
+                collect_write(*I.e1, m);
+                collect_reads(*I.e2, m);
+                break;
+            case IOp::AssignWake:
+            case IOp::AssignSlot:
+                collect_write(*I.e1, m);
+                break;
+            case IOp::AwaitInt:
+                m.evt_awaits.push_back(I.a);
+                break;
+            case IOp::AwaitTime:
+                m.has_timers = true;
+                break;
+            case IOp::AwaitDyn:
+                m.has_timers = true;
+                collect_reads(*I.e1, m);
+                break;
+            case IOp::EmitInt:
+                m.evt_emits.push_back(I.a);
+                if (I.e1 != nullptr) collect_reads(*I.e1, m);
+                break;
+            case IOp::EmitOutput:
+                // Concurrent output emissions are modeled as C calls named
+                // after the event (see abstract.cpp), so the interface
+                // treats them identically.
+                m.ccalls.push_back(cp.sema.outputs[static_cast<size_t>(I.a)].name);
+                if (I.e1 != nullptr) collect_reads(*I.e1, m);
+                break;
+            case IOp::Escape: {
+                if (I.e1 != nullptr) collect_reads(*I.e1, m);
+                const flat::EscapeInfo& esc = fp.escapes[static_cast<size_t>(I.a)];
+                const flat::RegionInfo& r = fp.regions[static_cast<size_t>(esc.region)];
+                if (r.pc_begin < m.pc_begin || r.pc_end > m.pc_end ||
+                    esc.cont < m.pc_begin || esc.cont >= m.pc_end) {
+                    m.escapes_out = true;
+                }
+                break;
+            }
+            case IOp::ProgReturn:
+                if (I.e1 != nullptr) collect_reads(*I.e1, m);
+                m.escapes_out = true;
+                break;
+            default:
+                break;
+        }
+    }
+    sort_unique(m.var_reads);
+    sort_unique(m.var_writes);
+    sort_unique(m.evt_emits);
+    sort_unique(m.evt_awaits);
+    sort_unique(m.ccalls);
+}
+
+/// Source-line span of the module: instruction locations plus the AST
+/// statement locations of its branch body (covers decl-only lines).
+void compute_line_span(const flat::CompiledProgram& cp, ModuleInfo& m,
+                       const ast::BlockBody* body) {
+    int lo = 0;
+    int hi = 0;
+    auto fold = [&](uint32_t line) {
+        if (line == 0) return;
+        int l = static_cast<int>(line);
+        if (lo == 0 || l < lo) lo = l;
+        if (l > hi) hi = l;
+    };
+    for (Pc pc = m.pc_begin; pc < m.pc_end; ++pc) {
+        fold(cp.flat.code[static_cast<size_t>(pc)].loc.line);
+    }
+    if (body != nullptr) {
+        ast::walk_stmts(*body, [&](const ast::Stmt& s) {
+            fold(s.loc.line);
+            return true;
+        });
+    }
+    m.line_begin = lo;
+    m.line_end = hi;
+    m.anchor_line = lo;
+}
+
+Partition whole_partition(const flat::CompiledProgram& cp, std::string reason) {
+    Partition part;
+    part.partitioned = false;
+    part.reason = std::move(reason);
+    ModuleInfo m;
+    m.index = 0;
+    m.entry = -1;
+    m.pc_begin = 0;
+    m.pc_end = static_cast<Pc>(cp.flat.code.size());
+    m.gate_begin = 0;
+    m.gate_end = static_cast<int>(cp.flat.gates.size());
+    m.name = "program";
+    m.hash = program_hash(cp);
+    compute_line_span(cp, m, &cp.ast.body);
+    collect_interface(cp, m);
+    part.modules.push_back(std::move(m));
+    part.groups.push_back({0});
+    return part;
+}
+
+const char* op_name(IOp op) {
+    switch (op) {
+        case IOp::IfNot: return "if";
+        case IOp::AwaitExt:
+        case IOp::AwaitInt:
+        case IOp::AwaitTime:
+        case IOp::AwaitDyn:
+        case IOp::AwaitForever: return "await";
+        case IOp::EmitInt:
+        case IOp::EmitOutput: return "emit";
+        case IOp::ParSpawn: return "par";
+        case IOp::Escape: return "break/return";
+        case IOp::ProgReturn: return "return";
+        case IOp::AsyncRun: return "async";
+        case IOp::Halt: return "end of program";
+        default: return "statement";
+    }
+}
+
+}  // namespace
+
+uint64_t program_hash(const flat::CompiledProgram& cp) {
+    uint64_t h = cache::fnv1a("ceulint-program-v1\n");
+    h = cache::fnv1a(globals_text(cp.ast), h);
+    h = cache::fnv1a(ast::print_block(cp.ast.body), h);
+    return h;
+}
+
+Partition partition_program(const flat::CompiledProgram& cp) {
+    const FlatProgram& fp = cp.flat;
+    if (fp.code.empty()) return whole_partition(cp, "empty program");
+
+    // 1. The prelude must be straight-line (no awaits, forks or jumps)
+    //    ending at a ParSpawn: then skipping it in a modular boot changes
+    //    no machine state, and its effects are ordered before every arm.
+    Pc pc = 0;
+    while (pc < static_cast<Pc>(fp.code.size())) {
+        IOp op = fp.code[static_cast<size_t>(pc)].op;
+        if (op == IOp::ParSpawn) break;
+        if (op == IOp::Nop || op == IOp::Eval || op == IOp::Assign ||
+            op == IOp::ClearSlot) {
+            ++pc;
+            continue;
+        }
+        return whole_partition(cp, std::string("top level is not straight-line code "
+                                               "into a par (found: ") +
+                                       op_name(op) + ")");
+    }
+    if (pc >= static_cast<Pc>(fp.code.size())) {
+        return whole_partition(cp, "no top-level par");
+    }
+
+    int par_index = fp.code[static_cast<size_t>(pc)].a;
+    const flat::ParInfo& par = fp.pars[static_cast<size_t>(par_index)];
+    if (par.kind != ast::ParKind::Par || par.cont != -1) {
+        return whole_partition(cp, "top-level par is par/and or par/or "
+                                   "(the rejoin couples every arm)");
+    }
+    if (par.branches.size() < 2) {
+        return whole_partition(cp, "top-level par has a single arm");
+    }
+
+    // 2. Locate the par in the AST (direct top-level child) — the source of
+    //    the round-trip-stable per-arm hash slices.
+    const ast::ParStmt* par_stmt = nullptr;
+    for (const auto& st : cp.ast.body.stmts) {
+        if (st->kind == ast::StmtKind::Par && st->loc == par.loc &&
+            static_cast<const ast::ParStmt&>(*st).branches.size() ==
+                par.branches.size()) {
+            par_stmt = static_cast<const ast::ParStmt*>(st.get());
+            break;
+        }
+    }
+    if (par_stmt == nullptr) {
+        return whole_partition(cp, "top-level par is nested inside another "
+                                   "construct");
+    }
+
+    // 3. Assign every gate to the arm whose flat slice contains its
+    //    continuation; a gate outside every arm (dead top-level code after
+    //    the par, prelude awaits the scan somehow missed) kills the
+    //    partition. Flattening order makes each arm's gates contiguous —
+    //    verified, not assumed.
+    Partition part;
+    part.partitioned = true;
+    part.par_index = par_index;
+
+    size_t n = par.branches.size();
+    std::vector<std::pair<int, int>> gate_span(n, {-1, -1});
+    for (size_t g = 0; g < fp.gates.size(); ++g) {
+        Pc cont = fp.gates[g].cont;
+        int owner = -1;
+        for (size_t i = 0; i < n; ++i) {
+            const auto& [b, e] = par.branch_ranges[i];
+            if (cont >= b && cont < e) {
+                owner = static_cast<int>(i);
+                break;
+            }
+        }
+        if (owner < 0) {
+            return whole_partition(cp, "a gate's continuation lies outside every arm");
+        }
+        auto& [lo, hi] = gate_span[static_cast<size_t>(owner)];
+        if (lo < 0) lo = static_cast<int>(g);
+        hi = static_cast<int>(g) + 1;
+    }
+    for (size_t i = 0; i < n; ++i) {
+        const auto& [lo, hi] = gate_span[i];
+        if (lo < 0) continue;  // armless of awaits: empty range is fine
+        for (int g = lo; g < hi; ++g) {
+            Pc cont = fp.gates[static_cast<size_t>(g)].cont;
+            const auto& [b, e] = par.branch_ranges[i];
+            if (cont < b || cont >= e) {
+                return whole_partition(cp, "arm gate ranges are not contiguous");
+            }
+        }
+    }
+
+    // 4. Build the modules.
+    std::string globals = globals_text(cp.ast);
+    std::string prelude = prelude_text(cp.ast, par_stmt);
+    for (size_t i = 0; i < n; ++i) {
+        ModuleInfo m;
+        m.index = static_cast<int>(i);
+        m.entry = par.branches[i];
+        m.pc_begin = par.branch_ranges[i].first;
+        m.pc_end = par.branch_ranges[i].second;
+        if (gate_span[i].first >= 0) {
+            m.gate_begin = gate_span[i].first;
+            m.gate_end = gate_span[i].second;
+        }
+        uint64_t h = cache::fnv1a("ceulint-module-v1\n");
+        h = cache::fnv1a(globals, h);
+        h = cache::fnv1a(prelude, h);
+        h = cache::fnv1a(ast::print_block(par_stmt->branches[i]), h);
+        m.hash = h;
+        compute_line_span(cp, m, &par_stmt->branches[i]);
+        m.name = "arm" + std::to_string(i) +
+                 (m.anchor_line > 0 ? "@" + std::to_string(m.anchor_line) : "");
+        collect_interface(cp, m);
+        part.modules.push_back(std::move(m));
+    }
+
+    // 5. Interference edges.
+    auto var_name = [&](int d) { return cp.sema.vars[static_cast<size_t>(d)].name; };
+    auto evt_name = [&](int e) {
+        return cp.sema.internals[static_cast<size_t>(e)].name;
+    };
+    auto intersects = [](const std::vector<int>& a, const std::vector<int>& b,
+                         std::vector<int>* hits) {
+        std::set_intersection(a.begin(), a.end(), b.begin(), b.end(),
+                              std::back_inserter(*hits));
+    };
+    for (size_t i = 0; i < n; ++i) {
+        for (size_t j = i + 1; j < n; ++j) {
+            const ModuleInfo& a = part.modules[i];
+            const ModuleInfo& b = part.modules[j];
+            std::vector<std::string> reasons;
+
+            std::vector<int> shared;
+            intersects(a.var_writes, b.var_writes, &shared);
+            intersects(a.var_writes, b.var_reads, &shared);
+            intersects(b.var_writes, a.var_reads, &shared);
+            sort_unique(shared);
+            for (int d : shared) reasons.push_back("shared variable '" + var_name(d) + "'");
+
+            std::vector<int> evts;
+            intersects(a.evt_emits, b.evt_emits, &evts);
+            intersects(a.evt_emits, b.evt_awaits, &evts);
+            intersects(b.evt_emits, a.evt_awaits, &evts);
+            sort_unique(evts);
+            for (int e : evts) reasons.push_back("internal event '" + evt_name(e) + "'");
+
+            if (a.has_timers && b.has_timers) {
+                // A Time trigger advances by the global minimum remainder,
+                // so timer-bearing arms share the wall clock.
+                reasons.emplace_back("wall-clock timers in both arms");
+            }
+
+            for (const std::string& f : a.ccalls) {
+                bool found = false;
+                for (const std::string& g : b.ccalls) {
+                    if (!cp.sema.ccalls.allowed(f, g)) {
+                        reasons.push_back("unannotated C calls _" + f + " / _" + g);
+                        found = true;
+                        break;
+                    }
+                }
+                if (found) break;
+            }
+
+            if (!reasons.empty()) {
+                std::string joined;
+                for (size_t r = 0; r < reasons.size() && r < 3; ++r) {
+                    if (r) joined += "; ";
+                    joined += reasons[r];
+                }
+                part.edges.push_back({static_cast<int>(i), static_cast<int>(j),
+                                      std::move(joined)});
+            }
+        }
+    }
+    for (size_t i = 0; i < n; ++i) {
+        if (!part.modules[i].escapes_out) continue;
+        // A program return (or cross-arm escape) terminates everyone: its
+        // Escape conflicts can involve any arm, so it globally interferes.
+        for (size_t j = 0; j < n; ++j) {
+            if (j == i) continue;
+            part.edges.push_back({static_cast<int>(std::min(i, j)),
+                                  static_cast<int>(std::max(i, j)),
+                                  "program return/escape crosses the arm boundary"});
+        }
+    }
+
+    // 6. Connected components (union-find) = exploration groups.
+    std::vector<int> parent(n);
+    for (size_t i = 0; i < n; ++i) parent[i] = static_cast<int>(i);
+    std::function<int(int)> find = [&](int x) {
+        while (parent[static_cast<size_t>(x)] != x) {
+            parent[static_cast<size_t>(x)] =
+                parent[static_cast<size_t>(parent[static_cast<size_t>(x)])];
+            x = parent[static_cast<size_t>(x)];
+        }
+        return x;
+    };
+    for (const InterferenceEdge& e : part.edges) {
+        int ra = find(e.a);
+        int rb = find(e.b);
+        if (ra != rb) parent[static_cast<size_t>(ra)] = rb;
+    }
+    std::map<int, std::vector<int>> comps;
+    for (size_t i = 0; i < n; ++i) comps[find(static_cast<int>(i))].push_back(static_cast<int>(i));
+    // Deterministic order: by smallest member.
+    std::vector<std::vector<int>> groups;
+    groups.reserve(comps.size());
+    for (auto& [root, members] : comps) {
+        std::sort(members.begin(), members.end());
+        groups.push_back(std::move(members));
+    }
+    std::sort(groups.begin(), groups.end());
+    part.groups = std::move(groups);
+    return part;
+}
+
+dfa::SignatureScope group_scope(const flat::CompiledProgram& cp, const Partition& part,
+                                const std::vector<int>& members) {
+    const FlatProgram& fp = cp.flat;
+    dfa::SignatureScope scope;
+    std::vector<std::pair<Pc, Pc>> pc_ranges;
+    for (size_t ord = 0; ord < members.size(); ++ord) {
+        const ModuleInfo& m = part.modules[static_cast<size_t>(members[ord])];
+        if (m.gate_end > m.gate_begin) {
+            scope.gate_ranges.emplace_back(m.gate_begin, m.gate_end);
+        }
+        pc_ranges.emplace_back(m.pc_begin, m.pc_end);
+        if (m.line_begin > 0) {
+            scope.lines.push_back({m.line_begin, m.line_end, m.anchor_line,
+                                   static_cast<int>(ord)});
+        }
+    }
+    std::sort(scope.gate_ranges.begin(), scope.gate_ranges.end());
+    auto in_ranges = [&](Pc pc) {
+        for (const auto& [b, e] : pc_ranges) {
+            if (pc >= b && pc < e) return true;
+        }
+        return false;
+    };
+    int par_ord = 0;
+    for (size_t p = 0; p < fp.pars.size(); ++p) {
+        const flat::ParInfo& pi = fp.pars[p];
+        if (!pi.branches.empty() && in_ranges(pi.branches.front())) {
+            scope.par_remap[static_cast<int>(p)] = par_ord++;
+        }
+    }
+    int async_ord = 0;
+    for (size_t a = 0; a < fp.asyncs.size(); ++a) {
+        if (in_ranges(fp.asyncs[a].begin)) {
+            scope.async_remap[static_cast<int>(a)] = async_ord++;
+        }
+    }
+    return scope;
+}
+
+ModularOutcome explore_modular(const flat::CompiledProgram& cp,
+                               const ModularOptions& opt) {
+    using Clock = std::chrono::steady_clock;
+    ModularOutcome out;
+    out.partition = partition_program(cp);
+    const Partition& part = out.partition;
+    size_t ngroups = part.groups.size();
+    out.groups.resize(ngroups);
+
+    cache::DfaCache dcache(opt.cache_dir);
+    std::mutex cache_mu;
+
+    auto group_reason = [&](const std::vector<int>& members) -> std::string {
+        if (members.size() < 2) return {};
+        std::set<int> in(members.begin(), members.end());
+        std::vector<std::string> reasons;
+        for (const InterferenceEdge& e : part.edges) {
+            if (in.count(e.a) && in.count(e.b)) reasons.push_back(e.reason);
+        }
+        sort_unique(reasons);
+        std::string joined;
+        for (size_t r = 0; r < reasons.size() && r < 3; ++r) {
+            if (r) joined += "; ";
+            joined += reasons[r];
+        }
+        return joined;
+    };
+
+    auto run_group = [&](size_t gi, int jobs) {
+        auto t0 = Clock::now();
+        const std::vector<int>& members = part.groups[gi];
+        GroupResult& gr = out.groups[gi];
+        gr.modules = members;
+        gr.fallback_reason = group_reason(members);
+
+        cache::Entry expect;
+        expect.max_states = static_cast<uint32_t>(opt.explore.max_states);
+        expect.stop_at_first_conflict = opt.explore.stop_at_first_conflict;
+        std::vector<uint64_t> hashes;
+        for (int mi : members) {
+            const ModuleInfo& m = part.modules[static_cast<size_t>(mi)];
+            hashes.push_back(m.hash);
+            expect.members.push_back({m.hash, m.line_begin, m.line_end, m.anchor_line});
+        }
+        gr.key = cache::entry_key(hashes, expect.max_states,
+                                  expect.stop_at_first_conflict);
+
+        cache::Entry got;
+        bool hit;
+        {
+            std::lock_guard lk(cache_mu);
+            hit = dcache.load(gr.key, expect, &got);
+        }
+        if (hit) {
+            gr.from_cache = true;
+            gr.state_count = got.state_count;
+            gr.complete = got.complete;
+            gr.sub_signature = got.sub_signature;
+            gr.conflicts = std::move(got.conflicts);
+        } else {
+            ExploreOptions eopt = opt.explore;
+            eopt.jobs = jobs;
+            eopt.boot_pcs.clear();
+            for (int mi : members) {
+                const ModuleInfo& m = part.modules[static_cast<size_t>(mi)];
+                if (m.entry >= 0) eopt.boot_pcs.push_back(m.entry);
+            }
+            dfa::Dfa d = explore(cp, eopt);
+            gr.state_count = d.state_count();
+            gr.complete = d.complete();
+            gr.conflicts = d.conflicts();
+            gr.sub_signature =
+                cache::fnv1a(d.signature(group_scope(cp, part, members)));
+
+            cache::Entry e = expect;
+            e.state_count = gr.state_count;
+            e.complete = gr.complete;
+            e.sub_signature = gr.sub_signature;
+            e.conflicts = gr.conflicts;
+            std::lock_guard lk(cache_mu);
+            dcache.store(gr.key, e);
+        }
+        gr.ms = std::chrono::duration<double, std::milli>(Clock::now() - t0).count();
+    };
+
+    int jobs = std::max(1, opt.explore.jobs);
+    if (ngroups <= 1 || jobs <= 1) {
+        // A single group keeps the full worker budget for its own frontier.
+        for (size_t gi = 0; gi < ngroups; ++gi) run_group(gi, jobs);
+    } else {
+        size_t workers = std::min<size_t>(static_cast<size_t>(jobs), ngroups);
+        std::atomic<size_t> next{0};
+        std::vector<std::thread> pool;
+        pool.reserve(workers);
+        for (size_t w = 0; w < workers; ++w) {
+            pool.emplace_back([&] {
+                for (;;) {
+                    size_t gi = next.fetch_add(1, std::memory_order_relaxed);
+                    if (gi >= ngroups) break;
+                    run_group(gi, 1);
+                }
+            });
+        }
+        for (std::thread& t : pool) t.join();
+    }
+
+    dfa::ConflictSet cset;
+    for (const GroupResult& gr : out.groups) {
+        out.states_total += gr.state_count;
+        if (!gr.from_cache) out.states_explored += gr.state_count;
+        out.complete = out.complete && gr.complete;
+        for (const dfa::Conflict& c : gr.conflicts) cset.add(c);
+    }
+    out.conflicts = cset.take();
+    out.composed = part.partitioned && ngroups > 1;
+    out.cache = dcache.stats();
+    return out;
+}
+
+}  // namespace ceu::analysis

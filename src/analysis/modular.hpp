@@ -1,0 +1,143 @@
+// Modular, incremental temporal analysis (after Gaffé/Ressouche's modular
+// compilation of synchronous languages): instead of exploring the whole
+// program's product state space, partition it at the top-level plain `par`
+// into *modules* (one per arm), compute each module's boundary interface
+// (the variables, internal events, timers, escapes and C-call annotations
+// that cross the arm boundary), group modules whose interfaces genuinely
+// interleave, explore each group to its own sub-automaton in parallel, and
+// compose the verdicts: for non-interfering groups the whole-program
+// conflict set is exactly the union of the per-group conflict sets, and
+// the composed state count is the *sum* (not the product) of the group
+// state counts.
+//
+// Soundness: a plain top-level par never rejoins (cont == -1) and its arms
+// own disjoint gate/timer/counter/variable state unless an interface edge
+// says otherwise, so every whole-program reaction factors into independent
+// per-group reactions — the exact product-automaton conflicts are the
+// union of group conflicts (module occurrence counts; product states
+// multiply *discoveries* of one conflict, never add new ones). Whenever a
+// precondition fails (no top-level plain par, gates outside arms, a shared
+// variable/event/timer/escape web linking every arm) the affected modules
+// collapse into one group explored whole-program style — correctness never
+// depends on the partition being fine-grained. The differential gate
+// (testgen/differ.cpp) enforces composed == monolithic on every generated
+// program.
+//
+// The incremental layer (cache.hpp) keys each group's verdict on
+// round-trip-stable content hashes of its members' pretty-printed source,
+// so `ceuc --lint --cache-dir=D` re-explores only groups whose text (or
+// grouping) changed.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "analysis/cache.hpp"
+#include "analysis/explore.hpp"
+#include "codegen/flatten.hpp"
+#include "dfa/dfa.hpp"
+
+namespace ceu::analysis {
+
+/// One analysis module: a top-level par arm (or, in whole-program fallback,
+/// the entire program) with its boundary interface.
+struct ModuleInfo {
+    int index = 0;
+    flat::Pc entry = -1;  // arm entry pc; -1 = boot at pc 0 (whole program)
+    flat::Pc pc_begin = 0, pc_end = 0;   // [begin, end) flat slice
+    int gate_begin = 0, gate_end = 0;    // [begin, end) owned gates
+    int line_begin = 0, line_end = 0;    // inclusive source-line span
+    int anchor_line = 0;                 // first source line (loc rebasing)
+    std::string name;
+    uint64_t hash = 0;  // round-trip-stable content hash (see module docs)
+
+    // Boundary interface, used to decide which modules interleave.
+    std::vector<int> var_reads, var_writes;    // decl ids
+    std::vector<int> evt_emits, evt_awaits;    // internal event ids
+    std::vector<std::string> ccalls;           // C functions invoked
+    bool has_timers = false;     // wall-clock awaits (Time trigger coupling)
+    bool escapes_out = false;    // program return / escape past the arm
+};
+
+/// Why two modules must be explored together.
+struct InterferenceEdge {
+    int a = 0, b = 0;
+    std::string reason;
+};
+
+struct Partition {
+    /// False: the program has no usable top-level plain par; `modules`
+    /// holds one whole-program pseudo-module and `reason` says why.
+    bool partitioned = false;
+    std::string reason;
+    int par_index = -1;  // flat par index of the partition point
+    std::vector<ModuleInfo> modules;
+    std::vector<InterferenceEdge> edges;
+    /// Connected components of the interference graph, each sorted; the
+    /// unit of exploration and of caching.
+    std::vector<std::vector<int>> groups;
+};
+
+/// Partitions `cp` at its top-level plain par. Never fails: when the
+/// preconditions do not hold the result is a single whole-program module
+/// (with `reason` recorded), so callers treat every program uniformly.
+Partition partition_program(const flat::CompiledProgram& cp);
+
+/// Round-trip-stable whole-program content hash (the fallback cache key):
+/// FNV-1a over the pretty-printed program, so reformatting/re-parsing the
+/// same program hashes identically (the PR 3 render∘parse fixpoint).
+uint64_t program_hash(const flat::CompiledProgram& cp);
+
+/// The signature scope rebasing a group's exploration into module-local
+/// coordinates (gates/pars/asyncs/lines owned by `members`).
+dfa::SignatureScope group_scope(const flat::CompiledProgram& cp, const Partition& part,
+                                const std::vector<int>& members);
+
+struct ModularOptions {
+    ExploreOptions explore;
+    /// Persistent cache directory (e.g. ".ceulint-cache"); empty = off.
+    std::string cache_dir;
+};
+
+/// Verdict of one explored (or cache-loaded) module group.
+struct GroupResult {
+    std::vector<int> modules;
+    uint64_t key = 0;            // cache key
+    bool from_cache = false;
+    size_t state_count = 0;
+    bool complete = true;
+    uint64_t sub_signature = 0;  // fnv1a(Dfa::signature(group_scope(...)))
+    std::vector<dfa::Conflict> conflicts;
+    /// Non-empty for multi-module groups: why these arms interleave.
+    std::string fallback_reason;
+    double ms = 0.0;
+};
+
+struct ModularOutcome {
+    Partition partition;
+    std::vector<GroupResult> groups;
+    /// Composed verdict: the union of group conflict sets, deduplicated
+    /// with summed occurrence counts (ConflictSet normalization).
+    std::vector<dfa::Conflict> conflicts;
+    /// AND over groups — any incomplete module makes the composition
+    /// incomplete (never claim a full cover that wasn't computed).
+    bool complete = true;
+    /// True when composition actually avoided the product space (>1 group).
+    bool composed = false;
+    size_t states_explored = 0;  // states expanded this run (cache misses)
+    size_t states_total = 0;     // sum over all groups incl. cache hits
+    cache::CacheStats cache;
+
+    [[nodiscard]] bool deterministic() const { return conflicts.empty(); }
+};
+
+/// Runs the modular analysis: partition, per-group exploration (parallel
+/// across groups when `opt.explore.jobs` allows), persistent caching, and
+/// composition. Group witnesses are whole-program-replayable as-is: module
+/// triggers are real program inputs, and arms outside the group ignore
+/// them by construction (no interference edge).
+ModularOutcome explore_modular(const flat::CompiledProgram& cp,
+                               const ModularOptions& opt = {});
+
+}  // namespace ceu::analysis

@@ -347,4 +347,10 @@ std::string print_block(const BlockBody& body, int indent) {
     return os.str();
 }
 
+std::string print_stmt(const Stmt& s, int indent) {
+    std::ostringstream os;
+    print_stmt(s, os, indent);
+    return os.str();
+}
+
 }  // namespace ceu::ast

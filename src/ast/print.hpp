@@ -18,4 +18,9 @@ std::string summarize_stmt(const Stmt& s);
 /// Full multi-line pretty-print of a block with `indent` leading spaces.
 std::string print_block(const BlockBody& body, int indent = 0);
 
+/// Full multi-line pretty-print of one statement (nested bodies included),
+/// terminated like a block member. Used by the modular analysis to render
+/// prelude/branch slices into round-trip-stable hash input.
+std::string print_stmt(const Stmt& s, int indent = 0);
+
 }  // namespace ceu::ast

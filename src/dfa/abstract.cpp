@@ -174,7 +174,18 @@ class AbstractExec {
             }
         }
         if (trigger_.kind == Trigger::Kind::Boot) {
-            m.queue.push_back({0, kNormalPrio, m.seq++, -1, {}});
+            if (trigger_.boot_pcs.empty()) {
+                m.queue.push_back({0, kNormalPrio, m.seq++, -1, {}});
+            } else {
+                // Modular boot: each entry is its own parentless root track,
+                // so the arms are pairwise unordered — the same concurrency
+                // structure ParSpawn creates when the whole program boots
+                // (the spawner segment orders the prelude before every arm,
+                // never the arms against each other).
+                for (Pc b : trigger_.boot_pcs) {
+                    m.queue.push_back({b, kNormalPrio, m.seq++, -1, {}});
+                }
+            }
         } else {
             for (int g : trigger_.gates) {
                 if (!m.gates[static_cast<size_t>(g)]) continue;

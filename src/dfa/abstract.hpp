@@ -86,6 +86,11 @@ struct Trigger {
     int event = -1;             // Ext: input event id; AsyncDone: async idx
     std::vector<int> gates;     // gates fired by this trigger
     Micros advance = 0;         // Time: amount subtracted from remainders
+    /// Boot only: entry pcs to spawn as concurrent root tracks instead of
+    /// pc 0. The modular analysis boots a par-arm subset this way — each pc
+    /// is one arm's entry, mutually unordered exactly as ParSpawn would
+    /// leave them. Empty = whole program (boot at pc 0).
+    std::vector<flat::Pc> boot_pcs;
 
     [[nodiscard]] std::string label(const flat::CompiledProgram& cp) const;
 };

@@ -1,6 +1,7 @@
 #include "dfa/dfa.hpp"
 
 #include <algorithm>
+#include <cstdlib>
 #include <deque>
 #include <sstream>
 #include <unordered_map>
@@ -34,12 +35,13 @@ void ConflictSet::add(Conflict c) {
     std::string k = key(c);
     auto it = by_key_.find(k);
     if (it == by_key_.end()) {
-        c.occurrences = 1;
         by_key_.emplace(std::move(k), std::move(c));
         return;
     }
     Conflict& have = it->second;
-    ++have.occurrences;
+    // Sum, don't increment: `c` may itself be a merged conflict carrying
+    // the discovery count of a whole module exploration (composition).
+    have.occurrences += c.occurrences;
     // Prefer the shortest witness; break ties lexicographically so the
     // merged result is independent of discovery order.
     auto witness_rank = [](const Conflict& x) {
@@ -117,6 +119,7 @@ Dfa Dfa::build(const flat::CompiledProgram& cp, DfaOptions opt) {
     // Boot reaction.
     Trigger boot;
     boot.kind = Trigger::Kind::Boot;
+    boot.boot_pcs = opt.boot_pcs;
     WitnessStep boot_step = witness_step(cp, boot);
     for (ReactionOutcome& o : abstract_react(cp, initial_state(cp), boot)) {
         for (const Conflict& c : o.conflicts) {
@@ -223,6 +226,115 @@ std::string Dfa::signature() const {
     for (const Conflict& c : conflicts_) {
         os << ConflictSet::key(c) << " x" << c.occurrences << "\n";
     }
+    os << "complete=" << (complete_ ? 1 : 0) << "\n";
+    return os.str();
+}
+
+int SignatureScope::gate_local(int gate) const {
+    int base = 0;
+    for (const auto& [begin, end] : gate_ranges) {
+        if (gate >= begin && gate < end) return base + (gate - begin);
+        base += end - begin;
+    }
+    return -1;  // outside the scope (inactive by construction)
+}
+
+std::string SignatureScope::line_str(int line) const {
+    for (const LineRange& r : lines) {
+        if (line >= r.begin && line <= r.end) {
+            return std::to_string(r.ordinal) + "@" + std::to_string(line - r.anchor);
+        }
+    }
+    return std::to_string(line);
+}
+
+std::string Dfa::signature(const SignatureScope& scope) const {
+    // Same canonical form as signature(), but every group-owned identifier
+    // is rebased: gates to their ordinal within the scope's ranges, par
+    // counters and async transition labels to local ordinals, conflict
+    // source lines to module-relative offsets. Two explorations of the same
+    // module group embedded in *different* surrounding programs then
+    // compare equal.
+    auto rebased_key = [&](const MachineState& ms) {
+        size_t width = 0;
+        for (const auto& [begin, end] : scope.gate_ranges) {
+            width += static_cast<size_t>(end - begin);
+        }
+        std::string bits(width, '0');
+        for (size_t g = 0; g < ms.gates.size(); ++g) {
+            if (!ms.gates[g]) continue;
+            int local = scope.gate_local(static_cast<int>(g));
+            if (local >= 0) bits[static_cast<size_t>(local)] = '1';
+        }
+        std::ostringstream os;
+        os << bits << '|';
+        std::vector<std::pair<int, Micros>> t;
+        t.reserve(ms.timers.size());
+        for (const auto& [g, rem] : ms.timers) t.emplace_back(scope.gate_local(g), rem);
+        std::sort(t.begin(), t.end());
+        for (const auto& [g, rem] : t) os << g << ':' << rem << ',';
+        os << '|';
+        for (const auto& [par, cnt] : ms.counters) {
+            auto it = scope.par_remap.find(par);
+            os << (it != scope.par_remap.end() ? it->second : par) << '=' << cnt << ',';
+        }
+        return os.str();
+    };
+    auto rebased_label = [&](const std::string& label) {
+        if (label.rfind("async#", 0) != 0) return label;
+        int idx = std::atoi(label.c_str() + 6);
+        auto it = scope.async_remap.find(idx);
+        if (it == scope.async_remap.end()) return label;
+        return "async#" + std::to_string(it->second);
+    };
+    auto rebased_conflict_key = [&](const Conflict& c) {
+        SourceLoc lo = c.loc_a;
+        SourceLoc hi = c.loc_b;
+        if (hi.line < lo.line || (hi.line == lo.line && hi.col < lo.col)) {
+            std::swap(lo, hi);
+        }
+        std::ostringstream os;
+        os << static_cast<int>(c.kind) << '|' << c.what << '|'
+           << scope.line_str(static_cast<int>(lo.line)) << ':' << lo.col << '|'
+           << scope.line_str(static_cast<int>(hi.line)) << ':' << hi.col;
+        return os.str();
+    };
+
+    std::vector<std::string> keys(states_.size());
+    for (size_t i = 0; i < states_.size(); ++i) keys[i] = rebased_key(states_[i].state);
+
+    std::vector<std::string> lines;
+    lines.reserve(states_.size());
+    for (const DfaStateNode& s : states_) {
+        std::ostringstream os;
+        os << "S " << keys[static_cast<size_t>(s.id)];
+        os << " conflict=" << (s.has_conflict ? 1 : 0)
+           << " terminal=" << (s.terminal ? 1 : 0);
+        std::vector<std::string> ex(s.executed.begin(), s.executed.end());
+        std::sort(ex.begin(), ex.end());
+        for (const std::string& e : ex) os << " !" << e;
+        std::vector<std::string> outs;
+        outs.reserve(s.out.size());
+        for (const DfaTransition& t : s.out) {
+            outs.push_back(rebased_label(t.label) + " -> " +
+                           keys[static_cast<size_t>(t.target)]);
+        }
+        std::sort(outs.begin(), outs.end());
+        for (const std::string& o : outs) os << " [" << o << "]";
+        lines.push_back(os.str());
+    }
+    std::sort(lines.begin(), lines.end());
+
+    std::ostringstream os;
+    for (const std::string& l : lines) os << l << "\n";
+    os << "-- conflicts --\n";
+    std::vector<std::string> ckeys;
+    ckeys.reserve(conflicts_.size());
+    for (const Conflict& c : conflicts_) {
+        ckeys.push_back(rebased_conflict_key(c) + " x" + std::to_string(c.occurrences));
+    }
+    std::sort(ckeys.begin(), ckeys.end());
+    for (const std::string& k : ckeys) os << k << "\n";
     os << "complete=" << (complete_ ? 1 : 0) << "\n";
     return os.str();
 }

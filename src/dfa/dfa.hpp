@@ -21,6 +21,10 @@ namespace ceu::dfa {
 struct DfaOptions {
     size_t max_states = 20000;
     bool stop_at_first_conflict = false;
+    /// Boot the exploration at these entry pcs (one concurrent root track
+    /// each) instead of pc 0. Used by the modular analysis to explore a
+    /// subset of top-level par arms in isolation. Empty = whole program.
+    std::vector<flat::Pc> boot_pcs;
 };
 
 struct DfaTransition {
@@ -45,7 +49,9 @@ struct DfaStateNode {
 /// pair) reached via many states/triggers is reported once with an
 /// occurrence count; the (a, b)/(b, a) orderings are normalized. Keeps the
 /// shortest (then lexicographically smallest) witness so reports stay
-/// deterministic regardless of exploration order.
+/// deterministic regardless of exploration order. Occurrence counts SUM on
+/// merge, so composing per-module ConflictSets (each already counted)
+/// reports the same totals as one set fed every raw discovery.
 class ConflictSet {
   public:
     void add(Conflict c);
@@ -58,6 +64,30 @@ class ConflictSet {
 
   private:
     std::map<std::string, Conflict> by_key_;
+};
+
+/// Rebasing context for `Dfa::signature(scope)`: renders a module-group
+/// exploration in module-local coordinates (gate ordinals within the
+/// group's gate ranges, par/async ordinals, source lines relative to each
+/// module's anchor line) so the signature is invariant under edits to
+/// *other* modules — the property the persistent analysis cache keys on.
+struct SignatureScope {
+    /// Global gate-id ranges [begin, end) owned by the group, sorted.
+    /// A gate is rendered as its offset in the concatenation of the ranges.
+    std::vector<std::pair<int, int>> gate_ranges;
+    std::map<int, int> par_remap;    // global par index -> local ordinal
+    std::map<int, int> async_remap;  // global async index -> local ordinal
+    /// Source-line rebasing: a line within [begin, end] renders as
+    /// `ordinal@line-anchor`; lines outside every range render verbatim.
+    struct LineRange {
+        int begin = 0, end = 0;  // inclusive source-line span of one module
+        int anchor = 0;          // the module's first source line
+        int ordinal = 0;         // module position within the group
+    };
+    std::vector<LineRange> lines;
+
+    [[nodiscard]] int gate_local(int gate) const;
+    [[nodiscard]] std::string line_str(int line) const;
 };
 
 class Dfa {
@@ -96,6 +126,11 @@ class Dfa {
     /// same program compare equal iff they found the same state set, the
     /// same transition structure, and the same conflict set.
     [[nodiscard]] std::string signature() const;
+
+    /// `signature()` rebased into module-local coordinates (see
+    /// SignatureScope): the canonical form of a sub-automaton explored for
+    /// one module group, stable under edits to other modules.
+    [[nodiscard]] std::string signature(const SignatureScope& scope) const;
 
   private:
     std::vector<DfaStateNode> states_;

@@ -5,8 +5,10 @@
 
 #include <cstdlib>
 #include <fstream>
+#include <set>
 #include <sstream>
 
+#include "analysis/modular.hpp"
 #include "cgen/cgen.hpp"
 #include "codegen/flatten.hpp"
 #include "dfa/dfa.hpp"
@@ -149,6 +151,44 @@ std::string first_divergence(const std::vector<std::string>& a,
     return "";
 }
 
+/// Witness-independent identity of a conflict: kind + subject + the
+/// normalized (unordered) location pair. Occurrence counts and witnesses
+/// legitimately differ between the product space and a composition.
+std::string conflict_key(const dfa::Conflict& c) {
+    auto loc_str = [](const SourceLoc& l) {
+        return std::to_string(l.line) + ":" + std::to_string(l.col);
+    };
+    const SourceLoc* lo = &c.loc_a;
+    const SourceLoc* hi = &c.loc_b;
+    if (std::make_pair(hi->line, hi->col) < std::make_pair(lo->line, lo->col)) {
+        std::swap(lo, hi);
+    }
+    return std::to_string(static_cast<int>(c.kind)) + "|" + c.what + "|" +
+           loc_str(*lo) + "|" + loc_str(*hi);
+}
+
+/// The modular-vs-monolithic equivalence oracle (empty = equivalent): on
+/// complete explorations the composed conflict set must equal the
+/// whole-program one, and composition must never *lose* completeness the
+/// monolithic exploration achieved (groups explore subsets of the product).
+std::string modular_mismatch(const dfa::Dfa& d, const analysis::ModularOutcome& mo) {
+    if (d.complete() && !mo.complete) {
+        return "composed analysis incomplete where monolithic is complete";
+    }
+    if (!d.complete()) return {};  // no monolithic verdict to compare against
+    std::set<std::string> mono, comp;
+    for (const dfa::Conflict& c : d.conflicts()) mono.insert(conflict_key(c));
+    for (const dfa::Conflict& c : mo.conflicts) comp.insert(conflict_key(c));
+    if (mono == comp) return {};
+    for (const std::string& k : mono) {
+        if (!comp.count(k)) return "conflict only in monolithic verdict: " + k;
+    }
+    for (const std::string& k : comp) {
+        if (!mono.count(k)) return "conflict only in composed verdict: " + k;
+    }
+    return "conflict sets differ";
+}
+
 std::string unique_base(const DiffOptions& opt) {
     static int counter = 0;
     std::string dir = opt.workdir;
@@ -172,6 +212,7 @@ const char* DiffResult::kind_name(Kind k) {
         case Kind::CgenDiverged: return "cgen-diverged";
         case Kind::CgenBuildError: return "cgen-build-error";
         case Kind::EngineError: return "engine-error";
+        case Kind::ModularDiverged: return "modular-diverged";
     }
     return "?";
 }
@@ -196,6 +237,18 @@ DiffResult run_differential(const std::string& source, const env::Script& script
     res.dfa_conflicts = d.conflicts().size();
     const bool verdict_ok = d.deterministic() && d.complete();
     const bool verdict_unknown = d.deterministic() && !d.complete();
+
+    if (opt.check_modular) {
+        analysis::ModularOptions mopt;
+        mopt.explore.max_states = opt.max_states;
+        analysis::ModularOutcome mo = analysis::explore_modular(cp, mopt);
+        std::string mismatch = modular_mismatch(d, mo);
+        if (!mismatch.empty()) {
+            res.kind = DiffResult::Kind::ModularDiverged;
+            res.detail = mismatch;
+            return res;
+        }
+    }
 
     InterpRun fifo = run_interp(cp, script, rt::EngineOptions::TieBreak::Fifo);
     InterpRun lifo = run_interp(cp, script, rt::EngineOptions::TieBreak::Lifo);

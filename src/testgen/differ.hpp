@@ -43,6 +43,9 @@ struct DiffOptions {
     bool run_cgen = true;
     /// Keep the generated artifacts on disk even when the case agrees.
     bool keep_artifacts = false;
+    /// Cross-check the modular partition-and-compose analysis against the
+    /// monolithic DFA verdict (same conflicts modulo witness choice).
+    bool check_modular = true;
 };
 
 struct DiffResult {
@@ -55,6 +58,7 @@ struct DiffResult {
         CgenDiverged,      // DFA OK but C != interpreter (cgen bug)
         CgenBuildError,    // host cc rejected the emitted C (cgen bug)
         EngineError,       // interpreter raised a runtime error (engine bug)
+        ModularDiverged,   // composed modular verdict != monolithic DFA
     };
     Kind kind = Kind::Agree;
 
@@ -76,7 +80,7 @@ struct DiffResult {
     [[nodiscard]] bool failure() const {
         return kind == Kind::CompileError || kind == Kind::TieBreakDiverged ||
                kind == Kind::CgenDiverged || kind == Kind::CgenBuildError ||
-               kind == Kind::EngineError;
+               kind == Kind::EngineError || kind == Kind::ModularDiverged;
     }
     [[nodiscard]] static const char* kind_name(Kind k);
 };

@@ -41,6 +41,15 @@
 //   --analysis.max-states N       state budget (default 20000)
 //   --analysis.strict             incomplete analysis => exit 1
 //   --analysis.fail-fast          stop exploring at the first conflict
+//   --analysis.modular            partition at the top-level plain par and
+//                                 compose per-arm DFAs instead of exploring
+//                                 the product space (arms whose interfaces
+//                                 interleave fall back to joint exploration;
+//                                 see docs/LANGUAGE.md)
+//   --analysis.cache-dir DIR      persistent module-DFA cache keyed by
+//                                 content hash (implies --analysis.modular):
+//                                 repeat runs re-explore only changed
+//                                 modules. --cache-dir is an alias.
 //
 // Fuzz options (dotted keys; --fuzz-out etc. stay as aliases):
 //   --fuzz.out DIR                write shrunk failures to DIR as corpus
@@ -75,6 +84,7 @@
 
 #include "analysis/explore.hpp"
 #include "analysis/lint.hpp"
+#include "analysis/modular.hpp"
 #include "analysis/witness.hpp"
 #include "cgen/cgen.hpp"
 #include "codegen/flatten.hpp"
@@ -96,6 +106,7 @@ int usage() {
         "--explain]\n"
         "            [--no-analysis] [--analysis.jobs N] [--analysis.max-states N]\n"
         "            [--analysis.strict] [--analysis.fail-fast]\n"
+        "            [--analysis.modular] [--analysis.cache-dir DIR]\n"
         "            [--diag-format=text|json] [--lint-only=IDs] "
         "[--lint-disable=IDs]\n"
         "            [--trace=FILE] [--stats=FILE] [--checkpoint=FILE]\n"
@@ -333,6 +344,8 @@ std::string canonical_arg(const std::string& a) {
         {"--analysis.max-states", "--max-states"},
         {"--analysis.strict", "--strict"},
         {"--analysis.fail-fast", "--fail-fast"},
+        {"--analysis.modular", "--modular"},
+        {"--analysis.cache-dir", "--cache-dir"},
     };
     for (const auto& [dotted, legacy] : kAliases) {
         if (a == dotted) return legacy;
@@ -349,6 +362,8 @@ int main(int argc, char** argv) {
     Mode mode = Mode::Check;
     bool analysis = true;
     bool strict = false;
+    bool modular = false;
+    std::string cache_dir;
     bool json = false;
     analysis::ExploreOptions eopt;
     analysis::LintOptions lopt;
@@ -388,6 +403,12 @@ int main(int argc, char** argv) {
         else if (a == "--no-analysis") analysis = false;
         else if (a == "--strict") strict = true;
         else if (a == "--fail-fast") eopt.stop_at_first_conflict = true;
+        else if (a == "--modular") modular = true;
+        else if (a.rfind("--cache-dir", 0) == 0 && value_of(a, "--cache-dir", i, &v)) {
+            if (v.empty()) return usage();
+            cache_dir = v;
+            modular = true;  // a cache only makes sense for modular verdicts
+        }
         else if (a.rfind("--analysis-jobs", 0) == 0 &&
                  value_of(a, "--analysis-jobs", i, &v)) {
             eopt.jobs = std::max(1, std::atoi(v.c_str()));
@@ -475,20 +496,129 @@ int main(int argc, char** argv) {
         }
 
         if (analysis) {
-            dfa::Dfa d = analysis::explore(cp, eopt);
+            // One verdict feeds every mode below, whichever engine computed
+            // it: monolithic product-space exploration or the modular
+            // partition-and-compose path (--analysis.modular / --cache-dir).
+            bool complete = true;
+            std::vector<dfa::Conflict> conflicts;
+            size_t states = 0;
+            bool used_modular = modular && mode != Mode::DfaDot;
+            if (used_modular) {
+                analysis::ModularOptions mopt;
+                mopt.explore = eopt;
+                mopt.cache_dir = cache_dir;
+                analysis::ModularOutcome mo = analysis::explore_modular(cp, mopt);
+                complete = mo.complete;
+                conflicts = std::move(mo.conflicts);
+                states = mo.states_total;
+                size_t cached = 0;
+                for (const analysis::GroupResult& g : mo.groups) {
+                    if (g.from_cache) ++cached;
+                }
+                if (json) {
+                    std::ostringstream os;
+                    os << "{\"pass\":\"analysis-cache\",\"severity\":\"note\",\"file\":";
+                    json_escape(os, path);
+                    os << ",\"line\":0,\"col\":0"
+                       << ",\"partitioned\":" << (mo.partition.partitioned ? "true" : "false")
+                       << ",\"composed\":" << (mo.composed ? "true" : "false")
+                       << ",\"modules\":" << mo.partition.modules.size()
+                       << ",\"groups\":" << mo.groups.size()
+                       << ",\"cached_groups\":" << cached
+                       << ",\"explored_groups\":" << (mo.groups.size() - cached)
+                       << ",\"states_explored\":" << mo.states_explored
+                       << ",\"states_total\":" << mo.states_total
+                       << ",\"cache_hits\":" << mo.cache.hits
+                       << ",\"cache_misses\":" << mo.cache.misses
+                       << ",\"cache_stores\":" << mo.cache.stores
+                       << ",\"cache_rejected\":" << mo.cache.rejected
+                       << ",\"message\":";
+                    std::ostringstream msg;
+                    msg << mo.partition.modules.size() << " modules in "
+                        << mo.groups.size() << " groups, " << cached << " cached";
+                    if (!mo.partition.partitioned) {
+                        msg << "; whole-program fallback: " << mo.partition.reason;
+                    }
+                    json_escape(os, msg.str());
+                    os << "}";
+                    std::printf("%s\n", os.str().c_str());
+                } else {
+                    std::fprintf(stderr,
+                                 "modular analysis: %zu modules in %zu groups "
+                                 "(%zu cached, %zu explored); %zu states "
+                                 "re-explored / %zu total; cache hits=%zu "
+                                 "misses=%zu stores=%zu rejected=%zu\n",
+                                 mo.partition.modules.size(), mo.groups.size(),
+                                 cached, mo.groups.size() - cached,
+                                 mo.states_explored, mo.states_total,
+                                 mo.cache.hits, mo.cache.misses, mo.cache.stores,
+                                 mo.cache.rejected);
+                    if (!mo.partition.partitioned) {
+                        std::fprintf(stderr, "  whole-program fallback: %s\n",
+                                     mo.partition.reason.c_str());
+                    }
+                    for (const analysis::GroupResult& g : mo.groups) {
+                        if (!g.fallback_reason.empty()) {
+                            std::fprintf(stderr,
+                                         "  %zu arms explored jointly: %s\n",
+                                         g.modules.size(),
+                                         g.fallback_reason.c_str());
+                        }
+                    }
+                }
+            } else {
+                dfa::Dfa d = analysis::explore(cp, eopt);
+                complete = d.complete();
+                conflicts = d.conflicts();
+                states = d.state_count();
+                if (mode == Mode::DfaDot) {
+                    bool budget_exhausted =
+                        !complete && !(eopt.stop_at_first_conflict && !conflicts.empty());
+                    if (budget_exhausted) {
+                        if (json) {
+                            std::printf("%s\n",
+                                        analysis::incomplete_finding(states,
+                                                                     eopt.max_states)
+                                            .json(path)
+                                            .c_str());
+                        }
+                        std::fprintf(stderr,
+                                     "warning: temporal analysis incomplete (state "
+                                     "budget exhausted: %zu states explored, "
+                                     "--max-states=%zu); determinism NOT proven\n",
+                                     states, eopt.max_states);
+                    }
+                    if (!d.deterministic()) {
+                        if (json) {
+                            for (const dfa::Conflict& c : conflicts) {
+                                std::printf(
+                                    "%s\n",
+                                    analysis::conflict_finding(c).json(path).c_str());
+                            }
+                        }
+                        std::fprintf(stderr,
+                                     "temporal analysis refused the program:\n%s",
+                                     d.report().c_str());
+                    }
+                    std::printf("%s", d.to_dot(path).c_str());
+                    return d.deterministic() ? 0 : 1;
+                }
+            }
+
             // An exploration truncated by the state budget proves nothing:
-            // never let it masquerade as an "OK".
+            // never let it masquerade as an "OK". Any incomplete module makes
+            // a composed verdict incomplete (Dfa::complete() honesty).
             bool budget_exhausted =
-                !d.complete() && !(eopt.stop_at_first_conflict && !d.deterministic());
+                !complete && !(eopt.stop_at_first_conflict && !conflicts.empty());
 
             if (mode == Mode::Lint) {
                 std::vector<analysis::Finding> findings;
-                for (const dfa::Conflict& c : d.conflicts()) {
+                for (const dfa::Conflict& c : conflicts) {
                     findings.push_back(analysis::conflict_finding(c));
                 }
                 if (budget_exhausted) {
                     findings.push_back(
-                        analysis::incomplete_finding(d.state_count(), eopt.max_states));
+                        analysis::incomplete_finding(states, eopt.max_states));
                 }
                 std::vector<analysis::Finding> lints = analysis::run_lints(cp, lopt);
                 findings.insert(findings.end(), std::make_move_iterator(lints.begin()),
@@ -506,8 +636,7 @@ int main(int argc, char** argv) {
             if (budget_exhausted) {
                 if (json) {
                     std::printf("%s\n",
-                                analysis::incomplete_finding(d.state_count(),
-                                                             eopt.max_states)
+                                analysis::incomplete_finding(states, eopt.max_states)
                                     .json(path)
                                     .c_str());
                 }
@@ -515,46 +644,47 @@ int main(int argc, char** argv) {
                              "warning: temporal analysis incomplete (state budget "
                              "exhausted: %zu states explored, --max-states=%zu); "
                              "determinism NOT proven\n",
-                             d.state_count(), eopt.max_states);
-                if (strict && mode != Mode::DfaDot) {
+                             states, eopt.max_states);
+                if (strict) {
                     std::fprintf(stderr, "error: --strict: refusing incompletely "
                                          "analyzed program\n");
                     return 1;
                 }
             }
-            if (!d.deterministic()) {
+            if (!conflicts.empty()) {
                 if (json) {
-                    for (const dfa::Conflict& c : d.conflicts()) {
+                    for (const dfa::Conflict& c : conflicts) {
                         std::printf("%s\n",
                                     analysis::conflict_finding(c).json(path).c_str());
                     }
                 }
-                std::fprintf(stderr, "temporal analysis refused the program:\n%s",
-                             d.report().c_str());
+                std::fprintf(stderr, "temporal analysis refused the program:\n");
+                for (const dfa::Conflict& c : conflicts) {
+                    std::fprintf(stderr, "%s\n", c.str().c_str());
+                }
                 if (mode == Mode::Explain) {
-                    for (const dfa::Conflict& c : d.conflicts()) {
+                    for (const dfa::Conflict& c : conflicts) {
                         std::fprintf(
                             stderr, "  witness: %s\n",
                             analysis::witness_chain(c.witness).c_str());
                     }
-                    const dfa::Conflict& first = d.conflicts().front();
+                    // Modular witnesses replay whole-program as-is: a module
+                    // trigger is a real input, and arms outside the conflict's
+                    // group ignore it by construction (no interference edge).
+                    const dfa::Conflict& first = conflicts.front();
                     std::printf("# replay script reaching: %s\n", first.str().c_str());
                     std::printf("%s",
                                 analysis::witness_script_text(first.witness).c_str());
                     std::printf("Q\n");
                 }
-                if (mode != Mode::DfaDot) return 1;
-            }
-            if (mode == Mode::DfaDot) {
-                std::printf("%s", d.to_dot(path).c_str());
-                return d.deterministic() ? 0 : 1;
+                return 1;
             }
             if (mode == Mode::Check || mode == Mode::Explain) {
                 std::printf("%s: %s (%zu DFA states, %zu instructions, %d slots, "
                             "%zu gates)\n",
                             path.c_str(),
                             budget_exhausted ? "no conflicts found, INCOMPLETE" : "OK",
-                            d.state_count(), cp.flat.code.size(),
+                            states, cp.flat.code.size(),
                             cp.flat.data_size, cp.flat.gates.size());
                 return 0;
             }

@@ -557,6 +557,21 @@ TEST(CliAnalysis, LintEmitsJsonPerDiagnostic) {
     EXPECT_TRUE(temporal) << r.out;
 }
 
+TEST(CliAnalysis, ModularCacheCountersProveIncrementality) {
+    std::string dir = ::testing::TempDir() + "ceuc_analysis_cache_" +
+                      std::to_string(getpid());
+    std::string prog = "input void A, B;\npar do\n   loop do await A; end\n"
+                       "with\n   loop do await B; end\nend\n";
+    CliResult cold = run_ceuc("--analysis.cache-dir=" + dir, prog);
+    EXPECT_EQ(cold.exit_code, 0) << cold.err;
+    EXPECT_NE(cold.err.find("cache hits=0 misses=2 stores=2"), std::string::npos)
+        << cold.err;
+    CliResult warm = run_ceuc("--analysis.cache-dir=" + dir, prog);
+    EXPECT_EQ(warm.exit_code, 0) << warm.err;
+    EXPECT_NE(warm.err.find("cache hits=2 misses=0 stores=0"), std::string::npos)
+        << warm.err;
+}
+
 TEST(CliAnalysis, ExplainScriptReplaysIntoTheConflict) {
     CliResult explain = run_ceuc("--explain", kFigure2);
     EXPECT_EQ(explain.exit_code, 1);
