@@ -28,7 +28,9 @@
 #include <thread>
 #include <vector>
 
+#include "aot/aot.hpp"
 #include "codegen/flatten.hpp"
+#include "host/instance.hpp"
 #include "reactor/reactor.hpp"
 
 namespace {
@@ -109,10 +111,14 @@ struct Cell {
     double reactions_per_sec = 0;
 };
 
+/// `img` non-null switches the whole fleet to the AOT-compiled backend:
+/// same three programs, every member one calloc'd C context driven through
+/// the shared-object descriptors (the `compiled` series).
 Cell run_cell(size_t workers, size_t instances,
               const std::shared_ptr<const flat::CompiledProgram>& counter,
               const std::shared_ptr<const flat::CompiledProgram>& ticker,
-              const std::shared_ptr<const flat::CompiledProgram>& async_step) {
+              const std::shared_ptr<const flat::CompiledProgram>& async_step,
+              const std::shared_ptr<const aot::FleetImage>& img = nullptr) {
     Cell cell;
     cell.workers = workers;
     cell.instances = instances;
@@ -127,10 +133,12 @@ Cell run_cell(size_t workers, size_t instances,
     rc.observe_stats = true;
     reactor::Reactor r(rc);
     for (size_t i = 0; i < instances; ++i) {
+        host::Config hc;
+        if (img) hc.aot = img->program(i % 3);
         switch (i % 3) {
-            case 0: r.add_instance(counter); break;
-            case 1: r.add_instance(ticker); break;
-            default: r.add_instance(async_step); break;
+            case 0: r.add_instance(counter, hc); break;
+            case 1: r.add_instance(ticker, hc); break;
+            default: r.add_instance(async_step, hc); break;
         }
     }
     r.boot();
@@ -286,15 +294,62 @@ int main(int argc, char** argv) {
     }
     double speedup = rps_1w_10k > 0 ? rps_8w_10k / rps_1w_10k : 0.0;
 
+    // The compiled series: the same fleet mix with every member on the
+    // AOT backend (one shared object for the three programs). Skipped —
+    // with an explicit note in the JSON — when the host has no C compiler.
+    std::string aot_err;
+    std::shared_ptr<const aot::FleetImage> img;
+    if (aot::toolchain_available()) {
+        std::vector<std::shared_ptr<const flat::CompiledProgram>> programs = {
+            counter, ticker, async_step};
+        img = aot::FleetImage::build(programs, {}, &aot_err);
+    } else {
+        aot_err = "aot: no host C compiler";
+    }
+    double rps_compiled_1w_10k = 0;
+    js << "],\"compiled_cells\":[";
+    if (img) {
+        std::printf("\n-- compiled (AOT) fleet --\n");
+        first = true;
+        for (size_t instances : fleet_sizes) {
+            for (size_t workers : worker_counts) {
+                Cell c = run_cell(workers, instances, counter, ticker, async_step, img);
+                std::printf("%8zu %10zu %8.0fms %12.0fB %14llu %11.0f/s\n", c.workers,
+                            c.instances, c.boot_ms, c.bytes_per_instance,
+                            static_cast<unsigned long long>(c.reactions),
+                            c.reactions_per_sec);
+                js << (first ? "" : ",") << "{\"workers\":" << c.workers
+                   << ",\"instances\":" << c.instances << ",\"boot_ms\":" << c.boot_ms
+                   << ",\"bytes_per_instance\":" << c.bytes_per_instance
+                   << ",\"reactions\":" << c.reactions << ",\"ms\":" << c.ms
+                   << ",\"reactions_per_sec\":" << c.reactions_per_sec << "}";
+                first = false;
+                if (instances == 10'000 && workers == 1) {
+                    rps_compiled_1w_10k = c.reactions_per_sec;
+                }
+            }
+        }
+    } else {
+        std::fprintf(stderr, "compiled series skipped: %s\n", aot_err.c_str());
+    }
+    double compiled_vs_interp =
+        rps_1w_10k > 0 ? rps_compiled_1w_10k / rps_1w_10k : 0.0;
+
     CheckpointMetrics ck = run_checkpoint_bench(quick ? 1'000 : 10'000, counter,
                                                 ticker, async_step);
-    js << "],\"speedup_8v1_10k\":" << speedup << ",\"checkpoint\":{\"instances\":"
+    js << "],\"speedup_8v1_10k\":" << speedup
+       << ",\"compiled_vs_interp_10k\":" << compiled_vs_interp
+       << ",\"checkpoint\":{\"instances\":"
        << ck.instances << ",\"bytes_per_instance\":" << ck.bytes_per_instance
        << ",\"save_us_per_instance\":" << ck.save_us_per_instance
        << ",\"restore_us_per_instance\":" << ck.restore_us_per_instance
-       << "},\"schema\":\"ceu-bench-reactor-v2\"}";
+       << "},\"schema\":\"ceu-bench-reactor-v3\"}";
 
     std::printf("\n8-worker vs 1-worker aggregate on the 10k mix: %.2fx\n", speedup);
+    if (img) {
+        std::printf("compiled vs interpreted (1 worker, 10k mix): %.2fx\n",
+                    compiled_vs_interp);
+    }
     std::printf(
         "checkpoint (%zu-instance mix): %.0f B/inst, save %.2f us/inst, "
         "restore %.2f us/inst\n",
@@ -331,6 +386,23 @@ int main(int argc, char** argv) {
             return 1;
         } else {
             std::printf("check: OK (%.2fx >= %.1fx)\n", speedup, kFloor);
+        }
+
+        // The compiled-series gate: on the 10k mix at 1 worker, the AOT
+        // backend must clear 5x the interpreter's aggregate reactions/s.
+        // Self-skips (not a failure) where no host C compiler exists.
+        constexpr double kCompiledFloor = 5.0;
+        if (!img) {
+            std::printf("check (compiled): SKIPPED (%s)\n", aot_err.c_str());
+        } else if (compiled_vs_interp < kCompiledFloor) {
+            std::fprintf(stderr,
+                         "check (compiled): FAIL — compiled backend at %.2fx "
+                         "of interpreted on the 10k mix (need >= %.1fx)\n",
+                         compiled_vs_interp, kCompiledFloor);
+            return 1;
+        } else {
+            std::printf("check (compiled): OK (%.2fx >= %.1fx)\n",
+                        compiled_vs_interp, kCompiledFloor);
         }
     }
     return 0;

@@ -1,0 +1,117 @@
+// The C ABI between cgen's re-entrant translation units and the in-process
+// AOT loader (src/aot/). A re-entrant TU keeps every mutable word of
+// program state in one POD `ceu_ctx_t` allocated per instance and exports
+// exactly one symbol: a `ceu_aot_program_t` descriptor of entry points.
+// The host talks to a context through the descriptor; the context talks
+// back (trace lines, obs spans, output events) through the `ceu_host_api_t`
+// vtable it was created with.
+//
+// The two representations below — the C++ struct declarations and the C
+// source text cgen splices into every re-entrant TU — MUST stay field-for-
+// field identical. `kAotAbiVersion` is bumped on any layout change and
+// checked at dlopen time, so a stale .so fails loudly instead of calling
+// through a skewed vtable.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+extern "C" {
+
+/// Host-side callbacks a compiled instance calls back into. `user` is the
+/// owning host object (ceu::host::Instance in-tree). Null callbacks are
+/// skipped — an instance with a null `trace_line` simply drops its trace.
+typedef struct ceu_host_api {
+    void* user;
+    void (*trace_line)(void* user, const char* line, int32_t len);
+    void (*obs_begin)(void* user, int32_t kind, int32_t id, const char* name,
+                      int64_t ts);
+    void (*obs_wake)(void* user, int32_t gate);
+    void (*obs_emit)(void* user, int32_t event_id, int32_t depth);
+    void (*obs_timer)(void* user, int32_t gate, int64_t residual);
+    void (*obs_end)(void* user, int32_t status, int64_t result);
+    void (*output)(void* user, int32_t output_id, const char* name, int64_t value);
+} ceu_host_api_t;
+
+/// One compiled program: fingerprint + context lifecycle + the paper's
+/// four-entry reactive API, instance-context edition. Exported from each
+/// TU as `ceu_aot_prog_<index>`; everything else in the TU is static.
+typedef struct ceu_aot_program {
+    uint32_t abi_version;   /* == kAotAbiVersion of the emitting build */
+    uint64_t fingerprint;   /* rt::program_fingerprint of the flat program */
+    const char* name;
+    size_t ctx_size;        /* sizeof(ceu_ctx_t): also the snapshot size */
+    void* (*create)(const ceu_host_api_t* host);
+    void (*destroy)(void* ctx);
+    void (*reset)(void* ctx);
+    void (*set_boot_clock)(void* ctx, int64_t us);
+    void (*go_init)(void* ctx);
+    void (*go_event)(void* ctx, int32_t evt, int64_t val);
+    void (*go_time)(void* ctx, int64_t now);
+    int32_t (*go_async)(void* ctx);
+    /* Run up to `n` async slices in one call (stops early when the program
+     * leaves Running or the async queue drains). Semantically identical to
+     * n consecutive go_async calls; exists so a reactor granting a per-round
+     * slice budget pays one ABI crossing per round, not one per slice. */
+    int32_t (*go_async_n)(void* ctx, int64_t n);
+    int32_t (*status)(void* ctx);      /* 0 loaded, 1 running, 2 done, 3 faulted */
+    int64_t (*result)(void* ctx);
+    int64_t (*now)(void* ctx);
+    int64_t (*next_deadline)(void* ctx); /* -1 when no timer armed */
+    int32_t (*has_async)(void* ctx);
+    uint64_t (*reactions)(void* ctx);
+    int32_t (*resolve_input)(const char* name); /* dense id or -1 */
+    void (*snapshot)(void* ctx, void* buf);     /* buf holds ctx_size bytes */
+    int32_t (*restore)(void* ctx, const void* buf, size_t len);
+} ceu_aot_program_t;
+
+}  // extern "C"
+
+namespace ceu::cgen {
+
+inline constexpr uint32_t kAotAbiVersion = 1;
+
+/// Prefix of every exported descriptor symbol; the per-TU index is appended
+/// by the fleet builder (`ceu_aot_prog_0`, `ceu_aot_prog_1`, ...).
+inline constexpr const char* kAotSymbolPrefix = "ceu_aot_prog_";
+
+/// The same two typedefs as C source text (spliced verbatim into every
+/// re-entrant TU so the emitted C stays a self-contained single file).
+inline constexpr const char* kAotAbiC = R"(/* ---- AOT ABI (keep in sync with src/cgen/aot_abi.hpp, version 1) ---- */
+typedef struct ceu_host_api {
+    void* user;
+    void (*trace_line)(void* user, const char* line, int32_t len);
+    void (*obs_begin)(void* user, int32_t kind, int32_t id, const char* name, int64_t ts);
+    void (*obs_wake)(void* user, int32_t gate);
+    void (*obs_emit)(void* user, int32_t event_id, int32_t depth);
+    void (*obs_timer)(void* user, int32_t gate, int64_t residual);
+    void (*obs_end)(void* user, int32_t status, int64_t result);
+    void (*output)(void* user, int32_t output_id, const char* name, int64_t value);
+} ceu_host_api_t;
+typedef struct ceu_aot_program {
+    uint32_t abi_version;
+    uint64_t fingerprint;
+    const char* name;
+    size_t ctx_size;
+    void* (*create)(const ceu_host_api_t* host);
+    void (*destroy)(void* ctx);
+    void (*reset)(void* ctx);
+    void (*set_boot_clock)(void* ctx, int64_t us);
+    void (*go_init)(void* ctx);
+    void (*go_event)(void* ctx, int32_t evt, int64_t val);
+    void (*go_time)(void* ctx, int64_t now);
+    int32_t (*go_async)(void* ctx);
+    int32_t (*go_async_n)(void* ctx, int64_t n);
+    int32_t (*status)(void* ctx);
+    int64_t (*result)(void* ctx);
+    int64_t (*now)(void* ctx);
+    int64_t (*next_deadline)(void* ctx);
+    int32_t (*has_async)(void* ctx);
+    uint64_t (*reactions)(void* ctx);
+    int32_t (*resolve_input)(const char* name);
+    void (*snapshot)(void* ctx, void* buf);
+    int32_t (*restore)(void* ctx, const void* buf, size_t len);
+} ceu_aot_program_t;
+)";
+
+}  // namespace ceu::cgen

@@ -24,6 +24,19 @@ struct CgenOptions {
     bool with_main = true;
     /// Include <stdio.h>/<assert.h> and map `_printf`/`_assert` to libc.
     bool with_libc = true;
+    /// Emit the re-entrant instance-context variant: all mutable state lives
+    /// in a per-instance `ceu_ctx_t`, `_printf`/output/obs traffic routes
+    /// through a `ceu_host_api_t` vtable, and the TU exports a single
+    /// `ceu_aot_program_t` descriptor named `aot_symbol` (see aot_abi.hpp).
+    /// With `with_main` the deprecated process-global entry points
+    /// (`ceu_go_init` & co over one implicit instance) and the scripted
+    /// harness are still emitted on top, so golden-trace tests can drive
+    /// either entry point; without it the descriptor is the only exported
+    /// symbol, which is what lets many programs share one shared object.
+    /// Requires `with_libc`.
+    bool reentrant = false;
+    /// Exported descriptor symbol in reentrant mode.
+    std::string aot_symbol = "ceu_aot_prog_0";
     std::string program_name = "ceu_program";
 };
 

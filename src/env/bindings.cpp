@@ -85,6 +85,17 @@ CBindings make_standard_bindings() {
         return Value::integer(0);
     });
 
+    // Deterministic fault lever for supervision tests. The interpreter
+    // raises a recoverable RuntimeError (trapped into Status::Faulted when
+    // the engine runs with trap_faults); cgen output compiles `_ceu_trip()`
+    // to a fault flag plus a scheduler drain. Unlike a division by zero —
+    // which is UB in compiled C — this trips both backends without
+    // undefined behavior. The compiled flavor finishes the current track up
+    // to its next await, so programs place the trip right before one.
+    c.fn("ceu_trip", [](Engine&, std::span<const Value>) -> Value {
+        throw rt::RuntimeError({}, "_ceu_trip() reached");
+    });
+
     c.fn("assert", [](Engine& eng, std::span<const Value> args) {
         bool ok = !args.empty() && args[0].truthy();
         if (!ok) {

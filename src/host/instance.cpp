@@ -39,6 +39,31 @@ Instance::Instance(std::shared_ptr<const flat::CompiledProgram> cp, Config cfg)
 
 void Instance::init(Config& cfg) {
     collect_trace_ = cfg.collect_trace;
+    if (cfg.aot) {
+        if (cfg.bindings != nullptr) {
+            throw std::invalid_argument(
+                "compiled (AOT) instances cannot take extra C bindings");
+        }
+        if (cfg.aot.desc->fingerprint != rt::program_fingerprint(*cp_)) {
+            throw std::invalid_argument(
+                "AOT handle was compiled from a different program "
+                "(fingerprint mismatch)");
+        }
+        aot_ = cfg.aot;
+        host_api_.user = this;
+        host_api_.trace_line = &Instance::aot_trace_cb;
+        host_api_.obs_begin = &Instance::aot_obs_begin_cb;
+        host_api_.obs_wake = &Instance::aot_obs_wake_cb;
+        host_api_.obs_emit = &Instance::aot_obs_emit_cb;
+        host_api_.obs_timer = &Instance::aot_obs_timer_cb;
+        host_api_.obs_end = &Instance::aot_obs_end_cb;
+        host_api_.output = &Instance::aot_output_cb;
+        ctx_ = aot_.desc->create(&host_api_);
+        if (ctx_ == nullptr) {
+            throw std::runtime_error("AOT context allocation failed");
+        }
+        return;
+    }
     const rt::CBindings* effective = &shared_standard_bindings();
     if (cfg.bindings != nullptr) {
         bindings_ = std::make_unique<rt::CBindings>(env::make_standard_bindings());
@@ -52,40 +77,132 @@ void Instance::init(Config& cfg) {
     };
 }
 
+Instance::~Instance() {
+    if (ctx_ != nullptr) aot_.desc->destroy(ctx_);
+}
+
+// -- AOT host-api callbacks ---------------------------------------------------
+
+void Instance::push_trace_line(std::string line) {
+    // Same order as the interpreter's on_trace lambda: collect, then stream.
+    if (collect_trace_) trace_.push_back(line);
+    if (on_trace_line) on_trace_line(std::move(line));
+}
+
+void Instance::aot_trace_cb(void* user, const char* line, int32_t len) {
+    static_cast<Instance*>(user)->push_trace_line(
+        std::string(line, len > 0 ? static_cast<size_t>(len) : 0));
+}
+
+void Instance::aot_obs_begin_cb(void* user, int32_t kind, int32_t id,
+                                const char* name, int64_t ts) {
+    auto* self = static_cast<Instance*>(user);
+    if (!self->obs_armed_) return;
+    self->recorder_.begin(static_cast<obs::ReactionKind>(kind), id,
+                          name != nullptr ? name : "", ts);
+}
+
+void Instance::aot_obs_wake_cb(void* user, int32_t gate) {
+    auto* self = static_cast<Instance*>(user);
+    if (self->obs_armed_) self->recorder_.wake(gate);
+}
+
+void Instance::aot_obs_emit_cb(void* user, int32_t event_id, int32_t depth) {
+    auto* self = static_cast<Instance*>(user);
+    if (self->obs_armed_) self->recorder_.emit(event_id, depth);
+}
+
+void Instance::aot_obs_timer_cb(void* user, int32_t gate, int64_t residual) {
+    auto* self = static_cast<Instance*>(user);
+    if (self->obs_armed_) self->recorder_.timer_fire(gate, residual);
+}
+
+void Instance::aot_obs_end_cb(void* user, int32_t status, int64_t result) {
+    auto* self = static_cast<Instance*>(user);
+    if (self->obs_armed_) self->recorder_.end(status, result, 0);
+}
+
+void Instance::aot_output_cb(void* user, int32_t output_id, const char* name,
+                             int64_t value) {
+    // Unhandled-output parity with the interpreter (EmitOutput): outputs
+    // become trace lines. Custom OutputFn bindings are an interpreter-only
+    // feature.
+    (void)output_id;
+    static_cast<Instance*>(user)->push_trace_line(
+        "output " + std::string(name != nullptr ? name : "?") + " = " +
+        std::to_string(value));
+}
+
+rt::Engine::Status Instance::aot_status() const {
+    switch (aot_.desc->status(ctx_)) {
+        case 0: return Engine::Status::Loaded;
+        case 1: return Engine::Status::Running;
+        case 2: return Engine::Status::Terminated;
+        default: return Engine::Status::Faulted;
+    }
+}
+
 // -- lifecycle ----------------------------------------------------------------
 
 void Instance::boot() {
     // If the host clock moved before boot (advance()/advance_to() on a
     // not-yet-booted instance — the fleet late-joiner path), the boot
     // reaction happens at that instant, not at the epoch.
+    if (is_compiled()) {
+        aot_.desc->set_boot_clock(ctx_, clock_);
+        aot_.desc->go_init(ctx_);
+        return;
+    }
     engine_->set_boot_clock(clock_);
     engine_->go_init();
 }
 
-void Instance::reset() { engine_->reset(); }
+void Instance::reset() {
+    if (is_compiled()) {
+        aot_.desc->reset(ctx_);
+        return;
+    }
+    engine_->reset();
+}
 
 void Instance::power_cycle() {
     // Power-cycle: all program state is lost; the wall-clock persists
     // (reset keeps `now`, so the reboot reaction and any timers it arms
     // are stamped with the current instant).
-    engine_->reset();
-    engine_->trace("[crash] engine power-cycled");
-    engine_->go_init();
+    reset();
+    note("[crash] engine power-cycled");
+    if (is_compiled()) {
+        aot_.desc->go_init(ctx_);
+    } else {
+        engine_->go_init();
+    }
 }
 
 // -- inputs -------------------------------------------------------------------
 
 void Instance::inject(const std::string& event, Value v) {
-    if (!engine_->go_event_by_name(event, v)) {
+    if (!try_inject(event, v)) {
         throw rt::RuntimeError({}, "unknown input event '" + event + "'");
     }
 }
 
 bool Instance::try_inject(const std::string& event, Value v) {
+    if (is_compiled()) {
+        EventId id = resolve_input(event);
+        if (id == kNoEvent) return false;
+        inject(static_cast<int>(id), v);
+        return true;
+    }
     return engine_->go_event_by_name(event, v);
 }
 
-void Instance::inject(int event_id, Value v) { engine_->go_event(event_id, v); }
+void Instance::inject(int event_id, Value v) {
+    if (is_compiled()) {
+        aot_.desc->go_event(ctx_, event_id, v.as_int());
+        return;
+    }
+    engine_->go_event(event_id, v);
+}
 
 EventId Instance::resolve_input(const std::string& event) const {
     return cp_->sema.input_id(event);
@@ -96,27 +213,50 @@ void Instance::advance(Micros delta) {
     // ahead of our accumulator when asyncs advanced time via `emit <time>`.
     // This matches the compiled harness (`ceu_go_time(ceu_now + v)`), so
     // interpreter and cgen traces stay byte-compatible.
-    clock_ = std::max(clock_, engine_->now()) + delta;
-    engine_->go_time(clock_);
+    clock_ = std::max(clock_, now()) + delta;
+    if (is_compiled()) {
+        aot_.desc->go_time(ctx_, clock_);
+    } else {
+        engine_->go_time(clock_);
+    }
 }
 
 void Instance::advance_to(Micros abs_us) {
     clock_ = std::max(clock_, abs_us);
-    engine_->go_time(clock_);
+    if (is_compiled()) {
+        aot_.desc->go_time(ctx_, clock_);
+    } else {
+        engine_->go_time(clock_);
+    }
 }
 
-bool Instance::step_async() { return engine_->go_async(); }
+bool Instance::step_async() {
+    if (is_compiled()) return aot_.desc->go_async(ctx_) != 0;
+    return engine_->go_async();
+}
+
+bool Instance::run_async_slices(uint64_t n) {
+    if (is_compiled()) {
+        return aot_.desc->go_async_n(ctx_, static_cast<int64_t>(n)) != 0;
+    }
+    bool more = false;
+    for (uint64_t k = 0; k < n; ++k) {
+        more = engine_->go_async();
+        if (!more) break;
+    }
+    return more;
+}
 
 void Instance::settle(uint64_t max_slices) {
     uint64_t n = 0;
-    while (engine_->status() == Engine::Status::Running && engine_->has_async_work()) {
-        if (!engine_->go_async()) break;
+    while (status() == Engine::Status::Running && has_async_work()) {
+        if (!step_async()) break;
         if (++n >= max_slices) {
             throw rt::RuntimeError({}, "async work did not settle within the slice cap");
         }
     }
     // The virtual clock may have advanced via `emit <time>` inside asyncs.
-    clock_ = std::max(clock_, engine_->now());
+    clock_ = std::max(clock_, now());
 }
 
 // -- scripts ------------------------------------------------------------------
@@ -164,7 +304,7 @@ Engine::Status Instance::replay(const env::Script& script) {
     }
     for (size_t i = 0; i < items.size(); ++i) {
         const env::ScriptItem& item = items[i];
-        if (engine_->status() != Engine::Status::Running &&
+        if (status() != Engine::Status::Running &&
             item.kind != env::ScriptItem::Kind::Crash) {
             break;
         }
@@ -173,13 +313,13 @@ Engine::Status Instance::replay(const env::Script& script) {
                 throw rt::RuntimeError({}, "script refers to unknown input event '" +
                                                item.event + "'");
             }
-            engine_->go_event(ids[i], item.value);
+            inject(static_cast<int>(ids[i]), item.value);
         } else {
             feed(item);
         }
     }
-    if (engine_->status() == Engine::Status::Running) settle();
-    return engine_->status();
+    if (status() == Engine::Status::Running) settle();
+    return status();
 }
 
 Engine::Status Instance::run(const env::Script& script, Diagnostics& diags) {
@@ -187,7 +327,7 @@ Engine::Status Instance::run(const env::Script& script, Diagnostics& diags) {
         return run(script);
     } catch (const rt::RuntimeError& e) {
         diags.error(e.loc(), e.message());
-        return engine_->status();
+        return status();
     }
 }
 
@@ -196,7 +336,7 @@ Engine::Status Instance::resume(const env::Script& script, Diagnostics& diags) {
         return resume(script);
     } catch (const rt::RuntimeError& e) {
         diags.error(e.loc(), e.message());
-        return engine_->status();
+        return status();
     }
 }
 
@@ -204,6 +344,11 @@ Engine::Status Instance::resume(const env::Script& script, Diagnostics& diags) {
 
 namespace {
 constexpr char kHostMagic[8] = {'C', 'E', 'U', 'H', 'S', 'T', '0', '1'};
+// Compiled-backend snapshots: the engine blob is replaced by the raw
+// ceu_ctx_t image plus the descriptor fingerprint that produced it. The
+// image may hold .so-relative pointers (string literals), so the blob is
+// same-process / same-image only — which restore enforces via fingerprint.
+constexpr char kAotMagic[8] = {'C', 'E', 'U', 'A', 'O', 'T', '0', '1'};
 
 void write_stats(rt::snap::ByteWriter& w, const obs::ProcessStats& s) {
     w.u64(s.reactions);
@@ -259,6 +404,18 @@ obs::ProcessStats read_stats(rt::snap::ByteReader& r) {
 std::vector<uint8_t> Instance::save() const {
     std::vector<uint8_t> out;
     rt::snap::ByteWriter w(out);
+    if (is_compiled()) {
+        w.bytes(reinterpret_cast<const uint8_t*>(kAotMagic), sizeof kAotMagic);
+        w.i64(clock_);
+        w.u64(aot_.desc->fingerprint);
+        std::vector<uint8_t> ctx(aot_.desc->ctx_size);
+        aot_.desc->snapshot(ctx_, ctx.data());
+        w.u32(static_cast<uint32_t>(ctx.size()));
+        w.bytes(ctx.data(), ctx.size());
+        w.u64(recorder_.seq());
+        write_stats(w, recorder_.stats());
+        return out;
+    }
     w.bytes(reinterpret_cast<const uint8_t*>(kHostMagic), sizeof kHostMagic);
     w.i64(clock_);
     // Length-prefixed engine blob so the host layer can add fields after
@@ -276,6 +433,48 @@ void Instance::load(const std::vector<uint8_t>& blob) {
     rt::snap::ByteReader r(blob.data(), blob.size());
     uint8_t magic[sizeof kHostMagic];
     for (uint8_t& b : magic) b = r.u8();
+    if (is_compiled()) {
+        if (std::memcmp(magic, kHostMagic, sizeof kHostMagic) == 0) {
+            throw rt::snap::SnapshotError(
+                "interpreter (CEUHST01) snapshot cannot restore into a "
+                "compiled (AOT) instance");
+        }
+        if (std::memcmp(magic, kAotMagic, sizeof kAotMagic) != 0) {
+            throw rt::snap::SnapshotError(
+                "bad magic (not a CEUAOT01 instance snapshot)");
+        }
+        Micros clock = r.i64();
+        uint64_t fp = r.u64();
+        if (fp != aot_.desc->fingerprint) {
+            throw rt::snap::SnapshotError(
+                "snapshot was taken by a different compiled program "
+                "(fingerprint mismatch)");
+        }
+        uint32_t ctx_len = r.count(1);
+        if (ctx_len != aot_.desc->ctx_size || r.remaining() < ctx_len) {
+            throw rt::snap::SnapshotError("bad context image size");
+        }
+        std::vector<uint8_t> ctx(blob.end() - static_cast<std::ptrdiff_t>(r.remaining()),
+                                 blob.end() - static_cast<std::ptrdiff_t>(r.remaining()) +
+                                     static_cast<std::ptrdiff_t>(ctx_len));
+        for (uint32_t i = 0; i < ctx_len; ++i) (void)r.u8();
+        uint64_t rec_seq = r.u64();
+        obs::ProcessStats stats = read_stats(r);
+        if (!r.done()) {
+            throw rt::snap::SnapshotError("trailing bytes after instance state");
+        }
+        if (aot_.desc->restore(ctx_, ctx.data(), ctx.size()) == 0) {
+            throw rt::snap::SnapshotError("compiled context refused the image");
+        }
+        clock_ = clock;
+        recorder_.restore(stats, rec_seq);
+        return;
+    }
+    if (std::memcmp(magic, kAotMagic, sizeof kAotMagic) == 0) {
+        throw rt::snap::SnapshotError(
+            "compiled (CEUAOT01) snapshot cannot restore into an "
+            "interpreter instance");
+    }
     if (std::memcmp(magic, kHostMagic, sizeof kHostMagic) != 0) {
         throw rt::snap::SnapshotError("bad magic (not a CEUHST01 instance snapshot)");
     }
@@ -304,7 +503,13 @@ void Instance::load(const std::vector<uint8_t>& blob) {
 
 // -- observability ------------------------------------------------------------
 
-void Instance::arm_recorder() { engine_->set_recorder(&recorder_); }
+void Instance::arm_recorder() {
+    if (is_compiled()) {
+        obs_armed_ = true;
+        return;
+    }
+    engine_->set_recorder(&recorder_);
+}
 
 void Instance::add_sink(obs::Sink* sink) {
     recorder_.add_sink(sink);
@@ -318,7 +523,8 @@ void Instance::own_sink(std::unique_ptr<obs::Sink> sink) {
 }
 
 void Instance::observe_stats() {
-    if (engine_->recorder() == nullptr) {
+    bool armed = is_compiled() ? obs_armed_ : engine_->recorder() != nullptr;
+    if (!armed) {
         recorder_.set_spans_enabled(recorder_.has_sinks());
         arm_recorder();
     }
@@ -326,9 +532,12 @@ void Instance::observe_stats() {
 
 obs::ProcessStats Instance::snapshot() const {
     obs::ProcessStats s = recorder_.stats();
-    // Engine-lifetime gauges beat the recorder's (possibly late-armed)
-    // window for the fields the engine tracks unconditionally.
-    s.reactions = std::max<uint64_t>(s.reactions, engine_->reactions());
+    // Backend-lifetime gauges beat the recorder's (possibly late-armed)
+    // window for the fields the backend tracks unconditionally. The
+    // compiled backend counts reactions only; instruction/queue gauges are
+    // an interpreter-side feature.
+    s.reactions = std::max<uint64_t>(s.reactions, reactions());
+    if (is_compiled()) return s;
     s.instructions = std::max<uint64_t>(s.instructions, engine_->instructions_executed());
     s.max_reaction_instructions = std::max<uint64_t>(s.max_reaction_instructions,
                                                      engine_->max_reaction_instructions());
@@ -340,6 +549,46 @@ obs::ProcessStats Instance::snapshot() const {
 void Instance::finish_observation() { recorder_.finish(); }
 
 // -- traces -------------------------------------------------------------------
+
+void Instance::note(const std::string& line) {
+    // Through engine_->trace on the interpreter so engine-side trace
+    // filtering (if any) stays authoritative; straight to the buffer on
+    // the compiled backend.
+    if (is_compiled()) {
+        push_trace_line(line);
+    } else {
+        engine_->trace(line);
+    }
+}
+
+// -- backend-neutral introspection --------------------------------------------
+
+rt::Engine::Status Instance::status() const {
+    return is_compiled() ? aot_status() : engine_->status();
+}
+
+rt::Value Instance::result() const {
+    if (is_compiled()) return rt::Value::integer(aot_.desc->result(ctx_));
+    return engine_->result();
+}
+
+Micros Instance::now() const {
+    return is_compiled() ? aot_.desc->now(ctx_) : engine_->now();
+}
+
+uint64_t Instance::reactions() const {
+    return is_compiled() ? aot_.desc->reactions(ctx_) : engine_->reactions();
+}
+
+Micros Instance::next_timer_deadline() const {
+    return is_compiled() ? aot_.desc->next_deadline(ctx_)
+                         : engine_->next_timer_deadline();
+}
+
+bool Instance::has_async_work() const {
+    return is_compiled() ? aot_.desc->has_async(ctx_) != 0
+                         : engine_->has_async_work();
+}
 
 std::string Instance::trace_text() const {
     std::string out;

@@ -15,13 +15,26 @@
 // and every hook site is one predicted branch (the <1% overhead budget the
 // obs tests assert). Attaching a sink — or calling observe_stats() — arms
 // the recorder for the rest of the instance's life.
+//
+// Backends: an Instance normally wraps an interpreter rt::Engine. When
+// Config::aot carries a loaded aot::ProgramHandle, the same facade drives
+// the AOT-compiled program instead — one calloc'd C context, reactions
+// through the descriptor's entry points, trace/obs/output traffic routed
+// back through the ceu_host_api_t vtable into the same trace buffer and
+// Recorder. The two backends keep byte-identical traces for the same input
+// sequence (the conformance differ's aot-in-reactor oracle asserts this);
+// what the compiled backend does NOT support: custom C bindings (extras in
+// Config::bindings are rejected), string-valued injections, and engine()
+// introspection (it throws — use the backend-neutral accessors).
 #pragma once
 
 #include <functional>
 #include <memory>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
+#include "aot/aot.hpp"
 #include "codegen/flatten.hpp"
 #include "env/script.hpp"
 #include "obs/obs.hpp"
@@ -39,6 +52,11 @@ struct Config {
     /// Keep every trace line in memory (trace()/trace_text()). Turn off for
     /// long-running hosts that only stream via on_trace_line.
     bool collect_trace = true;
+    /// Run the AOT-compiled backend: must be a handle for the *same*
+    /// compiled program the Instance wraps (fingerprints are checked).
+    /// Incompatible with Config::bindings (compiled code has the standard
+    /// bindings baked in) — supplying both throws std::invalid_argument.
+    aot::ProgramHandle aot;
 };
 
 class Instance {
@@ -56,6 +74,7 @@ class Instance {
 
     Instance(const Instance&) = delete;
     Instance& operator=(const Instance&) = delete;
+    ~Instance();
 
     // -- lifecycle ------------------------------------------------------------
 
@@ -95,6 +114,12 @@ class Instance {
 
     /// One round-robin async slice; true if async work remains.
     bool step_async();
+    /// Up to `n` slices in one call (stops early when the program leaves
+    /// Running or the async queue drains); true if async work remains.
+    /// Semantically n consecutive step_async calls, but a compiled backend
+    /// pays one ABI crossing for the whole budget — the reactor's phase-3
+    /// loop runs on this.
+    bool run_async_slices(uint64_t n);
     /// Runs asyncs until idle (or the slice cap trips — a safety net).
     void settle(uint64_t max_slices = 10'000'000);
 
@@ -158,20 +183,60 @@ class Instance {
     std::function<void(const std::string&)> on_trace_line;
     [[nodiscard]] const std::vector<std::string>& trace() const { return trace_; }
     [[nodiscard]] std::string trace_text() const;
+    /// Appends a host-authored annotation line to the trace stream — the
+    /// backend-neutral replacement for engine().trace(); the reactor's
+    /// supervisor lines ("[supervisor] rebooted ...") come through here.
+    void note(const std::string& line);
 
     // -- introspection (tests, benches; do not inject events through this) ----
 
-    [[nodiscard]] rt::Engine& engine() { return *engine_; }
-    [[nodiscard]] const rt::Engine& engine() const { return *engine_; }
-    [[nodiscard]] rt::Engine::Status status() const { return engine_->status(); }
-    [[nodiscard]] rt::Value result() const { return engine_->result(); }
+    /// Interpreter backend only: a compiled (AOT) instance has no engine
+    /// and throws std::logic_error. Fleet-layer code uses the backend-
+    /// neutral accessors below instead.
+    [[nodiscard]] rt::Engine& engine() {
+        if (engine_ == nullptr) {
+            throw std::logic_error("compiled (AOT) instance has no interpreter engine");
+        }
+        return *engine_;
+    }
+    [[nodiscard]] const rt::Engine& engine() const {
+        if (engine_ == nullptr) {
+            throw std::logic_error("compiled (AOT) instance has no interpreter engine");
+        }
+        return *engine_;
+    }
+    [[nodiscard]] rt::Engine::Status status() const;
+    [[nodiscard]] rt::Value result() const;
     [[nodiscard]] Micros clock() const { return clock_; }
     [[nodiscard]] const flat::CompiledProgram& program() const { return *cp_; }
+
+    // Backend-neutral runtime gauges (what after_reaction needs).
+    [[nodiscard]] bool is_compiled() const { return engine_ == nullptr; }
+    /// Latest wall-clock instant the backend has seen (engine `now`).
+    [[nodiscard]] Micros now() const;
+    /// Lifetime reaction count (checkpoint cadence is keyed on this).
+    [[nodiscard]] uint64_t reactions() const;
+    /// Earliest armed timer deadline, -1 when none.
+    [[nodiscard]] Micros next_timer_deadline() const;
+    [[nodiscard]] bool has_async_work() const;
 
   private:
     void init(Config& cfg);
     void arm_recorder();
     rt::Engine::Status replay(const env::Script& script);
+    [[nodiscard]] rt::Engine::Status aot_status() const;
+    void push_trace_line(std::string line);
+
+    // ceu_host_api_t callbacks (user == the owning Instance).
+    static void aot_trace_cb(void* user, const char* line, int32_t len);
+    static void aot_obs_begin_cb(void* user, int32_t kind, int32_t id,
+                                 const char* name, int64_t ts);
+    static void aot_obs_wake_cb(void* user, int32_t gate);
+    static void aot_obs_emit_cb(void* user, int32_t event_id, int32_t depth);
+    static void aot_obs_timer_cb(void* user, int32_t gate, int64_t residual);
+    static void aot_obs_end_cb(void* user, int32_t status, int64_t result);
+    static void aot_output_cb(void* user, int32_t output_id, const char* name,
+                              int64_t value);
 
     std::unique_ptr<flat::CompiledProgram> owned_cp_;  // set by the source ctor
     std::shared_ptr<const flat::CompiledProgram> shared_cp_;  // fleet ctor
@@ -180,6 +245,14 @@ class Instance {
     /// the pure standard set share one process-wide immutable copy.
     std::unique_ptr<rt::CBindings> bindings_;
     std::unique_ptr<rt::Engine> engine_;
+    /// AOT backend (engine_ stays null): the pinned program handle, the
+    /// calloc'd C context, and the callback vtable the context holds a
+    /// pointer into (so the Instance must not move — it doesn't; it is
+    /// non-copyable and reactor slots hold it by unique_ptr).
+    aot::ProgramHandle aot_;
+    void* ctx_ = nullptr;
+    ceu_host_api_t host_api_{};
+    bool obs_armed_ = false;
     obs::Recorder recorder_;
     std::vector<std::unique_ptr<obs::Sink>> owned_sinks_;
     std::vector<std::string> trace_;

@@ -246,8 +246,8 @@ void Reactor::on_member_fault(InstanceId id, Slot& sl, Shard& sh) {
     if (sl.policy.quarantine_after > 0 &&
         in_window >= sl.policy.quarantine_after) {
         sl.sup.quarantined = true;
-        sl.inst->engine().trace("[supervisor] quarantined after " +
-                                std::to_string(sl.sup.faults) + " faults");
+        sl.inst->note("[supervisor] quarantined after " +
+                      std::to_string(sl.sup.faults) + " faults");
         return;
     }
     if (sl.policy.restart == SupervisorPolicy::Restart::Park) return;
@@ -265,8 +265,8 @@ void Reactor::restart_member(InstanceId id, Shard& sh) {
         !sl.sup.checkpoint.empty()) {
         inst.load(sl.sup.checkpoint);
         ++sl.sup.restores;
-        inst.engine().trace("[supervisor] restored from checkpoint (fault " +
-                            std::to_string(sl.sup.faults) + ")");
+        inst.note("[supervisor] restored from checkpoint (fault " +
+                  std::to_string(sl.sup.faults) + ")");
         // Catch the restored clock up to the fleet instant: timers that
         // came due between the checkpoint and now fire immediately, in
         // deadline order, exactly as for a late joiner.
@@ -274,14 +274,28 @@ void Reactor::restart_member(InstanceId id, Shard& sh) {
     } else {
         inst.reset();
         inst.advance_to(now_);  // reboot at the fleet instant, not the epoch
-        inst.engine().trace("[supervisor] rebooted (fault " +
-                            std::to_string(sl.sup.faults) + ")");
+        inst.note("[supervisor] rebooted (fault " +
+                  std::to_string(sl.sup.faults) + ")");
         inst.boot();
     }
     ++sl.sup.supervised_restarts;
     sl.sup.fault_open = false;
     sl.sup.next_checkpoint_at = 0;  // cadence restarts from the new state
     sl.indexed_deadline = -1;       // wheel entries from the old life are stale
+    after_reaction(id, sl, sh);
+}
+
+void Reactor::restart(InstanceId id) {
+    check_id(id);
+    Slot& sl = slot(id);
+    if (sl.retired.load(std::memory_order_acquire)) return;
+    Shard& sh = shards_[id % shards_.size()];
+    sl.inst->advance_to(now_);  // crash happens at the fleet instant
+    sl.inst->power_cycle();
+    sl.booted = true;
+    sl.sup.fault_open = false;
+    sl.sup.next_checkpoint_at = 0;
+    sl.indexed_deadline = -1;  // wheel entries from the old life are stale
     after_reaction(id, sl, sh);
 }
 
@@ -293,8 +307,10 @@ bool Reactor::shard_has_due_restart(const Shard& sh) const {
 }
 
 void Reactor::after_reaction(InstanceId id, Slot& sl, Shard& sh) {
-    const rt::Engine& eng = sl.inst->engine();
-    if (eng.status() == rt::Engine::Status::Faulted) {
+    // Backend-neutral gauges: interpreted and AOT-compiled members expose
+    // the same status/reactions/deadline/async surface through Instance.
+    const host::Instance& inst = *sl.inst;
+    if (inst.status() == rt::Engine::Status::Faulted) {
         // Parked (or awaiting its scheduled restart): a Faulted engine
         // ignores go_time/go_event, so keeping its deadline in the wheel
         // would make the shard re-collect a dead entry every round.
@@ -302,22 +318,22 @@ void Reactor::after_reaction(InstanceId id, Slot& sl, Shard& sh) {
         return;
     }
     if (sl.policy.checkpoint_every > 0 &&
-        eng.status() == rt::Engine::Status::Running) {
+        inst.status() == rt::Engine::Status::Running) {
         if (sl.sup.next_checkpoint_at == 0) {
-            sl.sup.next_checkpoint_at = eng.reactions() + sl.policy.checkpoint_every;
-        } else if (eng.reactions() >= sl.sup.next_checkpoint_at) {
+            sl.sup.next_checkpoint_at = inst.reactions() + sl.policy.checkpoint_every;
+        } else if (inst.reactions() >= sl.sup.next_checkpoint_at) {
             sl.sup.checkpoint = sl.inst->save();
             ++sl.sup.checkpoints;
-            sl.sup.next_checkpoint_at = eng.reactions() + sl.policy.checkpoint_every;
+            sl.sup.next_checkpoint_at = inst.reactions() + sl.policy.checkpoint_every;
         }
     }
-    Micros d = eng.next_timer_deadline();
+    Micros d = inst.next_timer_deadline();
     if (d >= 0 && d != sl.indexed_deadline) {
         sh.wheel.schedule(id, d);
         sl.indexed_deadline = d;
     }
-    if (!sl.async_listed && eng.status() == rt::Engine::Status::Running &&
-        eng.has_async_work()) {
+    if (!sl.async_listed && inst.status() == rt::Engine::Status::Running &&
+        inst.has_async_work()) {
         sh.async_live.push_back(id);
         sl.async_listed = true;
     }
@@ -402,9 +418,12 @@ void Reactor::run_shard_round(Shard& sh) {
         sl.async_listed = false;
         if (sl.retired.load(std::memory_order_relaxed)) continue;
         try {
-            for (uint64_t k = 0; k < cfg_.async_slices_per_round; ++k) {
-                if (sl.inst->status() != rt::Engine::Status::Running) break;
-                if (!sl.inst->step_async()) break;
+            if (cfg_.async_slices_per_round > 0) {
+                // One batched call per member per round: a compiled backend
+                // crosses the ABI once for the whole budget instead of once
+                // per slice. Both backends stop early on their own when the
+                // program leaves Running or the async queue drains.
+                sl.inst->run_async_slices(cfg_.async_slices_per_round);
             }
             after_reaction(id, sl, sh);
         } catch (const std::exception& ex) {

@@ -193,6 +193,24 @@ class Reactor {
     /// Runs one scheduling round at the current fleet instant.
     void run_round();
 
+    /// Host-commanded power-cycle of one member at the fleet instant:
+    /// advance to now, crash-reset + reboot (the script vocabulary's
+    /// `crash` item — the "[crash] engine power-cycled" line is traced),
+    /// and re-index the member's timer/async state. Unlike supervised
+    /// restarts this is unconditional: it does not require a Faulted
+    /// member and does not count toward the supervision counters. Control
+    /// thread only (like advance()/run_round()).
+    void restart(InstanceId id);
+
+    /// Retune the per-round async slice budget at run time (0 parks every
+    /// async-live member until the budget is raised again). Hosts use this
+    /// to hold background work during latency-sensitive bursts; the
+    /// differential harness uses it to grant async progress only at the
+    /// script's explicit idle points. Control thread only.
+    void set_async_slices_per_round(uint64_t slices) {
+        cfg_.async_slices_per_round = slices;
+    }
+
     /// Rounds until quiescent: mailboxes empty, no timer or restart due at
     /// the current instant, no async work. Returns rounds run. Restarts
     /// whose backoff lies in the future do NOT hold drain() open — advance

@@ -188,6 +188,7 @@ class Engine {
     /// layout, event vocabularies). Two programs with equal fingerprints
     /// execute identically for snapshot purposes even when compiled in
     /// different processes — the cross-process restore contract.
+    /// Delegates to the free rt::program_fingerprint below.
     [[nodiscard]] uint64_t program_fingerprint() const;
 
     // -- introspection (tests, benches) ---------------------------------------
@@ -346,5 +347,11 @@ class Engine {
     Value call_c(const ast::CallExpr& call);
     std::string callee_name(const ast::Expr& fn, Value* self, bool* has_self);
 };
+
+/// Structural fingerprint of a compiled program, engine-independent: the
+/// same hash Engine::program_fingerprint() reports, so cgen can bake it
+/// into AOT descriptors and loaders can validate a `.so` against the
+/// program it claims to implement.
+[[nodiscard]] uint64_t program_fingerprint(const flat::CompiledProgram& cp);
 
 }  // namespace ceu::rt

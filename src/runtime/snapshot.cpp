@@ -62,7 +62,9 @@ enum : uint8_t {
 
 }  // namespace
 
-uint64_t Engine::program_fingerprint() const {
+uint64_t program_fingerprint(const flat::CompiledProgram& cp) {
+    const flat::FlatProgram& fp_ = cp.flat;
+    const auto& cp_ = cp;
     uint64_t h = kFnvOffset;
     fnv(h, fp_.code.size());
     for (const flat::Instr& I : fp_.code) {
@@ -90,6 +92,8 @@ uint64_t Engine::program_fingerprint() const {
     for (const EventInfo& e : cp_.sema.outputs) fnv_str(h, e.name);
     return h;
 }
+
+uint64_t Engine::program_fingerprint() const { return rt::program_fingerprint(cp_); }
 
 // ---------------------------------------------------------------------------
 // save

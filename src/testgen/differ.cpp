@@ -9,10 +9,12 @@
 #include <sstream>
 
 #include "analysis/modular.hpp"
+#include "aot/aot.hpp"
 #include "cgen/cgen.hpp"
 #include "codegen/flatten.hpp"
 #include "dfa/dfa.hpp"
 #include "host/instance.hpp"
+#include "reactor/reactor.hpp"
 #include "runtime/engine.hpp"
 #include "testgen/generator.hpp"
 
@@ -32,7 +34,8 @@ struct InterpRun {
 /// the host::Instance facade; the async loop deliberately avoids
 /// Instance::settle's clock sync to match the compiled harness exactly.
 InterpRun run_interp(const flat::CompiledProgram& cp, const env::Script& script,
-                     rt::EngineOptions::TieBreak tb, obs::Sink* sink = nullptr) {
+                     rt::EngineOptions::TieBreak tb, obs::Sink* sink = nullptr,
+                     bool crash_power_cycles = false) {
     host::Config cfg;
     cfg.engine.tie_break = tb;
     InterpRun r;
@@ -55,8 +58,16 @@ InterpRun run_interp(const flat::CompiledProgram& cp, const env::Script& script,
                     for (int i = 0; i < 10'000'000 && inst.step_async(); ++i) {}
                     break;
                 case env::ScriptItem::Kind::Crash:
-                    inst.reset();
-                    inst.boot();
+                    // Default: bare reset+boot, mirroring the legacy cgen
+                    // harness. The AOT-leg baseline uses the script
+                    // vocabulary's power_cycle (adds the "[crash]" line),
+                    // matching Reactor::restart.
+                    if (crash_power_cycles) {
+                        inst.power_cycle();
+                    } else {
+                        inst.reset();
+                        inst.boot();
+                    }
                     break;
             }
         }
@@ -93,7 +104,9 @@ CgenRun run_cgen(const flat::CompiledProgram& cp, const std::string& script,
     std::string err_path = base + ".cc.err";
     {
         std::ofstream f(c_path);
-        f << cgen::emit_c(cp);
+        cgen::CgenOptions co;
+        co.reentrant = opt.cgen_reentrant;
+        f << cgen::emit_c(cp, co);
     }
     {
         std::ofstream f(in_path);
@@ -132,6 +145,100 @@ CgenRun run_cgen(const flat::CompiledProgram& cp, const std::string& script,
         }
     }
     return out;
+}
+
+struct AotRun {
+    std::vector<std::string> trace;
+    int exit_code = 0;
+    rt::Engine::Status status = rt::Engine::Status::Loaded;
+    bool build_error = false;  // cc / dlopen / descriptor validation failed
+    bool error = false;        // the reactor leg itself threw
+    std::string error_msg;
+};
+
+/// AOT-in-reactor leg: the re-entrant cgen emission compiled to a .so,
+/// loaded, and driven through a 1-member Reactor with the same script
+/// semantics as run_interp — every delivery crosses the fleet machinery
+/// (mailbox + ticket order, fleet timer wheel, after-reaction re-indexing),
+/// so this leg checks the descriptor ABI *and* the reactor's compiled-member
+/// plumbing at once. Intermediate go_time instants the interpreter sees may
+/// be elided here (the wheel only syncs members with due work); that is
+/// trace-transparent because timers fire per expired deadline group with
+/// logical timestamps, not per go_time call.
+AotRun run_aot(const std::shared_ptr<const flat::CompiledProgram>& cp,
+               const env::Script& script, const DiffOptions& opt) {
+    AotRun r;
+    aot::BuildOptions bopt;
+    bopt.cc = opt.aot_cc;
+    bopt.work_dir = opt.workdir;
+    bopt.keep_artifacts = opt.keep_artifacts;
+    std::string err;
+    aot::ProgramHandle h = aot::FleetImage::build_one(cp, bopt, &err);
+    if (!h) {
+        r.build_error = true;
+        r.error_msg = err;
+        return r;
+    }
+    try {
+        reactor::ReactorConfig rcfg;
+        rcfg.workers = 1;
+        rcfg.collect_traces = true;
+        // The interpreter baseline only steps async bodies at the script's
+        // explicit idle points (AsyncIdle items); a fleet reactor normally
+        // grants slices every round. Park the async budget and raise it
+        // only where run_interp would call step_async, or the legs diverge
+        // on when an async's result lands.
+        rcfg.async_slices_per_round = 0;
+        reactor::Reactor rx(rcfg);
+        host::Config hcfg;
+        hcfg.aot = h;
+        reactor::InstanceId id = rx.add_instance(cp, hcfg);
+        rx.boot();
+        const host::Instance& inst = rx.instance(id);
+        for (const env::ScriptItem& item : script.items()) {
+            if (inst.status() != rt::Engine::Status::Running) break;
+            switch (item.kind) {
+                case env::ScriptItem::Kind::Event:
+                    // Unknown events report UnknownEvent and deliver
+                    // nothing — same discard as run_interp's try_inject.
+                    rx.inject(id, item.event, item.value);
+                    rx.run_round();
+                    break;
+                case env::ScriptItem::Kind::Advance: {
+                    // Same target arithmetic as Instance::advance: measured
+                    // from the member's own instant, which may be ahead of
+                    // the fleet clock after asyncs emitted time.
+                    Micros target = std::max(rx.now(), inst.now()) + item.us;
+                    rx.advance(target - rx.now());
+                    break;
+                }
+                case env::ScriptItem::Kind::AsyncIdle:
+                    rx.set_async_slices_per_round(1);
+                    for (int i = 0;
+                         i < 10'000'000 && inst.status() == rt::Engine::Status::Running &&
+                         inst.has_async_work();
+                         ++i) {
+                        rx.run_round();
+                    }
+                    rx.set_async_slices_per_round(0);
+                    break;
+                case env::ScriptItem::Kind::Crash:
+                    rx.restart(id);
+                    break;
+            }
+        }
+        rx.set_async_slices_per_round(1);
+        while (inst.status() == rt::Engine::Status::Running && inst.has_async_work()) {
+            rx.run_round();
+        }
+        r.status = inst.status();
+        r.trace = inst.trace();
+        r.exit_code = static_cast<int>(static_cast<uint8_t>(inst.result().as_int()));
+    } catch (const std::exception& e) {
+        r.error = true;
+        r.error_msg = e.what();
+    }
+    return r;
 }
 
 std::string first_divergence(const std::vector<std::string>& a,
@@ -213,6 +320,7 @@ const char* DiffResult::kind_name(Kind k) {
         case Kind::CgenBuildError: return "cgen-build-error";
         case Kind::EngineError: return "engine-error";
         case Kind::ModularDiverged: return "modular-diverged";
+        case Kind::AotDiverged: return "aot-diverged";
     }
     return "?";
 }
@@ -285,6 +393,44 @@ DiffResult run_differential(const std::string& source, const env::Script& script
                      c.exit_code == fifo.exit_code);
     }
 
+    AotRun a;
+    bool aot_same = true;
+    bool aot_ran = false;
+    if (opt.run_cgen && opt.check_aot) {
+        bool has_crash = false;
+        for (const env::ScriptItem& item : script.items()) {
+            has_crash |= item.kind == env::ScriptItem::Kind::Crash;
+        }
+        auto scp = std::make_shared<const flat::CompiledProgram>(
+            flat::compile(source));
+        a = run_aot(scp, script, opt);
+        if (a.build_error) {
+            // Toolchain / loader failures fold into the build-error kind the
+            // shrinker and sweep reports already classify; the "aot: "
+            // detail prefix tells the legs apart.
+            res.kind = DiffResult::Kind::CgenBuildError;
+            res.detail = a.error_msg;
+            return res;
+        }
+        aot_ran = true;
+        res.aot_trace = a.trace;
+        res.aot_exit = a.exit_code;
+        // Crash items power-cycle through Reactor::restart (one extra
+        // "[crash]" annotation line), so the baseline for such scripts is
+        // an interpreter rerun with the same crash vocabulary. Generated
+        // sweeps never contain Crash and compare against `fifo` directly.
+        const InterpRun* base = &fifo;
+        InterpRun crash_fifo;
+        if (has_crash) {
+            crash_fifo = run_interp(cp, script, rt::EngineOptions::TieBreak::Fifo,
+                                    nullptr, /*crash_power_cycles=*/true);
+            base = &crash_fifo;
+        }
+        aot_same = !a.error && a.trace == base->trace && a.status == base->status &&
+                   (base->status != rt::Engine::Status::Terminated ||
+                    a.exit_code == base->exit_code);
+    }
+
     if (verdict_ok) {
         if (!tie_same) {
             res.kind = DiffResult::Kind::TieBreakDiverged;
@@ -306,6 +452,17 @@ DiffResult run_differential(const std::string& source, const env::Script& script
             }
             return res;
         }
+        if (!aot_same) {
+            res.kind = DiffResult::Kind::AotDiverged;
+            res.detail =
+                a.error ? a.error_msg
+                        : first_divergence(a.trace, fifo.trace, "aot", "interp");
+            if (res.detail.empty()) {
+                res.detail = "exit/status differ: aot=" + std::to_string(a.exit_code) +
+                             " interp=" + std::to_string(fifo.exit_code);
+            }
+            return res;
+        }
         res.kind = DiffResult::Kind::Agree;
         return res;
     }
@@ -317,8 +474,13 @@ DiffResult run_differential(const std::string& source, const env::Script& script
         res.detail = c.error_msg;
         return res;
     }
+    if (aot_ran && a.error) {
+        res.kind = DiffResult::Kind::AotDiverged;
+        res.detail = a.error_msg;
+        return res;
+    }
     res.kind = verdict_unknown ? DiffResult::Kind::DfaUnknown : DiffResult::Kind::DfaRefused;
-    res.refused_diverged = !tie_same || !cgen_same;
+    res.refused_diverged = !tie_same || !cgen_same || (aot_ran && !aot_same);
     return res;
 }
 

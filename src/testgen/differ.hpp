@@ -5,6 +5,10 @@
 //   * the same interpreter under LIFO tie-breaking,
 //   * the cgen-emitted C, compiled with the host C compiler and run with
 //     the script on stdin,
+//   * the AOT backend: the re-entrant cgen emission compiled into a shared
+//     object, dlopen'd, and driven *inside a 1-member reactor::Reactor* —
+//     exercising the whole compiled-fleet path (descriptor entry points,
+//     host-api trace routing, fleet timer wheel indexing) in-process,
 //
 // and the observable traces are compared against what the temporal
 // analysis (dfa/) promised. The conformance contract (paper §2.6) is:
@@ -46,6 +50,19 @@ struct DiffOptions {
     /// Cross-check the modular partition-and-compose analysis against the
     /// monolithic DFA verdict (same conflicts modulo witness choice).
     bool check_modular = true;
+    /// Cross-check the AOT backend (re-entrant cgen → .so → dlopen) driven
+    /// through a 1-member reactor against the interpreter FIFO trace.
+    /// Skipped (like the classic C leg) when run_cgen is off — both legs
+    /// spawn the host compiler.
+    bool check_aot = true;
+    /// Compiler command for the AOT shared object (gets the -fPIC/-shared
+    /// flags from aot::BuildOptions; unlike `cc` this is just the program).
+    std::string aot_cc = "cc";
+    /// Emit the classic standalone C harness from the re-entrant (AOT)
+    /// code path — the deprecated single-instance wrappers over one static
+    /// context — instead of the legacy globals emission. The TraceCompat
+    /// suite drives fixed seeds through both entry points.
+    bool cgen_reentrant = false;
 };
 
 struct DiffResult {
@@ -59,6 +76,7 @@ struct DiffResult {
         CgenBuildError,    // host cc rejected the emitted C (cgen bug)
         EngineError,       // interpreter raised a runtime error (engine bug)
         ModularDiverged,   // composed modular verdict != monolithic DFA
+        AotDiverged,       // DFA OK but AOT-in-reactor != interpreter
     };
     Kind kind = Kind::Agree;
 
@@ -69,9 +87,11 @@ struct DiffResult {
     std::vector<std::string> fifo_trace;
     std::vector<std::string> lifo_trace;
     std::vector<std::string> cgen_trace;
+    std::vector<std::string> aot_trace;
     int fifo_exit = 0;   // uint8-truncated program result
     int lifo_exit = 0;
     int cgen_exit = 0;
+    int aot_exit = 0;
     size_t dfa_states = 0;
     size_t dfa_conflicts = 0;
 
@@ -80,7 +100,8 @@ struct DiffResult {
     [[nodiscard]] bool failure() const {
         return kind == Kind::CompileError || kind == Kind::TieBreakDiverged ||
                kind == Kind::CgenDiverged || kind == Kind::CgenBuildError ||
-               kind == Kind::EngineError || kind == Kind::ModularDiverged;
+               kind == Kind::EngineError || kind == Kind::ModularDiverged ||
+               kind == Kind::AotDiverged;
     }
     [[nodiscard]] static const char* kind_name(Kind k);
 };

@@ -83,6 +83,7 @@
 #include <sstream>
 
 #include "analysis/explore.hpp"
+#include "aot/aot.hpp"
 #include "analysis/lint.hpp"
 #include "analysis/modular.hpp"
 #include "analysis/witness.hpp"
@@ -110,7 +111,8 @@ int usage() {
         "            [--diag-format=text|json] [--lint-only=IDs] "
         "[--lint-disable=IDs]\n"
         "            [--trace=FILE] [--stats=FILE] [--checkpoint=FILE]\n"
-        "            [--restore=FILE] <file.ceu>\n"
+        "            [--restore=FILE] [--backend=interp|aot|mixed] [--aot-cc=CMD]\n"
+        "            <file.ceu>\n"
         "       ceuc --gen-fuzz N [--seed S] [--fuzz.out DIR] [--fuzz.cc CMD]\n"
         "            [--fuzz.no-cgen] [--fuzz.no-shrink] [--analysis.max-states N]\n"
         "       ceuc --gen-dump [--seed S]\n");
@@ -194,12 +196,36 @@ void print_diags(const Diagnostics& diags, const std::string& pass,
     }
 }
 
+/// --backend selects how --run executes the program. `interp` is the
+/// rt::Engine interpreter; `aot` compiles the program into a shared object
+/// (cgen re-entrant mode) and drives the compiled context; `mixed` prefers
+/// aot when a host C compiler is available and quietly uses the interpreter
+/// otherwise. Under `aot` an unavailable toolchain (or any build/load
+/// failure) degrades to the interpreter too, but loudly: a "pass":"aot"
+/// diagnostic reports why, so CI can tell a fallback from a clean aot run.
+enum class RunBackend { Interp, Aot, Mixed };
+
 struct RunOptions {
     std::string trace_path;  // --trace=FILE: Chrome trace_event JSON
     std::string stats_path;  // --stats=FILE: ProcessStats snapshot ("-" = stderr)
     std::string checkpoint_path;  // --checkpoint=FILE: snapshot after the run
     std::string restore_path;     // --restore=FILE: resume from a snapshot
+    RunBackend backend = RunBackend::Interp;
+    std::string aot_cc;  // --aot-cc=CMD: compiler for the aot shared object
 };
+
+/// AOT toolchain trouble is an environmental condition, not a program
+/// error: it is reported as a warning on its own pass and the run falls
+/// back to the interpreter, keeping the exit-code contract intact.
+std::string aot_fallback_json(const std::string& msg, const std::string& file) {
+    std::ostringstream os;
+    os << "{\"pass\":\"aot\",\"severity\":\"warning\",\"file\":";
+    json_escape(os, file);
+    os << ",\"line\":0,\"col\":0,\"message\":";
+    json_escape(os, msg);
+    os << "}";
+    return os.str();
+}
 
 /// Engine faults carry a source location; report them in the same JSON
 /// shape as every other diagnostic so CI can gate on `"pass":"fault"`.
@@ -214,8 +240,11 @@ std::string fault_json(const rt::Engine::FaultInfo& f, const std::string& file) 
     return os.str();
 }
 
-int run_program(const flat::CompiledProgram& cp, const std::string& path,
+int run_program(flat::CompiledProgram cp_in, const std::string& path,
                 const RunOptions& ropt, bool json) {
+    // Shared ownership from the start: the aot image build and the
+    // instance both want to pin the program.
+    auto cp = std::make_shared<const flat::CompiledProgram>(std::move(cp_in));
     std::ostringstream script_text;
     script_text << std::cin.rdbuf();
 
@@ -243,6 +272,23 @@ int run_program(const flat::CompiledProgram& cp, const std::string& path,
     // is what the exit contract and --diag-format=json report from.
     host::Config hcfg;
     hcfg.engine.trap_faults = true;
+    if (ropt.backend != RunBackend::Interp) {
+        aot::BuildOptions bopt;
+        if (!ropt.aot_cc.empty()) bopt.cc = ropt.aot_cc;
+        std::string err;
+        aot::ProgramHandle h = aot::FleetImage::build_one(cp, bopt, &err);
+        if (h) {
+            hcfg.aot = h;
+        } else if (ropt.backend == RunBackend::Aot) {
+            if (json) {
+                std::printf("%s\n", aot_fallback_json(err, path).c_str());
+            }
+            std::fprintf(stderr,
+                         "ceuc: aot backend unavailable (%s); running "
+                         "interpreted\n",
+                         err.c_str());
+        }
+    }
     host::Instance inst(cp, hcfg);
     inst.on_trace_line = [](const std::string& line) {
         std::printf("%s\n", line.c_str());
@@ -311,12 +357,16 @@ int run_program(const flat::CompiledProgram& cp, const std::string& path,
         return 1;
     }
     if (status == rt::Engine::Status::Faulted) {
-        const auto& f = inst.engine().fault();
+        // Compiled contexts fault without a structured FaultInfo (no
+        // interpreter engine to ask); the status itself is the report.
+        const std::optional<rt::Engine::FaultInfo> f =
+            inst.is_compiled() ? std::nullopt : inst.engine().fault();
         if (json && f) {
             std::printf("%s\n", fault_json(*f, path).c_str());
         }
         std::fprintf(stderr, "engine faulted: %s\n",
-                     f ? f->message.c_str() : "(unknown)");
+                     f ? f->message.c_str()
+                       : (inst.is_compiled() ? "(compiled context)" : "(unknown)"));
         return 1;
     }
     if (status == rt::Engine::Status::Terminated) {
@@ -327,8 +377,14 @@ int run_program(const flat::CompiledProgram& cp, const std::string& path,
                      static_cast<long long>(inst.result().as_int()));
         return 0;
     }
-    std::fprintf(stderr, "program still awaiting (%d trails)\n",
-                 inst.engine().active_gate_count());
+    if (inst.is_compiled()) {
+        // Gate occupancy is interpreter introspection; the compiled
+        // context only reports its status.
+        std::fprintf(stderr, "program still awaiting\n");
+    } else {
+        std::fprintf(stderr, "program still awaiting (%d trails)\n",
+                     inst.engine().active_gate_count());
+    }
     return 0;
 }
 
@@ -434,6 +490,15 @@ int main(int argc, char** argv) {
         } else if (a.rfind("--restore", 0) == 0 && value_of(a, "--restore", i, &v)) {
             if (v.empty()) return usage();
             ropt.restore_path = v;
+        } else if (a.rfind("--backend", 0) == 0 && value_of(a, "--backend", i, &v)) {
+            if (v == "interp") ropt.backend = RunBackend::Interp;
+            else if (v == "aot") ropt.backend = RunBackend::Aot;
+            else if (v == "mixed") ropt.backend = RunBackend::Mixed;
+            else return usage();
+        } else if (a.rfind("--aot-cc", 0) == 0 && value_of(a, "--aot-cc", i, &v)) {
+            if (v.empty()) return usage();
+            ropt.aot_cc = v;
+            fopt.diff.aot_cc = v;
         } else if (a.rfind("--lint-only", 0) == 0 && value_of(a, "--lint-only", i, &v)) {
             lopt.only = split_ids(v);
         } else if (a.rfind("--lint-disable", 0) == 0 &&
@@ -707,7 +772,7 @@ int main(int argc, char** argv) {
 
         switch (mode) {
             case Mode::Run:
-                return run_program(cp, path, ropt, json);
+                return run_program(std::move(cp), path, ropt, json);
             case Mode::EmitC:
                 std::printf("%s", cgen::emit_c(cp).c_str());
                 return 0;

@@ -7,6 +7,8 @@
 #include <fstream>
 #include <sstream>
 
+#include "aot/aot.hpp"
+
 namespace ceu {
 namespace {
 
@@ -130,6 +132,53 @@ TEST(Cli, FaultsAreStructuredUnderJsonDiagFormat) {
 TEST(Cli, UsageErrorsExitTwo) {
     EXPECT_EQ(run_cli("--no-such-flag", kCounter).exit_code, 2);
     EXPECT_EQ(run_cli("--checkpoint=", kCounter).exit_code, 2);
+}
+
+TEST(Cli, BackendAotRunsTheSameScript) {
+    if (!aot::toolchain_available()) GTEST_SKIP() << "no host C compiler";
+    CliResult r = run_cli("--run --backend=aot", kCounter,
+                          "T 1000000\nE Restart 5\nT 1000000\n");
+    EXPECT_EQ(r.exit_code, 0);
+    EXPECT_EQ(r.out, "v = 1\nv = 5\nv = 6\n");
+}
+
+TEST(Cli, BackendAotFallsBackToInterpWithAStructuredDiagnostic) {
+    // A missing compiler degrades to the interpreter: the run still
+    // happens (same output, exit 0) and a "pass":"aot" diagnostic says
+    // why, so CI can tell a fallback from a clean aot run.
+    CliResult r = run_cli(
+        "--run --backend=aot --aot-cc=/nonexistent/ceu-cc --diag-format=json",
+        kCounter, "T 1000000\nE Restart 5\nT 1000000\n");
+    EXPECT_EQ(r.exit_code, 0);
+    EXPECT_NE(r.out.find("\"pass\":\"aot\""), std::string::npos) << r.out;
+    EXPECT_NE(r.out.find("v = 6"), std::string::npos) << r.out;
+}
+
+TEST(Cli, BackendAotReportsABrokenCompilerToo) {
+    // The compiler exists but rejects everything: same degradation path,
+    // different error text (cc failed rather than not found).
+    CliResult r = run_cli("--run --backend=aot --aot-cc=/bin/false "
+                          "--diag-format=json",
+                          kCounter, "T 1000000\n");
+    EXPECT_EQ(r.exit_code, 0);
+    EXPECT_NE(r.out.find("\"pass\":\"aot\""), std::string::npos) << r.out;
+    EXPECT_NE(r.out.find("v = 1"), std::string::npos) << r.out;
+}
+
+TEST(Cli, BackendMixedFallsBackQuietly) {
+    // mixed means "aot when available": no toolchain is not a reportable
+    // condition, the run just uses the interpreter.
+    CliResult r = run_cli(
+        "--run --backend=mixed --aot-cc=/nonexistent/ceu-cc --diag-format=json",
+        kCounter, "T 1000000\n");
+    EXPECT_EQ(r.exit_code, 0);
+    EXPECT_EQ(r.out.find("\"pass\":\"aot\""), std::string::npos) << r.out;
+    EXPECT_NE(r.out.find("v = 1"), std::string::npos) << r.out;
+}
+
+TEST(Cli, BackendRejectsUnknownValues) {
+    CliResult r = run_cli("--run --backend=jit", kCounter, "");
+    EXPECT_EQ(r.exit_code, 2);
 }
 
 TEST(Cli, CheckpointRestoreRoundTripsAcrossProcesses) {

@@ -12,6 +12,7 @@
 #include <thread>
 #include <vector>
 
+#include "aot/aot.hpp"
 #include "codegen/flatten.hpp"
 #include "reactor/fleet_wheel.hpp"
 #include "reactor/mailbox.hpp"
@@ -297,7 +298,11 @@ struct FleetRun {
     std::string stats_json;
 };
 
-FleetRun run_mixed_fleet(size_t workers) {
+/// When `img` is non-null every odd member runs the AOT-compiled backend
+/// (program i%3 from the image) interleaved with interpreted members of
+/// the same three programs — the schedule below cannot tell them apart.
+FleetRun run_mixed_fleet(size_t workers,
+                         std::shared_ptr<const aot::FleetImage> img = nullptr) {
     reactor::ReactorConfig rc;
     rc.workers = workers;
     rc.seed = 42;
@@ -309,11 +314,10 @@ FleetRun run_mixed_fleet(size_t workers) {
     auto asum = compile_shared(kAsyncSum);
     constexpr size_t kFleet = 60;
     for (size_t i = 0; i < kFleet; ++i) {
-        switch (i % 3) {
-            case 0: r.add_instance(counter); break;
-            case 1: r.add_instance(ticker); break;
-            default: r.add_instance(asum); break;
-        }
+        host::Config hc;
+        if (img && i % 2 == 1) hc.aot = img->program(i % 3);
+        auto cp = i % 3 == 0 ? counter : (i % 3 == 1 ? ticker : asum);
+        r.add_instance(cp, hc);
     }
     r.boot();
     r.drain();
@@ -356,6 +360,95 @@ TEST(Reactor, TracesAndStatsAreIdenticalAt1_2_8Workers) {
     EXPECT_EQ(w1.stats_json, w2.stats_json);
     EXPECT_EQ(w1.stats_json, w8.stats_json);
     EXPECT_FALSE(w1.traces[0].empty());
+}
+
+std::shared_ptr<const aot::FleetImage> build_fleet_image() {
+    std::vector<std::shared_ptr<const flat::CompiledProgram>> programs = {
+        compile_shared(kCounter), compile_shared(kTicker), compile_shared(kAsyncSum)};
+    std::string err;
+    auto img = aot::FleetImage::build(programs, {}, &err);
+    EXPECT_NE(img, nullptr) << err;
+    return img;
+}
+
+TEST(Reactor, CompiledMembersAreTraceIdenticalToInterpretedOnes) {
+    if (!aot::toolchain_available()) GTEST_SKIP() << "no host C compiler";
+    // The strongest cross-backend claim: a fleet with every odd member
+    // AOT-compiled produces, member for member, the same trace bytes and
+    // results as the all-interpreted fleet under the same schedule.
+    FleetRun interp = run_mixed_fleet(1);
+    FleetRun mixed = run_mixed_fleet(1, build_fleet_image());
+    ASSERT_EQ(interp.traces.size(), mixed.traces.size());
+    for (size_t i = 0; i < interp.traces.size(); ++i) {
+        EXPECT_EQ(interp.traces[i], mixed.traces[i]) << "instance " << i;
+    }
+}
+
+TEST(Reactor, MixedBackendFleetIsIdenticalAt1_2_8Workers) {
+    if (!aot::toolchain_available()) GTEST_SKIP() << "no host C compiler";
+    std::shared_ptr<const aot::FleetImage> img = build_fleet_image();
+    FleetRun w1 = run_mixed_fleet(1, img);
+    FleetRun w2 = run_mixed_fleet(2, img);
+    FleetRun w8 = run_mixed_fleet(8, img);
+    ASSERT_EQ(w1.traces.size(), w2.traces.size());
+    ASSERT_EQ(w1.traces.size(), w8.traces.size());
+    for (size_t i = 0; i < w1.traces.size(); ++i) {
+        EXPECT_EQ(w1.traces[i], w2.traces[i]) << "instance " << i << " (2 workers)";
+        EXPECT_EQ(w1.traces[i], w8.traces[i]) << "instance " << i << " (8 workers)";
+    }
+    EXPECT_EQ(w1.stats_json, w2.stats_json);
+    EXPECT_EQ(w1.stats_json, w8.stats_json);
+    EXPECT_FALSE(w1.traces[1].empty());
+}
+
+TEST(Reactor, ConcurrentInjectAndRetireRaceCompiledMembersSafely) {
+    if (!aot::toolchain_available()) GTEST_SKIP() << "no host C compiler";
+    // The TSan gate for the compiled path: producer threads hammer inject
+    // while the control thread runs rounds and retires a member mid-storm.
+    auto cp = compile_shared(kCounter);
+    std::string err;
+    aot::ProgramHandle h = aot::FleetImage::build_one(cp, {}, &err);
+    ASSERT_TRUE(h) << err;
+
+    reactor::ReactorConfig rc;
+    rc.workers = 2;
+    reactor::Reactor r(rc);
+    constexpr size_t kFleet = 8;
+    host::Config hc;
+    hc.aot = h;
+    for (size_t i = 0; i < kFleet; ++i) r.add_instance(cp, hc);
+    r.boot();
+
+    constexpr int kThreads = 4;
+    constexpr int kPerThread = 500;
+    std::vector<std::thread> producers;
+    producers.reserve(kThreads);
+    for (int t = 0; t < kThreads; ++t) {
+        producers.emplace_back([&r, t] {
+            for (int i = 0; i < kPerThread; ++i) {
+                // Member 7 is retired mid-storm; its inject results are
+                // allowed to be Retired, never a torn delivery.
+                r.inject(static_cast<reactor::InstanceId>((t * 31 + i) % kFleet),
+                         EventId{0} /* ADD */, rt::Value::integer(1));
+            }
+        });
+    }
+    for (int round = 0; round < 50; ++round) r.run_round();
+    r.retire(static_cast<reactor::InstanceId>(7));
+    for (auto& p : producers) p.join();
+    r.drain();
+    for (size_t i = 0; i + 1 < kFleet; ++i) {
+        r.inject(static_cast<reactor::InstanceId>(i), "STOP");
+    }
+    r.run_round();
+
+    // Every delivered ADD summed exactly once across surviving members.
+    int64_t total = 0;
+    for (size_t i = 0; i + 1 < kFleet; ++i) {
+        total += r.instance(static_cast<reactor::InstanceId>(i)).result().as_int();
+    }
+    EXPECT_GT(total, 0);
+    EXPECT_LE(total, kThreads * kPerThread);
 }
 
 TEST(Reactor, RunsAreReproducibleForAFixedSeed) {

@@ -13,6 +13,7 @@
 #include <thread>
 #include <vector>
 
+#include "aot/aot.hpp"
 #include "codegen/flatten.hpp"
 #include "host/instance.hpp"
 #include "reactor/reactor.hpp"
@@ -498,6 +499,108 @@ TEST(Supervision, RestoreFallsBackToRebootBeforeAnyCheckpoint) {
     EXPECT_EQ(r.instance(id).result().as_int(), 25);  // fresh boot, state lost
     EXPECT_EQ(r.supervision(id).restores, 0u);
     EXPECT_EQ(r.supervision(id).supervised_restarts, 1u);
+}
+
+/// Faults deterministically on ADD 0: kFragile's division by zero is a
+/// trapped interpreter error but UB in compiled C, so the compiled-member
+/// supervision matrix trips the dedicated fault lever instead.
+constexpr const char* kTripping = R"(
+    input int ADD;
+    input void STOP;
+    int total = 0;
+    int v = 0;
+    par do
+       loop do
+          v = await ADD;
+          if v == 0 then
+             _ceu_trip();
+          end;
+          total = total + v;
+          _printf("total %d\n", total);
+       end
+    with
+       await STOP;
+       return total;
+    end
+)";
+
+aot::ProgramHandle build_aot(const std::shared_ptr<const flat::CompiledProgram>& cp) {
+    std::string err;
+    aot::ProgramHandle h = aot::FleetImage::build_one(cp, {}, &err);
+    EXPECT_TRUE(h) << err;
+    return h;
+}
+
+TEST(Supervision, RebootRestartsACompiledMemberFromScratch) {
+    if (!aot::toolchain_available()) GTEST_SKIP() << "no host C compiler";
+    reactor::ReactorConfig rc;
+    rc.supervise.restart = reactor::SupervisorPolicy::Restart::Reboot;
+    rc.supervise.backoff_initial_ticks = 4;
+    reactor::Reactor r(rc);
+    auto cp = compile_shared(kTripping);
+    host::Config hc;
+    hc.aot = build_aot(cp);
+    reactor::InstanceId id = r.add_instance(cp, hc);
+    r.boot();
+    r.inject(id, "ADD", rt::Value::integer(5));  // total 5 (lost on reboot)
+    r.inject(id, "ADD", rt::Value::integer(0));  // trip -> Faulted
+    r.drain();
+    EXPECT_EQ(r.instance(id).status(), rt::Engine::Status::Faulted);
+
+    Micros due = r.next_restart_due();
+    ASSERT_GE(due, 0);
+    // The backoff has not expired: the compiled member stays down, exactly
+    // like an interpreted one.
+    r.run_round();
+    EXPECT_EQ(r.instance(id).status(), rt::Engine::Status::Faulted);
+
+    r.advance(due - r.now());
+    EXPECT_EQ(r.instance(id).status(), rt::Engine::Status::Running);
+
+    r.inject(id, "ADD", rt::Value::integer(4));
+    r.inject(id, "STOP");
+    r.drain();
+    EXPECT_EQ(r.instance(id).result().as_int(), 4);  // fresh boot: total reset
+
+    const reactor::MemberState& m = r.supervision(id);
+    EXPECT_EQ(m.faults, 1u);
+    EXPECT_EQ(m.supervised_restarts, 1u);
+    EXPECT_EQ(m.restores, 0u);
+}
+
+TEST(Supervision, RestoreResumesACompiledMemberFromItsCheckpoint) {
+    if (!aot::toolchain_available()) GTEST_SKIP() << "no host C compiler";
+    // Compiled contexts snapshot as CEUAOT01 blobs (same-process images):
+    // the Restore policy round-trips them just like interpreter snapshots,
+    // so the member resumes with its accumulated state.
+    reactor::ReactorConfig rc;
+    rc.supervise.restart = reactor::SupervisorPolicy::Restart::Restore;
+    rc.supervise.backoff_initial_ticks = 1;
+    rc.supervise.checkpoint_every = 1;
+    reactor::Reactor r(rc);
+    auto cp = compile_shared(kTripping);
+    host::Config hc;
+    hc.aot = build_aot(cp);
+    reactor::InstanceId id = r.add_instance(cp, hc);
+    r.boot();
+    r.inject(id, "ADD", rt::Value::integer(5));  // total 5, checkpointed
+    r.drain();
+    r.inject(id, "ADD", rt::Value::integer(0));  // trip -> Faulted
+    r.drain();
+    EXPECT_EQ(r.instance(id).status(), rt::Engine::Status::Faulted);
+
+    r.advance(r.next_restart_due() - r.now());
+    EXPECT_EQ(r.instance(id).status(), rt::Engine::Status::Running);
+
+    r.inject(id, "ADD", rt::Value::integer(4));  // 5 survived: 5+4
+    r.inject(id, "STOP");
+    r.drain();
+    EXPECT_EQ(r.instance(id).result().as_int(), 9);
+
+    const reactor::MemberState& m = r.supervision(id);
+    EXPECT_EQ(m.restores, 1u);
+    EXPECT_EQ(m.supervised_restarts, 1u);
+    EXPECT_GE(m.checkpoints, 1u);
 }
 
 TEST(Supervision, QuarantinesAfterRepeatedFaultsInTheWindow) {

@@ -110,11 +110,11 @@ TEST(GoldenTrace, ShipGame) {
 // Interpreter vs cgen byte compatibility on fixed seeds.
 // ---------------------------------------------------------------------------
 
-TEST(TraceCompat, InterpAndCgenTracesAreByteIdenticalOnFixedSeeds) {
-    constexpr int kWanted = 20;   // verdict-OK cases to byte-compare
-    constexpr uint64_t kMaxSeed = 200;  // generator seeds scanned, worst case
-
-    testgen::DiffOptions opt;
+/// Body shared by the legacy-globals and re-entrant-wrapper entry points:
+/// scan generator seeds, byte-compare interpreter and compiled traces on
+/// every verdict-OK case.
+void check_interp_cgen_parity(const testgen::DiffOptions& opt, int kWanted,
+                              uint64_t kMaxSeed) {
     int checked = 0;
     uint64_t seed = 1;
     for (; seed <= kMaxSeed && checked < kWanted; ++seed) {
@@ -144,6 +144,21 @@ TEST(TraceCompat, InterpAndCgenTracesAreByteIdenticalOnFixedSeeds) {
     }
     ASSERT_EQ(checked, kWanted)
         << "only " << checked << " verdict-OK seeds in 1.." << (seed - 1);
+}
+
+TEST(TraceCompat, InterpAndCgenTracesAreByteIdenticalOnFixedSeeds) {
+    check_interp_cgen_parity(testgen::DiffOptions(), /*kWanted=*/20,
+                             /*kMaxSeed=*/200);
+}
+
+TEST(TraceCompat, ReentrantEntryPointKeepsTheSameTraceBytes) {
+    // The deprecated single-instance wrappers (re-entrant emission with
+    // with_main) are the second supported entry point: same program, same
+    // script, same bytes. Fewer seeds — each case costs a cc invocation
+    // and the wrapper glue is entry-point plumbing, not per-program logic.
+    testgen::DiffOptions opt;
+    opt.cgen_reentrant = true;
+    check_interp_cgen_parity(opt, /*kWanted=*/8, /*kMaxSeed=*/200);
 }
 
 }  // namespace
