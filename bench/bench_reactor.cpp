@@ -28,10 +28,14 @@
 #include <thread>
 #include <vector>
 
+#include <algorithm>
+
 #include "aot/aot.hpp"
 #include "codegen/flatten.hpp"
 #include "host/instance.hpp"
 #include "reactor/reactor.hpp"
+#include "serve/client.hpp"
+#include "serve/server.hpp"
 
 namespace {
 
@@ -233,6 +237,69 @@ CheckpointMetrics run_checkpoint_bench(
     return m;
 }
 
+struct ServeMetrics {
+    size_t sessions = 0;
+    double open_sessions_per_sec = 0;
+    double injects_per_sec = 0;
+    double inject_p50_us = 0;
+    double inject_p99_us = 0;
+};
+
+/// E16 — the network front door: a loopback CEUWIRE1 server, one client
+/// connection. Measures session-open throughput (create-on-connect rate)
+/// and the synchronous inject-to-InjectReply round trip (p50/p99 — the
+/// latency a remote driver actually observes, socket included).
+ServeMetrics run_serve_bench(size_t sessions) {
+    ServeMetrics m;
+    m.sessions = sessions;
+
+    serve::Registry reg;
+    reg.add("counter", kCounter);
+    serve::ServerConfig cfg;
+    cfg.workers = 2;
+    serve::Server server(std::move(reg), cfg);
+    server.start();
+
+    serve::Client client;
+    client.connect(server.port());
+
+    auto t0 = std::chrono::steady_clock::now();
+    std::vector<uint64_t> ids;
+    ids.reserve(sessions);
+    for (size_t i = 0; i < sessions; ++i) ids.push_back(client.open());
+    auto t1 = std::chrono::steady_clock::now();
+    double open_ms = std::chrono::duration<double, std::milli>(t1 - t0).count();
+    m.open_sessions_per_sec =
+        open_ms > 0 ? static_cast<double>(sessions) * 1000.0 / open_ms : 0.0;
+
+    // Inject latency: individually timed round trips, spread across the
+    // fleet so the session map and shard dispatch are exercised, not one
+    // hot member.
+    const size_t kSamples = 2'000;
+    std::vector<double> lat_us;
+    lat_us.reserve(kSamples);
+    auto i0 = std::chrono::steady_clock::now();
+    for (size_t k = 0; k < kSamples; ++k) {
+        uint64_t id = ids[k % ids.size()];
+        auto s0 = std::chrono::steady_clock::now();
+        client.inject(id, "ADD", 1);
+        auto s1 = std::chrono::steady_clock::now();
+        lat_us.push_back(std::chrono::duration<double, std::micro>(s1 - s0).count());
+    }
+    auto i1 = std::chrono::steady_clock::now();
+    double inject_ms = std::chrono::duration<double, std::milli>(i1 - i0).count();
+    m.injects_per_sec =
+        inject_ms > 0 ? static_cast<double>(kSamples) * 1000.0 / inject_ms : 0.0;
+    std::sort(lat_us.begin(), lat_us.end());
+    m.inject_p50_us = lat_us[lat_us.size() / 2];
+    m.inject_p99_us = lat_us[lat_us.size() * 99 / 100];
+
+    client.bye();
+    server.request_stop();
+    server.wait();
+    return m;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -337,13 +404,19 @@ int main(int argc, char** argv) {
 
     CheckpointMetrics ck = run_checkpoint_bench(quick ? 1'000 : 10'000, counter,
                                                 ticker, async_step);
+    ServeMetrics sv = run_serve_bench(quick ? 1'000 : 5'000);
     js << "],\"speedup_8v1_10k\":" << speedup
        << ",\"compiled_vs_interp_10k\":" << compiled_vs_interp
        << ",\"checkpoint\":{\"instances\":"
        << ck.instances << ",\"bytes_per_instance\":" << ck.bytes_per_instance
        << ",\"save_us_per_instance\":" << ck.save_us_per_instance
        << ",\"restore_us_per_instance\":" << ck.restore_us_per_instance
-       << "},\"schema\":\"ceu-bench-reactor-v3\"}";
+       << "},\"serve\":{\"sessions\":" << sv.sessions
+       << ",\"open_sessions_per_sec\":" << sv.open_sessions_per_sec
+       << ",\"injects_per_sec\":" << sv.injects_per_sec
+       << ",\"inject_p50_us\":" << sv.inject_p50_us
+       << ",\"inject_p99_us\":" << sv.inject_p99_us
+       << "},\"schema\":\"ceu-bench-reactor-v4\"}";
 
     std::printf("\n8-worker vs 1-worker aggregate on the 10k mix: %.2fx\n", speedup);
     if (img) {
@@ -355,6 +428,11 @@ int main(int argc, char** argv) {
         "restore %.2f us/inst\n",
         ck.instances, ck.bytes_per_instance, ck.save_us_per_instance,
         ck.restore_us_per_instance);
+    std::printf(
+        "serve (loopback, %zu sessions): open %.0f sessions/s, "
+        "inject %.0f/s, inject-to-reply p50 %.1f us p99 %.1f us\n",
+        sv.sessions, sv.open_sessions_per_sec, sv.injects_per_sec,
+        sv.inject_p50_us, sv.inject_p99_us);
 
     if (!json_path.empty()) {
         std::ofstream f(json_path, std::ios::binary);

@@ -7,7 +7,7 @@ unchanged program must come back as a cache hit (cache_misses == 0 and
 states_explored == 0 in the "analysis-cache" JSON record).
 
 Programs come from two sources so the gate covers both shapes:
-  * seeded testgen programs (ceuc --gen-dump), stripped of the corpus
+  * seeded testgen programs (ceuc --gen.dump), stripped of the corpus
     header/script sections;
   * the checked-in tests/corpus/*.ceu witnesses, same format.
 
@@ -60,7 +60,7 @@ def main() -> int:
 
     programs = []
     for seed in range(1, 21):
-        dump = subprocess.run([ceuc, "--gen-dump", "--seed", str(seed)],
+        dump = subprocess.run([ceuc, "--gen.dump", "--gen.seed", str(seed)],
                               capture_output=True, text=True, check=True)
         path = os.path.join(workdir, f"seed{seed}.ceu")
         with open(path, "w") as f:

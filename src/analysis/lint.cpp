@@ -101,7 +101,8 @@ Finding incomplete_finding(size_t explored, size_t max_states) {
     f.pass = "temporal";
     f.severity = Severity::Warning;
     f.message = "temporal analysis incomplete (state budget exhausted: " +
-                std::to_string(explored) + " states explored, --max-states=" +
+                std::to_string(explored) +
+                " states explored, --analysis.max-states=" +
                 std::to_string(max_states) + "); determinism NOT proven";
     return f;
 }

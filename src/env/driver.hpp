@@ -19,9 +19,18 @@ class Driver {
   public:
     /// `cp` must outlive the driver. Extra bindings are merged over the
     /// standard ones (platform bindings win on conflicts).
+    ///
+    /// The driver is itself written against the facade's embedder-sink
+    /// surface: it turns off the instance's internal trace buffer and
+    /// collects lines through add_output_sink — the same subscription any
+    /// external embedder (the serve layer included) uses. One stream, one
+    /// code path.
     explicit Driver(const flat::CompiledProgram& cp,
                     const rt::CBindings* extra = nullptr)
-        : inst_(cp, make_config(extra)) {}
+        : inst_(cp, make_config(extra)) {
+        inst_.add_output_sink(
+            [this](const std::string& line) { trace_.push_back(line); });
+    }
 
     /// Boot + run the whole script + drain asyncs. Returns final status.
     /// Dynamic errors (rt::RuntimeError) propagate to the caller.
@@ -41,8 +50,15 @@ class Driver {
     void settle_asyncs(uint64_t max_slices = 10'000'000) { inst_.settle(max_slices); }
 
     [[nodiscard]] rt::Engine& engine() { return inst_.engine(); }
-    [[nodiscard]] const std::vector<std::string>& trace() const { return inst_.trace(); }
-    [[nodiscard]] std::string trace_text() const { return inst_.trace_text(); }
+    [[nodiscard]] const std::vector<std::string>& trace() const { return trace_; }
+    [[nodiscard]] std::string trace_text() const {
+        std::string out;
+        for (const auto& line : trace_) {
+            out += line;
+            out += '\n';
+        }
+        return out;
+    }
     [[nodiscard]] Micros clock() const { return inst_.clock(); }
 
     /// The wrapped facade, for callers migrating off the shim.
@@ -52,9 +68,11 @@ class Driver {
     static host::Config make_config(const rt::CBindings* extra) {
         host::Config cfg;
         cfg.bindings = extra;
+        cfg.collect_trace = false;  // the driver subscribes; no double buffer
         return cfg;
     }
     host::Instance inst_;
+    std::vector<std::string> trace_;
 };
 
 /// One-shot helper: compile, run `script`, return the trace lines.

@@ -71,10 +71,9 @@ void Instance::init(Config& cfg) {
         effective = bindings_.get();
     }
     engine_ = std::make_unique<Engine>(*cp_, *effective, cfg.engine);
-    engine_->on_trace = [this](const std::string& line) {
-        if (collect_trace_) trace_.push_back(line);
-        if (on_trace_line) on_trace_line(line);
-    };
+    // Both backends funnel through push_trace_line, so output sinks see an
+    // identical stream regardless of backend.
+    engine_->on_trace = [this](const std::string& line) { push_trace_line(line); };
 }
 
 Instance::~Instance() {
@@ -84,9 +83,11 @@ Instance::~Instance() {
 // -- AOT host-api callbacks ---------------------------------------------------
 
 void Instance::push_trace_line(std::string line) {
-    // Same order as the interpreter's on_trace lambda: collect, then stream.
+    // Collect, then stream: the hook and the sinks see the line after it
+    // is (optionally) in the buffer, so a sink may inspect trace().
     if (collect_trace_) trace_.push_back(line);
-    if (on_trace_line) on_trace_line(std::move(line));
+    if (on_trace_line) on_trace_line(line);
+    for (const OutputSink& sink : output_sinks_) sink(line);
 }
 
 void Instance::aot_trace_cb(void* user, const char* line, int32_t len) {
@@ -151,18 +152,20 @@ void Instance::boot() {
     if (is_compiled()) {
         aot_.desc->set_boot_clock(ctx_, clock_);
         aot_.desc->go_init(ctx_);
-        return;
+    } else {
+        engine_->set_boot_clock(clock_);
+        engine_->go_init();
     }
-    engine_->set_boot_clock(clock_);
-    engine_->go_init();
+    notify_status();
 }
 
 void Instance::reset() {
     if (is_compiled()) {
         aot_.desc->reset(ctx_);
-        return;
+    } else {
+        engine_->reset();
     }
-    engine_->reset();
+    notify_status();
 }
 
 void Instance::power_cycle() {
@@ -176,6 +179,7 @@ void Instance::power_cycle() {
     } else {
         engine_->go_init();
     }
+    notify_status();
 }
 
 // -- inputs -------------------------------------------------------------------
@@ -193,15 +197,18 @@ bool Instance::try_inject(const std::string& event, Value v) {
         inject(static_cast<int>(id), v);
         return true;
     }
-    return engine_->go_event_by_name(event, v);
+    bool known = engine_->go_event_by_name(event, v);
+    if (known) notify_status();
+    return known;
 }
 
 void Instance::inject(int event_id, Value v) {
     if (is_compiled()) {
         aot_.desc->go_event(ctx_, event_id, v.as_int());
-        return;
+    } else {
+        engine_->go_event(event_id, v);
     }
-    engine_->go_event(event_id, v);
+    notify_status();
 }
 
 EventId Instance::resolve_input(const std::string& event) const {
@@ -219,6 +226,7 @@ void Instance::advance(Micros delta) {
     } else {
         engine_->go_time(clock_);
     }
+    notify_status();
 }
 
 void Instance::advance_to(Micros abs_us) {
@@ -228,22 +236,27 @@ void Instance::advance_to(Micros abs_us) {
     } else {
         engine_->go_time(clock_);
     }
+    notify_status();
 }
 
 bool Instance::step_async() {
-    if (is_compiled()) return aot_.desc->go_async(ctx_) != 0;
-    return engine_->go_async();
+    bool more = is_compiled() ? aot_.desc->go_async(ctx_) != 0 : engine_->go_async();
+    notify_status();
+    return more;
 }
 
 bool Instance::run_async_slices(uint64_t n) {
+    bool more;
     if (is_compiled()) {
-        return aot_.desc->go_async_n(ctx_, static_cast<int64_t>(n)) != 0;
+        more = aot_.desc->go_async_n(ctx_, static_cast<int64_t>(n)) != 0;
+    } else {
+        more = false;
+        for (uint64_t k = 0; k < n; ++k) {
+            more = engine_->go_async();
+            if (!more) break;
+        }
     }
-    bool more = false;
-    for (uint64_t k = 0; k < n; ++k) {
-        more = engine_->go_async();
-        if (!more) break;
-    }
+    notify_status();
     return more;
 }
 
@@ -468,6 +481,7 @@ void Instance::load(const std::vector<uint8_t>& blob) {
         }
         clock_ = clock;
         recorder_.restore(stats, rec_seq);
+        notify_status();
         return;
     }
     if (std::memcmp(magic, kAotMagic, sizeof kAotMagic) == 0) {
@@ -499,6 +513,7 @@ void Instance::load(const std::vector<uint8_t>& blob) {
     engine_->load(eng.data(), eng.size());
     clock_ = clock;
     recorder_.restore(stats, rec_seq);
+    notify_status();
 }
 
 // -- observability ------------------------------------------------------------
@@ -547,6 +562,34 @@ obs::ProcessStats Instance::snapshot() const {
 }
 
 void Instance::finish_observation() { recorder_.finish(); }
+
+// -- embedder sinks -----------------------------------------------------------
+
+void Instance::add_output_sink(OutputSink sink) {
+    output_sinks_.push_back(std::move(sink));
+}
+
+void Instance::add_span_sink(SpanSink sink) {
+    own_sink(std::make_unique<obs::CallbackSink>(std::move(sink)));
+}
+
+void Instance::add_status_sink(StatusSink sink) {
+    // Prime the subscriber with the current state, then record it as the
+    // notified baseline so the next transition (and only a transition)
+    // fires again.
+    rt::Engine::Status st = status();
+    sink(st);
+    notified_status_ = st;
+    status_sinks_.push_back(std::move(sink));
+}
+
+void Instance::notify_status() {
+    if (status_sinks_.empty()) return;
+    rt::Engine::Status st = status();
+    if (st == notified_status_) return;
+    notified_status_ = st;
+    for (const StatusSink& sink : status_sinks_) sink(st);
+}
 
 // -- traces -------------------------------------------------------------------
 

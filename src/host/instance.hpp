@@ -176,10 +176,43 @@ class Instance {
     /// so it lands in the stats snapshot.
     void note_fault_injection() { recorder_.count_fault_injection(); }
 
+    // -- embedder sinks -------------------------------------------------------
+    //
+    // The subscription surface for non-CLI embedders (the serve layer's
+    // contract): everything a remote client may want streamed — output
+    // lines, reaction spans, status transitions — is a callback registered
+    // here, so embedders never reach into env::Driver or rt::Engine
+    // internals. Sinks are invoked synchronously on the thread driving the
+    // instance (inside the reactor: the owning shard's worker), in
+    // registration order; keep them cheap and do not re-enter the instance
+    // from inside one. All three surfaces are backend-neutral: interpreter
+    // and AOT instances feed them identically.
+
+    /// Receives every output/trace line, in emission order — the same
+    /// stream trace() collects and on_trace_line sees. Registration does
+    /// not affect collection (Config::collect_trace governs that).
+    using OutputSink = std::function<void(const std::string&)>;
+    void add_output_sink(OutputSink sink);
+
+    /// Receives every finished reaction span. Registering arms the
+    /// recorder (same cost model as add_sink: ~zero until armed).
+    using SpanSink = std::function<void(const obs::ReactionSpan&)>;
+    void add_span_sink(SpanSink sink);
+
+    /// Receives status *transitions*: after any mutating entry point
+    /// (boot / inject / advance / async slices / load / reset) leaves the
+    /// instance in a different Status than previously notified, each sink
+    /// is called once with the new status. The sink is primed with the
+    /// current status at registration, so subscribers always know the
+    /// starting state. No sinks registered → zero per-call overhead.
+    using StatusSink = std::function<void(rt::Engine::Status)>;
+    void add_status_sink(StatusSink sink);
+
     // -- traces ---------------------------------------------------------------
 
     /// Streaming hook: called once per trace line, in addition to (not
-    /// instead of) collection. Settable at any time.
+    /// instead of) collection. Settable at any time. Prefer
+    /// add_output_sink for new embedders (it composes; this overwrites).
     std::function<void(const std::string&)> on_trace_line;
     [[nodiscard]] const std::vector<std::string>& trace() const { return trace_; }
     [[nodiscard]] std::string trace_text() const;
@@ -223,6 +256,8 @@ class Instance {
   private:
     void init(Config& cfg);
     void arm_recorder();
+    /// Fans a status change out to status sinks (no-op without sinks).
+    void notify_status();
     rt::Engine::Status replay(const env::Script& script);
     [[nodiscard]] rt::Engine::Status aot_status() const;
     void push_trace_line(std::string line);
@@ -255,6 +290,9 @@ class Instance {
     bool obs_armed_ = false;
     obs::Recorder recorder_;
     std::vector<std::unique_ptr<obs::Sink>> owned_sinks_;
+    std::vector<OutputSink> output_sinks_;
+    std::vector<StatusSink> status_sinks_;
+    rt::Engine::Status notified_status_ = rt::Engine::Status::Loaded;
     std::vector<std::string> trace_;
     bool collect_trace_ = true;
     Micros clock_ = 0;

@@ -27,6 +27,7 @@
 
 #include <array>
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -191,6 +192,22 @@ class Recorder {
     ReactionSpan span_;
     ReactionSpan last_;
     ProcessStats stats_;
+};
+
+/// Adapts a plain callable into a Sink — the bridge between the obs layer's
+/// virtual-interface world and std::function subscribers. The serve layer
+/// (and any embedder using host::Instance::add_span_sink) streams spans
+/// through one of these without writing a Sink subclass.
+class CallbackSink : public Sink {
+  public:
+    using Fn = std::function<void(const ReactionSpan&)>;
+    explicit CallbackSink(Fn fn) : fn_(std::move(fn)) {}
+    void on_reaction(const ReactionSpan& span) override {
+        if (fn_) fn_(span);
+    }
+
+  private:
+    Fn fn_;
 };
 
 /// Deterministic Chrome trace_event JSON writer. Byte-identical with the

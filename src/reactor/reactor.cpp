@@ -204,23 +204,39 @@ void Reactor::run_round() {
         if (shards_[i].schedule_dirty) refresh_schedule(shards_[i], i);
     }
     dispatch(Cmd::Round);
+    if (on_round_end) on_round_end();
+}
+
+bool Reactor::work_pending() const {
+    for (const Shard& sh : shards_) {
+        if (sh.work_left || !sh.mailbox.empty()) return true;
+    }
+    return false;
 }
 
 size_t Reactor::drain(size_t max_rounds) {
     size_t rounds = 0;
-    while (rounds < max_rounds) {
-        bool pending = false;
-        for (const Shard& sh : shards_) {
-            if (sh.work_left || !sh.mailbox.empty()) {
-                pending = true;
-                break;
-            }
-        }
-        if (!pending) break;
+    while (rounds < max_rounds && work_pending()) {
         run_round();
         ++rounds;
     }
     return rounds;
+}
+
+std::vector<Reactor::DrainedMember> Reactor::drain_and_checkpoint(size_t max_rounds) {
+    drain(max_rounds);
+    std::vector<DrainedMember> out;
+    size_t n = published_.load(std::memory_order_acquire);
+    for (size_t i = 0; i < n; ++i) {
+        const Slot& sl = slot(static_cast<InstanceId>(i));
+        if (!sl.booted || sl.retired.load(std::memory_order_relaxed)) continue;
+        rt::Engine::Status st = sl.inst->status();
+        if (st != rt::Engine::Status::Running && st != rt::Engine::Status::Faulted) {
+            continue;  // Terminated (or never-ran) members have nothing to resume
+        }
+        out.push_back({static_cast<InstanceId>(i), sl.inst->save()});
+    }
+    return out;
 }
 
 Micros Reactor::next_restart_due() const {

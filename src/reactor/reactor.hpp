@@ -62,6 +62,7 @@
 #include <atomic>
 #include <condition_variable>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -72,6 +73,7 @@
 #include "reactor/fleet_wheel.hpp"
 #include "reactor/mailbox.hpp"
 #include "reactor/supervise.hpp"
+#include "reactor/verdict.hpp"
 
 namespace ceu::reactor {
 
@@ -113,22 +115,8 @@ struct ReactorConfig {
     }();
 };
 
-/// Verdict of one inject() call. `ticket` is the global injection ordinal
-/// and is meaningful for Accepted (the envelope will deliver in ticket
-/// order) and Shed (the ticket was consumed by the rejected occurrence, so
-/// accepted tickets stay totally ordered); it is 0 for the other verdicts.
-struct InjectResult {
-    enum class Status : uint8_t {
-        Accepted,      ///< queued; will deliver next round in ticket order
-        Shed,          ///< inbox over capacity: dropped at the producer
-        Retired,       ///< target was retire()d; no longer accepts input
-        UnknownEvent,  ///< name variant only: not an input of the program
-    };
-    Status status = Status::Accepted;
-    uint64_t ticket = 0;
-
-    [[nodiscard]] bool accepted() const { return status == Status::Accepted; }
-};
+// InjectResult (and the Verdict enum it carries) lives in
+// reactor/verdict.hpp: the wire protocol's reply codes are the same enum.
 
 class Reactor {
   public:
@@ -217,6 +205,32 @@ class Reactor {
     /// the clock (see next_restart_due) to reach them. `max_rounds` bounds
     /// runaway async programs.
     size_t drain(size_t max_rounds = 1'000'000);
+
+    /// True while a round at the current instant would do work: queued
+    /// envelopes, due timers or restarts, or async-live members. The
+    /// serve front door polls this to decide whether to keep ticking or
+    /// block on the network. Control thread, between rounds.
+    [[nodiscard]] bool work_pending() const;
+
+    /// Called on the control thread at the end of every run_round() (and
+    /// thus once per drain() iteration). The serve layer uses it to flush
+    /// per-session outbound frames between rounds, so a long drain streams
+    /// its output instead of buffering it. May be empty.
+    std::function<void()> on_round_end;
+
+    /// One live member's checkpoint, as produced by graceful drain.
+    struct DrainedMember {
+        InstanceId id = 0;
+        std::vector<uint8_t> snapshot;  ///< host::Instance::save() blob
+    };
+
+    /// Graceful drain: runs drain(max_rounds), then checkpoints every live
+    /// member — booted, not retired, status Running or Faulted — in id
+    /// order. Terminated members have nothing to resume and are skipped.
+    /// The reactor keeps running afterwards; stopping the process (and
+    /// later restoring the blobs via Instance::load / session resume) is
+    /// the caller's business. Control thread only.
+    std::vector<DrainedMember> drain_and_checkpoint(size_t max_rounds = 1'000'000);
 
     // -- introspection (control thread) --------------------------------------
 

@@ -1,0 +1,55 @@
+// The shed/retire vocabulary, in one place.
+//
+// A fleet rejects input for exactly four reasons, and every layer that
+// reports a rejection — `Reactor::inject()` (the in-process API), the
+// `CEUWIRE1` InjectReply frame (the network API), and the JSON the CLI
+// tools print — speaks this enum. The numeric values are part of the wire
+// protocol (InjectReply carries them as a u8) and must never be reordered;
+// new verdicts append.
+#pragma once
+
+#include <cstdint>
+
+namespace ceu::reactor {
+
+/// Why one occurrence of an input event was accepted or refused.
+enum class Verdict : uint8_t {
+    Accepted = 0,      ///< queued; will deliver next round in ticket order
+    Shed = 1,          ///< inbox over capacity: dropped at the producer
+    Retired = 2,       ///< target was retired; no longer accepts input
+    UnknownEvent = 3,  ///< name variant only: not an input of the program
+};
+
+/// Stable lower-case spelling shared by logs, JSON and the client tools.
+[[nodiscard]] constexpr const char* verdict_name(Verdict v) {
+    switch (v) {
+        case Verdict::Accepted: return "accepted";
+        case Verdict::Shed: return "shed";
+        case Verdict::Retired: return "retired";
+        case Verdict::UnknownEvent: return "unknown-event";
+    }
+    return "?";
+}
+
+/// True iff `raw` is a defined Verdict value — the wire decoder's guard
+/// against corrupt reply frames.
+[[nodiscard]] constexpr bool verdict_valid(uint8_t raw) {
+    return raw <= static_cast<uint8_t>(Verdict::UnknownEvent);
+}
+
+/// Verdict of one inject() call. `ticket` is the global injection ordinal
+/// and is meaningful for Accepted (the envelope will deliver in ticket
+/// order) and Shed (the ticket was consumed by the rejected occurrence, so
+/// accepted tickets stay totally ordered); it is 0 for the other verdicts.
+struct InjectResult {
+    /// Historical spelling: InjectResult::Status::Shed and
+    /// reactor::Verdict::Shed are the same enumerator.
+    using Status = Verdict;
+
+    Verdict status = Verdict::Accepted;
+    uint64_t ticket = 0;
+
+    [[nodiscard]] bool accepted() const { return status == Verdict::Accepted; }
+};
+
+}  // namespace ceu::reactor

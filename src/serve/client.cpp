@@ -1,0 +1,242 @@
+#include "serve/client.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace ceu::serve {
+
+Client::~Client() { disconnect(); }
+
+void Client::connect(uint16_t port, const std::string& program, bool want_spans,
+                     uint64_t expect_fingerprint) {
+    if (fd_ >= 0) throw ClientError("already connected");
+    fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd_ < 0) throw ClientError("socket() failed");
+    int yes = 1;
+    ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &yes, sizeof yes);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(port);
+    if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0) {
+        ::close(fd_);
+        fd_ = -1;
+        throw ClientError("connect() to port " + std::to_string(port) +
+                          " failed: " + std::strerror(errno));
+    }
+    Frame hello;
+    hello.type = FrameType::Hello;
+    hello.version = kWireVersion;
+    hello.flags = want_spans ? 1 : 0;
+    hello.text = program;
+    hello.fingerprint = expect_fingerprint;
+    send_raw(hello);
+    Frame w = wait_for(FrameType::Welcome);
+    fingerprint_ = w.fingerprint;
+}
+
+void Client::disconnect() {
+    if (fd_ >= 0) {
+        ::close(fd_);
+        fd_ = -1;
+    }
+}
+
+void Client::send_raw(const Frame& f) {
+    std::vector<uint8_t> bytes;
+    encode_frame(f, bytes);
+    size_t off = 0;
+    while (off < bytes.size()) {
+        ssize_t n = ::send(fd_, bytes.data() + off, bytes.size() - off,
+                           MSG_NOSIGNAL);
+        if (n <= 0) {
+            if (n < 0 && errno == EINTR) continue;
+            throw ClientError("send failed (connection lost)");
+        }
+        off += static_cast<size_t>(n);
+    }
+}
+
+bool Client::read_more() {
+    uint8_t buf[64 * 1024];
+    ssize_t n = ::recv(fd_, buf, sizeof buf, 0);
+    if (n > 0) {
+        reader_.feed(buf, static_cast<size_t>(n));
+        return true;
+    }
+    if (n < 0 && errno == EINTR) return true;
+    return false;
+}
+
+Frame Client::wait_for(FrameType want) {
+    Frame f;
+    for (;;) {
+        while (reader_.next(f)) {
+            switch (f.type) {
+                case FrameType::Output:
+                    outputs_[f.session].push_back(f.text);
+                    break;
+                case FrameType::Span:
+                    spans_[f.session].push_back(f);
+                    break;
+                case FrameType::SessionStatus:
+                    statuses_[f.session].push_back(f.flags);
+                    break;
+                case FrameType::Shutdown:
+                    shutdown_seen_ = true;
+                    break;
+                case FrameType::Error:
+                    last_error_ = f.text;
+                    throw ClientError("server error: " + f.text);
+                default:
+                    if (f.type == want) return f;
+                    // A reply we did not expect right now: protocol misuse
+                    // on our side — fail loudly.
+                    throw ClientError(std::string("unexpected ") +
+                                      frame_type_name(f.type) + " while waiting for " +
+                                      frame_type_name(want));
+            }
+        }
+        if (!read_more()) {
+            throw ClientError(std::string("connection closed while waiting for ") +
+                              frame_type_name(want));
+        }
+    }
+}
+
+uint64_t Client::open(const std::string& program) {
+    Frame f;
+    f.type = FrameType::Open;
+    f.text = program;
+    send_raw(f);
+    return wait_for(FrameType::SessionOpened).session;
+}
+
+Frame Client::inject(uint64_t session, const std::string& event, int64_t value) {
+    Frame f;
+    f.type = FrameType::Inject;
+    f.session = session;
+    f.text = event;
+    f.value = value;
+    send_raw(f);
+    return wait_for(FrameType::InjectReply);
+}
+
+int64_t Client::advance(int64_t delta_us) {
+    Frame f;
+    f.type = FrameType::Advance;
+    f.value = delta_us;
+    send_raw(f);
+    return wait_for(FrameType::Advanced).value;
+}
+
+std::vector<uint8_t> Client::detach(uint64_t session) {
+    Frame f;
+    f.type = FrameType::Detach;
+    f.session = session;
+    send_raw(f);
+    return wait_for(FrameType::Detached).blob;
+}
+
+uint64_t Client::resume(uint64_t session, const std::vector<uint8_t>& blob,
+                        const std::string& program) {
+    Frame f;
+    f.type = FrameType::Resume;
+    f.session = session;
+    f.blob = blob;
+    f.text = program;
+    send_raw(f);
+    return wait_for(FrameType::SessionOpened).session;
+}
+
+void Client::close_session(uint64_t session) {
+    Frame f;
+    f.type = FrameType::Close;
+    f.session = session;
+    send_raw(f);
+    wait_for(FrameType::SessionClosed);
+}
+
+void Client::ping() {
+    Frame f;
+    f.type = FrameType::Ping;
+    f.ticket = next_nonce_++;
+    send_raw(f);
+    Frame pong = wait_for(FrameType::Pong);
+    if (pong.ticket != f.ticket) {
+        throw ClientError("pong nonce mismatch");
+    }
+}
+
+void Client::bye() {
+    Frame f;
+    f.type = FrameType::Bye;
+    send_raw(f);
+    // Drain whatever the server flushes until it closes its write side —
+    // streamed frames still land in the logs.
+    Frame g;
+    for (;;) {
+        try {
+            while (reader_.next(g)) {
+                switch (g.type) {
+                    case FrameType::Output:
+                        outputs_[g.session].push_back(g.text);
+                        break;
+                    case FrameType::Span:
+                        spans_[g.session].push_back(g);
+                        break;
+                    case FrameType::SessionStatus:
+                        statuses_[g.session].push_back(g.flags);
+                        break;
+                    case FrameType::Shutdown:
+                        shutdown_seen_ = true;
+                        break;
+                    default:
+                        break;
+                }
+            }
+        } catch (const WireError&) {
+            break;
+        }
+        if (!read_more()) break;
+    }
+    disconnect();
+}
+
+namespace {
+const std::vector<std::string> kNoOutputs;
+const std::vector<Frame> kNoSpans;
+const std::vector<uint8_t> kNoStatuses;
+}  // namespace
+
+const std::vector<std::string>& Client::outputs(uint64_t session) const {
+    auto it = outputs_.find(session);
+    return it == outputs_.end() ? kNoOutputs : it->second;
+}
+
+const std::vector<Frame>& Client::spans(uint64_t session) const {
+    auto it = spans_.find(session);
+    return it == spans_.end() ? kNoSpans : it->second;
+}
+
+const std::vector<uint8_t>& Client::statuses(uint64_t session) const {
+    auto it = statuses_.find(session);
+    return it == statuses_.end() ? kNoStatuses : it->second;
+}
+
+std::string Client::trace_text(uint64_t session) const {
+    std::string out;
+    for (const std::string& line : outputs(session)) {
+        out += line;
+        out += '\n';
+    }
+    return out;
+}
+
+}  // namespace ceu::serve

@@ -1,0 +1,102 @@
+// serve::Client — a blocking CEUWIRE1 client.
+//
+// The reference consumer of the wire protocol: the `ceu-client` replay
+// tool, the serve test suite, and the bench all speak through this class.
+// One connection, synchronous request/reply: each call sends its frame and
+// reads until the matching reply type arrives, side-collecting every
+// streamed frame (Output/Span/SessionStatus) into per-session logs on the
+// way. `outputs(session)` after a `ping()` barrier is therefore the
+// complete, ordered output trace of that session — the byte-identical
+// artifact the determinism gates compare.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "serve/wire.hpp"
+
+namespace ceu::serve {
+
+class ClientError : public std::runtime_error {
+  public:
+    explicit ClientError(const std::string& msg)
+        : std::runtime_error("client: " + msg) {}
+};
+
+class Client {
+  public:
+    Client() = default;
+    ~Client();
+    Client(const Client&) = delete;
+    Client& operator=(const Client&) = delete;
+
+    /// Connects to 127.0.0.1:`port`, performs the Hello/Welcome handshake.
+    /// `program` picks the connection's default registry entry;
+    /// `expect_fingerprint` != 0 makes the server enforce it. Throws
+    /// ClientError on refusal (wrong version, unknown program, mismatch).
+    void connect(uint16_t port, const std::string& program = "",
+                 bool want_spans = false, uint64_t expect_fingerprint = 0);
+    void disconnect();
+    [[nodiscard]] bool connected() const { return fd_ >= 0; }
+
+    /// Program fingerprint the server reported in Welcome.
+    [[nodiscard]] uint64_t fingerprint() const { return fingerprint_; }
+
+    /// Opens a session (empty = connection default program).
+    uint64_t open(const std::string& program = "");
+    /// Injects one occurrence; returns the InjectReply (verdict + ticket).
+    Frame inject(uint64_t session, const std::string& event, int64_t value = 0);
+    /// Advances the fleet clock; returns the new fleet instant (µs).
+    int64_t advance(int64_t delta_us);
+    /// Detaches the session; returns its CEUHST01 snapshot blob.
+    std::vector<uint8_t> detach(uint64_t session);
+    /// Resumes: live reattach (blob empty, session = live id), blob restore
+    /// (blob non-empty; session = preferred id or 0), or drained-snapshot
+    /// restore (blob empty, session = pre-drain id). Returns the session id.
+    uint64_t resume(uint64_t session, const std::vector<uint8_t>& blob = {},
+                    const std::string& program = "");
+    void close_session(uint64_t session);
+    /// Barrier: returns once the server has reacted to everything this
+    /// client injected before and flushed the resulting streams.
+    void ping();
+    /// Graceful goodbye; the server flushes and closes its side.
+    void bye();
+
+    /// Every Output line received so far for `session`, in order.
+    [[nodiscard]] const std::vector<std::string>& outputs(uint64_t session) const;
+    /// Span digests (kind, seq, ts, wakes, emits packed in Frame fields).
+    [[nodiscard]] const std::vector<Frame>& spans(uint64_t session) const;
+    /// Status transition values (rt::Engine::Status as u8), in order.
+    [[nodiscard]] const std::vector<uint8_t>& statuses(uint64_t session) const;
+    /// One flat text rendering of a session's trace — what the determinism
+    /// gates hash and diff.
+    [[nodiscard]] std::string trace_text(uint64_t session) const;
+
+    /// Last Error frame text received (empty = none). Errors addressed to a
+    /// pending request also raise ClientError from that call.
+    [[nodiscard]] const std::string& last_error() const { return last_error_; }
+    /// True once the server announced Shutdown.
+    [[nodiscard]] bool server_shutdown() const { return shutdown_seen_; }
+
+  private:
+    void send_raw(const Frame& f);
+    /// Reads frames until one of type `want` arrives (streamed frames are
+    /// collected en route). Error frames raise ClientError; EOF raises
+    /// ClientError unless `eof_ok`.
+    Frame wait_for(FrameType want);
+    bool read_more();  ///< false on orderly EOF
+
+    int fd_ = -1;
+    FrameReader reader_;
+    uint64_t fingerprint_ = 0;
+    uint64_t next_nonce_ = 1;
+    std::string last_error_;
+    bool shutdown_seen_ = false;
+    std::map<uint64_t, std::vector<std::string>> outputs_;
+    std::map<uint64_t, std::vector<Frame>> spans_;
+    std::map<uint64_t, std::vector<uint8_t>> statuses_;
+};
+
+}  // namespace ceu::serve

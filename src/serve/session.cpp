@@ -1,0 +1,106 @@
+#include "serve/session.hpp"
+
+#include <algorithm>
+
+namespace ceu::serve {
+
+// -- Registry -----------------------------------------------------------------
+
+const Registry::Entry& Registry::add(const std::string& name,
+                                     const std::string& source, Backend backend) {
+    Entry e;
+    e.name = name;
+    e.cp = std::make_shared<const flat::CompiledProgram>(flat::compile(source));
+    e.fingerprint = rt::program_fingerprint(*e.cp);
+    e.backend = Backend::Interp;
+    if (backend == Backend::Aot) {
+        std::string err;
+        aot::ProgramHandle h = aot::FleetImage::build_one(e.cp, {}, &err);
+        if (h) {
+            e.backend = Backend::Aot;
+            e.aot = std::move(h);
+        } else {
+            e.aot_fallback = err.empty() ? "aot: build failed" : err;
+        }
+    }
+    auto [it, fresh] = by_name_.insert_or_assign(name, std::move(e));
+    if (fresh) order_.push_back(name);
+    return it->second;
+}
+
+const Registry::Entry* Registry::find(const std::string& name) const {
+    auto it = by_name_.find(name);
+    return it == by_name_.end() ? nullptr : &it->second;
+}
+
+const Registry::Entry* Registry::default_program() const {
+    return order_.empty() ? nullptr : find(order_.front());
+}
+
+// -- SessionMap ---------------------------------------------------------------
+
+SessionId SessionMap::open(std::unique_ptr<SessionState> st) {
+    std::lock_guard<std::mutex> lock(mu_);
+    SessionId id = next_++;
+    st->id = id;
+    map_.emplace(id, std::move(st));
+    return id;
+}
+
+bool SessionMap::open_with_id(SessionId id, std::unique_ptr<SessionState> st) {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (map_.count(id) != 0) return false;
+    st->id = id;
+    map_.emplace(id, std::move(st));
+    if (id >= next_) next_ = id + 1;
+    return true;
+}
+
+bool SessionMap::lookup(SessionId id, reactor::InstanceId& member) const {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = map_.find(id);
+    if (it == map_.end()) return false;
+    member = it->second->member;
+    return true;
+}
+
+SessionState* SessionMap::get(SessionId id) {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = map_.find(id);
+    return it == map_.end() ? nullptr : it->second.get();
+}
+
+std::unique_ptr<SessionState> SessionMap::close(SessionId id) {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = map_.find(id);
+    if (it == map_.end()) return nullptr;
+    std::unique_ptr<SessionState> st = std::move(it->second);
+    map_.erase(it);
+    return st;
+}
+
+std::vector<SessionId> SessionMap::ids() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    std::vector<SessionId> out;
+    out.reserve(map_.size());
+    for (const auto& [id, st] : map_) out.push_back(id);
+    std::sort(out.begin(), out.end());
+    return out;
+}
+
+size_t SessionMap::size() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return map_.size();
+}
+
+SessionId SessionMap::next_id() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return next_;
+}
+
+void SessionMap::reserve_ids_through(SessionId id) {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (id >= next_) next_ = id + 1;
+}
+
+}  // namespace ceu::serve

@@ -1,0 +1,135 @@
+// Program registry + session map: the server's two name services.
+//
+// Registry  — named programs a client may Open. Each entry owns the shared
+//             CompiledProgram (one copy, co-owned by every session booted
+//             from it — the fleet memory model) plus, when the AOT backend
+//             was requested and the toolchain cooperated, a compiled
+//             ProgramHandle. AOT failure is not an error: the entry
+//             degrades to the interpreter and records why (the same
+//             structured-fallback policy as `ceuc --backend=aot`).
+//             Immutable after server start; read from any thread.
+//
+// SessionMap — wire session id → live session state. Written by the
+//             control thread (open/close/detach are control ops between
+//             rounds); read by io threads resolving an Inject's target
+//             under the map lock. The per-session *streaming* buffers
+//             (pending outputs/spans/status) are deliberately NOT under
+//             the map lock: they are written by the owning shard's worker
+//             during a round and harvested by the control thread between
+//             rounds — the reactor's round barrier is the synchronization.
+//             SessionState lives behind a unique_ptr so those in-round
+//             writers hold stable pointers across map rehashes.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "aot/aot.hpp"
+#include "codegen/flatten.hpp"
+#include "reactor/reactor.hpp"
+#include "runtime/engine.hpp"
+
+namespace ceu::serve {
+
+using SessionId = uint64_t;
+
+enum class Backend : uint8_t { Interp = 0, Aot = 1 };
+
+/// One reaction-span digest queued for streaming (the wire Span frame's
+/// fields — full ReactionSpans are too heavy to ship per reaction).
+struct SpanDigest {
+    uint8_t kind = 0;
+    uint64_t seq = 0;
+    int64_t ts = 0;
+    uint32_t wakes = 0;
+    uint32_t emits = 0;
+};
+
+class Registry {
+  public:
+    struct Entry {
+        std::string name;
+        std::shared_ptr<const flat::CompiledProgram> cp;
+        uint64_t fingerprint = 0;
+        Backend backend = Backend::Interp;
+        aot::ProgramHandle aot;       ///< set iff backend == Aot
+        std::string aot_fallback;     ///< why an Aot request degraded (empty = fine)
+    };
+
+    /// Compiles `source` and registers it under `name`. The first program
+    /// added is the default. With `backend == Aot`, attempts an AOT build;
+    /// on failure the entry serves the interpreter and keeps the reason.
+    /// Throws CompileError on bad source. Call before serving starts.
+    const Entry& add(const std::string& name, const std::string& source,
+                     Backend backend = Backend::Interp);
+
+    [[nodiscard]] const Entry* find(const std::string& name) const;
+    [[nodiscard]] const Entry* default_program() const;
+    [[nodiscard]] size_t size() const { return order_.size(); }
+
+  private:
+    std::unordered_map<std::string, Entry> by_name_;
+    std::vector<std::string> order_;
+};
+
+/// Everything the server tracks per live session.
+struct SessionState {
+    SessionId id = 0;
+    reactor::InstanceId member = 0;
+    int conn_fd = -1;              ///< owning connection (-1 = orphaned)
+    std::string program;           ///< registry entry name
+    Backend backend = Backend::Interp;
+    bool want_spans = false;
+
+    // In-round streaming buffers: written by the owning shard's worker via
+    // the instance's embedder sinks, drained by the control thread between
+    // rounds (see header comment for why this is race-free).
+    std::vector<std::string> pending_out;
+    std::vector<SpanDigest> pending_spans;
+    std::vector<uint8_t> pending_status;  ///< rt::Engine::Status values
+};
+
+class SessionMap {
+  public:
+    /// Registers `st` under a fresh id (assigned, monotonically increasing)
+    /// and returns it.
+    SessionId open(std::unique_ptr<SessionState> st);
+    /// Registers `st` under a caller-chosen id — the drain-resume path,
+    /// where the pre-drain id must survive so client traces line up.
+    /// Returns false (and drops nothing) if the id is taken; bumps the
+    /// internal counter past `id` so assigned ids never collide.
+    bool open_with_id(SessionId id, std::unique_ptr<SessionState> st);
+
+    /// Io-thread path: resolves a session to its reactor member. Returns
+    /// false if the id is unknown (closed, detached, never existed).
+    bool lookup(SessionId id, reactor::InstanceId& member) const;
+
+    /// Control-thread path: borrow the full state. nullptr if unknown. The
+    /// pointer stays valid until close(id) — states are never moved.
+    [[nodiscard]] SessionState* get(SessionId id);
+
+    /// Removes the session; returns the state (so the caller can retire
+    /// the member / flush remnants) or nullptr if unknown.
+    std::unique_ptr<SessionState> close(SessionId id);
+
+    /// Ids of every live session, ascending — the deterministic iteration
+    /// order for flushes and drain.
+    [[nodiscard]] std::vector<SessionId> ids() const;
+
+    [[nodiscard]] size_t size() const;
+    /// Next id that open() would assign (drain manifest bookkeeping).
+    [[nodiscard]] SessionId next_id() const;
+    /// Floors the assignment counter (restart-from-drain path).
+    void reserve_ids_through(SessionId id);
+
+  private:
+    mutable std::mutex mu_;
+    std::unordered_map<SessionId, std::unique_ptr<SessionState>> map_;
+    SessionId next_ = 1;
+};
+
+}  // namespace ceu::serve

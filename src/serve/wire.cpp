@@ -1,0 +1,237 @@
+#include "serve/wire.hpp"
+
+#include <cstring>
+
+#include "runtime/snapshot.hpp"
+
+namespace ceu::serve {
+
+namespace {
+
+using rt::snap::ByteReader;
+using rt::snap::ByteWriter;
+
+/// Which optional fields a frame type carries, in encode order. Keeping
+/// the schema in one table keeps encoder and decoder from drifting.
+struct Schema {
+    bool magic = false;        // kWireMagic + u32 version
+    bool flags = false;        // u8
+    bool verdict = false;      // u8
+    bool session = false;      // u64
+    bool ticket = false;       // u64
+    bool fingerprint = false;  // u64
+    bool value = false;        // i64
+    bool ab = false;           // u32 a, u32 b
+    bool text = false;         // str
+    bool blob = false;         // u32 len + bytes
+};
+
+Schema schema_for(FrameType t) {
+    Schema s;
+    switch (t) {
+        case FrameType::Hello:
+            s.magic = s.flags = s.text = s.fingerprint = true;
+            break;
+        case FrameType::Open:
+            s.text = true;
+            break;
+        case FrameType::Inject:
+            s.session = s.text = s.value = true;
+            break;
+        case FrameType::Advance:
+            s.value = true;
+            break;
+        case FrameType::Detach:
+        case FrameType::Close:
+            s.session = true;
+            break;
+        case FrameType::Resume:
+            s.session = s.text = s.blob = true;
+            break;
+        case FrameType::Bye:
+            break;
+        case FrameType::Ping:
+        case FrameType::Pong:
+            s.ticket = true;
+            break;
+        case FrameType::Welcome:
+            s.magic = s.fingerprint = true;
+            break;
+        case FrameType::SessionOpened:
+        case FrameType::SessionClosed:
+            s.session = true;
+            break;
+        case FrameType::InjectReply:
+            s.session = s.verdict = s.ticket = true;
+            break;
+        case FrameType::Advanced:
+            s.value = true;
+            break;
+        case FrameType::Detached:
+            s.session = s.blob = true;
+            break;
+        case FrameType::Output:
+            s.session = s.text = true;
+            break;
+        case FrameType::Span:
+            s.session = s.verdict = s.ticket = s.value = s.ab = true;
+            break;
+        case FrameType::SessionStatus:
+            s.session = s.flags = true;
+            break;
+        case FrameType::Error:
+        case FrameType::Shutdown:
+            s.text = true;
+            break;
+    }
+    return s;
+}
+
+bool known_type(uint8_t raw) {
+    return (raw >= 1 && raw <= 9) || (raw >= 65 && raw <= 76);
+}
+
+}  // namespace
+
+const char* frame_type_name(FrameType t) {
+    switch (t) {
+        case FrameType::Hello: return "Hello";
+        case FrameType::Open: return "Open";
+        case FrameType::Inject: return "Inject";
+        case FrameType::Advance: return "Advance";
+        case FrameType::Detach: return "Detach";
+        case FrameType::Resume: return "Resume";
+        case FrameType::Close: return "Close";
+        case FrameType::Bye: return "Bye";
+        case FrameType::Ping: return "Ping";
+        case FrameType::Welcome: return "Welcome";
+        case FrameType::SessionOpened: return "SessionOpened";
+        case FrameType::InjectReply: return "InjectReply";
+        case FrameType::Advanced: return "Advanced";
+        case FrameType::Detached: return "Detached";
+        case FrameType::Output: return "Output";
+        case FrameType::Span: return "Span";
+        case FrameType::Error: return "Error";
+        case FrameType::Shutdown: return "Shutdown";
+        case FrameType::SessionClosed: return "SessionClosed";
+        case FrameType::Pong: return "Pong";
+        case FrameType::SessionStatus: return "SessionStatus";
+    }
+    return "?";
+}
+
+void encode_frame(const Frame& f, std::vector<uint8_t>& out) {
+    std::vector<uint8_t> payload;
+    ByteWriter w(payload);
+    w.u8(static_cast<uint8_t>(f.type));
+    Schema s = schema_for(f.type);
+    if (s.magic) {
+        w.bytes(reinterpret_cast<const uint8_t*>(kWireMagic), sizeof kWireMagic);
+        w.u32(f.version != 0 ? f.version : kWireVersion);
+    }
+    if (s.flags) w.u8(f.flags);
+    if (s.verdict) w.u8(f.verdict);
+    if (s.session) w.u64(f.session);
+    if (s.ticket) w.u64(f.ticket);
+    if (s.fingerprint) w.u64(f.fingerprint);
+    if (s.value) w.i64(f.value);
+    if (s.ab) {
+        w.u32(f.a);
+        w.u32(f.b);
+    }
+    if (s.text) w.str(f.text);
+    if (s.blob) {
+        w.u32(static_cast<uint32_t>(f.blob.size()));
+        w.bytes(f.blob.data(), f.blob.size());
+    }
+    if (payload.size() > kMaxPayload) {
+        throw WireError("frame payload exceeds kMaxPayload");
+    }
+    ByteWriter prefix(out);
+    prefix.u32(static_cast<uint32_t>(payload.size()));
+    prefix.bytes(payload.data(), payload.size());
+}
+
+Frame decode_frame(const uint8_t* payload, size_t n) {
+    // ByteReader throws SnapshotError on truncation; translate to WireError
+    // so callers see one exception type for every malformed-frame shape.
+    try {
+        ByteReader r(payload, n);
+        uint8_t raw = r.u8();
+        if (!known_type(raw)) {
+            throw WireError("unknown frame type " + std::to_string(raw));
+        }
+        Frame f;
+        f.type = static_cast<FrameType>(raw);
+        Schema s = schema_for(f.type);
+        if (s.magic) {
+            char magic[sizeof kWireMagic];
+            for (char& c : magic) c = static_cast<char>(r.u8());
+            if (std::memcmp(magic, kWireMagic, sizeof kWireMagic) != 0) {
+                throw WireError("bad magic (not a CEUWIRE1 stream)");
+            }
+            f.version = r.u32();
+        }
+        if (s.flags) f.flags = r.u8();
+        if (s.verdict) f.verdict = r.u8();
+        if (s.session) f.session = r.u64();
+        if (s.ticket) f.ticket = r.u64();
+        if (s.fingerprint) f.fingerprint = r.u64();
+        if (s.value) f.value = r.i64();
+        if (s.ab) {
+            f.a = r.u32();
+            f.b = r.u32();
+        }
+        if (s.text) f.text = r.str();
+        if (s.blob) {
+            uint32_t len = r.count(1);
+            f.blob.resize(len);
+            for (uint32_t i = 0; i < len; ++i) f.blob[i] = r.u8();
+        }
+        if (!r.done()) throw WireError("trailing bytes after frame fields");
+        return f;
+    } catch (const rt::snap::SnapshotError& e) {
+        throw WireError(std::string("truncated frame (") + e.what() + ")");
+    }
+}
+
+void FrameReader::feed(const uint8_t* data, size_t n) {
+    // Compact the consumed prefix before growing — a long-lived connection
+    // must not accumulate every byte it ever received.
+    if (pos_ > 0 && (pos_ == buf_.size() || pos_ >= 4096)) {
+        buf_.erase(buf_.begin(), buf_.begin() + static_cast<std::ptrdiff_t>(pos_));
+        pos_ = 0;
+    }
+    buf_.insert(buf_.end(), data, data + n);
+    // Reject a hostile length as soon as its prefix is visible — don't wait
+    // for next() and don't buffer toward a cap we will never accept. pos_
+    // always sits on a frame boundary, so the peek is a real prefix.
+    if (buf_.size() - pos_ >= 4) {
+        uint32_t len = 0;
+        for (int i = 0; i < 4; ++i) {
+            len |= static_cast<uint32_t>(buf_[pos_ + static_cast<size_t>(i)])
+                   << (8 * i);
+        }
+        if (len > kMaxPayload) {
+            throw WireError("frame length " + std::to_string(len) +
+                            " exceeds cap");
+        }
+    }
+}
+
+bool FrameReader::next(Frame& out) {
+    if (buf_.size() - pos_ < 4) return false;
+    uint32_t len = 0;
+    for (int i = 0; i < 4; ++i) {
+        len |= static_cast<uint32_t>(buf_[pos_ + static_cast<size_t>(i)]) << (8 * i);
+    }
+    if (len > kMaxPayload) {
+        throw WireError("frame length " + std::to_string(len) + " exceeds cap");
+    }
+    if (buf_.size() - pos_ - 4 < len) return false;
+    out = decode_frame(buf_.data() + pos_ + 4, len);
+    pos_ += 4 + len;
+    return true;
+}
+
+}  // namespace ceu::serve

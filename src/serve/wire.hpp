@@ -1,0 +1,158 @@
+// CEUWIRE1 — the reactor service's versioned wire protocol.
+//
+// The runtime's event/timer/session surface, which every in-process host
+// reaches through `host::Instance`, becomes a *stable network API* here:
+// length-prefixed binary frames over TCP, little-endian, with an explicit
+// version handshake carrying the protocol revision and the program
+// fingerprint, so a client knows — before injecting anything — that it is
+// talking to the protocol it speaks and the program it recorded against.
+//
+// Framing: every frame is `u32 length` (little-endian, counting the payload
+// only) followed by `length` payload bytes. The payload is `u8 type` plus
+// the type's fields, encoded with the same explicit-byte discipline as the
+// snapshot format (runtime/snapshot.hpp): no structs are ever memcpy'd, so
+// any build talks to any other. Length is capped (kMaxPayload) and decoders
+// bounds-check every field; a truncated, trailing-garbage, oversized or
+// unknown-type payload raises WireError — a malformed frame must kill the
+// connection loudly, never deserialize into a subtly wrong op.
+//
+// Frame vocabulary (client → server):
+//   Hello    magic[8] u32 version u8 want_spans str program u64 expect_fp
+//            First frame on a connection. `program` names the registry
+//            entry sessions on this connection default to (empty = server
+//            default). `expect_fp` 0 skips the fingerprint check.
+//   Open     str program — create-on-connect: registers a fresh session
+//            (reactor member) and boots it. Empty = connection default.
+//   Inject   u64 session str event i64 value — one occurrence, fed to the
+//            ticket-ordered Reactor::inject() path. Always answered by
+//            InjectReply carrying the shared reactor::Verdict.
+//   Advance  i64 delta_us — advances the *fleet* clock (time is virtual
+//            and client-driven: determinism over wall-clock coupling).
+//   Detach   u64 session — drain, checkpoint (CEUHST01), retire; the blob
+//            comes back in Detached and the session id is released. The
+//            client owns migration: hand the blob to Resume here or on a
+//            different server.
+//   Resume   u64 session str program blob — revive a session from a
+//            Detached blob (blob non-empty) or from the server's drain
+//            directory (blob empty, `session` = the pre-drain id, which is
+//            preserved so traces line up byte-identical-thereafter).
+//   Close    u64 session — retire without checkpoint.
+//   Ping     u64 nonce — barrier: Pong is sent only after every previously
+//            accepted inject has reacted and its outputs were flushed.
+//   Bye      graceful connection close (sessions stay live until Close/
+//            Detach or connection teardown policy says otherwise).
+//
+// Server → client:
+//   Welcome        magic[8] u32 version u64 fingerprint — handshake accept.
+//   SessionOpened  u64 session
+//   InjectReply    u64 session u8 verdict u64 ticket — verdict is the
+//                  reactor::Verdict numeric value, unchanged.
+//   Advanced      i64 fleet_now_us
+//   Detached      u64 session blob
+//   Output        u64 session str line — one program output/trace line.
+//   Span          u64 session u8 kind u64 seq i64 ts u32 wakes u32 emits —
+//                 compact reaction-span digest (opt-in via Hello).
+//   SessionStatus u64 session u8 status — rt::Engine::Status transitions.
+//   SessionClosed u64 session
+//   Pong          u64 nonce
+//   Error         str message — request-level failure; connection survives
+//                 unless the error was a framing violation.
+//   Shutdown      str reason — server is draining; no new work accepted.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace ceu::serve {
+
+/// Protocol magic, first bytes of Hello and Welcome.
+inline constexpr char kWireMagic[8] = {'C', 'E', 'U', 'W', 'I', 'R', 'E', '1'};
+/// Current protocol revision. Hello carrying a different version is
+/// rejected at handshake (Error + close) — no silent downgrade.
+inline constexpr uint32_t kWireVersion = 1;
+/// Hard payload cap: one frame never exceeds this (largest legitimate
+/// payload is a Detached/Resume snapshot blob).
+inline constexpr uint32_t kMaxPayload = 16u << 20;
+
+class WireError : public std::runtime_error {
+  public:
+    explicit WireError(const std::string& msg)
+        : std::runtime_error("wire: " + msg) {}
+};
+
+enum class FrameType : uint8_t {
+    // client → server
+    Hello = 1,
+    Open = 2,
+    Inject = 3,
+    Advance = 4,
+    Detach = 5,
+    Resume = 6,
+    Close = 7,
+    Bye = 8,
+    Ping = 9,
+    // server → client
+    Welcome = 65,
+    SessionOpened = 66,
+    InjectReply = 67,
+    Advanced = 68,
+    Detached = 69,
+    Output = 70,
+    Span = 71,
+    Error = 72,
+    Shutdown = 73,
+    SessionClosed = 74,
+    Pong = 75,
+    SessionStatus = 76,
+};
+
+[[nodiscard]] const char* frame_type_name(FrameType t);
+
+/// One decoded frame: the union of every type's fields, with only the
+/// fields the type defines encoded on the wire (see the table above). The
+/// codec round-trips exactly the defined fields; everything else stays at
+/// its default.
+struct Frame {
+    FrameType type = FrameType::Hello;
+
+    uint32_t version = 0;     ///< Hello/Welcome: protocol revision
+    uint8_t flags = 0;        ///< Hello: want_spans; SessionStatus: status
+    uint8_t verdict = 0;      ///< InjectReply: reactor::Verdict; Span: kind
+    uint64_t session = 0;     ///< every session-scoped frame
+    uint64_t ticket = 0;      ///< InjectReply ticket; Ping/Pong nonce; Span seq
+    uint64_t fingerprint = 0; ///< Hello expected / Welcome actual
+    int64_t value = 0;        ///< Inject value; Advance delta; Advanced now; Span ts
+    uint32_t a = 0;           ///< Span: wakes
+    uint32_t b = 0;           ///< Span: emits
+    std::string text;         ///< program / event / output line / error / reason
+    std::vector<uint8_t> blob;///< Detached / Resume snapshot
+};
+
+/// Appends the length prefix + encoded payload of `f` to `out`.
+void encode_frame(const Frame& f, std::vector<uint8_t>& out);
+
+/// Decodes one payload (the bytes *after* the length prefix). Throws
+/// WireError on unknown type, truncation, oversize fields or trailing
+/// bytes.
+[[nodiscard]] Frame decode_frame(const uint8_t* payload, size_t n);
+
+/// Incremental deframer: feed() raw socket bytes, next() yields complete
+/// frames in order. Throws WireError as soon as a length prefix exceeds
+/// kMaxPayload (don't buffer a hostile length) or a payload fails to
+/// decode.
+class FrameReader {
+  public:
+    void feed(const uint8_t* data, size_t n);
+    /// True and fills `out` if a complete frame was available.
+    [[nodiscard]] bool next(Frame& out);
+    /// Bytes currently buffered (tests).
+    [[nodiscard]] size_t buffered() const { return buf_.size() - pos_; }
+
+  private:
+    std::vector<uint8_t> buf_;
+    size_t pos_ = 0;  // consumed prefix; compacted opportunistically
+};
+
+}  // namespace ceu::serve

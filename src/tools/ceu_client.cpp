@@ -1,0 +1,157 @@
+// ceu-client — load/replay tool for a ceu-served instance.
+//
+//   ceu-client --port 9090 --sessions 8 --script burst.txt --out traces/
+//
+// Opens N sessions over one connection and replays a recorded script
+// against every one of them, in a single deterministic order (script line
+// outer, session inner). Script lines:
+//
+//   inject <event> [value]     one occurrence per session
+//   advance <us>               fleet clock advance (once per line)
+//   ping                       barrier: wait until all outputs flushed
+//
+// After the replay a final ping flushes everything; the tool prints one
+// digest line per session (output count + FNV-1a hash of the trace) and,
+// with --out, writes each session's trace to <dir>/<session>.trace. Two
+// runs of the same script against servers with different --workers must
+// print identical digests — that is the serving determinism contract, and
+// `ctest -L serve` gates it.
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "serve/client.hpp"
+
+namespace {
+
+uint64_t fnv1a(const std::string& s) {
+    uint64_t h = 1469598103934665603ull;
+    for (unsigned char c : s) {
+        h ^= c;
+        h *= 1099511628211ull;
+    }
+    return h;
+}
+
+void usage() {
+    std::cout <<
+        "usage: ceu-client --port <n> [options]\n"
+        "  --program <name>    registry program to open (default: server default)\n"
+        "  --sessions <k>      sessions to open (default 1)\n"
+        "  --script <file>     replay script (inject/advance/ping lines);\n"
+        "                      default: a single ping\n"
+        "  --out <dir>         write per-session traces to <dir>/<id>.trace\n"
+        "  --spans             request reaction-span streaming\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    uint16_t port = 0;
+    std::string program;
+    std::string script_path;
+    std::string out_dir;
+    size_t n_sessions = 1;
+    bool spans = false;
+
+    auto value_of = [&](int& i) -> const char* {
+        if (i + 1 >= argc) {
+            std::cerr << "ceu-client: " << argv[i] << " needs a value\n";
+            std::exit(2);
+        }
+        return argv[++i];
+    };
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        if (arg == "--help" || arg == "-h") {
+            usage();
+            return 0;
+        } else if (arg == "--port") {
+            port = static_cast<uint16_t>(std::stoi(value_of(i)));
+        } else if (arg == "--program") {
+            program = value_of(i);
+        } else if (arg == "--sessions") {
+            n_sessions = static_cast<size_t>(std::stoul(value_of(i)));
+        } else if (arg == "--script") {
+            script_path = value_of(i);
+        } else if (arg == "--out") {
+            out_dir = value_of(i);
+        } else if (arg == "--spans") {
+            spans = true;
+        } else {
+            std::cerr << "ceu-client: unknown option '" << arg << "'\n";
+            usage();
+            return 2;
+        }
+    }
+    if (port == 0) {
+        std::cerr << "ceu-client: --port is required\n";
+        return 2;
+    }
+
+    try {
+        ceu::serve::Client client;
+        client.connect(port, program, spans);
+
+        std::vector<uint64_t> sessions;
+        for (size_t i = 0; i < n_sessions; ++i) sessions.push_back(client.open());
+
+        std::vector<std::string> lines;
+        if (!script_path.empty()) {
+            std::ifstream in(script_path);
+            if (!in) {
+                std::cerr << "ceu-client: cannot read " << script_path << "\n";
+                return 1;
+            }
+            std::string line;
+            while (std::getline(in, line)) lines.push_back(line);
+        }
+        for (const std::string& line : lines) {
+            std::istringstream ls(line);
+            std::string cmd;
+            ls >> cmd;
+            if (cmd.empty() || cmd[0] == '#') continue;
+            if (cmd == "inject") {
+                std::string event;
+                int64_t value = 0;
+                ls >> event >> value;
+                for (uint64_t s : sessions) client.inject(s, event, value);
+            } else if (cmd == "advance") {
+                int64_t us = 0;
+                ls >> us;
+                client.advance(us);
+            } else if (cmd == "ping") {
+                client.ping();
+            } else {
+                std::cerr << "ceu-client: bad script line: " << line << "\n";
+                return 2;
+            }
+        }
+        client.ping();
+
+        if (!out_dir.empty()) {
+            std::filesystem::create_directories(out_dir);
+        }
+        for (uint64_t s : sessions) {
+            std::string trace = client.trace_text(s);
+            std::cout << "session " << s << ": outputs="
+                      << client.outputs(s).size() << " hash=" << std::hex
+                      << fnv1a(trace) << std::dec;
+            if (spans) std::cout << " spans=" << client.spans(s).size();
+            std::cout << "\n";
+            if (!out_dir.empty()) {
+                std::ofstream out(out_dir + "/" + std::to_string(s) + ".trace");
+                out << trace;
+            }
+        }
+        client.bye();
+        return 0;
+    } catch (const std::exception& e) {
+        std::cerr << "ceu-client: " << e.what() << "\n";
+        return 1;
+    }
+}

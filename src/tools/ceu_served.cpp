@@ -1,0 +1,147 @@
+// ceu-served — the reactor as a network service (CEUWIRE1 over TCP).
+//
+//   ceu-served --program demo.ceu --port 9090
+//   ceu-served --demo quickstart --port 0 --workers 4 --io-threads 2
+//
+// Prints "listening on port <N>" once live (port 0 binds an ephemeral port;
+// scripts parse that line). SIGTERM/SIGINT trigger a graceful drain: every
+// live interpreted session is checkpointed into --drain-dir, and a new
+// server started with --resume-dir pointing there serves Resume frames for
+// the drained session ids, byte-identical-thereafter.
+#include <csignal>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "demos/demos.hpp"
+#include "serve/server.hpp"
+#include "util/diag.hpp"
+
+namespace {
+
+ceu::serve::Server* g_server = nullptr;
+
+void on_signal(int) {
+    if (g_server != nullptr) g_server->request_stop();
+}
+
+void usage() {
+    std::cout <<
+        "usage: ceu-served [options]\n"
+        "  --program <file.ceu>   register a program (repeatable; first = default;\n"
+        "                         registry name is the file path)\n"
+        "  --demo <name>          register a built-in demo program\n"
+        "                         (quickstart | temperature)\n"
+        "  --port <n>             TCP port on 127.0.0.1 (default 0 = ephemeral)\n"
+        "  --workers <n>          reactor worker threads (default 1)\n"
+        "  --io-threads <n>       inject fast-path io threads (default 0)\n"
+        "  --inbox-capacity <n>   per-session inbox bound, 0 = unbounded\n"
+        "  --backend <interp|aot> backend for subsequently added programs\n"
+        "  --drain-dir <dir>      where SIGTERM drain checkpoints sessions\n"
+        "  --resume-dir <dir>     a previous drain to serve resumes from\n";
+}
+
+std::string slurp(const std::string& path) {
+    std::ifstream in(path);
+    if (!in) throw std::runtime_error("cannot read " + path);
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    return ss.str();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    using ceu::serve::Backend;
+    ceu::serve::Registry registry;
+    ceu::serve::ServerConfig cfg;
+    Backend backend = Backend::Interp;
+
+    auto value_of = [&](int& i) -> const char* {
+        if (i + 1 >= argc) {
+            std::cerr << "ceu-served: " << argv[i] << " needs a value\n";
+            std::exit(2);
+        }
+        return argv[++i];
+    };
+
+    try {
+        for (int i = 1; i < argc; ++i) {
+            std::string arg = argv[i];
+            if (arg == "--help" || arg == "-h") {
+                usage();
+                return 0;
+            } else if (arg == "--program") {
+                std::string path = value_of(i);
+                registry.add(path, slurp(path), backend);
+            } else if (arg == "--demo") {
+                std::string name = value_of(i);
+                const char* src = nullptr;
+                if (name == "quickstart") src = ceu::demos::kQuickstart;
+                if (name == "temperature") src = ceu::demos::kTemperature;
+                if (src == nullptr) {
+                    std::cerr << "ceu-served: unknown demo '" << name << "'\n";
+                    return 2;
+                }
+                registry.add(name, src, backend);
+            } else if (arg == "--port") {
+                cfg.port = static_cast<uint16_t>(std::stoi(value_of(i)));
+            } else if (arg == "--workers") {
+                cfg.workers = static_cast<size_t>(std::stoul(value_of(i)));
+            } else if (arg == "--io-threads") {
+                cfg.io_threads = static_cast<size_t>(std::stoul(value_of(i)));
+            } else if (arg == "--inbox-capacity") {
+                cfg.inbox_capacity = static_cast<uint32_t>(std::stoul(value_of(i)));
+            } else if (arg == "--backend") {
+                std::string b = value_of(i);
+                if (b == "interp") backend = Backend::Interp;
+                else if (b == "aot") backend = Backend::Aot;
+                else {
+                    std::cerr << "ceu-served: unknown backend '" << b << "'\n";
+                    return 2;
+                }
+            } else if (arg == "--drain-dir") {
+                cfg.drain_dir = value_of(i);
+            } else if (arg == "--resume-dir") {
+                cfg.resume_dir = value_of(i);
+            } else {
+                std::cerr << "ceu-served: unknown option '" << arg << "'\n";
+                usage();
+                return 2;
+            }
+        }
+        if (registry.size() == 0) {
+            std::cerr << "ceu-served: no programs registered "
+                         "(--program/--demo)\n";
+            return 2;
+        }
+
+        ceu::serve::Server server(std::move(registry), cfg);
+        g_server = &server;
+        std::signal(SIGTERM, on_signal);
+        std::signal(SIGINT, on_signal);
+        server.start();
+        // Line-buffered contract for wrapper scripts.
+        std::printf("listening on port %u\n", server.port());
+        std::fflush(stdout);
+        server.wait();
+        const auto& c = server.counters();
+        std::printf(
+            "served: connections=%llu sessions=%llu resumed=%llu injects=%llu "
+            "outputs=%llu drained=%llu\n",
+            static_cast<unsigned long long>(c.connections.load()),
+            static_cast<unsigned long long>(c.sessions_opened.load()),
+            static_cast<unsigned long long>(c.sessions_resumed.load()),
+            static_cast<unsigned long long>(c.injects.load()),
+            static_cast<unsigned long long>(c.outputs.load()),
+            static_cast<unsigned long long>(c.drained.load()));
+        g_server = nullptr;
+        return 0;
+    } catch (const std::exception& e) {
+        std::cerr << "ceu-served: " << e.what() << "\n";
+        return 1;
+    }
+}

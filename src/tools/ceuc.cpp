@@ -11,12 +11,12 @@
 //   ceuc --explain file.ceu       on refusal, print each conflict's witness
 //                                 chain (stderr) and a replayable script
 //                                 reaching the first conflict (stdout)
-//   ceuc --gen-fuzz N --seed S    conformance fuzzing: generate N seeded
+//   ceuc --gen.fuzz N --gen.seed S  conformance fuzzing: generate N seeded
 //                                 programs from seed S, cross-check the
 //                                 interpreter (FIFO+LIFO), the compiled
 //                                 cgen output and the DFA verdict; shrink
 //                                 and report divergences (exit 1 if any)
-//   ceuc --gen-dump --seed S      print the generated program + script for
+//   ceuc --gen.dump --gen.seed S  print the generated program + script for
 //                                 one seed (corpus format, for replaying)
 //   ceuc --no-analysis ...        skip the temporal analysis
 //
@@ -35,8 +35,9 @@
 //                                 instead of booting, then run the script
 //                                 as a continuation
 //
-// Analysis options (dotted keys; the historical --analysis-jobs,
-// --max-states, --strict and --fail-fast spellings stay as aliases):
+// Analysis options (dotted keys are canonical; the historical
+// --analysis-jobs, --max-states, --strict and --fail-fast spellings still
+// work but print a one-line deprecation warning):
 //   --analysis.jobs N             explore the DFA with N worker threads
 //   --analysis.max-states N       state budget (default 20000)
 //   --analysis.strict             incomplete analysis => exit 1
@@ -49,9 +50,10 @@
 //   --analysis.cache-dir DIR      persistent module-DFA cache keyed by
 //                                 content hash (implies --analysis.modular):
 //                                 repeat runs re-explore only changed
-//                                 modules. --cache-dir is an alias.
+//                                 modules. --cache-dir is the deprecated
+//                                 spelling.
 //
-// Fuzz options (dotted keys; --fuzz-out etc. stay as aliases):
+// Fuzz options (dotted keys are canonical; --fuzz-out etc. are deprecated):
 //   --fuzz.out DIR                write shrunk failures to DIR as corpus
 //                                 files (default: report only)
 //   --fuzz.cc CMD                 host C compiler command (default
@@ -113,9 +115,9 @@ int usage() {
         "            [--trace=FILE] [--stats=FILE] [--checkpoint=FILE]\n"
         "            [--restore=FILE] [--backend=interp|aot|mixed] [--aot-cc=CMD]\n"
         "            <file.ceu>\n"
-        "       ceuc --gen-fuzz N [--seed S] [--fuzz.out DIR] [--fuzz.cc CMD]\n"
+        "       ceuc --gen.fuzz N [--gen.seed S] [--fuzz.out DIR] [--fuzz.cc CMD]\n"
         "            [--fuzz.no-cgen] [--fuzz.no-shrink] [--analysis.max-states N]\n"
-        "       ceuc --gen-dump [--seed S]\n");
+        "       ceuc --gen.dump [--gen.seed S]\n");
     return 2;
 }
 
@@ -388,25 +390,48 @@ int run_program(flat::CompiledProgram cp_in, const std::string& path,
     return 0;
 }
 
-/// Rewrites the dotted option spellings (--fuzz.<k>, --analysis.<k>) onto
-/// their historical flag names so one parser handles both.
+/// The dotted spellings are canonical; the historical un-dotted names are
+/// deprecated aliases. The parser matches the internal (historical) names,
+/// so dotted spellings are rewritten onto them — and a legacy spelling on
+/// the command line earns a one-line deprecation warning, once per flag.
+struct FlagAlias {
+    const char* dotted;  ///< canonical, what --help prints
+    const char* legacy;  ///< internal/parser name, deprecated on the CLI
+    bool warned = false;
+};
+
+FlagAlias g_aliases[] = {
+    {"--fuzz.out", "--fuzz-out"},
+    {"--fuzz.cc", "--fuzz-cc"},
+    {"--fuzz.no-cgen", "--fuzz-no-cgen"},
+    {"--fuzz.no-shrink", "--fuzz-no-shrink"},
+    {"--analysis.jobs", "--analysis-jobs"},
+    {"--analysis.max-states", "--max-states"},
+    {"--analysis.strict", "--strict"},
+    {"--analysis.fail-fast", "--fail-fast"},
+    {"--analysis.modular", "--modular"},
+    {"--analysis.cache-dir", "--cache-dir"},
+    {"--gen.fuzz", "--gen-fuzz"},
+    {"--gen.dump", "--gen-dump"},
+    {"--gen.seed", "--seed"},
+};
+
 std::string canonical_arg(const std::string& a) {
-    static constexpr std::pair<const char*, const char*> kAliases[] = {
-        {"--fuzz.out", "--fuzz-out"},
-        {"--fuzz.cc", "--fuzz-cc"},
-        {"--fuzz.no-cgen", "--fuzz-no-cgen"},
-        {"--fuzz.no-shrink", "--fuzz-no-shrink"},
-        {"--analysis.jobs", "--analysis-jobs"},
-        {"--analysis.max-states", "--max-states"},
-        {"--analysis.strict", "--strict"},
-        {"--analysis.fail-fast", "--fail-fast"},
-        {"--analysis.modular", "--modular"},
-        {"--analysis.cache-dir", "--cache-dir"},
-    };
-    for (const auto& [dotted, legacy] : kAliases) {
-        if (a == dotted) return legacy;
-        std::string prefix = std::string(dotted) + "=";
-        if (a.rfind(prefix, 0) == 0) return legacy + ("=" + a.substr(prefix.size()));
+    for (FlagAlias& al : g_aliases) {
+        if (a == al.dotted) return al.legacy;
+        std::string dotted_eq = std::string(al.dotted) + "=";
+        if (a.rfind(dotted_eq, 0) == 0)
+            return std::string(al.legacy) + "=" + a.substr(dotted_eq.size());
+        std::string legacy_eq = std::string(al.legacy) + "=";
+        if (a == al.legacy || a.rfind(legacy_eq, 0) == 0) {
+            if (!al.warned) {
+                al.warned = true;
+                std::fprintf(stderr,
+                             "ceuc: warning: %s is deprecated; use %s\n",
+                             al.legacy, al.dotted);
+            }
+            return a;
+        }
     }
     return a;
 }
@@ -650,7 +675,7 @@ int main(int argc, char** argv) {
                         std::fprintf(stderr,
                                      "warning: temporal analysis incomplete (state "
                                      "budget exhausted: %zu states explored, "
-                                     "--max-states=%zu); determinism NOT proven\n",
+                                     "--analysis.max-states=%zu); determinism NOT proven\n",
                                      states, eopt.max_states);
                     }
                     if (!d.deterministic()) {
@@ -707,8 +732,8 @@ int main(int argc, char** argv) {
                 }
                 std::fprintf(stderr,
                              "warning: temporal analysis incomplete (state budget "
-                             "exhausted: %zu states explored, --max-states=%zu); "
-                             "determinism NOT proven\n",
+                             "exhausted: %zu states explored, "
+                             "--analysis.max-states=%zu); determinism NOT proven\n",
                              states, eopt.max_states);
                 if (strict) {
                     std::fprintf(stderr, "error: --strict: refusing incompletely "

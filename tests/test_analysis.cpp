@@ -468,7 +468,7 @@ TEST(Lint, IncompleteFindingNamesTheBudget) {
     EXPECT_EQ(f.pass, "temporal");
     EXPECT_EQ(f.severity, Severity::Warning);
     EXPECT_NE(f.message.find("128 states explored"), std::string::npos);
-    EXPECT_NE(f.message.find("--max-states=100"), std::string::npos);
+    EXPECT_NE(f.message.find("--analysis.max-states=100"), std::string::npos);
 }
 
 // ---------------------------------------------------------------------------
@@ -533,10 +533,22 @@ TEST(CliAnalysis, StrictTurnsIncompleteIntoFailure) {
 
 TEST(CliAnalysis, AnalysisJobsMatchesSerialVerdict) {
     CliResult serial = run_ceuc("", kFigure2);
-    CliResult par = run_ceuc("--analysis-jobs 4", kFigure2);
+    CliResult par = run_ceuc("--analysis.jobs 4", kFigure2);
     EXPECT_EQ(serial.exit_code, 1);
     EXPECT_EQ(par.exit_code, 1);
     EXPECT_EQ(serial.err, par.err);
+}
+
+TEST(CliAnalysis, LegacyFlagWarnsButStillWorks) {
+    // Un-dotted spellings stay accepted, but each one points at its dotted
+    // replacement exactly once on stderr; the verdict is unaffected.
+    CliResult legacy = run_ceuc("--analysis-jobs 4", kFigure2);
+    EXPECT_EQ(legacy.exit_code, 1);
+    EXPECT_NE(legacy.err.find("--analysis-jobs is deprecated"), std::string::npos)
+        << legacy.err;
+    EXPECT_NE(legacy.err.find("--analysis.jobs"), std::string::npos) << legacy.err;
+    CliResult dotted = run_ceuc("--analysis.jobs 4", kFigure2);
+    EXPECT_EQ(dotted.err.find("deprecated"), std::string::npos) << dotted.err;
 }
 
 TEST(CliAnalysis, LintEmitsJsonPerDiagnostic) {

@@ -1,0 +1,128 @@
+// Serve soak: a session fleet under a seeded kill/reconnect storm.
+//
+// One server, a fan of client connections, CEU_SERVE_SOAK_SESSIONS sessions
+// (default 400 for the tier-1 run; the nightly CI job sets 10000). A seeded
+// RNG repeatedly kills whole connections abruptly — no Bye, no Close — which
+// orphans every session they carried. Orphans must keep reacting (injects
+// addressed to them from surviving connections buffer their outputs), and a
+// reconnect + Resume must reattach every single one: the gate is 100%
+// resume, with the buffered outputs delivered intact and the session fully
+// live afterwards.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <memory>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "serve/client.hpp"
+#include "serve/server.hpp"
+
+namespace {
+
+using namespace ceu::serve;
+
+const char* const kEcho = R"(
+    input int Set;
+    int v = 0;
+    loop do
+       v = await Set;
+       _printf("v = %d\n", v);
+    end
+)";
+
+size_t soak_sessions() {
+    if (const char* env = std::getenv("CEU_SERVE_SOAK_SESSIONS")) {
+        long n = std::atol(env);
+        if (n > 0) return static_cast<size_t>(n);
+    }
+    return 400;
+}
+
+TEST(ServeSoak, KillReconnectStormResumesEverySession) {
+    const size_t kSessions = soak_sessions();
+    const size_t kConns = 8;
+    const int kRounds = 5;
+
+    Registry reg;
+    reg.add("echo", kEcho);
+    ServerConfig cfg;
+    cfg.workers = 4;
+    Server server(std::move(reg), cfg);
+    server.start();
+
+    // The driver connection survives every storm round; it addresses
+    // injects at orphaned sessions to prove they stay live while detached.
+    Client driver;
+    driver.connect(server.port(), "echo");
+
+    std::vector<std::unique_ptr<Client>> conns(kConns);
+    std::vector<std::vector<uint64_t>> by_conn(kConns);
+    for (size_t i = 0; i < kConns; ++i) {
+        conns[i] = std::make_unique<Client>();
+        conns[i]->connect(server.port(), "echo");
+    }
+    for (size_t s = 0; s < kSessions; ++s) {
+        size_t c = s % kConns;
+        by_conn[c].push_back(conns[c]->open());
+    }
+    ASSERT_EQ(server.live_sessions(), kSessions);
+
+    std::mt19937_64 rng(0x5eedu);
+    size_t resumed_total = 0;
+    for (int round = 0; round < kRounds; ++round) {
+        // Pick victims: roughly half the connections die this round.
+        std::vector<size_t> victims;
+        for (size_t c = 0; c < kConns; ++c) {
+            if (rng() % 2 == 0) victims.push_back(c);
+        }
+        if (victims.empty()) victims.push_back(rng() % kConns);
+
+        for (size_t c : victims) conns[c]->disconnect();  // abrupt
+
+        // Orphans keep working: inject into each from the driver. The
+        // output lands in the orphan's buffer, owed to whoever reattaches.
+        for (size_t c : victims) {
+            for (uint64_t id : by_conn[c]) {
+                int64_t v = round * 1'000'000 + static_cast<int64_t>(id);
+                Frame r = driver.inject(id, "Set", v);
+                ASSERT_EQ(r.verdict,
+                          static_cast<uint8_t>(ceu::reactor::Verdict::Accepted))
+                    << "round " << round << " session " << id;
+            }
+        }
+        driver.ping();  // everything injected has reacted (and buffered)
+
+        // Reconnect + resume: every orphan must come back, with the
+        // buffered output delivered.
+        for (size_t c : victims) {
+            conns[c] = std::make_unique<Client>();
+            conns[c]->connect(server.port(), "echo");
+            for (uint64_t id : by_conn[c]) {
+                uint64_t back = conns[c]->resume(id);
+                ASSERT_EQ(back, id);
+                ++resumed_total;
+            }
+            conns[c]->ping();
+            for (uint64_t id : by_conn[c]) {
+                int64_t v = round * 1'000'000 + static_cast<int64_t>(id);
+                EXPECT_EQ(conns[c]->trace_text(id),
+                          "v = " + std::to_string(v) + "\n")
+                    << "round " << round << " session " << id;
+            }
+        }
+    }
+
+    // 100% resume: nothing was lost to the storm.
+    EXPECT_GT(resumed_total, 0u);
+    EXPECT_EQ(server.counters().sessions_resumed.load(), resumed_total);
+    EXPECT_EQ(server.live_sessions(), kSessions);
+
+    for (auto& c : conns) c->bye();
+    driver.bye();
+    server.request_stop();
+    server.wait();
+}
+
+}  // namespace
