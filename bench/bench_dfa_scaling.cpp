@@ -92,14 +92,20 @@ Result analyze(const std::string& src) {
 int main(int argc, char** argv) {
     // --json[=PATH] additionally writes the sweep results as a machine-readable
     // artifact (default BENCH_dfa.json; the nightly CI job uploads it).
+    // --pin pins each explorer worker to one of the process's allowed CPUs
+    // (cpuset-aware; see ExploreOptions::pin_threads) so migration doesn't
+    // smear the parallel sweep.
     std::string json_path;
+    bool pin = false;
     for (int i = 1; i < argc; ++i) {
         if (std::strcmp(argv[i], "--json") == 0) {
             json_path = (i + 1 < argc) ? argv[++i] : "BENCH_dfa.json";
         } else if (std::strncmp(argv[i], "--json=", 7) == 0) {
             json_path = argv[i] + 7;
+        } else if (std::strcmp(argv[i], "--pin") == 0) {
+            pin = true;
         } else {
-            std::fprintf(stderr, "usage: %s [--json[=PATH]]\n", argv[0]);
+            std::fprintf(stderr, "usage: %s [--json[=PATH]] [--pin]\n", argv[0]);
             return 2;
         }
     }
@@ -157,6 +163,7 @@ int main(int argc, char** argv) {
         flat::CompiledProgram cp = flat::compile(wide_program(6));
         analysis::ExploreOptions base;
         base.max_states = 200000;
+        base.pin_threads = pin;
         auto t0 = std::chrono::steady_clock::now();
         dfa::Dfa serial = analysis::explore(cp, base);
         auto t1 = std::chrono::steady_clock::now();
@@ -243,7 +250,8 @@ int main(int argc, char** argv) {
     // on: record the thread count so a 1-core artifact is not mistaken
     // for a scaling regression.
     js << ",\"hw_threads\":" << std::thread::hardware_concurrency();
-    js << ",\"schema\":\"ceu-bench-dfa-v2\"}";
+    js << ",\"pinned\":" << (pin ? "true" : "false");
+    js << ",\"schema\":\"ceu-bench-dfa-v3\"}";
 
     if (!json_path.empty()) {
         std::ofstream f(json_path, std::ios::binary);

@@ -10,9 +10,34 @@
 #include <thread>
 #include <unordered_map>
 
+#if defined(__linux__)
+#include <sched.h>
+#endif
+
 namespace ceu::analysis {
 
 namespace {
+
+/// Pins the calling thread to the idx-th CPU the process is allowed on
+/// (cpuset-aware). Best effort; no-op off Linux.
+void pin_self_to_allowed_cpu(size_t idx) {
+#if defined(__linux__)
+    cpu_set_t allowed;
+    CPU_ZERO(&allowed);
+    if (sched_getaffinity(0, sizeof allowed, &allowed) != 0) return;
+    std::vector<int> cpus;
+    for (int c = 0; c < CPU_SETSIZE; ++c) {
+        if (CPU_ISSET(c, &allowed)) cpus.push_back(c);
+    }
+    if (cpus.empty()) return;
+    cpu_set_t one;
+    CPU_ZERO(&one);
+    CPU_SET(cpus[idx % cpus.size()], &one);
+    (void)sched_setaffinity(0, sizeof one, &one);
+#else
+    (void)idx;
+#endif
+}
 
 using dfa::Conflict;
 using dfa::ConflictSet;
@@ -78,10 +103,14 @@ class ParallelExplorer {
         }
 
         int jobs = std::clamp(opt_.jobs, 1, 64);
+        jobs_ = static_cast<size_t>(jobs);
         std::vector<std::thread> workers;
         workers.reserve(static_cast<size_t>(jobs));
         for (int i = 0; i < jobs; ++i) {
-            workers.emplace_back([this] { worker(); });
+            workers.emplace_back([this, i] {
+                if (opt_.pin_threads) pin_self_to_allowed_cpu(static_cast<size_t>(i));
+                worker();
+            });
         }
         for (std::thread& t : workers) t.join();
         return finalize();
@@ -95,6 +124,7 @@ class ParallelExplorer {
 
     const flat::CompiledProgram& cp_;
     const ExploreOptions& opt_;
+    size_t jobs_ = 1;
     Shard shards_[kShardCount];
     std::atomic<int> next_id_{0};
     std::atomic<bool> stop_{false};
@@ -197,52 +227,67 @@ class ParallelExplorer {
     }
 
     void worker() {
-        // Handoff is batched: each queue-lock acquisition moves up to
-        // kBatch nodes in (and a whole expansion's fresh nodes out), so
-        // lock traffic scales with batches, not states. `active_` counts
-        // workers holding unexpanded work, which keeps the termination
-        // condition (frontier empty, nothing in flight) intact.
-        constexpr size_t kBatch = 16;
-        std::vector<Node*> batch;
-        std::vector<Node*> fresh;
+        // Each worker runs a *local* frontier: fresh states from its own
+        // expansions are expanded directly (LIFO — the children are still
+        // cache-warm) without ever touching the shared queue, and the
+        // queue lock is taken only to refill an empty local frontier, to
+        // share surplus, or to flush conflicts. `active_` counts workers
+        // holding unexpanded work — local frontiers included — which keeps
+        // the termination condition (shared frontier empty, nothing in
+        // flight anywhere) intact.
+        //
+        // Refills are adaptive: an empty worker takes ~1/jobs of the
+        // shared queue (capped), so early rounds spread the frontier
+        // across the pool instead of letting one worker vacuum it. A
+        // worker whose local frontier outgrows kShareAt gives the oldest
+        // (breadth-most) half back, so siblings starved by a deep subtree
+        // get work without per-node handoff traffic.
+        constexpr size_t kMaxBatch = 32;
+        constexpr size_t kShareAt = 48;
+        std::vector<Node*> local;
         std::vector<PendingConflict> local_pending;
         std::unordered_map<std::string, int> seen_cache;
+        bool holding = false;  // is this worker counted in active_?
         for (;;) {
-            batch.clear();
-            {
+            if (local.empty() || stop_.load(std::memory_order_relaxed)) {
                 std::unique_lock lk(queue_mu_);
+                if (holding) {
+                    holding = false;
+                    --active_;
+                }
                 queue_cv_.wait(lk, [this] {
                     return stop_.load() || !queue_.empty() || active_ == 0;
                 });
                 if (stop_.load() || queue_.empty()) {
-                    // Either a stop was requested or the frontier drained
-                    // with no expansion in flight: exploration is over.
+                    // Either a stop was requested or every frontier
+                    // drained with no expansion in flight: exploration is
+                    // over.
                     queue_cv_.notify_all();
                     break;
                 }
-                size_t take = std::min(kBatch, queue_.size());
+                size_t take = std::clamp(queue_.size() / jobs_, size_t{1}, kMaxBatch);
                 for (size_t i = 0; i < take; ++i) {
-                    batch.push_back(queue_.front());
+                    local.push_back(queue_.front());
                     queue_.pop_front();
                 }
+                holding = true;
                 ++active_;
             }
 
-            fresh.clear();
-            for (Node* n : batch) {
-                if (stop_.load(std::memory_order_relaxed)) break;
-                expand(n, fresh, local_pending, seen_cache);
-            }
+            Node* n = local.back();
+            local.pop_back();
+            expand(n, local, local_pending, seen_cache);
 
-            {
-                std::unique_lock lk(queue_mu_);
-                for (Node* f : fresh) queue_.push_back(f);
-                --active_;
-                if (!fresh.empty()) {
-                    queue_cv_.notify_all();
-                } else if (queue_.empty() && active_ == 0) {
-                    queue_cv_.notify_all();
+            if (local.size() > kShareAt) {
+                size_t give = local.size() / 2;
+                {
+                    std::lock_guard lk(queue_mu_);
+                    queue_.insert(queue_.end(), local.begin(),
+                                  local.begin() + static_cast<std::ptrdiff_t>(give));
                 }
+                local.erase(local.begin(),
+                            local.begin() + static_cast<std::ptrdiff_t>(give));
+                queue_cv_.notify_all();
             }
 
             if (!local_pending.empty()) {

@@ -16,6 +16,10 @@ struct ExploreOptions {
     bool stop_at_first_conflict = false;
     /// Worker threads; <= 1 runs the serial reference explorer.
     int jobs = 1;
+    /// Pin worker i to the i-th CPU the process is allowed on (cpuset-
+    /// aware; Linux only, ignored elsewhere). Benchmarks use this to stop
+    /// the OS from migrating workers mid-measurement.
+    bool pin_threads = false;
     /// Boot at these entry pcs (one concurrent root track each) instead of
     /// pc 0 — the modular analysis explores a par-arm group in isolation
     /// this way. Empty = whole program.

@@ -615,6 +615,10 @@ rt::Value Instance::result() const {
     return engine_->result();
 }
 
+size_t Instance::state_bytes() const {
+    return is_compiled() ? aot_.desc->ctx_size : engine_->ram_model_bytes();
+}
+
 Micros Instance::now() const {
     return is_compiled() ? aot_.desc->now(ctx_) : engine_->now();
 }

@@ -252,6 +252,18 @@ class Instance {
     /// Earliest armed timer deadline, -1 when none.
     [[nodiscard]] Micros next_timer_deadline() const;
     [[nodiscard]] bool has_async_work() const;
+    /// Exact bytes of per-instance runtime state: the interpreter's RAM
+    /// model (slots, gates, containers at current capacity) or the
+    /// compiled backend's context size. The bench derives
+    /// bytes_per_instance from this instead of boot RSS deltas, which
+    /// swung ~1.7 KB with allocator caching across worker counts.
+    [[nodiscard]] size_t state_bytes() const;
+
+    /// Toggles the per-reaction steady-clock sampling behind wall_ns (on
+    /// by default; see obs::Recorder::set_timing_enabled). Fleets turn it
+    /// off: two clock_gettime calls per reaction are pure overhead when
+    /// only deterministic counters are wanted.
+    void set_reaction_timing(bool on) { recorder_.set_timing_enabled(on); }
 
   private:
     void init(Config& cfg);

@@ -60,11 +60,22 @@ void ProcessStats::merge(const ProcessStats& other) {
     supervised_restarts += other.supervised_restarts;
     quarantines += other.quarantines;
     sheds += other.sheds;
+    steals += other.steals;
+    steal_failures += other.steal_failures;
+    arena_bytes += other.arena_bytes;
+    for (size_t k = 0; k < phase_ns.size(); ++k) phase_ns[k] += other.phase_ns[k];
 }
 
 void ProcessStats::clear_measured() {
     wall_ns = 0;
     max_reaction_wall_ns = 0;
+    // Scheduler diagnostics: who stole what, how many slabs each shard
+    // grew, how long each phase ran — all functions of worker count and
+    // thread timing, none of the input sequence.
+    steals = 0;
+    steal_failures = 0;
+    arena_bytes = 0;
+    phase_ns = {0, 0, 0, 0};
 }
 
 std::string ProcessStats::to_json() const {
@@ -73,6 +84,7 @@ std::string ProcessStats::to_json() const {
     std::ostringstream os;
     os << "{";
     os << "\"allocations\":" << allocations;
+    os << ",\"arena_bytes\":" << arena_bytes;
     os << ",\"checkpoints\":" << checkpoints;
     os << ",\"emits\":" << emits;
     os << ",\"fault_injections\":" << fault_injections;
@@ -81,6 +93,9 @@ std::string ProcessStats::to_json() const {
     os << ",\"max_emit_depth\":" << max_emit_depth;
     os << ",\"max_reaction_instructions\":" << max_reaction_instructions;
     os << ",\"max_reaction_wall_ns\":" << max_reaction_wall_ns;
+    os << ",\"phase_ns\":{\"restarts\":" << phase_ns[0]
+       << ",\"events\":" << phase_ns[1] << ",\"timers\":" << phase_ns[2]
+       << ",\"asyncs\":" << phase_ns[3] << "}";
     os << ",\"quarantines\":" << quarantines;
     os << ",\"queue_peak\":" << queue_peak;
     os << ",\"reactions\":" << reactions;
@@ -93,6 +108,8 @@ std::string ProcessStats::to_json() const {
     os << ",\"reactions_per_sec\":" << rps;
     os << ",\"restores\":" << restores;
     os << ",\"sheds\":" << sheds;
+    os << ",\"steal_failures\":" << steal_failures;
+    os << ",\"steals\":" << steals;
     os << ",\"supervised_restarts\":" << supervised_restarts;
     os << ",\"terminations\":" << terminations;
     os << ",\"timer_fires\":" << timer_fires;
@@ -124,7 +141,7 @@ void Recorder::begin(ReactionKind kind, int id, const char* name, Micros ts) {
     span_.instructions = 0;
     span_.allocations = 0;
     span_.max_emit_depth = 0;
-    t0_ns_ = now_ns();
+    t0_ns_ = timing_enabled_ ? now_ns() : 0;
 }
 
 void Recorder::wake(int gate) {
@@ -154,7 +171,7 @@ void Recorder::end(int status, int64_t result, uint64_t instructions) {
     span_.end_status = status;
     span_.result = result;
     span_.instructions = instructions;
-    span_.wall_ns = now_ns() - t0_ns_;
+    span_.wall_ns = timing_enabled_ ? now_ns() - t0_ns_ : 0;
     ++seq_;
 
     ++stats_.reactions;

@@ -103,6 +103,17 @@ struct ProcessStats {
     uint64_t quarantines = 0;          // members benched after repeated faults
     uint64_t sheds = 0;                // envelopes rejected by inbox backpressure
 
+    // Scheduler counters (reactor-reported, like the supervision block):
+    // work-stealing traffic, per-shard arena footprint, and per-phase round
+    // time. All of them depend on worker count and thread timing, so
+    // clear_measured() zeroes them — they are diagnostics, not part of the
+    // deterministic contract — and the per-instance checkpoint format does
+    // not carry them (they are fleet-level, stamped at fleet_stats time).
+    uint64_t steals = 0;           // items executed by a non-owning worker
+    uint64_t steal_failures = 0;   // empty-handed victim scans
+    uint64_t arena_bytes = 0;      // bytes reserved by shard arenas
+    std::array<uint64_t, 4> phase_ns = {0, 0, 0, 0};  // restarts/events/timers/asyncs
+
     /// Reactions per wall second spent inside chains (0 if unmeasured).
     [[nodiscard]] double reactions_per_sec() const;
 
@@ -149,6 +160,13 @@ class Recorder {
     /// only ProcessStats accumulate — the cheap always-on profile.
     void set_spans_enabled(bool on) { spans_enabled_ = on; }
 
+    /// When false (default true), begin/end skip the steady-clock samples
+    /// that feed wall_ns / max_reaction_wall_ns (both then stay 0). Two
+    /// clock_gettime calls per reaction are ~10% of a small reaction's
+    /// cost; fleets that only want deterministic counters turn this off
+    /// (ReactorConfig::time_reactions).
+    void set_timing_enabled(bool on) { timing_enabled_ = on; }
+
     // -- hook surface (mirrors the cgen ceu_obs_* symbols) -------------------
     void begin(ReactionKind kind, int id, const char* name, Micros ts);
     void wake(int gate);
@@ -186,6 +204,7 @@ class Recorder {
   private:
     std::vector<Sink*> sinks_;
     bool spans_enabled_ = true;
+    bool timing_enabled_ = true;
     bool open_ = false;
     uint64_t seq_ = 0;
     uint64_t t0_ns_ = 0;

@@ -1,0 +1,151 @@
+// Per-shard slab arenas for the reactor's cross-thread hot path.
+//
+// The reactor's steady state used to hit the global allocator twice per
+// injected event: `new Envelope` in the producer and `delete` in the
+// draining shard. Under a worker pool that is cross-thread malloc/free
+// traffic on every event — allocator-lock contention at exactly the rate
+// the fleet is supposed to scale with — and it made per-instance memory
+// numbers attribution noise (the bench derived them from boot RSS deltas,
+// which swing with what the allocator happened to cache).
+//
+// ShardArena is a bump/slab allocator: memory is carved from fixed-size
+// slabs that are only ever *added*, never freed individually, so every
+// byte it has reserved is exactly accounted (`reserved_bytes`). It is not
+// thread-safe by itself; EnvelopePool layers a spinlock-guarded free list
+// on top for the one genuinely multi-producer object in the reactor.
+//
+// Why a spinlock and not a lock-free Treiber pop: producers on a lock-free
+// free list would race pop() against each other, which reintroduces the
+// classic ABA window (pop reads head->next while another producer pops and
+// re-pushes head). The mailbox itself avoids ABA only because its consumer
+// takes the whole list at once; the pool cannot. A test-and-set lock held
+// for two pointer moves is cheaper than the CAS retry storm it replaces,
+// and keeps the structure trivially TSan-clean.
+//
+// Engine-side note: the interpreter's containers (trail queue, timer
+// wheel, value scratch) are std::vectors that reserve at construction and
+// only count an allocation on genuine capacity growth — they are already
+// slab-contiguous with zero steady-state traffic. The arena therefore
+// covers the one remaining global-allocator path (envelopes); exact
+// per-instance state bytes come from the backend's own model
+// (host::Instance::state_bytes) instead of RSS.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <new>
+#include <vector>
+
+namespace ceu::reactor {
+
+/// Bump allocator over chained fixed-size slabs. Single-threaded (callers
+/// provide their own exclusion); never frees individual objects — memory
+/// is reclaimed all at once when the arena dies. `reserved_bytes` is the
+/// exact global-allocator footprint: slab payloads only, counted at slab
+/// acquisition.
+class ShardArena {
+  public:
+    explicit ShardArena(size_t slab_bytes = 64 * 1024) : slab_bytes_(slab_bytes) {}
+
+    ShardArena(const ShardArena&) = delete;
+    ShardArena& operator=(const ShardArena&) = delete;
+
+    /// Bumps off the current slab; starts a new slab when the request
+    /// doesn't fit (oversized requests get a dedicated slab). Alignment is
+    /// max_align_t — callers place ordinary objects, not SIMD state.
+    void* allocate(size_t n) {
+        n = (n + alignof(std::max_align_t) - 1) & ~(alignof(std::max_align_t) - 1);
+        if (used_ + n > cap_) grow(n);
+        void* p = cur_ + used_;
+        used_ += n;
+        return p;
+    }
+
+    /// Exact bytes this arena has taken from the global allocator.
+    [[nodiscard]] uint64_t reserved_bytes() const {
+        return reserved_.load(std::memory_order_relaxed);
+    }
+
+  private:
+    void grow(size_t need) {
+        size_t sz = need > slab_bytes_ ? need : slab_bytes_;
+        slabs_.push_back(std::make_unique<char[]>(sz));
+        cur_ = slabs_.back().get();
+        cap_ = sz;
+        used_ = 0;
+        reserved_.fetch_add(sz, std::memory_order_relaxed);
+    }
+
+    size_t slab_bytes_;
+    std::vector<std::unique_ptr<char[]>> slabs_;
+    char* cur_ = nullptr;
+    size_t used_ = 0;
+    size_t cap_ = 0;
+    // Relaxed atomic so fleet_stats() can read the gauge while producer
+    // threads are still allocating envelopes.
+    std::atomic<uint64_t> reserved_{0};
+};
+
+/// Fixed-size object pool over a ShardArena: any thread allocates, any
+/// thread frees (producers inject from arbitrary threads; a stolen
+/// phase-1 item frees its envelopes from the thief's thread). Freed cells
+/// recycle through an intrusive free list, so a warmed-up pool never
+/// touches the global allocator again — the "0 global-allocator bytes in
+/// steady state" property the bench asserts.
+template <typename T>
+class ObjectPool {
+    static_assert(std::is_trivially_destructible_v<T>,
+                  "pooled cells are recycled without running destructors");
+
+  public:
+    ObjectPool() = default;
+    ObjectPool(const ObjectPool&) = delete;
+    ObjectPool& operator=(const ObjectPool&) = delete;
+
+    /// Pops a recycled cell or bumps a fresh one; value-initializes it.
+    T* alloc() {
+        void* cell;
+        lock();
+        if (free_ != nullptr) {
+            cell = free_;
+            free_ = *static_cast<void**>(free_);
+        } else {
+            cell = arena_.allocate(cell_bytes());
+        }
+        unlock();
+        return new (cell) T();
+    }
+
+    /// Returns a cell to the free list. Safe from any thread; the cell
+    /// must have come from this pool.
+    void free(T* p) {
+        p->~T();
+        lock();
+        *reinterpret_cast<void**>(p) = free_;
+        free_ = p;
+        unlock();
+    }
+
+    [[nodiscard]] uint64_t reserved_bytes() const { return arena_.reserved_bytes(); }
+
+  private:
+    static constexpr size_t cell_bytes() {
+        return sizeof(T) > sizeof(void*) ? sizeof(T) : sizeof(void*);
+    }
+    void lock() {
+        while (lock_.test_and_set(std::memory_order_acquire)) {
+#if defined(__cpp_lib_atomic_flag_test)
+            while (lock_.test(std::memory_order_relaxed)) {}
+#endif
+        }
+    }
+    void unlock() { lock_.clear(std::memory_order_release); }
+
+    std::atomic_flag lock_ = ATOMIC_FLAG_INIT;
+    void* free_ = nullptr;
+    ShardArena arena_;
+};
+
+}  // namespace ceu::reactor

@@ -12,6 +12,65 @@ FleetTimerWheel::FleetTimerWheel(Micros granularity_us)
     for (Micros& m : slot_min_) m = -1;
 }
 
+FleetTimerWheel::~FleetTimerWheel() {
+    for (Bucket& b : slots_) bucket_release(b);
+    for (Bucket& b : spare_) bucket_release(b);
+}
+
+void FleetTimerWheel::reset(Micros granularity_us, ShardArena* arena) {
+    clear();
+    for (Bucket& b : slots_) bucket_release(b);
+    for (Bucket& b : spare_) bucket_release(b);
+    spare_.clear();
+    gran_ = granularity_us > 0 ? granularity_us : 1;
+    arena_ = arena;
+}
+
+void FleetTimerWheel::bucket_release(Bucket& b) {
+    if (b.heap) delete[] b.data;  // arena buffers die with the arena
+    b = Bucket{};
+}
+
+void FleetTimerWheel::bucket_donate(Bucket& b) {
+    if (b.cap != 0) spare_.push_back({b.data, 0, b.cap, b.heap});
+    b = Bucket{};
+}
+
+void FleetTimerWheel::bucket_push(Bucket& b, Entry e) {
+    if (b.size == b.cap) {
+        uint32_t want = b.cap == 0 ? 8 : b.cap * 2;
+        // Best-fit shop in the spare list before allocating: smallest
+        // buffer that satisfies the request wins, so a single big donated
+        // buffer isn't burned on an 8-entry bucket.
+        size_t best = spare_.size();
+        for (size_t i = 0; i < spare_.size(); ++i) {
+            if (spare_[i].cap >= want &&
+                (best == spare_.size() || spare_[i].cap < spare_[best].cap)) {
+                best = i;
+            }
+        }
+        Bucket grown;
+        if (best != spare_.size()) {
+            grown = spare_[best];
+            spare_[best] = spare_.back();
+            spare_.pop_back();
+        } else if (arena_ != nullptr) {
+            grown.data = static_cast<Entry*>(arena_->allocate(want * sizeof(Entry)));
+            grown.cap = want;
+            grown.heap = false;
+        } else {
+            grown.data = new Entry[want];
+            grown.cap = want;
+            grown.heap = true;
+        }
+        for (uint32_t i = 0; i < b.size; ++i) grown.data[i] = b.data[i];
+        grown.size = b.size;
+        bucket_donate(b);
+        b = grown;
+    }
+    b.data[b.size++] = e;
+}
+
 size_t FleetTimerWheel::bucket_of(Micros deadline) const {
     // Level by distance from the epoch: deadlines land in the finest level
     // whose slot width still separates them from their neighbors. The slot
@@ -36,7 +95,7 @@ size_t FleetTimerWheel::bucket_of(Micros deadline) const {
 void FleetTimerWheel::schedule(InstanceId instance, Micros deadline) {
     if (deadline < 0) deadline = 0;
     size_t b = bucket_of(deadline);
-    slots_[b].push_back({deadline, instance});
+    bucket_push(slots_[b], {deadline, instance});
     occupied_[b / kSlots] |= (1ULL << (b % kSlots));
     if (slot_min_[b] < 0 || deadline < slot_min_[b]) slot_min_[b] = deadline;
     if (count_ == 0 || deadline < min_) min_ = deadline;
@@ -52,11 +111,12 @@ void FleetTimerWheel::maybe_rebase(Micros now) {
         gran_ * static_cast<Micros>(kSlots) * static_cast<Micros>(kSlots)) {
         return;
     }
-    std::vector<Entry> live;
+    std::vector<Entry>& live = rebase_scratch_;
+    live.clear();
     live.reserve(count_);
-    for (auto& v : slots_) {
-        live.insert(live.end(), v.begin(), v.end());
-        v.clear();
+    for (Bucket& b : slots_) {
+        live.insert(live.end(), b.data, b.data + b.size);
+        bucket_donate(b);  // reschedule below shops these right back
     }
     for (Micros& m : slot_min_) m = -1;
     for (uint64_t& o : occupied_) o = 0;
@@ -86,21 +146,24 @@ size_t FleetTimerWheel::collect_due(Micros now, std::vector<Due>& out) {
                 if (new_min < 0 || slot_min_[b] < new_min) new_min = slot_min_[b];
                 continue;  // slot untouched; its entries all lie in the future
             }
-            std::vector<Entry>& v = slots_[b];
+            Bucket& v = slots_[b];
             Micros smin = -1;
-            size_t w = 0;
-            for (size_t r = 0; r < v.size(); ++r) {
-                if (v[r].deadline <= now) {
-                    out.push_back({v[r].deadline, v[r].instance});
+            uint32_t w = 0;
+            for (uint32_t r = 0; r < v.size; ++r) {
+                if (v.data[r].deadline <= now) {
+                    out.push_back({v.data[r].deadline, v.data[r].instance});
                 } else {
-                    if (smin < 0 || v[r].deadline < smin) smin = v[r].deadline;
-                    v[w++] = v[r];
+                    if (smin < 0 || v.data[r].deadline < smin) smin = v.data[r].deadline;
+                    v.data[w++] = v.data[r];
                 }
             }
-            count_ -= v.size() - w;
-            v.resize(w);
+            count_ -= v.size - w;
+            v.size = w;
             slot_min_[b] = smin;
-            if (w == 0) occupied_[level] &= ~(1ULL << s);
+            if (w == 0) {
+                occupied_[level] &= ~(1ULL << s);
+                bucket_donate(v);  // the era has marched past this slot
+            }
             if (smin >= 0 && (new_min < 0 || smin < new_min)) new_min = smin;
         }
     }
@@ -116,7 +179,7 @@ size_t FleetTimerWheel::collect_due(Micros now, std::vector<Due>& out) {
 }
 
 void FleetTimerWheel::clear() {
-    for (auto& v : slots_) v.clear();
+    for (Bucket& b : slots_) bucket_donate(b);  // buffers kept, via spare_
     for (Micros& m : slot_min_) m = -1;
     for (uint64_t& o : occupied_) o = 0;
     min_ = -1;

@@ -28,11 +28,21 @@
 // go_time, and simply reschedules. Expired candidates are reported sorted
 // by (deadline, instance) so the delivery order is a pure function of the
 // armed set, independent of bucketing or worker layout.
+//
+// Memory: bucket storage can be bound to a ShardArena (bind_arena). The
+// epoch-relative bucketing means an advancing clock keeps landing re-armed
+// deadlines in *fresh* slots until the next rebase, so with heap-backed
+// buckets a long-running fleet pays allocator traffic for most of an epoch
+// era even though total capacity is bounded. Arena-backed buckets turn
+// that into bump allocation accounted by the shard's arena gauge — the
+// reactor's steady-state rounds then never touch the global allocator.
+// Unbound (tests, standalone use) the buckets fall back to the heap.
 #pragma once
 
 #include <cstdint>
 #include <vector>
 
+#include "reactor/arena.hpp"
 #include "reactor/mailbox.hpp"
 #include "util/timeval.hpp"
 
@@ -48,6 +58,15 @@ class FleetTimerWheel {
     /// `granularity_us` is the level-0 tick width. Deadlines are *not*
     /// rounded — it only controls bucket spread; expiry is exact.
     explicit FleetTimerWheel(Micros granularity_us = 1024);
+    ~FleetTimerWheel();
+    FleetTimerWheel(const FleetTimerWheel&) = delete;
+    FleetTimerWheel& operator=(const FleetTimerWheel&) = delete;
+
+    /// Resets to an empty wheel with a new granularity, drawing all future
+    /// bucket growth from `arena` (nullptr = global heap). The reactor
+    /// calls this once per shard before any entry is scheduled; binding
+    /// does not migrate buffers that already exist.
+    void reset(Micros granularity_us, ShardArena* arena);
 
     /// Indexes `deadline` for `instance`. Duplicates are allowed (the
     /// reactor dedups by tracking each instance's scheduled deadline);
@@ -75,6 +94,27 @@ class FleetTimerWheel {
         InstanceId instance;
     };
 
+    /// Push-only bucket. Epoch-relative bucketing marches an advancing
+    /// clock through *fresh* slots all era long, so per-slot capacity
+    /// retention alone would grow memory for the whole first era (and
+    /// allocate while doing it). Instead a bucket that empties donates its
+    /// buffer to `spare_`, and growth shops there before allocating — the
+    /// wheel's footprint tracks peak *concurrently live* buckets (usually
+    /// one or two), and a warmed wheel re-arms timers with zero allocator
+    /// traffic, arena or heap. `heap` tracks the buffer's origin so mixed
+    /// histories free correctly.
+    struct Bucket {
+        Entry* data = nullptr;
+        uint32_t size = 0;
+        uint32_t cap = 0;
+        bool heap = false;  // current buffer owned by the global allocator
+    };
+
+    void bucket_push(Bucket& b, Entry e);
+    void bucket_release(Bucket& b);
+    /// Moves an emptied bucket's buffer to the spare list (keeps nothing).
+    void bucket_donate(Bucket& b);
+
     [[nodiscard]] size_t bucket_of(Micros deadline) const;
     /// Re-buckets every live entry against `now` once the clock has moved
     /// a full level-1 cycle past the current epoch.
@@ -84,9 +124,12 @@ class FleetTimerWheel {
     Micros epoch_ = 0;                       // bucketing origin (rebased as time passes)
     Micros min_ = -1;                        // global earliest (valid when count_ > 0)
     size_t count_ = 0;
+    ShardArena* arena_ = nullptr;            // bucket growth source (null = heap)
     uint64_t occupied_[kLevels] = {0, 0, 0, 0};
-    std::vector<Entry> slots_[kLevels * kSlots];
+    Bucket slots_[kLevels * kSlots];
     Micros slot_min_[kLevels * kSlots];      // earliest deadline per slot
+    std::vector<Entry> rebase_scratch_;      // keeps capacity across rebases
+    std::vector<Bucket> spare_;              // recycled bucket buffers (size unused)
 };
 
 }  // namespace ceu::reactor

@@ -83,7 +83,10 @@ class Mailbox {
     }
 
   private:
-    std::atomic<Envelope*> head_{nullptr};
+    // Producers from every thread CAS this head; keep it off whatever the
+    // embedding object packs around the mailbox (in the reactor: the
+    // shard's scheduler state, read every round by the owner).
+    alignas(64) std::atomic<Envelope*> head_{nullptr};
 };
 
 }  // namespace ceu::reactor

@@ -1,8 +1,13 @@
 #include "reactor/reactor.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <stdexcept>
 #include <string>
+
+#if defined(__linux__)
+#include <sched.h>
+#endif
 
 namespace ceu::reactor {
 
@@ -14,12 +19,42 @@ uint64_t splitmix64(uint64_t& x) {
     z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
     return z ^ (z >> 31);
 }
+
+uint64_t mono_ns() {
+    return static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count());
+}
+
+/// Pins the calling thread to the idx-th CPU the process is allowed on
+/// (cpuset-aware: the allowed set, not the machine's raw CPU list). Best
+/// effort — failure just leaves the thread floating.
+void pin_self_to_allowed_cpu(size_t idx) {
+#if defined(__linux__)
+    cpu_set_t allowed;
+    CPU_ZERO(&allowed);
+    if (sched_getaffinity(0, sizeof allowed, &allowed) != 0) return;
+    std::vector<int> cpus;
+    for (int c = 0; c < CPU_SETSIZE; ++c) {
+        if (CPU_ISSET(c, &allowed)) cpus.push_back(c);
+    }
+    if (cpus.empty()) return;
+    cpu_set_t one;
+    CPU_ZERO(&one);
+    CPU_SET(cpus[idx % cpus.size()], &one);
+    (void)sched_setaffinity(0, sizeof one, &one);
+#else
+    (void)idx;
+#endif
+}
 }  // namespace
 
 Reactor::Reactor(ReactorConfig cfg)
     : cfg_(cfg), shards_(std::max<size_t>(1, cfg.workers)) {
+    stealing_ = cfg_.steal && shards_.size() > 1;
     for (Shard& sh : shards_) {
-        sh.wheel = FleetTimerWheel(cfg_.timer_granularity);
+        sh.wheel.reset(cfg_.timer_granularity, &sh.wheel_arena);
     }
     if (shards_.size() > 1) {
         threads_.reserve(shards_.size());
@@ -38,6 +73,15 @@ Reactor::~Reactor() {
         }
         pool_cv_.notify_all();
         for (std::thread& t : threads_) t.join();
+    }
+    // Undelivered envelopes are pool cells, not heap nodes: return them to
+    // their pool before the Mailbox destructor (which deletes whatever is
+    // left — correct for standalone mailboxes, fatal for pooled cells).
+    for (Shard& sh : shards_) {
+        sh.drained.clear();
+        sh.mailbox.drain_into(sh.drained);
+        for (Envelope* e : sh.drained) sh.pool.free(e);
+        sh.drained.clear();
     }
     for (std::atomic<Slot*>& c : chunks_) {
         delete[] c.load(std::memory_order_relaxed);
@@ -68,6 +112,7 @@ InstanceId Reactor::add_slot(std::shared_ptr<const flat::CompiledProgram> cp,
     hcfg.collect_trace = cfg_.collect_traces;
     sl.inst = std::make_unique<host::Instance>(std::move(cp), hcfg);
     if (cfg_.observe_stats) sl.inst->observe_stats();
+    sl.inst->set_reaction_timing(cfg_.time_reactions);
     sl.policy = cfg_.supervise;
     InstanceId id = static_cast<InstanceId>(idx);
     Shard& sh = shards_[id % shards_.size()];
@@ -139,7 +184,9 @@ void Reactor::boot_shard(Shard& sh) {
         try {
             sl.inst->advance_to(now_);  // late joiners boot at the fleet instant
             sl.inst->boot();
-            after_reaction(id, sl, sh);
+            sh.local_ops.clear();
+            after_reaction(id, sl, sh.local_ops);
+            apply_ops(sh, id, sh.local_ops);
         } catch (const std::exception& ex) {
             sl.error = ex.what();
         }
@@ -159,7 +206,7 @@ InjectResult Reactor::inject(InstanceId id, EventId event, rt::Value v) {
     // Reserve an inbox seat before allocating anything: capacity is
     // enforced at the producer, so a flooded member sheds here instead of
     // growing its mailbox without bound. The seat is released by the
-    // draining shard, one per envelope.
+    // draining executor, one per envelope.
     uint32_t prev = sl.inbox_depth.fetch_add(1, std::memory_order_acq_rel);
     if (cfg_.inbox_capacity > 0 && prev >= cfg_.inbox_capacity) {
         sl.inbox_depth.fetch_sub(1, std::memory_order_relaxed);
@@ -170,16 +217,19 @@ InjectResult Reactor::inject(InstanceId id, EventId event, rt::Value v) {
         uint64_t t = ticket_.fetch_add(1, std::memory_order_relaxed);
         return {InjectResult::Status::Shed, t};
     }
-    Envelope* e = new Envelope;
+    Shard& sh = shards_[id % shards_.size()];
+    // Pool cell, not a heap node: a warmed-up fleet injects and drains
+    // without ever touching the global allocator.
+    Envelope* e = sh.pool.alloc();
     e->instance = id;
     e->event = event;
     e->value = v;
     // push() transfers ownership: a worker draining mid-round may consume
-    // and free the envelope immediately, so the ticket must be returned
+    // and recycle the envelope immediately, so the ticket must be returned
     // from a local, never read back through e.
     uint64_t t = ticket_.fetch_add(1, std::memory_order_relaxed);
     e->ticket = t;
-    shards_[id % shards_.size()].mailbox.push(e);
+    sh.mailbox.push(e);
     return {InjectResult::Status::Accepted, t};
 }
 
@@ -253,7 +303,7 @@ void Reactor::sync_clock(Slot& sl) { sl.inst->advance_to(now_); }
 
 // -- supervision --------------------------------------------------------------
 
-void Reactor::on_member_fault(InstanceId id, Slot& sl, Shard& sh) {
+void Reactor::on_member_fault(InstanceId id, Slot& sl, std::vector<DeferredOp>& ops) {
     sl.sup.fault_open = true;
     uint64_t tick = cfg_.timer_granularity > 0
                         ? static_cast<uint64_t>(now_ / cfg_.timer_granularity)
@@ -269,7 +319,7 @@ void Reactor::on_member_fault(InstanceId id, Slot& sl, Shard& sh) {
     if (sl.policy.restart == SupervisorPolicy::Restart::Park) return;
     Micros delay = backoff_delay_us(sl.policy, cfg_.seed, id, sl.sup.faults,
                                     cfg_.timer_granularity);
-    sh.agenda.push_back({now_ + delay, id});
+    ops.push_back({DeferredOp::Kind::Agenda, now_ + delay});
 }
 
 void Reactor::restart_member(InstanceId id, Shard& sh) {
@@ -298,7 +348,9 @@ void Reactor::restart_member(InstanceId id, Shard& sh) {
     sl.sup.fault_open = false;
     sl.sup.next_checkpoint_at = 0;  // cadence restarts from the new state
     sl.indexed_deadline = -1;       // wheel entries from the old life are stale
-    after_reaction(id, sl, sh);
+    sh.local_ops.clear();
+    after_reaction(id, sl, sh.local_ops);
+    apply_ops(sh, id, sh.local_ops);
 }
 
 void Reactor::restart(InstanceId id) {
@@ -312,7 +364,9 @@ void Reactor::restart(InstanceId id) {
     sl.sup.fault_open = false;
     sl.sup.next_checkpoint_at = 0;
     sl.indexed_deadline = -1;  // wheel entries from the old life are stale
-    after_reaction(id, sl, sh);
+    sh.local_ops.clear();
+    after_reaction(id, sl, sh.local_ops);
+    apply_ops(sh, id, sh.local_ops);
 }
 
 bool Reactor::shard_has_due_restart(const Shard& sh) const {
@@ -322,7 +376,7 @@ bool Reactor::shard_has_due_restart(const Shard& sh) const {
     return false;
 }
 
-void Reactor::after_reaction(InstanceId id, Slot& sl, Shard& sh) {
+void Reactor::after_reaction(InstanceId id, Slot& sl, std::vector<DeferredOp>& ops) {
     // Backend-neutral gauges: interpreted and AOT-compiled members expose
     // the same status/reactions/deadline/async surface through Instance.
     const host::Instance& inst = *sl.inst;
@@ -330,7 +384,7 @@ void Reactor::after_reaction(InstanceId id, Slot& sl, Shard& sh) {
         // Parked (or awaiting its scheduled restart): a Faulted engine
         // ignores go_time/go_event, so keeping its deadline in the wheel
         // would make the shard re-collect a dead entry every round.
-        if (!sl.sup.fault_open) on_member_fault(id, sl, sh);
+        if (!sl.sup.fault_open) on_member_fault(id, sl, ops);
         return;
     }
     if (sl.policy.checkpoint_every > 0 &&
@@ -345,20 +399,152 @@ void Reactor::after_reaction(InstanceId id, Slot& sl, Shard& sh) {
     }
     Micros d = inst.next_timer_deadline();
     if (d >= 0 && d != sl.indexed_deadline) {
-        sh.wheel.schedule(id, d);
+        ops.push_back({DeferredOp::Kind::Wheel, d});
         sl.indexed_deadline = d;
     }
     if (!sl.async_listed && inst.status() == rt::Engine::Status::Running &&
         inst.has_async_work()) {
-        sh.async_live.push_back(id);
+        ops.push_back({DeferredOp::Kind::AsyncList, 0});
         sl.async_listed = true;
     }
 }
 
+void Reactor::apply_ops(Shard& sh, InstanceId id, const std::vector<DeferredOp>& ops) {
+    for (const DeferredOp& op : ops) {
+        switch (op.kind) {
+            case DeferredOp::Kind::Wheel:
+                sh.wheel.schedule(id, op.at);
+                break;
+            case DeferredOp::Kind::AsyncList:
+                sh.async_live.push_back(id);
+                break;
+            case DeferredOp::Kind::Agenda:
+                sh.agenda.push_back({op.at, id});
+                break;
+        }
+    }
+}
+
+// -- stealable work items -----------------------------------------------------
+
+void Reactor::execute_item(Shard& sh, size_t idx) {
+    const RoundItem& it = sh.items[idx];
+    std::vector<DeferredOp>& ops = sh.ops[idx];
+    ops.clear();
+    Slot& sl = slot(it.id);
+    if (it.phase == 1) {
+        // All of one instance's envelopes this round, in ticket order.
+        for (uint32_t k = it.env_begin; k < it.env_end; ++k) {
+            Envelope* e = sh.drained[k];
+            sl.inbox_depth.fetch_sub(1, std::memory_order_relaxed);
+            if (sl.booted && !sl.retired.load(std::memory_order_relaxed)) {
+                try {
+                    sync_clock(sl);
+                    sl.inst->inject(static_cast<int>(e->event), e->value);
+                    after_reaction(it.id, sl, ops);
+                } catch (const std::exception& ex) {
+                    if (sl.error.empty()) sl.error = ex.what();
+                }
+            }
+            sh.pool.free(e);
+        }
+    } else {
+        // One instance's async slice budget.
+        sl.async_listed = false;
+        if (!sl.retired.load(std::memory_order_relaxed)) {
+            try {
+                if (cfg_.async_slices_per_round > 0) {
+                    // One batched call per member per round: a compiled
+                    // backend crosses the ABI once for the whole budget.
+                    // Both backends stop early on their own when the
+                    // program leaves Running or the async queue drains.
+                    sl.inst->run_async_slices(cfg_.async_slices_per_round);
+                }
+                after_reaction(it.id, sl, ops);
+            } catch (const std::exception& ex) {
+                if (sl.error.empty()) sl.error = ex.what();
+            }
+        }
+    }
+    sh.done[idx].store(1, std::memory_order_release);
+}
+
+void Reactor::run_items(Shard& sh, size_t n) {
+    if (sh.ops.size() < n) sh.ops.resize(n);
+    if (sh.done_cap < n) {
+        sh.done = std::make_unique<std::atomic<uint8_t>[]>(n);
+        sh.done_cap = n;
+    }
+    if (!stealing_) {
+        // Single worker (or stealing off): execute and apply per item, in
+        // order. Identical op order to the stealing path below — that
+        // equivalence is the determinism argument.
+        for (size_t i = 0; i < n; ++i) {
+            execute_item(sh, i);
+            apply_ops(sh, sh.items[i].id, sh.ops[i]);
+        }
+        return;
+    }
+    for (size_t i = 0; i < n; ++i) {
+        sh.done[i].store(0, std::memory_order_relaxed);
+    }
+    sh.deque.reserve(n);
+    sh.deque.publish(static_cast<uint32_t>(n));
+    // Owner works the front of the order; thieves take from the back.
+    int64_t idx;
+    while ((idx = sh.deque.take()) >= 0) {
+        execute_item(sh, static_cast<size_t>(idx));
+    }
+    // Bookkeeping in item order, waiting on stolen items still in flight.
+    // The acquire load pairs with the executor's release store, ordering
+    // every engine/slot write before the owner's (and the next phase's)
+    // reads.
+    for (size_t i = 0; i < n; ++i) {
+        while (sh.done[i].load(std::memory_order_acquire) == 0) {
+            std::this_thread::yield();
+        }
+        apply_ops(sh, sh.items[i].id, sh.ops[i]);
+    }
+}
+
+void Reactor::steal_loop(size_t self) {
+    Shard& me = shards_[self];
+    size_t empty_scans = 0;
+    // Keep helping until every shard has finished its own round (stragglers
+    // may still publish phase-3 work), with a bounded give-up so an idle
+    // helper on an oversubscribed box parks at the barrier instead of
+    // burning the victim's cycles.
+    while (round_fini_.load(std::memory_order_acquire) < shards_.size() &&
+           empty_scans < 64) {
+        bool got = false;
+        for (size_t off = 1; off < shards_.size(); ++off) {
+            Shard& victim = shards_[(self + off) % shards_.size()];
+            for (;;) {
+                int64_t idx = victim.deque.steal();
+                if (idx < 0) break;
+                execute_item(victim, static_cast<size_t>(idx));
+                me.steals.fetch_add(1, std::memory_order_relaxed);
+                got = true;
+            }
+        }
+        if (got) {
+            empty_scans = 0;
+        } else {
+            me.steal_failures.fetch_add(1, std::memory_order_relaxed);
+            ++empty_scans;
+            std::this_thread::yield();
+        }
+    }
+}
+
 void Reactor::run_shard_round(Shard& sh) {
+    const bool timed = cfg_.profile_phases;
+    uint64_t t0 = timed ? mono_ns() : 0;
+
     // Phase 0: supervised restarts whose backoff expired by the fleet
     // instant, in (due, instance) order — a pure function of the fault
-    // history, independent of worker layout.
+    // history, independent of worker layout. Shard-owned: restarts touch
+    // the wheel and agenda directly and are rare by construction.
     if (!sh.agenda.empty()) {
         sh.due_restarts.clear();
         for (size_t i = 0; i < sh.agenda.size();) {
@@ -383,32 +569,60 @@ void Reactor::run_shard_round(Shard& sh) {
             }
         }
     }
+    if (timed) {
+        uint64_t t1 = mono_ns();
+        sh.phase_ns[0] += t1 - t0;
+        t0 = t1;
+    }
 
     // Phase 1: events. One atomic exchange empties the mailbox; tickets
-    // restore global injection order; each target is brought to the fleet
-    // instant before delivery so due timers fire first, as they would have
-    // under real time. Every envelope releases its inbox seat, delivered
-    // or not.
+    // restore per-instance injection order. The batch is grouped into one
+    // stealable item per target instance (groups ordered by their first
+    // ticket), each delivering its envelopes in ticket order after lazily
+    // syncing the target's clock to the fleet instant (due timers fire
+    // first, as they would have under real time). Every envelope releases
+    // its inbox seat, delivered or not.
     sh.drained.clear();
     sh.mailbox.drain_into(sh.drained);
-    for (Envelope* e : sh.drained) {
-        Slot& sl = slot(e->instance);
-        sl.inbox_depth.fetch_sub(1, std::memory_order_relaxed);
-        if (sl.booted && !sl.retired.load(std::memory_order_relaxed)) {
-            try {
-                sync_clock(sl);
-                sl.inst->inject(static_cast<int>(e->event), e->value);
-                after_reaction(e->instance, sl, sh);
-            } catch (const std::exception& ex) {
-                if (sl.error.empty()) sl.error = ex.what();
-            }
+    if (!sh.drained.empty()) {
+        // Group by instance, keeping ticket order inside each group.
+        std::sort(sh.drained.begin(), sh.drained.end(),
+                  [](const Envelope* a, const Envelope* b) {
+                      return a->instance != b->instance ? a->instance < b->instance
+                                                        : a->ticket < b->ticket;
+                  });
+        sh.groups.clear();
+        for (uint32_t k = 0; k < sh.drained.size();) {
+            uint32_t begin = k;
+            InstanceId id = sh.drained[k]->instance;
+            while (k < sh.drained.size() && sh.drained[k]->instance == id) ++k;
+            sh.groups.emplace_back(begin, k);
         }
-        delete e;
+        // Deliver groups in global-injection order of their first event —
+        // the closest grouped equivalent of the old strict ticket replay
+        // (cross-instance order only affects diagnostics; instances are
+        // independent).
+        std::sort(sh.groups.begin(), sh.groups.end(),
+                  [&sh](const std::pair<uint32_t, uint32_t>& a,
+                        const std::pair<uint32_t, uint32_t>& b) {
+                      return sh.drained[a.first]->ticket < sh.drained[b.first]->ticket;
+                  });
+        sh.items.clear();
+        for (const auto& [begin, end] : sh.groups) {
+            sh.items.push_back({sh.drained[begin]->instance, begin, end, 1});
+        }
+        run_items(sh, sh.items.size());
+    }
+    if (timed) {
+        uint64_t t1 = mono_ns();
+        sh.phase_ns[1] += t1 - t0;
+        t0 = t1;
     }
 
     // Phase 2: timers. Candidates come out sorted by (deadline, instance);
     // stale ones (engine re-armed or disarmed since indexing) reduce to a
-    // no-op sync plus a re-index.
+    // no-op sync plus a re-index. Shard-owned: wheel pops are not worth a
+    // claim protocol, and the wheel itself is owner-only state.
     sh.due.clear();
     sh.wheel.collect_due(now_, sh.due);
     for (const FleetTimerWheel::Due& d : sh.due) {
@@ -417,34 +631,35 @@ void Reactor::run_shard_round(Shard& sh) {
         if (!sl.booted || sl.retired.load(std::memory_order_relaxed)) continue;
         try {
             sync_clock(sl);
-            after_reaction(d.instance, sl, sh);
+            sh.local_ops.clear();
+            after_reaction(d.instance, sl, sh.local_ops);
+            apply_ops(sh, d.instance, sh.local_ops);
         } catch (const std::exception& ex) {
             if (sl.error.empty()) sl.error = ex.what();
         }
+    }
+    if (timed) {
+        uint64_t t1 = mono_ns();
+        sh.phase_ns[2] += t1 - t0;
+        t0 = t1;
     }
 
     // Phase 3: asyncs. Every async-live member gets a bounded slice
     // allowance; the per-instance allowance is fixed per round, so an
     // instance's async progress is a function of rounds elapsed — not of
-    // which shard or worker it landed on.
+    // which shard, worker, or thief it landed on. One stealable item per
+    // member, in the listing order.
     sh.async_scratch.clear();
     sh.async_scratch.swap(sh.async_live);
-    for (InstanceId id : sh.async_scratch) {
-        Slot& sl = slot(id);
-        sl.async_listed = false;
-        if (sl.retired.load(std::memory_order_relaxed)) continue;
-        try {
-            if (cfg_.async_slices_per_round > 0) {
-                // One batched call per member per round: a compiled backend
-                // crosses the ABI once for the whole budget instead of once
-                // per slice. Both backends stop early on their own when the
-                // program leaves Running or the async queue drains.
-                sl.inst->run_async_slices(cfg_.async_slices_per_round);
-            }
-            after_reaction(id, sl, sh);
-        } catch (const std::exception& ex) {
-            if (sl.error.empty()) sl.error = ex.what();
+    if (!sh.async_scratch.empty()) {
+        sh.items.clear();
+        for (InstanceId id : sh.async_scratch) {
+            sh.items.push_back({id, 0, 0, 3});
         }
+        run_items(sh, sh.items.size());
+    }
+    if (timed) {
+        sh.phase_ns[3] += mono_ns() - t0;
     }
 
     sh.work_left = !sh.async_live.empty() || shard_has_due_restart(sh) ||
@@ -468,6 +683,7 @@ void Reactor::dispatch(Cmd cmd) {
         std::lock_guard<std::mutex> lk(pool_mu_);
         cmd_ = cmd;
         done_count_ = 0;
+        round_fini_.store(0, std::memory_order_relaxed);
         ++generation_;
     }
     pool_cv_.notify_all();
@@ -476,6 +692,7 @@ void Reactor::dispatch(Cmd cmd) {
 }
 
 void Reactor::worker_main(size_t shard_idx) {
+    if (cfg_.pin_workers) pin_self_to_allowed_cpu(shard_idx);
     uint64_t seen = 0;
     for (;;) {
         Cmd cmd;
@@ -491,6 +708,8 @@ void Reactor::worker_main(size_t shard_idx) {
             boot_shard(sh);
         } else {
             run_shard_round(sh);
+            round_fini_.fetch_add(1, std::memory_order_acq_rel);
+            if (stealing_) steal_loop(shard_idx);
         }
         {
             std::lock_guard<std::mutex> lk(pool_mu_);
@@ -530,6 +749,17 @@ obs::ProcessStats Reactor::fleet_stats() const {
         // from. The supervisor never forgets one.
         s.faults = std::max(s.faults, sl.sup.faults);
         total.merge(s);
+    }
+    // Scheduler diagnostics are per-shard, not per-instance: stamped once
+    // here. clear_measured() drops all of them (they depend on worker
+    // count and thread timing).
+    for (const Shard& sh : shards_) {
+        total.steals += sh.steals.load(std::memory_order_relaxed);
+        total.steal_failures += sh.steal_failures.load(std::memory_order_relaxed);
+        total.arena_bytes += sh.pool.reserved_bytes() + sh.wheel_arena.reserved_bytes();
+        for (size_t k = 0; k < sh.phase_ns.size(); ++k) {
+            total.phase_ns[k] += sh.phase_ns[k];
+        }
     }
     return total;
 }

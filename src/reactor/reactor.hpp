@@ -70,8 +70,10 @@
 #include <vector>
 
 #include "host/instance.hpp"
+#include "reactor/arena.hpp"
 #include "reactor/fleet_wheel.hpp"
 #include "reactor/mailbox.hpp"
+#include "reactor/steal.hpp"
 #include "reactor/supervise.hpp"
 #include "reactor/verdict.hpp"
 
@@ -101,6 +103,26 @@ struct ReactorConfig {
     /// envelope count past this is shed (InjectResult::Status::Shed).
     /// 0 = unbounded.
     uint32_t inbox_capacity = 0;
+    /// Deterministic work stealing (multi-worker only): a worker that
+    /// finishes its own round helps by stealing whole-instance work items
+    /// (an instance's event batch, an instance's async slices) from the
+    /// back of a victim shard's order. Execution moves threads; the
+    /// owner's bookkeeping is still applied in the shard's fixed order, so
+    /// traces and merged stats stay byte-identical. Off = strict shard
+    /// ownership (the pre-stealing scheduler).
+    bool steal = true;
+    /// Pin worker i to the i-th CPU the process is allowed on (cpuset-
+    /// aware; Linux only, ignored elsewhere and at workers == 1).
+    bool pin_workers = false;
+    /// Accumulate per-phase round wall time into fleet_stats().phase_ns
+    /// (a handful of clock samples per shard round).
+    bool profile_phases = true;
+    /// Per-reaction wall-clock sampling on every member's recorder.
+    /// Fleets default off: two clock_gettime calls per reaction — ~10% of
+    /// a small interpreted reaction — for numbers the determinism suite
+    /// clears anyway. Turn on to read reactions_per_sec off a fleet
+    /// member's snapshot.
+    bool time_reactions = false;
     /// Default supervision policy for members added without set_policy().
     /// The default default is Park — identical to the pre-supervision
     /// reactor.
@@ -262,7 +284,7 @@ class Reactor {
     [[nodiscard]] const std::string& error(InstanceId id) const;
 
   private:
-    struct Slot {
+    struct alignas(64) Slot {
         std::unique_ptr<host::Instance> inst;
         Micros indexed_deadline = -1;  // deadline currently in the wheel
         bool async_listed = false;     // member of its shard's async_live
@@ -273,13 +295,40 @@ class Reactor {
         SupervisorPolicy policy;
         MemberState sup;
 
-        // Any-thread state: producers race these against the owning shard.
-        std::atomic<uint32_t> inbox_depth{0};
+        // Any-thread state: producers race these against the owning shard
+        // (and, with stealing, against an executing thief). They get their
+        // own cache line — Slots are array elements, and producer traffic
+        // on one member's inbox must not invalidate the scheduler-read
+        // fields above or the neighboring Slot.
+        alignas(64) std::atomic<uint32_t> inbox_depth{0};
         std::atomic<bool> retired{false};
         std::atomic<uint64_t> sheds{0};
     };
 
-    struct Shard {
+    /// Shard-structure mutation deferred out of a work item's execution:
+    /// executing a stolen item may run on any worker, but the victim
+    /// shard's wheel/async-list/agenda are owner-only, so executors record
+    /// intents and the owner applies them in the shard's fixed item order.
+    /// That order equals the 1-worker order, which is what keeps stealing
+    /// inside the determinism contract.
+    struct DeferredOp {
+        enum class Kind : uint8_t { Wheel, AsyncList, Agenda };
+        Kind kind;
+        Micros at = 0;  // Wheel: deadline; Agenda: due instant
+    };
+
+    /// One stealable unit of round work: all of one instance's envelopes
+    /// for this round (phase 1) or one instance's async slice budget
+    /// (phase 3). Instance-exclusive by construction, so whoever claims it
+    /// owns the engine for the duration.
+    struct RoundItem {
+        InstanceId id = 0;
+        uint32_t env_begin = 0;  // phase 1: span in Shard::drained
+        uint32_t env_end = 0;
+        uint8_t phase = 0;       // 1 = events, 3 = asyncs
+    };
+
+    struct alignas(64) Shard {
         Mailbox mailbox;
         FleetTimerWheel wheel{1024};
         std::vector<InstanceId> members;
@@ -292,6 +341,30 @@ class Reactor {
         std::vector<RestartDue> agenda;       // pending supervised restarts
         std::vector<RestartDue> due_restarts; // round scratch
         bool work_left = false;               // set by the last round
+
+        // Envelope memory: producers allocate here (inject), executors —
+        // owner or thief — free here. Slab-backed, byte-exact accounting.
+        ObjectPool<Envelope> pool;
+        // Owner-thread-only arena backing the wheel's bucket storage (the
+        // pool's arena is under the pool's lock and can't be shared).
+        ShardArena wheel_arena;
+
+        // Stealable-phase state. items/ops/done are indexed by the deque's
+        // published indices; they are (re)sized only while the deque is
+        // empty and no executor is in flight, and published to thieves by
+        // the deque's release store.
+        StealDeque deque;
+        std::vector<RoundItem> items;
+        std::vector<std::vector<DeferredOp>> ops;
+        std::unique_ptr<std::atomic<uint8_t>[]> done;
+        size_t done_cap = 0;
+        std::vector<DeferredOp> local_ops;    // owner-context scratch
+        std::vector<std::pair<uint32_t, uint32_t>> groups;  // phase-1 scratch
+
+        // Scheduler diagnostics (fleet_stats stamps, clear_measured drops).
+        std::atomic<uint64_t> steals{0};
+        std::atomic<uint64_t> steal_failures{0};
+        std::array<uint64_t, 4> phase_ns{};
     };
 
     enum class Cmd : uint8_t { Round, Boot, Exit };
@@ -325,27 +398,50 @@ class Reactor {
     /// Brings `id` to the fleet instant (due timers fire) — the lazy
     /// clock sync in front of every delivery.
     void sync_clock(Slot& sl);
-    /// Post-reaction bookkeeping: detect fresh faults (and schedule their
-    /// supervised restart), take due checkpoints, re-index the engine's
-    /// next deadline in the shard wheel, (re-)list for async slices.
-    void after_reaction(InstanceId id, Slot& sl, Shard& sh);
-    /// A fresh Faulted transition: quarantine or enqueue a restart per the
+    /// Post-reaction bookkeeping: detect fresh faults (and record their
+    /// supervised restart), take due checkpoints, record the engine's next
+    /// deadline for wheel re-indexing, record async (re-)listing. The
+    /// instance-local half runs inline (whoever executes the reaction owns
+    /// the slot); the shard-structure half is returned in `ops` for the
+    /// owner to apply in item order (apply_ops).
+    void after_reaction(InstanceId id, Slot& sl, std::vector<DeferredOp>& ops);
+    /// A fresh Faulted transition: quarantine or record a restart per the
     /// member's policy.
-    void on_member_fault(InstanceId id, Slot& sl, Shard& sh);
+    void on_member_fault(InstanceId id, Slot& sl, std::vector<DeferredOp>& ops);
+    /// Owner-only: applies a work item's deferred shard mutations.
+    void apply_ops(Shard& sh, InstanceId id, const std::vector<DeferredOp>& ops);
+    /// Runs sh.items[idx]'s engine work (any worker; instance-exclusive by
+    /// deque claim) and publishes its done flag.
+    void execute_item(Shard& sh, size_t idx);
+    /// Runs the shard's published items: owner take()s from the front
+    /// while thieves may steal from the back, then applies every item's
+    /// ops in order (waiting on stolen items' done flags).
+    void run_items(Shard& sh, size_t n);
+    /// Help mode: a worker that finished its own round steals items from
+    /// other shards until every shard's round work is done.
+    void steal_loop(size_t self);
     /// Executes one due restart (phase 0): restore or reboot.
     void restart_member(InstanceId id, Shard& sh);
     [[nodiscard]] bool shard_has_due_restart(const Shard& sh) const;
 
     ReactorConfig cfg_;
+    bool stealing_ = false;  // cfg.steal && workers > 1, fixed at ctor
     std::array<std::atomic<Slot*>, kMaxChunks> chunks_{};
     std::atomic<size_t> published_{0};
     std::vector<Shard> shards_;
     Micros now_ = 0;
-    std::atomic<uint64_t> ticket_{0};
+    alignas(64) std::atomic<uint64_t> ticket_{0};
+
+    // Workers that finished their own shard's round this generation;
+    // thieves keep scanning until it covers every shard. Reset by the
+    // control thread under pool_mu_ before each Round generation.
+    alignas(64) std::atomic<size_t> round_fini_{0};
 
     // Worker pool (empty when workers == 1): generation-counter barrier.
+    // The barrier state shares its line with nothing hot — ticket_ and
+    // round_fini_ above are hammered by producers/workers mid-round.
     std::vector<std::thread> threads_;
-    std::mutex pool_mu_;
+    alignas(64) std::mutex pool_mu_;
     std::condition_variable pool_cv_;   // control -> workers: new generation
     std::condition_variable done_cv_;   // workers -> control: all finished
     uint64_t generation_ = 0;

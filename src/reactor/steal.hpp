@@ -1,0 +1,150 @@
+// Chase-Lev work-stealing deque, specialized for the reactor's round
+// protocol (Blumofe & Leiserson's Cilk discipline: the owner works one
+// end, thieves the other).
+//
+// Usage shape: once per stealable phase the owning shard publishes a batch
+// of item indices with one bulk push, then pops them from the *bottom*
+// (front of the shard's order) while idle workers steal from the *top*
+// (the back of the victim's seeded schedule — the work the owner would
+// reach last). top/bottom increase monotonically across the deque's life,
+// so there is no ABA across phase boundaries.
+//
+// Growth: the ring is resized by the owner only while the deque is empty
+// (between publishes). A thief can still hold a stale ring pointer from a
+// probe that started before the swap, so the ring is published through an
+// atomic pointer, retired rings stay allocated until the deque dies, and
+// ring slots are relaxed atomics: the stale thief's slot read is a benign
+// racy load whose value is discarded when its top CAS fails (top must have
+// advanced for the owner to have been allowed to swap rings at all).
+//
+// Memory model: this is the fence-free formulation — the classic
+// algorithm's seq_cst fences are folded into seq_cst accesses on top_ and
+// bottom_ at the two race points (owner's take vs thief's steal). That is
+// marginally stronger than the minimal Le-et-al. mapping but keeps the
+// structure exactly representable to TSan (which does not model
+// standalone fences), so the steal path is verified, not waived, by the
+// reactor TSan job.
+//
+// Determinism: stealing moves *execution* of an item to another thread;
+// it never reorders the owner's bookkeeping, which is applied in item
+// order after the item's done flag (see reactor.cpp). Hence who stole what
+// affects wall-clock only — traces and merged stats stay byte-identical.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+namespace ceu::reactor {
+
+class StealDeque {
+  public:
+    StealDeque() = default;
+    StealDeque(const StealDeque&) = delete;
+    StealDeque& operator=(const StealDeque&) = delete;
+
+    /// Owner only, deque empty: ensure the ring can hold `cap` items.
+    /// The old ring (if any) is retired, not freed — a thief mid-probe may
+    /// still read it (and then lose its claim CAS).
+    void reserve(size_t cap) {
+        size_t want = 1;
+        while (want < cap) want <<= 1;
+        Ring* cur = ring_.load(std::memory_order_relaxed);
+        if (cur != nullptr && cur->mask + 1 >= want) return;
+        auto next = std::make_unique<Ring>();
+        next->mask = want - 1;
+        next->slots = std::make_unique<std::atomic<uint32_t>[]>(want);
+        // Publish the pointer before publish() writes entries; thieves
+        // order their ring load after the bottom_ load that makes those
+        // entries claimable, so they can never claim through the old ring.
+        ring_.store(next.get(), std::memory_order_release);
+        retired_.push_back(std::move(next));
+    }
+
+    /// Owner only: publishes items 0..n-1 in one shot. They are written
+    /// back-to-front so take() yields 0,1,2,... (the shard's own order)
+    /// while steal() yields n-1,n-2,... (the back of the schedule). The
+    /// seq_cst store on bottom_ publishes the slot contents — and
+    /// everything the owner wrote before calling (the items themselves) —
+    /// to thieves.
+    void publish(uint32_t n) {
+        Ring* r = ring_.load(std::memory_order_relaxed);
+        int64_t b = bottom_.load(std::memory_order_relaxed);
+        for (uint32_t k = 0; k < n; ++k) {
+            r->slots[static_cast<size_t>(b + k) & r->mask].store(
+                n - 1 - k, std::memory_order_relaxed);
+        }
+        bottom_.store(b + n, std::memory_order_seq_cst);
+    }
+
+    /// Owner only: pops the next item from the bottom. Returns -1 when the
+    /// deque is empty (every item claimed).
+    int64_t take() {
+        Ring* r = ring_.load(std::memory_order_relaxed);
+        int64_t b = bottom_.load(std::memory_order_relaxed) - 1;
+        bottom_.store(b, std::memory_order_seq_cst);
+        int64_t t = top_.load(std::memory_order_seq_cst);
+        if (t < b) {
+            return r->slots[static_cast<size_t>(b) & r->mask].load(
+                std::memory_order_relaxed);
+        }
+        if (t == b) {
+            // Last item: race the thieves for it via top.
+            int64_t item = r->slots[static_cast<size_t>(b) & r->mask].load(
+                std::memory_order_relaxed);
+            if (!top_.compare_exchange_strong(t, t + 1, std::memory_order_seq_cst,
+                                              std::memory_order_relaxed)) {
+                item = -1;  // a thief got there first
+            }
+            bottom_.store(b + 1, std::memory_order_relaxed);
+            return item;
+        }
+        bottom_.store(b + 1, std::memory_order_relaxed);
+        return -1;
+    }
+
+    /// Any thread: steals one item from the top. Returns -1 when empty or
+    /// when the claim race was lost (callers just rescan).
+    int64_t steal() {
+        int64_t t = top_.load(std::memory_order_seq_cst);
+        int64_t b = bottom_.load(std::memory_order_seq_cst);
+        if (t >= b) return -1;
+        // Ring load ordered after the bottom_ load: seeing t < b means
+        // seeing the publish that made index t claimable, and that publish
+        // (or an earlier one) installed the ring it wrote into. A stale
+        // ring here implies top has moved on, so the CAS below fails and
+        // the garbage value is discarded.
+        Ring* r = ring_.load(std::memory_order_acquire);
+        int64_t item = r->slots[static_cast<size_t>(t) & r->mask].load(
+            std::memory_order_relaxed);
+        if (!top_.compare_exchange_strong(t, t + 1, std::memory_order_seq_cst,
+                                          std::memory_order_relaxed)) {
+            return -1;
+        }
+        return item;
+    }
+
+    /// Racy size hint (thief-side victim selection only).
+    [[nodiscard]] int64_t size_hint() const {
+        return bottom_.load(std::memory_order_relaxed) -
+               top_.load(std::memory_order_relaxed);
+    }
+
+  private:
+    struct Ring {
+        size_t mask = 0;
+        std::unique_ptr<std::atomic<uint32_t>[]> slots;
+    };
+
+    // Owner and thieves hammer opposite ends; keep the two indices off
+    // each other's cache line (and off the ring pointer's).
+    alignas(64) std::atomic<int64_t> top_{0};
+    alignas(64) std::atomic<int64_t> bottom_{0};
+    alignas(64) std::atomic<Ring*> ring_{nullptr};
+    // Every ring ever allocated, newest last (owner-only). Growth is
+    // geometric, so keeping them costs < 2x the final ring.
+    std::vector<std::unique_ptr<Ring>> retired_;
+};
+
+}  // namespace ceu::reactor

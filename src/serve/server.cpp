@@ -371,13 +371,14 @@ void Server::io_main(size_t idx) {
             // Control filled outboxes (round outputs, replies) — flush all.
             io.conns.erase(
                 std::remove_if(io.conns.begin(), io.conns.end(),
-                               [](Conn* c) { return c->dead; }),
+                               [](Conn* c) { return c->dead.load(); }),
                 io.conns.end());
             for (Conn* c : io.conns) owner_flush(c);
         }
     }
-    ::close(io.epfd);
-    ::close(io.kickfd);
+    // epfd/kickfd are closed by control *after* the join: the shutdown
+    // sequence kicks every io thread once more after setting io_stop_, and
+    // that write must never land on a closed (worse: recycled) fd.
 }
 
 // -- control thread -----------------------------------------------------------
@@ -433,6 +434,8 @@ void Server::control_main() {
     for (size_t i = 0; i < io_.size(); ++i) kick_io(i);
     for (auto& io : io_) {
         if (io->th.joinable()) io->th.join();
+        ::close(io->epfd);
+        ::close(io->kickfd);
     }
     for (auto& [fd, conn] : conns_) ::close(fd);
     conns_.clear();

@@ -119,8 +119,12 @@ class Server {
         bool hello_done = false;
         bool want_spans = false;
         std::string default_program;
-        bool dead = false;             // owner stopped reading it
-        bool closing = false;          // graceful: shut write side once flushed
+        // Written by the owner (dead) / control (closing), but read across
+        // that boundary: control's drain paths poll any conn's dead flag,
+        // and an io owner polls closing. Atomic — the readers are advisory
+        // (a stale read just defers the action one wakeup).
+        std::atomic<bool> dead{false};  // owner stopped reading it
+        std::atomic<bool> closing{false};  // graceful: shut write once flushed
         std::vector<SessionId> sessions;  // control thread only
 
         // Any-thread: frames queued to control but not yet processed. While

@@ -7,6 +7,7 @@
 // (host::Instance fleet ctor, CeuMoteConfig::program).
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <memory>
 #include <string>
 #include <thread>
@@ -17,6 +18,7 @@
 #include "reactor/fleet_wheel.hpp"
 #include "reactor/mailbox.hpp"
 #include "reactor/reactor.hpp"
+#include "reactor/steal.hpp"
 #include "wsn/network.hpp"
 #include "wsn/tinyos_binding.hpp"
 
@@ -519,6 +521,187 @@ TEST(Reactor, CeuMoteFleetsShareOneCompiledProgram) {
         EXPECT_EQ(&m->instance().program(), firmware.get());
         EXPECT_EQ(m->leds(), 5);
     }
+}
+
+// -- work stealing ------------------------------------------------------------
+
+TEST(StealDeque, ConcurrentTakeAndStealClaimEachItemExactlyOnce) {
+    // The round protocol under real contention: the owner publishes a
+    // batch and pops from the bottom while three thieves hammer the top.
+    // Every published index must be claimed by exactly one thread. Batch
+    // sizes vary to force ring growth mid-life (the retired-ring path),
+    // and thieves keep probing across publishes so a stale ring pointer is
+    // actually exercised. Runs under the reactor TSan job.
+    reactor::StealDeque dq;
+    constexpr int kRounds = 40;
+    constexpr uint32_t kMaxItems = 300;
+    std::vector<std::atomic<uint32_t>> claims(kMaxItems);
+    std::atomic<int64_t> remaining{0};
+    std::atomic<bool> stop{false};
+
+    auto thief = [&] {
+        while (!stop.load(std::memory_order_acquire)) {
+            if (remaining.load(std::memory_order_acquire) <= 0) {
+                std::this_thread::yield();
+                continue;
+            }
+            int64_t it = dq.steal();
+            if (it >= 0) {
+                claims[static_cast<size_t>(it)].fetch_add(1,
+                                                          std::memory_order_relaxed);
+                remaining.fetch_sub(1, std::memory_order_acq_rel);
+            }
+        }
+    };
+    std::vector<std::thread> thieves;
+    thieves.reserve(3);
+    for (int i = 0; i < 3; ++i) thieves.emplace_back(thief);
+
+    for (int round = 0; round < kRounds; ++round) {
+        uint32_t n = 1 + static_cast<uint32_t>(round) * 37 % kMaxItems;
+        for (uint32_t i = 0; i < n; ++i) {
+            claims[i].store(0, std::memory_order_relaxed);
+        }
+        dq.reserve(n);
+        remaining.store(n, std::memory_order_release);
+        dq.publish(n);
+        while (remaining.load(std::memory_order_acquire) > 0) {
+            int64_t it = dq.take();
+            if (it >= 0) {
+                claims[static_cast<size_t>(it)].fetch_add(1,
+                                                          std::memory_order_relaxed);
+                remaining.fetch_sub(1, std::memory_order_acq_rel);
+            } else {
+                std::this_thread::yield();  // thieves hold the stragglers
+            }
+        }
+        for (uint32_t i = 0; i < n; ++i) {
+            ASSERT_EQ(claims[i].load(std::memory_order_relaxed), 1u)
+                << "round " << round << " item " << i;
+        }
+    }
+    stop.store(true, std::memory_order_release);
+    for (std::thread& t : thieves) t.join();
+}
+
+/// 90%+ of the event load lands on members congruent 0 mod 8 — the same
+/// shard at 1, 2, and 8 workers — so multi-worker runs are forced through
+/// the steal path (idle shards poaching the loaded shard's round) while
+/// the trace/stats contract must hold bit for bit.
+FleetRun run_skewed_fleet(size_t workers) {
+    reactor::ReactorConfig rc;
+    rc.workers = workers;
+    rc.seed = 7;
+    rc.collect_traces = true;
+    reactor::Reactor r(rc);
+
+    auto counter = compile_shared(kCounter);
+    constexpr size_t kFleet = 80;
+    for (size_t i = 0; i < kFleet; ++i) r.add_instance(counter);
+    r.boot();
+    r.drain();
+
+    for (int step = 0; step < 5; ++step) {
+        for (size_t i = 0; i < kFleet; ++i) {
+            int shots = i % 8 == 0 ? 9 : (i % 3 == 1 ? 1 : 0);
+            for (int s = 0; s < shots; ++s) {
+                r.inject(static_cast<reactor::InstanceId>(i), "ADD",
+                         rt::Value::integer(static_cast<int64_t>(
+                             step * 1000 + static_cast<int>(i) * 10 + s)));
+            }
+        }
+        r.drain();
+    }
+    for (size_t i = 0; i < kFleet; ++i) {
+        r.inject(static_cast<reactor::InstanceId>(i), "STOP");
+    }
+    r.drain();
+
+    FleetRun out;
+    out.traces.reserve(kFleet);
+    for (size_t i = 0; i < kFleet; ++i) {
+        out.traces.push_back(
+            r.instance(static_cast<reactor::InstanceId>(i)).trace_text());
+    }
+    obs::ProcessStats st = r.fleet_stats();
+    st.clear_measured();
+    out.stats_json = st.to_json();
+    return out;
+}
+
+TEST(Reactor, SkewedFleetIsIdenticalAt1_2_8Workers) {
+    FleetRun w1 = run_skewed_fleet(1);
+    FleetRun w2 = run_skewed_fleet(2);
+    FleetRun w8 = run_skewed_fleet(8);
+    ASSERT_EQ(w1.traces.size(), w2.traces.size());
+    ASSERT_EQ(w1.traces.size(), w8.traces.size());
+    for (size_t i = 0; i < w1.traces.size(); ++i) {
+        EXPECT_EQ(w1.traces[i], w2.traces[i]) << "instance " << i << " (2 workers)";
+        EXPECT_EQ(w1.traces[i], w8.traces[i]) << "instance " << i << " (8 workers)";
+    }
+    EXPECT_EQ(w1.stats_json, w2.stats_json);
+    EXPECT_EQ(w1.stats_json, w8.stats_json);
+    EXPECT_FALSE(w1.traces[0].empty());
+}
+
+// -- per-shard arenas ---------------------------------------------------------
+
+TEST(Reactor, ArenaReservationStabilizesAfterWarmup) {
+    // A warmed fleet's steady state must stop demanding memory: envelope
+    // cells recycle through the pool's free list and the timer wheel's
+    // bucket buffers recycle through its spare list, so the exact
+    // reserved-bytes gauge goes flat while rounds keep running.
+    auto counter = compile_shared(kCounter);
+    auto ticker = compile_shared(kTicker);
+    reactor::Reactor r;
+    constexpr size_t kFleet = 300;
+    for (size_t i = 0; i < kFleet; ++i) {
+        r.add_instance(i % 2 == 0 ? counter : ticker);
+    }
+    r.boot();
+    r.drain();
+
+    auto one_round = [&] {
+        for (size_t i = 0; i < kFleet; i += 2) {
+            r.inject(static_cast<reactor::InstanceId>(i), "ADD",
+                     rt::Value::integer(1));
+        }
+        r.advance(10 * kMs);
+        r.drain();
+    };
+    for (int i = 0; i < 8; ++i) one_round();
+    uint64_t warmed = r.fleet_stats().arena_bytes;
+    EXPECT_GT(warmed, 0u);
+    for (int i = 0; i < 40; ++i) one_round();
+    EXPECT_EQ(r.fleet_stats().arena_bytes, warmed)
+        << "steady-state rounds reserved new arena memory";
+}
+
+TEST(Reactor, FleetStatsCarrySchedulerSeries) {
+    auto counter = compile_shared(kCounter);
+    reactor::Reactor r;
+    r.add_instance(counter);
+    r.boot();
+    r.inject(0, "ADD", rt::Value::integer(1));
+    r.drain();
+
+    obs::ProcessStats st = r.fleet_stats();
+    EXPECT_GT(st.arena_bytes, 0u);
+    std::string js = st.to_json();
+    for (const char* key : {"\"steals\":", "\"steal_failures\":",
+                            "\"arena_bytes\":", "\"phase_ns\":"}) {
+        EXPECT_NE(js.find(key), std::string::npos) << key;
+    }
+    // The scheduler series are measurement, not semantics: the determinism
+    // contract compares stats after clear_measured(), so they must zero.
+    st.clear_measured();
+    std::string cleared = st.to_json();
+    EXPECT_NE(cleared.find("\"steals\":0,"), std::string::npos);
+    EXPECT_NE(cleared.find("\"steal_failures\":0,"), std::string::npos);
+    EXPECT_NE(cleared.find("\"arena_bytes\":0,"), std::string::npos);
+    EXPECT_NE(cleared.find("\"phase_ns\":{\"restarts\":0,\"events\":0,"
+                           "\"timers\":0,\"asyncs\":0}"),
+              std::string::npos);
 }
 
 }  // namespace

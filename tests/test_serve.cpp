@@ -243,14 +243,19 @@ TEST(SessionMap, OpenLookupCloseRace) {
     std::vector<std::thread> readers;
     for (int t = 0; t < 3; ++t) {
         readers.emplace_back([&] {
-            do {
+            auto pass = [&] {
                 for (SessionId id : map.ids()) {
                     reactor::InstanceId member = 0;
                     if (map.lookup(id, member)) {
                         hits.fetch_add(1, std::memory_order_relaxed);
                     }
                 }
-            } while (!stop.load());
+            };
+            while (!stop.load()) pass();
+            // The guaranteed pass: stop is set only after the opener's
+            // burst, so the map is populated here even if every racing
+            // pass above ran before the first open (single-core boxes).
+            pass();
         });
     }
     // Control-thread role: open and close sessions.
